@@ -1,0 +1,134 @@
+//! Depth-bounded BFS: the k-hop neighbourhood query behind the paper's
+//! Application 2 (personal social circles).
+
+use qgraph_core::{Context, VertexProgram};
+use qgraph_graph::{Graph, VertexId};
+
+/// Breadth-first search from `source`, stopping after `max_depth` hops.
+/// Output: every reached vertex with its hop distance.
+#[derive(Clone, Debug)]
+pub struct BfsProgram {
+    source: VertexId,
+    max_depth: u32,
+}
+
+impl BfsProgram {
+    /// A `max_depth`-hop neighbourhood query around `source`.
+    pub fn new(source: VertexId, max_depth: u32) -> Self {
+        BfsProgram { source, max_depth }
+    }
+}
+
+impl VertexProgram for BfsProgram {
+    /// Hop distance (`u32::MAX` = unreached).
+    type State = u32;
+    /// A candidate hop distance.
+    type Message = u32;
+    type Aggregate = ();
+    /// `(vertex, depth)` pairs, sorted by vertex.
+    type Output = Vec<(VertexId, u32)>;
+
+    fn init_state(&self) -> u32 {
+        u32::MAX
+    }
+
+    fn aggregate_identity(&self) {}
+
+    fn aggregate_combine(&self, _a: &mut (), _b: &()) {}
+
+    fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, u32)> {
+        vec![(self.source, 0)]
+    }
+
+    fn compute(
+        &self,
+        graph: &Graph,
+        vertex: VertexId,
+        state: &mut u32,
+        messages: &[u32],
+        ctx: &mut Context<'_, u32, ()>,
+    ) {
+        let depth = messages.iter().copied().min().unwrap_or(u32::MAX);
+        if depth >= *state {
+            return;
+        }
+        *state = depth;
+        if depth < self.max_depth {
+            for (t, _) in graph.neighbors(vertex) {
+                ctx.send(t, depth + 1);
+            }
+        }
+    }
+
+    fn finalize(
+        &self,
+        _graph: &Graph,
+        states: &mut dyn Iterator<Item = (VertexId, u32)>,
+    ) -> Vec<(VertexId, u32)> {
+        let mut out: Vec<(VertexId, u32)> =
+            states.filter(|(_, d)| *d != u32::MAX).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::k_hop;
+    use qgraph_core::{SimEngine, SystemConfig};
+    use qgraph_graph::GraphBuilder;
+    use qgraph_partition::{HashPartitioner, Partitioner};
+    use qgraph_sim::ClusterModel;
+    use std::sync::Arc;
+
+    fn cycle(n: u32) -> Arc<Graph> {
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 0..n {
+            b.add_undirected_edge(i, (i + 1) % n, 1.0);
+        }
+        Arc::new(b.build())
+    }
+
+    fn run_bfs(g: Arc<Graph>, s: u32, d: u32) -> Vec<(VertexId, u32)> {
+        let parts = HashPartitioner::default().partition(&g, 3);
+        let mut e = SimEngine::new(
+            g,
+            ClusterModel::scale_up(3),
+            parts,
+            SystemConfig::default(),
+        );
+        let q = e.submit(BfsProgram::new(VertexId(s), d));
+        e.run();
+        e.take_output(q).unwrap()
+    }
+
+    #[test]
+    fn two_hops_on_a_cycle() {
+        let out = run_bfs(cycle(10), 0, 2);
+        assert_eq!(
+            out,
+            vec![
+                (VertexId(0), 0),
+                (VertexId(1), 1),
+                (VertexId(2), 2),
+                (VertexId(8), 2),
+                (VertexId(9), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_hops_is_just_the_source() {
+        let out = run_bfs(cycle(6), 3, 0);
+        assert_eq!(out, vec![(VertexId(3), 0)]);
+    }
+
+    #[test]
+    fn matches_reference_k_hop() {
+        let g = cycle(16);
+        let want = k_hop(&g, VertexId(5), 4);
+        let got = run_bfs(Arc::clone(&g), 5, 4);
+        assert_eq!(got, want);
+    }
+}

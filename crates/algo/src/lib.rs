@@ -1,0 +1,34 @@
+//! Vertex programs for Q-Graph and the sequential reference algorithms
+//! the test suite validates them against.
+//!
+//! The paper evaluates two query types (§4.1):
+//! * **SSSP** — shortest path between a start and an end vertex
+//!   ([`SsspProgram`]).
+//! * **POI** — closest vertex carrying a tag (e.g. gas station) from a
+//!   start vertex ([`PoiProgram`]).
+//!
+//! Both use the engine's aggregator to carry the best answer found so far
+//! and prune expansion beyond it — without pruning, a targeted query would
+//! flood the whole component, destroying exactly the locality the paper's
+//! workloads have.
+//!
+//! Additional programs cover the paper's motivating applications and
+//! future-work items: [`BfsProgram`] (k-hop neighbourhoods, social
+//! circles), [`PprProgram`] (localized PageRank, future work (i)), and
+//! [`WccProgram`] (a deliberately *global* query for contrast).
+
+mod bfs;
+mod poi;
+mod ppr;
+mod reference;
+mod road;
+mod sssp;
+mod wcc;
+
+pub use bfs::BfsProgram;
+pub use poi::PoiProgram;
+pub use ppr::PprProgram;
+pub use reference::{dijkstra, dijkstra_to, k_hop, nearest_tagged, connected_component_of};
+pub use road::RoadProgram;
+pub use sssp::SsspProgram;
+pub use wcc::WccProgram;

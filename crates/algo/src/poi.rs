@@ -1,0 +1,187 @@
+//! Point-of-interest search (the paper's POI query): the closest tagged
+//! vertex — e.g. gas station — from a start vertex.
+
+use qgraph_core::{Context, VertexProgram};
+use qgraph_graph::{Graph, VertexId};
+
+/// Expands travel-time distance from `source` until the nearest tagged
+/// vertex is provably found; the sticky aggregate carries the best tagged
+/// distance so far and prunes all expansion beyond it.
+#[derive(Clone, Debug)]
+pub struct PoiProgram {
+    source: VertexId,
+}
+
+impl PoiProgram {
+    /// Nearest-tagged-vertex query from `source`.
+    pub fn new(source: VertexId) -> Self {
+        PoiProgram { source }
+    }
+
+    /// The start vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+}
+
+impl VertexProgram for PoiProgram {
+    /// Best known distance from the source.
+    type State = f32;
+    /// A candidate distance.
+    type Message = f32;
+    /// Best distance at which a tagged vertex has been reached.
+    type Aggregate = f32;
+    /// Nearest tagged vertex and its distance, `None` if unreachable.
+    type Output = Option<(VertexId, f32)>;
+
+    fn init_state(&self) -> f32 {
+        f32::INFINITY
+    }
+
+    fn aggregate_identity(&self) -> f32 {
+        f32::INFINITY
+    }
+
+    fn aggregate_combine(&self, a: &mut f32, b: &f32) {
+        *a = a.min(*b);
+    }
+
+    fn aggregate_sticky(&self) -> bool {
+        true
+    }
+
+    fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, f32)> {
+        vec![(self.source, 0.0)]
+    }
+
+    fn compute(
+        &self,
+        graph: &Graph,
+        vertex: VertexId,
+        state: &mut f32,
+        messages: &[f32],
+        ctx: &mut Context<'_, f32, f32>,
+    ) {
+        let best = messages.iter().copied().fold(f32::INFINITY, f32::min);
+        if best >= *state {
+            return;
+        }
+        *state = best;
+        let bound = *ctx.prev_aggregate();
+        if graph.props().is_tagged(vertex) {
+            ctx.aggregate(&best);
+            // Paths *through* a POI toward a farther POI are irrelevant.
+            return;
+        }
+        if best >= bound {
+            return;
+        }
+        for (t, w) in graph.neighbors(vertex) {
+            let d = best + w;
+            if d < bound {
+                ctx.send(t, d);
+            }
+        }
+    }
+
+    fn finalize(
+        &self,
+        graph: &Graph,
+        states: &mut dyn Iterator<Item = (VertexId, f32)>,
+    ) -> Option<(VertexId, f32)> {
+        states
+            .filter(|(v, d)| graph.props().is_tagged(*v) && d.is_finite())
+            .min_by(|(va, a), (vb, b)| a.partial_cmp(b).expect("finite").then(va.cmp(vb)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_core::{SimEngine, SystemConfig};
+    use qgraph_graph::GraphBuilder;
+    use qgraph_partition::{Partitioner, RangePartitioner};
+    use qgraph_sim::ClusterModel;
+    use std::sync::Arc;
+
+    /// Line 0-1-2-3-4 with unit weights; tags on the given vertices.
+    fn tagged_line(tags: &[u32]) -> Arc<Graph> {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_undirected_edge(i, i + 1, 1.0);
+        }
+        let mut g = b.build();
+        let mut t = vec![false; 5];
+        for &i in tags {
+            t[i as usize] = true;
+        }
+        g.props_mut().tags = t;
+        Arc::new(g)
+    }
+
+    fn run_poi(graph: Arc<Graph>, s: u32) -> Option<(VertexId, f32)> {
+        let parts = RangePartitioner.partition(&graph, 2);
+        let mut e = SimEngine::new(
+            graph,
+            ClusterModel::scale_up(2),
+            parts,
+            SystemConfig::default(),
+        );
+        let q = e.submit(PoiProgram::new(VertexId(s)));
+        e.run();
+        *e.output(q).unwrap()
+    }
+
+    #[test]
+    fn finds_nearest_tag() {
+        assert_eq!(run_poi(tagged_line(&[0, 4]), 1), Some((VertexId(0), 1.0)));
+        assert_eq!(run_poi(tagged_line(&[4]), 1), Some((VertexId(4), 3.0)));
+    }
+
+    #[test]
+    fn source_itself_tagged() {
+        assert_eq!(run_poi(tagged_line(&[2]), 2), Some((VertexId(2), 0.0)));
+    }
+
+    #[test]
+    fn no_tags_reachable() {
+        assert_eq!(run_poi(tagged_line(&[]), 2), None);
+    }
+
+    #[test]
+    fn tie_breaks_to_lower_vertex_id() {
+        // Tags at distance 1 on both sides of the source.
+        assert_eq!(run_poi(tagged_line(&[1, 3]), 2), Some((VertexId(1), 1.0)));
+    }
+
+    #[test]
+    fn pruning_bounds_scope() {
+        // Big star: source center, one tagged spoke; long chain elsewhere.
+        let mut b = GraphBuilder::new(103);
+        b.add_undirected_edge(0, 1, 1.0); // tagged neighbour
+        b.add_undirected_edge(0, 2, 5.0); // entry to long chain
+        for i in 2..102 {
+            b.add_undirected_edge(i, i + 1, 0.1);
+        }
+        let mut g = b.build();
+        let mut tags = vec![false; 103];
+        tags[1] = true;
+        g.props_mut().tags = tags;
+        let g = Arc::new(g);
+        let parts = RangePartitioner.partition(&g, 2);
+        let mut e = SimEngine::new(
+            g,
+            ClusterModel::scale_up(2),
+            parts,
+            SystemConfig::default(),
+        );
+        let q = e.submit(PoiProgram::new(VertexId(0)));
+        e.run();
+        assert_eq!(*e.output(q).unwrap(), Some((VertexId(1), 1.0)));
+        assert!(
+            e.report().outcomes[0].scope_size < 10,
+            "chain must be pruned, scope {}",
+            e.report().outcomes[0].scope_size
+        );
+    }
+}

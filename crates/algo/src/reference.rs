@@ -1,0 +1,194 @@
+//! Sequential reference algorithms — ground truth for validating the
+//! distributed vertex programs (unit, property, and integration tests all
+//! compare against these).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use qgraph_graph::{Graph, VertexId};
+
+/// Ordered f32 wrapper for the binary heap (weights are finite, ≥ 0).
+#[derive(PartialEq)]
+struct OrdF32(f32);
+
+impl Eq for OrdF32 {}
+
+impl PartialOrd for OrdF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF32 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite weights")
+    }
+}
+
+/// Dijkstra from `source`: distances to all vertices (`f32::INFINITY` =
+/// unreachable).
+pub fn dijkstra(graph: &Graph, source: VertexId) -> Vec<f32> {
+    let mut dist = vec![f32::INFINITY; graph.num_vertices()];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse((OrdF32(0.0), source)));
+    while let Some(Reverse((OrdF32(d), v))) = heap.pop() {
+        if d > dist[v.index()] {
+            continue;
+        }
+        for (t, w) in graph.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[t.index()] {
+                dist[t.index()] = nd;
+                heap.push(Reverse((OrdF32(nd), t)));
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra with early exit at `target`. `None` when unreachable.
+pub fn dijkstra_to(graph: &Graph, source: VertexId, target: VertexId) -> Option<f32> {
+    let mut dist = vec![f32::INFINITY; graph.num_vertices()];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse((OrdF32(0.0), source)));
+    while let Some(Reverse((OrdF32(d), v))) = heap.pop() {
+        if v == target {
+            return Some(d);
+        }
+        if d > dist[v.index()] {
+            continue;
+        }
+        for (t, w) in graph.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[t.index()] {
+                dist[t.index()] = nd;
+                heap.push(Reverse((OrdF32(nd), t)));
+            }
+        }
+    }
+    None
+}
+
+/// Nearest tagged vertex from `source` by travel time; ties break to the
+/// lower vertex id (matching [`crate::PoiProgram`]).
+pub fn nearest_tagged(graph: &Graph, source: VertexId) -> Option<(VertexId, f32)> {
+    let dist = dijkstra(graph, source);
+    graph
+        .vertices()
+        .filter(|v| graph.props().is_tagged(*v) && dist[v.index()].is_finite())
+        .map(|v| (v, dist[v.index()]))
+        .min_by(|(va, a), (vb, b)| a.partial_cmp(b).expect("finite").then(va.cmp(vb)))
+}
+
+/// Hop distances within `max_depth` hops of `source`, sorted by vertex.
+pub fn k_hop(graph: &Graph, source: VertexId, max_depth: u32) -> Vec<(VertexId, u32)> {
+    let mut depth = vec![u32::MAX; graph.num_vertices()];
+    let mut queue = std::collections::VecDeque::new();
+    depth[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = depth[v.index()];
+        if d >= max_depth {
+            continue;
+        }
+        for (t, _) in graph.neighbors(v) {
+            if depth[t.index()] == u32::MAX {
+                depth[t.index()] = d + 1;
+                queue.push_back(t);
+            }
+        }
+    }
+    let mut out: Vec<(VertexId, u32)> = graph
+        .vertices()
+        .filter(|v| depth[v.index()] != u32::MAX)
+        .map(|v| (v, depth[v.index()]))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// The vertex set of `source`'s (weakly, if symmetrized) connected
+/// component, sorted.
+pub fn connected_component_of(graph: &Graph, source: VertexId) -> Vec<VertexId> {
+    let mut seen = vec![false; graph.num_vertices()];
+    let mut stack = vec![source];
+    seen[source.index()] = true;
+    while let Some(v) = stack.pop() {
+        for (t, _) in graph.neighbors(v) {
+            if !seen[t.index()] {
+                seen[t.index()] = true;
+                stack.push(t);
+            }
+        }
+    }
+    graph.vertices().filter(|v| seen[v.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_graph::GraphBuilder;
+
+    fn weighted_line() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_undirected_edge(0, 1, 1.0);
+        b.add_undirected_edge(1, 2, 2.0);
+        b.add_undirected_edge(2, 3, 4.0);
+        b.build()
+    }
+
+    #[test]
+    fn dijkstra_distances() {
+        let g = weighted_line();
+        let d = dijkstra(&g, VertexId(0));
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn dijkstra_to_early_exit() {
+        let g = weighted_line();
+        assert_eq!(dijkstra_to(&g, VertexId(0), VertexId(2)), Some(3.0));
+        assert_eq!(dijkstra_to(&g, VertexId(3), VertexId(3)), Some(0.0));
+    }
+
+    #[test]
+    fn dijkstra_to_unreachable() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        assert_eq!(dijkstra_to(&g, VertexId(0), VertexId(2)), None);
+    }
+
+    #[test]
+    fn nearest_tagged_travel_time() {
+        let mut g = weighted_line();
+        g.props_mut().tags = vec![false, false, true, true];
+        assert_eq!(nearest_tagged(&g, VertexId(0)), Some((VertexId(2), 3.0)));
+        g.props_mut().tags = vec![false; 4];
+        assert_eq!(nearest_tagged(&g, VertexId(0)), None);
+    }
+
+    #[test]
+    fn k_hop_depths() {
+        let g = weighted_line();
+        assert_eq!(
+            k_hop(&g, VertexId(1), 1),
+            vec![(VertexId(0), 1), (VertexId(1), 0), (VertexId(2), 1)]
+        );
+    }
+
+    #[test]
+    fn component_members() {
+        let mut b = GraphBuilder::new(5);
+        b.add_undirected_edge(0, 1, 1.0);
+        b.add_undirected_edge(3, 4, 1.0);
+        let g = b.build();
+        assert_eq!(
+            connected_component_of(&g, VertexId(0)),
+            vec![VertexId(0), VertexId(1)]
+        );
+        assert_eq!(connected_component_of(&g, VertexId(2)), vec![VertexId(2)]);
+    }
+}

@@ -1,0 +1,128 @@
+//! A dispatch program so SSSP and POI queries can share one engine
+//! instance (mixed workloads, as a mapping service would serve them).
+
+use qgraph_core::{Context, VertexProgram};
+use qgraph_graph::{Graph, VertexId};
+
+use crate::{PoiProgram, SsspProgram};
+
+/// Either of the paper's two road-network query types.
+#[derive(Clone, Debug)]
+pub enum RoadProgram {
+    /// A shortest-path query.
+    Sssp(SsspProgram),
+    /// A nearest-POI query.
+    Poi(PoiProgram),
+}
+
+/// The answer of a [`RoadProgram`] query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RoadAnswer {
+    /// SSSP: travel time to the target, if reachable.
+    Distance(Option<f32>),
+    /// POI: nearest tagged vertex and travel time, if any.
+    Nearest(Option<(VertexId, f32)>),
+}
+
+impl RoadProgram {
+    /// A shortest-path query `source → target`.
+    pub fn sssp(source: VertexId, target: VertexId) -> Self {
+        RoadProgram::Sssp(SsspProgram::new(source, target))
+    }
+
+    /// A nearest-POI query from `source`.
+    pub fn poi(source: VertexId) -> Self {
+        RoadProgram::Poi(PoiProgram::new(source))
+    }
+}
+
+impl VertexProgram for RoadProgram {
+    type State = f32;
+    type Message = f32;
+    type Aggregate = f32;
+    type Output = RoadAnswer;
+
+    fn init_state(&self) -> f32 {
+        f32::INFINITY
+    }
+
+    fn aggregate_identity(&self) -> f32 {
+        f32::INFINITY
+    }
+
+    fn aggregate_combine(&self, a: &mut f32, b: &f32) {
+        *a = a.min(*b);
+    }
+
+    fn aggregate_sticky(&self) -> bool {
+        true
+    }
+
+    fn initial_messages(&self, graph: &Graph) -> Vec<(VertexId, f32)> {
+        match self {
+            RoadProgram::Sssp(p) => p.initial_messages(graph),
+            RoadProgram::Poi(p) => p.initial_messages(graph),
+        }
+    }
+
+    fn compute(
+        &self,
+        graph: &Graph,
+        vertex: VertexId,
+        state: &mut f32,
+        messages: &[f32],
+        ctx: &mut Context<'_, f32, f32>,
+    ) {
+        match self {
+            RoadProgram::Sssp(p) => p.compute(graph, vertex, state, messages, ctx),
+            RoadProgram::Poi(p) => p.compute(graph, vertex, state, messages, ctx),
+        }
+    }
+
+    fn finalize(
+        &self,
+        graph: &Graph,
+        states: &mut dyn Iterator<Item = (VertexId, f32)>,
+    ) -> RoadAnswer {
+        match self {
+            RoadProgram::Sssp(p) => RoadAnswer::Distance(p.finalize(graph, states)),
+            RoadProgram::Poi(p) => RoadAnswer::Nearest(p.finalize(graph, states)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_core::{SimEngine, SystemConfig};
+    use qgraph_graph::GraphBuilder;
+    use qgraph_partition::{Partitioner, RangePartitioner};
+    use qgraph_sim::ClusterModel;
+    use std::sync::Arc;
+
+    #[test]
+    fn mixed_workload_in_one_engine() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3 {
+            b.add_undirected_edge(i, i + 1, 1.0);
+        }
+        let mut g = b.build();
+        g.props_mut().tags = vec![false, false, false, true];
+        let g = Arc::new(g);
+        let parts = RangePartitioner.partition(&g, 2);
+        let mut e = SimEngine::new(
+            g,
+            ClusterModel::scale_up(2),
+            parts,
+            SystemConfig::default(),
+        );
+        let q1 = e.submit(RoadProgram::sssp(VertexId(0), VertexId(2)));
+        let q2 = e.submit(RoadProgram::poi(VertexId(1)));
+        e.run();
+        assert_eq!(*e.output(q1).unwrap(), RoadAnswer::Distance(Some(2.0)));
+        assert_eq!(
+            *e.output(q2).unwrap(),
+            RoadAnswer::Nearest(Some((VertexId(3), 2.0)))
+        );
+    }
+}

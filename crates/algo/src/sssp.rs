@@ -1,0 +1,217 @@
+//! Targeted single-source shortest path (the paper's SSSP query).
+
+use qgraph_core::{Context, VertexProgram};
+use qgraph_graph::{Graph, VertexId};
+
+/// Bellman-Ford-style vertex-centric SSSP from `source`, pruned toward
+/// `target` (paper §2: "the shortest path between the start vertex v0 and
+/// the sink vertex vend").
+///
+/// The aggregate carries the target's best settled distance; vertices
+/// whose own distance already exceeds it stop propagating, so the query's
+/// scope stays localized around the route — the property the whole paper
+/// builds on.
+#[derive(Clone, Debug)]
+pub struct SsspProgram {
+    source: VertexId,
+    target: VertexId,
+}
+
+impl SsspProgram {
+    /// Shortest path query `source → target`.
+    pub fn new(source: VertexId, target: VertexId) -> Self {
+        SsspProgram { source, target }
+    }
+
+    /// The start vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// The end vertex.
+    pub fn target(&self) -> VertexId {
+        self.target
+    }
+}
+
+impl VertexProgram for SsspProgram {
+    /// Best known distance from the source.
+    type State = f32;
+    /// A candidate distance.
+    type Message = f32;
+    /// Best settled distance at the target (pruning bound).
+    type Aggregate = f32;
+    /// The target's distance, `None` if unreachable.
+    type Output = Option<f32>;
+
+    fn init_state(&self) -> f32 {
+        f32::INFINITY
+    }
+
+    fn aggregate_identity(&self) -> f32 {
+        f32::INFINITY
+    }
+
+    fn aggregate_combine(&self, a: &mut f32, b: &f32) {
+        *a = a.min(*b);
+    }
+
+    fn aggregate_sticky(&self) -> bool {
+        true // the pruning bound persists across supersteps
+    }
+
+    fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, f32)> {
+        vec![(self.source, 0.0)]
+    }
+
+    fn compute(
+        &self,
+        graph: &Graph,
+        vertex: VertexId,
+        state: &mut f32,
+        messages: &[f32],
+        ctx: &mut Context<'_, f32, f32>,
+    ) {
+        let best = messages.iter().copied().fold(f32::INFINITY, f32::min);
+        if best >= *state {
+            return; // no improvement: stay silent
+        }
+        *state = best;
+        if vertex == self.target {
+            ctx.aggregate(&best);
+            return; // paths through the target never shorten other paths to it
+        }
+        // Prune: a path already at least as long as the best known route to
+        // the target cannot improve it (non-negative weights).
+        let bound = *ctx.prev_aggregate();
+        if best >= bound {
+            return;
+        }
+        for (t, w) in graph.neighbors(vertex) {
+            let d = best + w;
+            if d < bound {
+                ctx.send(t, d);
+            }
+        }
+    }
+
+    fn finalize(
+        &self,
+        _graph: &Graph,
+        states: &mut dyn Iterator<Item = (VertexId, f32)>,
+    ) -> Option<f32> {
+        for (v, d) in states {
+            if v == self.target {
+                return d.is_finite().then_some(d);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::dijkstra_to;
+    use qgraph_core::{SimEngine, SystemConfig};
+    use qgraph_graph::GraphBuilder;
+    use qgraph_partition::{HashPartitioner, Partitioner};
+    use qgraph_sim::ClusterModel;
+    use std::sync::Arc;
+
+    fn diamond() -> Arc<Graph> {
+        // 0 ->(1) 1 ->(1) 3, 0 ->(5) 2 ->(1) 3: shortest 0->3 is 2.0
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 3, 1.0);
+        b.add_edge(0, 2, 5.0);
+        b.add_edge(2, 3, 1.0);
+        Arc::new(b.build())
+    }
+
+    fn run_sssp(graph: Arc<Graph>, s: u32, t: u32, k: usize) -> Option<f32> {
+        let parts = HashPartitioner::default().partition(&graph, k);
+        let mut e = SimEngine::new(
+            graph,
+            ClusterModel::scale_up(k),
+            parts,
+            SystemConfig::default(),
+        );
+        let q = e.submit(SsspProgram::new(VertexId(s), VertexId(t)));
+        e.run();
+        *e.output(q).unwrap()
+    }
+
+    #[test]
+    fn finds_shortest_path() {
+        assert_eq!(run_sssp(diamond(), 0, 3, 2), Some(2.0));
+    }
+
+    #[test]
+    fn source_equals_target() {
+        assert_eq!(run_sssp(diamond(), 1, 1, 2), Some(0.0));
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0); // vertex 2 isolated
+        assert_eq!(run_sssp(Arc::new(b.build()), 0, 2, 2), None);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_grid() {
+        // 5x5 grid with varied weights.
+        let n = 25u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for y in 0..5u32 {
+            for x in 0..5u32 {
+                let v = y * 5 + x;
+                if x + 1 < 5 {
+                    b.add_undirected_edge(v, v + 1, ((v % 3) + 1) as f32);
+                }
+                if y + 1 < 5 {
+                    b.add_undirected_edge(v, v + 5, ((v % 4) + 1) as f32);
+                }
+            }
+        }
+        let g = Arc::new(b.build());
+        for (s, t) in [(0u32, 24u32), (4, 20), (12, 3)] {
+            let want = dijkstra_to(&g, VertexId(s), VertexId(t));
+            let got = run_sssp(Arc::clone(&g), s, t, 4);
+            match (want, got) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-4, "{s}->{t}: {a} vs {b}"),
+                (a, b) => panic!("{s}->{t}: reference {a:?} vs engine {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_limits_scope() {
+        // A long tail hanging off the route should not be explored once the
+        // target distance is settled.
+        let mut b = GraphBuilder::new(104);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0); // target at distance 2
+        b.add_edge(0, 3, 10.0); // expensive detour into a 100-vertex tail
+        for i in 3..103 {
+            b.add_edge(i, i + 1, 1.0);
+        }
+        let g = Arc::new(b.build());
+        let parts = HashPartitioner::default().partition(&g, 2);
+        let mut e = SimEngine::new(
+            g,
+            ClusterModel::scale_up(2),
+            parts,
+            SystemConfig::default(),
+        );
+        let q = e.submit(SsspProgram::new(VertexId(0), VertexId(2)));
+        e.run();
+        assert_eq!(*e.output(q).unwrap(), Some(2.0));
+        let scope = e.report().outcomes[0].scope_size;
+        assert!(
+            scope < 10,
+            "pruning should keep the scope near the route, got {scope}"
+        );
+    }
+}

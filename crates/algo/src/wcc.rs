@@ -1,0 +1,112 @@
+//! Weakly-connected components via min-label propagation.
+//!
+//! A deliberately *global* query (its scope is the whole graph): the
+//! ablation experiments use it as a contrast workload where query
+//! locality cannot be exploited, delimiting when Q-cut helps.
+
+use qgraph_core::{Context, VertexProgram};
+use qgraph_graph::{Graph, VertexId};
+
+/// Classic HashMin connected components over the whole graph (edges are
+/// treated as given; run on symmetrized graphs for *weak* connectivity).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WccProgram;
+
+impl VertexProgram for WccProgram {
+    /// Smallest vertex id seen (`u32::MAX` = unset).
+    type State = u32;
+    /// A candidate component label.
+    type Message = u32;
+    type Aggregate = ();
+    /// Number of components.
+    type Output = usize;
+
+    fn init_state(&self) -> u32 {
+        u32::MAX
+    }
+
+    fn aggregate_identity(&self) {}
+
+    fn aggregate_combine(&self, _a: &mut (), _b: &()) {}
+
+    fn initial_messages(&self, graph: &Graph) -> Vec<(VertexId, u32)> {
+        // Every vertex starts with its own id as its label.
+        graph.vertices().map(|v| (v, v.0)).collect()
+    }
+
+    fn compute(
+        &self,
+        graph: &Graph,
+        vertex: VertexId,
+        state: &mut u32,
+        messages: &[u32],
+        ctx: &mut Context<'_, u32, ()>,
+    ) {
+        let candidate = messages.iter().copied().min().unwrap_or(u32::MAX);
+        if candidate < *state {
+            *state = candidate;
+            for (t, _) in graph.neighbors(vertex) {
+                ctx.send(t, candidate);
+            }
+        }
+    }
+
+    fn finalize(
+        &self,
+        _graph: &Graph,
+        states: &mut dyn Iterator<Item = (VertexId, u32)>,
+    ) -> usize {
+        let mut labels: Vec<u32> = states.map(|(_, l)| l).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_core::{SimEngine, SystemConfig};
+    use qgraph_graph::GraphBuilder;
+    use qgraph_partition::{HashPartitioner, Partitioner};
+    use qgraph_sim::ClusterModel;
+    use std::sync::Arc;
+
+    fn run_wcc(g: Arc<Graph>) -> usize {
+        let parts = HashPartitioner::default().partition(&g, 3);
+        let mut e = SimEngine::new(
+            g,
+            ClusterModel::scale_up(3),
+            parts,
+            SystemConfig::default(),
+        );
+        let q = e.submit(WccProgram);
+        e.run();
+        *e.output(q).unwrap()
+    }
+
+    #[test]
+    fn counts_components() {
+        // Two triangles + an isolated vertex = 3 components.
+        let mut b = GraphBuilder::new(7);
+        for (a, c) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_undirected_edge(a, c, 1.0);
+        }
+        assert_eq!(run_wcc(Arc::new(b.build())), 3);
+    }
+
+    #[test]
+    fn single_component_line() {
+        let mut b = GraphBuilder::new(10);
+        for i in 0..9 {
+            b.add_undirected_edge(i, i + 1, 1.0);
+        }
+        assert_eq!(run_wcc(Arc::new(b.build())), 1);
+    }
+
+    #[test]
+    fn all_isolated() {
+        let b = GraphBuilder::new(5);
+        assert_eq!(run_wcc(Arc::new(b.build())), 5);
+    }
+}

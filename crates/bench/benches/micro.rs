@@ -1,0 +1,143 @@
+//! Criterion micro-benchmarks for the performance-critical building
+//! blocks: partitioners, the Q-cut ILS, graph generation, and single-query
+//! engine execution — plus the ablations called out in DESIGN.md §5.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use qgraph_core::qcut::{cluster_queries, local_search, run_qcut, ScopeStats, Solution};
+use qgraph_core::{programs::ReachProgram, QcutConfig, QueryId, SimEngine, SystemConfig};
+use qgraph_graph::VertexId;
+use qgraph_partition::{DomainPartitioner, HashPartitioner, LdgPartitioner, Partitioner};
+use qgraph_sim::ClusterModel;
+use qgraph_workload::{RoadNetworkConfig, RoadNetworkGenerator};
+
+fn hash_like_stats(num_queries: usize, k: usize) -> ScopeStats {
+    ScopeStats {
+        num_workers: k,
+        queries: (0..num_queries as u32).map(QueryId).collect(),
+        sizes: vec![vec![50.0 / k as f64; k]; num_queries],
+        overlaps: (0..num_queries - 1).map(|i| (i, i + 1, 5.0)).collect(),
+        base_vertices: vec![2000.0; k],
+    }
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig {
+        num_cities: 16,
+        vertices_per_city: 1000,
+        seed: 3,
+        ..Default::default()
+    })
+    .generate();
+    let mut g = c.benchmark_group("partitioners");
+    g.sample_size(10);
+    g.bench_function("hash_16k", |b| {
+        b.iter(|| HashPartitioner::default().partition(&net.graph, 8))
+    });
+    g.bench_function("domain_16k", |b| {
+        b.iter(|| DomainPartitioner.partition(&net.graph, 8))
+    });
+    g.bench_function("ldg_16k", |b| {
+        b.iter(|| LdgPartitioner::default().partition(&net.graph, 8))
+    });
+    g.finish();
+}
+
+fn bench_qcut(c: &mut Criterion) {
+    let stats = hash_like_stats(128, 8);
+    let cfg = QcutConfig::default();
+    let mut g = c.benchmark_group("qcut");
+    g.sample_size(10);
+    g.bench_function("ils_128q_8w", |b| b.iter(|| run_qcut(&stats, &cfg)));
+    g.bench_function("clustering_128q", |b| {
+        b.iter_batched(
+            || SmallRng::seed_from_u64(1),
+            |mut rng| cluster_queries(&stats, 32, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("local_search_128q", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let clusters = cluster_queries(&stats, 32, &mut rng);
+        b.iter_batched(
+            || Solution::initial(&stats, &clusters, 0.25),
+            |mut s| local_search(&mut s),
+            BatchSize::SmallInput,
+        )
+    });
+    // Ablation (DESIGN.md §5): flat (no clustering) vs clustered search.
+    g.bench_function("local_search_flat_vs_clustered", |b| {
+        let flat: Vec<_> = (0..stats.queries.len())
+            .map(|q| qgraph_core::qcut::QueryCluster { members: vec![q] })
+            .collect();
+        b.iter_batched(
+            || Solution::initial(&stats, &flat, 0.25),
+            |mut s| local_search(&mut s),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.sample_size(10);
+    g.bench_function("road_network_8k", |b| {
+        b.iter(|| {
+            RoadNetworkGenerator::new(RoadNetworkConfig {
+                num_cities: 16,
+                vertices_per_city: 500,
+                seed: 9,
+                ..Default::default()
+            })
+            .generate()
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig {
+        num_cities: 8,
+        vertices_per_city: 500,
+        seed: 5,
+        ..Default::default()
+    })
+    .generate();
+    let graph = Arc::new(net.graph);
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("reach_query_8w", |b| {
+        b.iter_batched(
+            || {
+                let parts = HashPartitioner::default().partition(&graph, 8);
+                SimEngine::new(
+                    Arc::clone(&graph),
+                    ClusterModel::scale_up(8),
+                    parts,
+                    SystemConfig::default(),
+                )
+            },
+            |mut e| {
+                let q = e.submit(ReachProgram::bounded(VertexId(0), 12));
+                e.run();
+                e.output(q).map(Vec::len)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partitioners,
+    bench_qcut,
+    bench_generation,
+    bench_engine
+);
+criterion_main!(benches);

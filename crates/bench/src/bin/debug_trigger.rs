@@ -1,0 +1,78 @@
+//! Scratch diagnostics for the Q-cut dynamics (not part of the experiment
+//! suite). `S=<scale> N=<queries> STRAT=<hash|domain|hash_qcut|domain_qcut>`.
+
+use std::sync::Arc;
+
+use qgraph_algo::RoadProgram;
+use qgraph_bench::{build_network, partition_graph, GraphPreset, Strategy};
+use qgraph_core::{QcutConfig, SimEngine, SystemConfig};
+use qgraph_sim::ClusterModel;
+use qgraph_workload::{QueryKind, WorkloadConfig, WorkloadGenerator};
+
+fn main() {
+    let scale: f64 = std::env::var("S").ok().and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let n: usize = std::env::var("N").ok().and_then(|s| s.parse().ok()).unwrap_or(512);
+    let strat = match std::env::var("STRAT").as_deref() {
+        Ok("hash") => Strategy::Hash,
+        Ok("domain") => Strategy::Domain,
+        Ok("domain_qcut") => Strategy::DomainQcut,
+        _ => Strategy::HashQcut,
+    };
+    let net = build_network(GraphPreset::BwLike { scale }, 0.0, 7);
+    println!("graph: {} vertices, strategy {:?}", net.graph.num_vertices(), strat);
+    let parts = partition_graph(strat, &net, 8, 7);
+    let gen = WorkloadGenerator::new(&net);
+    let specs = gen.generate(&WorkloadConfig::single(n, false, false, 7));
+    let cfg = SystemConfig {
+        qcut: strat.adaptive().then(|| QcutConfig::time_scaled(2000.0)),
+        ..Default::default()
+    };
+    let mut engine = SimEngine::new(Arc::new(net.graph), ClusterModel::scale_up(8), parts, cfg);
+    for s in &specs {
+        if let QueryKind::Sssp { source, target } = s.kind {
+            engine.submit(RoadProgram::sssp(source, target));
+        }
+    }
+    let report = engine.run().clone();
+    println!(
+        "finished {:.3}s | {} queries | {} repartitions | locality {:.3} | mean lat {:.5}s | total {:.3}s",
+        report.finished_at_secs,
+        report.outcomes.len(),
+        report.repartitions.len(),
+        report.mean_locality(),
+        report.mean_latency(),
+        report.total_latency(),
+    );
+    let o = &report.outcomes;
+    let mean_iters: f64 = o.iter().map(|x| x.iterations as f64).sum::<f64>() / o.len() as f64;
+    let mean_per_iter: f64 = o
+        .iter()
+        .filter(|x| x.iterations > 0)
+        .map(|x| x.latency_secs() / x.iterations as f64)
+        .sum::<f64>()
+        / o.len() as f64;
+    let mean_scope: f64 = o.iter().map(|x| x.scope_size as f64).sum::<f64>() / o.len() as f64;
+    let mean_updates: f64 = o.iter().map(|x| x.vertex_updates as f64).sum::<f64>() / o.len() as f64;
+    let remote: u64 = o.iter().map(|x| x.remote_messages).sum();
+    println!(
+        "mean iters {mean_iters:.1} | mean per-iter {:.1}us | mean scope {mean_scope:.0} | mean updates {mean_updates:.0} | remote msgs {remote}",
+        mean_per_iter * 1e6
+    );
+    // Quartile latencies over completion order.
+    let q = o.len() / 4;
+    for (name, chunk) in [
+        ("q1", &o[..q]),
+        ("q2", &o[q..2 * q]),
+        ("q3", &o[2 * q..3 * q]),
+        ("q4", &o[3 * q..]),
+    ] {
+        let m: f64 = chunk.iter().map(|x| x.latency_secs()).sum::<f64>() / chunk.len() as f64;
+        let loc: f64 = chunk.iter().map(|x| x.locality()).sum::<f64>() / chunk.len() as f64;
+        println!("  {name}: mean lat {:.5}s locality {loc:.3}", m);
+    }
+    let mut barrier_time = 0.0;
+    for r in &report.repartitions {
+        barrier_time += r.barrier_duration;
+    }
+    println!("total global-barrier pause {:.4}s", barrier_time);
+}

@@ -1,0 +1,35 @@
+//! Quick smoke runner: executes a miniature version of the headline
+//! experiment (Figure 6a shape) and prints the strategy comparison.
+//! The full per-figure harness lives in `benches/experiments.rs`
+//! (`cargo bench -p qgraph-bench --bench experiments -- <figure>`).
+
+use qgraph_bench::{run_road_experiment, ExperimentSpec, Strategy};
+use qgraph_metrics::Table;
+
+fn main() {
+    let scale = std::env::var("QGRAPH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let queries = std::env::var("QGRAPH_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128usize);
+
+    let mut table = Table::new(
+        format!("mini Fig 6a: {queries} SSSP queries, BW-like scale {scale}, k=8"),
+        &["strategy", "total_latency_s", "mean_latency_s", "locality", "repartitions"],
+    );
+    for strategy in Strategy::paper_set() {
+        let spec = ExperimentSpec::default_bw(strategy, queries, scale);
+        let report = run_road_experiment(&spec);
+        table.row(&[
+            strategy.name().to_string(),
+            format!("{:.3}", report.total_latency()),
+            format!("{:.5}", report.mean_latency()),
+            format!("{:.3}", report.mean_locality()),
+            format!("{}", report.repartitions.len()),
+        ]);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,9 @@
+//! Shared experiment harness: builds the paper's workload/infrastructure
+//! combinations and runs them on the deterministic engine. Every figure
+//! binary (`benches/experiments.rs` targets) composes these pieces.
+
+pub mod setup;
+
+pub use setup::{
+    build_network, partition_graph, run_road_experiment, ExperimentSpec, GraphPreset, Strategy,
+};

@@ -1,0 +1,175 @@
+//! System configuration mirroring the paper's §4.1 parameter table.
+
+use serde::{Deserialize, Serialize};
+
+/// How query iterations are synchronized (paper §3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BarrierMode {
+    /// The hybrid barrier: per-query barriers limited to involved workers;
+    /// fully local queries synchronize for free (no controller round-trip).
+    Hybrid,
+    /// Per-query barriers (Seraph-style): every query runs an independent
+    /// barrier spanning *all* workers every iteration.
+    GlobalPerQuery,
+    /// Traditional BSP: one barrier *shared by all queries* — every query's
+    /// next iteration waits for every other query's current iteration (the
+    /// Figure 6d baseline, with the straggler problem §3.3 describes).
+    SharedGlobal,
+}
+
+/// Configuration of the Q-cut adaptive repartitioning loop (paper §3.2/3.4).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QcutConfig {
+    /// Locality threshold Φ: repartition when the mean query locality over
+    /// the monitoring window drops below it. Paper: 0.7.
+    pub locality_threshold: f64,
+    /// Also repartition when the workers' recent *activity* imbalance
+    /// (vertex updates per monitoring sub-window) exceeds this. The paper's
+    /// trigger is locality-only, but its Domain+Q-cut curves (Fig. 5/6)
+    /// require rebalancing a partitioning whose locality is already high —
+    /// Domain's problem is stragglers, not locality — so the controller
+    /// also watches balance. Default 2δ.
+    pub imbalance_threshold: f64,
+    /// Monitoring window μ in (virtual) seconds: how long finished queries'
+    /// statistics stay in the controller's view. Paper: 240 s.
+    pub monitoring_window_secs: f64,
+    /// Maximum queries fed into one ILS run. Paper: 128.
+    pub max_queries: usize,
+    /// Virtual time budget for one ILS run; the result is applied this long
+    /// after triggering (the computation itself is hidden behind query
+    /// processing, paper §3.4). Paper: 2 s.
+    pub ils_budget_secs: f64,
+    /// Hard cap on ILS outer iterations (perturbation rounds), bounding the
+    /// host CPU spent per run.
+    pub ils_max_rounds: usize,
+    /// Maximum workload imbalance δ between any worker pair. Paper: 0.25.
+    pub delta: f64,
+    /// Cluster queries to at most `cluster_factor * k` clusters before the
+    /// local search (paper App. A.1 uses 4k).
+    pub cluster_factor: usize,
+    /// Minimum virtual seconds between repartitionings (prevents barrier
+    /// thrashing while statistics are still converging).
+    pub min_repartition_interval_secs: f64,
+    /// RNG seed for the ILS (perturbation and clustering are randomized).
+    pub seed: u64,
+}
+
+impl Default for QcutConfig {
+    fn default() -> Self {
+        QcutConfig {
+            locality_threshold: 0.7,
+            imbalance_threshold: 0.5,
+            monitoring_window_secs: 240.0,
+            max_queries: 128,
+            ils_budget_secs: 2.0,
+            ils_max_rounds: 60,
+            delta: 0.25,
+            cluster_factor: 4,
+            min_repartition_interval_secs: 10.0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl QcutConfig {
+    /// The paper's defaults with every *time* constant divided by `factor`.
+    ///
+    /// The experiments run on graphs scaled down from the paper's (and on
+    /// a virtual clock), so query latencies are roughly `factor`× shorter
+    /// than the paper's wall-clock latencies; the adaptivity time
+    /// constants (monitoring window μ, ILS budget, repartition cooldown)
+    /// must shrink by the same factor to keep the *ratio* of adaptation
+    /// rate to query rate faithful. `factor = 1` is the paper verbatim.
+    pub fn time_scaled(factor: f64) -> Self {
+        assert!(factor > 0.0, "time scale must be positive");
+        let base = QcutConfig::default();
+        QcutConfig {
+            monitoring_window_secs: base.monitoring_window_secs / factor,
+            ils_budget_secs: base.ils_budget_secs / factor,
+            min_repartition_interval_secs: base.min_repartition_interval_secs / factor,
+            ..base
+        }
+    }
+}
+
+/// Top-level engine configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Barrier synchronization mode.
+    pub barrier_mode: BarrierMode,
+    /// Adaptive Q-cut repartitioning; `None` keeps the initial partitioning
+    /// static (the paper's "static Hash"/"static Domain" baselines).
+    pub qcut: Option<QcutConfig>,
+    /// Closed-loop concurrency: this many queries run in parallel; the next
+    /// pending query starts when one finishes. Paper: 16.
+    pub max_parallel_queries: usize,
+    /// Piggyback statistics on barrier messages (paper §3.4). When `false`,
+    /// each stats update costs one extra control message per worker and
+    /// iteration.
+    pub stats_piggyback: bool,
+    /// Modelled per-vertex state size for repartitioning transfer costs.
+    pub state_bytes_per_vertex: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            barrier_mode: BarrierMode::Hybrid,
+            qcut: None,
+            max_parallel_queries: 16,
+            stats_piggyback: true,
+            state_bytes_per_vertex: 32,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The paper's full Q-Graph configuration: hybrid barriers + adaptive
+    /// Q-cut with the §4.1 defaults.
+    pub fn qgraph() -> Self {
+        SystemConfig {
+            qcut: Some(QcutConfig::default()),
+            ..Default::default()
+        }
+    }
+
+    /// A static baseline (no repartitioning) with the given barrier mode.
+    pub fn static_with_barrier(mode: BarrierMode) -> Self {
+        SystemConfig {
+            barrier_mode: mode,
+            qcut: None,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_4_1() {
+        let q = QcutConfig::default();
+        assert_eq!(q.locality_threshold, 0.7);
+        assert_eq!(q.monitoring_window_secs, 240.0);
+        assert_eq!(q.max_queries, 128);
+        assert_eq!(q.ils_budget_secs, 2.0);
+        assert_eq!(q.delta, 0.25);
+        let s = SystemConfig::default();
+        assert_eq!(s.max_parallel_queries, 16);
+        assert_eq!(s.barrier_mode, BarrierMode::Hybrid);
+        assert!(s.qcut.is_none());
+    }
+
+    #[test]
+    fn qgraph_preset_enables_qcut() {
+        assert!(SystemConfig::qgraph().qcut.is_some());
+    }
+
+    #[test]
+    fn config_debug_is_informative() {
+        let d = format!("{:?}", SystemConfig::qgraph());
+        assert!(d.contains("Hybrid"));
+        assert!(d.contains("locality_threshold"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Controller-side global knowledge (paper §3.1/3.4): the scope registry
+//! with its tumbling monitoring window μ, the repartition trigger Φ, and
+//! the construction of the high-level [`ScopeStats`] fed to Q-cut.
+
+use std::collections::VecDeque;
+
+use rustc_hash::FxHashMap;
+
+use qgraph_graph::VertexId;
+use qgraph_partition::Partitioning;
+use qgraph_sim::SimTime;
+
+use crate::config::QcutConfig;
+use crate::qcut::ScopeStats;
+use crate::QueryId;
+
+/// A finished query's retained scope (until the monitoring window expires).
+#[derive(Clone, Debug)]
+struct RetainedScope {
+    query: QueryId,
+    vertices: Vec<VertexId>,
+    expires: SimTime,
+}
+
+/// The centralized controller state.
+///
+/// Holds only *high-level* query knowledge plus the registry of scope
+/// vertex sets needed to resolve `move(LS(q,w), w, w')` requests — in the
+/// paper that resolution happens on the workers; keeping the registry
+/// beside the engine's single address space is equivalent and keeps the
+/// controller/worker split observable in the cost model rather than the
+/// data layout.
+pub struct Controller {
+    cfg: Option<QcutConfig>,
+    finished: VecDeque<RetainedScope>,
+    /// When the last repartition (or trigger evaluation that ran ILS)
+    /// happened.
+    pub last_repartition: SimTime,
+    /// An ILS run is in flight (its virtual budget has not elapsed).
+    pub ils_inflight: bool,
+}
+
+impl Controller {
+    /// A controller with the given Q-cut configuration (`None` = static).
+    pub fn new(cfg: Option<QcutConfig>) -> Self {
+        Controller {
+            cfg,
+            finished: VecDeque::new(),
+            last_repartition: SimTime::ZERO,
+            ils_inflight: false,
+        }
+    }
+
+    /// The Q-cut configuration, if adaptive.
+    pub fn qcut_config(&self) -> Option<&QcutConfig> {
+        self.cfg.as_ref()
+    }
+
+    /// Record a finished query's global scope; it stays visible for the
+    /// monitoring window μ.
+    pub fn record_finished_scope(&mut self, query: QueryId, vertices: Vec<VertexId>, now: SimTime) {
+        let Some(cfg) = &self.cfg else { return };
+        let expires = now + SimTime::from_secs_f64(cfg.monitoring_window_secs);
+        self.finished.push_back(RetainedScope {
+            query,
+            vertices,
+            expires,
+        });
+        // Bound memory: keep at most 4x the ILS input cap.
+        let cap = cfg.max_queries * 4;
+        while self.finished.len() > cap {
+            self.finished.pop_front();
+        }
+    }
+
+    /// Drop scopes whose window expired.
+    pub fn expire(&mut self, now: SimTime) {
+        while let Some(front) = self.finished.front() {
+            if front.expires <= now {
+                self.finished.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of retained finished scopes.
+    pub fn retained(&self) -> usize {
+        self.finished.len()
+    }
+
+    /// Should a repartition be triggered now? (paper §3.4: mean query
+    /// locality of active queries below Φ — extended with the activity
+    /// imbalance watch, see [`QcutConfig::imbalance_threshold`] — not
+    /// already running, cooldown respected.)
+    pub fn should_trigger(
+        &self,
+        now: SimTime,
+        mean_locality: f64,
+        activity_imbalance: f64,
+        active_queries: usize,
+    ) -> bool {
+        let Some(cfg) = &self.cfg else { return false };
+        if self.ils_inflight || active_queries == 0 {
+            return false;
+        }
+        let cooldown = SimTime::from_secs_f64(cfg.min_repartition_interval_secs);
+        if now < self.last_repartition + cooldown {
+            return false;
+        }
+        mean_locality < cfg.locality_threshold || activity_imbalance > cfg.imbalance_threshold
+    }
+
+    /// Build the high-level [`ScopeStats`] snapshot for an ILS run from the
+    /// live queries' scopes plus the retained finished scopes, capped at
+    /// the configured maximum (most recent first; live queries preferred).
+    pub fn build_scope_stats(
+        &self,
+        live: &[(QueryId, Vec<VertexId>)],
+        partitioning: &Partitioning,
+    ) -> ScopeStats {
+        let max_queries = self
+            .cfg
+            .as_ref()
+            .map(|c| c.max_queries)
+            .unwrap_or(usize::MAX);
+        let k = partitioning.num_workers();
+
+        // Select queries: live first, then finished newest-first.
+        let mut selected: Vec<(QueryId, &[VertexId])> = Vec::new();
+        for (q, vs) in live {
+            if selected.len() >= max_queries {
+                break;
+            }
+            if !vs.is_empty() {
+                selected.push((*q, vs));
+            }
+        }
+        for r in self.finished.iter().rev() {
+            if selected.len() >= max_queries {
+                break;
+            }
+            if !r.vertices.is_empty() {
+                selected.push((r.query, &r.vertices));
+            }
+        }
+
+        // Sizes per worker + inverted index for overlaps.
+        let mut sizes = vec![vec![0.0f64; k]; selected.len()];
+        let mut vertex_queries: FxHashMap<VertexId, Vec<u32>> = FxHashMap::default();
+        for (qi, (_, vs)) in selected.iter().enumerate() {
+            for &v in vs.iter() {
+                sizes[qi][partitioning.worker_of(v).index()] += 1.0;
+                vertex_queries.entry(v).or_default().push(qi as u32);
+            }
+        }
+
+        // Pairwise overlaps via the inverted index (each vertex lives on
+        // exactly one worker, so the per-worker and global overlap agree).
+        let mut overlap_map: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+        let mut scope_vertices_per_worker = vec![0.0f64; k];
+        for (v, qs) in &vertex_queries {
+            scope_vertices_per_worker[partitioning.worker_of(*v).index()] += 1.0;
+            if qs.len() >= 2 {
+                for i in 0..qs.len() {
+                    for j in (i + 1)..qs.len() {
+                        let key = (qs[i].min(qs[j]), qs[i].max(qs[j]));
+                        *overlap_map.entry(key).or_default() += 1.0;
+                    }
+                }
+            }
+        }
+        let mut overlaps: Vec<(usize, usize, f64)> = overlap_map
+            .into_iter()
+            .map(|((a, b), o)| (a as usize, b as usize, o))
+            .collect();
+        overlaps.sort_unstable_by_key(|&(a, b, _)| (a, b));
+
+        let base_vertices: Vec<f64> = partitioning
+            .sizes()
+            .iter()
+            .zip(&scope_vertices_per_worker)
+            .map(|(&total, &in_scope)| (total as f64 - in_scope).max(0.0))
+            .collect();
+
+        ScopeStats {
+            num_workers: k,
+            queries: selected.iter().map(|(q, _)| *q).collect(),
+            sizes,
+            overlaps,
+            base_vertices,
+        }
+    }
+
+    /// Resolve a finished query's retained scope (for move execution).
+    pub fn finished_scope(&self, q: QueryId) -> Option<&[VertexId]> {
+        self.finished
+            .iter()
+            .rev()
+            .find(|r| r.query == q)
+            .map(|r| r.vertices.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_partition::WorkerId;
+
+    fn ctl() -> Controller {
+        Controller::new(Some(QcutConfig {
+            monitoring_window_secs: 100.0,
+            min_repartition_interval_secs: 10.0,
+            locality_threshold: 0.7,
+            imbalance_threshold: 0.5,
+            ..Default::default()
+        }))
+    }
+
+    fn part(assign: Vec<u32>, k: usize) -> Partitioning {
+        Partitioning::new(assign.into_iter().map(WorkerId).collect(), k)
+    }
+
+    #[test]
+    fn scopes_expire_after_window() {
+        let mut c = ctl();
+        c.record_finished_scope(QueryId(0), vec![VertexId(1)], SimTime::ZERO);
+        assert_eq!(c.retained(), 1);
+        c.expire(SimTime::from_secs(99));
+        assert_eq!(c.retained(), 1);
+        c.expire(SimTime::from_secs(101));
+        assert_eq!(c.retained(), 0);
+    }
+
+    #[test]
+    fn trigger_respects_threshold_and_cooldown() {
+        let mut c = ctl();
+        assert!(c.should_trigger(SimTime::from_secs(11), 0.5, 0.0, 4));
+        assert!(
+            !c.should_trigger(SimTime::from_secs(11), 0.9, 0.0, 4),
+            "locality fine, balance fine"
+        );
+        assert!(!c.should_trigger(SimTime::from_secs(5), 0.5, 0.0, 4), "cooldown");
+        assert!(!c.should_trigger(SimTime::from_secs(11), 0.5, 0.0, 0), "no queries");
+        c.ils_inflight = true;
+        assert!(!c.should_trigger(SimTime::from_secs(11), 0.5, 0.0, 4), "in flight");
+    }
+
+    #[test]
+    fn imbalance_also_triggers() {
+        let c = ctl();
+        assert!(
+            c.should_trigger(SimTime::from_secs(11), 0.95, 0.8, 4),
+            "high locality but heavy straggler skew must trigger"
+        );
+        assert!(!c.should_trigger(SimTime::from_secs(11), 0.95, 0.3, 4));
+    }
+
+    #[test]
+    fn static_controller_never_triggers() {
+        let c = Controller::new(None);
+        assert!(!c.should_trigger(SimTime::from_secs(100), 0.0, 1.0, 10));
+    }
+
+    #[test]
+    fn scope_stats_sizes_and_overlaps() {
+        let c = ctl();
+        let p = part(vec![0, 0, 1, 1], 2);
+        let live = vec![
+            (QueryId(0), vec![VertexId(0), VertexId(1), VertexId(2)]),
+            (QueryId(1), vec![VertexId(2), VertexId(3)]),
+        ];
+        let s = c.build_scope_stats(&live, &p);
+        assert_eq!(s.validate(), Ok(()));
+        assert_eq!(s.sizes[0], vec![2.0, 1.0]);
+        assert_eq!(s.sizes[1], vec![0.0, 2.0]);
+        assert_eq!(s.overlaps, vec![(0, 1, 1.0)]); // vertex 2 shared
+        // base: w0 has 2 vertices, both in scope 0 -> 0 base; w1 has 2, both in scopes.
+        assert_eq!(s.base_vertices, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn scope_stats_includes_recent_finished() {
+        let mut c = ctl();
+        let p = part(vec![0, 1], 2);
+        c.record_finished_scope(QueryId(5), vec![VertexId(0)], SimTime::ZERO);
+        let s = c.build_scope_stats(&[], &p);
+        assert_eq!(s.queries, vec![QueryId(5)]);
+        assert_eq!(s.sizes[0], vec![1.0, 0.0]);
+        assert_eq!(s.base_vertices, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn max_queries_cap_prefers_live() {
+        let mut c = Controller::new(Some(QcutConfig {
+            max_queries: 2,
+            ..Default::default()
+        }));
+        let p = part(vec![0, 1], 2);
+        c.record_finished_scope(QueryId(9), vec![VertexId(0)], SimTime::ZERO);
+        let live = vec![
+            (QueryId(0), vec![VertexId(0)]),
+            (QueryId(1), vec![VertexId(1)]),
+        ];
+        let s = c.build_scope_stats(&live, &p);
+        assert_eq!(s.queries, vec![QueryId(0), QueryId(1)]);
+    }
+
+    #[test]
+    fn finished_scope_lookup() {
+        let mut c = ctl();
+        c.record_finished_scope(QueryId(3), vec![VertexId(7)], SimTime::ZERO);
+        assert_eq!(c.finished_scope(QueryId(3)), Some(&[VertexId(7)][..]));
+        assert_eq!(c.finished_scope(QueryId(4)), None);
+    }
+}

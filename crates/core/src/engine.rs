@@ -1,0 +1,931 @@
+//! The discrete-event multi-query engine.
+//!
+//! [`SimEngine`] executes queries exactly as the real system would —
+//! vertex functions, message routing, scope tracking, the MAPE adaptivity
+//! loop — while *time* advances on the `qgraph-sim` virtual clock using
+//! the cluster's compute/network cost models. Results are bit-identical
+//! across runs for a fixed configuration, and latency decomposes into the
+//! same three components as on the paper's testbeds: compute, network
+//! transfer, and barrier synchronization (see `DESIGN.md` §2).
+//!
+//! ## Execution model
+//!
+//! Each worker is a sequential resource processing one superstep task at a
+//! time (FIFO); queueing across concurrent queries is what turns workload
+//! imbalance into the paper's straggler effects. One query iteration:
+//!
+//! 1. barrier release → superstep tasks on all involved workers,
+//! 2. each task: freeze inbox, charge compute cost, execute, route
+//!    messages (free locally, network-priced across workers),
+//! 3. when the last involved worker finishes → [`barrier::decide`]
+//!    computes the next release (hybrid: free if fully local),
+//! 4. no pending messages anywhere → the query completes.
+//!
+//! The controller triggers Q-cut when mean locality drops below Φ; the ILS
+//! runs against a stats snapshot and its *result* is applied one virtual
+//! ILS budget later under a global STOP/START barrier that quiesces the
+//! workers, migrates scope vertices, and charges the bulk-move transfer.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use qgraph_graph::{Graph, VertexId};
+use qgraph_partition::{Partitioning, WorkerId};
+use qgraph_sim::{ClusterModel, EventQueue, SimTime};
+
+use crate::barrier::{self, BarrierInput};
+use crate::config::{BarrierMode, SystemConfig};
+use crate::controller::Controller;
+use crate::program::VertexProgram;
+use crate::qcut::{run_qcut, IlsResult, MovePlan};
+use crate::query::{QueryId, QueryOutcome};
+use crate::report::{ActivitySample, EngineReport, RepartitionEvent};
+use crate::worker::Worker;
+
+#[derive(Clone, Debug)]
+enum Event {
+    /// Query `q` may run a superstep on worker `w`.
+    TaskReady { q: QueryId, w: usize },
+    /// Worker `w` finished computing query `q`'s superstep.
+    TaskDone { q: QueryId, w: usize },
+    /// Worker `w` finished serializing/sending its outgoing messages.
+    SendDone { w: usize },
+    /// Query `q`'s barrier released: start the next superstep.
+    BarrierRelease { q: QueryId },
+    /// The virtual ILS budget elapsed; apply the pending plan.
+    IlsReady,
+    /// SharedGlobal mode: the cross-query round barrier released.
+    RoundRelease,
+    /// Workers are quiescent: migrate scope vertices (STOP barrier body).
+    GlobalBarrierApply,
+    /// Repartitioning finished: resume query execution (START barrier).
+    GlobalBarrierEnd,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum QueryStatus {
+    Queued,
+    Running,
+    Finished,
+}
+
+struct QueryRun<P: VertexProgram> {
+    program: Arc<P>,
+    status: QueryStatus,
+    submitted_at: SimTime,
+    iteration: u32,
+    local_iterations: u32,
+    vertex_updates: u64,
+    remote_messages: u64,
+    // Per-superstep bookkeeping.
+    remaining: usize,
+    involved_cur: Vec<usize>,
+    compute_done_max: SimTime,
+    msg_arrival_max: SimTime,
+    crossed: bool,
+    last_done_raw: SimTime,
+    agg_prev: P::Aggregate,
+    agg_acc: P::Aggregate,
+}
+
+struct WorkerSched {
+    queue: VecDeque<QueryId>,
+    running: Option<QueryId>,
+    busy_until: SimTime,
+}
+
+/// The deterministic multi-query engine. See the module docs.
+pub struct SimEngine<P: VertexProgram> {
+    graph: Arc<Graph>,
+    cluster: ClusterModel,
+    cfg: SystemConfig,
+    partitioning: Partitioning,
+    workers: Vec<Worker<P>>,
+    sched: Vec<WorkerSched>,
+    events: EventQueue<Event>,
+    queries: Vec<QueryRun<P>>,
+    outputs: Vec<Option<P::Output>>,
+    pending: VecDeque<QueryId>,
+    in_flight: usize,
+    /// STOP barrier in progress: no new barrier releases or query
+    /// dispatches; in-flight supersteps drain to quiescence first.
+    paused: bool,
+    /// The STOP barrier is waiting for the workers to drain.
+    awaiting_quiesce: bool,
+    deferred_releases: Vec<QueryId>,
+    pending_plan: Option<(IlsResult, SimTime)>,
+    controller: Controller,
+    report: EngineReport,
+    /// Per-worker vertex updates within the current activity sub-window
+    /// (feeds the controller's straggler watch).
+    activity_window: Vec<u64>,
+    activity_window_start: SimTime,
+    activity_window_len: SimTime,
+    last_activity_imbalance: f64,
+    /// SharedGlobal mode: queries whose iteration finished and who wait
+    /// for the cross-query round barrier.
+    round_waiting: Vec<QueryId>,
+    /// SharedGlobal mode: queries still computing in the current round.
+    round_outstanding: usize,
+    /// SharedGlobal mode: release time of the round (max over queries).
+    round_release: SimTime,
+}
+
+impl<P: VertexProgram> SimEngine<P> {
+    /// Create an engine over `graph`, simulated on `cluster`, starting from
+    /// `partitioning`.
+    ///
+    /// # Panics
+    /// Panics if the partitioning does not match the graph or cluster.
+    pub fn new(
+        graph: Arc<Graph>,
+        cluster: ClusterModel,
+        partitioning: Partitioning,
+        cfg: SystemConfig,
+    ) -> Self {
+        assert_eq!(
+            partitioning.num_vertices(),
+            graph.num_vertices(),
+            "partitioning does not cover the graph"
+        );
+        assert_eq!(
+            partitioning.num_workers(),
+            cluster.num_workers,
+            "partitioning and cluster disagree on worker count"
+        );
+        let k = cluster.num_workers;
+        // Activity sub-window: an eighth of the monitoring window μ.
+        let activity_window_len = SimTime::from_secs_f64(
+            cfg.qcut
+                .as_ref()
+                .map(|q| q.monitoring_window_secs / 8.0)
+                .unwrap_or(f64::MAX / 1e10),
+        );
+        SimEngine {
+            graph,
+            cluster,
+            controller: Controller::new(cfg.qcut.clone()),
+            cfg,
+            partitioning,
+            workers: (0..k).map(Worker::new).collect(),
+            sched: (0..k)
+                .map(|_| WorkerSched {
+                    queue: VecDeque::new(),
+                    running: None,
+                    busy_until: SimTime::ZERO,
+                })
+                .collect(),
+            events: EventQueue::new(),
+            queries: Vec::new(),
+            outputs: Vec::new(),
+            pending: VecDeque::new(),
+            in_flight: 0,
+            paused: false,
+            awaiting_quiesce: false,
+            deferred_releases: Vec::new(),
+            pending_plan: None,
+            report: EngineReport::default(),
+            activity_window: vec![0; k],
+            activity_window_start: SimTime::ZERO,
+            activity_window_len,
+            last_activity_imbalance: 0.0,
+            round_waiting: Vec::new(),
+            round_outstanding: 0,
+            round_release: SimTime::ZERO,
+        }
+    }
+
+    /// Enqueue a query. It starts once a closed-loop slot is free
+    /// (`max_parallel_queries` in flight at a time, the paper's batches).
+    pub fn submit(&mut self, program: P) -> QueryId {
+        let id = QueryId(self.queries.len() as u32);
+        let identity = program.aggregate_identity();
+        self.queries.push(QueryRun {
+            program: Arc::new(program),
+            status: QueryStatus::Queued,
+            submitted_at: SimTime::ZERO,
+            iteration: 0,
+            local_iterations: 0,
+            vertex_updates: 0,
+            remote_messages: 0,
+            remaining: 0,
+            involved_cur: Vec::new(),
+            compute_done_max: SimTime::ZERO,
+            msg_arrival_max: SimTime::ZERO,
+            crossed: false,
+            last_done_raw: SimTime::ZERO,
+            agg_prev: identity.clone(),
+            agg_acc: identity,
+        });
+        self.outputs.push(None);
+        self.pending.push_back(id);
+        id
+    }
+
+    /// Run until every submitted query has finished. Returns the report.
+    pub fn run(&mut self) -> &EngineReport {
+        self.dispatch_pending();
+        while let Some(ev) = self.events.pop() {
+            let now = ev.at;
+            match ev.payload {
+                Event::TaskReady { q, w } => self.on_task_ready(q, w),
+                Event::TaskDone { q, w } => self.on_task_done(now, q, w),
+                Event::SendDone { w } => self.on_send_done(now, w),
+                Event::BarrierRelease { q } => self.on_barrier_release(now, q),
+                Event::RoundRelease => self.on_round_release(now),
+                Event::IlsReady => self.on_ils_ready(now),
+                Event::GlobalBarrierApply => self.on_global_apply(now),
+                Event::GlobalBarrierEnd => self.on_global_end(now),
+            }
+            if self.events.is_empty() {
+                self.dispatch_pending();
+            }
+        }
+        self.report.finished_at_secs = self.events.now().as_secs_f64();
+        &self.report
+    }
+
+    /// The output of a finished query.
+    pub fn output(&self, q: QueryId) -> Option<&P::Output> {
+        self.outputs[q.index()].as_ref()
+    }
+
+    /// Take ownership of a finished query's output.
+    pub fn take_output(&mut self, q: QueryId) -> Option<P::Output> {
+        self.outputs[q.index()].take()
+    }
+
+    /// The measurement report (also returned by [`SimEngine::run`]).
+    pub fn report(&self) -> &EngineReport {
+        &self.report
+    }
+
+    /// The current vertex→worker assignment (mutated by repartitionings).
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.events.now().as_secs_f64()
+    }
+
+    // ------------------------------------------------------------------
+    // Submission / dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch_pending(&mut self) {
+        while !self.paused
+            && self.in_flight < self.cfg.max_parallel_queries
+            && !self.pending.is_empty()
+        {
+            let q = self.pending.pop_front().expect("non-empty");
+            self.start_query(q);
+        }
+    }
+
+    fn start_query(&mut self, q: QueryId) {
+        let now = self.events.now();
+        let initial = self.queries[q.index()].program.initial_messages(&self.graph);
+        let mut by_worker: FxHashMap<usize, Vec<(VertexId, P::Message)>> = FxHashMap::default();
+        for (v, m) in initial {
+            let w = self.partitioning.worker_of(v).index();
+            by_worker.entry(w).or_default().push((v, m));
+        }
+        let mut involved: Vec<usize> = by_worker.keys().copied().collect();
+        involved.sort_unstable();
+
+        let run = &mut self.queries[q.index()];
+        run.status = QueryStatus::Running;
+        run.submitted_at = now;
+        run.last_done_raw = now;
+        self.in_flight += 1;
+
+        if involved.is_empty() {
+            // A query with no initial messages completes immediately.
+            self.complete_query(now, q);
+            return;
+        }
+        self.queries[q.index()].involved_cur = involved.clone();
+        self.queries[q.index()].remaining = involved.len();
+        self.queries[q.index()].compute_done_max = SimTime::ZERO;
+        self.queries[q.index()].msg_arrival_max = SimTime::ZERO;
+        self.queries[q.index()].crossed = false;
+        if self.cfg.barrier_mode == BarrierMode::SharedGlobal {
+            self.round_outstanding += 1;
+        }
+
+        for (w, msgs) in by_worker {
+            self.workers[w].deliver(q, msgs);
+            // Freeze at submission: superstep 0's input is exactly the
+            // initial message set.
+            self.workers[w].freeze(q);
+            // executeQuery(q): controller → worker dispatch.
+            let at = now + self.cluster.control_cost_to_controller(w);
+            self.events.schedule(at, Event::TaskReady { q, w });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task scheduling on workers
+    // ------------------------------------------------------------------
+
+    fn on_task_ready(&mut self, q: QueryId, w: usize) {
+        // Pre-frozen supersteps always run — during a STOP barrier they
+        // are exactly the in-flight work the barrier drains.
+        self.sched[w].queue.push_back(q);
+        self.try_start(w);
+    }
+
+    fn try_start(&mut self, w: usize) {
+        if self.sched[w].running.is_some() {
+            return;
+        }
+        let Some(q) = self.sched[w].queue.pop_front() else {
+            return;
+        };
+        let now = self.events.now();
+        let (active, msgs) = self.workers[w].frozen_counts(q);
+        let cost = self.cluster.compute.superstep_cost(active, msgs);
+        self.sched[w].running = Some(q);
+        self.sched[w].busy_until = now + cost;
+        self.events.schedule(now + cost, Event::TaskDone { q, w });
+    }
+
+    fn on_task_done(&mut self, now: SimTime, q: QueryId, w: usize) {
+        debug_assert_eq!(self.sched[w].running, Some(q));
+
+        // Split borrows: the routing closure reads the partitioning while
+        // the worker is mutated.
+        let run = &self.queries[q.index()];
+        let partitioning = &self.partitioning;
+        let route = |v: VertexId| partitioning.worker_of(v).index();
+        let (stats, agg, remote) =
+            self.workers[w].execute(q, &self.graph, run.program.as_ref(), &run.agg_prev, &route);
+
+        self.report.activity.push(ActivitySample {
+            t: now.as_secs_f64(),
+            worker: w,
+            executed: stats.executed as u64,
+        });
+        self.record_activity(now, w, stats.executed as u64);
+
+        // Serialization occupies this worker; the wire time then delays
+        // the messages further.
+        let send_cpu = self
+            .cluster
+            .network
+            .serialize_cost(stats.remote_deliveries);
+        let sent_at = now + send_cpu;
+        let mut msg_arrival_max = SimTime::ZERO;
+        let mut crossed = false;
+        for (w2, msgs) in remote {
+            let arrival = sent_at + self.cluster.message_cost(w, w2, msgs.len());
+            msg_arrival_max = msg_arrival_max.max(arrival);
+            crossed = true;
+            self.workers[w2].deliver(q, msgs);
+        }
+
+        let run = &mut self.queries[q.index()];
+        run.vertex_updates += stats.executed as u64;
+        run.remote_messages += stats.remote_deliveries as u64;
+        run.compute_done_max = run.compute_done_max.max(sent_at);
+        run.last_done_raw = run.last_done_raw.max(sent_at);
+        run.msg_arrival_max = run.msg_arrival_max.max(msg_arrival_max);
+        run.crossed |= crossed;
+        let program = run.program.clone();
+        program.aggregate_combine(&mut run.agg_acc, &agg);
+        run.remaining -= 1;
+
+        if self.queries[q.index()].remaining == 0 {
+            self.on_superstep_complete(now, q);
+        }
+        if crossed {
+            // Worker stays busy until the socket push completes.
+            self.sched[w].busy_until = sent_at;
+            self.events.schedule(sent_at, Event::SendDone { w });
+        } else {
+            self.sched[w].running = None;
+            self.try_start(w);
+            self.maybe_quiesced(now);
+        }
+    }
+
+    fn on_send_done(&mut self, now: SimTime, w: usize) {
+        debug_assert!(self.sched[w].running.is_some());
+        self.sched[w].running = None;
+        self.try_start(w);
+        self.maybe_quiesced(now);
+    }
+
+    /// If a STOP barrier is waiting and the workers have drained, start
+    /// the migration phase.
+    fn maybe_quiesced(&mut self, now: SimTime) {
+        if !self.awaiting_quiesce || !self.is_quiescent() {
+            return;
+        }
+        self.awaiting_quiesce = false;
+        let max_ctl = self.max_control_cost();
+        self.events
+            .schedule(now + max_ctl, Event::GlobalBarrierApply);
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.sched
+            .iter()
+            .all(|s| s.running.is_none() && s.queue.is_empty())
+    }
+
+    fn max_control_cost(&self) -> SimTime {
+        (0..self.cluster.num_workers)
+            .map(|w| self.cluster.control_cost_to_controller(w))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    // ------------------------------------------------------------------
+    // Barriers
+    // ------------------------------------------------------------------
+
+    fn on_superstep_complete(&mut self, now: SimTime, q: QueryId) {
+        let involved_next: Vec<usize> = (0..self.workers.len())
+            .filter(|&w| self.workers[w].has_pending(q))
+            .collect();
+
+        let run = &mut self.queries[q.index()];
+        let program = run.program.clone();
+        let decision = barrier::decide(
+            &BarrierInput {
+                mode: self.cfg.barrier_mode,
+                compute_done: run.compute_done_max,
+                msg_arrival: run.msg_arrival_max,
+                involved_cur: &run.involved_cur,
+                involved_next: &involved_next,
+                crossed: run.crossed,
+                stats_extra: !self.cfg.stats_piggyback,
+            },
+            &self.cluster,
+        );
+
+        run.iteration += 1;
+        if decision.is_local {
+            run.local_iterations += 1;
+        }
+        let combined = std::mem::replace(&mut run.agg_acc, program.aggregate_identity());
+        if program.aggregate_sticky() {
+            program.aggregate_combine(&mut run.agg_prev, &combined);
+        } else {
+            run.agg_prev = combined;
+        }
+        let terminate = involved_next.is_empty() || program.should_terminate(&run.agg_prev);
+
+        let shared = self.cfg.barrier_mode == BarrierMode::SharedGlobal;
+        if shared {
+            self.round_outstanding -= 1;
+        }
+        if terminate {
+            let at = self.queries[q.index()].last_done_raw;
+            self.complete_query(at.max(now), q);
+        } else if shared {
+            // Traditional BSP: park the query until the slowest query of
+            // this round has also synchronized.
+            self.round_waiting.push(q);
+            self.round_release = self.round_release.max(decision.release.max(now));
+        } else {
+            let release = decision.release.max(now);
+            self.events.schedule(release, Event::BarrierRelease { q });
+        }
+        if shared && self.round_outstanding == 0 && !self.round_waiting.is_empty() {
+            self.events
+                .schedule(self.round_release.max(now), Event::RoundRelease);
+        }
+        self.maybe_trigger_qcut(now);
+    }
+
+    /// SharedGlobal mode: the cross-query round barrier fired — release
+    /// every parked query at once.
+    fn on_round_release(&mut self, now: SimTime) {
+        let qs = std::mem::take(&mut self.round_waiting);
+        self.round_release = SimTime::ZERO;
+        for q in qs {
+            self.on_barrier_release(now, q);
+        }
+    }
+
+    fn on_barrier_release(&mut self, now: SimTime, q: QueryId) {
+        if self.paused {
+            self.deferred_releases.push(q);
+            return;
+        }
+        // Re-derive the involved set: repartitioning may have migrated
+        // pending messages while this release was deferred.
+        let involved: Vec<usize> = (0..self.workers.len())
+            .filter(|&w| self.workers[w].has_pending(q))
+            .collect();
+        if involved.is_empty() {
+            self.complete_query(now, q);
+            return;
+        }
+        {
+            let run = &mut self.queries[q.index()];
+            run.involved_cur = involved.clone();
+            run.remaining = involved.len();
+            run.compute_done_max = SimTime::ZERO;
+            run.msg_arrival_max = SimTime::ZERO;
+            run.crossed = false;
+        }
+        if self.cfg.barrier_mode == BarrierMode::SharedGlobal {
+            self.round_outstanding += 1;
+        }
+        for w in involved {
+            // All involved workers freeze at the same release instant: the
+            // superstep's input is sealed before any of them computes.
+            self.workers[w].freeze(q);
+            self.on_task_ready(q, w);
+        }
+    }
+
+    fn complete_query(&mut self, at: SimTime, q: QueryId) {
+        let run = &mut self.queries[q.index()];
+        debug_assert_ne!(run.status, QueryStatus::Finished);
+        run.status = QueryStatus::Finished;
+        self.in_flight -= 1;
+
+        // Gather all states the query touched, across workers.
+        let mut states: FxHashMap<VertexId, P::State> = FxHashMap::default();
+        for w in self.workers.iter_mut() {
+            states.extend(w.take_states(q));
+        }
+        let scope: Vec<VertexId> = states.keys().copied().collect();
+        let run = &self.queries[q.index()];
+        let outcome = QueryOutcome {
+            id: q,
+            submitted_at: run.submitted_at,
+            completed_at: at,
+            iterations: run.iteration,
+            local_iterations: run.local_iterations,
+            vertex_updates: run.vertex_updates,
+            remote_messages: run.remote_messages,
+            scope_size: scope.len() as u64,
+        };
+        let program = run.program.clone();
+        let mut it = states.into_iter();
+        self.outputs[q.index()] = Some(program.finalize(&self.graph, &mut it));
+        self.report.outcomes.push(outcome);
+        self.controller.record_finished_scope(q, scope, at);
+        self.controller.expire(at);
+        self.dispatch_pending();
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptivity (MAPE loop)
+    // ------------------------------------------------------------------
+
+    /// Roll the activity sub-window and accumulate this superstep's work.
+    fn record_activity(&mut self, now: SimTime, w: usize, executed: u64) {
+        if now >= self.activity_window_start + self.activity_window_len {
+            let total: u64 = self.activity_window.iter().sum();
+            if total > 0 {
+                let mean = total as f64 / self.activity_window.len() as f64;
+                let max = *self.activity_window.iter().max().expect("non-empty") as f64;
+                self.last_activity_imbalance = max / mean - 1.0;
+            }
+            self.activity_window.iter_mut().for_each(|a| *a = 0);
+            self.activity_window_start = now;
+        }
+        self.activity_window[w] += executed;
+    }
+
+    fn mean_running_locality(&self) -> (f64, usize) {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for run in &self.queries {
+            if run.status == QueryStatus::Running && run.iteration > 0 {
+                sum += run.local_iterations as f64 / run.iteration as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            (1.0, 0)
+        } else {
+            (sum / n as f64, n)
+        }
+    }
+
+    fn maybe_trigger_qcut(&mut self, now: SimTime) {
+        if self.paused || self.controller.qcut_config().is_none() {
+            return;
+        }
+        let (mean_locality, active) = self.mean_running_locality();
+        if !self.controller.should_trigger(
+            now,
+            mean_locality,
+            self.last_activity_imbalance,
+            active,
+        ) {
+            return;
+        }
+
+        // Snapshot live scopes (union over workers).
+        let mut live: Vec<(QueryId, Vec<VertexId>)> = Vec::new();
+        for (i, run) in self.queries.iter().enumerate() {
+            if run.status == QueryStatus::Running {
+                let q = QueryId(i as u32);
+                let mut vs: Vec<VertexId> = Vec::new();
+                for w in &self.workers {
+                    vs.extend(w.scope_vertices(q));
+                }
+                live.push((q, vs));
+            }
+        }
+        let stats = self.controller.build_scope_stats(&live, &self.partitioning);
+        if stats.queries.len() < 2 {
+            return;
+        }
+        let cfg = self.controller.qcut_config().expect("qcut enabled").clone();
+        let result = run_qcut(&stats, &cfg);
+        self.controller.ils_inflight = true;
+        self.pending_plan = Some((result, now));
+        let ready = now + SimTime::from_secs_f64(cfg.ils_budget_secs);
+        self.events.schedule(ready, Event::IlsReady);
+    }
+
+    fn on_ils_ready(&mut self, now: SimTime) {
+        self.controller.ils_inflight = false;
+        self.controller.last_repartition = now;
+        let Some((result, _)) = self.pending_plan.as_ref() else {
+            return;
+        };
+        if result.plan.is_empty() {
+            self.pending_plan = None;
+            return;
+        }
+        // STOP barrier: halt new releases/dispatches, drain in-flight
+        // supersteps, then migrate.
+        self.paused = true;
+        self.awaiting_quiesce = true;
+        self.maybe_quiesced(now);
+    }
+
+    fn on_global_apply(&mut self, now: SimTime) {
+        debug_assert!(self.paused);
+        debug_assert!(self.is_quiescent());
+        let (result, triggered_at) = self.pending_plan.take().expect("plan pending");
+        let (moved, duration) = self.apply_plan(&result.plan);
+        let end = now + duration + self.max_control_cost();
+        self.report.repartitions.push(RepartitionEvent {
+            triggered_at: triggered_at.as_secs_f64(),
+            applied_at: now.as_secs_f64(),
+            barrier_duration: (end - now).as_secs_f64(),
+            moved_vertices: moved,
+            ils: result,
+        });
+        self.events.schedule(end, Event::GlobalBarrierEnd);
+    }
+
+    fn on_global_end(&mut self, _now: SimTime) {
+        self.paused = false;
+        // START barrier: resume deferred releases against the new layout.
+        let releases = std::mem::take(&mut self.deferred_releases);
+        let now = self.events.now();
+        for q in releases {
+            self.on_barrier_release(now, q);
+        }
+        self.dispatch_pending();
+    }
+
+    /// Execute a move plan: `move(LS(q,w), w, w')` for each entry, in plan
+    /// order. A vertex moves at most once per plan — overlapping scopes
+    /// assigned to different destinations must not ping-pong their shared
+    /// vertices. Returns (vertices moved, transfer duration).
+    fn apply_plan(&mut self, plan: &MovePlan) -> (usize, SimTime) {
+        let mut per_pair: FxHashMap<(usize, usize), usize> = FxHashMap::default();
+        let mut moved_total = 0usize;
+        let mut already_moved: FxHashSet<VertexId> = FxHashSet::default();
+
+        for mv in &plan.moves {
+            // Resolve the scope: a live query's current local scope, or a
+            // finished query's retained scope filtered to the source worker.
+            let scope: Vec<VertexId> = {
+                let run = self.queries.get(mv.query.index());
+                let live = run.is_some_and(|r| r.status == QueryStatus::Running);
+                if live {
+                    self.workers[mv.from].scope_vertices(mv.query)
+                } else {
+                    self.controller
+                        .finished_scope(mv.query)
+                        .map(|vs| vs.to_vec())
+                        .unwrap_or_default()
+                }
+            };
+            let vertices: FxHashSet<VertexId> = scope
+                .into_iter()
+                .filter(|&v| {
+                    !already_moved.contains(&v)
+                        && self.partitioning.worker_of(v).index() == mv.from
+                })
+                .collect();
+            already_moved.extend(vertices.iter().copied());
+            if vertices.is_empty() {
+                continue;
+            }
+            let data = self.workers[mv.from].extract_vertices(&vertices);
+            self.workers[mv.to].inject_vertices(data);
+            for &v in &vertices {
+                self.partitioning.move_vertex(v, WorkerId(mv.to as u32));
+            }
+            moved_total += vertices.len();
+            *per_pair.entry((mv.from, mv.to)).or_default() += vertices.len();
+        }
+
+        let duration = per_pair
+            .iter()
+            .map(|(&(f, t), &n)| {
+                self.cluster.network.bulk_move_cost(
+                    n,
+                    self.cfg.state_bytes_per_vertex,
+                    self.cluster.is_remote(f, t),
+                )
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        (moved_total, duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BarrierMode;
+    use crate::programs::{PingProgram, ReachProgram};
+    use qgraph_graph::GraphBuilder;
+    use qgraph_partition::{HashPartitioner, Partitioner, RangePartitioner};
+
+    fn line_graph(n: usize) -> Arc<Graph> {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as u32, i as u32 + 1, 1.0);
+        }
+        Arc::new(b.build())
+    }
+
+    fn engine_on(
+        graph: Arc<Graph>,
+        k: usize,
+        cfg: SystemConfig,
+    ) -> SimEngine<ReachProgram> {
+        let parts = RangePartitioner.partition(&graph, k);
+        SimEngine::new(graph, ClusterModel::scale_up(k), parts, cfg)
+    }
+
+    #[test]
+    fn single_query_reaches_whole_line() {
+        let g = line_graph(10);
+        let mut e = engine_on(g, 2, SystemConfig::default());
+        let q = e.submit(ReachProgram::new(VertexId(0)));
+        e.run();
+        let out = e.output(q).unwrap();
+        assert_eq!(out.len(), 10);
+        let r = &e.report().outcomes[0];
+        assert_eq!(r.iterations, 10);
+        assert!(r.latency_secs() > 0.0);
+    }
+
+    #[test]
+    fn local_query_has_full_locality() {
+        let g = line_graph(10);
+        let mut e = engine_on(g, 2, SystemConfig::default());
+        // Vertices 5..10 live on worker 1 under Range partitioning.
+        let q = e.submit(ReachProgram::new(VertexId(5)));
+        e.run();
+        let out = e.output(q).unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(e.report().outcomes[0].locality(), 1.0);
+        assert_eq!(e.report().outcomes[0].remote_messages, 0);
+    }
+
+    #[test]
+    fn crossing_query_counts_remote_messages() {
+        let g = line_graph(10);
+        let mut e = engine_on(g, 2, SystemConfig::default());
+        let q = e.submit(ReachProgram::new(VertexId(0)));
+        e.run();
+        let _ = q;
+        let o = &e.report().outcomes[0];
+        assert_eq!(o.remote_messages, 1, "one boundary crossing (4->5)");
+        assert!(o.locality() < 1.0);
+    }
+
+    #[test]
+    fn multiple_queries_all_finish() {
+        let g = line_graph(64);
+        let mut e = engine_on(g, 4, SystemConfig::default());
+        let qs: Vec<QueryId> = (0..16u32)
+            .map(|i| e.submit(ReachProgram::bounded(VertexId(i * 4), 3)))
+            .collect();
+        e.run();
+        assert_eq!(e.report().outcomes.len(), 16);
+        for q in qs {
+            assert!(e.output(q).is_some());
+        }
+    }
+
+    #[test]
+    fn closed_loop_respects_parallelism() {
+        let g = line_graph(32);
+        let cfg = SystemConfig {
+            max_parallel_queries: 2,
+            ..Default::default()
+        };
+        let mut e = engine_on(g, 2, cfg);
+        for i in 0..6u32 {
+            e.submit(ReachProgram::bounded(VertexId(i), 2));
+        }
+        e.run();
+        assert_eq!(e.report().outcomes.len(), 6);
+        // With 2-way parallelism, later queries are submitted strictly
+        // after earlier completions.
+        let o = &e.report().outcomes;
+        assert!(o[5].submitted_at >= o[0].completed_at);
+    }
+
+    #[test]
+    fn hybrid_no_slower_than_global_barrier() {
+        let g = line_graph(40);
+        let run = |mode| {
+            let cfg = SystemConfig {
+                barrier_mode: mode,
+                ..Default::default()
+            };
+            let mut e = engine_on(line_graph(40), 2, cfg);
+            let _ = g; // keep naming tidy
+            for i in 0..8u32 {
+                e.submit(ReachProgram::bounded(VertexId(i), 4));
+            }
+            e.run();
+            e.report().total_latency()
+        };
+        let hybrid = run(BarrierMode::Hybrid);
+        let global = run(BarrierMode::GlobalPerQuery);
+        assert!(
+            hybrid <= global,
+            "hybrid {hybrid} must not exceed global {global}"
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let build = || {
+            let g = line_graph(50);
+            let parts = HashPartitioner::default().partition(&g, 4);
+            let mut e: SimEngine<ReachProgram> = SimEngine::new(
+                g,
+                ClusterModel::scale_up(4),
+                parts,
+                SystemConfig::default(),
+            );
+            for i in 0..10u32 {
+                e.submit(ReachProgram::bounded(VertexId(i * 3), 5));
+            }
+            e.run();
+            (
+                e.report().total_latency(),
+                e.report().outcomes.len(),
+                e.report().total_remote_messages(),
+            )
+        };
+        assert_eq!(build(), build());
+    }
+
+    fn ping_engine(k: usize) -> SimEngine<PingProgram> {
+        let g = line_graph(4);
+        let parts = RangePartitioner.partition(&g, k);
+        SimEngine::new(g, ClusterModel::scale_up(k), parts, SystemConfig::default())
+    }
+
+    #[test]
+    fn ping_program_runs_fixed_rounds() {
+        let mut e = ping_engine(2);
+        let q = e.submit(PingProgram {
+            ring: vec![VertexId(0), VertexId(3)],
+            rounds: 5,
+        });
+        e.run();
+        assert_eq!(*e.output(q).unwrap(), 4);
+        assert_eq!(e.report().outcomes[0].iterations, 5);
+    }
+
+    #[test]
+    fn empty_query_completes_instantly() {
+        let mut e = ping_engine(2);
+        let q = e.submit(PingProgram {
+            ring: vec![],
+            rounds: 0,
+        });
+        e.run();
+        assert_eq!(*e.output(q).unwrap(), 0);
+        assert_eq!(e.report().outcomes[0].iterations, 0);
+    }
+}

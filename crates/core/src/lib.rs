@@ -1,0 +1,65 @@
+//! **Q-Graph**: multi-query vertex-centric graph processing with
+//! query-aware partitioning (*Q-cut*), *hybrid barrier synchronization*,
+//! and runtime *adaptivity* — a Rust reproduction of Mayer et al.,
+//! "Q-Graph: Preserving Query Locality in Multi-Query Graph Processing"
+//! (GRADES-NDA'18).
+//!
+//! # Architecture (paper §3.1)
+//!
+//! Q-Graph is two-layered:
+//! * **Workers** execute vertex functions over their partition of the
+//!   shared graph and exchange messages ([`worker`]).
+//! * A **centralized controller** holds *high-level* global knowledge —
+//!   per-query local scope sizes and intersections, never raw vertices —
+//!   and uses it for barrier management and repartitioning ([`controller`]).
+//!
+//! Two runtimes drive these pieces:
+//! * [`SimEngine`] — a deterministic discrete-event engine over the
+//!   `qgraph-sim` virtual cluster; every experiment in `EXPERIMENTS.md`
+//!   uses it (see `DESIGN.md` for why the paper's testbeds are simulated).
+//! * [`runtime::ThreadEngine`] — a real shared-memory multi-threaded
+//!   executor with the same worker/controller protocol, demonstrating the
+//!   library on actual hardware.
+//!
+//! # Quick example
+//!
+//! ```
+//! use qgraph_core::{SimEngine, SystemConfig, programs::ReachProgram};
+//! use qgraph_graph::{GraphBuilder, VertexId};
+//! use qgraph_partition::{HashPartitioner, Partitioner};
+//! use qgraph_sim::ClusterModel;
+//!
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(0, 1, 1.0);
+//! b.add_edge(1, 2, 1.0);
+//! let graph = b.build();
+//! let parts = HashPartitioner::default().partition(&graph, 2);
+//! let mut engine = SimEngine::new(
+//!     graph.into(),
+//!     ClusterModel::scale_up(2),
+//!     parts,
+//!     SystemConfig::default(),
+//! );
+//! let q = engine.submit(ReachProgram::new(VertexId(0)));
+//! engine.run();
+//! let reached = engine.output(q).unwrap();
+//! assert!(reached.contains(&VertexId(2)));
+//! ```
+
+pub mod barrier;
+pub mod config;
+pub mod controller;
+pub mod engine;
+pub mod program;
+pub mod programs;
+pub mod qcut;
+pub mod query;
+pub mod report;
+pub mod runtime;
+pub mod worker;
+
+pub use config::{BarrierMode, QcutConfig, SystemConfig};
+pub use engine::SimEngine;
+pub use program::{Context, VertexProgram};
+pub use query::{QueryId, QueryOutcome};
+pub use report::EngineReport;

@@ -1,0 +1,133 @@
+//! The vertex-centric programming model (paper §2).
+//!
+//! Each query is a pair `(f, V_sub)` of a vertex function and an initial
+//! active vertex set. The vertex function iteratively recomputes
+//! query-specific vertex data from incoming messages, under bulk
+//! synchronous processing. We extend the paper's minimal model with
+//! Pregel-style *aggregators*, which the paper's SSSP/POI queries need for
+//! bounded search (prune expansion beyond the best known answer).
+
+use qgraph_graph::{Graph, VertexId};
+
+/// A vertex program: the `f` in the paper's query tuple `(f, V_sub)`.
+///
+/// Implementations must be deterministic functions of their inputs — the
+/// engine's replay guarantees and the repartitioning correctness tests
+/// rely on it.
+pub trait VertexProgram: Send + Sync + 'static {
+    /// Query-specific per-vertex data `D_v`. Created on first activation
+    /// via [`VertexProgram::init_state`]; stored sparsely because localized
+    /// queries touch a small fraction of the graph.
+    type State: Clone + Send + 'static;
+    /// Message exchanged along edges.
+    type Message: Clone + Send + std::fmt::Debug + 'static;
+    /// Global aggregate combined across workers at every query barrier and
+    /// broadcast into the next superstep. Use `()` if unused.
+    type Aggregate: Clone + Send + PartialEq + std::fmt::Debug + 'static;
+    /// The query's final answer, extracted from the touched states.
+    type Output: Send + 'static;
+
+    /// The state a vertex holds before its first message arrives.
+    fn init_state(&self) -> Self::State;
+
+    /// The aggregator's identity element.
+    fn aggregate_identity(&self) -> Self::Aggregate;
+
+    /// Fold `b` into `a`. Must be commutative and associative.
+    fn aggregate_combine(&self, a: &mut Self::Aggregate, b: &Self::Aggregate);
+
+    /// Whether the aggregate is *sticky*: combined across the whole query
+    /// run rather than reset each superstep. Bounds (SSSP's best target
+    /// distance, POI's best tagged distance) are sticky; per-superstep
+    /// quantities (e.g. a residual sum used for convergence detection) are
+    /// not.
+    fn aggregate_sticky(&self) -> bool {
+        false
+    }
+
+    /// Messages that seed the query (sent to the paper's `V_sub`); for SSSP
+    /// this is a zero-distance message to the start vertex.
+    fn initial_messages(&self, graph: &Graph) -> Vec<(VertexId, Self::Message)>;
+
+    /// The vertex function: fold `messages` into `state` and send new
+    /// messages via `ctx`. Runs once per active vertex per superstep.
+    fn compute(
+        &self,
+        graph: &Graph,
+        vertex: VertexId,
+        state: &mut Self::State,
+        messages: &[Self::Message],
+        ctx: &mut Context<'_, Self::Message, Self::Aggregate>,
+    );
+
+    /// Inspect the combined aggregate at a barrier; return `true` to
+    /// terminate the query even if active vertices remain.
+    fn should_terminate(&self, _aggregate: &Self::Aggregate) -> bool {
+        false
+    }
+
+    /// Extract the query's answer from all states it touched.
+    fn finalize(
+        &self,
+        graph: &Graph,
+        states: &mut dyn Iterator<Item = (VertexId, Self::State)>,
+    ) -> Self::Output;
+}
+
+/// Per-vertex execution context handed to [`VertexProgram::compute`].
+///
+/// Collects outgoing messages and aggregate contributions; exposes the
+/// previous superstep's combined aggregate.
+pub struct Context<'a, M, A> {
+    pub(crate) outgoing: &'a mut Vec<(VertexId, M)>,
+    pub(crate) aggregate: &'a mut A,
+    pub(crate) prev_aggregate: &'a A,
+    pub(crate) combine: &'a dyn Fn(&mut A, &A),
+}
+
+impl<M, A> Context<'_, M, A> {
+    /// Send `msg` to vertex `to`, activating it next superstep.
+    #[inline]
+    pub fn send(&mut self, to: VertexId, msg: M) {
+        self.outgoing.push((to, msg));
+    }
+
+    /// Contribute `value` to this superstep's aggregate.
+    #[inline]
+    pub fn aggregate(&mut self, value: &A) {
+        (self.combine)(self.aggregate, value);
+    }
+
+    /// The combined aggregate of the *previous* superstep (the identity in
+    /// superstep 0).
+    #[inline]
+    pub fn prev_aggregate(&self) -> &A {
+        self.prev_aggregate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_collects_messages_and_aggregates() {
+        let mut out: Vec<(VertexId, u32)> = Vec::new();
+        let mut agg = 0u64;
+        let prev = 7u64;
+        let combine = |a: &mut u64, b: &u64| *a += *b;
+        let mut ctx = Context {
+            outgoing: &mut out,
+            aggregate: &mut agg,
+            prev_aggregate: &prev,
+            combine: &combine,
+        };
+        assert_eq!(*ctx.prev_aggregate(), 7);
+        ctx.send(VertexId(3), 10);
+        ctx.send(VertexId(4), 11);
+        ctx.aggregate(&5);
+        ctx.aggregate(&6);
+        assert_eq!(out, vec![(VertexId(3), 10), (VertexId(4), 11)]);
+        assert_eq!(agg, 11);
+    }
+}

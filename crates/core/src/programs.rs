@@ -1,0 +1,202 @@
+//! Small built-in vertex programs used by tests, docs, and examples.
+//! The paper's evaluation programs (SSSP, POI, …) live in `qgraph-algo`.
+
+use qgraph_graph::{Graph, VertexId};
+
+use crate::program::{Context, VertexProgram};
+
+/// Reachability: floods from a source; the output is the set of reached
+/// vertices. The simplest possible localized query — handy for exercising
+/// the engine machinery.
+#[derive(Clone, Debug)]
+pub struct ReachProgram {
+    source: VertexId,
+    /// Stop flooding after this many hops (`u32::MAX` = unbounded).
+    max_hops: u32,
+}
+
+impl ReachProgram {
+    /// Unbounded reachability from `source`.
+    pub fn new(source: VertexId) -> Self {
+        ReachProgram {
+            source,
+            max_hops: u32::MAX,
+        }
+    }
+
+    /// Reachability limited to `max_hops` hops.
+    pub fn bounded(source: VertexId, max_hops: u32) -> Self {
+        ReachProgram { source, max_hops }
+    }
+}
+
+/// Per-vertex state: visited flag + hop distance.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReachState {
+    visited: bool,
+    hops: u32,
+}
+
+impl VertexProgram for ReachProgram {
+    type State = ReachState;
+    /// The hop depth at which the vertex is reached.
+    type Message = u32;
+    type Aggregate = ();
+    type Output = Vec<VertexId>;
+
+    fn init_state(&self) -> ReachState {
+        ReachState::default()
+    }
+
+    fn aggregate_identity(&self) {}
+
+    fn aggregate_combine(&self, _a: &mut (), _b: &()) {}
+
+    fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, u32)> {
+        vec![(self.source, 0)]
+    }
+
+    fn compute(
+        &self,
+        graph: &Graph,
+        vertex: VertexId,
+        state: &mut ReachState,
+        messages: &[u32],
+        ctx: &mut Context<'_, u32, ()>,
+    ) {
+        if state.visited {
+            return; // first activation is already the BFS level
+        }
+        state.visited = true;
+        state.hops = messages.iter().copied().min().unwrap_or(0);
+        if state.hops < self.max_hops {
+            for (t, _) in graph.neighbors(vertex) {
+                ctx.send(t, state.hops + 1);
+            }
+        }
+    }
+
+    fn finalize(
+        &self,
+        _graph: &Graph,
+        states: &mut dyn Iterator<Item = (VertexId, ReachState)>,
+    ) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = states
+            .filter(|(_, s)| s.visited)
+            .map(|(v, _)| v)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// A synthetic program that performs a fixed number of supersteps over a
+/// fixed vertex set — used by barrier/scheduling tests that need precise
+/// control over iteration structure.
+#[derive(Clone, Debug)]
+pub struct PingProgram {
+    /// The vertices that ping each other.
+    pub ring: Vec<VertexId>,
+    /// Number of rounds to run.
+    pub rounds: u32,
+}
+
+impl VertexProgram for PingProgram {
+    /// Rounds completed at this vertex.
+    type State = u32;
+    /// The round number being propagated.
+    type Message = u32;
+    type Aggregate = ();
+    type Output = u32;
+
+    fn init_state(&self) -> u32 {
+        0
+    }
+
+    fn aggregate_identity(&self) {}
+
+    fn aggregate_combine(&self, _a: &mut (), _b: &()) {}
+
+    fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, u32)> {
+        self.ring.iter().map(|&v| (v, 0)).collect()
+    }
+
+    fn compute(
+        &self,
+        _graph: &Graph,
+        vertex: VertexId,
+        state: &mut u32,
+        messages: &[u32],
+        ctx: &mut Context<'_, u32, ()>,
+    ) {
+        let round = messages.iter().copied().max().unwrap_or(0);
+        *state = (*state).max(round);
+        if round + 1 < self.rounds {
+            // Ping the next ring member.
+            let idx = self
+                .ring
+                .iter()
+                .position(|&v| v == vertex)
+                .expect("vertex in ring");
+            let next = self.ring[(idx + 1) % self.ring.len()];
+            ctx.send(next, round + 1);
+        }
+    }
+
+    fn finalize(
+        &self,
+        _graph: &Graph,
+        states: &mut dyn Iterator<Item = (VertexId, u32)>,
+    ) -> u32 {
+        states.map(|(_, s)| s).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_graph::GraphBuilder;
+
+    #[test]
+    fn reach_initial_messages_seed_source() {
+        let g = GraphBuilder::new(2).build();
+        let p = ReachProgram::new(VertexId(1));
+        assert_eq!(p.initial_messages(&g), vec![(VertexId(1), 0)]);
+    }
+
+    #[test]
+    fn reach_finalize_sorts_visited() {
+        let g = GraphBuilder::new(3).build();
+        let p = ReachProgram::new(VertexId(0));
+        let mut it = vec![
+            (VertexId(2), ReachState { visited: true, hops: 0 }),
+            (VertexId(0), ReachState { visited: true, hops: 0 }),
+            (VertexId(1), ReachState { visited: false, hops: 0 }),
+        ]
+        .into_iter();
+        assert_eq!(p.finalize(&g, &mut it), vec![VertexId(0), VertexId(2)]);
+    }
+
+    #[test]
+    fn ping_ring_round_limit() {
+        let g = GraphBuilder::new(4).build();
+        let p = PingProgram {
+            ring: vec![VertexId(0), VertexId(1)],
+            rounds: 3,
+        };
+        // Round 2 is the last sent round (0-based: rounds 0,1,2).
+        let mut out: Vec<(VertexId, u32)> = Vec::new();
+        let mut agg = ();
+        let prev = ();
+        let combine = |_: &mut (), _: &()| {};
+        let mut state = 0;
+        let mut ctx = Context {
+            outgoing: &mut out,
+            aggregate: &mut agg,
+            prev_aggregate: &prev,
+            combine: &combine,
+        };
+        p.compute(&g, VertexId(0), &mut state, &[2], &mut ctx);
+        assert!(out.is_empty(), "round 2 of 3 must not send a 4th round");
+    }
+}

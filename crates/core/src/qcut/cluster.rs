@@ -1,0 +1,187 @@
+//! Contraction of the query-overlap graph (paper App. A.1).
+//!
+//! The number of `(worker, worker, scope)` move combinations in the local
+//! search grows with the query count, so the paper pre-clusters queries
+//! with "a variant of the well-known Karger's algorithm with linear
+//! runtime complexity" into at most `4k` clusters and moves whole
+//! clusters.
+//!
+//! We contract **every** overlap edge (union-find over the overlap graph,
+//! same linear complexity): overlapping scopes share vertices, and moving
+//! them to different workers would re-move the shared vertices and undo
+//! each other's locality — the clusters must be overlap-*closed* for scope
+//! moves to compose. On the paper's workloads the overlap components are
+//! query hotspots (one per city), so their count is far below `4k`
+//! already; `max_clusters` remains as a guard that keeps the very rare
+//! giant instance coarse by contracting the *smallest* clusters together.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::ScopeStats;
+
+/// A cluster of query indices (into [`ScopeStats::queries`]) that Q-cut
+/// moves as a unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryCluster {
+    /// Member query indices.
+    pub members: Vec<usize>,
+}
+
+/// Contract overlapping queries into at most `max_clusters` clusters.
+///
+/// Overlap edges are contracted in descending weight order (strongest
+/// overlaps merge first — the pairs whose separation would cost the most
+/// shared-vertex churn), stopping at the cluster bound. Queries without
+/// overlap stay singletons. Stopping at the bound deliberately leaves a
+/// very hot component (one city's worth of overlapping queries) split
+/// into several clusters: those remain individually movable, which is what
+/// lets the balance constraint spread a hotspot at some locality cost —
+/// "higher query locality would result in higher workload imbalance which
+/// we do not allow" (paper §4.2). Ties in weight break by the RNG, as in
+/// Karger's randomized contraction.
+pub fn cluster_queries(
+    stats: &ScopeStats,
+    max_clusters: usize,
+    rng: &mut SmallRng,
+) -> Vec<QueryCluster> {
+    let n = stats.queries.len();
+    let max_clusters = max_clusters.max(1);
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    let mut edges: Vec<(usize, usize, f64, u64)> = stats
+        .overlaps
+        .iter()
+        .filter(|&&(_, _, o)| o > 0.0)
+        .map(|&(a, b, o)| (a, b, o, rng.gen::<u64>()))
+        .collect();
+    // Descending weight, random tie-break.
+    edges.sort_by(|x, y| {
+        y.2.partial_cmp(&x.2)
+            .expect("finite overlaps")
+            .then(x.3.cmp(&y.3))
+    });
+
+    let mut clusters = n;
+    for (a, b, _, _) in edges {
+        if clusters <= max_clusters {
+            break;
+        }
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+            clusters -= 1;
+        }
+    }
+
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for q in 0..n {
+        let r = find(&mut parent, q);
+        groups[r].push(q);
+    }
+    groups
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .map(|members| QueryCluster { members })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryId;
+    use rand::SeedableRng;
+
+    fn stats(n: usize, overlaps: Vec<(usize, usize, f64)>) -> ScopeStats {
+        ScopeStats {
+            num_workers: 2,
+            queries: (0..n as u32).map(QueryId).collect(),
+            sizes: vec![vec![1.0, 0.0]; n],
+            overlaps,
+            base_vertices: vec![0.0, 0.0],
+        }
+    }
+
+    #[test]
+    fn no_overlaps_keep_singletons_when_under_bound() {
+        let s = stats(5, vec![]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let c = cluster_queries(&s, 8, &mut rng);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn contracts_down_to_the_bound() {
+        let s = stats(
+            6,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0)],
+        );
+        let mut rng = SmallRng::seed_from_u64(7);
+        let c = cluster_queries(&s, 3, &mut rng);
+        assert_eq!(c.len(), 3);
+        let total: usize = c.iter().map(|g| g.members.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn strongest_overlaps_merge_first() {
+        // Bound allows exactly one contraction: the weight-5 pair merges.
+        let s = stats(4, vec![(0, 1, 1.0), (2, 3, 5.0)]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let c = cluster_queries(&s, 3, &mut rng);
+        assert_eq!(c.len(), 3);
+        assert!(
+            c.iter().any(|g| g.members == vec![2, 3]),
+            "the heaviest pair must contract: {c:?}"
+        );
+    }
+
+    #[test]
+    fn disconnected_queries_never_merge() {
+        let s = stats(5, vec![]);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let c = cluster_queries(&s, 2, &mut rng);
+        assert_eq!(c.len(), 5, "no overlap edges, nothing to contract");
+    }
+
+    #[test]
+    fn covers_every_query_exactly_once() {
+        let s = stats(
+            10,
+            vec![(0, 1, 2.0), (2, 3, 1.0), (4, 5, 5.0), (5, 6, 1.0), (8, 9, 1.0)],
+        );
+        let mut rng = SmallRng::seed_from_u64(11);
+        let c = cluster_queries(&s, 8, &mut rng);
+        let mut seen = [false; 10];
+        for g in &c {
+            for &m in &g.members {
+                assert!(!seen[m], "query {m} appears twice");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let s = stats(12, vec![(0, 1, 1.0), (5, 6, 1.0)]);
+        let a = cluster_queries(&s, 3, &mut SmallRng::seed_from_u64(5));
+        let b = cluster_queries(&s, 3, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_weight_overlaps_do_not_merge() {
+        let s = stats(3, vec![(0, 1, 0.0)]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let c = cluster_queries(&s, 8, &mut rng);
+        assert_eq!(c.len(), 3);
+    }
+}

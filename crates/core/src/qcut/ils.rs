@@ -1,0 +1,285 @@
+//! The iterated local search driver (paper Algorithm 1).
+//!
+//! ```text
+//! ŝ ← InitialSolution()
+//! while not Terminated():
+//!     s ← Perturbation(ŝ)
+//!     s ← LocalSearch(s)
+//!     if c_s < c_ŝ: ŝ ← s
+//! ```
+//!
+//! Termination is externally bounded (paper App. A.3): the controller
+//! interrupts when it needs the result; here the bound is a deterministic
+//! round budget so experiments replay exactly. The cost trace with
+//! perturbation markers regenerates the paper's Figure 6g.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use super::{cluster_queries, local_search, perturb, MovePlan, ScopeStats, Solution};
+use crate::config::QcutConfig;
+
+/// One point of the ILS cost trace (for Figure 6g).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IlsTracePoint {
+    /// Outer-loop round index.
+    pub round: usize,
+    /// Best cost after this round's local search.
+    pub best_cost: f64,
+    /// Whether this round started from a perturbation (round 0 does not).
+    pub perturbed: bool,
+}
+
+/// The outcome of one Q-cut run.
+#[derive(Clone, Debug)]
+pub struct IlsResult {
+    /// The move plan realizing the best found solution.
+    pub plan: MovePlan,
+    /// Cost of the initial solution (the current partitioning).
+    pub initial_cost: f64,
+    /// Cost of the best found solution.
+    pub final_cost: f64,
+    /// Cost trace across rounds, with perturbation markers.
+    pub trace: Vec<IlsTracePoint>,
+    /// Number of query clusters the search operated on.
+    pub num_clusters: usize,
+}
+
+impl IlsResult {
+    /// Relative cost reduction achieved, in `[0, 1]`.
+    pub fn improvement(&self) -> f64 {
+        if self.initial_cost <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.final_cost / self.initial_cost
+        }
+    }
+}
+
+/// Lexicographic solution ordering keeping the search inside the paper's
+/// *balanced* solution space: a δ-feasible solution always beats an
+/// infeasible one; among feasible solutions cost decides; among infeasible
+/// ones (possible only when the *initial* partitioning, e.g. Domain,
+/// violates δ) imbalance decides first, then cost. This is what makes
+/// Q-cut restore balance (Figure 6e) as well as locality.
+fn prefer(a: &Solution, b: &Solution) -> bool {
+    match (a.is_balanced(), b.is_balanced()) {
+        (true, true) => a.cost() < b.cost(),
+        (true, false) => true,
+        (false, true) => false,
+        (false, false) => {
+            a.imbalance() < b.imbalance() - 1e-12
+                || (a.imbalance() <= b.imbalance() + 1e-12 && a.cost() < b.cost())
+        }
+    }
+}
+
+/// Run Q-cut on the given scope statistics.
+pub fn run_qcut(stats: &ScopeStats, cfg: &QcutConfig) -> IlsResult {
+    debug_assert_eq!(stats.validate(), Ok(()));
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let max_clusters = cfg.cluster_factor * stats.num_workers;
+    let clusters = cluster_queries(stats, max_clusters, &mut rng);
+
+    let mut best = Solution::initial(stats, &clusters, cfg.delta);
+    let initial_cost = best.cost();
+    let mut trace = Vec::with_capacity(cfg.ils_max_rounds + 1);
+
+    // Round 0: pure local search from the current partitioning.
+    let c0 = local_search(&mut best);
+    trace.push(IlsTracePoint {
+        round: 0,
+        best_cost: c0,
+        perturbed: false,
+    });
+
+    for round in 1..=cfg.ils_max_rounds {
+        if best.cost() <= 0.0 && best.is_balanced() {
+            break; // perfect locality reached within the balanced space
+        }
+        let mut s = best.clone();
+        perturb(&mut s, &mut rng);
+        let cost = local_search(&mut s);
+        let _ = cost;
+        if prefer(&s, &best) {
+            best = s;
+        }
+        trace.push(IlsTracePoint {
+            round,
+            best_cost: best.cost(),
+            perturbed: true,
+        });
+    }
+
+    IlsResult {
+        plan: best.plan(stats, &clusters),
+        initial_cost,
+        final_cost: best.cost(),
+        trace,
+        num_clusters: clusters.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryId;
+    use rand::Rng;
+
+    /// A hash-like mess: every query's scope is split evenly over all
+    /// workers — the situation Q-cut exists to fix.
+    fn hash_like(num_queries: usize, k: usize, scope: f64) -> ScopeStats {
+        ScopeStats {
+            num_workers: k,
+            queries: (0..num_queries as u32).map(QueryId).collect(),
+            sizes: vec![vec![scope / k as f64; k]; num_queries],
+            overlaps: vec![],
+            base_vertices: vec![1000.0; k],
+        }
+    }
+
+    #[test]
+    fn reduces_cost_on_hash_like_input() {
+        let stats = hash_like(32, 4, 100.0);
+        let r = run_qcut(&stats, &QcutConfig::default());
+        assert!(r.initial_cost > 0.0);
+        assert!(
+            r.improvement() > 0.75,
+            "paper Fig 6g: ILS cuts cost by >75%; got {:.2} ({} -> {})",
+            r.improvement(),
+            r.initial_cost,
+            r.final_cost
+        );
+        assert!(!r.plan.is_empty());
+    }
+
+    #[test]
+    fn trace_is_monotonically_non_increasing() {
+        let stats = hash_like(32, 4, 100.0);
+        let r = run_qcut(&stats, &QcutConfig::default());
+        for w in r.trace.windows(2) {
+            assert!(w[1].best_cost <= w[0].best_cost, "best-so-far must not regress");
+        }
+        assert!(!r.trace[0].perturbed);
+        if r.trace.len() > 1 {
+            assert!(r.trace[1].perturbed);
+        }
+    }
+
+    #[test]
+    fn perfect_input_needs_no_moves() {
+        // Every query already fully local.
+        let stats = ScopeStats {
+            num_workers: 2,
+            queries: vec![QueryId(0), QueryId(1)],
+            sizes: vec![vec![10.0, 0.0], vec![0.0, 10.0]],
+            overlaps: vec![],
+            base_vertices: vec![10.0, 10.0],
+        };
+        let r = run_qcut(&stats, &QcutConfig::default());
+        assert_eq!(r.initial_cost, 0.0);
+        assert_eq!(r.final_cost, 0.0);
+        assert!(r.plan.is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let stats = hash_like(24, 4, 64.0);
+        let a = run_qcut(&stats, &QcutConfig::default());
+        let b = run_qcut(&stats, &QcutConfig::default());
+        assert_eq!(a.final_cost, b.final_cost);
+        assert_eq!(a.plan, b.plan);
+    }
+
+    #[test]
+    fn respects_round_budget() {
+        let stats = hash_like(16, 4, 100.0);
+        let cfg = QcutConfig {
+            ils_max_rounds: 3,
+            ..Default::default()
+        };
+        let r = run_qcut(&stats, &cfg);
+        assert!(r.trace.len() <= 4);
+    }
+
+    #[test]
+    fn solution_stays_balanced_on_random_inputs() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for trial in 0..10 {
+            let k = 4;
+            let nq = 20;
+            let stats = ScopeStats {
+                num_workers: k,
+                queries: (0..nq as u32).map(QueryId).collect(),
+                sizes: (0..nq)
+                    .map(|_| (0..k).map(|_| rng.gen_range(0.0..50.0)).collect())
+                    .collect(),
+                overlaps: vec![],
+                base_vertices: vec![200.0; k],
+            };
+            let clusters = cluster_queries(&stats, 16, &mut rng);
+            let mut s = Solution::initial(&stats, &clusters, 0.25);
+            let initial_imbalance = s.imbalance();
+            local_search(&mut s);
+            assert!(
+                s.imbalance() <= initial_imbalance.max(0.25) + 1e-9,
+                "trial {trial}: imbalance grew from {initial_imbalance} to {}",
+                s.imbalance()
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_queries_contract_when_over_bound() {
+        // Six pairwise-chained queries with cluster bound 1·k = 2: the
+        // contraction merges the strongest overlaps so whole hotspots move
+        // as units, and the ILS still finds a zero-cost gathering.
+        let stats = ScopeStats {
+            num_workers: 2,
+            queries: (0..6u32).map(QueryId).collect(),
+            sizes: vec![vec![10.0, 10.0]; 6],
+            overlaps: vec![
+                (0, 1, 15.0),
+                (1, 2, 15.0),
+                (3, 4, 15.0),
+                (4, 5, 15.0),
+            ],
+            base_vertices: vec![1000.0, 1000.0],
+        };
+        let cfg = QcutConfig {
+            cluster_factor: 1,
+            ..Default::default()
+        };
+        let r = run_qcut(&stats, &cfg);
+        assert_eq!(r.num_clusters, 2, "contracted to the 1·k bound");
+        assert_eq!(r.final_cost, 0.0);
+        assert!(!r.plan.is_empty());
+    }
+
+    #[test]
+    fn unsplittable_hot_cluster_stays_spread() {
+        // One mega-cluster carrying nearly all the load cannot be gathered
+        // without violating δ — the ILS must keep it spread (the paper:
+        // "higher query locality would result in higher workload imbalance
+        // which we do not allow").
+        let stats = ScopeStats {
+            num_workers: 4,
+            queries: (0..8u32).map(QueryId).collect(),
+            sizes: vec![vec![100.0; 4]; 8],
+            overlaps: (0..8usize)
+                .flat_map(|a| ((a + 1)..8).map(move |b| (a, b, 350.0)))
+                .collect(),
+            base_vertices: vec![50.0; 4],
+        };
+        let cfg = QcutConfig {
+            cluster_factor: 0, // force full contraction to one cluster
+            ..Default::default()
+        };
+        let r = run_qcut(&stats, &cfg);
+        assert_eq!(r.num_clusters, 1);
+        assert!(
+            r.plan.is_empty(),
+            "gathering the hot cluster would unbalance the system"
+        );
+    }
+}

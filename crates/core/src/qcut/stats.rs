@@ -1,0 +1,106 @@
+//! The controller's high-level view of the query workload.
+
+use crate::QueryId;
+
+/// Scope statistics for one ILS run: everything the controller knows, and
+/// nothing a worker would not have sent (sizes and intersection sizes, not
+/// vertices — the paper's scalability argument in §3.2).
+#[derive(Clone, Debug, Default)]
+pub struct ScopeStats {
+    /// Number of workers `k`.
+    pub num_workers: usize,
+    /// The queries in view (live + those finished within the monitoring
+    /// window μ), capped at the configured maximum (paper: 128).
+    pub queries: Vec<QueryId>,
+    /// `sizes[q][w] = |LS(q,w)|` for query index `q` (into `queries`).
+    pub sizes: Vec<Vec<f64>>,
+    /// Total pairwise scope overlap `Σ_w |LS(qi,w) ∩ LS(qj,w)|` for query
+    /// index pairs, sparse (only non-zero pairs).
+    pub overlaps: Vec<(usize, usize, f64)>,
+    /// Per worker: vertices belonging to *no* scope in view. Together with
+    /// the scope sizes this reconstructs `|V(w)|` for the workload metric.
+    pub base_vertices: Vec<f64>,
+}
+
+impl ScopeStats {
+    /// Global scope size `|GS(q)|` of query index `q`.
+    pub fn global_size(&self, q: usize) -> f64 {
+        self.sizes[q].iter().sum()
+    }
+
+    /// Consistency checks used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.base_vertices.len() != self.num_workers {
+            return Err("base_vertices length != num_workers".into());
+        }
+        if self.sizes.len() != self.queries.len() {
+            return Err("sizes length != queries length".into());
+        }
+        for (i, s) in self.sizes.iter().enumerate() {
+            if s.len() != self.num_workers {
+                return Err(format!("sizes[{i}] length != num_workers"));
+            }
+            if s.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+                return Err(format!("sizes[{i}] contains invalid values"));
+            }
+        }
+        for &(a, b, o) in &self.overlaps {
+            if a >= self.queries.len() || b >= self.queries.len() || a == b {
+                return Err(format!("overlap pair ({a},{b}) out of range"));
+            }
+            if o < 0.0 {
+                return Err("negative overlap".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two workers, three queries: q0 local on w0, q1 split, q2 local on w1.
+    pub(crate) fn example() -> ScopeStats {
+        ScopeStats {
+            num_workers: 2,
+            queries: vec![QueryId(0), QueryId(1), QueryId(2)],
+            sizes: vec![
+                vec![13.0, 0.0],
+                vec![2.0, 14.0],
+                vec![0.0, 5.0],
+            ],
+            overlaps: vec![(1, 2, 2.0)],
+            base_vertices: vec![50.0, 50.0],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_example() {
+        assert_eq!(example().validate(), Ok(()));
+    }
+
+    #[test]
+    fn global_size_sums_workers() {
+        assert_eq!(example().global_size(1), 16.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        let mut s = example();
+        s.base_vertices.pop();
+        assert!(s.validate().is_err());
+
+        let mut s = example();
+        s.sizes[0].pop();
+        assert!(s.validate().is_err());
+
+        let mut s = example();
+        s.overlaps.push((0, 0, 1.0));
+        assert!(s.validate().is_err());
+
+        let mut s = example();
+        s.sizes[0][0] = -1.0;
+        assert!(s.validate().is_err());
+    }
+}

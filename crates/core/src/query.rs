@@ -1,0 +1,94 @@
+//! Query identity and lifecycle records.
+
+use qgraph_sim::SimTime;
+
+/// Identifier of a query, dense per engine instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    /// The index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Everything measured about one finished query.
+///
+/// `latency` follows the paper's definition: the difference between the
+/// last and the first instant at which the query had an active vertex
+/// (§2), here from submission to final barrier.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOutcome {
+    /// The query.
+    pub id: QueryId,
+    /// Submission (virtual) time.
+    pub submitted_at: SimTime,
+    /// Completion (virtual) time.
+    pub completed_at: SimTime,
+    /// Number of supersteps executed.
+    pub iterations: u32,
+    /// Supersteps that ran completely locally on one worker — the
+    /// numerator of the paper's *query locality* metric.
+    pub local_iterations: u32,
+    /// Total vertex-function executions.
+    pub vertex_updates: u64,
+    /// Messages that crossed worker boundaries.
+    pub remote_messages: u64,
+    /// Total vertices this query activated (its global scope |GS(q)|).
+    pub scope_size: u64,
+}
+
+impl QueryOutcome {
+    /// Query latency in virtual seconds.
+    pub fn latency_secs(&self) -> f64 {
+        (self.completed_at.saturating_sub(self.submitted_at)).as_secs_f64()
+    }
+
+    /// Fraction of iterations executed fully locally (1.0 for a query that
+    /// never left one worker; also 1.0 for a zero-iteration query).
+    pub fn locality(&self) -> f64 {
+        if self.iterations == 0 {
+            1.0
+        } else {
+            self.local_iterations as f64 / self.iterations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(iter: u32, local: u32) -> QueryOutcome {
+        QueryOutcome {
+            id: QueryId(0),
+            submitted_at: SimTime::from_secs(1),
+            completed_at: SimTime::from_secs(3),
+            iterations: iter,
+            local_iterations: local,
+            vertex_updates: 10,
+            remote_messages: 2,
+            scope_size: 5,
+        }
+    }
+
+    #[test]
+    fn latency_is_completion_minus_submission() {
+        assert_eq!(outcome(4, 2).latency_secs(), 2.0);
+    }
+
+    #[test]
+    fn locality_fraction() {
+        assert_eq!(outcome(4, 2).locality(), 0.5);
+        assert_eq!(outcome(0, 0).locality(), 1.0);
+        assert_eq!(outcome(3, 3).locality(), 1.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The measurement record one engine run produces, plus the derived
+//! series the experiment harness plots.
+
+use qgraph_metrics::TimeSeries;
+
+use crate::qcut::IlsResult;
+use crate::query::QueryOutcome;
+
+/// One worker-activity observation: a superstep's vertex-function count,
+/// attributed to its completion time. Figure 6e derives workload-imbalance
+/// curves from these.
+#[derive(Clone, Copy, Debug)]
+pub struct ActivitySample {
+    /// Completion time (virtual seconds).
+    pub t: f64,
+    /// Worker index.
+    pub worker: usize,
+    /// Vertex functions executed in the superstep.
+    pub executed: u64,
+}
+
+/// One adaptive repartitioning (global barrier) event.
+#[derive(Clone, Debug)]
+pub struct RepartitionEvent {
+    /// When the ILS was triggered (virtual seconds).
+    pub triggered_at: f64,
+    /// When the moves were applied (global barrier STOP).
+    pub applied_at: f64,
+    /// Global barrier duration (virtual seconds).
+    pub barrier_duration: f64,
+    /// Vertices that changed workers.
+    pub moved_vertices: usize,
+    /// The ILS run's result (costs, trace, plan size).
+    pub ils: IlsResult,
+}
+
+/// Everything measured during one engine run.
+#[derive(Clone, Debug, Default)]
+pub struct EngineReport {
+    /// Per-query outcomes, in completion order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Per-superstep worker activity.
+    pub activity: Vec<ActivitySample>,
+    /// Adaptive repartitioning events.
+    pub repartitions: Vec<RepartitionEvent>,
+    /// Virtual time at which the last query finished.
+    pub finished_at_secs: f64,
+}
+
+impl EngineReport {
+    /// Mean query latency (virtual seconds). NaN when no query finished.
+    pub fn mean_latency(&self) -> f64 {
+        qgraph_metrics::mean(self.outcomes.iter().map(|o| o.latency_secs()))
+    }
+
+    /// Summed latency over all queries (the paper's Figure 6a–6c metric).
+    pub fn total_latency(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.latency_secs()).sum()
+    }
+
+    /// Mean per-query locality (the paper's Figure 6f metric).
+    pub fn mean_locality(&self) -> f64 {
+        qgraph_metrics::mean(self.outcomes.iter().map(|o| o.locality()))
+    }
+
+    /// Latency samples over completion time.
+    pub fn latency_series(&self) -> TimeSeries {
+        let mut s = TimeSeries::new("latency");
+        for o in &self.outcomes {
+            s.push(o.completed_at.as_secs_f64(), o.latency_secs());
+        }
+        s
+    }
+
+    /// Per-query locality over completion time.
+    pub fn locality_series(&self) -> TimeSeries {
+        let mut s = TimeSeries::new("locality");
+        for o in &self.outcomes {
+            s.push(o.completed_at.as_secs_f64(), o.locality());
+        }
+        s
+    }
+
+    /// Workload imbalance over time: bucket worker activity into windows
+    /// of `window` seconds; imbalance of a window is
+    /// `max_w(load) / mean_w(load) - 1` (0 = perfectly balanced).
+    pub fn imbalance_series(&self, num_workers: usize, window: f64) -> TimeSeries {
+        assert!(window > 0.0);
+        let mut s = TimeSeries::new("imbalance");
+        if self.activity.is_empty() {
+            return s;
+        }
+        let mut bucket_start = 0.0f64;
+        let mut loads = vec![0u64; num_workers];
+        let mut any = false;
+        for a in &self.activity {
+            while a.t >= bucket_start + window {
+                if any {
+                    s.push(bucket_start, imbalance_of(&loads));
+                }
+                loads.iter_mut().for_each(|l| *l = 0);
+                any = false;
+                bucket_start += window;
+            }
+            loads[a.worker] += a.executed;
+            any = true;
+        }
+        if any {
+            s.push(bucket_start, imbalance_of(&loads));
+        }
+        s
+    }
+
+    /// Total remote messages across all queries.
+    pub fn total_remote_messages(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.remote_messages).sum()
+    }
+}
+
+fn imbalance_of(loads: &[u64]) -> f64 {
+    let total: u64 = loads.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mean = total as f64 / loads.len() as f64;
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    max / mean - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryId;
+    use qgraph_sim::SimTime;
+
+    fn outcome(sub: u64, done: u64, local: u32, iters: u32) -> QueryOutcome {
+        QueryOutcome {
+            id: QueryId(0),
+            submitted_at: SimTime::from_secs(sub),
+            completed_at: SimTime::from_secs(done),
+            iterations: iters,
+            local_iterations: local,
+            vertex_updates: 1,
+            remote_messages: 3,
+            scope_size: 1,
+        }
+    }
+
+    #[test]
+    fn aggregate_metrics() {
+        let r = EngineReport {
+            outcomes: vec![outcome(0, 2, 1, 2), outcome(1, 5, 4, 4)],
+            ..Default::default()
+        };
+        assert_eq!(r.mean_latency(), 3.0);
+        assert_eq!(r.total_latency(), 6.0);
+        assert_eq!(r.mean_locality(), 0.75);
+        assert_eq!(r.total_remote_messages(), 6);
+        assert_eq!(r.latency_series().len(), 2);
+        assert_eq!(r.locality_series().len(), 2);
+    }
+
+    #[test]
+    fn imbalance_series_buckets() {
+        let r = EngineReport {
+            activity: vec![
+                ActivitySample { t: 0.1, worker: 0, executed: 10 },
+                ActivitySample { t: 0.2, worker: 1, executed: 10 },
+                ActivitySample { t: 1.5, worker: 0, executed: 20 },
+            ],
+            ..Default::default()
+        };
+        let s = r.imbalance_series(2, 1.0);
+        assert_eq!(s.len(), 2);
+        // First window balanced, second fully skewed (max/mean - 1 = 1.0).
+        assert_eq!(s.samples()[0].value, 0.0);
+        assert_eq!(s.samples()[1].value, 1.0);
+    }
+
+    #[test]
+    fn empty_report_is_sane() {
+        let r = EngineReport::default();
+        assert!(r.mean_latency().is_nan());
+        assert_eq!(r.total_latency(), 0.0);
+        assert!(r.imbalance_series(2, 1.0).is_empty());
+    }
+}

@@ -1,0 +1,384 @@
+//! A real multi-threaded shared-memory runtime.
+//!
+//! [`ThreadEngine`] runs the same worker code as the discrete-event engine
+//! — same [`crate::worker::Worker`], same vertex programs, same per-query
+//! limited barriers — but on OS threads with crossbeam channels. It
+//! demonstrates that the library is an executable system, and the
+//! integration tests use it to cross-validate the simulator: both runtimes
+//! must produce identical query outputs.
+//!
+//! Scope: the thread runtime executes a fixed batch of queries to
+//! completion under hybrid (limited) barriers. Adaptive repartitioning is
+//! exclusive to the simulated engine, where its latency effects are
+//! measurable; wiring Q-cut into this runtime is mechanical (a stop-the-
+//! world phase calling the same [`crate::qcut::run_qcut`]) but provides no
+//! additional measurement value on a shared-memory host.
+
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use qgraph_graph::{Graph, VertexId};
+use qgraph_partition::Partitioning;
+
+use crate::program::VertexProgram;
+use crate::worker::Worker;
+use crate::QueryId;
+
+enum Cmd<P: VertexProgram> {
+    Deliver {
+        q: QueryId,
+        msgs: Vec<(VertexId, P::Message)>,
+    },
+    Step {
+        q: QueryId,
+        program: Arc<P>,
+        prev_agg: P::Aggregate,
+    },
+    Collect {
+        q: QueryId,
+    },
+    Shutdown,
+}
+
+enum Resp<P: VertexProgram> {
+    StepDone {
+        q: QueryId,
+        executed: usize,
+        agg: P::Aggregate,
+        remote: Vec<(usize, Vec<(VertexId, P::Message)>)>,
+        self_pending: bool,
+        worker: usize,
+    },
+    Collected {
+        q: QueryId,
+        states: Vec<(VertexId, P::State)>,
+    },
+}
+
+struct QueryTracking<P: VertexProgram> {
+    program: Arc<P>,
+    outstanding: usize,
+    agg_acc: P::Aggregate,
+    agg_prev: P::Aggregate,
+    next_involved: FxHashSet<usize>,
+    touched: FxHashSet<usize>,
+    collecting: usize,
+    states: Vec<(VertexId, P::State)>,
+    iterations: u32,
+    vertex_updates: u64,
+}
+
+/// Per-query execution record from a [`ThreadEngine`] run.
+#[derive(Clone, Debug)]
+pub struct ThreadQueryResult<P: VertexProgram> {
+    /// The query.
+    pub id: QueryId,
+    /// Its answer.
+    pub output: P::Output,
+    /// Supersteps executed.
+    pub iterations: u32,
+    /// Vertex functions executed.
+    pub vertex_updates: u64,
+}
+
+/// The multi-threaded runtime: one OS thread per worker partition.
+pub struct ThreadEngine<P: VertexProgram> {
+    graph: Arc<Graph>,
+    partitioning: Arc<Partitioning>,
+    _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P: VertexProgram> ThreadEngine<P> {
+    /// Create a runtime over `graph` with a fixed `partitioning`.
+    pub fn new(graph: Arc<Graph>, partitioning: Partitioning) -> Self {
+        assert_eq!(
+            partitioning.num_vertices(),
+            graph.num_vertices(),
+            "partitioning does not cover the graph"
+        );
+        ThreadEngine {
+            graph,
+            partitioning: Arc::new(partitioning),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Execute all `programs` concurrently to completion; results are in
+    /// submission order.
+    pub fn run(&self, programs: Vec<P>) -> Vec<ThreadQueryResult<P>> {
+        let k = self.partitioning.num_workers();
+        let (resp_tx, resp_rx) = unbounded::<Resp<P>>();
+        let mut cmd_txs: Vec<Sender<Cmd<P>>> = Vec::with_capacity(k);
+        let mut handles = Vec::with_capacity(k);
+
+        for w in 0..k {
+            let (tx, rx) = unbounded::<Cmd<P>>();
+            cmd_txs.push(tx);
+            let graph = Arc::clone(&self.graph);
+            let partitioning = Arc::clone(&self.partitioning);
+            let resp = resp_tx.clone();
+            handles.push(thread::spawn(move || {
+                worker_loop::<P>(w, graph, partitioning, rx, resp);
+            }));
+        }
+        drop(resp_tx);
+
+        let results = self.drive(programs, &cmd_txs, resp_rx);
+
+        for tx in &cmd_txs {
+            let _ = tx.send(Cmd::Shutdown);
+        }
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+        results
+    }
+
+    fn drive(
+        &self,
+        programs: Vec<P>,
+        cmd_txs: &[Sender<Cmd<P>>],
+        resp_rx: Receiver<Resp<P>>,
+    ) -> Vec<ThreadQueryResult<P>> {
+        let mut tracking: FxHashMap<QueryId, QueryTracking<P>> = FxHashMap::default();
+        let mut finished: FxHashMap<QueryId, ThreadQueryResult<P>> = FxHashMap::default();
+        let total = programs.len();
+
+        // Seed every query.
+        for (i, program) in programs.into_iter().enumerate() {
+            let q = QueryId(i as u32);
+            let program = Arc::new(program);
+            let initial = program.initial_messages(&self.graph);
+            let mut by_worker: FxHashMap<usize, Vec<(VertexId, P::Message)>> =
+                FxHashMap::default();
+            for (v, m) in initial {
+                by_worker
+                    .entry(self.partitioning.worker_of(v).index())
+                    .or_default()
+                    .push((v, m));
+            }
+            let mut t = QueryTracking {
+                agg_acc: program.aggregate_identity(),
+                agg_prev: program.aggregate_identity(),
+                program: Arc::clone(&program),
+                outstanding: 0,
+                next_involved: FxHashSet::default(),
+                touched: FxHashSet::default(),
+                collecting: 0,
+                states: Vec::new(),
+                iterations: 0,
+                vertex_updates: 0,
+            };
+            if by_worker.is_empty() {
+                // No initial messages: finalize over the empty state set.
+                let mut it = std::iter::empty();
+                finished.insert(
+                    q,
+                    ThreadQueryResult {
+                        id: q,
+                        output: program.finalize(&self.graph, &mut it),
+                        iterations: 0,
+                        vertex_updates: 0,
+                    },
+                );
+                continue;
+            }
+            for (w, msgs) in by_worker {
+                t.touched.insert(w);
+                cmd_txs[w].send(Cmd::Deliver { q, msgs }).expect("worker alive");
+                cmd_txs[w]
+                    .send(Cmd::Step {
+                        q,
+                        program: Arc::clone(&program),
+                        prev_agg: program.aggregate_identity(),
+                    })
+                    .expect("worker alive");
+                t.outstanding += 1;
+            }
+            tracking.insert(q, t);
+        }
+
+        // Event loop.
+        while finished.len() < total {
+            let resp = resp_rx.recv().expect("workers alive while queries pending");
+            match resp {
+                Resp::StepDone {
+                    q,
+                    executed,
+                    agg,
+                    remote,
+                    self_pending,
+                    worker,
+                } => {
+                    let t = tracking.get_mut(&q).expect("tracked query");
+                    t.outstanding -= 1;
+                    t.vertex_updates += executed as u64;
+                    t.program.aggregate_combine(&mut t.agg_acc, &agg);
+                    if self_pending {
+                        t.next_involved.insert(worker);
+                    }
+                    for (w2, msgs) in remote {
+                        t.next_involved.insert(w2);
+                        t.touched.insert(w2);
+                        cmd_txs[w2].send(Cmd::Deliver { q, msgs }).expect("worker alive");
+                    }
+                    if t.outstanding == 0 {
+                        t.iterations += 1;
+                        let combined = std::mem::replace(
+                            &mut t.agg_acc,
+                            t.program.aggregate_identity(),
+                        );
+                        if t.program.aggregate_sticky() {
+                            let mut prev = t.agg_prev.clone();
+                            t.program.aggregate_combine(&mut prev, &combined);
+                            t.agg_prev = prev;
+                        } else {
+                            t.agg_prev = combined;
+                        }
+                        let next: Vec<usize> = t.next_involved.drain().collect();
+                        if next.is_empty() || t.program.should_terminate(&t.agg_prev) {
+                            // Collect states from every touched worker.
+                            t.collecting = t.touched.len();
+                            for &w in &t.touched {
+                                cmd_txs[w].send(Cmd::Collect { q }).expect("worker alive");
+                            }
+                        } else {
+                            for w in next {
+                                cmd_txs[w]
+                                    .send(Cmd::Step {
+                                        q,
+                                        program: Arc::clone(&t.program),
+                                        prev_agg: t.agg_prev.clone(),
+                                    })
+                                    .expect("worker alive");
+                                t.outstanding += 1;
+                            }
+                        }
+                    }
+                }
+                Resp::Collected { q, states } => {
+                    let t = tracking.get_mut(&q).expect("tracked query");
+                    t.states.extend(states);
+                    t.collecting -= 1;
+                    if t.collecting == 0 {
+                        let t = tracking.remove(&q).expect("present");
+                        let mut it = t.states.into_iter();
+                        finished.insert(
+                            q,
+                            ThreadQueryResult {
+                                id: q,
+                                output: t.program.finalize(&self.graph, &mut it),
+                                iterations: t.iterations,
+                                vertex_updates: t.vertex_updates,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<ThreadQueryResult<P>> = finished.into_values().collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+}
+
+fn worker_loop<P: VertexProgram>(
+    id: usize,
+    graph: Arc<Graph>,
+    partitioning: Arc<Partitioning>,
+    rx: Receiver<Cmd<P>>,
+    resp: Sender<Resp<P>>,
+) {
+    let mut worker: Worker<P> = Worker::new(id);
+    let route = |v: VertexId| partitioning.worker_of(v).index();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Deliver { q, msgs } => worker.deliver(q, msgs),
+            Cmd::Step { q, program, prev_agg } => {
+                worker.freeze(q);
+                let (stats, agg, remote) =
+                    worker.execute(q, &graph, program.as_ref(), &prev_agg, &route);
+                let self_pending = worker.has_pending(q);
+                resp.send(Resp::StepDone {
+                    q,
+                    executed: stats.executed,
+                    agg,
+                    remote,
+                    self_pending,
+                    worker: id,
+                })
+                .expect("controller alive");
+            }
+            Cmd::Collect { q } => {
+                let states: Vec<(VertexId, P::State)> =
+                    worker.take_states(q).into_iter().collect();
+                resp.send(Resp::Collected { q, states }).expect("controller alive");
+            }
+            Cmd::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::ReachProgram;
+    use qgraph_graph::GraphBuilder;
+    use qgraph_partition::{Partitioner, RangePartitioner};
+
+    fn line(n: usize) -> Arc<Graph> {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as u32, i as u32 + 1, 1.0);
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn single_query_runs_to_completion() {
+        let g = line(12);
+        let parts = RangePartitioner.partition(&g, 3);
+        let e: ThreadEngine<ReachProgram> = ThreadEngine::new(Arc::clone(&g), parts);
+        let results = e.run(vec![ReachProgram::new(VertexId(0))]);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].output.len(), 12);
+        assert_eq!(results[0].iterations, 12);
+    }
+
+    #[test]
+    fn many_parallel_queries() {
+        let g = line(64);
+        let parts = RangePartitioner.partition(&g, 4);
+        let e: ThreadEngine<ReachProgram> = ThreadEngine::new(Arc::clone(&g), parts);
+        let programs: Vec<_> = (0..12u32)
+            .map(|i| ReachProgram::bounded(VertexId(i * 5), 4))
+            .collect();
+        let results = e.run(programs);
+        assert_eq!(results.len(), 12);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.id, QueryId(i as u32), "results in submission order");
+            assert!(!r.output.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_program_list() {
+        let g = line(4);
+        let parts = RangePartitioner.partition(&g, 2);
+        let e: ThreadEngine<ReachProgram> = ThreadEngine::new(g, parts);
+        assert!(e.run(vec![]).is_empty());
+    }
+
+    #[test]
+    fn single_worker_partition() {
+        let g = line(8);
+        let parts = RangePartitioner.partition(&g, 1);
+        let e: ThreadEngine<ReachProgram> = ThreadEngine::new(Arc::clone(&g), parts);
+        let results = e.run(vec![ReachProgram::new(VertexId(3))]);
+        assert_eq!(results[0].output.len(), 5);
+    }
+}

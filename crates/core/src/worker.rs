@@ -1,0 +1,368 @@
+//! Worker-side query execution (paper §3.1, "low-level vertex-centric,
+//! local knowledge").
+//!
+//! A [`Worker`] owns, for every query it participates in, a sparse
+//! [`QueryLocal`]: the query-specific vertex data of the vertices the query
+//! activated here (its local scope `LS(q,w)`), plus double-buffered message
+//! inboxes. Sparse storage is essential for the multi-query model — dense
+//! per-query arrays would cost `O(|V| · |Q|)` memory while localized
+//! queries touch a tiny graph fraction.
+//!
+//! Workers are runtime-agnostic: both the discrete-event engine and the
+//! thread runtime drive the same code, passing a routing closure that
+//! resolves the current vertex→worker assignment.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use qgraph_graph::{Graph, VertexId};
+
+use crate::program::{Context, VertexProgram};
+use crate::QueryId;
+
+/// Per-query, per-worker execution state.
+pub struct QueryLocal<P: VertexProgram> {
+    /// Frozen inbox of the running superstep, sorted by vertex id for
+    /// deterministic execution order.
+    cur: Vec<(VertexId, Vec<P::Message>)>,
+    /// Inbox accumulating messages for the next superstep.
+    next: FxHashMap<VertexId, Vec<P::Message>>,
+    /// Query-specific vertex data `D_v` for activated vertices.
+    state: FxHashMap<VertexId, P::State>,
+}
+
+impl<P: VertexProgram> Default for QueryLocal<P> {
+    fn default() -> Self {
+        QueryLocal {
+            cur: Vec::new(),
+            next: FxHashMap::default(),
+            state: FxHashMap::default(),
+        }
+    }
+}
+
+/// Counters reported after one local superstep; the sizes in it are what
+/// the worker piggybacks to the controller as `stats(q, |LS(q,w)|, I_w, w)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SuperstepStats {
+    /// Vertex functions executed.
+    pub executed: usize,
+    /// Messages consumed.
+    pub messages_in: usize,
+    /// Messages that stayed on this worker.
+    pub local_deliveries: usize,
+    /// Messages destined for other workers.
+    pub remote_deliveries: usize,
+    /// `|LS(q,w)|` after the step.
+    pub local_scope: usize,
+}
+
+/// One worker: the container of all queries' local state on this partition.
+pub struct Worker<P: VertexProgram> {
+    /// This worker's id (index into the cluster).
+    pub id: usize,
+    queries: FxHashMap<QueryId, QueryLocal<P>>,
+}
+
+impl<P: VertexProgram> Worker<P> {
+    /// An empty worker.
+    pub fn new(id: usize) -> Self {
+        Worker {
+            id,
+            queries: FxHashMap::default(),
+        }
+    }
+
+    /// Deliver messages into query `q`'s next-superstep inbox.
+    pub fn deliver(&mut self, q: QueryId, msgs: impl IntoIterator<Item = (VertexId, P::Message)>) {
+        let local = self.queries.entry(q).or_default();
+        for (v, m) in msgs {
+            local.next.entry(v).or_default().push(m);
+        }
+    }
+
+    /// Does query `q` have pending messages for a next superstep here?
+    pub fn has_pending(&self, q: QueryId) -> bool {
+        self.queries.get(&q).is_some_and(|l| !l.next.is_empty())
+    }
+
+    /// `(active vertices, messages)` pending for query `q`'s next superstep.
+    pub fn pending_counts(&self, q: QueryId) -> (usize, usize) {
+        match self.queries.get(&q) {
+            None => (0, 0),
+            Some(l) => (l.next.len(), l.next.values().map(Vec::len).sum()),
+        }
+    }
+
+    /// Freeze the pending inbox as the current superstep's input; returns
+    /// `(active vertices, messages)` for the cost model.
+    ///
+    /// Called at *barrier release* (not task start): all involved workers
+    /// freeze at the same instant, so messages produced by another
+    /// worker's in-flight superstep can never leak into this one — the
+    /// BSP isolation that makes iteration counts partition-independent.
+    pub fn freeze(&mut self, q: QueryId) -> (usize, usize) {
+        let local = self.queries.entry(q).or_default();
+        debug_assert!(local.cur.is_empty(), "freeze with unexecuted frozen inbox");
+        local.cur = local.next.drain().collect();
+        local.cur.sort_unstable_by_key(|(v, _)| *v);
+        let msgs = local.cur.iter().map(|(_, m)| m.len()).sum();
+        (local.cur.len(), msgs)
+    }
+
+    /// `(active vertices, messages)` of the already-frozen superstep input.
+    pub fn frozen_counts(&self, q: QueryId) -> (usize, usize) {
+        match self.queries.get(&q) {
+            None => (0, 0),
+            Some(l) => (l.cur.len(), l.cur.iter().map(|(_, m)| m.len()).sum()),
+        }
+    }
+
+    /// Execute the frozen superstep of query `q`.
+    ///
+    /// `route` resolves the *current* assignment; messages to this worker
+    /// go straight into the next inbox, others are returned bucketed by
+    /// destination worker.
+    #[allow(clippy::type_complexity)]
+    pub fn execute(
+        &mut self,
+        q: QueryId,
+        graph: &Graph,
+        program: &P,
+        prev_aggregate: &P::Aggregate,
+        route: &dyn Fn(VertexId) -> usize,
+    ) -> (
+        SuperstepStats,
+        P::Aggregate,
+        Vec<(usize, Vec<(VertexId, P::Message)>)>,
+    ) {
+        let local = self.queries.entry(q).or_default();
+        let mut stats = SuperstepStats::default();
+        let mut aggregate = program.aggregate_identity();
+        let mut outgoing: Vec<(VertexId, P::Message)> = Vec::new();
+        let combine = |a: &mut P::Aggregate, b: &P::Aggregate| program.aggregate_combine(a, b);
+
+        let cur = std::mem::take(&mut local.cur);
+        for (v, msgs) in &cur {
+            let state = local
+                .state
+                .entry(*v)
+                .or_insert_with(|| program.init_state());
+            let mut ctx = Context {
+                outgoing: &mut outgoing,
+                aggregate: &mut aggregate,
+                prev_aggregate,
+                combine: &combine,
+            };
+            program.compute(graph, *v, state, msgs, &mut ctx);
+            stats.executed += 1;
+            stats.messages_in += msgs.len();
+        }
+
+        // Route produced messages.
+        let mut buckets: FxHashMap<usize, Vec<(VertexId, P::Message)>> = FxHashMap::default();
+        for (to, msg) in outgoing {
+            let w = route(to);
+            if w == self.id {
+                local.next.entry(to).or_default().push(msg);
+                stats.local_deliveries += 1;
+            } else {
+                buckets.entry(w).or_default().push((to, msg));
+                stats.remote_deliveries += 1;
+            }
+        }
+        stats.local_scope = local.state.len();
+        let mut remote: Vec<_> = buckets.into_iter().collect();
+        remote.sort_unstable_by_key(|(w, _)| *w); // deterministic order
+        (stats, aggregate, remote)
+    }
+
+    /// `|LS(q,w)|`: vertices query `q` has activated on this worker.
+    pub fn scope_size(&self, q: QueryId) -> usize {
+        self.queries.get(&q).map_or(0, |l| l.state.len())
+    }
+
+    /// The live local scope vertex set of query `q`.
+    pub fn scope_vertices(&self, q: QueryId) -> Vec<VertexId> {
+        self.queries
+            .get(&q)
+            .map(|l| l.state.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Queries with state on this worker.
+    pub fn active_queries(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.queries.keys().copied()
+    }
+
+    /// Remove query `q` entirely, returning its vertex states (for
+    /// [`VertexProgram::finalize`]).
+    pub fn take_states(&mut self, q: QueryId) -> FxHashMap<VertexId, P::State> {
+        self.queries.remove(&q).map(|l| l.state).unwrap_or_default()
+    }
+
+    /// Extract all per-query data of the given vertices, for migration to
+    /// another worker during a global barrier. The frozen inbox must be
+    /// empty (no superstep in flight), which the engine guarantees by
+    /// quiescing workers first.
+    #[allow(clippy::type_complexity)]
+    pub fn extract_vertices(
+        &mut self,
+        vertices: &FxHashSet<VertexId>,
+    ) -> Vec<(QueryId, Vec<(VertexId, Option<P::State>, Vec<P::Message>)>)> {
+        let mut out = Vec::new();
+        for (&q, local) in self.queries.iter_mut() {
+            debug_assert!(local.cur.is_empty(), "migration during a running superstep");
+            let mut entries = Vec::new();
+            let touched: Vec<VertexId> = local
+                .state
+                .keys()
+                .chain(local.next.keys())
+                .filter(|v| vertices.contains(v))
+                .copied()
+                .collect::<FxHashSet<_>>()
+                .into_iter()
+                .collect();
+            for v in touched {
+                let st = local.state.remove(&v);
+                let msgs = local.next.remove(&v).unwrap_or_default();
+                entries.push((v, st, msgs));
+            }
+            if !entries.is_empty() {
+                entries.sort_unstable_by_key(|(v, _, _)| *v);
+                out.push((q, entries));
+            }
+        }
+        out.sort_unstable_by_key(|(q, _)| *q);
+        out
+    }
+
+    /// Inject migrated vertex data (the counterpart of
+    /// [`Worker::extract_vertices`]).
+    #[allow(clippy::type_complexity)]
+    pub fn inject_vertices(
+        &mut self,
+        data: Vec<(QueryId, Vec<(VertexId, Option<P::State>, Vec<P::Message>)>)>,
+    ) {
+        for (q, entries) in data {
+            let local = self.queries.entry(q).or_default();
+            for (v, st, msgs) in entries {
+                if let Some(st) = st {
+                    local.state.insert(v, st);
+                }
+                if !msgs.is_empty() {
+                    local.next.entry(v).or_default().extend(msgs);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::ReachProgram;
+    use qgraph_graph::GraphBuilder;
+
+    fn line() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 3, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn deliver_freeze_execute_cycle() {
+        let g = line();
+        let p = ReachProgram::new(VertexId(0));
+        let mut w: Worker<ReachProgram> = Worker::new(0);
+        let q = QueryId(0);
+        w.deliver(q, vec![(VertexId(0), 0)]);
+        assert!(w.has_pending(q));
+        assert_eq!(w.pending_counts(q), (1, 1));
+
+        let (active, msgs) = w.freeze(q);
+        assert_eq!((active, msgs), (1, 1));
+        let (stats, _agg, remote) = w.execute(q, &g, &p, &(), &|_| 0);
+        assert_eq!(stats.executed, 1);
+        assert_eq!(stats.local_deliveries, 1); // 0 -> 1 stays local
+        assert!(remote.is_empty());
+        assert_eq!(w.scope_size(q), 1);
+        assert!(w.has_pending(q)); // vertex 1 activated
+    }
+
+    #[test]
+    fn remote_messages_bucketed_by_destination() {
+        let g = line();
+        let p = ReachProgram::new(VertexId(0));
+        let mut w: Worker<ReachProgram> = Worker::new(0);
+        let q = QueryId(0);
+        w.deliver(q, vec![(VertexId(0), 0)]);
+        w.freeze(q);
+        // Route everything except vertex 0 to worker 1.
+        let (stats, _, remote) = w.execute(q, &g, &p, &(), &|v| usize::from(v != VertexId(0)));
+        assert_eq!(stats.remote_deliveries, 1);
+        assert_eq!(remote.len(), 1);
+        assert_eq!(remote[0].0, 1);
+        assert_eq!(remote[0].1, vec![(VertexId(1), 1)]);
+        assert!(!w.has_pending(q));
+    }
+
+    #[test]
+    fn migration_roundtrip_preserves_state_and_inbox() {
+        let g = line();
+        let p = ReachProgram::new(VertexId(0));
+        let q = QueryId(0);
+        let mut a: Worker<ReachProgram> = Worker::new(0);
+        a.deliver(q, vec![(VertexId(0), 0)]);
+        a.freeze(q);
+        a.execute(q, &g, &p, &(), &|_| 0);
+        // Now vertex 0 has state, vertex 1 has a pending message.
+        let moved: FxHashSet<VertexId> = [VertexId(0), VertexId(1)].into_iter().collect();
+        let data = a.extract_vertices(&moved);
+        assert_eq!(a.scope_size(q), 0);
+        assert!(!a.has_pending(q));
+
+        let mut b: Worker<ReachProgram> = Worker::new(1);
+        b.inject_vertices(data);
+        assert_eq!(b.scope_size(q), 1);
+        assert!(b.has_pending(q));
+        assert_eq!(b.pending_counts(q), (1, 1));
+    }
+
+    #[test]
+    fn take_states_removes_query() {
+        let g = line();
+        let p = ReachProgram::new(VertexId(0));
+        let q = QueryId(0);
+        let mut w: Worker<ReachProgram> = Worker::new(0);
+        w.deliver(q, vec![(VertexId(0), 0)]);
+        w.freeze(q);
+        w.execute(q, &g, &p, &(), &|_| 0);
+        let states = w.take_states(q);
+        assert_eq!(states.len(), 1);
+        assert_eq!(w.scope_size(q), 0);
+        assert_eq!(w.active_queries().count(), 0);
+    }
+
+    #[test]
+    fn multiple_queries_are_isolated() {
+        let g = line();
+        let p = ReachProgram::new(VertexId(0));
+        let (q1, q2) = (QueryId(1), QueryId(2));
+        let mut w: Worker<ReachProgram> = Worker::new(0);
+        w.deliver(q1, vec![(VertexId(0), 0)]);
+        w.deliver(q2, vec![(VertexId(2), 0)]);
+        w.freeze(q1);
+        w.execute(q1, &g, &p, &(), &|_| 0);
+        assert_eq!(w.scope_size(q1), 1);
+        assert_eq!(w.scope_size(q2), 0);
+        assert!(w.has_pending(q2));
+    }
+
+    #[test]
+    fn empty_freeze_is_harmless() {
+        let mut w: Worker<ReachProgram> = Worker::new(0);
+        assert_eq!(w.freeze(QueryId(0)), (0, 0));
+    }
+}

@@ -1,0 +1,170 @@
+//! Incremental construction of CSR graphs.
+
+use crate::{Graph, VertexId, VertexProps};
+
+/// Accumulates edges and produces an immutable CSR [`Graph`].
+///
+/// Edges may be added in any order; `build` counting-sorts them by source,
+/// which is O(V + E) and allocation-friendly for the multi-million edge
+/// graphs the paper uses.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    sources: Vec<VertexId>,
+    targets: Vec<VertexId>,
+    weights: Vec<f32>,
+    props: VertexProps,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `num_vertices` vertices (ids `0..n`).
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            sources: Vec::new(),
+            targets: Vec::new(),
+            weights: Vec::new(),
+            props: VertexProps::default(),
+        }
+    }
+
+    /// Pre-allocate room for `n` edges.
+    pub fn with_edge_capacity(mut self, n: usize) -> Self {
+        self.sources.reserve(n);
+        self.targets.reserve(n);
+        self.weights.reserve(n);
+        self
+    }
+
+    /// Number of vertices this builder was created with.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Add a directed edge `from -> to` with weight `w`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: u32, to: u32, w: f32) {
+        assert!(
+            (from as usize) < self.num_vertices && (to as usize) < self.num_vertices,
+            "edge ({from},{to}) out of range for {} vertices",
+            self.num_vertices
+        );
+        self.sources.push(VertexId(from));
+        self.targets.push(VertexId(to));
+        self.weights.push(w);
+    }
+
+    /// Add both `a -> b` and `b -> a` with the same weight (road segments in
+    /// the paper's networks are traversable in both directions).
+    pub fn add_undirected_edge(&mut self, a: u32, b: u32, w: f32) {
+        self.add_edge(a, b, w);
+        self.add_edge(b, a, w);
+    }
+
+    /// Attach vertex properties (coordinates / tags / regions). The props'
+    /// vectors must either be empty or have `num_vertices` entries; this is
+    /// checked in `build`.
+    pub fn set_props(&mut self, props: VertexProps) {
+        self.props = props;
+    }
+
+    /// Finalize into a CSR [`Graph`]. Counting-sort by source vertex.
+    pub fn build(self) -> Graph {
+        let n = self.num_vertices;
+        let m = self.sources.len();
+        self.props.assert_len_compatible(n);
+
+        let mut offsets = vec![0u32; n + 1];
+        for s in &self.sources {
+            offsets[s.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![VertexId(0); m];
+        let mut weights = vec![0f32; m];
+        for i in 0..m {
+            let s = self.sources[i].index();
+            let slot = cursor[s] as usize;
+            cursor[s] += 1;
+            targets[slot] = self.targets[i];
+            weights[slot] = self.weights[i];
+        }
+
+        Graph {
+            offsets,
+            targets,
+            weights,
+            props: self.props,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_preserves_all_edges() {
+        let mut b = GraphBuilder::new(3).with_edge_capacity(3);
+        b.add_edge(2, 0, 0.5);
+        b.add_edge(0, 1, 1.5);
+        b.add_edge(2, 1, 2.5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+        let n2: Vec<_> = g.neighbors(VertexId(2)).collect();
+        assert_eq!(n2, vec![(VertexId(0), 0.5), (VertexId(1), 2.5)]);
+    }
+
+    #[test]
+    fn undirected_adds_two_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_undirected_edge(0, 1, 3.0);
+        let g = b.build();
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(1), VertexId(0)));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_are_kept() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 1, 2.0);
+        let g = b.build();
+        assert_eq!(g.degree(VertexId(0)), 2);
+    }
+
+    #[test]
+    fn self_loops_are_kept() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 0, 1.0);
+        let g = b.build();
+        assert_eq!(g.degree(VertexId(0)), 1);
+        assert!(g.has_edge(VertexId(0), VertexId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5, 1.0);
+    }
+
+    #[test]
+    fn counts_exposed_during_building() {
+        let mut b = GraphBuilder::new(4);
+        assert_eq!(b.num_vertices(), 4);
+        b.add_edge(0, 1, 1.0);
+        assert_eq!(b.num_edges(), 1);
+    }
+}

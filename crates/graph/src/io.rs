@@ -1,0 +1,154 @@
+//! Minimal text edge-list I/O.
+//!
+//! Format: one edge per line, `src dst weight`, `#`-prefixed comment lines
+//! skipped; the vertex count is `max id + 1`. Sufficient for the examples
+//! and for persisting generated workload graphs between runs.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::{Graph, GraphBuilder};
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "graph I/O error: {e}"),
+            GraphIoError::Parse { line, content } => {
+                write!(f, "malformed edge on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+/// Parse an edge list from `reader`. Weight defaults to 1.0 when the third
+/// column is missing.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphIoError> {
+    let mut edges: Vec<(u32, u32, f32)> = Vec::new();
+    let mut max_id: u32 = 0;
+    let mut any = false;
+    let buf = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    let mut buf = buf;
+    loop {
+        line.clear();
+        if buf.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> Option<u32> { s.and_then(|x| x.parse().ok()) };
+        let (src, dst) = match (parse(it.next()), parse(it.next())) {
+            (Some(s), Some(d)) => (s, d),
+            _ => {
+                return Err(GraphIoError::Parse {
+                    line: lineno,
+                    content: t.to_string(),
+                })
+            }
+        };
+        let w = match it.next() {
+            None => 1.0,
+            Some(ws) => ws.parse().map_err(|_| GraphIoError::Parse {
+                line: lineno,
+                content: t.to_string(),
+            })?,
+        };
+        max_id = max_id.max(src).max(dst);
+        any = true;
+        edges.push((src, dst, w));
+    }
+    let n = if any { max_id as usize + 1 } else { 0 };
+    let mut b = GraphBuilder::new(n).with_edge_capacity(edges.len());
+    for (s, d, w) in edges {
+        b.add_edge(s, d, w);
+    }
+    Ok(b.build())
+}
+
+/// Write `graph` as an edge list (buffered, per the perf-book I/O guidance).
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<(), GraphIoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    for (s, t, wt) in graph.edges() {
+        writeln!(w, "{} {} {}", s.0, t.0, wt)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VertexId;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.5);
+        b.add_edge(2, 0, 2.5);
+        let g = b.build();
+
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), 3);
+        assert_eq!(g2.num_edges(), 2);
+        assert!(g2.has_edge(VertexId(2), VertexId(0)));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n0 1 2.0\n# mid\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        // missing weight defaults to 1.0
+        let w: Vec<_> = g.neighbors(VertexId(1)).collect();
+        assert_eq!(w, vec![(VertexId(2), 1.0)]);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1 1.0\nnot an edge\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(GraphIoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn malformed_weight_is_an_error() {
+        let text = "0 1 abc\n";
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(GraphIoError::Parse { line: 1, .. })
+        ));
+    }
+}

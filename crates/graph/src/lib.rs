@@ -1,0 +1,29 @@
+//! Graph substrate for the Q-Graph reproduction.
+//!
+//! This crate provides the static graph storage shared by every query: a
+//! compressed sparse row ([`Graph`]) over directed, weighted edges, plus
+//! optional per-vertex properties used by the paper's workloads (2-D
+//! coordinates for road networks, boolean tags for point-of-interest
+//! queries, and a *region* label used by the Domain partitioner).
+//!
+//! Design notes:
+//! * Vertex ids are dense `u32` indices ([`VertexId`]); a road network of the
+//!   paper's largest scale (11.8 M vertices) fits comfortably.
+//! * Edge weights are `f32` travel times (length / speed limit in the paper).
+//! * The structure is immutable after [`GraphBuilder::build`]; queries only
+//!   ever read it, matching the paper's read-only analytics model where all
+//!   query-mutable state lives in query-specific vertex data.
+
+mod builder;
+mod csr;
+mod ids;
+mod io;
+mod props;
+mod validate;
+
+pub use builder::GraphBuilder;
+pub use csr::{Graph, NeighborIter};
+pub use ids::{EdgeId, VertexId};
+pub use io::{read_edge_list, write_edge_list, GraphIoError};
+pub use props::{RegionId, VertexProps};
+pub use validate::{validate, GraphInvariantError};

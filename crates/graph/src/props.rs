@@ -1,0 +1,149 @@
+//! Optional per-vertex properties attached to a [`crate::Graph`].
+
+use crate::VertexId;
+
+/// Identifier of a *region* (a city in the road-network generator, a
+/// community in the social generator). The Domain partitioner assigns whole
+/// regions to workers, reproducing the paper's "domain expert" baseline.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// The index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-vertex side data. All vectors are either empty (property absent) or
+/// exactly `num_vertices` long; `VertexProps::assert_len_compatible`
+/// enforces this at graph-build time.
+#[derive(Clone, Debug, Default)]
+pub struct VertexProps {
+    /// 2-D coordinates (road networks: projected map position).
+    pub coords: Vec<(f32, f32)>,
+    /// POI tag (the paper: "gas station", assigned with probability 1/12500).
+    pub tags: Vec<bool>,
+    /// Region / city label used by the Domain partitioner.
+    pub regions: Vec<RegionId>,
+}
+
+impl VertexProps {
+    /// True if no property is stored at all.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty() && self.tags.is_empty() && self.regions.is_empty()
+    }
+
+    /// Coordinates of `v`, if present.
+    #[inline]
+    pub fn coord(&self, v: VertexId) -> Option<(f32, f32)> {
+        self.coords.get(v.index()).copied()
+    }
+
+    /// Whether `v` carries the POI tag. Vertices are untagged when the
+    /// property is absent.
+    #[inline]
+    pub fn is_tagged(&self, v: VertexId) -> bool {
+        self.tags.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// Region of `v`, if regions are present.
+    #[inline]
+    pub fn region(&self, v: VertexId) -> Option<RegionId> {
+        self.regions.get(v.index()).copied()
+    }
+
+    /// Number of distinct regions (max label + 1), 0 if absent.
+    pub fn num_regions(&self) -> usize {
+        self.regions
+            .iter()
+            .map(|r| r.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Euclidean distance between two vertices' coordinates.
+    ///
+    /// # Panics
+    /// Panics if coordinates are absent.
+    pub fn euclidean(&self, a: VertexId, b: VertexId) -> f32 {
+        let (ax, ay) = self.coords[a.index()];
+        let (bx, by) = self.coords[b.index()];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Count of tagged vertices.
+    pub fn num_tagged(&self) -> usize {
+        self.tags.iter().filter(|&&t| t).count()
+    }
+
+    pub(crate) fn assert_len_compatible(&self, n: usize) {
+        for (name, len) in [
+            ("coords", self.coords.len()),
+            ("tags", self.tags.len()),
+            ("regions", self.regions.len()),
+        ] {
+            assert!(
+                len == 0 || len == n,
+                "vertex property `{name}` has {len} entries but the graph has {n} vertices"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_props_answer_defaults() {
+        let p = VertexProps::default();
+        assert!(p.is_empty());
+        assert_eq!(p.coord(VertexId(0)), None);
+        assert!(!p.is_tagged(VertexId(0)));
+        assert_eq!(p.region(VertexId(0)), None);
+        assert_eq!(p.num_regions(), 0);
+    }
+
+    #[test]
+    fn tagged_lookup() {
+        let p = VertexProps {
+            tags: vec![false, true, false],
+            ..Default::default()
+        };
+        assert!(p.is_tagged(VertexId(1)));
+        assert!(!p.is_tagged(VertexId(2)));
+        assert_eq!(p.num_tagged(), 1);
+    }
+
+    #[test]
+    fn euclidean_distance() {
+        let p = VertexProps {
+            coords: vec![(0.0, 0.0), (3.0, 4.0)],
+            ..Default::default()
+        };
+        assert!((p.euclidean(VertexId(0), VertexId(1)) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn region_count() {
+        let p = VertexProps {
+            regions: vec![RegionId(0), RegionId(2), RegionId(1)],
+            ..Default::default()
+        };
+        assert_eq!(p.num_regions(), 3);
+        assert_eq!(p.region(VertexId(1)), Some(RegionId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "entries but the graph has")]
+    fn incompatible_lengths_rejected_at_build() {
+        let mut b = crate::GraphBuilder::new(3);
+        b.set_props(VertexProps {
+            tags: vec![true],
+            ..Default::default()
+        });
+        let _ = b.build();
+    }
+}

@@ -1,0 +1,110 @@
+//! Structural invariant checks for [`Graph`].
+//!
+//! These run in tests and at workload-generation boundaries — not on the
+//! query hot path.
+
+use crate::Graph;
+
+/// A violated graph invariant.
+#[derive(Debug, PartialEq)]
+pub enum GraphInvariantError {
+    /// `offsets` is not monotonically non-decreasing at this index.
+    NonMonotoneOffsets(usize),
+    /// Last offset does not equal the edge count.
+    OffsetEdgeMismatch { last_offset: u32, num_edges: usize },
+    /// An edge target is out of vertex range.
+    TargetOutOfRange { edge: usize, target: u32 },
+    /// An edge weight is NaN or negative (travel times must be ≥ 0).
+    BadWeight { edge: usize, weight: f32 },
+}
+
+impl std::fmt::Display for GraphInvariantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphInvariantError::NonMonotoneOffsets(i) => {
+                write!(f, "CSR offsets decrease at index {i}")
+            }
+            GraphInvariantError::OffsetEdgeMismatch { last_offset, num_edges } => write!(
+                f,
+                "last CSR offset {last_offset} does not match edge count {num_edges}"
+            ),
+            GraphInvariantError::TargetOutOfRange { edge, target } => {
+                write!(f, "edge {edge} targets out-of-range vertex {target}")
+            }
+            GraphInvariantError::BadWeight { edge, weight } => {
+                write!(f, "edge {edge} has invalid weight {weight}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphInvariantError {}
+
+/// Check all CSR invariants. Returns the first violation found.
+pub fn validate(g: &Graph) -> Result<(), GraphInvariantError> {
+    let n = g.num_vertices();
+    for i in 0..n {
+        if g.offsets[i + 1] < g.offsets[i] {
+            return Err(GraphInvariantError::NonMonotoneOffsets(i));
+        }
+    }
+    let last = *g.offsets.last().unwrap_or(&0);
+    if last as usize != g.num_edges() {
+        return Err(GraphInvariantError::OffsetEdgeMismatch {
+            last_offset: last,
+            num_edges: g.num_edges(),
+        });
+    }
+    for (i, t) in g.targets.iter().enumerate() {
+        if t.index() >= n {
+            return Err(GraphInvariantError::TargetOutOfRange {
+                edge: i,
+                target: t.0,
+            });
+        }
+    }
+    for (i, &w) in g.weights.iter().enumerate() {
+        if w.is_nan() || w < 0.0 {
+            return Err(GraphInvariantError::BadWeight { edge: i, weight: w });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn built_graphs_validate() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 4, 1.0);
+        b.add_edge(3, 2, 0.0);
+        assert_eq!(validate(&b.build()), Ok(()));
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, -1.0);
+        let g = b.build();
+        assert!(matches!(
+            validate(&g),
+            Err(GraphInvariantError::BadWeight { edge: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn nan_weight_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, f32::NAN);
+        let g = b.build();
+        assert!(matches!(validate(&g), Err(GraphInvariantError::BadWeight { .. })));
+    }
+
+    #[test]
+    fn empty_graph_validates() {
+        assert_eq!(validate(&GraphBuilder::new(0).build()), Ok(()));
+    }
+}

@@ -1,0 +1,12 @@
+//! Measurement plumbing for the Q-Graph experiments: time series over
+//! virtual time, windowed aggregation (the paper uses tumbling windows for
+//! monitoring and sliding windows for plots), summary statistics, and the
+//! table/CSV emitters the experiment binaries print paper-style rows with.
+
+mod series;
+mod stats;
+mod table;
+
+pub use series::{Sample, TimeSeries};
+pub use stats::{mean, percentile, stddev, Summary};
+pub use table::{Table, to_csv};

@@ -1,0 +1,155 @@
+//! Paper-style result tables: aligned text for the terminal, CSV for plotting.
+
+/// A simple column-aligned table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in table `{}`",
+            self.title
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: append a row of display-able cells.
+    pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// CSV-encode parallel named series sampled on a shared index column.
+///
+/// `index` labels the rows (e.g. virtual time or worker count), each entry in
+/// `columns` is `(name, values)` and must be as long as `index`.
+pub fn to_csv(index_name: &str, index: &[f64], columns: &[(&str, Vec<f64>)]) -> String {
+    for (name, vals) in columns {
+        assert_eq!(
+            vals.len(),
+            index.len(),
+            "column `{name}` length mismatch with index"
+        );
+    }
+    let mut out = String::new();
+    out.push_str(index_name);
+    for (name, _) in columns {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for (i, ix) in index.iter().enumerate() {
+        out.push_str(&format!("{ix}"));
+        for (_, vals) in columns {
+            out.push_str(&format!(",{}", vals[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["k", "latency"]);
+        t.row(&["2".into(), "927".into()]);
+        t.row(&["16".into(), "301".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("latency"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn row_display_stringifies() {
+        let mut t = Table::new("d", &["a", "b"]);
+        t.row_display(&[1.5, 2.5]);
+        assert_eq!(t.num_rows(), 1);
+        assert!(t.to_csv().contains("1.5,2.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("d", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn csv_export() {
+        let csv = to_csv("t", &[0.0, 1.0], &[("x", vec![5.0, 6.0])]);
+        assert_eq!(csv, "t,x\n0,5\n1,6\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn csv_length_mismatch_panics() {
+        to_csv("t", &[0.0], &[("x", vec![])]);
+    }
+}

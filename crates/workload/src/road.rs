@@ -1,0 +1,459 @@
+//! Synthetic road networks with urban hotspots.
+//!
+//! A network is a set of *cities* placed in a square map. Each city is a
+//! jittered street grid (4-neighbour connectivity, low degree like real
+//! road junctions); cities are linked by multi-segment *highways* to their
+//! nearest neighbours. Edge weights are travel times: segment length
+//! divided by a street / highway speed, mirroring the paper's
+//! `length / speed-limit` weighting. City populations follow a Zipf law and
+//! determine both the city's vertex count and — in the workload generator —
+//! its query arrival share, reproducing the paper's "queries per city
+//! proportional to population" hotspots.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use qgraph_graph::{Graph, GraphBuilder, RegionId, VertexId, VertexProps};
+
+/// One generated city.
+#[derive(Clone, Debug)]
+pub struct City {
+    /// Region label carried by the city's vertices.
+    pub region: RegionId,
+    /// Map position of the city centre.
+    pub center: (f32, f32),
+    /// Zipf population weight (arbitrary units; only ratios matter).
+    pub population: f64,
+    /// Vertex ids `first..first + count` belong to this city's street grid.
+    pub first_vertex: u32,
+    /// Number of street-grid vertices.
+    pub count: u32,
+}
+
+impl City {
+    /// Iterate over the city's vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (self.first_vertex..self.first_vertex + self.count).map(VertexId)
+    }
+}
+
+/// Configuration for [`RoadNetworkGenerator`].
+#[derive(Clone, Debug)]
+pub struct RoadNetworkConfig {
+    /// Number of cities (paper: 64 for GY, 16 for BW).
+    pub num_cities: usize,
+    /// Street-grid vertices of the *largest* city; smaller cities scale by
+    /// population share.
+    pub vertices_per_city: usize,
+    /// Zipf exponent for populations (1.0 ≈ classic city-size law).
+    pub zipf_exponent: f64,
+    /// Side length of the square map, in kilometres.
+    pub map_size_km: f32,
+    /// Street speed inside cities, km/h.
+    pub street_speed: f32,
+    /// Highway speed between cities, km/h.
+    pub highway_speed: f32,
+    /// Each city connects to this many nearest neighbour cities.
+    pub highways_per_city: usize,
+    /// Approximate highway segment length, km (controls the number of
+    /// intermediate highway vertices).
+    pub highway_segment_km: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RoadNetworkConfig {
+    fn default() -> Self {
+        RoadNetworkConfig {
+            num_cities: 16,
+            vertices_per_city: 4_000,
+            
+            // fitting the 16 biggest Baden-Württemberg cities gives ≈ 0.7.
+            zipf_exponent: 0.7,
+            map_size_km: 300.0,
+            street_speed: 50.0,
+            highway_speed: 120.0,
+            highways_per_city: 3,
+            highway_segment_km: 2.0,
+            seed: 42,
+        }
+    }
+}
+
+impl RoadNetworkConfig {
+    /// A Baden-Württemberg-like preset: 16 cities (paper §4.1). `scale`
+    /// multiplies the vertex budget; `scale = 1` gives ≈ 60 k vertices,
+    /// laptop-friendly while preserving the hotspot structure.
+    pub fn bw_like(scale: f64, seed: u64) -> Self {
+        RoadNetworkConfig {
+            num_cities: 16,
+            vertices_per_city: (4_000.0 * scale) as usize,
+            map_size_km: 250.0,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// A Germany-like preset: 64 cities (paper §4.1), ≈ 4× the BW vertex
+    /// count at the same `scale`.
+    pub fn gy_like(scale: f64, seed: u64) -> Self {
+        RoadNetworkConfig {
+            num_cities: 64,
+            vertices_per_city: (4_000.0 * scale) as usize,
+            map_size_km: 650.0,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// A generated road network: the graph plus its city table.
+#[derive(Clone, Debug)]
+pub struct RoadNetwork {
+    /// The street + highway graph (region labels and coordinates attached).
+    pub graph: Graph,
+    /// City table, indexed by `RegionId`.
+    pub cities: Vec<City>,
+    /// The configuration that produced this network.
+    pub config: RoadNetworkConfig,
+}
+
+impl RoadNetwork {
+    /// Total vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Population-proportional sampling weights over cities.
+    pub fn population_weights(&self) -> Vec<f64> {
+        self.cities.iter().map(|c| c.population).collect()
+    }
+}
+
+/// Generates [`RoadNetwork`]s. Deterministic for a given config (seed included).
+pub struct RoadNetworkGenerator {
+    config: RoadNetworkConfig,
+}
+
+impl RoadNetworkGenerator {
+    /// A generator for the given configuration.
+    pub fn new(config: RoadNetworkConfig) -> Self {
+        assert!(config.num_cities >= 1, "need at least one city");
+        assert!(config.vertices_per_city >= 4, "cities need a few vertices");
+        RoadNetworkGenerator { config }
+    }
+
+    /// Generate the network.
+    pub fn generate(&self) -> RoadNetwork {
+        let cfg = &self.config;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+        // --- City placement & populations --------------------------------
+        let centers = place_city_centers(cfg, &mut rng);
+        let populations: Vec<f64> = (0..cfg.num_cities)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(cfg.zipf_exponent))
+            .collect();
+        let max_pop = populations[0];
+
+        // --- City street grids -------------------------------------------
+        let mut cities = Vec::with_capacity(cfg.num_cities);
+        let mut coords: Vec<(f32, f32)> = Vec::new();
+        let mut regions: Vec<RegionId> = Vec::new();
+        let mut edges: Vec<(u32, u32, f32)> = Vec::new();
+        let mut next_vertex: u32 = 0;
+
+        for (i, (&center, &pop)) in centers.iter().zip(&populations).enumerate() {
+            let count = ((cfg.vertices_per_city as f64) * (pop / max_pop))
+                .round()
+                .max(4.0) as u32;
+            let side = (count as f32).sqrt().ceil() as u32;
+            // Street spacing ~100 m; city radius grows with its grid.
+            let spacing = 0.1f32;
+            let first_vertex = next_vertex;
+            let mut placed = 0u32;
+            for gy in 0..side {
+                for gx in 0..side {
+                    if placed >= count {
+                        break;
+                    }
+                    let jitter = |r: &mut SmallRng| (r.gen::<f32>() - 0.5) * spacing * 0.4;
+                    let x = center.0 + (gx as f32 - side as f32 / 2.0) * spacing + jitter(&mut rng);
+                    let y = center.1 + (gy as f32 - side as f32 / 2.0) * spacing + jitter(&mut rng);
+                    coords.push((x, y));
+                    regions.push(RegionId(i as u32));
+                    let id = first_vertex + placed;
+                    // 4-neighbour street connectivity.
+                    if gx > 0 && placed >= 1 {
+                        push_road(&mut edges, &coords, id, id - 1, cfg.street_speed);
+                    }
+                    if gy > 0 && placed >= side {
+                        push_road(&mut edges, &coords, id, id - side, cfg.street_speed);
+                    }
+                    placed += 1;
+                }
+            }
+            next_vertex += placed;
+            cities.push(City {
+                region: RegionId(i as u32),
+                center,
+                population: pop,
+                first_vertex,
+                count: placed,
+            });
+        }
+
+        // --- Highways -----------------------------------------------------
+        let mut linked: std::collections::BTreeSet<(usize, usize)> = Default::default();
+        for a in 0..cfg.num_cities {
+            let mut others: Vec<usize> = (0..cfg.num_cities).filter(|&b| b != a).collect();
+            others.sort_by(|&x, &y| {
+                dist(centers[a], centers[x])
+                    .partial_cmp(&dist(centers[a], centers[y]))
+                    .expect("finite distances")
+            });
+            for &b in others.iter().take(cfg.highways_per_city) {
+                let key = (a.min(b), a.max(b));
+                if linked.insert(key) {
+                    build_highway(
+                        cfg,
+                        &cities,
+                        &mut coords,
+                        &mut regions,
+                        &mut edges,
+                        &mut next_vertex,
+                        a,
+                        b,
+                        &mut rng,
+                    );
+                }
+            }
+        }
+
+        let mut b = GraphBuilder::new(next_vertex as usize).with_edge_capacity(edges.len() * 2);
+        for (s, t, w) in edges {
+            b.add_undirected_edge(s, t, w);
+        }
+        b.set_props(VertexProps {
+            coords,
+            tags: Vec::new(),
+            regions,
+        });
+        let graph = b.build();
+        debug_assert!(qgraph_graph::validate(&graph).is_ok());
+        RoadNetwork {
+            graph,
+            cities,
+            config: self.config.clone(),
+        }
+    }
+}
+
+fn dist(a: (f32, f32), b: (f32, f32)) -> f32 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Travel-time edge between two placed vertices (hours scaled to minutes:
+/// we use `km / (km/h) * 60` so weights are minutes).
+fn push_road(edges: &mut Vec<(u32, u32, f32)>, coords: &[(f32, f32)], a: u32, b: u32, speed: f32) {
+    let d = dist(coords[a as usize], coords[b as usize]).max(1e-4);
+    edges.push((a, b, d / speed * 60.0));
+}
+
+/// Cities are placed on a jittered grid over the map so the layout is
+/// spread out (like real regions) yet deterministic.
+fn place_city_centers(cfg: &RoadNetworkConfig, rng: &mut SmallRng) -> Vec<(f32, f32)> {
+    let grid = (cfg.num_cities as f32).sqrt().ceil() as usize;
+    let cell = cfg.map_size_km / grid as f32;
+    let mut cells: Vec<(usize, usize)> = (0..grid * grid)
+        .map(|i| (i % grid, i / grid))
+        .collect();
+    // Deterministic shuffle.
+    for i in (1..cells.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        cells.swap(i, j);
+    }
+    cells
+        .into_iter()
+        .take(cfg.num_cities)
+        .map(|(cx, cy)| {
+            (
+                (cx as f32 + 0.25 + rng.gen::<f32>() * 0.5) * cell,
+                (cy as f32 + 0.25 + rng.gen::<f32>() * 0.5) * cell,
+            )
+        })
+        .collect()
+}
+
+/// Connect the two cities' closest grid vertices with a chain of highway
+/// vertices (region label of the nearer endpoint).
+#[allow(clippy::too_many_arguments)]
+fn build_highway(
+    cfg: &RoadNetworkConfig,
+    cities: &[City],
+    coords: &mut Vec<(f32, f32)>,
+    regions: &mut Vec<RegionId>,
+    edges: &mut Vec<(u32, u32, f32)>,
+    next_vertex: &mut u32,
+    a: usize,
+    b: usize,
+    rng: &mut SmallRng,
+) {
+    let pick_gateway = |c: &City, toward: (f32, f32), coords: &[(f32, f32)]| -> u32 {
+        // The city vertex closest to the other city.
+        c.vertices()
+            .min_by(|&v, &u| {
+                dist(coords[v.index()], toward)
+                    .partial_cmp(&dist(coords[u.index()], toward))
+                    .expect("finite")
+            })
+            .expect("city non-empty")
+            .0
+    };
+    let ga = pick_gateway(&cities[a], cities[b].center, coords);
+    let gb = pick_gateway(&cities[b], cities[a].center, coords);
+    let pa = coords[ga as usize];
+    let pb = coords[gb as usize];
+    let d = dist(pa, pb);
+    let segments = (d / cfg.highway_segment_km).ceil().max(1.0) as u32;
+
+    let mut prev = ga;
+    for s in 1..segments {
+        let f = s as f32 / segments as f32;
+        let jitter = (rng.gen::<f32>() - 0.5) * 0.2;
+        let x = pa.0 + (pb.0 - pa.0) * f + jitter;
+        let y = pa.1 + (pb.1 - pa.1) * f + jitter;
+        let id = *next_vertex;
+        *next_vertex += 1;
+        coords.push((x, y));
+        regions.push(if f < 0.5 {
+            cities[a].region
+        } else {
+            cities[b].region
+        });
+        push_road(edges, coords, prev, id, cfg.highway_speed);
+        prev = id;
+    }
+    push_road(edges, coords, prev, gb, cfg.highway_speed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_graph::validate;
+
+    fn small() -> RoadNetwork {
+        RoadNetworkGenerator::new(RoadNetworkConfig {
+            num_cities: 4,
+            vertices_per_city: 100,
+            seed: 1,
+            ..Default::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn generates_valid_graph() {
+        let net = small();
+        assert!(validate(&net.graph).is_ok());
+        assert!(net.num_vertices() > 100);
+        assert_eq!(net.cities.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.graph.num_vertices(), b.graph.num_vertices());
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        let ea: Vec<_> = a.graph.edges().map(|(s, t, _)| (s.0, t.0)).collect();
+        let eb: Vec<_> = b.graph.edges().map(|(s, t, _)| (s.0, t.0)).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small();
+        let b = RoadNetworkGenerator::new(RoadNetworkConfig {
+            num_cities: 4,
+            vertices_per_city: 100,
+            seed: 2,
+            ..Default::default()
+        })
+        .generate();
+        let ca: Vec<_> = a.graph.props().coords.clone();
+        let cb: Vec<_> = b.graph.props().coords.clone();
+        assert_ne!(ca, cb);
+    }
+
+    #[test]
+    fn populations_follow_zipf() {
+        let net = small();
+        let pops = net.population_weights();
+        assert!(pops[0] > pops[1] && pops[1] > pops[2]);
+        let s = net.config.zipf_exponent;
+        assert!(
+            (pops[0] / pops[1] - 2f64.powf(s)).abs() < 1e-9,
+            "zipf ratio must be 2^s"
+        );
+    }
+
+    #[test]
+    fn city_sizes_scale_with_population() {
+        let net = small();
+        assert!(net.cities[0].count >= net.cities[3].count);
+    }
+
+    #[test]
+    fn all_vertices_have_coords_and_regions() {
+        let net = small();
+        let n = net.graph.num_vertices();
+        assert_eq!(net.graph.props().coords.len(), n);
+        assert_eq!(net.graph.props().regions.len(), n);
+    }
+
+    #[test]
+    fn graph_is_symmetric() {
+        let net = small();
+        let g = &net.graph;
+        for (s, t, _) in g.edges().take(2000) {
+            assert!(g.has_edge(t, s), "missing reverse edge {t:?}->{s:?}");
+        }
+    }
+
+    #[test]
+    fn cities_are_internally_connected() {
+        // BFS within the largest city's vertex range must reach every vertex
+        // of that city (street grids are connected by construction).
+        let net = small();
+        let g = &net.graph;
+        let c = &net.cities[0];
+        let mut seen = vec![false; g.num_vertices()];
+        let mut stack = vec![VertexId(c.first_vertex)];
+        seen[c.first_vertex as usize] = true;
+        let in_city = |v: VertexId| v.0 >= c.first_vertex && v.0 < c.first_vertex + c.count;
+        while let Some(v) = stack.pop() {
+            for (t, _) in g.neighbors(v) {
+                if in_city(t) && !seen[t.index()] {
+                    seen[t.index()] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        let reached = c.vertices().filter(|v| seen[v.index()]).count();
+        assert_eq!(reached, c.count as usize, "city grid disconnected");
+    }
+
+    #[test]
+    fn presets_have_paper_city_counts() {
+        assert_eq!(RoadNetworkConfig::bw_like(1.0, 0).num_cities, 16);
+        assert_eq!(RoadNetworkConfig::gy_like(1.0, 0).num_cities, 64);
+    }
+
+    #[test]
+    fn edge_weights_are_travel_times() {
+        let net = small();
+        for (_, _, w) in net.graph.edges().take(1000) {
+            assert!(w > 0.0 && w.is_finite());
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Social-network generators for the paper's Application 2 (personalized
+//! social-circle analytics): a Watts–Strogatz small-world graph (high
+//! clustering coefficient, the property the paper cites for overlapping
+//! social circles) and a Barabási–Albert preferential-attachment graph
+//! (hub hotspots, "changing popularity of a star").
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use qgraph_graph::{Graph, GraphBuilder, RegionId, VertexProps};
+
+/// Configuration for [`generate_ws`].
+#[derive(Clone, Copy, Debug)]
+pub struct WattsStrogatzConfig {
+    /// Number of vertices.
+    pub n: usize,
+    /// Each vertex links to `k` nearest ring neighbours (`k` even).
+    pub k: usize,
+    /// Rewiring probability.
+    pub beta: f64,
+    /// Vertices per region label (communities for the Domain partitioner).
+    pub region_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WattsStrogatzConfig {
+    fn default() -> Self {
+        WattsStrogatzConfig {
+            n: 10_000,
+            k: 8,
+            beta: 0.05,
+            region_size: 500,
+            seed: 42,
+        }
+    }
+}
+
+/// Watts–Strogatz small-world graph. Undirected (both arcs stored), unit
+/// weights; regions are contiguous ring chunks of `region_size` vertices.
+pub fn generate_ws(cfg: WattsStrogatzConfig) -> Graph {
+    assert!(cfg.k >= 2 && cfg.k.is_multiple_of(2), "k must be even and >= 2");
+    assert!(cfg.n > cfg.k, "n must exceed k");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let n = cfg.n;
+    let mut b = GraphBuilder::new(n).with_edge_capacity(n * cfg.k);
+    for v in 0..n {
+        for j in 1..=cfg.k / 2 {
+            let mut t = (v + j) % n;
+            if rng.gen_bool(cfg.beta) {
+                // Rewire to a uniform random non-self target.
+                loop {
+                    t = rng.gen_range(0..n);
+                    if t != v {
+                        break;
+                    }
+                }
+            }
+            b.add_undirected_edge(v as u32, t as u32, 1.0);
+        }
+    }
+    b.set_props(VertexProps {
+        regions: (0..n)
+            .map(|v| RegionId((v / cfg.region_size.max(1)) as u32))
+            .collect(),
+        ..Default::default()
+    });
+    b.build()
+}
+
+/// Configuration for [`generate_ba`].
+#[derive(Clone, Copy, Debug)]
+pub struct BarabasiAlbertConfig {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edges added per new vertex.
+    pub m: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BarabasiAlbertConfig {
+    fn default() -> Self {
+        BarabasiAlbertConfig {
+            n: 10_000,
+            m: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// Barabási–Albert preferential attachment. Undirected, unit weights.
+/// Regions are assigned by attachment target of the vertex's first edge,
+/// clustering vertices around the hub they joined.
+pub fn generate_ba(cfg: BarabasiAlbertConfig) -> Graph {
+    assert!(cfg.m >= 1 && cfg.n > cfg.m, "need n > m >= 1");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let n = cfg.n;
+    let mut b = GraphBuilder::new(n).with_edge_capacity(n * cfg.m);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * cfg.m);
+    let mut first_target = vec![0u32; n];
+
+    // Seed clique over the first m+1 vertices.
+    for i in 0..=cfg.m {
+        for j in 0..i {
+            b.add_undirected_edge(i as u32, j as u32, 1.0);
+            endpoints.push(i as u32);
+            endpoints.push(j as u32);
+        }
+    }
+    for v in (cfg.m + 1)..n {
+        let mut chosen: Vec<u32> = Vec::with_capacity(cfg.m);
+        while chosen.len() < cfg.m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v as u32 && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        first_target[v] = chosen[0];
+        for t in chosen {
+            b.add_undirected_edge(v as u32, t, 1.0);
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    // Region = representative hub: follow first-target pointers to a root
+    // among the seed vertices.
+    let regions = (0..n)
+        .map(|v| {
+            let mut x = v as u32;
+            while x as usize > cfg.m {
+                x = first_target[x as usize];
+            }
+            RegionId(x)
+        })
+        .collect();
+    b.set_props(VertexProps {
+        regions,
+        ..Default::default()
+    });
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_graph::validate;
+
+    #[test]
+    fn ws_counts_and_validity() {
+        let g = generate_ws(WattsStrogatzConfig {
+            n: 1000,
+            k: 6,
+            beta: 0.1,
+            region_size: 100,
+            seed: 1,
+        });
+        assert!(validate(&g).is_ok());
+        assert_eq!(g.num_vertices(), 1000);
+        assert_eq!(g.num_edges(), 1000 * 6); // n * k/2 undirected = n*k arcs
+        assert_eq!(g.props().num_regions(), 10);
+    }
+
+    #[test]
+    fn ws_no_rewiring_is_a_ring_lattice() {
+        let g = generate_ws(WattsStrogatzConfig {
+            n: 100,
+            k: 4,
+            beta: 0.0,
+            region_size: 10,
+            seed: 1,
+        });
+        use qgraph_graph::VertexId;
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(0), VertexId(2)));
+        assert!(!g.has_edge(VertexId(0), VertexId(3)));
+    }
+
+    #[test]
+    fn ws_deterministic() {
+        let cfg = WattsStrogatzConfig {
+            n: 500,
+            k: 4,
+            beta: 0.3,
+            region_size: 50,
+            seed: 9,
+        };
+        let a: Vec<_> = generate_ws(cfg).edges().map(|(s, t, _)| (s.0, t.0)).collect();
+        let b: Vec<_> = generate_ws(cfg).edges().map(|(s, t, _)| (s.0, t.0)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ba_power_law_hubs_exist() {
+        let g = generate_ba(BarabasiAlbertConfig {
+            n: 2000,
+            m: 3,
+            seed: 5,
+        });
+        assert!(validate(&g).is_ok());
+        let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        let mean_deg = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            max_deg as f64 > 5.0 * mean_deg,
+            "expected hub: max {max_deg}, mean {mean_deg}"
+        );
+    }
+
+    #[test]
+    fn ba_every_late_vertex_has_m_out_links() {
+        let m = 3;
+        let g = generate_ba(BarabasiAlbertConfig { n: 500, m, seed: 2 });
+        use qgraph_graph::VertexId;
+        for v in (m + 1)..500 {
+            assert!(g.degree(VertexId(v as u32)) >= m);
+        }
+    }
+
+    #[test]
+    fn ba_regions_cover_all_vertices() {
+        let g = generate_ba(BarabasiAlbertConfig { n: 300, m: 2, seed: 3 });
+        assert_eq!(g.props().regions.len(), 300);
+        // All region roots are seed vertices (ids <= m).
+        assert!(g.props().regions.iter().all(|r| r.0 <= 2));
+    }
+}

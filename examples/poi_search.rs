@@ -1,0 +1,70 @@
+//! The paper's second query type: point-of-interest search ("closest gas
+//! station"). Tags vertices with the paper's probability scheme and runs
+//! a batch of POI queries, verifying a few against the sequential
+//! reference.
+//!
+//! ```text
+//! cargo run --release -p qgraph-examples --bin poi_search
+//! ```
+
+use std::sync::Arc;
+
+use qgraph_algo::{nearest_tagged, PoiProgram};
+use qgraph_core::{QueryId, SimEngine, SystemConfig};
+use qgraph_partition::{DomainPartitioner, Partitioner};
+use qgraph_sim::ClusterModel;
+use qgraph_workload::{
+    assign_tags, QueryKind, RoadNetworkConfig, RoadNetworkGenerator, WorkloadConfig,
+    WorkloadGenerator,
+};
+
+fn main() {
+    let mut net = RoadNetworkGenerator::new(RoadNetworkConfig::bw_like(0.25, 9)).generate();
+    let tagged = assign_tags(&mut net.graph, 1.0 / 200.0, 5);
+    println!(
+        "{} junctions, {} tagged as POI",
+        net.graph.num_vertices(),
+        tagged
+    );
+
+    let gen = WorkloadGenerator::new(&net);
+    let specs = gen.generate(&WorkloadConfig::single(64, true, false, 3));
+    let graph = Arc::new(net.graph.clone());
+    let parts = DomainPartitioner.partition(&graph, 8);
+    let mut engine = SimEngine::new(
+        Arc::clone(&graph),
+        ClusterModel::scale_up(8),
+        parts,
+        SystemConfig::default(),
+    );
+    let mut sources = Vec::new();
+    for s in &specs {
+        if let QueryKind::Poi { source } = s.kind {
+            engine.submit(PoiProgram::new(source));
+            sources.push(source);
+        }
+    }
+    let report = engine.run();
+    println!(
+        "{} POI queries: mean latency {:.2} ms, locality {:.1}%",
+        report.outcomes.len(),
+        report.mean_latency() * 1e3,
+        report.mean_locality() * 100.0
+    );
+
+    // Spot-check the first few answers against sequential Dijkstra.
+    for (i, &src) in sources.iter().take(5).enumerate() {
+        let got = engine.output(QueryId(i as u32)).unwrap();
+        let want = nearest_tagged(&graph, src);
+        let ok = match (got, &want) {
+            (Some((_, gd)), Some((_, wd))) => (gd - wd).abs() < 1e-3,
+            (None, None) => true,
+            _ => false,
+        };
+        println!(
+            "  from {src}: nearest POI {:?} — reference agrees: {ok}",
+            got.map(|(v, d)| (v.0, d))
+        );
+        assert!(ok);
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: build a small graph, partition it, run one shortest-path
+//! query on the simulated multi-query engine, and read the answer.
+//!
+//! ```text
+//! cargo run -p qgraph-examples --bin quickstart
+//! ```
+
+use std::sync::Arc;
+
+use qgraph_algo::SsspProgram;
+use qgraph_core::{SimEngine, SystemConfig};
+use qgraph_graph::{GraphBuilder, VertexId};
+use qgraph_partition::{HashPartitioner, Partitioner};
+use qgraph_sim::ClusterModel;
+
+fn main() {
+    // A weighted diamond: two routes from 0 to 3.
+    let mut builder = GraphBuilder::new(4);
+    builder.add_undirected_edge(0, 1, 1.0);
+    builder.add_undirected_edge(1, 3, 1.0);
+    builder.add_undirected_edge(0, 2, 5.0);
+    builder.add_undirected_edge(2, 3, 1.0);
+    let graph = Arc::new(builder.build());
+
+    // Partition over two simulated workers and start the engine.
+    let partitioning = HashPartitioner::default().partition(&graph, 2);
+    let mut engine = SimEngine::new(
+        Arc::clone(&graph),
+        ClusterModel::scale_up(2),
+        partitioning,
+        SystemConfig::default(),
+    );
+
+    // Submit a query: shortest travel time 0 -> 3.
+    let q = engine.submit(SsspProgram::new(VertexId(0), VertexId(3)));
+    engine.run();
+
+    let distance = engine.output(q).expect("query finished");
+    println!("shortest 0 -> 3: {distance:?} (expected Some(2.0))");
+    let outcome = &engine.report().outcomes[0];
+    println!(
+        "ran {} supersteps in {:.6} virtual seconds ({} fully local)",
+        outcome.iterations,
+        outcome.latency_secs(),
+        outcome.local_iterations
+    );
+}

@@ -1,0 +1,55 @@
+//! Application 1 (paper §1): a mapping service serving many concurrent
+//! route-planning queries around urban hotspots — the headline Q-Graph
+//! scenario. Generates a synthetic road network, runs a hotspot SSSP
+//! workload under static Hash and under adaptive Q-cut, and prints the
+//! latency/locality comparison.
+//!
+//! ```text
+//! cargo run --release -p qgraph-examples --bin route_planning
+//! ```
+
+use std::sync::Arc;
+
+use qgraph_algo::RoadProgram;
+use qgraph_core::{QcutConfig, SimEngine, SystemConfig};
+use qgraph_partition::{HashPartitioner, Partitioner};
+use qgraph_sim::ClusterModel;
+use qgraph_workload::{
+    QueryKind, RoadNetworkConfig, RoadNetworkGenerator, WorkloadConfig, WorkloadGenerator,
+};
+
+fn main() {
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig::bw_like(0.25, 42)).generate();
+    println!(
+        "road network: {} junctions, {} segments, {} cities",
+        net.graph.num_vertices(),
+        net.graph.num_edges() / 2,
+        net.cities.len()
+    );
+    let gen = WorkloadGenerator::new(&net);
+    let specs = gen.generate(&WorkloadConfig::single(256, false, false, 1));
+    let graph = Arc::new(net.graph.clone());
+
+    for adaptive in [false, true] {
+        let cfg = SystemConfig {
+            qcut: adaptive.then(|| QcutConfig::time_scaled(2000.0)),
+            ..Default::default()
+        };
+        let parts = HashPartitioner::default().partition(&graph, 8);
+        let mut engine =
+            SimEngine::new(Arc::clone(&graph), ClusterModel::scale_up(8), parts, cfg);
+        for s in &specs {
+            if let QueryKind::Sssp { source, target } = s.kind {
+                engine.submit(RoadProgram::sssp(source, target));
+            }
+        }
+        let report = engine.run();
+        println!(
+            "{:11}: mean latency {:.2} ms | locality {:.1}% | {} repartitions",
+            if adaptive { "Hash+Q-cut" } else { "static Hash" },
+            report.mean_latency() * 1e3,
+            report.mean_locality() * 100.0,
+            report.repartitions.len()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Application 2 (paper §1): personalized social-network analysis — many
+//! overlapping "social circle" queries on a shared small-world graph, here
+//! as k-hop neighbourhoods plus localized PageRank (the paper's
+//! future-work algorithm), executed on the *real multi-threaded runtime*.
+//!
+//! ```text
+//! cargo run --release -p qgraph-examples --bin social_circles
+//! ```
+
+use std::sync::Arc;
+
+use qgraph_algo::{BfsProgram, PprProgram};
+use qgraph_core::runtime::ThreadEngine;
+use qgraph_graph::VertexId;
+use qgraph_partition::{DomainPartitioner, Partitioner};
+use qgraph_workload::{generate_ws, WattsStrogatzConfig};
+
+fn main() {
+    // A small-world network: high clustering => overlapping circles.
+    let graph = Arc::new(generate_ws(WattsStrogatzConfig {
+        n: 20_000,
+        k: 10,
+        beta: 0.05,
+        region_size: 1_000,
+        seed: 7,
+    }));
+    println!(
+        "social graph: {} users, {} ties",
+        graph.num_vertices(),
+        graph.num_edges() / 2
+    );
+
+    let parts = DomainPartitioner.partition(&graph, 4);
+
+    // 2-hop social circles for a set of users, on real threads.
+    let engine: ThreadEngine<BfsProgram> = ThreadEngine::new(Arc::clone(&graph), parts.clone());
+    let users: Vec<u32> = (0..12).map(|i| i * 1_500 + 37).collect();
+    let circles = engine.run(
+        users
+            .iter()
+            .map(|&u| BfsProgram::new(VertexId(u), 2))
+            .collect(),
+    );
+    for (u, c) in users.iter().zip(&circles) {
+        println!(
+            "  user {u}: {} people within 2 hops ({} supersteps)",
+            c.output.len(),
+            c.iterations
+        );
+    }
+
+    // Localized PageRank around the first user: influence inside a circle.
+    let ppr: ThreadEngine<PprProgram> = ThreadEngine::new(Arc::clone(&graph), parts);
+    let result = ppr.run(vec![PprProgram::new(VertexId(users[0]), 0.15, 1e-5)]);
+    let top = &result[0].output;
+    println!(
+        "localized PageRank around user {}: touched {} vertices; top-3 {:?}",
+        users[0],
+        top.len(),
+        top.iter().take(3).map(|(v, p)| (v.0, *p)).collect::<Vec<_>>()
+    );
+}

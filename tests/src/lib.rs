@@ -1,0 +1,30 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only hosts
+//! fixtures that several of them reuse (small deterministic worlds: a graph,
+//! a partitioning, and a query workload).
+
+use qgraph_graph::Graph;
+use qgraph_workload::{RoadNetworkConfig, RoadNetworkGenerator};
+
+/// A small deterministic road network (a few thousand vertices) used by the
+/// integration tests. Cheap enough to build per-test.
+pub fn small_road_world(seed: u64) -> qgraph_workload::RoadNetwork {
+    RoadNetworkGenerator::new(RoadNetworkConfig {
+        num_cities: 4,
+        vertices_per_city: 400,
+        seed,
+        ..RoadNetworkConfig::default()
+    })
+    .generate()
+}
+
+/// A tiny line graph `0 -> 1 -> ... -> n-1` with unit weights, handy for
+/// hand-checkable shortest-path assertions.
+pub fn line_graph(n: usize) -> Graph {
+    let mut b = qgraph_graph::GraphBuilder::new(n);
+    for i in 0..n.saturating_sub(1) {
+        b.add_edge(i as u32, i as u32 + 1, 1.0);
+    }
+    b.build()
+}

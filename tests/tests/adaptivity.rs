@@ -1,0 +1,129 @@
+//! End-to-end behaviour of the adaptive Q-cut loop: repartitioning must
+//! preserve answers, improve locality on hotspot workloads, and keep the
+//! engine deterministic.
+
+use std::sync::Arc;
+
+use qgraph_algo::{dijkstra_to, SsspProgram};
+use qgraph_core::{QcutConfig, SimEngine, SystemConfig};
+use qgraph_integration_tests::small_road_world;
+use qgraph_partition::{HashPartitioner, Partitioner};
+use qgraph_sim::ClusterModel;
+use qgraph_workload::{QueryKind, WorkloadConfig, WorkloadGenerator};
+
+fn adaptive_config() -> SystemConfig {
+    SystemConfig {
+        qcut: Some(QcutConfig::time_scaled(2000.0)),
+        ..Default::default()
+    }
+}
+
+fn run_adaptive(seed: u64, queries: usize) -> (Vec<Option<f32>>, qgraph_core::EngineReport, Vec<Option<f32>>) {
+    let world = small_road_world(seed);
+    let graph = Arc::new(world.graph.clone());
+    let parts = HashPartitioner::default().partition(&graph, 4);
+    let mut engine = SimEngine::new(
+        Arc::clone(&graph),
+        ClusterModel::scale_up(4),
+        parts,
+        adaptive_config(),
+    );
+    let gen = WorkloadGenerator::new(&world);
+    let specs = gen.generate(&WorkloadConfig::single(queries, false, false, seed));
+    let mut expected = Vec::new();
+    for s in &specs {
+        if let QueryKind::Sssp { source, target } = s.kind {
+            engine.submit(SsspProgram::new(source, target));
+            expected.push(dijkstra_to(&graph, source, target));
+        }
+    }
+    let report = engine.run().clone();
+    let got = (0..specs.len())
+        .map(|i| *engine.output(qgraph_core::QueryId(i as u32)).unwrap())
+        .collect();
+    (got, report, expected)
+}
+
+#[test]
+fn repartitioning_preserves_query_answers() {
+    let (got, report, expected) = run_adaptive(11, 96);
+    assert!(
+        !report.repartitions.is_empty(),
+        "hotspot workload on hash partitioning must trigger Q-cut"
+    );
+    for (i, (g, w)) in got.iter().zip(&expected).enumerate() {
+        match (g, w) {
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-3, "query {i}: {a} vs {b}"),
+            (None, None) => {}
+            other => panic!("query {i}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn qcut_improves_locality_over_the_run() {
+    let (_, report, _) = run_adaptive(13, 128);
+    let o = &report.outcomes;
+    let third = o.len() / 3;
+    let early: f64 = o[..third].iter().map(|x| x.locality()).sum::<f64>() / third as f64;
+    let late: f64 =
+        o[o.len() - third..].iter().map(|x| x.locality()).sum::<f64>() / third as f64;
+    assert!(
+        late > early + 0.15,
+        "locality must improve: early {early:.3} late {late:.3}"
+    );
+}
+
+#[test]
+fn adaptive_runs_are_deterministic() {
+    let (a_out, a_rep, _) = run_adaptive(17, 64);
+    let (b_out, b_rep, _) = run_adaptive(17, 64);
+    assert_eq!(a_out, b_out);
+    assert_eq!(a_rep.finished_at_secs, b_rep.finished_at_secs);
+    assert_eq!(a_rep.repartitions.len(), b_rep.repartitions.len());
+    let lat_a: Vec<u64> = a_rep
+        .outcomes
+        .iter()
+        .map(|o| o.completed_at.as_nanos())
+        .collect();
+    let lat_b: Vec<u64> = b_rep
+        .outcomes
+        .iter()
+        .map(|o| o.completed_at.as_nanos())
+        .collect();
+    assert_eq!(lat_a, lat_b, "event timing must replay bit-identically");
+}
+
+#[test]
+fn moved_vertex_totals_stay_consistent() {
+    let (_, report, _) = run_adaptive(19, 96);
+    let world = small_road_world(19);
+    for r in &report.repartitions {
+        assert!(r.moved_vertices <= world.graph.num_vertices());
+        assert!(r.barrier_duration >= 0.0);
+        assert!(r.ils.final_cost <= r.ils.initial_cost + 1e-9);
+    }
+}
+
+#[test]
+fn static_config_never_repartitions() {
+    let world = small_road_world(23);
+    let graph = Arc::new(world.graph.clone());
+    let parts = HashPartitioner::default().partition(&graph, 4);
+    let before = parts.clone();
+    let mut engine = SimEngine::new(
+        Arc::clone(&graph),
+        ClusterModel::scale_up(4),
+        parts,
+        SystemConfig::default(),
+    );
+    let gen = WorkloadGenerator::new(&world);
+    for s in gen.generate(&WorkloadConfig::single(32, false, false, 1)) {
+        if let QueryKind::Sssp { source, target } = s.kind {
+            engine.submit(SsspProgram::new(source, target));
+        }
+    }
+    engine.run();
+    assert!(engine.report().repartitions.is_empty());
+    assert_eq!(engine.partitioning(), &before, "assignment untouched");
+}

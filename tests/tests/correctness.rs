@@ -1,0 +1,158 @@
+//! End-to-end correctness: the distributed engines must agree with the
+//! sequential reference algorithms and with each other, for every
+//! partitioning and barrier mode.
+
+use std::sync::Arc;
+
+use qgraph_algo::{dijkstra_to, nearest_tagged, PoiProgram, SsspProgram};
+use qgraph_core::runtime::ThreadEngine;
+use qgraph_core::{BarrierMode, SimEngine, SystemConfig};
+use qgraph_integration_tests::small_road_world;
+use qgraph_partition::{DomainPartitioner, HashPartitioner, Partitioner};
+use qgraph_sim::ClusterModel;
+use qgraph_workload::{assign_tags, QueryKind, WorkloadConfig, WorkloadGenerator};
+
+#[test]
+fn sim_engine_sssp_matches_dijkstra_on_road_network() {
+    let world = small_road_world(21);
+    let graph = Arc::new(world.graph.clone());
+    let gen = WorkloadGenerator::new(&world);
+    let specs = gen.generate(&WorkloadConfig::figure5(24, 8, 5));
+
+    for partitioner in [true, false] {
+        let parts = if partitioner {
+            HashPartitioner::default().partition(&graph, 4)
+        } else {
+            DomainPartitioner.partition(&graph, 4)
+        };
+        let mut engine = SimEngine::new(
+            Arc::clone(&graph),
+            ClusterModel::scale_up(4),
+            parts,
+            SystemConfig::default(),
+        );
+        let mut expected = Vec::new();
+        for s in &specs {
+            if let QueryKind::Sssp { source, target } = s.kind {
+                engine.submit(SsspProgram::new(source, target));
+                expected.push(dijkstra_to(&graph, source, target));
+            }
+        }
+        engine.run();
+        for (i, want) in expected.iter().enumerate() {
+            let got = engine.output(qgraph_core::QueryId(i as u32)).unwrap();
+            match (want, got) {
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-3, "query {i}: {a} vs {b}")
+                }
+                (None, None) => {}
+                other => panic!("query {i}: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn poi_matches_reference_on_tagged_network() {
+    let mut world = small_road_world(33);
+    assign_tags(&mut world.graph, 1.0 / 50.0, 3);
+    let graph = Arc::new(world.graph.clone());
+    let parts = HashPartitioner::default().partition(&graph, 4);
+    let mut engine = SimEngine::new(
+        Arc::clone(&graph),
+        ClusterModel::scale_up(4),
+        parts,
+        SystemConfig::default(),
+    );
+    let gen = WorkloadGenerator::new(&world);
+    let specs = gen.generate(&WorkloadConfig::single(16, true, false, 9));
+    let mut expected = Vec::new();
+    for s in &specs {
+        if let QueryKind::Poi { source } = s.kind {
+            engine.submit(PoiProgram::new(source));
+            expected.push(nearest_tagged(&graph, source));
+        }
+    }
+    engine.run();
+    for (i, want) in expected.iter().enumerate() {
+        let got = engine.output(qgraph_core::QueryId(i as u32)).unwrap();
+        match (want, got) {
+            (Some((_, wd)), Some((_, gd))) => {
+                // Distances must agree; vertex may differ only on exact ties.
+                assert!((wd - gd).abs() < 1e-3, "query {i}: {wd} vs {gd}");
+            }
+            (None, None) => {}
+            other => panic!("query {i}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn barrier_modes_do_not_change_answers() {
+    let world = small_road_world(44);
+    let graph = Arc::new(world.graph.clone());
+    let gen = WorkloadGenerator::new(&world);
+    let specs = gen.generate(&WorkloadConfig::single(12, false, false, 2));
+
+    let run = |mode: BarrierMode| -> Vec<Option<f32>> {
+        let parts = HashPartitioner::default().partition(&graph, 4);
+        let mut engine = SimEngine::new(
+            Arc::clone(&graph),
+            ClusterModel::scale_up(4),
+            parts,
+            SystemConfig::static_with_barrier(mode),
+        );
+        for s in &specs {
+            if let QueryKind::Sssp { source, target } = s.kind {
+                engine.submit(SsspProgram::new(source, target));
+            }
+        }
+        engine.run();
+        (0..specs.len())
+            .map(|i| *engine.output(qgraph_core::QueryId(i as u32)).unwrap())
+            .collect()
+    };
+    let hybrid = run(BarrierMode::Hybrid);
+    let global = run(BarrierMode::GlobalPerQuery);
+    let shared = run(BarrierMode::SharedGlobal);
+    assert_eq!(hybrid, global);
+    assert_eq!(hybrid, shared);
+}
+
+#[test]
+fn thread_engine_agrees_with_sim_engine() {
+    let world = small_road_world(55);
+    let graph = Arc::new(world.graph.clone());
+    let gen = WorkloadGenerator::new(&world);
+    let specs = gen.generate(&WorkloadConfig::single(10, false, false, 6));
+
+    let programs: Vec<SsspProgram> = specs
+        .iter()
+        .filter_map(|s| match s.kind {
+            QueryKind::Sssp { source, target } => Some(SsspProgram::new(source, target)),
+            _ => None,
+        })
+        .collect();
+
+    // Simulated engine.
+    let parts = HashPartitioner::default().partition(&graph, 3);
+    let mut sim = SimEngine::new(
+        Arc::clone(&graph),
+        ClusterModel::scale_up(3),
+        parts.clone(),
+        SystemConfig::default(),
+    );
+    for p in &programs {
+        sim.submit(p.clone());
+    }
+    sim.run();
+
+    // Real threads.
+    let te: ThreadEngine<SsspProgram> = ThreadEngine::new(Arc::clone(&graph), parts);
+    let thread_results = te.run(programs.clone());
+
+    for (i, tr) in thread_results.iter().enumerate() {
+        let sim_out = sim.output(qgraph_core::QueryId(i as u32)).unwrap();
+        assert_eq!(&tr.output, sim_out, "query {i} disagrees across runtimes");
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-crate property tests on system invariants.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use qgraph_algo::{dijkstra_to, SsspProgram};
+use qgraph_core::qcut::{cluster_queries, local_search, run_qcut, ScopeStats, Solution};
+use qgraph_core::{QcutConfig, QueryId, SimEngine, SystemConfig};
+use qgraph_graph::{GraphBuilder, VertexId};
+use qgraph_partition::{HashPartitioner, Partitioner, Partitioning, WorkerId};
+use qgraph_sim::ClusterModel;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Arbitrary connected-ish weighted graph: a random spanning path plus
+/// extra random edges.
+fn arb_graph(max_v: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, f32)>)> {
+    (3..max_v).prop_flat_map(|n| {
+        let extra = prop::collection::vec(
+            (0..n as u32, 0..n as u32, 0.1f32..10.0),
+            0..(2 * n),
+        );
+        (Just(n), extra)
+    })
+}
+
+fn build(n: usize, extra: &[(u32, u32, f32)]) -> Arc<qgraph_graph::Graph> {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..(n as u32 - 1) {
+        b.add_undirected_edge(i, i + 1, 1.0 + (i % 5) as f32);
+    }
+    for &(s, t, w) in extra {
+        if s != t {
+            b.add_undirected_edge(s, t, w);
+        }
+    }
+    Arc::new(b.build())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// BSP SSSP on any partitioning equals Dijkstra.
+    #[test]
+    fn engine_sssp_equals_dijkstra((n, extra) in arb_graph(40), k in 1usize..5, s in 0u32..10, t in 0u32..10) {
+        let g = build(n, &extra);
+        let s = VertexId(s % n as u32);
+        let t = VertexId(t % n as u32);
+        let parts = HashPartitioner::default().partition(&g, k);
+        let mut e = SimEngine::new(
+            Arc::clone(&g),
+            ClusterModel::scale_up(k),
+            parts,
+            SystemConfig::default(),
+        );
+        let q = e.submit(SsspProgram::new(s, t));
+        e.run();
+        let got = *e.output(q).unwrap();
+        let want = dijkstra_to(&g, s, t);
+        match (got, want) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-3),
+            (None, None) => {}
+            other => prop_assert!(false, "mismatch {other:?}"),
+        }
+    }
+
+    /// Local search never increases cost and never worsens imbalance
+    /// beyond max(δ, initial).
+    #[test]
+    fn local_search_invariants(
+        sizes in prop::collection::vec(prop::collection::vec(0.0f64..50.0, 4), 2..20),
+        base in prop::collection::vec(50.0f64..200.0, 4),
+    ) {
+        let stats = ScopeStats {
+            num_workers: 4,
+            queries: (0..sizes.len() as u32).map(QueryId).collect(),
+            sizes,
+            overlaps: vec![],
+            base_vertices: base,
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let clusters = cluster_queries(&stats, 16, &mut rng);
+        let mut s = Solution::initial(&stats, &clusters, 0.25);
+        let c0 = s.cost();
+        let imb0 = s.imbalance();
+        let c1 = local_search(&mut s);
+        prop_assert!(c1 <= c0 + 1e-9);
+        prop_assert!(s.imbalance() <= imb0.max(0.25) + 1e-9);
+        prop_assert!((s.cost() - s.recompute_cost()).abs() < 1e-6);
+    }
+
+    /// The full ILS plan realizes its reported final state: replaying the
+    /// moves on the stats yields the claimed cost direction.
+    #[test]
+    fn ils_plan_is_consistent(
+        sizes in prop::collection::vec(prop::collection::vec(0.0f64..30.0, 3), 2..16),
+    ) {
+        let stats = ScopeStats {
+            num_workers: 3,
+            queries: (0..sizes.len() as u32).map(QueryId).collect(),
+            sizes,
+            overlaps: vec![],
+            base_vertices: vec![100.0; 3],
+        };
+        let r = run_qcut(&stats, &QcutConfig::default());
+        prop_assert!(r.final_cost <= r.initial_cost + 1e-9);
+        for mv in &r.plan.moves {
+            prop_assert!(mv.from != mv.to);
+            prop_assert!(mv.from < 3 && mv.to < 3);
+        }
+    }
+
+    /// Moving vertices never changes the total vertex count per
+    /// partitioning.
+    #[test]
+    fn partition_moves_conserve_vertices(assign in prop::collection::vec(0u32..4, 5..60), moves in prop::collection::vec((0usize..60, 0u32..4), 0..30)) {
+        let n = assign.len();
+        let mut p = Partitioning::new(assign.into_iter().map(WorkerId).collect(), 4);
+        for (v, w) in moves {
+            p.move_vertex(VertexId((v % n) as u32), WorkerId(w));
+        }
+        prop_assert_eq!(p.sizes().iter().sum::<usize>(), n);
+    }
+}
