@@ -28,6 +28,10 @@ impl VertexProgram for BfsProgram {
     /// `(vertex, depth)` pairs, sorted by vertex.
     type Output = Vec<(VertexId, u32)>;
 
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
     fn init_state(&self) -> u32 {
         u32::MAX
     }
@@ -65,8 +69,7 @@ impl VertexProgram for BfsProgram {
         _graph: &Graph,
         states: &mut dyn Iterator<Item = (VertexId, u32)>,
     ) -> Vec<(VertexId, u32)> {
-        let mut out: Vec<(VertexId, u32)> =
-            states.filter(|(_, d)| *d != u32::MAX).collect();
+        let mut out: Vec<(VertexId, u32)> = states.filter(|(_, d)| *d != u32::MAX).collect();
         out.sort_unstable();
         out
     }
@@ -92,15 +95,10 @@ mod tests {
 
     fn run_bfs(g: Arc<Graph>, s: u32, d: u32) -> Vec<(VertexId, u32)> {
         let parts = HashPartitioner::default().partition(&g, 3);
-        let mut e = SimEngine::new(
-            g,
-            ClusterModel::scale_up(3),
-            parts,
-            SystemConfig::default(),
-        );
+        let mut e = SimEngine::new(g, ClusterModel::scale_up(3), parts, SystemConfig::default());
         let q = e.submit(BfsProgram::new(VertexId(s), d));
         e.run();
-        e.take_output(q).unwrap()
+        e.take_output(&q).unwrap()
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod wcc;
 pub use bfs::BfsProgram;
 pub use poi::PoiProgram;
 pub use ppr::PprProgram;
-pub use reference::{dijkstra, dijkstra_to, k_hop, nearest_tagged, connected_component_of};
+pub use reference::{connected_component_of, dijkstra, dijkstra_to, k_hop, nearest_tagged};
 pub use road::RoadProgram;
 pub use sssp::SsspProgram;
 pub use wcc::WccProgram;

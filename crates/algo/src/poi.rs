@@ -34,6 +34,10 @@ impl VertexProgram for PoiProgram {
     /// Nearest tagged vertex and its distance, `None` if unreachable.
     type Output = Option<(VertexId, f32)>;
 
+    fn name(&self) -> &'static str {
+        "poi"
+    }
+
     fn init_state(&self) -> f32 {
         f32::INFINITY
     }
@@ -129,7 +133,7 @@ mod tests {
         );
         let q = e.submit(PoiProgram::new(VertexId(s)));
         e.run();
-        *e.output(q).unwrap()
+        *e.output(&q).unwrap()
     }
 
     #[test]
@@ -169,15 +173,10 @@ mod tests {
         g.props_mut().tags = tags;
         let g = Arc::new(g);
         let parts = RangePartitioner.partition(&g, 2);
-        let mut e = SimEngine::new(
-            g,
-            ClusterModel::scale_up(2),
-            parts,
-            SystemConfig::default(),
-        );
+        let mut e = SimEngine::new(g, ClusterModel::scale_up(2), parts, SystemConfig::default());
         let q = e.submit(PoiProgram::new(VertexId(0)));
         e.run();
-        assert_eq!(*e.output(q).unwrap(), Some((VertexId(1), 1.0)));
+        assert_eq!(*e.output(&q).unwrap(), Some((VertexId(1), 1.0)));
         assert!(
             e.report().outcomes[0].scope_size < 10,
             "chain must be pruned, scope {}",

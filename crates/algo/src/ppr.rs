@@ -51,6 +51,10 @@ impl VertexProgram for PprProgram {
     /// `(vertex, mass)` pairs with meaningful mass, sorted descending.
     type Output = Vec<(VertexId, f32)>;
 
+    fn name(&self) -> &'static str {
+        "ppr"
+    }
+
     fn init_state(&self) -> PprState {
         PprState::default()
     }
@@ -117,15 +121,10 @@ mod tests {
 
     fn run_ppr(g: Arc<Graph>, s: u32, eps: f32) -> Vec<(VertexId, f32)> {
         let parts = RangePartitioner.partition(&g, 2);
-        let mut e = SimEngine::new(
-            g,
-            ClusterModel::scale_up(2),
-            parts,
-            SystemConfig::default(),
-        );
+        let mut e = SimEngine::new(g, ClusterModel::scale_up(2), parts, SystemConfig::default());
         let q = e.submit(PprProgram::new(VertexId(s), 0.15, eps));
         e.run();
-        e.take_output(q).unwrap()
+        e.take_output(&q).unwrap()
     }
 
     fn path(n: u32) -> Arc<Graph> {

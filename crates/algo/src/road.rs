@@ -42,6 +42,15 @@ impl VertexProgram for RoadProgram {
     type Aggregate = f32;
     type Output = RoadAnswer;
 
+    fn name(&self) -> &'static str {
+        // Label per wrapped query type: mixed road workloads stay legible
+        // in per-program report tables.
+        match self {
+            RoadProgram::Sssp(_) => "sssp",
+            RoadProgram::Poi(_) => "poi",
+        }
+    }
+
     fn init_state(&self) -> f32 {
         f32::INFINITY
     }
@@ -110,19 +119,16 @@ mod tests {
         g.props_mut().tags = vec![false, false, false, true];
         let g = Arc::new(g);
         let parts = RangePartitioner.partition(&g, 2);
-        let mut e = SimEngine::new(
-            g,
-            ClusterModel::scale_up(2),
-            parts,
-            SystemConfig::default(),
-        );
+        let mut e = SimEngine::new(g, ClusterModel::scale_up(2), parts, SystemConfig::default());
         let q1 = e.submit(RoadProgram::sssp(VertexId(0), VertexId(2)));
         let q2 = e.submit(RoadProgram::poi(VertexId(1)));
         e.run();
-        assert_eq!(*e.output(q1).unwrap(), RoadAnswer::Distance(Some(2.0)));
+        assert_eq!(*e.output(&q1).unwrap(), RoadAnswer::Distance(Some(2.0)));
         assert_eq!(
-            *e.output(q2).unwrap(),
+            *e.output(&q2).unwrap(),
             RoadAnswer::Nearest(Some((VertexId(3), 2.0)))
         );
+        let programs: Vec<&str> = e.report().outcomes.iter().map(|o| o.program).collect();
+        assert!(programs.contains(&"sssp") && programs.contains(&"poi"));
     }
 }

@@ -44,6 +44,10 @@ impl VertexProgram for SsspProgram {
     /// The target's distance, `None` if unreachable.
     type Output = Option<f32>;
 
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
     fn init_state(&self) -> f32 {
         f32::INFINITY
     }
@@ -139,7 +143,7 @@ mod tests {
         );
         let q = e.submit(SsspProgram::new(VertexId(s), VertexId(t)));
         e.run();
-        *e.output(q).unwrap()
+        *e.output(&q).unwrap()
     }
 
     #[test]
@@ -199,15 +203,10 @@ mod tests {
         }
         let g = Arc::new(b.build());
         let parts = HashPartitioner::default().partition(&g, 2);
-        let mut e = SimEngine::new(
-            g,
-            ClusterModel::scale_up(2),
-            parts,
-            SystemConfig::default(),
-        );
+        let mut e = SimEngine::new(g, ClusterModel::scale_up(2), parts, SystemConfig::default());
         let q = e.submit(SsspProgram::new(VertexId(0), VertexId(2)));
         e.run();
-        assert_eq!(*e.output(q).unwrap(), Some(2.0));
+        assert_eq!(*e.output(&q).unwrap(), Some(2.0));
         let scope = e.report().outcomes[0].scope_size;
         assert!(
             scope < 10,

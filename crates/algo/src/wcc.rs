@@ -21,6 +21,10 @@ impl VertexProgram for WccProgram {
     /// Number of components.
     type Output = usize;
 
+    fn name(&self) -> &'static str {
+        "wcc"
+    }
+
     fn init_state(&self) -> u32 {
         u32::MAX
     }
@@ -51,11 +55,7 @@ impl VertexProgram for WccProgram {
         }
     }
 
-    fn finalize(
-        &self,
-        _graph: &Graph,
-        states: &mut dyn Iterator<Item = (VertexId, u32)>,
-    ) -> usize {
+    fn finalize(&self, _graph: &Graph, states: &mut dyn Iterator<Item = (VertexId, u32)>) -> usize {
         let mut labels: Vec<u32> = states.map(|(_, l)| l).collect();
         labels.sort_unstable();
         labels.dedup();
@@ -74,15 +74,10 @@ mod tests {
 
     fn run_wcc(g: Arc<Graph>) -> usize {
         let parts = HashPartitioner::default().partition(&g, 3);
-        let mut e = SimEngine::new(
-            g,
-            ClusterModel::scale_up(3),
-            parts,
-            SystemConfig::default(),
-        );
+        let mut e = SimEngine::new(g, ClusterModel::scale_up(3), parts, SystemConfig::default());
         let q = e.submit(WccProgram);
         e.run();
-        *e.output(q).unwrap()
+        *e.output(&q).unwrap()
     }
 
     #[test]

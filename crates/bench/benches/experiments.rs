@@ -121,7 +121,10 @@ fn summary_table(name: &str, reports: &[(Strategy, EngineReport)]) {
     }
     print!("{}", table.render());
     let hash = reports.iter().find(|(s, _)| *s == Strategy::Hash).unwrap();
-    let domain = reports.iter().find(|(s, _)| *s == Strategy::Domain).unwrap();
+    let domain = reports
+        .iter()
+        .find(|(s, _)| *s == Strategy::Domain)
+        .unwrap();
     for (s, r) in reports {
         if s.adaptive() {
             println!(
@@ -149,7 +152,9 @@ fn fig5b() {
 }
 
 fn fig6a() {
-    println!("\n### Figure 6a — summed latency, SSSP on BW (paper: Q-cut −43% vs Hash, −22% vs Domain)");
+    println!(
+        "\n### Figure 6a — summed latency, SSSP on BW (paper: Q-cut −43% vs Hash, −22% vs Domain)"
+    );
     let reports = run_strategies(|s| {
         let (main, _) = fig5_sizes();
         ExperimentSpec::default_bw(s, main, 0.5)
@@ -185,11 +190,18 @@ fn fig6c() {
 }
 
 fn fig6d() {
-    println!("\n### Figure 6d — hybrid vs global barrier, 64 SSSP on BW (paper: hybrid 1.2–1.7x faster)");
+    println!(
+        "\n### Figure 6d — hybrid vs global barrier, 64 SSSP on BW (paper: hybrid 1.2–1.7x faster)"
+    );
     let n = if quick() { 32 } else { 64 };
     let mut table = Table::new(
         "fig6d: total latency by barrier mode",
-        &["partitioning", "global_barrier_s", "hybrid_barrier_s", "speedup"],
+        &[
+            "partitioning",
+            "global_barrier_s",
+            "hybrid_barrier_s",
+            "speedup",
+        ],
     );
     for strategy in [Strategy::Hash, Strategy::Domain] {
         let run = |barrier| {
@@ -213,7 +225,9 @@ fn fig6d() {
 }
 
 fn fig6e() {
-    println!("\n### Figure 6e — workload imbalance over time (paper: Hash low, Domain high, Q-cut → ~δ)");
+    println!(
+        "\n### Figure 6e — workload imbalance over time (paper: Hash low, Domain high, Q-cut → ~δ)"
+    );
     let reports = run_strategies(spec_bw);
     let mut table = Table::new(
         "fig6e: activity imbalance (max/mean - 1) per time bucket",
@@ -247,7 +261,9 @@ fn fig6e() {
 }
 
 fn fig6f() {
-    println!("\n### Figure 6f — query locality over time (paper: Domain >95%, Hash ~38%, Q-cut → ~80%)");
+    println!(
+        "\n### Figure 6f — query locality over time (paper: Domain >95%, Hash ~38%, Q-cut → ~80%)"
+    );
     let reports = run_strategies(spec_bw);
     let mut table = Table::new(
         "fig6f: fraction of fully-local iterations per completion bucket",
@@ -281,7 +297,9 @@ fn fig6f() {
 }
 
 fn fig6g() {
-    println!("\n### Figure 6g — ILS cost trace with perturbations (paper: cost −75% within the budget)");
+    println!(
+        "\n### Figure 6g — ILS cost trace with perturbations (paper: cost −75% within the budget)"
+    );
     // Run Hash+Qcut and show the hardest ILS run's trace: the one where
     // perturbations did the most work (longest non-trivial trace).
     let report = run_road_experiment(&spec_bw(Strategy::HashQcut));
@@ -328,7 +346,10 @@ fn fig7(poi: bool) {
     let (label, paper) = if poi {
         ("fig7b — POI", "same shape as SSSP")
     } else {
-        ("fig7a — SSSP", "Hash U-shape 927→474→863s; Domain 1790→562s; Q-cut best")
+        (
+            "fig7a — SSSP",
+            "Hash U-shape 927→474→863s; Domain 1790→562s; Q-cut best",
+        )
     };
     println!("\n### Figure {label} on BW, scale-out C1 (paper: {paper})");
     let n = if quick() { 128 } else { 512 };

@@ -125,7 +125,7 @@ fn bench_engine(c: &mut Criterion) {
             |mut e| {
                 let q = e.submit(ReachProgram::bounded(VertexId(0), 12));
                 e.run();
-                e.output(q).map(Vec::len)
+                e.output(&q).map(Vec::len)
             },
             BatchSize::SmallInput,
         )

@@ -10,8 +10,14 @@ use qgraph_sim::ClusterModel;
 use qgraph_workload::{QueryKind, WorkloadConfig, WorkloadGenerator};
 
 fn main() {
-    let scale: f64 = std::env::var("S").ok().and_then(|s| s.parse().ok()).unwrap_or(0.5);
-    let n: usize = std::env::var("N").ok().and_then(|s| s.parse().ok()).unwrap_or(512);
+    let scale: f64 = std::env::var("S")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let n: usize = std::env::var("N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
     let strat = match std::env::var("STRAT").as_deref() {
         Ok("hash") => Strategy::Hash,
         Ok("domain") => Strategy::Domain,
@@ -19,7 +25,11 @@ fn main() {
         _ => Strategy::HashQcut,
     };
     let net = build_network(GraphPreset::BwLike { scale }, 0.0, 7);
-    println!("graph: {} vertices, strategy {:?}", net.graph.num_vertices(), strat);
+    println!(
+        "graph: {} vertices, strategy {:?}",
+        net.graph.num_vertices(),
+        strat
+    );
     let parts = partition_graph(strat, &net, 8, 7);
     let gen = WorkloadGenerator::new(&net);
     let specs = gen.generate(&WorkloadConfig::single(n, false, false, 7));

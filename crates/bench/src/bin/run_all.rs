@@ -3,7 +3,7 @@
 //! The full per-figure harness lives in `benches/experiments.rs`
 //! (`cargo bench -p qgraph-bench --bench experiments -- <figure>`).
 
-use qgraph_bench::{run_road_experiment, ExperimentSpec, Strategy};
+use qgraph_bench::{run_mixed_road_experiment, run_road_experiment, ExperimentSpec, Strategy};
 use qgraph_metrics::Table;
 
 fn main() {
@@ -18,7 +18,13 @@ fn main() {
 
     let mut table = Table::new(
         format!("mini Fig 6a: {queries} SSSP queries, BW-like scale {scale}, k=8"),
-        &["strategy", "total_latency_s", "mean_latency_s", "locality", "repartitions"],
+        &[
+            "strategy",
+            "total_latency_s",
+            "mean_latency_s",
+            "locality",
+            "repartitions",
+        ],
     );
     for strategy in Strategy::paper_set() {
         let spec = ExperimentSpec::default_bw(strategy, queries, scale);
@@ -32,4 +38,12 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+
+    // Mixed SSSP + POI traffic in one engine instance: the per-program
+    // breakdown the heterogeneous-query API makes possible.
+    let mixed = run_mixed_road_experiment(&ExperimentSpec {
+        tag_probability: 1.0 / 200.0,
+        ..ExperimentSpec::default_bw(Strategy::Hash, queries, scale)
+    });
+    print!("{}", mixed.program_table().render());
 }

@@ -5,5 +5,6 @@
 pub mod setup;
 
 pub use setup::{
-    build_network, partition_graph, run_road_experiment, ExperimentSpec, GraphPreset, Strategy,
+    build_network, partition_graph, run_mixed_road_experiment, run_road_experiment, ExperimentSpec,
+    GraphPreset, Strategy,
 };

@@ -240,10 +240,19 @@ mod tests {
             !c.should_trigger(SimTime::from_secs(11), 0.9, 0.0, 4),
             "locality fine, balance fine"
         );
-        assert!(!c.should_trigger(SimTime::from_secs(5), 0.5, 0.0, 4), "cooldown");
-        assert!(!c.should_trigger(SimTime::from_secs(11), 0.5, 0.0, 0), "no queries");
+        assert!(
+            !c.should_trigger(SimTime::from_secs(5), 0.5, 0.0, 4),
+            "cooldown"
+        );
+        assert!(
+            !c.should_trigger(SimTime::from_secs(11), 0.5, 0.0, 0),
+            "no queries"
+        );
         c.ils_inflight = true;
-        assert!(!c.should_trigger(SimTime::from_secs(11), 0.5, 0.0, 4), "in flight");
+        assert!(
+            !c.should_trigger(SimTime::from_secs(11), 0.5, 0.0, 4),
+            "in flight"
+        );
     }
 
     #[test]
@@ -275,7 +284,7 @@ mod tests {
         assert_eq!(s.sizes[0], vec![2.0, 1.0]);
         assert_eq!(s.sizes[1], vec![0.0, 2.0]);
         assert_eq!(s.overlaps, vec![(0, 1, 1.0)]); // vertex 2 shared
-        // base: w0 has 2 vertices, both in scope 0 -> 0 base; w1 has 2, both in scopes.
+                                                   // base: w0 has 2 vertices, both in scope 0 -> 0 base; w1 has 2, both in scopes.
         assert_eq!(s.base_vertices, vec![0.0, 0.0]);
     }
 

@@ -8,6 +8,13 @@
 //! same three components as on the paper's testbeds: compute, network
 //! transfer, and barrier synchronization (see `DESIGN.md` §2).
 //!
+//! The engine is **not generic over a program type**: each submitted
+//! query is wrapped in a type-erased [`QueryTask`](crate::task::QueryTask)
+//! at [`SimEngine::submit`], so one instance runs SSSP, POI, and
+//! reachability queries concurrently. `submit` returns a typed
+//! [`QueryHandle`] through which [`SimEngine::output`] recovers the
+//! program's `Output` without any caller-visible downcasting.
+//!
 //! ## Execution model
 //!
 //! Each worker is a sequential resource processing one superstep task at a
@@ -40,8 +47,9 @@ use crate::config::{BarrierMode, SystemConfig};
 use crate::controller::Controller;
 use crate::program::VertexProgram;
 use crate::qcut::{run_qcut, IlsResult, MovePlan};
-use crate::query::{QueryId, QueryOutcome};
+use crate::query::{QueryHandle, QueryId, QueryOutcome};
 use crate::report::{ActivitySample, EngineReport, RepartitionEvent};
+use crate::task::{Envelope, QueryTask, TypedTask};
 use crate::worker::Worker;
 
 #[derive(Clone, Debug)]
@@ -71,8 +79,10 @@ enum QueryStatus {
     Finished,
 }
 
-struct QueryRun<P: VertexProgram> {
-    program: Arc<P>,
+/// One submitted query: its erased task plus per-run bookkeeping. No
+/// program types appear here — aggregates travel as [`Envelope`]s.
+struct QueryRun {
+    task: Arc<dyn QueryTask>,
     status: QueryStatus,
     submitted_at: SimTime,
     iteration: u32,
@@ -86,8 +96,8 @@ struct QueryRun<P: VertexProgram> {
     msg_arrival_max: SimTime,
     crossed: bool,
     last_done_raw: SimTime,
-    agg_prev: P::Aggregate,
-    agg_acc: P::Aggregate,
+    agg_prev: Envelope,
+    agg_acc: Envelope,
 }
 
 struct WorkerSched {
@@ -97,16 +107,16 @@ struct WorkerSched {
 }
 
 /// The deterministic multi-query engine. See the module docs.
-pub struct SimEngine<P: VertexProgram> {
+pub struct SimEngine {
     graph: Arc<Graph>,
     cluster: ClusterModel,
     cfg: SystemConfig,
     partitioning: Partitioning,
-    workers: Vec<Worker<P>>,
+    workers: Vec<Worker>,
     sched: Vec<WorkerSched>,
     events: EventQueue<Event>,
-    queries: Vec<QueryRun<P>>,
-    outputs: Vec<Option<P::Output>>,
+    queries: Vec<QueryRun>,
+    outputs: Vec<Option<Envelope>>,
     pending: VecDeque<QueryId>,
     in_flight: usize,
     /// STOP barrier in progress: no new barrier releases or query
@@ -133,7 +143,7 @@ pub struct SimEngine<P: VertexProgram> {
     round_release: SimTime,
 }
 
-impl<P: VertexProgram> SimEngine<P> {
+impl SimEngine {
     /// Create an engine over `graph`, simulated on `cluster`, starting from
     /// `partitioning`.
     ///
@@ -197,13 +207,22 @@ impl<P: VertexProgram> SimEngine<P> {
         }
     }
 
-    /// Enqueue a query. It starts once a closed-loop slot is free
-    /// (`max_parallel_queries` in flight at a time, the paper's batches).
-    pub fn submit(&mut self, program: P) -> QueryId {
+    /// Enqueue a query of any program type; one engine instance runs
+    /// heterogeneous queries concurrently. It starts once a closed-loop
+    /// slot is free (`max_parallel_queries` in flight at a time, the
+    /// paper's batches). Returns a typed handle for [`SimEngine::output`].
+    pub fn submit<P: VertexProgram>(&mut self, program: P) -> QueryHandle<P> {
+        QueryHandle::new(self.submit_task(Arc::new(TypedTask::new(program))))
+    }
+
+    /// Type-erased submission backing [`SimEngine::submit`] (and the
+    /// [`crate::Engine`] trait).
+    pub fn submit_task(&mut self, task: Arc<dyn QueryTask>) -> QueryId {
         let id = QueryId(self.queries.len() as u32);
-        let identity = program.aggregate_identity();
         self.queries.push(QueryRun {
-            program: Arc::new(program),
+            agg_prev: task.aggregate_identity(),
+            agg_acc: task.aggregate_identity(),
+            task,
             status: QueryStatus::Queued,
             submitted_at: SimTime::ZERO,
             iteration: 0,
@@ -216,8 +235,6 @@ impl<P: VertexProgram> SimEngine<P> {
             msg_arrival_max: SimTime::ZERO,
             crossed: false,
             last_done_raw: SimTime::ZERO,
-            agg_prev: identity.clone(),
-            agg_acc: identity,
         });
         self.outputs.push(None);
         self.pending.push_back(id);
@@ -247,14 +264,31 @@ impl<P: VertexProgram> SimEngine<P> {
         &self.report
     }
 
-    /// The output of a finished query.
-    pub fn output(&self, q: QueryId) -> Option<&P::Output> {
-        self.outputs[q.index()].as_ref()
+    /// The output of a finished query, recovered through its typed handle.
+    pub fn output<P: VertexProgram>(&self, handle: &QueryHandle<P>) -> Option<&P::Output> {
+        self.output_as::<P>(handle.id())
+    }
+
+    /// Typed output lookup by raw [`QueryId`] (for callers that index
+    /// queries positionally); `None` if unfinished or if `P` is not the
+    /// program type the query was submitted with.
+    pub fn output_as<P: VertexProgram>(&self, q: QueryId) -> Option<&P::Output> {
+        self.output_envelope(q)?.downcast_ref::<P::Output>()
+    }
+
+    /// Erased output access (backs the [`crate::Engine`] trait).
+    pub fn output_envelope(&self, q: QueryId) -> Option<&(dyn std::any::Any + Send)> {
+        self.outputs.get(q.index())?.as_deref()
     }
 
     /// Take ownership of a finished query's output.
-    pub fn take_output(&mut self, q: QueryId) -> Option<P::Output> {
-        self.outputs[q.index()].take()
+    pub fn take_output<P: VertexProgram>(&mut self, handle: &QueryHandle<P>) -> Option<P::Output> {
+        let slot = self.outputs.get_mut(handle.id().index())?;
+        // Only take the envelope if it downcasts to the handle's type.
+        slot.as_ref()?.downcast_ref::<P::Output>()?;
+        slot.take()
+            .and_then(|b| b.downcast::<P::Output>().ok())
+            .map(|b| *b)
     }
 
     /// The measurement report (also returned by [`SimEngine::run`]).
@@ -288,14 +322,13 @@ impl<P: VertexProgram> SimEngine<P> {
 
     fn start_query(&mut self, q: QueryId) {
         let now = self.events.now();
-        let initial = self.queries[q.index()].program.initial_messages(&self.graph);
-        let mut by_worker: FxHashMap<usize, Vec<(VertexId, P::Message)>> = FxHashMap::default();
-        for (v, m) in initial {
-            let w = self.partitioning.worker_of(v).index();
-            by_worker.entry(w).or_default().push((v, m));
-        }
-        let mut involved: Vec<usize> = by_worker.keys().copied().collect();
-        involved.sort_unstable();
+        let task = Arc::clone(&self.queries[q.index()].task);
+        let batches = {
+            let partitioning = &self.partitioning;
+            let route = |v: VertexId| partitioning.worker_of(v).index();
+            task.initial_batches(&self.graph, &route)
+        };
+        let involved: Vec<usize> = batches.iter().map(|(w, _)| *w).collect();
 
         let run = &mut self.queries[q.index()];
         run.status = QueryStatus::Running;
@@ -317,8 +350,8 @@ impl<P: VertexProgram> SimEngine<P> {
             self.round_outstanding += 1;
         }
 
-        for (w, msgs) in by_worker {
-            self.workers[w].deliver(q, msgs);
+        for (w, batch) in batches {
+            self.workers[w].deliver(task.as_ref(), q, batch);
             // Freeze at submission: superstep 0's input is exactly the
             // initial message set.
             self.workers[w].freeze(q);
@@ -359,11 +392,12 @@ impl<P: VertexProgram> SimEngine<P> {
 
         // Split borrows: the routing closure reads the partitioning while
         // the worker is mutated.
+        let task = Arc::clone(&self.queries[q.index()].task);
         let run = &self.queries[q.index()];
         let partitioning = &self.partitioning;
         let route = |v: VertexId| partitioning.worker_of(v).index();
         let (stats, agg, remote) =
-            self.workers[w].execute(q, &self.graph, run.program.as_ref(), &run.agg_prev, &route);
+            self.workers[w].execute(q, task.as_ref(), &self.graph, &run.agg_prev, &route);
 
         self.report.activity.push(ActivitySample {
             t: now.as_secs_f64(),
@@ -374,18 +408,15 @@ impl<P: VertexProgram> SimEngine<P> {
 
         // Serialization occupies this worker; the wire time then delays
         // the messages further.
-        let send_cpu = self
-            .cluster
-            .network
-            .serialize_cost(stats.remote_deliveries);
+        let send_cpu = self.cluster.network.serialize_cost(stats.remote_deliveries);
         let sent_at = now + send_cpu;
         let mut msg_arrival_max = SimTime::ZERO;
         let mut crossed = false;
-        for (w2, msgs) in remote {
-            let arrival = sent_at + self.cluster.message_cost(w, w2, msgs.len());
+        for (w2, batch) in remote {
+            let arrival = sent_at + self.cluster.message_cost(w, w2, batch.len());
             msg_arrival_max = msg_arrival_max.max(arrival);
             crossed = true;
-            self.workers[w2].deliver(q, msgs);
+            self.workers[w2].deliver(task.as_ref(), q, batch);
         }
 
         let run = &mut self.queries[q.index()];
@@ -395,8 +426,7 @@ impl<P: VertexProgram> SimEngine<P> {
         run.last_done_raw = run.last_done_raw.max(sent_at);
         run.msg_arrival_max = run.msg_arrival_max.max(msg_arrival_max);
         run.crossed |= crossed;
-        let program = run.program.clone();
-        program.aggregate_combine(&mut run.agg_acc, &agg);
+        task.aggregate_combine(&mut run.agg_acc, &agg);
         run.remaining -= 1;
 
         if self.queries[q.index()].remaining == 0 {
@@ -455,7 +485,7 @@ impl<P: VertexProgram> SimEngine<P> {
             .collect();
 
         let run = &mut self.queries[q.index()];
-        let program = run.program.clone();
+        let task = Arc::clone(&run.task);
         let decision = barrier::decide(
             &BarrierInput {
                 mode: self.cfg.barrier_mode,
@@ -473,13 +503,13 @@ impl<P: VertexProgram> SimEngine<P> {
         if decision.is_local {
             run.local_iterations += 1;
         }
-        let combined = std::mem::replace(&mut run.agg_acc, program.aggregate_identity());
-        if program.aggregate_sticky() {
-            program.aggregate_combine(&mut run.agg_prev, &combined);
+        let combined = std::mem::replace(&mut run.agg_acc, task.aggregate_identity());
+        if task.aggregate_sticky() {
+            task.aggregate_combine(&mut run.agg_prev, &combined);
         } else {
             run.agg_prev = combined;
         }
-        let terminate = involved_next.is_empty() || program.should_terminate(&run.agg_prev);
+        let terminate = involved_next.is_empty() || task.should_terminate(&run.agg_prev);
 
         let shared = self.cfg.barrier_mode == BarrierMode::SharedGlobal;
         if shared {
@@ -551,17 +581,23 @@ impl<P: VertexProgram> SimEngine<P> {
         let run = &mut self.queries[q.index()];
         debug_assert_ne!(run.status, QueryStatus::Finished);
         run.status = QueryStatus::Finished;
+        let task = Arc::clone(&run.task);
         self.in_flight -= 1;
 
-        // Gather all states the query touched, across workers.
-        let mut states: FxHashMap<VertexId, P::State> = FxHashMap::default();
+        // Gather the locals the query touched, across workers; the scope
+        // is recorded for the controller before finalize consumes them.
+        let mut locals = Vec::new();
+        let mut scope: Vec<VertexId> = Vec::new();
         for w in self.workers.iter_mut() {
-            states.extend(w.take_states(q));
+            if let Some(local) = w.take_local(q) {
+                scope.extend(local.scope_vertices());
+                locals.push(local);
+            }
         }
-        let scope: Vec<VertexId> = states.keys().copied().collect();
         let run = &self.queries[q.index()];
         let outcome = QueryOutcome {
             id: q,
+            program: task.program_name(),
             submitted_at: run.submitted_at,
             completed_at: at,
             iterations: run.iteration,
@@ -570,9 +606,7 @@ impl<P: VertexProgram> SimEngine<P> {
             remote_messages: run.remote_messages,
             scope_size: scope.len() as u64,
         };
-        let program = run.program.clone();
-        let mut it = states.into_iter();
-        self.outputs[q.index()] = Some(program.finalize(&self.graph, &mut it));
+        self.outputs[q.index()] = Some(task.finalize(&self.graph, locals));
         self.report.outcomes.push(outcome);
         self.controller.record_finished_scope(q, scope, at);
         self.controller.expire(at);
@@ -619,12 +653,10 @@ impl<P: VertexProgram> SimEngine<P> {
             return;
         }
         let (mean_locality, active) = self.mean_running_locality();
-        if !self.controller.should_trigger(
-            now,
-            mean_locality,
-            self.last_activity_imbalance,
-            active,
-        ) {
+        if !self
+            .controller
+            .should_trigger(now, mean_locality, self.last_activity_imbalance, active)
+        {
             return;
         }
 
@@ -723,16 +755,20 @@ impl<P: VertexProgram> SimEngine<P> {
             let vertices: FxHashSet<VertexId> = scope
                 .into_iter()
                 .filter(|&v| {
-                    !already_moved.contains(&v)
-                        && self.partitioning.worker_of(v).index() == mv.from
+                    !already_moved.contains(&v) && self.partitioning.worker_of(v).index() == mv.from
                 })
                 .collect();
             already_moved.extend(vertices.iter().copied());
             if vertices.is_empty() {
                 continue;
             }
-            let data = self.workers[mv.from].extract_vertices(&vertices);
-            self.workers[mv.to].inject_vertices(data);
+            // Every query's data on those vertices migrates; the per-query
+            // typed extraction goes through the tasks.
+            let queries = &self.queries;
+            let task_of =
+                |q: QueryId| -> Arc<dyn QueryTask> { Arc::clone(&queries[q.index()].task) };
+            let data = self.workers[mv.from].extract_vertices(&task_of, &vertices);
+            self.workers[mv.to].inject_vertices(&task_of, data);
             for &v in &vertices {
                 self.partitioning.move_vertex(v, WorkerId(mv.to as u32));
             }
@@ -771,11 +807,7 @@ mod tests {
         Arc::new(b.build())
     }
 
-    fn engine_on(
-        graph: Arc<Graph>,
-        k: usize,
-        cfg: SystemConfig,
-    ) -> SimEngine<ReachProgram> {
+    fn engine_on(graph: Arc<Graph>, k: usize, cfg: SystemConfig) -> SimEngine {
         let parts = RangePartitioner.partition(&graph, k);
         SimEngine::new(graph, ClusterModel::scale_up(k), parts, cfg)
     }
@@ -786,10 +818,11 @@ mod tests {
         let mut e = engine_on(g, 2, SystemConfig::default());
         let q = e.submit(ReachProgram::new(VertexId(0)));
         e.run();
-        let out = e.output(q).unwrap();
+        let out = e.output(&q).unwrap();
         assert_eq!(out.len(), 10);
         let r = &e.report().outcomes[0];
         assert_eq!(r.iterations, 10);
+        assert_eq!(r.program, "reach");
         assert!(r.latency_secs() > 0.0);
     }
 
@@ -800,7 +833,7 @@ mod tests {
         // Vertices 5..10 live on worker 1 under Range partitioning.
         let q = e.submit(ReachProgram::new(VertexId(5)));
         e.run();
-        let out = e.output(q).unwrap();
+        let out = e.output(&q).unwrap();
         assert_eq!(out.len(), 5);
         assert_eq!(e.report().outcomes[0].locality(), 1.0);
         assert_eq!(e.report().outcomes[0].remote_messages, 0);
@@ -822,14 +855,53 @@ mod tests {
     fn multiple_queries_all_finish() {
         let g = line_graph(64);
         let mut e = engine_on(g, 4, SystemConfig::default());
-        let qs: Vec<QueryId> = (0..16u32)
+        let qs: Vec<QueryHandle<ReachProgram>> = (0..16u32)
             .map(|i| e.submit(ReachProgram::bounded(VertexId(i * 4), 3)))
             .collect();
         e.run();
         assert_eq!(e.report().outcomes.len(), 16);
         for q in qs {
-            assert!(e.output(q).is_some());
+            assert!(e.output(&q).is_some());
         }
+    }
+
+    #[test]
+    fn heterogeneous_queries_share_one_engine() {
+        let g = line_graph(12);
+        let mut e = engine_on(g, 2, SystemConfig::default());
+        let reach = e.submit(ReachProgram::bounded(VertexId(0), 3));
+        let ping = e.submit(PingProgram {
+            ring: vec![VertexId(1), VertexId(10)],
+            rounds: 4,
+        });
+        let reach2 = e.submit(ReachProgram::new(VertexId(8)));
+        e.run();
+        assert_eq!(e.output(&reach).unwrap().len(), 4);
+        assert_eq!(*e.output(&ping).unwrap(), 3);
+        assert_eq!(e.output(&reach2).unwrap().len(), 4);
+        let programs: Vec<&str> = e.report().outcomes.iter().map(|o| o.program).collect();
+        assert!(programs.contains(&"reach") && programs.contains(&"ping"));
+    }
+
+    #[test]
+    fn output_with_wrong_type_is_none_not_panic() {
+        let g = line_graph(4);
+        let mut e = engine_on(g, 2, SystemConfig::default());
+        let q = e.submit(ReachProgram::new(VertexId(0)));
+        e.run();
+        assert!(e.output_as::<ReachProgram>(q.id()).is_some());
+        assert!(e.output_as::<PingProgram>(q.id()).is_none());
+    }
+
+    #[test]
+    fn take_output_transfers_ownership() {
+        let g = line_graph(6);
+        let mut e = engine_on(g, 2, SystemConfig::default());
+        let q = e.submit(ReachProgram::new(VertexId(0)));
+        e.run();
+        let owned = e.take_output(&q).unwrap();
+        assert_eq!(owned.len(), 6);
+        assert!(e.output(&q).is_none(), "taken outputs are gone");
     }
 
     #[test]
@@ -880,12 +952,8 @@ mod tests {
         let build = || {
             let g = line_graph(50);
             let parts = HashPartitioner::default().partition(&g, 4);
-            let mut e: SimEngine<ReachProgram> = SimEngine::new(
-                g,
-                ClusterModel::scale_up(4),
-                parts,
-                SystemConfig::default(),
-            );
+            let mut e =
+                SimEngine::new(g, ClusterModel::scale_up(4), parts, SystemConfig::default());
             for i in 0..10u32 {
                 e.submit(ReachProgram::bounded(VertexId(i * 3), 5));
             }
@@ -899,7 +967,7 @@ mod tests {
         assert_eq!(build(), build());
     }
 
-    fn ping_engine(k: usize) -> SimEngine<PingProgram> {
+    fn ping_engine(k: usize) -> SimEngine {
         let g = line_graph(4);
         let parts = RangePartitioner.partition(&g, k);
         SimEngine::new(g, ClusterModel::scale_up(k), parts, SystemConfig::default())
@@ -913,7 +981,7 @@ mod tests {
             rounds: 5,
         });
         e.run();
-        assert_eq!(*e.output(q).unwrap(), 4);
+        assert_eq!(*e.output(&q).unwrap(), 4);
         assert_eq!(e.report().outcomes[0].iterations, 5);
     }
 
@@ -925,7 +993,7 @@ mod tests {
             rounds: 0,
         });
         e.run();
-        assert_eq!(*e.output(q).unwrap(), 0);
+        assert_eq!(*e.output(&q).unwrap(), 0);
         assert_eq!(e.report().outcomes[0].iterations, 0);
     }
 }

@@ -13,7 +13,14 @@
 //!   per-query local scope sizes and intersections, never raw vertices —
 //!   and uses it for barrier management and repartitioning ([`controller`]).
 //!
-//! Two runtimes drive these pieces:
+//! Queries are *heterogeneous*: one engine instance runs SSSP, POI, and
+//! reachability programs concurrently. Internally every submitted
+//! [`VertexProgram`] is erased behind an object-safe
+//! [`task::QueryTask`]; the public API stays fully typed through
+//! [`QueryHandle`]s.
+//!
+//! Two runtimes implement the shared [`Engine`] trait
+//! (submit / run / output / report):
 //! * [`SimEngine`] — a deterministic discrete-event engine over the
 //!   `qgraph-sim` virtual cluster; every experiment in `EXPERIMENTS.md`
 //!   uses it (see `DESIGN.md` for why the paper's testbeds are simulated).
@@ -21,31 +28,32 @@
 //!   executor with the same worker/controller protocol, demonstrating the
 //!   library on actual hardware.
 //!
+//! Both are assembled from graph, partitioner, cluster, and configuration
+//! by [`EngineBuilder`].
+//!
 //! # Quick example
 //!
 //! ```
-//! use qgraph_core::{SimEngine, SystemConfig, programs::ReachProgram};
+//! use qgraph_core::{programs::ReachProgram, Engine, EngineBuilder};
 //! use qgraph_graph::{GraphBuilder, VertexId};
-//! use qgraph_partition::{HashPartitioner, Partitioner};
+//! use qgraph_partition::RangePartitioner;
 //! use qgraph_sim::ClusterModel;
 //!
 //! let mut b = GraphBuilder::new(3);
 //! b.add_edge(0, 1, 1.0);
 //! b.add_edge(1, 2, 1.0);
 //! let graph = b.build();
-//! let parts = HashPartitioner::default().partition(&graph, 2);
-//! let mut engine = SimEngine::new(
-//!     graph.into(),
-//!     ClusterModel::scale_up(2),
-//!     parts,
-//!     SystemConfig::default(),
-//! );
+//! let mut engine = EngineBuilder::new(graph)
+//!     .cluster(ClusterModel::scale_up(2))
+//!     .partitioner(RangePartitioner)
+//!     .build_sim();
 //! let q = engine.submit(ReachProgram::new(VertexId(0)));
 //! engine.run();
-//! let reached = engine.output(q).unwrap();
+//! let reached = engine.output(&q).unwrap();
 //! assert!(reached.contains(&VertexId(2)));
 //! ```
 
+pub mod api;
 pub mod barrier;
 pub mod config;
 pub mod controller;
@@ -56,10 +64,13 @@ pub mod qcut;
 pub mod query;
 pub mod report;
 pub mod runtime;
+pub mod task;
 pub mod worker;
 
+pub use api::{Engine, EngineBuilder};
 pub use config::{BarrierMode, QcutConfig, SystemConfig};
 pub use engine::SimEngine;
 pub use program::{Context, VertexProgram};
-pub use query::{QueryId, QueryOutcome};
-pub use report::EngineReport;
+pub use query::{QueryHandle, QueryId, QueryOutcome};
+pub use report::{EngineReport, ProgramSummary};
+pub use runtime::ThreadEngine;

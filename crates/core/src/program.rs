@@ -27,6 +27,14 @@ pub trait VertexProgram: Send + Sync + 'static {
     /// The query's final answer, extracted from the touched states.
     type Output: Send + 'static;
 
+    /// A short program-kind label, used to tag [`crate::QueryOutcome`]s so
+    /// mixed-workload reports stay legible per query type. Defaults to the
+    /// type name; override with something terse ("sssp", "poi", ...).
+    fn name(&self) -> &'static str {
+        let full = std::any::type_name::<Self>();
+        full.rsplit("::").next().unwrap_or(full)
+    }
+
     /// The state a vertex holds before its first message arrives.
     fn init_state(&self) -> Self::State;
 

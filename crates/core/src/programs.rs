@@ -44,6 +44,10 @@ impl VertexProgram for ReachProgram {
     type Aggregate = ();
     type Output = Vec<VertexId>;
 
+    fn name(&self) -> &'static str {
+        "reach"
+    }
+
     fn init_state(&self) -> ReachState {
         ReachState::default()
     }
@@ -81,10 +85,7 @@ impl VertexProgram for ReachProgram {
         _graph: &Graph,
         states: &mut dyn Iterator<Item = (VertexId, ReachState)>,
     ) -> Vec<VertexId> {
-        let mut out: Vec<VertexId> = states
-            .filter(|(_, s)| s.visited)
-            .map(|(v, _)| v)
-            .collect();
+        let mut out: Vec<VertexId> = states.filter(|(_, s)| s.visited).map(|(v, _)| v).collect();
         out.sort_unstable();
         out
     }
@@ -108,6 +109,10 @@ impl VertexProgram for PingProgram {
     type Message = u32;
     type Aggregate = ();
     type Output = u32;
+
+    fn name(&self) -> &'static str {
+        "ping"
+    }
 
     fn init_state(&self) -> u32 {
         0
@@ -143,11 +148,7 @@ impl VertexProgram for PingProgram {
         }
     }
 
-    fn finalize(
-        &self,
-        _graph: &Graph,
-        states: &mut dyn Iterator<Item = (VertexId, u32)>,
-    ) -> u32 {
+    fn finalize(&self, _graph: &Graph, states: &mut dyn Iterator<Item = (VertexId, u32)>) -> u32 {
         states.map(|(_, s)| s).max().unwrap_or(0)
     }
 }
@@ -169,9 +170,27 @@ mod tests {
         let g = GraphBuilder::new(3).build();
         let p = ReachProgram::new(VertexId(0));
         let mut it = vec![
-            (VertexId(2), ReachState { visited: true, hops: 0 }),
-            (VertexId(0), ReachState { visited: true, hops: 0 }),
-            (VertexId(1), ReachState { visited: false, hops: 0 }),
+            (
+                VertexId(2),
+                ReachState {
+                    visited: true,
+                    hops: 0,
+                },
+            ),
+            (
+                VertexId(0),
+                ReachState {
+                    visited: true,
+                    hops: 0,
+                },
+            ),
+            (
+                VertexId(1),
+                ReachState {
+                    visited: false,
+                    hops: 0,
+                },
+            ),
         ]
         .into_iter();
         assert_eq!(p.finalize(&g, &mut it), vec![VertexId(0), VertexId(2)]);

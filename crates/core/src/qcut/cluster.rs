@@ -48,7 +48,7 @@ pub fn cluster_queries(
     let n = stats.queries.len();
     let max_clusters = max_clusters.max(1);
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -121,7 +121,13 @@ mod tests {
     fn contracts_down_to_the_bound() {
         let s = stats(
             6,
-            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0)],
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+            ],
         );
         let mut rng = SmallRng::seed_from_u64(7);
         let c = cluster_queries(&s, 3, &mut rng);
@@ -155,7 +161,13 @@ mod tests {
     fn covers_every_query_exactly_once() {
         let s = stats(
             10,
-            vec![(0, 1, 2.0), (2, 3, 1.0), (4, 5, 5.0), (5, 6, 1.0), (8, 9, 1.0)],
+            vec![
+                (0, 1, 2.0),
+                (2, 3, 1.0),
+                (4, 5, 5.0),
+                (5, 6, 1.0),
+                (8, 9, 1.0),
+            ],
         );
         let mut rng = SmallRng::seed_from_u64(11);
         let c = cluster_queries(&s, 8, &mut rng);

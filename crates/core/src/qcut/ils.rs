@@ -158,7 +158,10 @@ mod tests {
         let stats = hash_like(32, 4, 100.0);
         let r = run_qcut(&stats, &QcutConfig::default());
         for w in r.trace.windows(2) {
-            assert!(w[1].best_cost <= w[0].best_cost, "best-so-far must not regress");
+            assert!(
+                w[1].best_cost <= w[0].best_cost,
+                "best-so-far must not regress"
+            );
         }
         assert!(!r.trace[0].perturbed);
         if r.trace.len() > 1 {
@@ -238,12 +241,7 @@ mod tests {
             num_workers: 2,
             queries: (0..6u32).map(QueryId).collect(),
             sizes: vec![vec![10.0, 10.0]; 6],
-            overlaps: vec![
-                (0, 1, 15.0),
-                (1, 2, 15.0),
-                (3, 4, 15.0),
-                (4, 5, 15.0),
-            ],
+            overlaps: vec![(0, 1, 15.0), (1, 2, 15.0), (3, 4, 15.0), (4, 5, 15.0)],
             base_vertices: vec![1000.0, 1000.0],
         };
         let cfg = QcutConfig {

@@ -103,7 +103,9 @@ mod tests {
         let changed = perturb(&mut s, &mut rng);
         assert!(changed);
         // At least one cluster must now be fully local.
-        let local = (0..s.num_clusters()).filter(|&c| s.spread(c).len() == 1).count();
+        let local = (0..s.num_clusters())
+            .filter(|&c| s.spread(c).len() == 1)
+            .count();
         assert!(local >= 1);
     }
 

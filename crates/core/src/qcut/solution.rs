@@ -83,8 +83,8 @@ impl Solution {
                 let t = stats.global_size(q);
                 sum_total += t;
                 max_member = max_member.max(t);
-                for w in 0..k {
-                    per_w[w] += stats.sizes[q][w];
+                for (acc, s) in per_w.iter_mut().zip(&stats.sizes[q]) {
+                    *acc += s;
                 }
             }
             // Union estimate: member sum shrunk by intra-cluster overlap,
@@ -96,7 +96,11 @@ impl Solution {
                 .map(|&(_, _, o)| o)
                 .sum();
             let union = (sum_total - overlap).max(max_member).max(0.0);
-            let shrink = if sum_total > 0.0 { union / sum_total } else { 1.0 };
+            let shrink = if sum_total > 0.0 {
+                union / sum_total
+            } else {
+                1.0
+            };
             let v_per_w: Vec<f64> = per_w.iter().map(|&m| m * shrink).collect();
             qmass.push(per_w);
             vmass.push(v_per_w);
@@ -455,7 +459,9 @@ pub(crate) mod tests {
             overlaps: vec![(0, 1, 5.0)],
             base_vertices: vec![0.0, 0.0],
         };
-        let clusters = vec![QueryCluster { members: vec![0, 1] }];
+        let clusters = vec![QueryCluster {
+            members: vec![0, 1],
+        }];
         let s = Solution::initial(&stats, &clusters, 0.25);
         // qmass stays the per-query sum; vmass is the union estimate:
         // union = 20 - 5 = 15 ⇒ L_w0 = (0 + 15 + 20)/2 = 17.5.

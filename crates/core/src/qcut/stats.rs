@@ -65,11 +65,7 @@ mod tests {
         ScopeStats {
             num_workers: 2,
             queries: vec![QueryId(0), QueryId(1), QueryId(2)],
-            sizes: vec![
-                vec![13.0, 0.0],
-                vec![2.0, 14.0],
-                vec![0.0, 5.0],
-            ],
+            sizes: vec![vec![13.0, 0.0], vec![2.0, 14.0], vec![0.0, 5.0]],
             overlaps: vec![(1, 2, 2.0)],
             base_vertices: vec![50.0, 50.0],
         }

@@ -1,6 +1,10 @@
-//! Query identity and lifecycle records.
+//! Query identity, typed handles, and lifecycle records.
+
+use std::marker::PhantomData;
 
 use qgraph_sim::SimTime;
+
+use crate::program::VertexProgram;
 
 /// Identifier of a query, dense per engine instance.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -20,6 +24,66 @@ impl std::fmt::Display for QueryId {
     }
 }
 
+/// A typed receipt for a submitted query.
+///
+/// Internally the engines erase every program behind
+/// [`QueryTask`](crate::task::QueryTask) envelopes; the handle is what
+/// keeps the *public* API type-safe: it remembers the program type `P` in
+/// a zero-sized marker, so [`Engine::output`](crate::Engine::output) can
+/// hand back `&P::Output` without exposing `Any` to callers.
+///
+/// Handles are `Copy` and detached from the engine — holding one does not
+/// borrow the engine, and a handle from one engine must not be used with
+/// another (outputs are matched by [`QueryId`], so the result would be a
+/// wrong-query lookup or a type-mismatch `None`).
+pub struct QueryHandle<P: VertexProgram> {
+    id: QueryId,
+    _program: PhantomData<fn() -> P>,
+}
+
+impl<P: VertexProgram> QueryHandle<P> {
+    pub(crate) fn new(id: QueryId) -> Self {
+        QueryHandle {
+            id,
+            _program: PhantomData,
+        }
+    }
+
+    /// The underlying query id.
+    #[inline]
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+}
+
+// Manual impls: `derive` would needlessly require `P: Clone/Copy/...`.
+impl<P: VertexProgram> Clone for QueryHandle<P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<P: VertexProgram> Copy for QueryHandle<P> {}
+
+impl<P: VertexProgram> std::fmt::Debug for QueryHandle<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "QueryHandle<{}>({})",
+            std::any::type_name::<P>(),
+            self.id
+        )
+    }
+}
+
+impl<P: VertexProgram> PartialEq for QueryHandle<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl<P: VertexProgram> Eq for QueryHandle<P> {}
+
 /// Everything measured about one finished query.
 ///
 /// `latency` follows the paper's definition: the difference between the
@@ -29,6 +93,10 @@ impl std::fmt::Display for QueryId {
 pub struct QueryOutcome {
     /// The query.
     pub id: QueryId,
+    /// The program-kind label (see
+    /// [`VertexProgram::name`]) — keeps
+    /// mixed-workload reports legible per query type.
+    pub program: &'static str,
     /// Submission (virtual) time.
     pub submitted_at: SimTime,
     /// Completion (virtual) time.
@@ -70,6 +138,7 @@ mod tests {
     fn outcome(iter: u32, local: u32) -> QueryOutcome {
         QueryOutcome {
             id: QueryId(0),
+            program: "test",
             submitted_at: SimTime::from_secs(1),
             completed_at: SimTime::from_secs(3),
             iterations: iter,
@@ -90,5 +159,15 @@ mod tests {
         assert_eq!(outcome(4, 2).locality(), 0.5);
         assert_eq!(outcome(0, 0).locality(), 1.0);
         assert_eq!(outcome(3, 3).locality(), 1.0);
+    }
+
+    #[test]
+    fn handles_are_copyable_ids() {
+        use crate::programs::ReachProgram;
+        let h: QueryHandle<ReachProgram> = QueryHandle::new(QueryId(3));
+        let h2 = h;
+        assert_eq!(h, h2);
+        assert_eq!(h.id(), QueryId(3));
+        assert!(format!("{h:?}").contains("q3"));
     }
 }

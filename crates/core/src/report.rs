@@ -1,7 +1,7 @@
 //! The measurement record one engine run produces, plus the derived
 //! series the experiment harness plots.
 
-use qgraph_metrics::TimeSeries;
+use qgraph_metrics::{Table, TimeSeries};
 
 use crate::qcut::IlsResult;
 use crate::query::QueryOutcome;
@@ -115,6 +115,85 @@ impl EngineReport {
     pub fn total_remote_messages(&self) -> u64 {
         self.outcomes.iter().map(|o| o.remote_messages).sum()
     }
+
+    /// Aggregate the outcomes per program kind (first-submission order) —
+    /// the legibility layer for mixed workloads, where one engine run
+    /// carries SSSP, POI, and reachability traffic at once.
+    pub fn per_program(&self) -> Vec<ProgramSummary> {
+        let mut order: Vec<&'static str> = Vec::new();
+        for o in &self.outcomes {
+            if !order.contains(&o.program) {
+                order.push(o.program);
+            }
+        }
+        order
+            .into_iter()
+            .map(|name| {
+                let outcomes = self.outcomes.iter().filter(|o| o.program == name);
+                let mut s = ProgramSummary {
+                    program: name,
+                    queries: 0,
+                    mean_latency_secs: 0.0,
+                    mean_locality: 0.0,
+                    vertex_updates: 0,
+                    remote_messages: 0,
+                };
+                for o in outcomes {
+                    s.queries += 1;
+                    s.mean_latency_secs += o.latency_secs();
+                    s.mean_locality += o.locality();
+                    s.vertex_updates += o.vertex_updates;
+                    s.remote_messages += o.remote_messages;
+                }
+                s.mean_latency_secs /= s.queries as f64;
+                s.mean_locality /= s.queries as f64;
+                s
+            })
+            .collect()
+    }
+
+    /// Render [`EngineReport::per_program`] as a result table.
+    pub fn program_table(&self) -> Table {
+        let mut table = Table::new(
+            "per-program outcomes",
+            &[
+                "program",
+                "queries",
+                "mean_latency_s",
+                "locality",
+                "vertex_updates",
+                "remote_msgs",
+            ],
+        );
+        for s in self.per_program() {
+            table.row(&[
+                s.program.to_string(),
+                format!("{}", s.queries),
+                format!("{:.6}", s.mean_latency_secs),
+                format!("{:.3}", s.mean_locality),
+                format!("{}", s.vertex_updates),
+                format!("{}", s.remote_messages),
+            ]);
+        }
+        table
+    }
+}
+
+/// Aggregated outcomes of all queries sharing one program kind.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProgramSummary {
+    /// The program-kind label (see `VertexProgram::name`).
+    pub program: &'static str,
+    /// Queries of this kind that finished.
+    pub queries: usize,
+    /// Mean latency (virtual seconds).
+    pub mean_latency_secs: f64,
+    /// Mean per-query locality.
+    pub mean_locality: f64,
+    /// Summed vertex-function executions.
+    pub vertex_updates: u64,
+    /// Summed boundary-crossing messages.
+    pub remote_messages: u64,
 }
 
 fn imbalance_of(loads: &[u64]) -> f64 {
@@ -136,6 +215,7 @@ mod tests {
     fn outcome(sub: u64, done: u64, local: u32, iters: u32) -> QueryOutcome {
         QueryOutcome {
             id: QueryId(0),
+            program: "test",
             submitted_at: SimTime::from_secs(sub),
             completed_at: SimTime::from_secs(done),
             iterations: iters,
@@ -164,9 +244,21 @@ mod tests {
     fn imbalance_series_buckets() {
         let r = EngineReport {
             activity: vec![
-                ActivitySample { t: 0.1, worker: 0, executed: 10 },
-                ActivitySample { t: 0.2, worker: 1, executed: 10 },
-                ActivitySample { t: 1.5, worker: 0, executed: 20 },
+                ActivitySample {
+                    t: 0.1,
+                    worker: 0,
+                    executed: 10,
+                },
+                ActivitySample {
+                    t: 0.2,
+                    worker: 1,
+                    executed: 10,
+                },
+                ActivitySample {
+                    t: 1.5,
+                    worker: 0,
+                    executed: 20,
+                },
             ],
             ..Default::default()
         };
@@ -183,5 +275,30 @@ mod tests {
         assert!(r.mean_latency().is_nan());
         assert_eq!(r.total_latency(), 0.0);
         assert!(r.imbalance_series(2, 1.0).is_empty());
+        assert!(r.per_program().is_empty());
+        assert_eq!(r.program_table().num_rows(), 0);
+    }
+
+    #[test]
+    fn per_program_groups_mixed_workloads() {
+        let mut sssp = outcome(0, 2, 1, 2);
+        sssp.program = "sssp";
+        let mut poi = outcome(1, 5, 4, 4);
+        poi.program = "poi";
+        let mut sssp2 = outcome(2, 4, 2, 2);
+        sssp2.program = "sssp";
+        let r = EngineReport {
+            outcomes: vec![sssp, poi, sssp2],
+            ..Default::default()
+        };
+        let summaries = r.per_program();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].program, "sssp");
+        assert_eq!(summaries[0].queries, 2);
+        assert_eq!(summaries[0].mean_latency_secs, 2.0);
+        assert_eq!(summaries[0].remote_messages, 6);
+        assert_eq!(summaries[1].program, "poi");
+        assert_eq!(summaries[1].queries, 1);
+        assert_eq!(r.program_table().num_rows(), 2);
     }
 }

@@ -2,98 +2,113 @@
 //!
 //! [`ThreadEngine`] runs the same worker code as the discrete-event engine
 //! — same [`crate::worker::Worker`], same vertex programs, same per-query
-//! limited barriers — but on OS threads with crossbeam channels. It
-//! demonstrates that the library is an executable system, and the
+//! limited barriers — but on OS threads with `std::sync::mpsc` channels.
+//! It demonstrates that the library is an executable system, and the
 //! integration tests use it to cross-validate the simulator: both runtimes
 //! must produce identical query outputs.
 //!
-//! Scope: the thread runtime executes a fixed batch of queries to
-//! completion under hybrid (limited) barriers. Adaptive repartitioning is
-//! exclusive to the simulated engine, where its latency effects are
-//! measurable; wiring Q-cut into this runtime is mechanical (a stop-the-
-//! world phase calling the same [`crate::qcut::run_qcut`]) but provides no
-//! additional measurement value on a shared-memory host.
+//! Since the heterogeneous-query redesign the thread runtime exposes the
+//! same submit/run/output lifecycle as [`crate::SimEngine`] (both behind
+//! the shared [`crate::Engine`] trait) instead of its old batch-only
+//! `run(Vec<P>)`: queries of *different* program types are queued through
+//! typed [`crate::QueryHandle`]s and executed concurrently under the
+//! closed loop (`max_parallel_queries`). Internally every query travels as
+//! a type-erased [`QueryTask`]; worker threads never see a program type.
+//!
+//! Scope: the thread runtime executes submitted queries to completion
+//! under hybrid (limited) barriers. Adaptive repartitioning is exclusive
+//! to the simulated engine, where its latency effects are measurable;
+//! wiring Q-cut into this runtime is mechanical (a stop-the-world phase
+//! calling the same [`crate::qcut::run_qcut`]) but provides no additional
+//! measurement value on a shared-memory host.
 
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use qgraph_graph::{Graph, VertexId};
 use qgraph_partition::Partitioning;
+use qgraph_sim::SimTime;
 
+use crate::config::SystemConfig;
 use crate::program::VertexProgram;
-use crate::worker::Worker;
-use crate::QueryId;
+use crate::query::{QueryHandle, QueryId, QueryOutcome};
+use crate::report::EngineReport;
+use crate::task::{Envelope, MessageBatch, QueryTask, TypedTask};
+use crate::worker::{LocalState, Worker};
 
-enum Cmd<P: VertexProgram> {
-    Deliver {
-        q: QueryId,
-        msgs: Vec<(VertexId, P::Message)>,
-    },
-    Step {
-        q: QueryId,
-        program: Arc<P>,
-        prev_agg: P::Aggregate,
-    },
-    Collect {
-        q: QueryId,
-    },
+enum Cmd {
+    Deliver { q: QueryId, batch: MessageBatch },
+    Step { q: QueryId, prev_agg: Envelope },
+    Collect { q: QueryId },
     Shutdown,
 }
 
-enum Resp<P: VertexProgram> {
+enum Resp {
     StepDone {
         q: QueryId,
         executed: usize,
-        agg: P::Aggregate,
-        remote: Vec<(usize, Vec<(VertexId, P::Message)>)>,
+        remote_sent: u64,
+        agg: Envelope,
+        remote: Vec<(usize, MessageBatch)>,
         self_pending: bool,
         worker: usize,
     },
     Collected {
         q: QueryId,
-        states: Vec<(VertexId, P::State)>,
+        local: Option<Box<dyn LocalState>>,
     },
 }
 
-struct QueryTracking<P: VertexProgram> {
-    program: Arc<P>,
+struct QueryTracking {
+    task: Arc<dyn QueryTask>,
     outstanding: usize,
-    agg_acc: P::Aggregate,
-    agg_prev: P::Aggregate,
+    /// Workers computing the current superstep (for the locality metric).
+    involved_cur: usize,
+    /// Any message of the current superstep crossed a worker boundary
+    /// (the `!crossed` half of the canonical locality definition,
+    /// [`crate::barrier::decide`]).
+    crossed: bool,
+    agg_acc: Envelope,
+    agg_prev: Envelope,
     next_involved: FxHashSet<usize>,
     touched: FxHashSet<usize>,
     collecting: usize,
-    states: Vec<(VertexId, P::State)>,
+    locals: Vec<Box<dyn LocalState>>,
     iterations: u32,
+    local_iterations: u32,
     vertex_updates: u64,
+    remote_messages: u64,
+    started_at: SimTime,
 }
 
-/// Per-query execution record from a [`ThreadEngine`] run.
-#[derive(Clone, Debug)]
-pub struct ThreadQueryResult<P: VertexProgram> {
-    /// The query.
-    pub id: QueryId,
-    /// Its answer.
-    pub output: P::Output,
-    /// Supersteps executed.
-    pub iterations: u32,
-    /// Vertex functions executed.
-    pub vertex_updates: u64,
-}
-
-/// The multi-threaded runtime: one OS thread per worker partition.
-pub struct ThreadEngine<P: VertexProgram> {
+/// The multi-threaded runtime: one OS thread per worker partition, the
+/// same submit/run/output lifecycle as the simulated engine.
+pub struct ThreadEngine {
     graph: Arc<Graph>,
     partitioning: Arc<Partitioning>,
-    _marker: std::marker::PhantomData<fn() -> P>,
+    cfg: SystemConfig,
+    tasks: Vec<Arc<dyn QueryTask>>,
+    outputs: Vec<Option<Envelope>>,
+    /// Queries submitted but not yet executed by a `run` call.
+    pending: Vec<QueryId>,
+    report: EngineReport,
 }
 
-impl<P: VertexProgram> ThreadEngine<P> {
-    /// Create a runtime over `graph` with a fixed `partitioning`.
+impl ThreadEngine {
+    /// Create a runtime over `graph` with a fixed `partitioning` and the
+    /// default [`SystemConfig`].
     pub fn new(graph: Arc<Graph>, partitioning: Partitioning) -> Self {
+        Self::with_config(graph, partitioning, SystemConfig::default())
+    }
+
+    /// Create a runtime with an explicit configuration (the thread runtime
+    /// honors `max_parallel_queries`; barrier mode and Q-cut fields are
+    /// simulation-only).
+    pub fn with_config(graph: Arc<Graph>, partitioning: Partitioning, cfg: SystemConfig) -> Self {
         assert_eq!(
             partitioning.num_vertices(),
             graph.num_vertices(),
@@ -102,31 +117,57 @@ impl<P: VertexProgram> ThreadEngine<P> {
         ThreadEngine {
             graph,
             partitioning: Arc::new(partitioning),
-            _marker: std::marker::PhantomData,
+            cfg,
+            tasks: Vec::new(),
+            outputs: Vec::new(),
+            pending: Vec::new(),
+            report: EngineReport::default(),
         }
     }
 
-    /// Execute all `programs` concurrently to completion; results are in
-    /// submission order.
-    pub fn run(&self, programs: Vec<P>) -> Vec<ThreadQueryResult<P>> {
+    /// Enqueue a query of any program type for the next [`ThreadEngine::run`].
+    pub fn submit<P: VertexProgram>(&mut self, program: P) -> QueryHandle<P> {
+        QueryHandle::new(self.submit_task(Arc::new(TypedTask::new(program))))
+    }
+
+    /// Type-erased submission backing [`ThreadEngine::submit`] (and the
+    /// [`crate::Engine`] trait).
+    pub fn submit_task(&mut self, task: Arc<dyn QueryTask>) -> QueryId {
+        let id = QueryId(self.tasks.len() as u32);
+        self.tasks.push(task);
+        self.outputs.push(None);
+        self.pending.push(id);
+        id
+    }
+
+    /// Execute every pending query to completion on real threads; results
+    /// are retrieved through the handles. Returns the cumulative report
+    /// (outcome timestamps are wall-clock seconds since this call).
+    pub fn run(&mut self) -> &EngineReport {
+        let queue: Vec<QueryId> = std::mem::take(&mut self.pending);
+        if queue.is_empty() {
+            return &self.report;
+        }
         let k = self.partitioning.num_workers();
-        let (resp_tx, resp_rx) = unbounded::<Resp<P>>();
-        let mut cmd_txs: Vec<Sender<Cmd<P>>> = Vec::with_capacity(k);
+        let registry: Arc<Vec<Arc<dyn QueryTask>>> = Arc::new(self.tasks.clone());
+        let (resp_tx, resp_rx) = channel::<Resp>();
+        let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(k);
         let mut handles = Vec::with_capacity(k);
 
         for w in 0..k {
-            let (tx, rx) = unbounded::<Cmd<P>>();
+            let (tx, rx) = channel::<Cmd>();
             cmd_txs.push(tx);
             let graph = Arc::clone(&self.graph);
             let partitioning = Arc::clone(&self.partitioning);
+            let registry = Arc::clone(&registry);
             let resp = resp_tx.clone();
             handles.push(thread::spawn(move || {
-                worker_loop::<P>(w, graph, partitioning, rx, resp);
+                worker_loop(w, graph, partitioning, registry, rx, resp);
             }));
         }
         drop(resp_tx);
 
-        let results = self.drive(programs, &cmd_txs, resp_rx);
+        self.drive(queue, &cmd_txs, resp_rx);
 
         for tx in &cmd_txs {
             let _ = tx.send(Cmd::Shutdown);
@@ -134,80 +175,132 @@ impl<P: VertexProgram> ThreadEngine<P> {
         for h in handles {
             h.join().expect("worker thread panicked");
         }
-        results
+        &self.report
     }
 
-    fn drive(
-        &self,
-        programs: Vec<P>,
-        cmd_txs: &[Sender<Cmd<P>>],
-        resp_rx: Receiver<Resp<P>>,
-    ) -> Vec<ThreadQueryResult<P>> {
-        let mut tracking: FxHashMap<QueryId, QueryTracking<P>> = FxHashMap::default();
-        let mut finished: FxHashMap<QueryId, ThreadQueryResult<P>> = FxHashMap::default();
-        let total = programs.len();
+    /// The output of a finished query, recovered through its typed handle.
+    pub fn output<P: VertexProgram>(&self, handle: &QueryHandle<P>) -> Option<&P::Output> {
+        self.output_as::<P>(handle.id())
+    }
 
-        // Seed every query.
-        for (i, program) in programs.into_iter().enumerate() {
-            let q = QueryId(i as u32);
-            let program = Arc::new(program);
-            let initial = program.initial_messages(&self.graph);
-            let mut by_worker: FxHashMap<usize, Vec<(VertexId, P::Message)>> =
-                FxHashMap::default();
-            for (v, m) in initial {
-                by_worker
-                    .entry(self.partitioning.worker_of(v).index())
-                    .or_default()
-                    .push((v, m));
-            }
-            let mut t = QueryTracking {
-                agg_acc: program.aggregate_identity(),
-                agg_prev: program.aggregate_identity(),
-                program: Arc::clone(&program),
-                outstanding: 0,
-                next_involved: FxHashSet::default(),
-                touched: FxHashSet::default(),
-                collecting: 0,
-                states: Vec::new(),
-                iterations: 0,
-                vertex_updates: 0,
-            };
-            if by_worker.is_empty() {
-                // No initial messages: finalize over the empty state set.
-                let mut it = std::iter::empty();
-                finished.insert(
-                    q,
-                    ThreadQueryResult {
+    /// Typed output lookup by raw [`QueryId`]; `None` if unfinished or if
+    /// `P` is not the program type the query was submitted with.
+    pub fn output_as<P: VertexProgram>(&self, q: QueryId) -> Option<&P::Output> {
+        self.output_envelope(q)?.downcast_ref::<P::Output>()
+    }
+
+    /// Erased output access (backs the [`crate::Engine`] trait).
+    pub fn output_envelope(&self, q: QueryId) -> Option<&(dyn std::any::Any + Send)> {
+        self.outputs.get(q.index())?.as_deref()
+    }
+
+    /// Take ownership of a finished query's output.
+    pub fn take_output<P: VertexProgram>(&mut self, handle: &QueryHandle<P>) -> Option<P::Output> {
+        let slot = self.outputs.get_mut(handle.id().index())?;
+        slot.as_ref()?.downcast_ref::<P::Output>()?;
+        slot.take()
+            .and_then(|b| b.downcast::<P::Output>().ok())
+            .map(|b| *b)
+    }
+
+    /// The cumulative measurement report over every completed `run`.
+    pub fn report(&self) -> &EngineReport {
+        &self.report
+    }
+
+    fn drive(&mut self, queue: Vec<QueryId>, cmd_txs: &[Sender<Cmd>], resp_rx: Receiver<Resp>) {
+        // One monotonic time base across run() calls: this run's
+        // timestamps continue from the previous run's end, so the
+        // cumulative report's outcomes and `finished_at_secs` agree.
+        let base = self.report.finished_at_secs;
+        let started = Instant::now();
+        let now =
+            move |started: &Instant| SimTime::from_secs_f64(base + started.elapsed().as_secs_f64());
+        let mut tracking: FxHashMap<QueryId, QueryTracking> = FxHashMap::default();
+        let mut finished = 0usize;
+        let total = queue.len();
+        let mut waiting: std::collections::VecDeque<QueryId> = queue.into();
+        let max_parallel = self.cfg.max_parallel_queries.max(1);
+        let mut in_flight = 0usize;
+
+        // Closed-loop seeding: start a query; returns false if it finished
+        // immediately (no initial messages).
+        macro_rules! start_query {
+            ($q:expr) => {{
+                let q: QueryId = $q;
+                let task = Arc::clone(&self.tasks[q.index()]);
+                let partitioning = Arc::clone(&self.partitioning);
+                let route = move |v: VertexId| partitioning.worker_of(v).index();
+                let batches = task.initial_batches(&self.graph, &route);
+                if batches.is_empty() {
+                    // No initial messages: finalize over the empty state set.
+                    let at = now(&started);
+                    self.outputs[q.index()] = Some(task.finalize(&self.graph, Vec::new()));
+                    self.report.outcomes.push(QueryOutcome {
                         id: q,
-                        output: program.finalize(&self.graph, &mut it),
+                        program: task.program_name(),
+                        submitted_at: at,
+                        completed_at: at,
                         iterations: 0,
+                        local_iterations: 0,
                         vertex_updates: 0,
-                    },
-                );
-                continue;
+                        remote_messages: 0,
+                        scope_size: 0,
+                    });
+                    finished += 1;
+                    false
+                } else {
+                    let mut t = QueryTracking {
+                        agg_acc: task.aggregate_identity(),
+                        agg_prev: task.aggregate_identity(),
+                        task: Arc::clone(&task),
+                        outstanding: 0,
+                        involved_cur: batches.len(),
+                        crossed: false,
+                        next_involved: FxHashSet::default(),
+                        touched: FxHashSet::default(),
+                        collecting: 0,
+                        locals: Vec::new(),
+                        iterations: 0,
+                        local_iterations: 0,
+                        vertex_updates: 0,
+                        remote_messages: 0,
+                        started_at: now(&started),
+                    };
+                    for (w, batch) in batches {
+                        t.touched.insert(w);
+                        cmd_txs[w]
+                            .send(Cmd::Deliver { q, batch })
+                            .expect("worker alive");
+                        cmd_txs[w]
+                            .send(Cmd::Step {
+                                q,
+                                prev_agg: task.clone_aggregate(&t.agg_prev),
+                            })
+                            .expect("worker alive");
+                        t.outstanding += 1;
+                    }
+                    tracking.insert(q, t);
+                    true
+                }
+            }};
+        }
+
+        while in_flight < max_parallel {
+            let Some(q) = waiting.pop_front() else { break };
+            if start_query!(q) {
+                in_flight += 1;
             }
-            for (w, msgs) in by_worker {
-                t.touched.insert(w);
-                cmd_txs[w].send(Cmd::Deliver { q, msgs }).expect("worker alive");
-                cmd_txs[w]
-                    .send(Cmd::Step {
-                        q,
-                        program: Arc::clone(&program),
-                        prev_agg: program.aggregate_identity(),
-                    })
-                    .expect("worker alive");
-                t.outstanding += 1;
-            }
-            tracking.insert(q, t);
         }
 
         // Event loop.
-        while finished.len() < total {
+        while finished < total {
             let resp = resp_rx.recv().expect("workers alive while queries pending");
             match resp {
                 Resp::StepDone {
                     q,
                     executed,
+                    remote_sent,
                     agg,
                     remote,
                     self_pending,
@@ -216,42 +309,48 @@ impl<P: VertexProgram> ThreadEngine<P> {
                     let t = tracking.get_mut(&q).expect("tracked query");
                     t.outstanding -= 1;
                     t.vertex_updates += executed as u64;
-                    t.program.aggregate_combine(&mut t.agg_acc, &agg);
+                    t.remote_messages += remote_sent;
+                    t.crossed |= remote_sent > 0;
+                    t.task.aggregate_combine(&mut t.agg_acc, &agg);
                     if self_pending {
                         t.next_involved.insert(worker);
                     }
-                    for (w2, msgs) in remote {
+                    for (w2, batch) in remote {
                         t.next_involved.insert(w2);
                         t.touched.insert(w2);
-                        cmd_txs[w2].send(Cmd::Deliver { q, msgs }).expect("worker alive");
+                        cmd_txs[w2]
+                            .send(Cmd::Deliver { q, batch })
+                            .expect("worker alive");
                     }
                     if t.outstanding == 0 {
                         t.iterations += 1;
-                        let combined = std::mem::replace(
-                            &mut t.agg_acc,
-                            t.program.aggregate_identity(),
-                        );
-                        if t.program.aggregate_sticky() {
-                            let mut prev = t.agg_prev.clone();
-                            t.program.aggregate_combine(&mut prev, &combined);
-                            t.agg_prev = prev;
+                        // Same definition as the simulated barrier: one
+                        // involved worker and nothing crossed a boundary.
+                        if t.involved_cur == 1 && !t.crossed {
+                            t.local_iterations += 1;
+                        }
+                        t.crossed = false;
+                        let combined =
+                            std::mem::replace(&mut t.agg_acc, t.task.aggregate_identity());
+                        if t.task.aggregate_sticky() {
+                            t.task.aggregate_combine(&mut t.agg_prev, &combined);
                         } else {
                             t.agg_prev = combined;
                         }
                         let next: Vec<usize> = t.next_involved.drain().collect();
-                        if next.is_empty() || t.program.should_terminate(&t.agg_prev) {
+                        if next.is_empty() || t.task.should_terminate(&t.agg_prev) {
                             // Collect states from every touched worker.
                             t.collecting = t.touched.len();
                             for &w in &t.touched {
                                 cmd_txs[w].send(Cmd::Collect { q }).expect("worker alive");
                             }
                         } else {
+                            t.involved_cur = next.len();
                             for w in next {
                                 cmd_txs[w]
                                     .send(Cmd::Step {
                                         q,
-                                        program: Arc::clone(&t.program),
-                                        prev_agg: t.agg_prev.clone(),
+                                        prev_agg: t.task.clone_aggregate(&t.agg_prev),
                                     })
                                     .expect("worker alive");
                                 t.outstanding += 1;
@@ -259,53 +358,66 @@ impl<P: VertexProgram> ThreadEngine<P> {
                         }
                     }
                 }
-                Resp::Collected { q, states } => {
+                Resp::Collected { q, local } => {
                     let t = tracking.get_mut(&q).expect("tracked query");
-                    t.states.extend(states);
+                    t.locals.extend(local);
                     t.collecting -= 1;
                     if t.collecting == 0 {
                         let t = tracking.remove(&q).expect("present");
-                        let mut it = t.states.into_iter();
-                        finished.insert(
-                            q,
-                            ThreadQueryResult {
-                                id: q,
-                                output: t.program.finalize(&self.graph, &mut it),
-                                iterations: t.iterations,
-                                vertex_updates: t.vertex_updates,
-                            },
-                        );
+                        let scope_size: u64 = t.locals.iter().map(|l| l.scope_size() as u64).sum();
+                        self.outputs[q.index()] = Some(t.task.finalize(&self.graph, t.locals));
+                        self.report.outcomes.push(QueryOutcome {
+                            id: q,
+                            program: t.task.program_name(),
+                            submitted_at: t.started_at,
+                            completed_at: now(&started),
+                            iterations: t.iterations,
+                            local_iterations: t.local_iterations,
+                            vertex_updates: t.vertex_updates,
+                            remote_messages: t.remote_messages,
+                            scope_size,
+                        });
+                        finished += 1;
+                        in_flight -= 1;
+                        // Closed loop: admit the next waiting query.
+                        while in_flight < max_parallel {
+                            let Some(nq) = waiting.pop_front() else { break };
+                            if start_query!(nq) {
+                                in_flight += 1;
+                            }
+                        }
                     }
                 }
             }
         }
-
-        let mut out: Vec<ThreadQueryResult<P>> = finished.into_values().collect();
-        out.sort_by_key(|r| r.id);
-        out
+        self.report.finished_at_secs = base + started.elapsed().as_secs_f64();
     }
 }
 
-fn worker_loop<P: VertexProgram>(
+fn worker_loop(
     id: usize,
     graph: Arc<Graph>,
     partitioning: Arc<Partitioning>,
-    rx: Receiver<Cmd<P>>,
-    resp: Sender<Resp<P>>,
+    registry: Arc<Vec<Arc<dyn QueryTask>>>,
+    rx: Receiver<Cmd>,
+    resp: Sender<Resp>,
 ) {
-    let mut worker: Worker<P> = Worker::new(id);
+    let mut worker = Worker::new(id);
     let route = |v: VertexId| partitioning.worker_of(v).index();
     while let Ok(cmd) = rx.recv() {
         match cmd {
-            Cmd::Deliver { q, msgs } => worker.deliver(q, msgs),
-            Cmd::Step { q, program, prev_agg } => {
+            Cmd::Deliver { q, batch } => {
+                worker.deliver(registry[q.index()].as_ref(), q, batch);
+            }
+            Cmd::Step { q, prev_agg } => {
+                let task = registry[q.index()].as_ref();
                 worker.freeze(q);
-                let (stats, agg, remote) =
-                    worker.execute(q, &graph, program.as_ref(), &prev_agg, &route);
+                let (stats, agg, remote) = worker.execute(q, task, &graph, &prev_agg, &route);
                 let self_pending = worker.has_pending(q);
                 resp.send(Resp::StepDone {
                     q,
                     executed: stats.executed,
+                    remote_sent: stats.remote_deliveries as u64,
                     agg,
                     remote,
                     self_pending,
@@ -314,9 +426,9 @@ fn worker_loop<P: VertexProgram>(
                 .expect("controller alive");
             }
             Cmd::Collect { q } => {
-                let states: Vec<(VertexId, P::State)> =
-                    worker.take_states(q).into_iter().collect();
-                resp.send(Resp::Collected { q, states }).expect("controller alive");
+                let local = worker.take_local(q);
+                resp.send(Resp::Collected { q, local })
+                    .expect("controller alive");
             }
             Cmd::Shutdown => break,
         }
@@ -326,7 +438,7 @@ fn worker_loop<P: VertexProgram>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::programs::ReachProgram;
+    use crate::programs::{PingProgram, ReachProgram};
     use qgraph_graph::GraphBuilder;
     use qgraph_partition::{Partitioner, RangePartitioner};
 
@@ -342,43 +454,139 @@ mod tests {
     fn single_query_runs_to_completion() {
         let g = line(12);
         let parts = RangePartitioner.partition(&g, 3);
-        let e: ThreadEngine<ReachProgram> = ThreadEngine::new(Arc::clone(&g), parts);
-        let results = e.run(vec![ReachProgram::new(VertexId(0))]);
-        assert_eq!(results.len(), 1);
-        assert_eq!(results[0].output.len(), 12);
-        assert_eq!(results[0].iterations, 12);
+        let mut e = ThreadEngine::new(Arc::clone(&g), parts);
+        let q = e.submit(ReachProgram::new(VertexId(0)));
+        e.run();
+        assert_eq!(e.output(&q).unwrap().len(), 12);
+        assert_eq!(e.report().outcomes.len(), 1);
+        let o = &e.report().outcomes[0];
+        assert_eq!(o.iterations, 12);
+        assert_eq!(o.program, "reach");
     }
 
     #[test]
     fn many_parallel_queries() {
         let g = line(64);
         let parts = RangePartitioner.partition(&g, 4);
-        let e: ThreadEngine<ReachProgram> = ThreadEngine::new(Arc::clone(&g), parts);
-        let programs: Vec<_> = (0..12u32)
-            .map(|i| ReachProgram::bounded(VertexId(i * 5), 4))
+        let mut e = ThreadEngine::new(Arc::clone(&g), parts);
+        let qs: Vec<_> = (0..12u32)
+            .map(|i| e.submit(ReachProgram::bounded(VertexId(i * 5), 4)))
             .collect();
-        let results = e.run(programs);
-        assert_eq!(results.len(), 12);
-        for (i, r) in results.iter().enumerate() {
-            assert_eq!(r.id, QueryId(i as u32), "results in submission order");
-            assert!(!r.output.is_empty());
+        e.run();
+        assert_eq!(e.report().outcomes.len(), 12);
+        for (i, q) in qs.iter().enumerate() {
+            assert_eq!(q.id(), QueryId(i as u32));
+            assert!(!e.output(q).unwrap().is_empty());
         }
     }
 
     #[test]
-    fn empty_program_list() {
+    fn heterogeneous_queries_in_one_run() {
+        let g = line(16);
+        let parts = RangePartitioner.partition(&g, 2);
+        let mut e = ThreadEngine::new(Arc::clone(&g), parts);
+        let reach = e.submit(ReachProgram::bounded(VertexId(0), 5));
+        let ping = e.submit(PingProgram {
+            ring: vec![VertexId(2), VertexId(14)],
+            rounds: 6,
+        });
+        e.run();
+        assert_eq!(e.output(&reach).unwrap().len(), 6);
+        assert_eq!(*e.output(&ping).unwrap(), 5);
+        let mut programs: Vec<&str> = e.report().outcomes.iter().map(|o| o.program).collect();
+        programs.sort_unstable();
+        assert_eq!(programs, vec!["ping", "reach"]);
+    }
+
+    #[test]
+    fn empty_run_is_a_no_op() {
         let g = line(4);
         let parts = RangePartitioner.partition(&g, 2);
-        let e: ThreadEngine<ReachProgram> = ThreadEngine::new(g, parts);
-        assert!(e.run(vec![]).is_empty());
+        let mut e = ThreadEngine::new(g, parts);
+        e.run();
+        assert!(e.report().outcomes.is_empty());
+    }
+
+    #[test]
+    fn run_then_submit_then_run_again() {
+        let g = line(8);
+        let parts = RangePartitioner.partition(&g, 2);
+        let mut e = ThreadEngine::new(Arc::clone(&g), parts);
+        let q1 = e.submit(ReachProgram::new(VertexId(3)));
+        e.run();
+        let q2 = e.submit(ReachProgram::new(VertexId(6)));
+        e.run();
+        assert_eq!(e.output(&q1).unwrap().len(), 5);
+        assert_eq!(e.output(&q2).unwrap().len(), 2);
+        assert_eq!(e.report().outcomes.len(), 2);
+    }
+
+    #[test]
+    fn locality_matches_sim_engine_definition() {
+        // The superstep crossing the 5->6 partition boundary runs on one
+        // worker but sends a remote message: per the canonical rule
+        // (`barrier::decide`: one involved worker AND nothing crossed) it
+        // must not count as local — same as the simulated engine.
+        let g = line(12);
+        let parts = RangePartitioner.partition(&g, 2);
+        let mut e = ThreadEngine::new(Arc::clone(&g), parts);
+        let q = e.submit(ReachProgram::new(VertexId(0)));
+        e.run();
+        assert_eq!(e.output(&q).unwrap().len(), 12);
+        let o = &e.report().outcomes[0];
+        assert!(o.remote_messages >= 1);
+        assert!(o.locality() < 1.0, "crossing superstep counted as local");
+    }
+
+    #[test]
+    fn report_time_base_is_monotonic_across_runs() {
+        let g = line(8);
+        let parts = RangePartitioner.partition(&g, 2);
+        let mut e = ThreadEngine::new(Arc::clone(&g), parts);
+        e.submit(ReachProgram::new(VertexId(0)));
+        e.run();
+        let first_end = e.report().finished_at_secs;
+        e.submit(ReachProgram::new(VertexId(4)));
+        e.run();
+        let report = e.report();
+        assert!(report.finished_at_secs >= first_end);
+        for o in &report.outcomes {
+            assert!(
+                o.completed_at.as_secs_f64() <= report.finished_at_secs + 1e-9,
+                "outcome completes after the report's end"
+            );
+        }
+        let second = &report.outcomes[1];
+        assert!(second.submitted_at.as_secs_f64() >= first_end - 1e-9);
     }
 
     #[test]
     fn single_worker_partition() {
         let g = line(8);
         let parts = RangePartitioner.partition(&g, 1);
-        let e: ThreadEngine<ReachProgram> = ThreadEngine::new(Arc::clone(&g), parts);
-        let results = e.run(vec![ReachProgram::new(VertexId(3))]);
-        assert_eq!(results[0].output.len(), 5);
+        let mut e = ThreadEngine::new(Arc::clone(&g), parts);
+        let q = e.submit(ReachProgram::new(VertexId(3)));
+        e.run();
+        assert_eq!(e.output(&q).unwrap().len(), 5);
+        assert_eq!(e.report().outcomes[0].locality(), 1.0);
+    }
+
+    #[test]
+    fn closed_loop_respects_max_parallel() {
+        let g = line(32);
+        let parts = RangePartitioner.partition(&g, 2);
+        let cfg = SystemConfig {
+            max_parallel_queries: 2,
+            ..Default::default()
+        };
+        let mut e = ThreadEngine::with_config(Arc::clone(&g), parts, cfg);
+        let qs: Vec<_> = (0..6u32)
+            .map(|i| e.submit(ReachProgram::bounded(VertexId(i), 2)))
+            .collect();
+        e.run();
+        assert_eq!(e.report().outcomes.len(), 6);
+        for q in qs {
+            assert!(e.output(&q).is_some());
+        }
     }
 }

@@ -8,18 +8,70 @@
 //! per-query arrays would cost `O(|V| · |Q|)` memory while localized
 //! queries touch a tiny graph fraction.
 //!
+//! Since the heterogeneous-query redesign the worker is **not generic**:
+//! each query's local state is held behind the object-safe [`LocalState`]
+//! facade, and every operation whose signature mentions program-specific
+//! types (message delivery, superstep execution, vertex migration) is
+//! routed through that query's [`QueryTask`](crate::task::QueryTask),
+//! which downcasts back to the typed [`QueryLocal`] internally. One worker
+//! therefore executes SSSP, POI, and reachability queries side by side.
+//!
 //! Workers are runtime-agnostic: both the discrete-event engine and the
 //! thread runtime drive the same code, passing a routing closure that
 //! resolves the current vertex→worker assignment.
+
+use std::any::Any;
 
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use qgraph_graph::{Graph, VertexId};
 
 use crate::program::{Context, VertexProgram};
+use crate::task::{Envelope, MessageBatch, QueryTask};
 use crate::QueryId;
 
-/// Per-query, per-worker execution state.
+/// Counters reported after one local superstep; the sizes in it are what
+/// the worker piggybacks to the controller as `stats(q, |LS(q,w)|, I_w, w)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SuperstepStats {
+    /// Vertex functions executed.
+    pub executed: usize,
+    /// Messages consumed.
+    pub messages_in: usize,
+    /// Messages that stayed on this worker.
+    pub local_deliveries: usize,
+    /// Messages destined for other workers.
+    pub remote_deliveries: usize,
+    /// `|LS(q,w)|` after the step.
+    pub local_scope: usize,
+}
+
+/// The object-safe facade over one query's per-worker state: everything a
+/// runtime needs that does *not* mention program-specific types. Typed
+/// operations reach the concrete [`QueryLocal`] by downcasting through
+/// `Any` (the `LocalState: Any` supertrait) inside the query's task.
+pub trait LocalState: Any + Send {
+    /// Does a next superstep have pending messages here?
+    fn has_pending(&self) -> bool;
+
+    /// `(active vertices, messages)` pending for the next superstep.
+    fn pending_counts(&self) -> (usize, usize);
+
+    /// Freeze the pending inbox as the current superstep's input; returns
+    /// `(active vertices, messages)` for the cost model.
+    fn freeze(&mut self) -> (usize, usize);
+
+    /// `(active vertices, messages)` of the already-frozen superstep input.
+    fn frozen_counts(&self) -> (usize, usize);
+
+    /// `|LS(q,w)|`: vertices the query has activated on this worker.
+    fn scope_size(&self) -> usize;
+
+    /// The live local scope vertex set.
+    fn scope_vertices(&self) -> Vec<VertexId>;
+}
+
+/// Per-query, per-worker execution state for one program type `P`.
 pub struct QueryLocal<P: VertexProgram> {
     /// Frozen inbox of the running superstep, sorted by vertex id for
     /// deterministic execution order.
@@ -40,113 +92,74 @@ impl<P: VertexProgram> Default for QueryLocal<P> {
     }
 }
 
-/// Counters reported after one local superstep; the sizes in it are what
-/// the worker piggybacks to the controller as `stats(q, |LS(q,w)|, I_w, w)`.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct SuperstepStats {
-    /// Vertex functions executed.
-    pub executed: usize,
-    /// Messages consumed.
-    pub messages_in: usize,
-    /// Messages that stayed on this worker.
-    pub local_deliveries: usize,
-    /// Messages destined for other workers.
-    pub remote_deliveries: usize,
-    /// `|LS(q,w)|` after the step.
-    pub local_scope: usize,
-}
-
-/// One worker: the container of all queries' local state on this partition.
-pub struct Worker<P: VertexProgram> {
-    /// This worker's id (index into the cluster).
-    pub id: usize,
-    queries: FxHashMap<QueryId, QueryLocal<P>>,
-}
-
-impl<P: VertexProgram> Worker<P> {
-    /// An empty worker.
-    pub fn new(id: usize) -> Self {
-        Worker {
-            id,
-            queries: FxHashMap::default(),
-        }
+impl<P: VertexProgram> LocalState for QueryLocal<P> {
+    fn has_pending(&self) -> bool {
+        !self.next.is_empty()
     }
 
-    /// Deliver messages into query `q`'s next-superstep inbox.
-    pub fn deliver(&mut self, q: QueryId, msgs: impl IntoIterator<Item = (VertexId, P::Message)>) {
-        let local = self.queries.entry(q).or_default();
-        for (v, m) in msgs {
-            local.next.entry(v).or_default().push(m);
-        }
+    fn pending_counts(&self) -> (usize, usize) {
+        (self.next.len(), self.next.values().map(Vec::len).sum())
     }
 
-    /// Does query `q` have pending messages for a next superstep here?
-    pub fn has_pending(&self, q: QueryId) -> bool {
-        self.queries.get(&q).is_some_and(|l| !l.next.is_empty())
-    }
-
-    /// `(active vertices, messages)` pending for query `q`'s next superstep.
-    pub fn pending_counts(&self, q: QueryId) -> (usize, usize) {
-        match self.queries.get(&q) {
-            None => (0, 0),
-            Some(l) => (l.next.len(), l.next.values().map(Vec::len).sum()),
-        }
-    }
-
-    /// Freeze the pending inbox as the current superstep's input; returns
-    /// `(active vertices, messages)` for the cost model.
-    ///
     /// Called at *barrier release* (not task start): all involved workers
     /// freeze at the same instant, so messages produced by another
     /// worker's in-flight superstep can never leak into this one — the
     /// BSP isolation that makes iteration counts partition-independent.
-    pub fn freeze(&mut self, q: QueryId) -> (usize, usize) {
-        let local = self.queries.entry(q).or_default();
-        debug_assert!(local.cur.is_empty(), "freeze with unexecuted frozen inbox");
-        local.cur = local.next.drain().collect();
-        local.cur.sort_unstable_by_key(|(v, _)| *v);
-        let msgs = local.cur.iter().map(|(_, m)| m.len()).sum();
-        (local.cur.len(), msgs)
+    fn freeze(&mut self) -> (usize, usize) {
+        debug_assert!(self.cur.is_empty(), "freeze with unexecuted frozen inbox");
+        self.cur = self.next.drain().collect();
+        self.cur.sort_unstable_by_key(|(v, _)| *v);
+        let msgs = self.cur.iter().map(|(_, m)| m.len()).sum();
+        (self.cur.len(), msgs)
     }
 
-    /// `(active vertices, messages)` of the already-frozen superstep input.
-    pub fn frozen_counts(&self, q: QueryId) -> (usize, usize) {
-        match self.queries.get(&q) {
-            None => (0, 0),
-            Some(l) => (l.cur.len(), l.cur.iter().map(|(_, m)| m.len()).sum()),
+    fn frozen_counts(&self) -> (usize, usize) {
+        (self.cur.len(), self.cur.iter().map(|(_, m)| m.len()).sum())
+    }
+
+    fn scope_size(&self) -> usize {
+        self.state.len()
+    }
+
+    fn scope_vertices(&self) -> Vec<VertexId> {
+        self.state.keys().copied().collect()
+    }
+}
+
+impl<P: VertexProgram> QueryLocal<P> {
+    /// Deliver messages into the next-superstep inbox.
+    pub(crate) fn deliver(&mut self, msgs: impl IntoIterator<Item = (VertexId, P::Message)>) {
+        for (v, m) in msgs {
+            self.next.entry(v).or_default().push(m);
         }
     }
 
-    /// Execute the frozen superstep of query `q`.
+    /// Execute the frozen superstep.
     ///
-    /// `route` resolves the *current* assignment; messages to this worker
-    /// go straight into the next inbox, others are returned bucketed by
+    /// `route` resolves the *current* assignment; messages to `home` go
+    /// straight into the next inbox, others are returned bucketed by
     /// destination worker.
     #[allow(clippy::type_complexity)]
-    pub fn execute(
+    pub(crate) fn execute(
         &mut self,
-        q: QueryId,
         graph: &Graph,
         program: &P,
         prev_aggregate: &P::Aggregate,
+        home: usize,
         route: &dyn Fn(VertexId) -> usize,
     ) -> (
         SuperstepStats,
         P::Aggregate,
         Vec<(usize, Vec<(VertexId, P::Message)>)>,
     ) {
-        let local = self.queries.entry(q).or_default();
         let mut stats = SuperstepStats::default();
         let mut aggregate = program.aggregate_identity();
         let mut outgoing: Vec<(VertexId, P::Message)> = Vec::new();
         let combine = |a: &mut P::Aggregate, b: &P::Aggregate| program.aggregate_combine(a, b);
 
-        let cur = std::mem::take(&mut local.cur);
+        let cur = std::mem::take(&mut self.cur);
         for (v, msgs) in &cur {
-            let state = local
-                .state
-                .entry(*v)
-                .or_insert_with(|| program.init_state());
+            let state = self.state.entry(*v).or_insert_with(|| program.init_state());
             let mut ctx = Context {
                 outgoing: &mut outgoing,
                 aggregate: &mut aggregate,
@@ -162,30 +175,143 @@ impl<P: VertexProgram> Worker<P> {
         let mut buckets: FxHashMap<usize, Vec<(VertexId, P::Message)>> = FxHashMap::default();
         for (to, msg) in outgoing {
             let w = route(to);
-            if w == self.id {
-                local.next.entry(to).or_default().push(msg);
+            if w == home {
+                self.next.entry(to).or_default().push(msg);
                 stats.local_deliveries += 1;
             } else {
                 buckets.entry(w).or_default().push((to, msg));
                 stats.remote_deliveries += 1;
             }
         }
-        stats.local_scope = local.state.len();
+        stats.local_scope = self.state.len();
         let mut remote: Vec<_> = buckets.into_iter().collect();
         remote.sort_unstable_by_key(|(w, _)| *w); // deterministic order
         (stats, aggregate, remote)
     }
 
+    /// Extract all data of the given vertices, for migration to another
+    /// worker during a global barrier. The frozen inbox must be empty (no
+    /// superstep in flight), which the engine guarantees by quiescing
+    /// workers first.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn extract(
+        &mut self,
+        vertices: &FxHashSet<VertexId>,
+    ) -> Vec<(VertexId, Option<P::State>, Vec<P::Message>)> {
+        debug_assert!(self.cur.is_empty(), "migration during a running superstep");
+        let touched: Vec<VertexId> = self
+            .state
+            .keys()
+            .chain(self.next.keys())
+            .filter(|v| vertices.contains(v))
+            .copied()
+            .collect::<FxHashSet<_>>()
+            .into_iter()
+            .collect();
+        let mut entries = Vec::new();
+        for v in touched {
+            let st = self.state.remove(&v);
+            let msgs = self.next.remove(&v).unwrap_or_default();
+            entries.push((v, st, msgs));
+        }
+        entries.sort_unstable_by_key(|(v, _, _)| *v);
+        entries
+    }
+
+    /// Inject migrated vertex data (the counterpart of
+    /// [`QueryLocal::extract`]).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn inject(&mut self, entries: Vec<(VertexId, Option<P::State>, Vec<P::Message>)>) {
+        for (v, st, msgs) in entries {
+            if let Some(st) = st {
+                self.state.insert(v, st);
+            }
+            if !msgs.is_empty() {
+                self.next.entry(v).or_default().extend(msgs);
+            }
+        }
+    }
+
+    /// Consume the local, yielding the vertex states it accumulated (for
+    /// [`VertexProgram::finalize`]).
+    pub(crate) fn into_states(self) -> FxHashMap<VertexId, P::State> {
+        self.state
+    }
+}
+
+/// One worker: the container of all queries' local state on this
+/// partition. Queries of *different* program types coexist; each entry is
+/// a type-erased [`LocalState`] that the query's task downcasts.
+pub struct Worker {
+    /// This worker's id (index into the cluster).
+    pub id: usize,
+    queries: FxHashMap<QueryId, Box<dyn LocalState>>,
+}
+
+impl Worker {
+    /// An empty worker.
+    pub fn new(id: usize) -> Self {
+        Worker {
+            id,
+            queries: FxHashMap::default(),
+        }
+    }
+
+    fn local_or_new(&mut self, task: &dyn QueryTask, q: QueryId) -> &mut Box<dyn LocalState> {
+        self.queries.entry(q).or_insert_with(|| task.new_local())
+    }
+
+    /// Deliver a message batch into query `q`'s next-superstep inbox.
+    pub fn deliver(&mut self, task: &dyn QueryTask, q: QueryId, batch: MessageBatch) {
+        let local = self.local_or_new(task, q);
+        task.deliver(local.as_mut(), batch);
+    }
+
+    /// Does query `q` have pending messages for a next superstep here?
+    pub fn has_pending(&self, q: QueryId) -> bool {
+        self.queries.get(&q).is_some_and(|l| l.has_pending())
+    }
+
+    /// `(active vertices, messages)` pending for query `q`'s next superstep.
+    pub fn pending_counts(&self, q: QueryId) -> (usize, usize) {
+        self.queries.get(&q).map_or((0, 0), |l| l.pending_counts())
+    }
+
+    /// Freeze query `q`'s pending inbox as the current superstep's input;
+    /// returns `(active vertices, messages)` for the cost model.
+    pub fn freeze(&mut self, q: QueryId) -> (usize, usize) {
+        self.queries.get_mut(&q).map_or((0, 0), |l| l.freeze())
+    }
+
+    /// `(active vertices, messages)` of the already-frozen superstep input.
+    pub fn frozen_counts(&self, q: QueryId) -> (usize, usize) {
+        self.queries.get(&q).map_or((0, 0), |l| l.frozen_counts())
+    }
+
+    /// Execute the frozen superstep of query `q` under its `task`.
+    pub fn execute(
+        &mut self,
+        q: QueryId,
+        task: &dyn QueryTask,
+        graph: &Graph,
+        prev_aggregate: &Envelope,
+        route: &dyn Fn(VertexId) -> usize,
+    ) -> (SuperstepStats, Envelope, Vec<(usize, MessageBatch)>) {
+        let home = self.id;
+        let local = self.local_or_new(task, q);
+        task.execute(local.as_mut(), graph, prev_aggregate, home, route)
+    }
+
     /// `|LS(q,w)|`: vertices query `q` has activated on this worker.
     pub fn scope_size(&self, q: QueryId) -> usize {
-        self.queries.get(&q).map_or(0, |l| l.state.len())
+        self.queries.get(&q).map_or(0, |l| l.scope_size())
     }
 
     /// The live local scope vertex set of query `q`.
     pub fn scope_vertices(&self, q: QueryId) -> Vec<VertexId> {
         self.queries
             .get(&q)
-            .map(|l| l.state.keys().copied().collect())
+            .map(|l| l.scope_vertices())
             .unwrap_or_default()
     }
 
@@ -194,42 +320,24 @@ impl<P: VertexProgram> Worker<P> {
         self.queries.keys().copied()
     }
 
-    /// Remove query `q` entirely, returning its vertex states (for
-    /// [`VertexProgram::finalize`]).
-    pub fn take_states(&mut self, q: QueryId) -> FxHashMap<VertexId, P::State> {
-        self.queries.remove(&q).map(|l| l.state).unwrap_or_default()
+    /// Remove query `q` entirely, returning its local state (for the
+    /// task's `finalize`).
+    pub fn take_local(&mut self, q: QueryId) -> Option<Box<dyn LocalState>> {
+        self.queries.remove(&q)
     }
 
     /// Extract all per-query data of the given vertices, for migration to
-    /// another worker during a global barrier. The frozen inbox must be
-    /// empty (no superstep in flight), which the engine guarantees by
-    /// quiescing workers first.
-    #[allow(clippy::type_complexity)]
+    /// another worker during a global barrier. `task_of` resolves each
+    /// query's task (which performs the typed extraction).
     pub fn extract_vertices(
         &mut self,
+        task_of: &dyn Fn(QueryId) -> std::sync::Arc<dyn QueryTask>,
         vertices: &FxHashSet<VertexId>,
-    ) -> Vec<(QueryId, Vec<(VertexId, Option<P::State>, Vec<P::Message>)>)> {
+    ) -> Vec<(QueryId, Envelope)> {
         let mut out = Vec::new();
         for (&q, local) in self.queries.iter_mut() {
-            debug_assert!(local.cur.is_empty(), "migration during a running superstep");
-            let mut entries = Vec::new();
-            let touched: Vec<VertexId> = local
-                .state
-                .keys()
-                .chain(local.next.keys())
-                .filter(|v| vertices.contains(v))
-                .copied()
-                .collect::<FxHashSet<_>>()
-                .into_iter()
-                .collect();
-            for v in touched {
-                let st = local.state.remove(&v);
-                let msgs = local.next.remove(&v).unwrap_or_default();
-                entries.push((v, st, msgs));
-            }
-            if !entries.is_empty() {
-                entries.sort_unstable_by_key(|(v, _, _)| *v);
-                out.push((q, entries));
+            if let Some(envelope) = task_of(q).extract(local.as_mut(), vertices) {
+                out.push((q, envelope));
             }
         }
         out.sort_unstable_by_key(|(q, _)| *q);
@@ -238,21 +346,15 @@ impl<P: VertexProgram> Worker<P> {
 
     /// Inject migrated vertex data (the counterpart of
     /// [`Worker::extract_vertices`]).
-    #[allow(clippy::type_complexity)]
     pub fn inject_vertices(
         &mut self,
-        data: Vec<(QueryId, Vec<(VertexId, Option<P::State>, Vec<P::Message>)>)>,
+        task_of: &dyn Fn(QueryId) -> std::sync::Arc<dyn QueryTask>,
+        data: Vec<(QueryId, Envelope)>,
     ) {
-        for (q, entries) in data {
-            let local = self.queries.entry(q).or_default();
-            for (v, st, msgs) in entries {
-                if let Some(st) = st {
-                    local.state.insert(v, st);
-                }
-                if !msgs.is_empty() {
-                    local.next.entry(v).or_default().extend(msgs);
-                }
-            }
+        for (q, envelope) in data {
+            let task = task_of(q);
+            let local = self.local_or_new(task.as_ref(), q);
+            task.inject(local.as_mut(), envelope);
         }
     }
 }
@@ -261,6 +363,7 @@ impl<P: VertexProgram> Worker<P> {
 mod tests {
     use super::*;
     use crate::programs::ReachProgram;
+    use crate::task::TypedTask;
     use qgraph_graph::GraphBuilder;
 
     fn line() -> Graph {
@@ -271,19 +374,28 @@ mod tests {
         b.build()
     }
 
+    fn reach_task() -> TypedTask<ReachProgram> {
+        TypedTask::new(ReachProgram::new(VertexId(0)))
+    }
+
+    fn batch(task: &TypedTask<ReachProgram>, msgs: Vec<(VertexId, u32)>) -> MessageBatch {
+        task.batch_for_test(msgs)
+    }
+
     #[test]
     fn deliver_freeze_execute_cycle() {
         let g = line();
-        let p = ReachProgram::new(VertexId(0));
-        let mut w: Worker<ReachProgram> = Worker::new(0);
+        let task = reach_task();
+        let mut w = Worker::new(0);
         let q = QueryId(0);
-        w.deliver(q, vec![(VertexId(0), 0)]);
+        w.deliver(&task, q, batch(&task, vec![(VertexId(0), 0)]));
         assert!(w.has_pending(q));
         assert_eq!(w.pending_counts(q), (1, 1));
 
         let (active, msgs) = w.freeze(q);
         assert_eq!((active, msgs), (1, 1));
-        let (stats, _agg, remote) = w.execute(q, &g, &p, &(), &|_| 0);
+        let prev = task.aggregate_identity();
+        let (stats, _agg, remote) = w.execute(q, &task, &g, &prev, &|_| 0);
         assert_eq!(stats.executed, 1);
         assert_eq!(stats.local_deliveries, 1); // 0 -> 1 stays local
         assert!(remote.is_empty());
@@ -294,75 +406,108 @@ mod tests {
     #[test]
     fn remote_messages_bucketed_by_destination() {
         let g = line();
-        let p = ReachProgram::new(VertexId(0));
-        let mut w: Worker<ReachProgram> = Worker::new(0);
+        let task = reach_task();
+        let mut w = Worker::new(0);
         let q = QueryId(0);
-        w.deliver(q, vec![(VertexId(0), 0)]);
+        w.deliver(&task, q, batch(&task, vec![(VertexId(0), 0)]));
         w.freeze(q);
         // Route everything except vertex 0 to worker 1.
-        let (stats, _, remote) = w.execute(q, &g, &p, &(), &|v| usize::from(v != VertexId(0)));
+        let prev = task.aggregate_identity();
+        let (stats, _, remote) = w.execute(q, &task, &g, &prev, &|v| usize::from(v != VertexId(0)));
         assert_eq!(stats.remote_deliveries, 1);
         assert_eq!(remote.len(), 1);
         assert_eq!(remote[0].0, 1);
-        assert_eq!(remote[0].1, vec![(VertexId(1), 1)]);
+        assert_eq!(remote[0].1.len(), 1);
         assert!(!w.has_pending(q));
     }
 
     #[test]
     fn migration_roundtrip_preserves_state_and_inbox() {
         let g = line();
-        let p = ReachProgram::new(VertexId(0));
+        let task = std::sync::Arc::new(reach_task());
         let q = QueryId(0);
-        let mut a: Worker<ReachProgram> = Worker::new(0);
-        a.deliver(q, vec![(VertexId(0), 0)]);
+        let mut a = Worker::new(0);
+        a.deliver(task.as_ref(), q, batch(&task, vec![(VertexId(0), 0)]));
         a.freeze(q);
-        a.execute(q, &g, &p, &(), &|_| 0);
+        let prev = task.aggregate_identity();
+        a.execute(q, task.as_ref(), &g, &prev, &|_| 0);
         // Now vertex 0 has state, vertex 1 has a pending message.
         let moved: FxHashSet<VertexId> = [VertexId(0), VertexId(1)].into_iter().collect();
-        let data = a.extract_vertices(&moved);
+        let task_of = {
+            let task = std::sync::Arc::clone(&task);
+            move |_q: QueryId| task.clone() as std::sync::Arc<dyn QueryTask>
+        };
+        let data = a.extract_vertices(&task_of, &moved);
         assert_eq!(a.scope_size(q), 0);
         assert!(!a.has_pending(q));
 
-        let mut b: Worker<ReachProgram> = Worker::new(1);
-        b.inject_vertices(data);
+        let mut b = Worker::new(1);
+        b.inject_vertices(&task_of, data);
         assert_eq!(b.scope_size(q), 1);
         assert!(b.has_pending(q));
         assert_eq!(b.pending_counts(q), (1, 1));
     }
 
     #[test]
-    fn take_states_removes_query() {
+    fn take_local_removes_query() {
         let g = line();
-        let p = ReachProgram::new(VertexId(0));
+        let task = reach_task();
         let q = QueryId(0);
-        let mut w: Worker<ReachProgram> = Worker::new(0);
-        w.deliver(q, vec![(VertexId(0), 0)]);
+        let mut w = Worker::new(0);
+        w.deliver(&task, q, batch(&task, vec![(VertexId(0), 0)]));
         w.freeze(q);
-        w.execute(q, &g, &p, &(), &|_| 0);
-        let states = w.take_states(q);
-        assert_eq!(states.len(), 1);
+        let prev = task.aggregate_identity();
+        w.execute(q, &task, &g, &prev, &|_| 0);
+        let local = w.take_local(q).expect("present");
+        assert_eq!(local.scope_size(), 1);
         assert_eq!(w.scope_size(q), 0);
         assert_eq!(w.active_queries().count(), 0);
     }
 
     #[test]
-    fn multiple_queries_are_isolated() {
+    fn multiple_queries_of_mixed_types_are_isolated() {
         let g = line();
-        let p = ReachProgram::new(VertexId(0));
+        let reach = reach_task();
+        let ping = TypedTask::new(crate::programs::PingProgram {
+            ring: vec![VertexId(2), VertexId(3)],
+            rounds: 2,
+        });
         let (q1, q2) = (QueryId(1), QueryId(2));
-        let mut w: Worker<ReachProgram> = Worker::new(0);
-        w.deliver(q1, vec![(VertexId(0), 0)]);
-        w.deliver(q2, vec![(VertexId(2), 0)]);
+        let mut w = Worker::new(0);
+        w.deliver(&reach, q1, batch(&reach, vec![(VertexId(0), 0)]));
+        w.deliver(&ping, q2, ping.batch_for_test(vec![(VertexId(2), 0)]));
         w.freeze(q1);
-        w.execute(q1, &g, &p, &(), &|_| 0);
+        let prev = reach.aggregate_identity();
+        w.execute(q1, &reach, &g, &prev, &|_| 0);
         assert_eq!(w.scope_size(q1), 1);
         assert_eq!(w.scope_size(q2), 0);
         assert!(w.has_pending(q2));
+
+        w.freeze(q2);
+        let prev = ping.aggregate_identity();
+        let (stats, _, _) = w.execute(q2, &ping, &g, &prev, &|_| 0);
+        assert_eq!(stats.executed, 1);
+        assert_eq!(w.scope_size(q2), 1);
     }
 
     #[test]
     fn empty_freeze_is_harmless() {
-        let mut w: Worker<ReachProgram> = Worker::new(0);
+        let mut w = Worker::new(0);
         assert_eq!(w.freeze(QueryId(0)), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "query task type mismatch")]
+    fn wrong_task_type_panics_in_debug() {
+        let task = reach_task();
+        let ping = TypedTask::new(crate::programs::PingProgram {
+            ring: vec![],
+            rounds: 0,
+        });
+        let mut w = Worker::new(0);
+        let q = QueryId(0);
+        w.deliver(&task, q, batch(&task, vec![(VertexId(0), 0)]));
+        // Delivering a ping batch through the reach local must be caught.
+        w.deliver(&ping, q, ping.batch_for_test(vec![(VertexId(0), 0)]));
     }
 }

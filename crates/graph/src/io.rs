@@ -89,7 +89,12 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphIoError> {
 /// Write `graph` as an edge list (buffered, per the perf-book I/O guidance).
 pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<(), GraphIoError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (s, t, wt) in graph.edges() {
         writeln!(w, "{} {} {}", s.0, t.0, wt)?;
     }

@@ -24,7 +24,10 @@ impl std::fmt::Display for GraphInvariantError {
             GraphInvariantError::NonMonotoneOffsets(i) => {
                 write!(f, "CSR offsets decrease at index {i}")
             }
-            GraphInvariantError::OffsetEdgeMismatch { last_offset, num_edges } => write!(
+            GraphInvariantError::OffsetEdgeMismatch {
+                last_offset,
+                num_edges,
+            } => write!(
                 f,
                 "last CSR offset {last_offset} does not match edge count {num_edges}"
             ),
@@ -100,7 +103,10 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 1, f32::NAN);
         let g = b.build();
-        assert!(matches!(validate(&g), Err(GraphInvariantError::BadWeight { .. })));
+        assert!(matches!(
+            validate(&g),
+            Err(GraphInvariantError::BadWeight { .. })
+        ));
     }
 
     #[test]

@@ -9,4 +9,4 @@ mod table;
 
 pub use series::{Sample, TimeSeries};
 pub use stats::{mean, percentile, stddev, Summary};
-pub use table::{Table, to_csv};
+pub use table::{to_csv, Table};

@@ -184,7 +184,13 @@ mod tests {
         let w = s.tumbling_mean(1.0);
         assert_eq!(w.len(), 2);
         assert_eq!(w.samples()[0], Sample { t: 0.0, value: 2.0 });
-        assert_eq!(w.samples()[1], Sample { t: 2.0, value: 10.0 });
+        assert_eq!(
+            w.samples()[1],
+            Sample {
+                t: 2.0,
+                value: 10.0
+            }
+        );
     }
 
     #[test]

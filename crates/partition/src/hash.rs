@@ -15,7 +15,9 @@ pub struct HashPartitioner {
 
 impl Default for HashPartitioner {
     fn default() -> Self {
-        HashPartitioner { seed: 0x9E37_79B9_7F4A_7C15 }
+        HashPartitioner {
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
     }
 }
 

@@ -55,7 +55,10 @@ impl Partitioner for LdgPartitioner {
         }
 
         Partitioning::new(
-            assignment.into_iter().map(|a| a.expect("all assigned")).collect(),
+            assignment
+                .into_iter()
+                .map(|a| a.expect("all assigned"))
+                .collect(),
             num_workers,
         )
     }
@@ -100,9 +103,7 @@ mod tests {
         let p = LdgPartitioner { slack: 0.1 }.partition(&g, 2);
         // Vertices 1..9 should co-locate with vertex 0 (clique affinity).
         let w0 = p.worker_of(VertexId(0));
-        let same = (1..10)
-            .filter(|&i| p.worker_of(VertexId(i)) == w0)
-            .count();
+        let same = (1..10).filter(|&i| p.worker_of(VertexId(i)) == w0).count();
         assert!(same >= 8, "clique scattered: {same}/9 colocated");
     }
 

@@ -112,10 +112,7 @@ mod tests {
     }
 
     fn split_at_middle() -> Partitioning {
-        Partitioning::new(
-            vec![WorkerId(0), WorkerId(0), WorkerId(1), WorkerId(1)],
-            2,
-        )
+        Partitioning::new(vec![WorkerId(0), WorkerId(0), WorkerId(1), WorkerId(1)], 2)
     }
 
     #[test]
@@ -137,9 +134,9 @@ mod tests {
     fn query_cut_counts_nonempty_local_scopes() {
         let p = split_at_middle();
         let scopes = vec![
-            vec![VertexId(0), VertexId(1)],              // local on w0 -> 1
-            vec![VertexId(1), VertexId(2)],              // spans both  -> 2
-            vec![VertexId(3)],                           // local on w1 -> 1
+            vec![VertexId(0), VertexId(1)], // local on w0 -> 1
+            vec![VertexId(1), VertexId(2)], // spans both  -> 2
+            vec![VertexId(3)],              // local on w1 -> 1
         ];
         assert_eq!(query_cut(&scopes, &p), 4);
     }
@@ -165,7 +162,10 @@ mod tests {
         let q = PartitionQuality::measure(
             &g,
             &p,
-            &[vec![VertexId(0), VertexId(1)], vec![VertexId(2), VertexId(3)]],
+            &[
+                vec![VertexId(0), VertexId(1)],
+                vec![VertexId(2), VertexId(3)],
+            ],
         );
         assert_eq!(q.query_cut, 2);
         assert_eq!(q.locality, 1.0);

@@ -77,7 +77,13 @@ pub fn plan_replication(
             continue;
         }
         for v in off_home {
-            replicas.insert(Replica { vertex: v, to: home }, ());
+            replicas.insert(
+                Replica {
+                    vertex: v,
+                    to: home,
+                },
+                (),
+            );
         }
         localized.push(qi);
     }
@@ -98,8 +104,7 @@ pub fn replicated_query_cut(
     partitioning: &Partitioning,
     plan: &ReplicationPlan,
 ) -> usize {
-    let localized: rustc_hash::FxHashSet<usize> =
-        plan.localized_queries.iter().copied().collect();
+    let localized: rustc_hash::FxHashSet<usize> = plan.localized_queries.iter().copied().collect();
     let mut total = 0usize;
     for (qi, scope) in scopes.iter().enumerate() {
         if scope.is_empty() {
@@ -147,7 +152,10 @@ mod tests {
     #[test]
     fn already_local_queries_cost_nothing() {
         let p = part(vec![0, 0, 1, 1]);
-        let scopes = vec![vec![VertexId(0), VertexId(1)], vec![VertexId(2), VertexId(3)]];
+        let scopes = vec![
+            vec![VertexId(0), VertexId(1)],
+            vec![VertexId(2), VertexId(3)],
+        ];
         let plan = plan_replication(&scopes, &p, 8);
         assert_eq!(plan.memory_cost(), 0);
         assert_eq!(plan.localized_queries, vec![0, 1]);

@@ -122,10 +122,7 @@ mod tests {
 
     #[test]
     fn sizes_count_assignments() {
-        let p = Partitioning::new(
-            vec![WorkerId(0), WorkerId(1), WorkerId(1), WorkerId(0)],
-            2,
-        );
+        let p = Partitioning::new(vec![WorkerId(0), WorkerId(1), WorkerId(1), WorkerId(0)], 2);
         assert_eq!(p.sizes(), vec![2, 2]);
         assert_eq!(p.num_vertices(), 4);
         assert_eq!(p.worker_of(VertexId(2)), WorkerId(1));

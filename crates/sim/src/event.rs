@@ -75,7 +75,11 @@ impl<E> EventQueue<E> {
     /// Panics (debug) if `at` lies in the past; the simulation may never
     /// schedule backwards.
     pub fn schedule(&mut self, at: SimTime, payload: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(ScheduledEvent { at, seq, payload });

@@ -102,6 +102,11 @@ impl WorkloadConfig {
             seed,
         }
     }
+
+    /// Total queries across all phases.
+    pub fn total_queries(&self) -> usize {
+        self.phases.iter().map(|p| p.count).sum()
+    }
 }
 
 /// Generates hotspot query streams over a [`RoadNetwork`].
@@ -131,8 +136,7 @@ impl<'a> WorkloadGenerator<'a> {
         let centers: Vec<(f32, f32)> = net.cities.iter().map(|c| c.center).collect();
         let neighbours = (0..net.cities.len())
             .map(|a| {
-                let mut others: Vec<usize> =
-                    (0..net.cities.len()).filter(|&b| b != a).collect();
+                let mut others: Vec<usize> = (0..net.cities.len()).filter(|&b| b != a).collect();
                 others.sort_by(|&x, &y| {
                     let dx = dist(centers[a], centers[x]);
                     let dy = dist(centers[a], centers[y]);
@@ -192,12 +196,7 @@ impl<'a> WorkloadGenerator<'a> {
 
     /// Pick an intra-urban SSSP target at a variable Euclidean distance
     /// from `source` (short routes dominate; see `generate_one`).
-    fn sample_intra_target(
-        &self,
-        city: usize,
-        source: VertexId,
-        rng: &mut SmallRng,
-    ) -> VertexId {
+    fn sample_intra_target(&self, city: usize, source: VertexId, rng: &mut SmallRng) -> VertexId {
         const CANDIDATES: usize = 8;
         let props = self.net.graph.props();
         let mut cands: Vec<VertexId> = (0..CANDIDATES)
@@ -313,7 +312,9 @@ mod tests {
         let net = net();
         let g = WorkloadGenerator::new(&net);
         let specs = g.generate(&WorkloadConfig::single(50, true, false, 5));
-        assert!(specs.iter().all(|s| matches!(s.kind, QueryKind::Poi { .. })));
+        assert!(specs
+            .iter()
+            .all(|s| matches!(s.kind, QueryKind::Poi { .. })));
     }
 
     #[test]

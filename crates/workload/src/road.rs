@@ -67,7 +67,7 @@ impl Default for RoadNetworkConfig {
         RoadNetworkConfig {
             num_cities: 16,
             vertices_per_city: 4_000,
-            
+
             // fitting the 16 biggest Baden-Württemberg cities gives ≈ 0.7.
             zipf_exponent: 0.7,
             map_size_km: 300.0,
@@ -264,9 +264,7 @@ fn push_road(edges: &mut Vec<(u32, u32, f32)>, coords: &[(f32, f32)], a: u32, b:
 fn place_city_centers(cfg: &RoadNetworkConfig, rng: &mut SmallRng) -> Vec<(f32, f32)> {
     let grid = (cfg.num_cities as f32).sqrt().ceil() as usize;
     let cell = cfg.map_size_km / grid as f32;
-    let mut cells: Vec<(usize, usize)> = (0..grid * grid)
-        .map(|i| (i % grid, i / grid))
-        .collect();
+    let mut cells: Vec<(usize, usize)> = (0..grid * grid).map(|i| (i % grid, i / grid)).collect();
     // Deterministic shuffle.
     for i in (1..cells.len()).rev() {
         let j = rng.gen_range(0..=i);

@@ -39,7 +39,10 @@ impl Default for WattsStrogatzConfig {
 /// Watts–Strogatz small-world graph. Undirected (both arcs stored), unit
 /// weights; regions are contiguous ring chunks of `region_size` vertices.
 pub fn generate_ws(cfg: WattsStrogatzConfig) -> Graph {
-    assert!(cfg.k >= 2 && cfg.k.is_multiple_of(2), "k must be even and >= 2");
+    assert!(
+        cfg.k >= 2 && cfg.k.is_multiple_of(2),
+        "k must be even and >= 2"
+    );
     assert!(cfg.n > cfg.k, "n must exceed k");
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let n = cfg.n;
@@ -110,6 +113,7 @@ pub fn generate_ba(cfg: BarabasiAlbertConfig) -> Graph {
             endpoints.push(j as u32);
         }
     }
+    #[allow(clippy::needless_range_loop)]
     for v in (cfg.m + 1)..n {
         let mut chosen: Vec<u32> = Vec::with_capacity(cfg.m);
         while chosen.len() < cfg.m {
@@ -187,8 +191,14 @@ mod tests {
             region_size: 50,
             seed: 9,
         };
-        let a: Vec<_> = generate_ws(cfg).edges().map(|(s, t, _)| (s.0, t.0)).collect();
-        let b: Vec<_> = generate_ws(cfg).edges().map(|(s, t, _)| (s.0, t.0)).collect();
+        let a: Vec<_> = generate_ws(cfg)
+            .edges()
+            .map(|(s, t, _)| (s.0, t.0))
+            .collect();
+        let b: Vec<_> = generate_ws(cfg)
+            .edges()
+            .map(|(s, t, _)| (s.0, t.0))
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -220,7 +230,11 @@ mod tests {
 
     #[test]
     fn ba_regions_cover_all_vertices() {
-        let g = generate_ba(BarabasiAlbertConfig { n: 300, m: 2, seed: 3 });
+        let g = generate_ba(BarabasiAlbertConfig {
+            n: 300,
+            m: 2,
+            seed: 3,
+        });
         assert_eq!(g.props().regions.len(), 300);
         // All region roots are seed vertices (ids <= m).
         assert!(g.props().regions.iter().all(|r| r.0 <= 2));

@@ -13,7 +13,10 @@ use qgraph_graph::Graph;
 /// number of reachable POIs per query* matches the paper's setting; the
 /// probability is a parameter for exactly that reason.
 pub fn assign_tags(graph: &mut Graph, p: f64, seed: u64) -> usize {
-    assert!((0.0..=1.0).contains(&p), "tag probability out of range: {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "tag probability out of range: {p}"
+    );
     let n = graph.num_vertices();
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x7A67_5F53_4545_44D1);
     let mut tags = vec![false; n];

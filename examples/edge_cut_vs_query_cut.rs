@@ -54,7 +54,10 @@ fn main() {
     let cuts = [
         ("cut 1 (west | east)", cut(&[0, 1, 2, 3, 4, 5])),
         ("cut 2 (northwest | southeast)", cut(&[0, 1, 2, 3, 4])),
-        ("cut 3 (min edge-cut, splits q2)", cut(&[0, 1, 2, 3, 4, 5, 6, 7, 8])),
+        (
+            "cut 3 (min edge-cut, splits q2)",
+            cut(&[0, 1, 2, 3, 4, 5, 6, 7, 8]),
+        ),
     ];
 
     let mut table = Table::new(

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use qgraph_algo::{nearest_tagged, PoiProgram};
-use qgraph_core::{QueryId, SimEngine, SystemConfig};
+use qgraph_core::{SimEngine, SystemConfig};
 use qgraph_partition::{DomainPartitioner, Partitioner};
 use qgraph_sim::ClusterModel;
 use qgraph_workload::{
@@ -38,9 +38,10 @@ fn main() {
         SystemConfig::default(),
     );
     let mut sources = Vec::new();
+    let mut handles = Vec::new();
     for s in &specs {
         if let QueryKind::Poi { source } = s.kind {
-            engine.submit(PoiProgram::new(source));
+            handles.push(engine.submit(PoiProgram::new(source)));
             sources.push(source);
         }
     }
@@ -54,7 +55,7 @@ fn main() {
 
     // Spot-check the first few answers against sequential Dijkstra.
     for (i, &src) in sources.iter().take(5).enumerate() {
-        let got = engine.output(QueryId(i as u32)).unwrap();
+        let got = engine.output(&handles[i]).unwrap();
         let want = nearest_tagged(&graph, src);
         let ok = match (got, &want) {
             (Some((_, gd)), Some((_, wd))) => (gd - wd).abs() < 1e-3,

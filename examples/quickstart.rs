@@ -1,16 +1,15 @@
-//! Quickstart: build a small graph, partition it, run one shortest-path
-//! query on the simulated multi-query engine, and read the answer.
+//! Quickstart: build a small graph, assemble an engine with the builder,
+//! run one shortest-path query on the simulated multi-query engine, and
+//! read the answer back through its typed handle.
 //!
 //! ```text
 //! cargo run -p qgraph-examples --bin quickstart
 //! ```
 
-use std::sync::Arc;
-
 use qgraph_algo::SsspProgram;
-use qgraph_core::{SimEngine, SystemConfig};
+use qgraph_core::EngineBuilder;
 use qgraph_graph::{GraphBuilder, VertexId};
-use qgraph_partition::{HashPartitioner, Partitioner};
+use qgraph_partition::HashPartitioner;
 use qgraph_sim::ClusterModel;
 
 fn main() {
@@ -20,22 +19,20 @@ fn main() {
     builder.add_undirected_edge(1, 3, 1.0);
     builder.add_undirected_edge(0, 2, 5.0);
     builder.add_undirected_edge(2, 3, 1.0);
-    let graph = Arc::new(builder.build());
+    let graph = builder.build();
 
-    // Partition over two simulated workers and start the engine.
-    let partitioning = HashPartitioner::default().partition(&graph, 2);
-    let mut engine = SimEngine::new(
-        Arc::clone(&graph),
-        ClusterModel::scale_up(2),
-        partitioning,
-        SystemConfig::default(),
-    );
+    // Assemble the engine: two simulated workers, hash partitioning.
+    let mut engine = EngineBuilder::new(graph)
+        .cluster(ClusterModel::scale_up(2))
+        .partitioner(HashPartitioner::default())
+        .build_sim();
 
-    // Submit a query: shortest travel time 0 -> 3.
+    // Submit a query: shortest travel time 0 -> 3. The handle is typed —
+    // `output` returns `&Option<f32>` without any casting.
     let q = engine.submit(SsspProgram::new(VertexId(0), VertexId(3)));
     engine.run();
 
-    let distance = engine.output(q).expect("query finished");
+    let distance = engine.output(&q).expect("query finished");
     println!("shortest 0 -> 3: {distance:?} (expected Some(2.0))");
     let outcome = &engine.report().outcomes[0];
     println!(

@@ -36,8 +36,7 @@ fn main() {
             ..Default::default()
         };
         let parts = HashPartitioner::default().partition(&graph, 8);
-        let mut engine =
-            SimEngine::new(Arc::clone(&graph), ClusterModel::scale_up(8), parts, cfg);
+        let mut engine = SimEngine::new(Arc::clone(&graph), ClusterModel::scale_up(8), parts, cfg);
         for s in &specs {
             if let QueryKind::Sssp { source, target } = s.kind {
                 engine.submit(RoadProgram::sssp(source, target));
@@ -46,7 +45,11 @@ fn main() {
         let report = engine.run();
         println!(
             "{:11}: mean latency {:.2} ms | locality {:.1}% | {} repartitions",
-            if adaptive { "Hash+Q-cut" } else { "static Hash" },
+            if adaptive {
+                "Hash+Q-cut"
+            } else {
+                "static Hash"
+            },
             report.mean_latency() * 1e3,
             report.mean_locality() * 100.0,
             report.repartitions.len()

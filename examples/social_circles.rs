@@ -1,7 +1,8 @@
 //! Application 2 (paper §1): personalized social-network analysis — many
 //! overlapping "social circle" queries on a shared small-world graph, here
 //! as k-hop neighbourhoods plus localized PageRank (the paper's
-//! future-work algorithm), executed on the *real multi-threaded runtime*.
+//! future-work algorithm) — *mixed in one engine run*, executed on the
+//! real multi-threaded runtime.
 //!
 //! ```text
 //! cargo run --release -p qgraph-examples --bin social_circles
@@ -32,31 +33,40 @@ fn main() {
 
     let parts = DomainPartitioner.partition(&graph, 4);
 
-    // 2-hop social circles for a set of users, on real threads.
-    let engine: ThreadEngine<BfsProgram> = ThreadEngine::new(Arc::clone(&graph), parts.clone());
+    // One heterogeneous batch on real threads: 2-hop circles for a set of
+    // users *and* a localized PageRank around the first one.
+    let mut engine = ThreadEngine::new(Arc::clone(&graph), parts);
     let users: Vec<u32> = (0..12).map(|i| i * 1_500 + 37).collect();
-    let circles = engine.run(
-        users
-            .iter()
-            .map(|&u| BfsProgram::new(VertexId(u), 2))
-            .collect(),
-    );
+    let circles: Vec<_> = users
+        .iter()
+        .map(|&u| engine.submit(BfsProgram::new(VertexId(u), 2)))
+        .collect();
+    let ppr = engine.submit(PprProgram::new(VertexId(users[0]), 0.15, 1e-5));
+    engine.run();
+
     for (u, c) in users.iter().zip(&circles) {
+        let outcome = engine
+            .report()
+            .outcomes
+            .iter()
+            .find(|o| o.id == c.id())
+            .expect("finished");
         println!(
             "  user {u}: {} people within 2 hops ({} supersteps)",
-            c.output.len(),
-            c.iterations
+            engine.output(c).expect("finished").len(),
+            outcome.iterations
         );
     }
 
-    // Localized PageRank around the first user: influence inside a circle.
-    let ppr: ThreadEngine<PprProgram> = ThreadEngine::new(Arc::clone(&graph), parts);
-    let result = ppr.run(vec![PprProgram::new(VertexId(users[0]), 0.15, 1e-5)]);
-    let top = &result[0].output;
+    let top = engine.output(&ppr).expect("finished");
     println!(
         "localized PageRank around user {}: touched {} vertices; top-3 {:?}",
         users[0],
         top.len(),
-        top.iter().take(3).map(|(v, p)| (v.0, *p)).collect::<Vec<_>>()
+        top.iter()
+            .take(3)
+            .map(|(v, p)| (v.0, *p))
+            .collect::<Vec<_>>()
     );
+    print!("{}", engine.report().program_table().render());
 }

@@ -18,7 +18,14 @@ fn adaptive_config() -> SystemConfig {
     }
 }
 
-fn run_adaptive(seed: u64, queries: usize) -> (Vec<Option<f32>>, qgraph_core::EngineReport, Vec<Option<f32>>) {
+fn run_adaptive(
+    seed: u64,
+    queries: usize,
+) -> (
+    Vec<Option<f32>>,
+    qgraph_core::EngineReport,
+    Vec<Option<f32>>,
+) {
     let world = small_road_world(seed);
     let graph = Arc::new(world.graph.clone());
     let parts = HashPartitioner::default().partition(&graph, 4);
@@ -31,16 +38,15 @@ fn run_adaptive(seed: u64, queries: usize) -> (Vec<Option<f32>>, qgraph_core::En
     let gen = WorkloadGenerator::new(&world);
     let specs = gen.generate(&WorkloadConfig::single(queries, false, false, seed));
     let mut expected = Vec::new();
+    let mut handles = Vec::new();
     for s in &specs {
         if let QueryKind::Sssp { source, target } = s.kind {
-            engine.submit(SsspProgram::new(source, target));
+            handles.push(engine.submit(SsspProgram::new(source, target)));
             expected.push(dijkstra_to(&graph, source, target));
         }
     }
     let report = engine.run().clone();
-    let got = (0..specs.len())
-        .map(|i| *engine.output(qgraph_core::QueryId(i as u32)).unwrap())
-        .collect();
+    let got = handles.iter().map(|h| *engine.output(h).unwrap()).collect();
     (got, report, expected)
 }
 
@@ -66,8 +72,11 @@ fn qcut_improves_locality_over_the_run() {
     let o = &report.outcomes;
     let third = o.len() / 3;
     let early: f64 = o[..third].iter().map(|x| x.locality()).sum::<f64>() / third as f64;
-    let late: f64 =
-        o[o.len() - third..].iter().map(|x| x.locality()).sum::<f64>() / third as f64;
+    let late: f64 = o[o.len() - third..]
+        .iter()
+        .map(|x| x.locality())
+        .sum::<f64>()
+        / third as f64;
     assert!(
         late > early + 0.15,
         "locality must improve: early {early:.3} late {late:.3}"

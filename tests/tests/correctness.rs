@@ -32,15 +32,16 @@ fn sim_engine_sssp_matches_dijkstra_on_road_network() {
             SystemConfig::default(),
         );
         let mut expected = Vec::new();
+        let mut handles = Vec::new();
         for s in &specs {
             if let QueryKind::Sssp { source, target } = s.kind {
-                engine.submit(SsspProgram::new(source, target));
+                handles.push(engine.submit(SsspProgram::new(source, target)));
                 expected.push(dijkstra_to(&graph, source, target));
             }
         }
         engine.run();
         for (i, want) in expected.iter().enumerate() {
-            let got = engine.output(qgraph_core::QueryId(i as u32)).unwrap();
+            let got = engine.output(&handles[i]).unwrap();
             match (want, got) {
                 (Some(a), Some(b)) => {
                     assert!((a - b).abs() < 1e-3, "query {i}: {a} vs {b}")
@@ -67,15 +68,16 @@ fn poi_matches_reference_on_tagged_network() {
     let gen = WorkloadGenerator::new(&world);
     let specs = gen.generate(&WorkloadConfig::single(16, true, false, 9));
     let mut expected = Vec::new();
+    let mut handles = Vec::new();
     for s in &specs {
         if let QueryKind::Poi { source } = s.kind {
-            engine.submit(PoiProgram::new(source));
+            handles.push(engine.submit(PoiProgram::new(source)));
             expected.push(nearest_tagged(&graph, source));
         }
     }
     engine.run();
     for (i, want) in expected.iter().enumerate() {
-        let got = engine.output(qgraph_core::QueryId(i as u32)).unwrap();
+        let got = engine.output(&handles[i]).unwrap();
         match (want, got) {
             (Some((_, wd)), Some((_, gd))) => {
                 // Distances must agree; vertex may differ only on exact ties.
@@ -102,15 +104,17 @@ fn barrier_modes_do_not_change_answers() {
             parts,
             SystemConfig::static_with_barrier(mode),
         );
-        for s in &specs {
-            if let QueryKind::Sssp { source, target } = s.kind {
-                engine.submit(SsspProgram::new(source, target));
-            }
-        }
+        let handles: Vec<_> = specs
+            .iter()
+            .filter_map(|s| match s.kind {
+                QueryKind::Sssp { source, target } => {
+                    Some(engine.submit(SsspProgram::new(source, target)))
+                }
+                _ => None,
+            })
+            .collect();
         engine.run();
-        (0..specs.len())
-            .map(|i| *engine.output(qgraph_core::QueryId(i as u32)).unwrap())
-            .collect()
+        handles.iter().map(|h| *engine.output(h).unwrap()).collect()
     };
     let hybrid = run(BarrierMode::Hybrid);
     let global = run(BarrierMode::GlobalPerQuery);
@@ -142,17 +146,17 @@ fn thread_engine_agrees_with_sim_engine() {
         parts.clone(),
         SystemConfig::default(),
     );
-    for p in &programs {
-        sim.submit(p.clone());
-    }
+    let sim_handles: Vec<_> = programs.iter().map(|p| sim.submit(p.clone())).collect();
     sim.run();
 
-    // Real threads.
-    let te: ThreadEngine<SsspProgram> = ThreadEngine::new(Arc::clone(&graph), parts);
-    let thread_results = te.run(programs.clone());
+    // Real threads, via the same submit/run/output lifecycle.
+    let mut te = ThreadEngine::new(Arc::clone(&graph), parts);
+    let thread_handles: Vec<_> = programs.iter().map(|p| te.submit(p.clone())).collect();
+    te.run();
 
-    for (i, tr) in thread_results.iter().enumerate() {
-        let sim_out = sim.output(qgraph_core::QueryId(i as u32)).unwrap();
-        assert_eq!(&tr.output, sim_out, "query {i} disagrees across runtimes");
+    for (i, (sh, th)) in sim_handles.iter().zip(&thread_handles).enumerate() {
+        let sim_out = sim.output(sh).unwrap();
+        let thread_out = te.output(th).unwrap();
+        assert_eq!(thread_out, sim_out, "query {i} disagrees across runtimes");
     }
 }

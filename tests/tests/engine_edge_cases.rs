@@ -55,11 +55,7 @@ impl VertexProgram for CountdownProgram {
     fn should_terminate(&self, agg: &u32) -> bool {
         *agg >= self.stop_after
     }
-    fn finalize(
-        &self,
-        _g: &Graph,
-        states: &mut dyn Iterator<Item = (VertexId, u32)>,
-    ) -> u32 {
+    fn finalize(&self, _g: &Graph, states: &mut dyn Iterator<Item = (VertexId, u32)>) -> u32 {
         states.map(|(_, s)| s).max().unwrap_or(0)
     }
 }
@@ -68,19 +64,14 @@ impl VertexProgram for CountdownProgram {
 fn aggregator_terminates_endless_program() {
     let g = Arc::new(line_graph(8));
     let parts = RangePartitioner.partition(&g, 2);
-    let mut e = SimEngine::new(
-        g,
-        ClusterModel::scale_up(2),
-        parts,
-        SystemConfig::default(),
-    );
+    let mut e = SimEngine::new(g, ClusterModel::scale_up(2), parts, SystemConfig::default());
     let q = e.submit(CountdownProgram {
         start: VertexId(0),
         stop_after: 5,
     });
     e.run();
     assert_eq!(e.report().outcomes[0].iterations, 5);
-    assert_eq!(*e.output(q).unwrap(), 5);
+    assert_eq!(*e.output(&q).unwrap(), 5);
 }
 
 #[test]
@@ -127,13 +118,13 @@ fn queries_submitted_during_repartition_windows_still_answer() {
     let mut e = SimEngine::new(Arc::clone(&graph), ClusterModel::scale_up(4), parts, cfg);
     let gen = WorkloadGenerator::new(&world);
     let specs = gen.generate(&WorkloadConfig::single(64, false, false, 4));
-    let mut count = 0;
+    let mut handles = Vec::new();
     for s in &specs {
         if let QueryKind::Sssp { source, target } = s.kind {
-            e.submit(qgraph_algo::SsspProgram::new(source, target));
-            count += 1;
+            handles.push(e.submit(qgraph_algo::SsspProgram::new(source, target)));
         }
     }
+    let count = handles.len();
     e.run();
     assert_eq!(e.report().outcomes.len(), count);
     assert!(
@@ -144,7 +135,7 @@ fn queries_submitted_during_repartition_windows_still_answer() {
     for (i, s) in specs.iter().take(8).enumerate() {
         if let QueryKind::Sssp { source, target } = s.kind {
             let want = qgraph_algo::dijkstra_to(&graph, source, target);
-            let got = *e.output(qgraph_core::QueryId(i as u32)).unwrap();
+            let got = *e.output(&handles[i]).unwrap();
             match (want, got) {
                 (Some(a), Some(b)) => assert!((a - b).abs() < 1e-3),
                 (None, None) => {}
@@ -158,12 +149,7 @@ fn queries_submitted_during_repartition_windows_still_answer() {
 fn zero_query_run_terminates_immediately() {
     let g = Arc::new(line_graph(4));
     let parts = RangePartitioner.partition(&g, 2);
-    let mut e: SimEngine<ReachProgram> = SimEngine::new(
-        g,
-        ClusterModel::scale_up(2),
-        parts,
-        SystemConfig::default(),
-    );
+    let mut e = SimEngine::new(g, ClusterModel::scale_up(2), parts, SystemConfig::default());
     e.run();
     assert!(e.report().outcomes.is_empty());
     assert_eq!(e.now_secs(), 0.0);
@@ -173,15 +159,10 @@ fn zero_query_run_terminates_immediately() {
 fn same_source_queries_are_independent() {
     let g = Arc::new(line_graph(16));
     let parts = RangePartitioner.partition(&g, 2);
-    let mut e = SimEngine::new(
-        g,
-        ClusterModel::scale_up(2),
-        parts,
-        SystemConfig::default(),
-    );
+    let mut e = SimEngine::new(g, ClusterModel::scale_up(2), parts, SystemConfig::default());
     let q1 = e.submit(ReachProgram::bounded(VertexId(0), 2));
     let q2 = e.submit(ReachProgram::bounded(VertexId(0), 5));
     e.run();
-    assert_eq!(e.output(q1).unwrap().len(), 3);
-    assert_eq!(e.output(q2).unwrap().len(), 6);
+    assert_eq!(e.output(&q1).unwrap().len(), 3);
+    assert_eq!(e.output(&q2).unwrap().len(), 6);
 }

@@ -20,17 +20,16 @@ fn run_with_cluster(cluster: ClusterModel, seed: u64) -> (Vec<Option<f32>>, Vec<
     let gen = WorkloadGenerator::new(&world);
     let specs = gen.generate(&WorkloadConfig::single(16, false, false, seed));
     let mut expected = Vec::new();
+    let mut handles = Vec::new();
     for s in &specs {
         if let QueryKind::Sssp { source, target } = s.kind {
-            engine.submit(SsspProgram::new(source, target));
+            handles.push(engine.submit(SsspProgram::new(source, target)));
             expected.push(dijkstra_to(&graph, source, target));
         }
     }
     let report = engine.run();
     let total = report.total_latency();
-    let got = (0..specs.len())
-        .map(|i| *engine.output(qgraph_core::QueryId(i as u32)).unwrap())
-        .collect();
+    let got = handles.iter().map(|h| *engine.output(h).unwrap()).collect();
     (got, expected, total)
 }
 

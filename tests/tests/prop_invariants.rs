@@ -16,10 +16,7 @@ use rand::SeedableRng;
 /// extra random edges.
 fn arb_graph(max_v: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, f32)>)> {
     (3..max_v).prop_flat_map(|n| {
-        let extra = prop::collection::vec(
-            (0..n as u32, 0..n as u32, 0.1f32..10.0),
-            0..(2 * n),
-        );
+        let extra = prop::collection::vec((0..n as u32, 0..n as u32, 0.1f32..10.0), 0..(2 * n));
         (Just(n), extra)
     })
 }
@@ -55,7 +52,7 @@ proptest! {
         );
         let q = e.submit(SsspProgram::new(s, t));
         e.run();
-        let got = *e.output(q).unwrap();
+        let got = *e.output(&q).unwrap();
         let want = dijkstra_to(&g, s, t);
         match (got, want) {
             (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-3),

@@ -1,0 +1,157 @@
+//! Vendored micro-benchmark harness: the `criterion` API subset this
+//! workspace uses (`Criterion`, benchmark groups, `iter`/`iter_batched`,
+//! the `criterion_group!`/`criterion_main!` macros). This build
+//! environment has no network access to crates.io, so the workspace
+//! vendors a stand-in that measures with `std::time::Instant` and prints
+//! one mean-time line per benchmark — no statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted for API compatibility;
+/// the stand-in always runs one setup per measured invocation).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Runs closures under a timer.
+pub struct Bencher {
+    samples: usize,
+    last: Option<BenchResult>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BenchResult {
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, repeated enough times to smooth noise.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up once (also primes lazily-built state).
+        black_box(f());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let budget = Duration::from_millis(200);
+        while start.elapsed() < budget && iters < self.samples as u64 {
+            black_box(f());
+            iters += 1;
+        }
+        let mean = start.elapsed() / iters.max(1) as u32;
+        self.last = Some(BenchResult { mean, iters });
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        let budget = Duration::from_millis(200);
+        while spent < budget && iters < self.samples as u64 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+        }
+        let mean = spent / iters.max(1) as u32;
+        self.last = Some(BenchResult { mean, iters });
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of measured invocations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            last: None,
+        };
+        f(&mut b);
+        self.criterion.record(&self.name, id, b.last);
+        self
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 50,
+        }
+    }
+
+    /// Measure one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: 50,
+            last: None,
+        };
+        f(&mut b);
+        self.record("", id, b.last);
+        self
+    }
+
+    fn record(&mut self, group: &str, id: &str, result: Option<BenchResult>) {
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        match result {
+            Some(r) => println!("{label:<40} {:>12.3?} / iter ({} iters)", r.mean, r.iters),
+            None => println!("{label:<40} (no measurement)"),
+        }
+    }
+}
+
+/// Bundle benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,112 @@
+//! Minimal vendored FxHash: the multiply-rotate hash used by rustc,
+//! drop-in for the `rustc-hash` crate (this build environment has no
+//! network access to crates.io, so the workspace vendors the tiny subset
+//! of the external API surface it actually uses).
+//!
+//! The algorithm matches rustc's FxHasher word loop applied bytewise:
+//! `hash = (hash.rotate_left(5) ^ byte) * K` with the usual odd constant.
+//! It is *not* cryptographic and, like the original, is only meant for
+//! in-memory hash maps keyed by small integers and tuples.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiplier (64-bit golden-ratio-derived odd constant).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_work_and_hashing_is_deterministic() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+
+        let h = |x: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn bytewise_tail_is_covered() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world"); // 11 bytes: one full word + 3-byte tail
+        let mut b = FxHasher::default();
+        b.write(b"hello worle");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

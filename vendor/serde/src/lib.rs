@@ -1,0 +1,8 @@
+//! Vendored no-op `serde` facade. This build environment has no network
+//! access to crates.io, so the workspace gates serialization support on a
+//! stand-in: the `Serialize`/`Deserialize` derives expand to nothing, and
+//! config/metrics types keep their derive annotations so the real crate
+//! can be swapped back in by deleting `vendor/serde*` from the workspace
+//! `[patch]`-free path deps once a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
