@@ -36,7 +36,7 @@ use qgraph_graph::Graph;
 use qgraph_partition::{HashPartitioner, Partitioner, Partitioning};
 use qgraph_sim::ClusterModel;
 
-use crate::config::SystemConfig;
+use crate::config::{QcutConfig, SystemConfig};
 use crate::engine::SimEngine;
 use crate::program::VertexProgram;
 use crate::query::{QueryHandle, QueryId, QueryOutcome};
@@ -193,6 +193,26 @@ impl EngineBuilder {
         self
     }
 
+    /// Enable adaptive Q-cut repartitioning with the given configuration
+    /// (shorthand for setting [`SystemConfig::qcut`] on the config).
+    pub fn qcut(mut self, qcut: QcutConfig) -> Self {
+        self.config.qcut = Some(qcut);
+        self
+    }
+
+    /// Thread-runtime repartition cadence: evaluate the Q-cut trigger
+    /// every `supersteps` completed query supersteps (see
+    /// [`QcutConfig::qcut_interval`]). Enables Q-cut with its defaults if
+    /// it is not configured yet; the simulated engine's virtual-time
+    /// trigger is unaffected by the cadence.
+    pub fn qcut_interval(mut self, supersteps: usize) -> Self {
+        self.config
+            .qcut
+            .get_or_insert_with(QcutConfig::default)
+            .qcut_interval = supersteps;
+        self
+    }
+
     /// Order-independent assembly: an explicit partitioning fixes the
     /// worker count, else an explicit `workers(k)`, else the cluster's,
     /// else 1. Conflicting explicit counts panic here with the
@@ -331,6 +351,34 @@ mod tests {
             .cluster(ClusterModel::scale_up(4))
             .workers(8)
             .build_sim();
+    }
+
+    #[test]
+    fn builder_threads_qcut_config_into_both_runtimes() {
+        let cfg = QcutConfig {
+            qcut_interval: 7,
+            locality_threshold: 0.9,
+            ..Default::default()
+        };
+        // qcut() installs the full config.
+        let b = EngineBuilder::new(line(8)).workers(2).qcut(cfg.clone());
+        assert_eq!(b.config.qcut.as_ref().unwrap().qcut_interval, 7);
+        // qcut_interval() on a fresh builder enables Q-cut with defaults.
+        let b = EngineBuilder::new(line(8)).workers(2).qcut_interval(3);
+        let q = b.config.qcut.as_ref().unwrap();
+        assert_eq!(q.qcut_interval, 3);
+        assert_eq!(
+            q.locality_threshold,
+            QcutConfig::default().locality_threshold
+        );
+        // qcut_interval() after qcut() only adjusts the cadence.
+        let b = EngineBuilder::new(line(8))
+            .workers(2)
+            .qcut(cfg)
+            .qcut_interval(5);
+        let q = b.config.qcut.as_ref().unwrap();
+        assert_eq!(q.qcut_interval, 5);
+        assert_eq!(q.locality_threshold, 0.9);
     }
 
     #[test]

@@ -30,8 +30,11 @@ pub struct QcutConfig {
     /// Domain's problem is stragglers, not locality — so the controller
     /// also watches balance. Default 2δ.
     pub imbalance_threshold: f64,
-    /// Monitoring window μ in (virtual) seconds: how long finished queries'
-    /// statistics stay in the controller's view. Paper: 240 s.
+    /// Monitoring window μ in seconds: how long finished queries'
+    /// statistics stay in the controller's view. Virtual seconds in the
+    /// simulation, wall-clock seconds in the thread runtime (whose clock
+    /// *is* real time — short runs retain every finished scope, bounded
+    /// by the `max_queries`-derived cap). Paper: 240 s.
     pub monitoring_window_secs: f64,
     /// Maximum queries fed into one ILS run. Paper: 128.
     pub max_queries: usize,
@@ -50,6 +53,14 @@ pub struct QcutConfig {
     /// Minimum virtual seconds between repartitionings (prevents barrier
     /// thrashing while statistics are still converging).
     pub min_repartition_interval_secs: f64,
+    /// Thread-runtime trigger cadence: evaluate the repartition trigger
+    /// every this many completed query supersteps, entering a
+    /// stop-the-world Q-cut phase when locality or balance warrants it.
+    /// Real threads have no virtual clock, so the superstep count plays
+    /// the cooldown role that `min_repartition_interval_secs` plays in the
+    /// simulation. `0` keeps the thread runtime on its static initial
+    /// partitioning; the simulated engine ignores this field.
+    pub qcut_interval: usize,
     /// RNG seed for the ILS (perturbation and clustering are randomized).
     pub seed: u64,
 }
@@ -66,6 +77,7 @@ impl Default for QcutConfig {
             delta: 0.25,
             cluster_factor: 4,
             min_repartition_interval_secs: 10.0,
+            qcut_interval: 64,
             seed: 0xC0FFEE,
         }
     }
@@ -164,6 +176,15 @@ mod tests {
     #[test]
     fn qgraph_preset_enables_qcut() {
         assert!(SystemConfig::qgraph().qcut.is_some());
+    }
+
+    #[test]
+    fn time_scaling_leaves_superstep_cadence_alone() {
+        // qcut_interval counts supersteps, not seconds: scaling the time
+        // constants must not touch it.
+        let q = QcutConfig::time_scaled(100.0);
+        assert_eq!(q.qcut_interval, QcutConfig::default().qcut_interval);
+        assert!(q.monitoring_window_secs < QcutConfig::default().monitoring_window_secs);
     }
 
     #[test]

@@ -108,25 +108,49 @@ impl Controller {
         if now < self.last_repartition + cooldown {
             return false;
         }
+        Self::thresholds_exceeded(cfg, mean_locality, activity_imbalance)
+    }
+
+    /// Threshold-only trigger for the thread runtime's superstep-cadence
+    /// stop-the-world phase: the cadence ([`QcutConfig::qcut_interval`])
+    /// already plays the cooldown role that virtual time plays in
+    /// [`Controller::should_trigger`], so only the locality / imbalance
+    /// thresholds are consulted here.
+    pub fn interval_trigger(
+        &self,
+        mean_locality: f64,
+        activity_imbalance: f64,
+        active_queries: usize,
+    ) -> bool {
+        let Some(cfg) = &self.cfg else { return false };
+        if active_queries == 0 {
+            return false;
+        }
+        Self::thresholds_exceeded(cfg, mean_locality, activity_imbalance)
+    }
+
+    /// The shared trigger policy (paper §3.4 Φ plus the imbalance watch):
+    /// both the virtual-time and the superstep-cadence triggers consult
+    /// exactly this predicate.
+    fn thresholds_exceeded(cfg: &QcutConfig, mean_locality: f64, activity_imbalance: f64) -> bool {
         mean_locality < cfg.locality_threshold || activity_imbalance > cfg.imbalance_threshold
     }
 
-    /// Build the high-level [`ScopeStats`] snapshot for an ILS run from the
-    /// live queries' scopes plus the retained finished scopes, capped at
-    /// the configured maximum (most recent first; live queries preferred).
-    pub fn build_scope_stats(
-        &self,
-        live: &[(QueryId, Vec<VertexId>)],
-        partitioning: &Partitioning,
-    ) -> ScopeStats {
+    /// The ILS input selection policy: live queries first, then retained
+    /// finished scopes newest-first, empties skipped, capped at the
+    /// configured `max_queries`. Both the [`ScopeStats`] snapshot and the
+    /// repartition locality measurement go through this one selection, so
+    /// the reported `locality_before/after` covers exactly the scopes the
+    /// ILS optimized.
+    fn select_scopes<'a>(
+        &'a self,
+        live: &'a [(QueryId, Vec<VertexId>)],
+    ) -> Vec<(QueryId, &'a [VertexId])> {
         let max_queries = self
             .cfg
             .as_ref()
             .map(|c| c.max_queries)
             .unwrap_or(usize::MAX);
-        let k = partitioning.num_workers();
-
-        // Select queries: live first, then finished newest-first.
         let mut selected: Vec<(QueryId, &[VertexId])> = Vec::new();
         for (q, vs) in live {
             if selected.len() >= max_queries {
@@ -144,6 +168,32 @@ impl Controller {
                 selected.push((r.query, &r.vertices));
             }
         }
+        selected
+    }
+
+    /// The scope population a repartition observes (owned form of
+    /// [`Controller::select_scopes`]) — what the runtimes measure
+    /// `RepartitionEvent::locality_before/after` over.
+    pub fn observed_scopes(
+        &self,
+        live: &[(QueryId, Vec<VertexId>)],
+    ) -> Vec<(QueryId, Vec<VertexId>)> {
+        self.select_scopes(live)
+            .into_iter()
+            .map(|(q, vs)| (q, vs.to_vec()))
+            .collect()
+    }
+
+    /// Build the high-level [`ScopeStats`] snapshot for an ILS run from the
+    /// live queries' scopes plus the retained finished scopes, capped at
+    /// the configured maximum (most recent first; live queries preferred).
+    pub fn build_scope_stats(
+        &self,
+        live: &[(QueryId, Vec<VertexId>)],
+        partitioning: &Partitioning,
+    ) -> ScopeStats {
+        let k = partitioning.num_workers();
+        let selected = self.select_scopes(live);
 
         // Sizes per worker + inverted index for overlaps.
         let mut sizes = vec![vec![0.0f64; k]; selected.len()];
@@ -269,6 +319,20 @@ mod tests {
     fn static_controller_never_triggers() {
         let c = Controller::new(None);
         assert!(!c.should_trigger(SimTime::from_secs(100), 0.0, 1.0, 10));
+        assert!(!c.interval_trigger(0.0, 1.0, 10));
+    }
+
+    #[test]
+    fn interval_trigger_ignores_cooldown_but_keeps_thresholds() {
+        let mut c = ctl();
+        // Freshly repartitioned: the time-based trigger is in cooldown but
+        // the cadence-based one only looks at the thresholds.
+        c.last_repartition = SimTime::from_secs(100);
+        assert!(!c.should_trigger(SimTime::from_secs(101), 0.5, 0.0, 4));
+        assert!(c.interval_trigger(0.5, 0.0, 4), "low locality");
+        assert!(c.interval_trigger(0.9, 0.8, 4), "straggler skew");
+        assert!(!c.interval_trigger(0.9, 0.0, 4), "healthy system");
+        assert!(!c.interval_trigger(0.5, 0.0, 0), "no queries");
     }
 
     #[test]

@@ -36,17 +36,15 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use rustc_hash::{FxHashMap, FxHashSet};
-
 use qgraph_graph::{Graph, VertexId};
-use qgraph_partition::{Partitioning, WorkerId};
+use qgraph_partition::Partitioning;
 use qgraph_sim::{ClusterModel, EventQueue, SimTime};
 
 use crate::barrier::{self, BarrierInput};
 use crate::config::{BarrierMode, SystemConfig};
 use crate::controller::Controller;
 use crate::program::VertexProgram;
-use crate::qcut::{run_qcut, IlsResult, MovePlan};
+use crate::qcut::{migrate, run_qcut, IlsResult};
 use crate::query::{QueryHandle, QueryId, QueryOutcome};
 use crate::report::{ActivitySample, EngineReport, RepartitionEvent};
 use crate::task::{Envelope, QueryTask, TypedTask};
@@ -122,6 +120,10 @@ pub struct SimEngine {
     /// STOP barrier in progress: no new barrier releases or query
     /// dispatches; in-flight supersteps drain to quiescence first.
     paused: bool,
+    /// `TaskReady` dispatches scheduled but not yet delivered. Quiescence
+    /// requires this to reach zero: a control message racing the STOP
+    /// barrier would otherwise start a superstep mid-migration.
+    inflight_ready: usize,
     /// The STOP barrier is waiting for the workers to drain.
     awaiting_quiesce: bool,
     deferred_releases: Vec<QueryId>,
@@ -193,6 +195,7 @@ impl SimEngine {
             pending: VecDeque::new(),
             in_flight: 0,
             paused: false,
+            inflight_ready: 0,
             awaiting_quiesce: false,
             deferred_releases: Vec::new(),
             pending_plan: None,
@@ -247,7 +250,10 @@ impl SimEngine {
         while let Some(ev) = self.events.pop() {
             let now = ev.at;
             match ev.payload {
-                Event::TaskReady { q, w } => self.on_task_ready(q, w),
+                Event::TaskReady { q, w } => {
+                    self.inflight_ready -= 1;
+                    self.on_task_ready(q, w);
+                }
                 Event::TaskDone { q, w } => self.on_task_done(now, q, w),
                 Event::SendDone { w } => self.on_send_done(now, w),
                 Event::BarrierRelease { q } => self.on_barrier_release(now, q),
@@ -357,6 +363,7 @@ impl SimEngine {
             self.workers[w].freeze(q);
             // executeQuery(q): controller → worker dispatch.
             let at = now + self.cluster.control_cost_to_controller(w);
+            self.inflight_ready += 1;
             self.events.schedule(at, Event::TaskReady { q, w });
         }
     }
@@ -463,9 +470,11 @@ impl SimEngine {
     }
 
     fn is_quiescent(&self) -> bool {
-        self.sched
-            .iter()
-            .all(|s| s.running.is_none() && s.queue.is_empty())
+        self.inflight_ready == 0
+            && self
+                .sched
+                .iter()
+                .all(|s| s.running.is_none() && s.queue.is_empty())
     }
 
     fn max_control_cost(&self) -> SimTime {
@@ -661,17 +670,7 @@ impl SimEngine {
         }
 
         // Snapshot live scopes (union over workers).
-        let mut live: Vec<(QueryId, Vec<VertexId>)> = Vec::new();
-        for (i, run) in self.queries.iter().enumerate() {
-            if run.status == QueryStatus::Running {
-                let q = QueryId(i as u32);
-                let mut vs: Vec<VertexId> = Vec::new();
-                for w in &self.workers {
-                    vs.extend(w.scope_vertices(q));
-                }
-                live.push((q, vs));
-            }
-        }
+        let live = self.live_scopes();
         let stats = self.controller.build_scope_stats(&live, &self.partitioning);
         if stats.queries.len() < 2 {
             return;
@@ -705,13 +704,70 @@ impl SimEngine {
         debug_assert!(self.paused);
         debug_assert!(self.is_quiescent());
         let (result, triggered_at) = self.pending_plan.take().expect("plan pending");
-        let (moved, duration) = self.apply_plan(&result.plan);
+
+        // Resolve the plan against the quiesced workers: a live query's
+        // current local scope, or a finished query's retained scope (the
+        // resolver's ownership filter restricts it to the source worker).
+        let migration = {
+            let workers = &self.workers;
+            let queries = &self.queries;
+            let controller = &self.controller;
+            let mut scope_of = |q: QueryId, w: usize| -> Vec<VertexId> {
+                let live = queries
+                    .get(q.index())
+                    .is_some_and(|r| r.status == QueryStatus::Running);
+                if live {
+                    workers[w].scope_vertices(q)
+                } else {
+                    controller
+                        .finished_scope(q)
+                        .map(|vs| vs.to_vec())
+                        .unwrap_or_default()
+                }
+            };
+            migrate::resolve_plan(&result.plan, &self.partitioning, &mut scope_of)
+        };
+
+        // A plan can resolve to nothing by apply time (scopes finished and
+        // expired since the trigger): no event, matching the thread
+        // runtime's semantics that a RepartitionEvent means vertices moved.
+        if migration.is_empty() {
+            self.events
+                .schedule(now + self.max_control_cost(), Event::GlobalBarrierEnd);
+            return;
+        }
+
+        let observed = self.controller.observed_scopes(&self.live_scopes());
+        let this = &mut *self;
+        let queries = &this.queries;
+        let workers = &mut this.workers;
+        let task_of = |q: QueryId| -> Arc<dyn QueryTask> { Arc::clone(&queries[q.index()].task) };
+        let (locality_before, locality_after) =
+            migrate::apply_measured(&migration, &mut this.partitioning, &observed, || {
+                migrate::apply_to_workers(&migration, workers, &task_of)
+            });
+
+        // The barrier lasts as long as the slowest pair's bulk transfer.
+        let duration = migration
+            .per_pair
+            .iter()
+            .map(|&(f, t, n)| {
+                self.cluster.network.bulk_move_cost(
+                    n,
+                    self.cfg.state_bytes_per_vertex,
+                    self.cluster.is_remote(f, t),
+                )
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO);
         let end = now + duration + self.max_control_cost();
         self.report.repartitions.push(RepartitionEvent {
             triggered_at: triggered_at.as_secs_f64(),
             applied_at: now.as_secs_f64(),
             barrier_duration: (end - now).as_secs_f64(),
-            moved_vertices: moved,
+            moved_vertices: migration.moved_vertices,
+            locality_before,
+            locality_after,
             ils: result,
         });
         self.events.schedule(end, Event::GlobalBarrierEnd);
@@ -728,66 +784,20 @@ impl SimEngine {
         self.dispatch_pending();
     }
 
-    /// Execute a move plan: `move(LS(q,w), w, w')` for each entry, in plan
-    /// order. A vertex moves at most once per plan — overlapping scopes
-    /// assigned to different destinations must not ping-pong their shared
-    /// vertices. Returns (vertices moved, transfer duration).
-    fn apply_plan(&mut self, plan: &MovePlan) -> (usize, SimTime) {
-        let mut per_pair: FxHashMap<(usize, usize), usize> = FxHashMap::default();
-        let mut moved_total = 0usize;
-        let mut already_moved: FxHashSet<VertexId> = FxHashSet::default();
-
-        for mv in &plan.moves {
-            // Resolve the scope: a live query's current local scope, or a
-            // finished query's retained scope filtered to the source worker.
-            let scope: Vec<VertexId> = {
-                let run = self.queries.get(mv.query.index());
-                let live = run.is_some_and(|r| r.status == QueryStatus::Running);
-                if live {
-                    self.workers[mv.from].scope_vertices(mv.query)
-                } else {
-                    self.controller
-                        .finished_scope(mv.query)
-                        .map(|vs| vs.to_vec())
-                        .unwrap_or_default()
+    /// The running queries' live scope vertex sets (union over workers).
+    fn live_scopes(&self) -> Vec<(QueryId, Vec<VertexId>)> {
+        let mut live: Vec<(QueryId, Vec<VertexId>)> = Vec::new();
+        for (i, run) in self.queries.iter().enumerate() {
+            if run.status == QueryStatus::Running {
+                let q = QueryId(i as u32);
+                let mut vs: Vec<VertexId> = Vec::new();
+                for w in &self.workers {
+                    vs.extend(w.scope_vertices(q));
                 }
-            };
-            let vertices: FxHashSet<VertexId> = scope
-                .into_iter()
-                .filter(|&v| {
-                    !already_moved.contains(&v) && self.partitioning.worker_of(v).index() == mv.from
-                })
-                .collect();
-            already_moved.extend(vertices.iter().copied());
-            if vertices.is_empty() {
-                continue;
+                live.push((q, vs));
             }
-            // Every query's data on those vertices migrates; the per-query
-            // typed extraction goes through the tasks.
-            let queries = &self.queries;
-            let task_of =
-                |q: QueryId| -> Arc<dyn QueryTask> { Arc::clone(&queries[q.index()].task) };
-            let data = self.workers[mv.from].extract_vertices(&task_of, &vertices);
-            self.workers[mv.to].inject_vertices(&task_of, data);
-            for &v in &vertices {
-                self.partitioning.move_vertex(v, WorkerId(mv.to as u32));
-            }
-            moved_total += vertices.len();
-            *per_pair.entry((mv.from, mv.to)).or_default() += vertices.len();
         }
-
-        let duration = per_pair
-            .iter()
-            .map(|(&(f, t), &n)| {
-                self.cluster.network.bulk_move_cost(
-                    n,
-                    self.cfg.state_bytes_per_vertex,
-                    self.cluster.is_remote(f, t),
-                )
-            })
-            .max()
-            .unwrap_or(SimTime::ZERO);
-        (moved_total, duration)
+        live
     }
 }
 

@@ -15,10 +15,14 @@
 //! * `local_search` — Algorithm 2: steepest-descent scope moves.
 //! * `perturb` — Appendix A.2: gather one query's scopes, then rebalance.
 //! * `ils` — Algorithm 1: the ILS driver with cost tracing.
+//! * `migrate` — shared [`MovePlan`] application: resolve scope moves into
+//!   disjoint vertex transfers, replay them on workers and partitioning
+//!   (used by both runtimes' global barriers).
 
 mod cluster;
 mod ils;
 mod local_search;
+pub mod migrate;
 mod perturb;
 mod solution;
 mod stats;
@@ -26,6 +30,7 @@ mod stats;
 pub use cluster::{cluster_queries, QueryCluster};
 pub use ils::{run_qcut, IlsResult, IlsTracePoint};
 pub use local_search::local_search;
+pub use migrate::{Migration, VertexMove};
 pub use perturb::perturb;
 pub use solution::{MovePlan, ScopeMove, Solution};
 pub use stats::ScopeStats;

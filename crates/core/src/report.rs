@@ -30,6 +30,15 @@ pub struct RepartitionEvent {
     pub barrier_duration: f64,
     /// Vertices that changed workers.
     pub moved_vertices: usize,
+    /// Scope-weighted locality of the scopes the ILS optimized (the
+    /// controller's capped selection of live queries plus the retained
+    /// finished window) against the partition as it stood when the
+    /// barrier fired (see [`crate::qcut::migrate::scope_locality`]).
+    pub locality_before: f64,
+    /// The same metric recomputed against the *current* partition after
+    /// the migration — always the post-move assignment, never the initial
+    /// one, so successive events stay comparable as partitions drift.
+    pub locality_after: f64,
     /// The ILS run's result (costs, trace, plan size).
     pub ils: IlsResult,
 }
@@ -114,6 +123,11 @@ impl EngineReport {
     /// Total remote messages across all queries.
     pub fn total_remote_messages(&self) -> u64 {
         self.outcomes.iter().map(|o| o.remote_messages).sum()
+    }
+
+    /// Total vertices migrated across all repartitioning events.
+    pub fn total_moved_vertices(&self) -> usize {
+        self.repartitions.iter().map(|r| r.moved_vertices).sum()
     }
 
     /// Aggregate the outcomes per program kind (first-submission order) —

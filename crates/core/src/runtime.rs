@@ -15,12 +15,36 @@
 //! closed loop (`max_parallel_queries`). Internally every query travels as
 //! a type-erased [`QueryTask`]; worker threads never see a program type.
 //!
-//! Scope: the thread runtime executes submitted queries to completion
-//! under hybrid (limited) barriers. Adaptive repartitioning is exclusive
-//! to the simulated engine, where its latency effects are measurable;
-//! wiring Q-cut into this runtime is mechanical (a stop-the-world phase
-//! calling the same [`crate::qcut::run_qcut`]) but provides no additional
-//! measurement value on a shared-memory host.
+//! ## Adaptive Q-cut (stop-the-world)
+//!
+//! With Q-cut configured ([`SystemConfig::qcut`] with a non-zero
+//! [`QcutConfig::qcut_interval`](crate::QcutConfig::qcut_interval)), the
+//! coordinator re-evaluates the repartition trigger every `qcut_interval`
+//! completed query supersteps. When mean query locality or worker balance
+//! degrades past the configured thresholds, it enters a stop-the-world
+//! phase:
+//!
+//! 1. **Park** — queries reaching their superstep barrier are parked
+//!    instead of released; no new queries are admitted; in-flight
+//!    supersteps and collections drain to quiescence.
+//! 2. **Aggregate** — every worker reports its live per-query scope
+//!    vertex sets; the coordinator builds the controller's high-level
+//!    [`ScopeStats`](crate::qcut::ScopeStats) (live scopes plus retained
+//!    finished scopes) and runs the same
+//!    [`qcut::run_qcut`](crate::qcut::run_qcut) ILS as the simulation.
+//! 3. **Migrate** — the resulting move plan is resolved into disjoint
+//!    vertex transfers by the shared [`qcut::migrate`] layer; each
+//!    transfer is extracted on its source worker thread and injected on
+//!    its destination (vertex state *and* pending inboxes travel
+//!    together), then the new vertex→worker assignment is committed and
+//!    broadcast to every worker before anything resumes.
+//! 4. **Resume** — parked queries' involved sets are recomputed against
+//!    the post-migration message placement and released; the closed loop
+//!    admits waiting queries again.
+//!
+//! Because the assignment only changes while every worker is parked and
+//! each worker swaps to the new assignment before executing another
+//! superstep, no message is ever routed to a stale owner.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -34,16 +58,43 @@ use qgraph_partition::Partitioning;
 use qgraph_sim::SimTime;
 
 use crate::config::SystemConfig;
+use crate::controller::Controller;
 use crate::program::VertexProgram;
+use crate::qcut::{migrate, run_qcut, IlsResult, Migration};
 use crate::query::{QueryHandle, QueryId, QueryOutcome};
-use crate::report::EngineReport;
+use crate::report::{ActivitySample, EngineReport, RepartitionEvent};
 use crate::task::{Envelope, MessageBatch, QueryTask, TypedTask};
 use crate::worker::{LocalState, Worker};
 
 enum Cmd {
-    Deliver { q: QueryId, batch: MessageBatch },
-    Step { q: QueryId, prev_agg: Envelope },
-    Collect { q: QueryId },
+    Deliver {
+        q: QueryId,
+        batch: MessageBatch,
+    },
+    Step {
+        q: QueryId,
+        prev_agg: Envelope,
+    },
+    Collect {
+        q: QueryId,
+    },
+    /// Report every query's live scope vertex set (repartition barrier).
+    ScopeReport,
+    /// Extract all queries' data on the given vertices (migration);
+    /// `token` identifies the resolved move and is echoed back so the
+    /// coordinator can pipeline extracts across workers.
+    Extract {
+        token: usize,
+        vertices: Vec<VertexId>,
+    },
+    /// Inject data extracted from another worker (migration).
+    Inject {
+        data: Vec<(QueryId, Envelope)>,
+    },
+    /// Swap in the post-migration vertex→worker assignment.
+    SetPartitioning(Arc<Partitioning>),
+    /// Report the queries with pending messages here (barrier resume).
+    PendingReport,
     Shutdown,
 }
 
@@ -60,6 +111,18 @@ enum Resp {
     Collected {
         q: QueryId,
         local: Option<Box<dyn LocalState>>,
+    },
+    Scopes {
+        worker: usize,
+        scopes: Vec<(QueryId, Vec<VertexId>)>,
+    },
+    Extracted {
+        token: usize,
+        data: Vec<(QueryId, Envelope)>,
+    },
+    Pending {
+        worker: usize,
+        queries: Vec<QueryId>,
     },
 }
 
@@ -80,17 +143,27 @@ struct QueryTracking {
     locals: Vec<Box<dyn LocalState>>,
     iterations: u32,
     local_iterations: u32,
+    /// Supersteps completed within the current trigger window (reset with
+    /// the activity counters, so a long query's stale early history
+    /// cannot keep re-firing barriers after a successful migration).
+    window_iterations: u32,
+    window_local: u32,
     vertex_updates: u64,
     remote_messages: u64,
     started_at: SimTime,
 }
 
 /// The multi-threaded runtime: one OS thread per worker partition, the
-/// same submit/run/output lifecycle as the simulated engine.
+/// same submit/run/output lifecycle as the simulated engine, and the same
+/// adaptive Q-cut loop running as a stop-the-world phase (see the module
+/// docs for the barrier protocol).
 pub struct ThreadEngine {
     graph: Arc<Graph>,
-    partitioning: Arc<Partitioning>,
+    /// The coordinator's master copy of the vertex→worker assignment;
+    /// workers hold `Arc` snapshots refreshed at every repartition.
+    partitioning: Partitioning,
     cfg: SystemConfig,
+    controller: Controller,
     tasks: Vec<Arc<dyn QueryTask>>,
     outputs: Vec<Option<Envelope>>,
     /// Queries submitted but not yet executed by a `run` call.
@@ -99,15 +172,16 @@ pub struct ThreadEngine {
 }
 
 impl ThreadEngine {
-    /// Create a runtime over `graph` with a fixed `partitioning` and the
-    /// default [`SystemConfig`].
+    /// Create a runtime over `graph` with an initial `partitioning` and
+    /// the default [`SystemConfig`].
     pub fn new(graph: Arc<Graph>, partitioning: Partitioning) -> Self {
         Self::with_config(graph, partitioning, SystemConfig::default())
     }
 
-    /// Create a runtime with an explicit configuration (the thread runtime
-    /// honors `max_parallel_queries`; barrier mode and Q-cut fields are
-    /// simulation-only).
+    /// Create a runtime with an explicit configuration. The thread runtime
+    /// honors `max_parallel_queries` and — when `qcut` is set with a
+    /// non-zero `qcut_interval` — the adaptive repartitioning loop;
+    /// barrier mode and the simulated cost model remain simulation-only.
     pub fn with_config(graph: Arc<Graph>, partitioning: Partitioning, cfg: SystemConfig) -> Self {
         assert_eq!(
             partitioning.num_vertices(),
@@ -116,7 +190,8 @@ impl ThreadEngine {
         );
         ThreadEngine {
             graph,
-            partitioning: Arc::new(partitioning),
+            partitioning,
+            controller: Controller::new(cfg.qcut.clone()),
             cfg,
             tasks: Vec::new(),
             outputs: Vec::new(),
@@ -150,6 +225,7 @@ impl ThreadEngine {
         }
         let k = self.partitioning.num_workers();
         let registry: Arc<Vec<Arc<dyn QueryTask>>> = Arc::new(self.tasks.clone());
+        let shared_parts = Arc::new(self.partitioning.clone());
         let (resp_tx, resp_rx) = channel::<Resp>();
         let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(k);
         let mut handles = Vec::with_capacity(k);
@@ -158,7 +234,7 @@ impl ThreadEngine {
             let (tx, rx) = channel::<Cmd>();
             cmd_txs.push(tx);
             let graph = Arc::clone(&self.graph);
-            let partitioning = Arc::clone(&self.partitioning);
+            let partitioning = Arc::clone(&shared_parts);
             let registry = Arc::clone(&registry);
             let resp = resp_tx.clone();
             handles.push(thread::spawn(move || {
@@ -208,6 +284,11 @@ impl ThreadEngine {
         &self.report
     }
 
+    /// The current vertex→worker assignment (mutated by repartitionings).
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
     fn drive(&mut self, queue: Vec<QueryId>, cmd_txs: &[Sender<Cmd>], resp_rx: Receiver<Resp>) {
         // One monotonic time base across run() calls: this run's
         // timestamps continue from the previous run's end, so the
@@ -216,6 +297,7 @@ impl ThreadEngine {
         let started = Instant::now();
         let now =
             move |started: &Instant| SimTime::from_secs_f64(base + started.elapsed().as_secs_f64());
+        let k = cmd_txs.len();
         let mut tracking: FxHashMap<QueryId, QueryTracking> = FxHashMap::default();
         let mut finished = 0usize;
         let total = queue.len();
@@ -223,15 +305,65 @@ impl ThreadEngine {
         let max_parallel = self.cfg.max_parallel_queries.max(1);
         let mut in_flight = 0usize;
 
+        // Stop-the-world repartition state. `inflight_ops` counts Step and
+        // Collect commands awaiting a response: zero while a barrier is
+        // pending means the workers are quiescent.
+        let qcut_enabled = self.cfg.qcut.is_some();
+        let qcut_interval = self.cfg.qcut.as_ref().map_or(0, |c| c.qcut_interval);
+        let mut supersteps_since = 0usize;
+        let mut worker_activity = vec![0usize; k];
+        let mut repart_pending = false;
+        let mut repart_triggered_at = 0.0f64;
+        let mut parked: Vec<(QueryId, Vec<usize>)> = Vec::new();
+        let mut inflight_ops = 0usize;
+
+        // Start a fresh trigger-evaluation window: used both when a
+        // checkpoint declines to repartition and when a barrier ends, so
+        // every windowed counter resets at exactly the same points.
+        macro_rules! reset_trigger_window {
+            () => {{
+                supersteps_since = 0;
+                worker_activity.iter_mut().for_each(|a| *a = 0);
+                for t in tracking.values_mut() {
+                    t.window_iterations = 0;
+                    t.window_local = 0;
+                }
+            }};
+        }
+
+        // Release query `$t`'s next superstep to the given involved
+        // workers — one dispatch path shared by the normal barrier release
+        // and the post-repartition resume, so their bookkeeping cannot
+        // diverge.
+        macro_rules! dispatch_step {
+            ($q:expr, $t:expr, $next:expr) => {{
+                let next: Vec<usize> = $next;
+                $t.involved_cur = next.len();
+                for w in next {
+                    cmd_txs[w]
+                        .send(Cmd::Step {
+                            q: $q,
+                            prev_agg: $t.task.clone_aggregate(&$t.agg_prev),
+                        })
+                        .expect("worker alive");
+                    $t.outstanding += 1;
+                    inflight_ops += 1;
+                }
+            }};
+        }
+
         // Closed-loop seeding: start a query; returns false if it finished
         // immediately (no initial messages).
         macro_rules! start_query {
             ($q:expr) => {{
                 let q: QueryId = $q;
                 let task = Arc::clone(&self.tasks[q.index()]);
-                let partitioning = Arc::clone(&self.partitioning);
-                let route = move |v: VertexId| partitioning.worker_of(v).index();
-                let batches = task.initial_batches(&self.graph, &route);
+                let batches = {
+                    // Route against the *current* assignment: earlier
+                    // repartitions of this run have already moved it on.
+                    let route = |v: VertexId| self.partitioning.worker_of(v).index();
+                    task.initial_batches(&self.graph, &route)
+                };
                 if batches.is_empty() {
                     // No initial messages: finalize over the empty state set.
                     let at = now(&started);
@@ -263,6 +395,8 @@ impl ThreadEngine {
                         locals: Vec::new(),
                         iterations: 0,
                         local_iterations: 0,
+                        window_iterations: 0,
+                        window_local: 0,
                         vertex_updates: 0,
                         remote_messages: 0,
                         started_at: now(&started),
@@ -279,6 +413,7 @@ impl ThreadEngine {
                             })
                             .expect("worker alive");
                         t.outstanding += 1;
+                        inflight_ops += 1;
                     }
                     tracking.insert(q, t);
                     true
@@ -295,6 +430,81 @@ impl ThreadEngine {
 
         // Event loop.
         while finished < total {
+            // Stop-the-world Q-cut phase: runs once the in-flight work has
+            // drained (every tracked query is then parked or collected).
+            if repart_pending && inflight_ops == 0 {
+                let entered_at = now(&started).as_secs_f64();
+                let outcome = self.qcut_barrier(&mut tracking, cmd_txs, &resp_rx);
+                let applied = outcome.is_some();
+                if let Some((ils, migration, locality_before, locality_after)) = outcome {
+                    let applied_at = now(&started).as_secs_f64();
+                    self.report.repartitions.push(RepartitionEvent {
+                        triggered_at: repart_triggered_at,
+                        applied_at,
+                        barrier_duration: applied_at - entered_at,
+                        moved_vertices: migration.moved_vertices,
+                        locality_before,
+                        locality_after,
+                        ils,
+                    });
+                }
+                if applied {
+                    // The migration moved pending inboxes between workers:
+                    // rebuild every parked query's involved set from the
+                    // workers' post-migration pending reports.
+                    for tx in cmd_txs {
+                        tx.send(Cmd::PendingReport).expect("worker alive");
+                    }
+                    let mut pending_on: FxHashMap<QueryId, Vec<usize>> = FxHashMap::default();
+                    for _ in 0..k {
+                        match resp_rx.recv().expect("workers alive") {
+                            Resp::Pending { worker, queries } => {
+                                for q in queries {
+                                    pending_on.entry(q).or_default().push(worker);
+                                }
+                            }
+                            _ => unreachable!("quiesced workers only answer the pending report"),
+                        }
+                    }
+                    for (q, next) in parked.iter_mut() {
+                        let mut n = pending_on.remove(q).unwrap_or_default();
+                        n.sort_unstable();
+                        *next = n;
+                    }
+                }
+                // START: release the parked queries against the (possibly
+                // new) layout, then re-open admissions.
+                for (q, next) in std::mem::take(&mut parked) {
+                    let t = tracking.get_mut(&q).expect("parked queries stay tracked");
+                    if next.is_empty() {
+                        // Defensive: migration preserves pending messages,
+                        // so a parked query cannot lose them — surface the
+                        // broken invariant loudly in debug builds, finish
+                        // the query rather than deadlock in release.
+                        debug_assert!(
+                            false,
+                            "parked query {q:?} lost its pending messages across a migration"
+                        );
+                        t.collecting = t.touched.len();
+                        for &w in &t.touched {
+                            cmd_txs[w].send(Cmd::Collect { q }).expect("worker alive");
+                            inflight_ops += 1;
+                        }
+                        continue;
+                    }
+                    dispatch_step!(q, t, next);
+                }
+                repart_pending = false;
+                reset_trigger_window!();
+                while in_flight < max_parallel {
+                    let Some(nq) = waiting.pop_front() else { break };
+                    if start_query!(nq) {
+                        in_flight += 1;
+                    }
+                }
+                continue;
+            }
+
             let resp = resp_rx.recv().expect("workers alive while queries pending");
             match resp {
                 Resp::StepDone {
@@ -306,6 +516,13 @@ impl ThreadEngine {
                     self_pending,
                     worker,
                 } => {
+                    inflight_ops -= 1;
+                    self.report.activity.push(ActivitySample {
+                        t: now(&started).as_secs_f64(),
+                        worker,
+                        executed: executed as u64,
+                    });
+                    worker_activity[worker] += executed;
                     let t = tracking.get_mut(&q).expect("tracked query");
                     t.outstanding -= 1;
                     t.vertex_updates += executed as u64;
@@ -324,10 +541,13 @@ impl ThreadEngine {
                     }
                     if t.outstanding == 0 {
                         t.iterations += 1;
+                        t.window_iterations += 1;
+                        supersteps_since += 1;
                         // Same definition as the simulated barrier: one
                         // involved worker and nothing crossed a boundary.
                         if t.involved_cur == 1 && !t.crossed {
                             t.local_iterations += 1;
+                            t.window_local += 1;
                         }
                         t.crossed = false;
                         let combined =
@@ -337,40 +557,89 @@ impl ThreadEngine {
                         } else {
                             t.agg_prev = combined;
                         }
-                        let next: Vec<usize> = t.next_involved.drain().collect();
+                        let mut next: Vec<usize> = t.next_involved.drain().collect();
+                        next.sort_unstable();
                         if next.is_empty() || t.task.should_terminate(&t.agg_prev) {
                             // Collect states from every touched worker.
                             t.collecting = t.touched.len();
                             for &w in &t.touched {
                                 cmd_txs[w].send(Cmd::Collect { q }).expect("worker alive");
+                                inflight_ops += 1;
                             }
+                        } else if repart_pending {
+                            // STOP: park at the barrier until the Q-cut
+                            // phase has run.
+                            parked.push((q, next));
                         } else {
-                            t.involved_cur = next.len();
-                            for w in next {
-                                cmd_txs[w]
-                                    .send(Cmd::Step {
-                                        q,
-                                        prev_agg: t.task.clone_aggregate(&t.agg_prev),
-                                    })
-                                    .expect("worker alive");
-                                t.outstanding += 1;
+                            dispatch_step!(q, t, next);
+                        }
+                        // Periodic trigger: every `qcut_interval` completed
+                        // supersteps, consult the controller thresholds.
+                        if !repart_pending && qcut_interval > 0 && supersteps_since >= qcut_interval
+                        {
+                            if tracking.len() < 2 {
+                                // A solo query never repartitions, but its
+                                // window must not accumulate either — a
+                                // stale solo-phase activity skew would
+                                // fire a spurious barrier the moment a
+                                // second query is admitted.
+                                reset_trigger_window!();
+                            } else {
+                                // Windowed locality (supersteps since the
+                                // last checkpoint): a long query's stale
+                                // early history must not keep re-firing
+                                // barriers after a successful migration.
+                                let mut sum = 0.0f64;
+                                let mut active = 0usize;
+                                for t in tracking.values() {
+                                    if t.window_iterations > 0 {
+                                        sum += t.window_local as f64 / t.window_iterations as f64;
+                                        active += 1;
+                                    }
+                                }
+                                let mean_locality = if active == 0 {
+                                    1.0
+                                } else {
+                                    sum / active as f64
+                                };
+                                let imbalance = qgraph_partition::imbalance(&worker_activity);
+                                if self.controller.interval_trigger(
+                                    mean_locality,
+                                    imbalance,
+                                    active,
+                                ) {
+                                    repart_pending = true;
+                                    repart_triggered_at = now(&started).as_secs_f64();
+                                } else {
+                                    reset_trigger_window!();
+                                }
                             }
                         }
                     }
                 }
                 Resp::Collected { q, local } => {
+                    inflight_ops -= 1;
                     let t = tracking.get_mut(&q).expect("tracked query");
                     t.locals.extend(local);
                     t.collecting -= 1;
                     if t.collecting == 0 {
                         let t = tracking.remove(&q).expect("present");
+                        let at = now(&started);
                         let scope_size: u64 = t.locals.iter().map(|l| l.scope_size() as u64).sum();
+                        if qcut_enabled {
+                            // Retain the scope for the monitoring window
+                            // (only worth materializing when Q-cut runs).
+                            let scope: Vec<VertexId> =
+                                t.locals.iter().flat_map(|l| l.scope_vertices()).collect();
+                            self.controller.record_finished_scope(q, scope, at);
+                            self.controller.expire(at);
+                        }
                         self.outputs[q.index()] = Some(t.task.finalize(&self.graph, t.locals));
                         self.report.outcomes.push(QueryOutcome {
                             id: q,
                             program: t.task.program_name(),
                             submitted_at: t.started_at,
-                            completed_at: now(&started),
+                            completed_at: at,
                             iterations: t.iterations,
                             local_iterations: t.local_iterations,
                             vertex_updates: t.vertex_updates,
@@ -379,8 +648,9 @@ impl ThreadEngine {
                         });
                         finished += 1;
                         in_flight -= 1;
-                        // Closed loop: admit the next waiting query.
-                        while in_flight < max_parallel {
+                        // Closed loop: admit the next waiting query (held
+                        // back while a repartition barrier is pending).
+                        while !repart_pending && in_flight < max_parallel {
                             let Some(nq) = waiting.pop_front() else { break };
                             if start_query!(nq) {
                                 in_flight += 1;
@@ -388,22 +658,136 @@ impl ThreadEngine {
                         }
                     }
                 }
+                _ => unreachable!("barrier responses are consumed synchronously"),
             }
         }
         self.report.finished_at_secs = base + started.elapsed().as_secs_f64();
+    }
+
+    /// The stop-the-world Q-cut phase body (workers quiescent): gather
+    /// scope statistics, run the ILS, migrate the resolved vertex
+    /// transfers across the worker channels, commit + broadcast the new
+    /// assignment. Returns `None` when the phase decides not to
+    /// repartition (too few scopes, empty plan, or nothing to move).
+    #[allow(clippy::type_complexity)]
+    fn qcut_barrier(
+        &mut self,
+        tracking: &mut FxHashMap<QueryId, QueryTracking>,
+        cmd_txs: &[Sender<Cmd>],
+        resp_rx: &Receiver<Resp>,
+    ) -> Option<(IlsResult, Migration, f64, f64)> {
+        let cfg = self.cfg.qcut.clone()?;
+        let k = cmd_txs.len();
+
+        // Aggregate per-scope statistics from the live query state.
+        for tx in cmd_txs {
+            tx.send(Cmd::ScopeReport).expect("worker alive");
+        }
+        let mut scope_map: FxHashMap<(QueryId, usize), Vec<VertexId>> = FxHashMap::default();
+        let mut per_query: FxHashMap<QueryId, Vec<VertexId>> = FxHashMap::default();
+        for _ in 0..k {
+            match resp_rx.recv().expect("workers alive") {
+                Resp::Scopes { worker, scopes } => {
+                    for (q, vs) in scopes {
+                        if !tracking.contains_key(&q) {
+                            continue;
+                        }
+                        per_query.entry(q).or_default().extend(vs.iter().copied());
+                        scope_map.insert((q, worker), vs);
+                    }
+                }
+                _ => unreachable!("quiesced workers only answer the scope report"),
+            }
+        }
+        let mut live: Vec<(QueryId, Vec<VertexId>)> = per_query.into_iter().collect();
+        live.sort_unstable_by_key(|(q, _)| *q);
+
+        let stats = self.controller.build_scope_stats(&live, &self.partitioning);
+        if stats.queries.len() < 2 {
+            return None;
+        }
+        let result = run_qcut(&stats, &cfg);
+        if result.plan.is_empty() {
+            return None;
+        }
+
+        // Resolve the plan: live scopes from the snapshot just gathered,
+        // finished queries from the controller's retained scopes.
+        let migration = {
+            let controller = &self.controller;
+            let mut scope_of = |q: QueryId, w: usize| -> Vec<VertexId> {
+                if tracking.contains_key(&q) {
+                    scope_map.get(&(q, w)).cloned().unwrap_or_default()
+                } else {
+                    controller
+                        .finished_scope(q)
+                        .map(|vs| vs.to_vec())
+                        .unwrap_or_default()
+                }
+            };
+            migrate::resolve_plan(&result.plan, &self.partitioning, &mut scope_of)
+        };
+        if migration.is_empty() {
+            return None;
+        }
+        let observed = self.controller.observed_scopes(&live);
+        let (locality_before, locality_after) =
+            migrate::apply_measured(&migration, &mut self.partitioning, &observed, || {
+                // Migrate vertex ownership and in-flight program state
+                // across the worker channels. All extracts are issued up
+                // front (independent source workers run them in parallel);
+                // each response is forwarded to its destination as it
+                // arrives. Safe to interleave because the resolved moves'
+                // vertex sets are pairwise disjoint — an inject can never
+                // overlap a still-queued extract on the same worker.
+                for (token, mv) in migration.moves.iter().enumerate() {
+                    cmd_txs[mv.from]
+                        .send(Cmd::Extract {
+                            token,
+                            vertices: mv.vertices.clone(),
+                        })
+                        .expect("worker alive");
+                }
+                for _ in 0..migration.moves.len() {
+                    let (token, data) = match resp_rx.recv().expect("workers alive") {
+                        Resp::Extracted { token, data } => (token, data),
+                        _ => unreachable!("quiesced workers only answer the extract"),
+                    };
+                    let mv = &migration.moves[token];
+                    for (q, _) in &data {
+                        if let Some(t) = tracking.get_mut(q) {
+                            t.touched.insert(mv.to);
+                        }
+                    }
+                    if !data.is_empty() {
+                        cmd_txs[mv.to]
+                            .send(Cmd::Inject { data })
+                            .expect("worker alive");
+                    }
+                }
+            });
+
+        // Broadcast the new assignment before anything resumes: every
+        // subsequent superstep routes against the new owners.
+        let shared = Arc::new(self.partitioning.clone());
+        for tx in cmd_txs {
+            tx.send(Cmd::SetPartitioning(Arc::clone(&shared)))
+                .expect("worker alive");
+        }
+        Some((result, migration, locality_before, locality_after))
     }
 }
 
 fn worker_loop(
     id: usize,
     graph: Arc<Graph>,
-    partitioning: Arc<Partitioning>,
+    mut partitioning: Arc<Partitioning>,
     registry: Arc<Vec<Arc<dyn QueryTask>>>,
     rx: Receiver<Cmd>,
     resp: Sender<Resp>,
 ) {
     let mut worker = Worker::new(id);
-    let route = |v: VertexId| partitioning.worker_of(v).index();
+    let task_of = |q: QueryId| -> Arc<dyn QueryTask> { Arc::clone(&registry[q.index()]) };
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Cmd::Deliver { q, batch } => {
@@ -412,6 +796,7 @@ fn worker_loop(
             Cmd::Step { q, prev_agg } => {
                 let task = registry[q.index()].as_ref();
                 worker.freeze(q);
+                let route = |v: VertexId| partitioning.worker_of(v).index();
                 let (stats, agg, remote) = worker.execute(q, task, &graph, &prev_agg, &route);
                 let self_pending = worker.has_pending(q);
                 resp.send(Resp::StepDone {
@@ -430,6 +815,44 @@ fn worker_loop(
                 resp.send(Resp::Collected { q, local })
                     .expect("controller alive");
             }
+            Cmd::ScopeReport => {
+                let mut qs: Vec<QueryId> = worker.active_queries().collect();
+                qs.sort_unstable();
+                let scopes: Vec<(QueryId, Vec<VertexId>)> = qs
+                    .into_iter()
+                    .map(|q| {
+                        let mut vs = worker.scope_vertices(q);
+                        vs.sort_unstable();
+                        (q, vs)
+                    })
+                    .collect();
+                resp.send(Resp::Scopes { worker: id, scopes })
+                    .expect("controller alive");
+            }
+            Cmd::Extract { token, vertices } => {
+                let set: FxHashSet<VertexId> = vertices.into_iter().collect();
+                let data = worker.extract_vertices(&task_of, &set);
+                resp.send(Resp::Extracted { token, data })
+                    .expect("controller alive");
+            }
+            Cmd::Inject { data } => {
+                worker.inject_vertices(&task_of, data);
+            }
+            Cmd::SetPartitioning(p) => {
+                partitioning = p;
+            }
+            Cmd::PendingReport => {
+                let mut queries: Vec<QueryId> = worker
+                    .active_queries()
+                    .filter(|&q| worker.has_pending(q))
+                    .collect();
+                queries.sort_unstable();
+                resp.send(Resp::Pending {
+                    worker: id,
+                    queries,
+                })
+                .expect("controller alive");
+            }
             Cmd::Shutdown => break,
         }
     }
@@ -438,6 +861,7 @@ fn worker_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::QcutConfig;
     use crate::programs::{PingProgram, ReachProgram};
     use qgraph_graph::GraphBuilder;
     use qgraph_partition::{Partitioner, RangePartitioner};
@@ -588,5 +1012,69 @@ mod tests {
         for q in qs {
             assert!(e.output(&q).is_some());
         }
+    }
+
+    /// An aggressive Q-cut cadence on an adversarial partition: two long
+    /// reach queries whose scopes interleave across both workers. The
+    /// stop-the-world phase must fire, gather each scope, and preserve the
+    /// answers.
+    #[test]
+    fn qcut_barrier_repartitions_and_preserves_answers() {
+        let g = line(64);
+        // Interleaved assignment: every reach superstep crosses a
+        // boundary, so mean locality is ~0 and the trigger always fires.
+        let assign: Vec<qgraph_partition::WorkerId> =
+            (0..64).map(|v| qgraph_partition::WorkerId(v % 2)).collect();
+        let parts = Partitioning::new(assign, 2);
+        let cfg = SystemConfig {
+            qcut: Some(QcutConfig {
+                qcut_interval: 4,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let mut e = ThreadEngine::with_config(Arc::clone(&g), parts, cfg);
+        let a = e.submit(ReachProgram::new(VertexId(0)));
+        let b = e.submit(ReachProgram::new(VertexId(1)));
+        e.run();
+        assert_eq!(e.output(&a).unwrap().len(), 64);
+        assert_eq!(e.output(&b).unwrap().len(), 63);
+        let report = e.report();
+        assert!(
+            !report.repartitions.is_empty(),
+            "interleaved partition + low locality must trigger Q-cut"
+        );
+        for r in &report.repartitions {
+            assert!(r.moved_vertices > 0);
+            assert!(r.ils.final_cost <= r.ils.initial_cost + 1e-9);
+            assert!(r.applied_at >= r.triggered_at);
+        }
+        // The assignment actually changed and still covers the graph.
+        assert_eq!(e.partitioning().num_vertices(), 64);
+        assert_eq!(e.partitioning().sizes().iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn zero_interval_keeps_the_thread_runtime_static() {
+        let g = line(32);
+        let assign: Vec<qgraph_partition::WorkerId> =
+            (0..32).map(|v| qgraph_partition::WorkerId(v % 2)).collect();
+        let parts = Partitioning::new(assign, 2);
+        let before = parts.clone();
+        let cfg = SystemConfig {
+            qcut: Some(QcutConfig {
+                qcut_interval: 0,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let mut e = ThreadEngine::with_config(Arc::clone(&g), parts, cfg);
+        let a = e.submit(ReachProgram::new(VertexId(0)));
+        let b = e.submit(ReachProgram::new(VertexId(1)));
+        e.run();
+        assert_eq!(e.output(&a).unwrap().len(), 32);
+        assert_eq!(e.output(&b).unwrap().len(), 31);
+        assert!(e.report().repartitions.is_empty());
+        assert_eq!(e.partitioning(), &before, "assignment untouched");
     }
 }

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use qgraph_algo::{dijkstra_to, SsspProgram};
-use qgraph_core::{QcutConfig, SimEngine, SystemConfig};
+use qgraph_core::{QcutConfig, SimEngine, SystemConfig, ThreadEngine};
 use qgraph_integration_tests::small_road_world;
 use qgraph_partition::{HashPartitioner, Partitioner};
 use qgraph_sim::ClusterModel;
@@ -111,6 +111,127 @@ fn moved_vertex_totals_stay_consistent() {
         assert!(r.moved_vertices <= world.graph.num_vertices());
         assert!(r.barrier_duration >= 0.0);
         assert!(r.ils.final_cost <= r.ils.initial_cost + 1e-9);
+    }
+}
+
+/// Repartition-timing stress, simulated runtime: a narrow closed loop
+/// keeps the pending queue full, so query *dispatches* race the STOP
+/// barriers — deferred control messages must drain before any migration
+/// and resume against the new layout afterwards (the seeded scheduler
+/// replays the same interleaving every run). No deadlock, no stale-owner
+/// delivery: every answer must still match Dijkstra.
+#[test]
+fn queries_dispatched_while_barrier_pending_sim() {
+    let world = small_road_world(29);
+    let graph = Arc::new(world.graph.clone());
+    let parts = HashPartitioner::default().partition(&graph, 4);
+    let cfg = SystemConfig {
+        qcut: Some(QcutConfig {
+            // Trigger at every opportunity with a near-instant ILS budget:
+            // barriers fire while dispatches from completions are still in
+            // flight.
+            locality_threshold: 1.0,
+            min_repartition_interval_secs: 0.0,
+            ils_budget_secs: 1e-6,
+            ils_max_rounds: 6,
+            ..QcutConfig::time_scaled(2000.0)
+        }),
+        max_parallel_queries: 3,
+        ..Default::default()
+    };
+    let mut engine = SimEngine::new(Arc::clone(&graph), ClusterModel::scale_up(4), parts, cfg);
+    let gen = WorkloadGenerator::new(&world);
+    let specs = gen.generate(&WorkloadConfig::single(48, false, false, 29));
+    let mut jobs = Vec::new();
+    for s in &specs {
+        if let QueryKind::Sssp { source, target } = s.kind {
+            jobs.push((
+                source,
+                target,
+                engine.submit(SsspProgram::new(source, target)),
+            ));
+        }
+    }
+    engine.run();
+    let report = engine.report();
+    assert_eq!(report.outcomes.len(), jobs.len(), "every query finished");
+    assert!(
+        !report.repartitions.is_empty(),
+        "the always-on trigger must repartition"
+    );
+    assert_eq!(
+        engine.partitioning().sizes().iter().sum::<usize>(),
+        graph.num_vertices()
+    );
+    for (i, (s, t, h)) in jobs.iter().enumerate() {
+        let want = dijkstra_to(&graph, *s, *t);
+        let got = *engine.output(h).unwrap();
+        match (want, got) {
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-3, "query {i}: {a} vs {b}"),
+            (None, None) => {}
+            other => panic!("query {i}: {other:?}"),
+        }
+    }
+}
+
+/// Repartition-timing stress, real threads: with the trigger firing at
+/// every superstep checkpoint and a narrow closed loop, admissions land
+/// while a barrier is pending and parked queries resume against migrated
+/// inboxes. The run must terminate (no deadlock) and every answer must
+/// match Dijkstra (no stale-owner message delivery).
+#[test]
+fn queries_admitted_while_barrier_pending_threaded() {
+    let world = small_road_world(31);
+    let graph = Arc::new(world.graph.clone());
+    let parts = HashPartitioner::default().partition(&graph, 4);
+    let cfg = SystemConfig {
+        qcut: Some(QcutConfig {
+            qcut_interval: 1,
+            // locality is in [0, 1]: threshold 2.0 forces a barrier at
+            // every checkpoint with >= 2 active queries.
+            locality_threshold: 2.0,
+            ils_max_rounds: 4,
+            ..Default::default()
+        }),
+        max_parallel_queries: 3,
+        ..Default::default()
+    };
+    let mut engine = ThreadEngine::with_config(Arc::clone(&graph), parts, cfg);
+    let gen = WorkloadGenerator::new(&world);
+    let specs = gen.generate(&WorkloadConfig::single(16, false, false, 31));
+    let mut jobs = Vec::new();
+    for s in &specs {
+        if let QueryKind::Sssp { source, target } = s.kind {
+            jobs.push((
+                source,
+                target,
+                engine.submit(SsspProgram::new(source, target)),
+            ));
+        }
+    }
+    engine.run();
+    let report = engine.report();
+    assert_eq!(report.outcomes.len(), jobs.len(), "every query finished");
+    assert!(
+        !report.repartitions.is_empty(),
+        "the always-on trigger must repartition"
+    );
+    for r in &report.repartitions {
+        assert!(r.moved_vertices > 0);
+        assert!(r.barrier_duration >= 0.0);
+    }
+    assert_eq!(
+        engine.partitioning().sizes().iter().sum::<usize>(),
+        graph.num_vertices()
+    );
+    for (i, (s, t, h)) in jobs.iter().enumerate() {
+        let want = dijkstra_to(&graph, *s, *t);
+        let got = *engine.output(h).unwrap();
+        match (want, got) {
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-3, "query {i}: {a} vs {b}"),
+            (None, None) => {}
+            other => panic!("query {i}: {other:?}"),
+        }
     }
 }
 

@@ -4,13 +4,16 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use qgraph_algo::{dijkstra_to, SsspProgram};
-use qgraph_core::qcut::{cluster_queries, local_search, run_qcut, ScopeStats, Solution};
+use qgraph_core::qcut::{
+    cluster_queries, local_search, migrate, run_qcut, MovePlan, ScopeMove, ScopeStats, Solution,
+};
 use qgraph_core::{QcutConfig, QueryId, SimEngine, SystemConfig};
 use qgraph_graph::{GraphBuilder, VertexId};
 use qgraph_partition::{HashPartitioner, Partitioner, Partitioning, WorkerId};
 use qgraph_sim::ClusterModel;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::collections::HashSet;
 
 /// Arbitrary connected-ish weighted graph: a random spanning path plus
 /// extra random edges.
@@ -117,5 +120,122 @@ proptest! {
             p.move_vertex(VertexId((v % n) as u32), WorkerId(w));
         }
         prop_assert_eq!(p.sizes().iter().sum::<usize>(), n);
+    }
+
+    /// Any `MovePlan` applied through the shared `qcut::migrate` path
+    /// preserves the partition invariants: the resolved transfers are
+    /// pairwise disjoint, only vertices owned by the move's source worker
+    /// move, every vertex ends up owned by exactly one in-range worker
+    /// (edge endpoints stay resolvable), no vertex is lost or duplicated,
+    /// and untouched vertices keep their owner.
+    #[test]
+    fn migrate_plan_preserves_partition_invariants(
+        assign in prop::collection::vec(0u32..4, 8..80),
+        raw_scopes in prop::collection::vec(prop::collection::vec(0usize..200, 0..24), 1..8),
+        raw_moves in prop::collection::vec((0u32..10, 0usize..4, 0usize..4), 0..16),
+    ) {
+        let n = assign.len();
+        let original = assign.clone();
+        let mut p = Partitioning::new(assign.into_iter().map(WorkerId).collect(), 4);
+        let plan = MovePlan {
+            moves: raw_moves
+                .into_iter()
+                .filter(|&(_, f, t)| f != t)
+                .map(|(q, from, to)| ScopeMove { query: QueryId(q), from, to })
+                .collect(),
+        };
+        // Query q's (global) scope is a pseudo-random vertex subset; the
+        // resolver must cut it down to the source worker itself.
+        let scopes = raw_scopes;
+        let mut scope_of = |q: QueryId, _w: usize| -> Vec<VertexId> {
+            scopes[q.0 as usize % scopes.len()]
+                .iter()
+                .map(|&v| VertexId((v % n) as u32))
+                .collect()
+        };
+        let m = migrate::resolve_plan(&plan, &p, &mut scope_of);
+
+        let mut seen: HashSet<VertexId> = HashSet::new();
+        let mut per_pair_expect: Vec<(usize, usize, usize)> = Vec::new();
+        for mv in &m.moves {
+            prop_assert!(!mv.vertices.is_empty(), "empty moves must be dropped");
+            for &v in &mv.vertices {
+                prop_assert!(seen.insert(v), "vertex {v:?} claimed by two moves");
+                prop_assert_eq!(
+                    p.worker_of(v).index(), mv.from,
+                    "resolved a vertex the source worker does not own"
+                );
+            }
+            match per_pair_expect.iter_mut().find(|(f, t, _)| (*f, *t) == (mv.from, mv.to)) {
+                Some((_, _, c)) => *c += mv.vertices.len(),
+                None => per_pair_expect.push((mv.from, mv.to, mv.vertices.len())),
+            }
+        }
+        per_pair_expect.sort_unstable();
+        prop_assert_eq!(m.moved_vertices, seen.len());
+        prop_assert_eq!(&m.per_pair, &per_pair_expect);
+
+        migrate::commit(&m, &mut p);
+        // No vertex lost or duplicated; every owner in range.
+        prop_assert_eq!(p.sizes().iter().sum::<usize>(), n);
+        for v in 0..n {
+            let v = VertexId(v as u32);
+            let owner = p.worker_of(v).index();
+            prop_assert!(owner < 4, "unresolvable owner");
+            let expected = m
+                .moves
+                .iter()
+                .find(|mv| mv.vertices.contains(&v))
+                .map(|mv| mv.to)
+                .unwrap_or(original[v.index()] as usize);
+            prop_assert_eq!(owner, expected);
+        }
+    }
+
+    /// End-to-end: the adaptive engine on random graphs with repartitions
+    /// forced at essentially arbitrary points still covers the graph with
+    /// exactly one owner per vertex and answers SSSP like Dijkstra.
+    #[test]
+    fn adaptive_engine_preserves_cover_and_answers(
+        (n, extra) in arb_graph(32),
+        seed in 0u64..40,
+    ) {
+        let g = build(n, &extra);
+        let parts = HashPartitioner::default().partition(&g, 3);
+        let cfg = SystemConfig {
+            qcut: Some(QcutConfig {
+                // Trigger at every opportunity: any non-local query mix
+                // repartitions as soon as the cooldown (scaled away)
+                // allows, so the repartition points vary with the
+                // graph/seed rather than a tuned schedule.
+                locality_threshold: 1.0,
+                min_repartition_interval_secs: 0.0,
+                ils_budget_secs: 1e-6,
+                ils_max_rounds: 8,
+                seed,
+                ..QcutConfig::default()
+            }),
+            max_parallel_queries: 4,
+            ..Default::default()
+        };
+        let mut e = SimEngine::new(Arc::clone(&g), ClusterModel::scale_up(3), parts, cfg);
+        let mut queries = Vec::new();
+        for i in 0..6u32 {
+            let s = VertexId((i * 5) % n as u32);
+            let t = VertexId((i * 11 + 3) % n as u32);
+            queries.push((s, t, e.submit(SsspProgram::new(s, t))));
+        }
+        e.run();
+        prop_assert_eq!(e.partitioning().num_vertices(), n);
+        prop_assert_eq!(e.partitioning().sizes().iter().sum::<usize>(), n);
+        for (s, t, h) in queries {
+            let want = dijkstra_to(&g, s, t);
+            let got = *e.output(&h).unwrap();
+            match (want, got) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-3),
+                (None, None) => {}
+                other => prop_assert!(false, "{s:?}->{t:?}: {other:?}"),
+            }
+        }
     }
 }
