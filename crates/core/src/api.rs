@@ -42,6 +42,7 @@ use crate::program::VertexProgram;
 use crate::query::{QueryHandle, QueryId, QueryOutcome};
 use crate::report::EngineReport;
 use crate::runtime::ThreadEngine;
+use crate::sched::AdmissionPolicy;
 use crate::task::{QueryTask, TypedTask};
 
 /// The shared multi-query engine lifecycle: submit heterogeneous queries,
@@ -213,6 +214,15 @@ impl EngineBuilder {
         self
     }
 
+    /// The admission policy draining the waiting backlog into free
+    /// closed-loop slots (shorthand for setting
+    /// [`SystemConfig::admission`]): FIFO, per-program-kind priorities, or
+    /// earliest deadline first. See [`crate::sched`].
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.config.admission = policy;
+        self
+    }
+
     /// Order-independent assembly: an explicit partitioning fixes the
     /// worker count, else an explicit `workers(k)`, else the cluster's,
     /// else 1. Conflicting explicit counts panic here with the
@@ -379,6 +389,21 @@ mod tests {
         let q = b.config.qcut.as_ref().unwrap();
         assert_eq!(q.qcut_interval, 5);
         assert_eq!(q.locality_threshold, 0.9);
+    }
+
+    #[test]
+    fn builder_threads_admission_policy_into_config() {
+        let b = EngineBuilder::new(line(8))
+            .workers(2)
+            .admission(AdmissionPolicy::Deadline);
+        assert_eq!(b.config.admission, AdmissionPolicy::Deadline);
+        let b = EngineBuilder::new(line(8))
+            .workers(2)
+            .admission(AdmissionPolicy::priorities(&[("poi", 5)]));
+        assert!(matches!(
+            b.config.admission,
+            AdmissionPolicy::ProgramPriority(_)
+        ));
     }
 
     #[test]

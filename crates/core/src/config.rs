@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::sched::AdmissionPolicy;
+
 /// How query iterations are synchronized (paper §3.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BarrierMode {
@@ -115,6 +117,10 @@ pub struct SystemConfig {
     /// Closed-loop concurrency: this many queries run in parallel; the next
     /// pending query starts when one finishes. Paper: 16.
     pub max_parallel_queries: usize,
+    /// How the waiting backlog drains into free closed-loop slots (see
+    /// [`crate::sched`]). FIFO reproduces the paper's batches; the other
+    /// policies reorder admission for mixed streams.
+    pub admission: AdmissionPolicy,
     /// Piggyback statistics on barrier messages (paper §3.4). When `false`,
     /// each stats update costs one extra control message per worker and
     /// iteration.
@@ -129,6 +135,7 @@ impl Default for SystemConfig {
             barrier_mode: BarrierMode::Hybrid,
             qcut: None,
             max_parallel_queries: 16,
+            admission: AdmissionPolicy::Fifo,
             stats_piggyback: true,
             state_bytes_per_vertex: 32,
         }
@@ -185,6 +192,11 @@ mod tests {
         let q = QcutConfig::time_scaled(100.0);
         assert_eq!(q.qcut_interval, QcutConfig::default().qcut_interval);
         assert!(q.monitoring_window_secs < QcutConfig::default().monitoring_window_secs);
+    }
+
+    #[test]
+    fn default_admission_is_fifo() {
+        assert_eq!(SystemConfig::default().admission, AdmissionPolicy::Fifo);
     }
 
     #[test]

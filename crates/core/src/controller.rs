@@ -58,16 +58,27 @@ impl Controller {
 
     /// Record a finished query's global scope; it stays visible for the
     /// monitoring window μ.
+    ///
+    /// Eviction runs here *as well as* at trigger evaluation: the window
+    /// is wall-clock in the thread runtime, so a burst of short queries
+    /// followed by a quiet period must not keep arbitrarily stale scopes
+    /// alive until the next query happens to finish.
     pub fn record_finished_scope(&mut self, query: QueryId, vertices: Vec<VertexId>, now: SimTime) {
-        let Some(cfg) = &self.cfg else { return };
-        let expires = now + SimTime::from_secs_f64(cfg.monitoring_window_secs);
+        let Some((window_secs, cap)) = self
+            .cfg
+            .as_ref()
+            .map(|c| (c.monitoring_window_secs, c.max_queries * 4))
+        else {
+            return;
+        };
+        self.expire(now);
+        let expires = now + SimTime::from_secs_f64(window_secs);
         self.finished.push_back(RetainedScope {
             query,
             vertices,
             expires,
         });
         // Bound memory: keep at most 4x the ILS input cap.
-        let cap = cfg.max_queries * 4;
         while self.finished.len() > cap {
             self.finished.pop_front();
         }
@@ -280,6 +291,20 @@ mod tests {
         assert_eq!(c.retained(), 1);
         c.expire(SimTime::from_secs(101));
         assert_eq!(c.retained(), 0);
+    }
+
+    #[test]
+    fn stale_scopes_evicted_on_insert_not_only_on_expire_calls() {
+        let mut c = ctl(); // 100 s monitoring window
+        c.record_finished_scope(QueryId(0), vec![VertexId(1)], SimTime::ZERO);
+        c.record_finished_scope(QueryId(1), vec![VertexId(2)], SimTime::from_secs(1));
+        assert_eq!(c.retained(), 2);
+        // A long quiet gap, then one more finish: the burst's scopes are
+        // long past their window and must not survive the insert.
+        c.record_finished_scope(QueryId(2), vec![VertexId(3)], SimTime::from_secs(500));
+        assert_eq!(c.retained(), 1);
+        assert_eq!(c.finished_scope(QueryId(0)), None);
+        assert_eq!(c.finished_scope(QueryId(2)), Some(&[VertexId(3)][..]));
     }
 
     #[test]

@@ -47,11 +47,15 @@ use crate::program::VertexProgram;
 use crate::qcut::{migrate, run_qcut, IlsResult};
 use crate::query::{QueryHandle, QueryId, QueryOutcome};
 use crate::report::{ActivitySample, EngineReport, RepartitionEvent};
+use crate::sched::{Scheduler, Submission};
 use crate::task::{Envelope, QueryTask, TypedTask};
 use crate::worker::Worker;
 
 #[derive(Clone, Debug)]
 enum Event {
+    /// A streamed query's virtual arrival time was reached: it enters the
+    /// admission queue (see [`SimEngine::submit_when`]).
+    Arrival { q: QueryId },
     /// Query `q` may run a superstep on worker `w`.
     TaskReady { q: QueryId, w: usize },
     /// Worker `w` finished computing query `q`'s superstep.
@@ -82,6 +86,11 @@ enum QueryStatus {
 struct QueryRun {
     task: Arc<dyn QueryTask>,
     status: QueryStatus,
+    /// Arrival: when the query entered the admission queue.
+    queued_at: SimTime,
+    /// Absolute deadline ([`crate::AdmissionPolicy::Deadline`]), if any.
+    deadline: Option<SimTime>,
+    /// Admission: when a closed-loop slot freed and execution began.
     submitted_at: SimTime,
     iteration: u32,
     local_iterations: u32,
@@ -115,7 +124,8 @@ pub struct SimEngine {
     events: EventQueue<Event>,
     queries: Vec<QueryRun>,
     outputs: Vec<Option<Envelope>>,
-    pending: VecDeque<QueryId>,
+    /// The policy-ordered admission queue (arrived, not yet admitted).
+    scheduler: Scheduler,
     in_flight: usize,
     /// STOP barrier in progress: no new barrier releases or query
     /// dispatches; in-flight supersteps drain to quiescence first.
@@ -179,6 +189,7 @@ impl SimEngine {
             graph,
             cluster,
             controller: Controller::new(cfg.qcut.clone()),
+            scheduler: Scheduler::new(cfg.admission.clone()),
             cfg,
             partitioning,
             workers: (0..k).map(Worker::new).collect(),
@@ -192,7 +203,6 @@ impl SimEngine {
             events: EventQueue::new(),
             queries: Vec::new(),
             outputs: Vec::new(),
-            pending: VecDeque::new(),
             in_flight: 0,
             paused: false,
             inflight_ready: 0,
@@ -218,15 +228,56 @@ impl SimEngine {
         QueryHandle::new(self.submit_task(Arc::new(TypedTask::new(program))))
     }
 
+    /// Submit with explicit arrival/deadline options: a [`Submission`]
+    /// with `at_secs` models an *open-loop streaming* arrival — the query
+    /// joins the admission queue only when the virtual clock reaches that
+    /// time (an arrival event), exactly like a client submitting against a
+    /// live serving engine. A `deadline_secs` feeds the
+    /// [`crate::AdmissionPolicy::Deadline`] policy.
+    pub fn submit_when<P: VertexProgram>(
+        &mut self,
+        program: P,
+        submission: Submission,
+    ) -> QueryHandle<P> {
+        QueryHandle::new(self.submit_task_when(Arc::new(TypedTask::new(program)), submission))
+    }
+
+    /// Shorthand for [`SimEngine::submit_when`] with only an arrival time.
+    pub fn submit_at<P: VertexProgram>(&mut self, program: P, at_secs: f64) -> QueryHandle<P> {
+        self.submit_when(program, Submission::at(at_secs))
+    }
+
     /// Type-erased submission backing [`SimEngine::submit`] (and the
     /// [`crate::Engine`] trait).
     pub fn submit_task(&mut self, task: Arc<dyn QueryTask>) -> QueryId {
+        self.submit_task_when(task, Submission::default())
+    }
+
+    /// Type-erased submission with arrival/deadline options (see
+    /// [`SimEngine::submit_when`]).
+    pub fn submit_task_when(
+        &mut self,
+        task: Arc<dyn QueryTask>,
+        submission: Submission,
+    ) -> QueryId {
         let id = QueryId(self.queries.len() as u32);
+        let now = self.events.now();
+        // An arrival in the past clamps to now: the clock never rewinds.
+        let arrival = submission
+            .at_secs
+            .map(|t| SimTime::from_secs_f64(t).max(now))
+            .unwrap_or(now);
+        let deadline = submission
+            .deadline_secs
+            .map(|d| arrival + SimTime::from_secs_f64(d));
+        let program = task.program_name();
         self.queries.push(QueryRun {
             agg_prev: task.aggregate_identity(),
             agg_acc: task.aggregate_identity(),
             task,
             status: QueryStatus::Queued,
+            queued_at: arrival,
+            deadline,
             submitted_at: SimTime::ZERO,
             iteration: 0,
             local_iterations: 0,
@@ -240,16 +291,32 @@ impl SimEngine {
             last_done_raw: SimTime::ZERO,
         });
         self.outputs.push(None);
-        self.pending.push_back(id);
+        if submission.at_secs.is_some() && arrival > now {
+            self.events.schedule(arrival, Event::Arrival { q: id });
+        } else {
+            self.scheduler.push(id, program, arrival, deadline);
+        }
         id
     }
 
-    /// Run until every submitted query has finished. Returns the report.
+    /// Run until every submitted query (including future [`Event::Arrival`]
+    /// submissions) has finished. Returns the cumulative report; the
+    /// window this call covers is the last entry of
+    /// [`EngineReport::runs`].
     pub fn run(&mut self) -> &EngineReport {
+        // Run boundary: a fresh activity sub-window, so a trigger early in
+        // this run never measures imbalance over a window spanning the
+        // idle gap since the previous run.
+        let run_started = self.events.now();
+        self.activity_window_start = run_started;
+        self.activity_window.iter_mut().for_each(|a| *a = 0);
+        self.last_activity_imbalance = 0.0;
+
         self.dispatch_pending();
         while let Some(ev) = self.events.pop() {
             let now = ev.at;
             match ev.payload {
+                Event::Arrival { q } => self.on_arrival(q),
                 Event::TaskReady { q, w } => {
                     self.inflight_ready -= 1;
                     self.on_task_ready(q, w);
@@ -267,6 +334,8 @@ impl SimEngine {
             }
         }
         self.report.finished_at_secs = self.events.now().as_secs_f64();
+        self.report
+            .close_run(run_started.as_secs_f64(), self.report.finished_at_secs);
         &self.report
     }
 
@@ -316,13 +385,23 @@ impl SimEngine {
     // Submission / dispatch
     // ------------------------------------------------------------------
 
+    /// A streamed query's arrival time was reached: admission-queue it.
+    /// During a STOP barrier the query parks in the queue exactly like a
+    /// resident one — `dispatch_pending` is gated on `paused`.
+    fn on_arrival(&mut self, q: QueryId) {
+        let run = &self.queries[q.index()];
+        self.scheduler
+            .push(q, run.task.program_name(), run.queued_at, run.deadline);
+        self.dispatch_pending();
+    }
+
     fn dispatch_pending(&mut self) {
         while !self.paused
             && self.in_flight < self.cfg.max_parallel_queries
-            && !self.pending.is_empty()
+            && !self.scheduler.is_empty()
         {
-            let q = self.pending.pop_front().expect("non-empty");
-            self.start_query(q);
+            let entry = self.scheduler.pop().expect("non-empty");
+            self.start_query(entry.q);
         }
     }
 
@@ -607,6 +686,7 @@ impl SimEngine {
         let outcome = QueryOutcome {
             id: q,
             program: task.program_name(),
+            queued_at: run.queued_at,
             submitted_at: run.submitted_at,
             completed_at: at,
             iterations: run.iteration,
@@ -628,12 +708,18 @@ impl SimEngine {
 
     /// Roll the activity sub-window and accumulate this superstep's work.
     fn record_activity(&mut self, now: SimTime, w: usize, executed: u64) {
-        if now >= self.activity_window_start + self.activity_window_len {
+        // Saturating comparison: with Q-cut off the window length is
+        // effectively infinite and `start + len` would overflow.
+        if now.saturating_sub(self.activity_window_start) >= self.activity_window_len {
             let total: u64 = self.activity_window.iter().sum();
-            if total > 0 {
+            // Guard, don't unwrap: with an aggressive trigger cadence the
+            // window can roll before any sample landed (or be evaluated on
+            // a degenerate worker set) — an empty/zero window simply
+            // carries no imbalance signal.
+            let max = self.activity_window.iter().copied().max().unwrap_or(0);
+            if total > 0 && max > 0 {
                 let mean = total as f64 / self.activity_window.len() as f64;
-                let max = *self.activity_window.iter().max().expect("non-empty") as f64;
-                self.last_activity_imbalance = max / mean - 1.0;
+                self.last_activity_imbalance = max as f64 / mean - 1.0;
             }
             self.activity_window.iter_mut().for_each(|a| *a = 0);
             self.activity_window_start = now;
@@ -661,6 +747,10 @@ impl SimEngine {
         if self.paused || self.controller.qcut_config().is_none() {
             return;
         }
+        // Trigger evaluation must only see scopes within the monitoring
+        // window — without this, a quiet stretch (no completions, so no
+        // expiry calls) would feed arbitrarily stale scopes to the ILS.
+        self.controller.expire(now);
         let (mean_locality, active) = self.mean_running_locality();
         if !self
             .controller

@@ -64,6 +64,7 @@ pub mod qcut;
 pub mod query;
 pub mod report;
 pub mod runtime;
+pub mod sched;
 pub mod task;
 pub mod worker;
 
@@ -72,5 +73,6 @@ pub use config::{BarrierMode, QcutConfig, SystemConfig};
 pub use engine::SimEngine;
 pub use program::{Context, VertexProgram};
 pub use query::{QueryHandle, QueryId, QueryOutcome};
-pub use report::{EngineReport, ProgramSummary};
-pub use runtime::ThreadEngine;
+pub use report::{EngineReport, ProgramSummary, RunSummary};
+pub use runtime::{EngineClient, ThreadEngine};
+pub use sched::{AdmissionPolicy, Submission};

@@ -97,7 +97,13 @@ pub struct QueryOutcome {
     /// [`VertexProgram::name`]) — keeps
     /// mixed-workload reports legible per query type.
     pub program: &'static str,
-    /// Submission (virtual) time.
+    /// When the query *arrived* at the engine (entered the waiting
+    /// queue). `completed_at - queued_at` is its time in system;
+    /// `submitted_at - queued_at` its queueing delay under the admission
+    /// policy.
+    pub queued_at: SimTime,
+    /// Admission (virtual) time: when a closed-loop slot freed up and the
+    /// query started executing.
     pub submitted_at: SimTime,
     /// Completion (virtual) time.
     pub completed_at: SimTime,
@@ -115,9 +121,22 @@ pub struct QueryOutcome {
 }
 
 impl QueryOutcome {
-    /// Query latency in virtual seconds.
+    /// Query latency in virtual seconds (admission to completion).
     pub fn latency_secs(&self) -> f64 {
         (self.completed_at.saturating_sub(self.submitted_at)).as_secs_f64()
+    }
+
+    /// Seconds spent waiting in the admission queue (arrival to admission)
+    /// — the metric the [`crate::sched`] policies trade against each
+    /// other.
+    pub fn queueing_delay_secs(&self) -> f64 {
+        (self.submitted_at.saturating_sub(self.queued_at)).as_secs_f64()
+    }
+
+    /// Seconds from arrival to completion: queueing delay plus execution
+    /// latency — what a streaming client observes end to end.
+    pub fn time_in_system_secs(&self) -> f64 {
+        (self.completed_at.saturating_sub(self.queued_at)).as_secs_f64()
     }
 
     /// Fraction of iterations executed fully locally (1.0 for a query that
@@ -139,6 +158,7 @@ mod tests {
         QueryOutcome {
             id: QueryId(0),
             program: "test",
+            queued_at: SimTime::ZERO,
             submitted_at: SimTime::from_secs(1),
             completed_at: SimTime::from_secs(3),
             iterations: iter,
@@ -147,6 +167,17 @@ mod tests {
             remote_messages: 2,
             scope_size: 5,
         }
+    }
+
+    #[test]
+    fn queueing_delay_and_time_in_system() {
+        let o = outcome(4, 2);
+        assert_eq!(o.queueing_delay_secs(), 1.0);
+        assert_eq!(o.time_in_system_secs(), 3.0);
+        assert_eq!(
+            o.time_in_system_secs(),
+            o.queueing_delay_secs() + o.latency_secs()
+        );
     }
 
     #[test]

@@ -43,7 +43,35 @@ pub struct RepartitionEvent {
     pub ils: IlsResult,
 }
 
-/// Everything measured during one engine run.
+/// One run window: a `run()` call (or, on the serving loop, the interval
+/// between two drains). The engines' reports are *cumulative* across the
+/// engine's lifetime; run windows give every outcome and repartition a
+/// well-defined home so multi-run and long-serving reports stay
+/// interpretable — a later window never silently mixes with an earlier
+/// one's samples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunSummary {
+    /// Zero-based run index.
+    pub index: usize,
+    /// When the window opened (virtual seconds; the previous window's end
+    /// for serving drains).
+    pub started_at_secs: f64,
+    /// When the window closed.
+    pub finished_at_secs: f64,
+    /// `outcomes[outcomes_start..outcomes_end]` completed in this window.
+    pub outcomes_start: usize,
+    /// End of this window's outcome range (exclusive).
+    pub outcomes_end: usize,
+    /// `repartitions[repartitions_start..repartitions_end]` fired in this
+    /// window.
+    pub repartitions_start: usize,
+    /// End of this window's repartition range (exclusive).
+    pub repartitions_end: usize,
+}
+
+/// Everything measured over an engine's lifetime (cumulative across
+/// `run()` calls / serving drains; see [`EngineReport::runs`] for the
+/// per-run boundaries).
 #[derive(Clone, Debug, Default)]
 pub struct EngineReport {
     /// Per-query outcomes, in completion order.
@@ -52,6 +80,8 @@ pub struct EngineReport {
     pub activity: Vec<ActivitySample>,
     /// Adaptive repartitioning events.
     pub repartitions: Vec<RepartitionEvent>,
+    /// Completed run windows, oldest first.
+    pub runs: Vec<RunSummary>,
     /// Virtual time at which the last query finished.
     pub finished_at_secs: f64,
 }
@@ -70,6 +100,61 @@ impl EngineReport {
     /// Mean per-query locality (the paper's Figure 6f metric).
     pub fn mean_locality(&self) -> f64 {
         qgraph_metrics::mean(self.outcomes.iter().map(|o| o.locality()))
+    }
+
+    /// Mean queueing delay (arrival to admission) — how long the admission
+    /// policy kept queries waiting. NaN when no query finished.
+    pub fn mean_queueing_delay(&self) -> f64 {
+        qgraph_metrics::mean(self.outcomes.iter().map(|o| o.queueing_delay_secs()))
+    }
+
+    /// Mean time in system (arrival to completion) — what a streaming
+    /// client observes. NaN when no query finished.
+    pub fn mean_time_in_system(&self) -> f64 {
+        qgraph_metrics::mean(self.outcomes.iter().map(|o| o.time_in_system_secs()))
+    }
+
+    /// Close the current run window at `finished_at_secs`: every outcome
+    /// and repartition recorded since the previous window becomes this
+    /// run's. Called by the engines at the end of `run()` / at each
+    /// serving drain.
+    pub(crate) fn close_run(&mut self, started_at_secs: f64, finished_at_secs: f64) {
+        let (o0, r0) = self
+            .runs
+            .last()
+            .map(|r| (r.outcomes_end, r.repartitions_end))
+            .unwrap_or((0, 0));
+        if self.outcomes.len() == o0 && self.repartitions.len() == r0 {
+            // Nothing happened since the last boundary (an idle drain, an
+            // empty run): recording an empty window would only add noise.
+            return;
+        }
+        self.runs.push(RunSummary {
+            index: self.runs.len(),
+            started_at_secs,
+            finished_at_secs,
+            outcomes_start: o0,
+            outcomes_end: self.outcomes.len(),
+            repartitions_start: r0,
+            repartitions_end: self.repartitions.len(),
+        });
+    }
+
+    /// The outcomes completed within run window `index` (empty for an
+    /// unknown index).
+    pub fn run_outcomes(&self, index: usize) -> &[QueryOutcome] {
+        self.runs
+            .get(index)
+            .map(|r| &self.outcomes[r.outcomes_start..r.outcomes_end])
+            .unwrap_or(&[])
+    }
+
+    /// The repartition events that fired within run window `index`.
+    pub fn run_repartitions(&self, index: usize) -> &[RepartitionEvent] {
+        self.runs
+            .get(index)
+            .map(|r| &self.repartitions[r.repartitions_start..r.repartitions_end])
+            .unwrap_or(&[])
     }
 
     /// Latency samples over completion time.
@@ -230,6 +315,7 @@ mod tests {
         QueryOutcome {
             id: QueryId(0),
             program: "test",
+            queued_at: SimTime::from_secs(sub),
             submitted_at: SimTime::from_secs(sub),
             completed_at: SimTime::from_secs(done),
             iterations: iters,
@@ -291,6 +377,38 @@ mod tests {
         assert!(r.imbalance_series(2, 1.0).is_empty());
         assert!(r.per_program().is_empty());
         assert_eq!(r.program_table().num_rows(), 0);
+    }
+
+    #[test]
+    fn run_windows_partition_the_cumulative_report() {
+        let mut r = EngineReport {
+            outcomes: vec![outcome(0, 2, 1, 2), outcome(1, 5, 4, 4)],
+            ..Default::default()
+        };
+        r.close_run(0.0, 5.0);
+        r.outcomes.push(outcome(6, 8, 1, 1));
+        r.close_run(5.0, 8.0);
+        assert_eq!(r.runs.len(), 2);
+        assert_eq!(r.run_outcomes(0).len(), 2);
+        assert_eq!(r.run_outcomes(1).len(), 1);
+        assert_eq!(r.run_outcomes(1)[0].completed_at, SimTime::from_secs(8));
+        assert!(r.run_outcomes(2).is_empty(), "unknown window is empty");
+        assert!(r.run_repartitions(0).is_empty());
+        assert_eq!(r.runs[1].index, 1);
+        assert!(r.runs[0].finished_at_secs <= r.runs[1].started_at_secs);
+    }
+
+    #[test]
+    fn queueing_aggregates() {
+        let mut a = outcome(1, 3, 1, 1);
+        a.queued_at = SimTime::ZERO; // 1 s queueing, 3 s in system
+        let b = outcome(2, 4, 1, 1); // 0 s queueing, 2 s in system
+        let r = EngineReport {
+            outcomes: vec![a, b],
+            ..Default::default()
+        };
+        assert_eq!(r.mean_queueing_delay(), 0.5);
+        assert_eq!(r.mean_time_in_system(), 2.5);
     }
 
     #[test]

@@ -7,13 +7,36 @@
 //! integration tests use it to cross-validate the simulator: both runtimes
 //! must produce identical query outputs.
 //!
-//! Since the heterogeneous-query redesign the thread runtime exposes the
-//! same submit/run/output lifecycle as [`crate::SimEngine`] (both behind
-//! the shared [`crate::Engine`] trait) instead of its old batch-only
-//! `run(Vec<P>)`: queries of *different* program types are queued through
-//! typed [`crate::QueryHandle`]s and executed concurrently under the
-//! closed loop (`max_parallel_queries`). Internally every query travels as
-//! a type-erased [`QueryTask`]; worker threads never see a program type.
+//! ## Streaming submission and the serving loop
+//!
+//! The engine is *long-lived*: [`ThreadEngine::start`] spawns the worker
+//! threads plus a **coordinator** thread that owns the drive loop, and the
+//! engine then serves an open-ended query stream. Callers on any thread
+//! submit through a cloneable [`EngineClient`] handle *while supersteps
+//! are in flight* — the channel protocol that already carried
+//! submit-during-barrier admissions now carries submit-during-run:
+//!
+//! * a submission registers its type-erased task in a shared registry
+//!   (which allocates the [`QueryId`]) and sends one message to the
+//!   coordinator; the coordinator stamps the arrival time and places the
+//!   query in the policy-ordered admission queue
+//!   ([`crate::sched::Scheduler`], selected by
+//!   [`SystemConfig::admission`]);
+//! * the closed loop (`max_parallel_queries`) admits from that queue
+//!   whenever a slot frees up — FIFO, per-program-kind priority, or
+//!   earliest-deadline-first ([`EngineClient::submit_with_deadline`]);
+//! * queries arriving while a Q-cut stop-the-world phase is pending or
+//!   running park in the admission queue exactly like resident parked
+//!   queries and are admitted against the *post-migration* layout;
+//! * [`ThreadEngine::drain`] blocks until the engine is idle (everything
+//!   submitted so far has completed) and syncs outputs + the report back
+//!   into the engine; [`ThreadEngine::shutdown`] drains, then stops the
+//!   coordinator and workers. [`ThreadEngine::run`] is `start` + `drain`,
+//!   which keeps the classic batch lifecycle working unchanged.
+//!
+//! Results become visible on the engine (`output`, `report`,
+//! `partitioning`) after `run`/`drain`/`shutdown` — the coordinator owns
+//! them while serving and the sync points hand them back.
 //!
 //! ## Adaptive Q-cut (stop-the-world)
 //!
@@ -30,8 +53,9 @@
 //! 2. **Aggregate** — every worker reports its live per-query scope
 //!    vertex sets; the coordinator builds the controller's high-level
 //!    [`ScopeStats`](crate::qcut::ScopeStats) (live scopes plus retained
-//!    finished scopes) and runs the same
-//!    [`qcut::run_qcut`](crate::qcut::run_qcut) ILS as the simulation.
+//!    finished scopes, expired against the monitoring window first) and
+//!    runs the same [`qcut::run_qcut`](crate::qcut::run_qcut) ILS as the
+//!    simulation.
 //! 3. **Migrate** — the resulting move plan is resolved into disjoint
 //!    vertex transfers by the shared [`qcut::migrate`] layer; each
 //!    transfer is extracted on its source worker thread and injected on
@@ -44,10 +68,13 @@
 //!
 //! Because the assignment only changes while every worker is parked and
 //! each worker swaps to the new assignment before executing another
-//! superstep, no message is ever routed to a stale owner.
+//! superstep, no message is ever routed to a stale owner. Client messages
+//! (submissions, drain requests) arriving *during* the phase are absorbed
+//! into the admission queue / waiter list without disturbing the barrier
+//! protocol.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread;
 use std::time::Instant;
 
@@ -63,8 +90,14 @@ use crate::program::VertexProgram;
 use crate::qcut::{migrate, run_qcut, IlsResult, Migration};
 use crate::query::{QueryHandle, QueryId, QueryOutcome};
 use crate::report::{ActivitySample, EngineReport, RepartitionEvent};
+use crate::sched::Scheduler;
 use crate::task::{Envelope, MessageBatch, QueryTask, TypedTask};
 use crate::worker::{LocalState, Worker};
+
+/// The shared, growable task registry: submissions (engine or any client)
+/// append under the lock, which also allocates the dense [`QueryId`];
+/// worker threads resolve ids through it.
+type TaskRegistry = Arc<RwLock<Vec<Arc<dyn QueryTask>>>>;
 
 enum Cmd {
     Deliver {
@@ -126,6 +159,77 @@ enum Resp {
     },
 }
 
+/// Everything the coordinator thread receives: worker responses plus the
+/// client-side protocol (submissions, drain requests, shutdown). One
+/// channel carries both so a submission can land at *any* point of the
+/// drive loop — including mid-barrier, where it is absorbed into the
+/// admission queue without disturbing the worker protocol.
+enum CoordMsg {
+    Worker(Resp),
+    /// A query was registered; admit it under the configured policy. The
+    /// deadline is relative seconds from arrival (stamped on receipt).
+    Submit {
+        q: QueryId,
+        deadline_secs: Option<f64>,
+    },
+    /// Reply on `ack` once the engine is idle (everything submitted so
+    /// far has completed).
+    Drain {
+        ack: Sender<Snapshot>,
+    },
+    /// Stop serving (the engine drains first; see
+    /// [`ThreadEngine::shutdown`]).
+    Shutdown,
+}
+
+/// The state a drain hands back to the engine: only the report entries
+/// appended since the previous drain (the engine holds an identical
+/// prefix, so appending the delta reconstitutes the cumulative report —
+/// a long-lived serve loop with periodic drains stays linear in history
+/// instead of re-cloning everything each time).
+struct Snapshot {
+    new_outcomes: Vec<QueryOutcome>,
+    new_activity: Vec<ActivitySample>,
+    new_repartitions: Vec<RepartitionEvent>,
+    new_runs: Vec<crate::report::RunSummary>,
+    finished_at_secs: f64,
+    partitioning: Partitioning,
+}
+
+/// How much of the coordinator's report the engine has already seen
+/// (delta baseline for the next drain snapshot).
+#[derive(Clone, Copy, Default)]
+struct SyncMarks {
+    outcomes: usize,
+    activity: usize,
+    repartitions: usize,
+    runs: usize,
+}
+
+impl SyncMarks {
+    fn of(report: &EngineReport) -> Self {
+        SyncMarks {
+            outcomes: report.outcomes.len(),
+            activity: report.activity.len(),
+            repartitions: report.repartitions.len(),
+            runs: report.runs.len(),
+        }
+    }
+}
+
+/// One finished query's output, streamed back to the engine.
+struct Completion {
+    q: QueryId,
+    output: Envelope,
+}
+
+/// What the coordinator thread returns when it stops.
+struct CoordinatorExit {
+    report: EngineReport,
+    partitioning: Partitioning,
+    controller: Controller,
+}
+
 struct QueryTracking {
     task: Arc<dyn QueryTask>,
     outstanding: usize,
@@ -150,25 +254,148 @@ struct QueryTracking {
     window_local: u32,
     vertex_updates: u64,
     remote_messages: u64,
+    /// Arrival time (entered the admission queue).
+    queued_at: SimTime,
+    /// Admission time (started executing).
     started_at: SimTime,
 }
 
-/// The multi-threaded runtime: one OS thread per worker partition, the
-/// same submit/run/output lifecycle as the simulated engine, and the same
+/// The serving clock: wall time since `start`, offset by the report's
+/// previous end so timestamps stay monotonic across serve sessions.
+struct Clock {
+    base: f64,
+    started: Instant,
+}
+
+impl Clock {
+    fn now(&self) -> SimTime {
+        SimTime::from_secs_f64(self.base + self.started.elapsed().as_secs_f64())
+    }
+}
+
+/// Client-protocol state the coordinator can update at *any* receive
+/// point: the policy-ordered admission queue, the drain waiters, and the
+/// shutdown flag.
+struct ClientState {
+    scheduler: Scheduler,
+    drain_waiters: Vec<Sender<Snapshot>>,
+    shutdown: bool,
+}
+
+impl ClientState {
+    /// Fold one message in; returns the worker response if it was one.
+    fn absorb(&mut self, msg: CoordMsg, tasks: &TaskRegistry, now: SimTime) -> Option<Resp> {
+        match msg {
+            CoordMsg::Worker(r) => Some(r),
+            CoordMsg::Submit { q, deadline_secs } => {
+                let program = tasks.read().expect("registry lock")[q.index()].program_name();
+                let deadline = deadline_secs.map(|d| now + SimTime::from_secs_f64(d));
+                self.scheduler.push(q, program, now, deadline);
+                None
+            }
+            CoordMsg::Drain { ack } => {
+                self.drain_waiters.push(ack);
+                None
+            }
+            CoordMsg::Shutdown => {
+                self.shutdown = true;
+                None
+            }
+        }
+    }
+}
+
+/// Block until a *worker* response arrives, absorbing any client messages
+/// that land in between (submit-during-barrier and friends).
+fn recv_worker(
+    rx: &Receiver<CoordMsg>,
+    cs: &mut ClientState,
+    tasks: &TaskRegistry,
+    now: SimTime,
+) -> Resp {
+    loop {
+        let msg = rx.recv().expect("engine handle and workers alive");
+        if let Some(r) = cs.absorb(msg, tasks, now) {
+            return r;
+        }
+    }
+}
+
+/// A cloneable submission handle into a serving [`ThreadEngine`]. Obtain
+/// one with [`ThreadEngine::client`]; clones can be moved to any thread
+/// and submit concurrently while the engine runs supersteps.
+///
+/// Submissions after the engine has shut down are silently dropped (the
+/// returned handle's output stays `None`) — a streaming producer racing a
+/// shutdown must coordinate externally if that matters.
+#[derive(Clone)]
+pub struct EngineClient {
+    tasks: TaskRegistry,
+    tx: Sender<CoordMsg>,
+}
+
+impl EngineClient {
+    /// Submit a query of any program type into the live stream.
+    pub fn submit<P: VertexProgram>(&self, program: P) -> QueryHandle<P> {
+        QueryHandle::new(self.submit_task(Arc::new(TypedTask::new(program)), None))
+    }
+
+    /// Submit with a deadline `deadline_secs` from now (consulted by
+    /// [`crate::AdmissionPolicy::Deadline`]).
+    pub fn submit_with_deadline<P: VertexProgram>(
+        &self,
+        program: P,
+        deadline_secs: f64,
+    ) -> QueryHandle<P> {
+        QueryHandle::new(self.submit_task(Arc::new(TypedTask::new(program)), Some(deadline_secs)))
+    }
+
+    /// Type-erased submission backing the typed ones.
+    pub fn submit_task(&self, task: Arc<dyn QueryTask>, deadline_secs: Option<f64>) -> QueryId {
+        let q = register_task(&self.tasks, task);
+        let _ = self.tx.send(CoordMsg::Submit { q, deadline_secs });
+        q
+    }
+}
+
+/// Append `task` to the shared registry, allocating its [`QueryId`].
+fn register_task(tasks: &TaskRegistry, task: Arc<dyn QueryTask>) -> QueryId {
+    let mut reg = tasks.write().expect("registry lock");
+    let q = QueryId(reg.len() as u32);
+    reg.push(task);
+    q
+}
+
+/// The serving-session handles the engine keeps while the coordinator
+/// thread runs.
+struct Serving {
+    tx: Sender<CoordMsg>,
+    done_rx: Receiver<Completion>,
+    handle: thread::JoinHandle<CoordinatorExit>,
+}
+
+/// The multi-threaded runtime: one OS thread per worker partition plus a
+/// coordinator thread serving an open-ended query stream, with the same
+/// submit/run/output lifecycle as the simulated engine and the same
 /// adaptive Q-cut loop running as a stop-the-world phase (see the module
-/// docs for the barrier protocol).
+/// docs for the streaming and barrier protocols).
 pub struct ThreadEngine {
     graph: Arc<Graph>,
-    /// The coordinator's master copy of the vertex→worker assignment;
-    /// workers hold `Arc` snapshots refreshed at every repartition.
+    /// The engine's copy of the vertex→worker assignment, synced from the
+    /// coordinator at every drain (the coordinator holds the master while
+    /// serving).
     partitioning: Partitioning,
     cfg: SystemConfig,
-    controller: Controller,
-    tasks: Vec<Arc<dyn QueryTask>>,
+    /// Present while *not* serving; moved into the coordinator for the
+    /// session and handed back at shutdown, so retained finished scopes
+    /// survive serve sessions.
+    controller: Option<Controller>,
+    tasks: TaskRegistry,
     outputs: Vec<Option<Envelope>>,
-    /// Queries submitted but not yet executed by a `run` call.
-    pending: Vec<QueryId>,
+    /// Submissions made before `start` (forwarded when serving begins).
+    pre_submitted: Vec<(QueryId, Option<f64>)>,
     report: EngineReport,
+    serving: Option<Serving>,
 }
 
 impl ThreadEngine {
@@ -179,9 +406,10 @@ impl ThreadEngine {
     }
 
     /// Create a runtime with an explicit configuration. The thread runtime
-    /// honors `max_parallel_queries` and — when `qcut` is set with a
-    /// non-zero `qcut_interval` — the adaptive repartitioning loop;
-    /// barrier mode and the simulated cost model remain simulation-only.
+    /// honors `max_parallel_queries`, the admission policy, and — when
+    /// `qcut` is set with a non-zero `qcut_interval` — the adaptive
+    /// repartitioning loop; barrier mode and the simulated cost model
+    /// remain simulation-only.
     pub fn with_config(graph: Arc<Graph>, partitioning: Partitioning, cfg: SystemConfig) -> Self {
         assert_eq!(
             partitioning.num_vertices(),
@@ -191,70 +419,205 @@ impl ThreadEngine {
         ThreadEngine {
             graph,
             partitioning,
-            controller: Controller::new(cfg.qcut.clone()),
+            controller: Some(Controller::new(cfg.qcut.clone())),
             cfg,
-            tasks: Vec::new(),
+            tasks: Arc::new(RwLock::new(Vec::new())),
             outputs: Vec::new(),
-            pending: Vec::new(),
+            pre_submitted: Vec::new(),
             report: EngineReport::default(),
+            serving: None,
         }
     }
 
-    /// Enqueue a query of any program type for the next [`ThreadEngine::run`].
+    /// Enqueue a query of any program type; it starts as soon as a
+    /// closed-loop slot frees up once the engine is serving (or at the
+    /// next [`ThreadEngine::run`]).
     pub fn submit<P: VertexProgram>(&mut self, program: P) -> QueryHandle<P> {
         QueryHandle::new(self.submit_task(Arc::new(TypedTask::new(program))))
+    }
+
+    /// Submit with a deadline `deadline_secs` from arrival (consulted by
+    /// [`crate::AdmissionPolicy::Deadline`]).
+    pub fn submit_with_deadline<P: VertexProgram>(
+        &mut self,
+        program: P,
+        deadline_secs: f64,
+    ) -> QueryHandle<P> {
+        QueryHandle::new(
+            self.submit_task_opts(Arc::new(TypedTask::new(program)), Some(deadline_secs)),
+        )
     }
 
     /// Type-erased submission backing [`ThreadEngine::submit`] (and the
     /// [`crate::Engine`] trait).
     pub fn submit_task(&mut self, task: Arc<dyn QueryTask>) -> QueryId {
-        let id = QueryId(self.tasks.len() as u32);
-        self.tasks.push(task);
-        self.outputs.push(None);
-        self.pending.push(id);
-        id
+        self.submit_task_opts(task, None)
     }
 
-    /// Execute every pending query to completion on real threads; results
-    /// are retrieved through the handles. Returns the cumulative report
-    /// (outcome timestamps are wall-clock seconds since this call).
-    pub fn run(&mut self) -> &EngineReport {
-        let queue: Vec<QueryId> = std::mem::take(&mut self.pending);
-        if queue.is_empty() {
-            return &self.report;
+    fn submit_task_opts(
+        &mut self,
+        task: Arc<dyn QueryTask>,
+        deadline_secs: Option<f64>,
+    ) -> QueryId {
+        let q = register_task(&self.tasks, task);
+        if self.outputs.len() <= q.index() {
+            self.outputs.resize_with(q.index() + 1, || None);
+        }
+        match &self.serving {
+            Some(s) => {
+                let _ = s.tx.send(CoordMsg::Submit { q, deadline_secs });
+            }
+            None => self.pre_submitted.push((q, deadline_secs)),
+        }
+        q
+    }
+
+    /// Start serving: spawn the worker threads and the coordinator thread
+    /// owning the drive loop. Idempotent. Queries submitted before this
+    /// call are forwarded in submission order.
+    pub fn start(&mut self) {
+        if self.serving.is_some() {
+            return;
         }
         let k = self.partitioning.num_workers();
-        let registry: Arc<Vec<Arc<dyn QueryTask>>> = Arc::new(self.tasks.clone());
+        let (msg_tx, msg_rx) = channel::<CoordMsg>();
+        let (done_tx, done_rx) = channel::<Completion>();
         let shared_parts = Arc::new(self.partitioning.clone());
-        let (resp_tx, resp_rx) = channel::<Resp>();
         let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(k);
-        let mut handles = Vec::with_capacity(k);
-
+        let mut worker_handles = Vec::with_capacity(k);
         for w in 0..k {
             let (tx, rx) = channel::<Cmd>();
             cmd_txs.push(tx);
             let graph = Arc::clone(&self.graph);
             let partitioning = Arc::clone(&shared_parts);
-            let registry = Arc::clone(&registry);
-            let resp = resp_tx.clone();
-            handles.push(thread::spawn(move || {
+            let registry = Arc::clone(&self.tasks);
+            let resp = msg_tx.clone();
+            worker_handles.push(thread::spawn(move || {
                 worker_loop(w, graph, partitioning, registry, rx, resp);
             }));
         }
-        drop(resp_tx);
 
-        self.drive(queue, &cmd_txs, resp_rx);
+        let coordinator = Coordinator {
+            graph: Arc::clone(&self.graph),
+            cfg: self.cfg.clone(),
+            controller: self
+                .controller
+                .take()
+                .expect("controller present while not serving"),
+            partitioning: self.partitioning.clone(),
+            tasks: Arc::clone(&self.tasks),
+            // The coordinator continues the cumulative report; the engine
+            // keeps its identical copy and appends drain deltas to it.
+            report: self.report.clone(),
+        };
+        let handle =
+            thread::spawn(move || coordinator.serve(cmd_txs, msg_rx, worker_handles, done_tx));
 
-        for tx in &cmd_txs {
-            let _ = tx.send(Cmd::Shutdown);
+        for (q, deadline_secs) in std::mem::take(&mut self.pre_submitted) {
+            let _ = msg_tx.send(CoordMsg::Submit { q, deadline_secs });
         }
-        for h in handles {
-            h.join().expect("worker thread panicked");
+        self.serving = Some(Serving {
+            tx: msg_tx,
+            done_rx,
+            handle,
+        });
+    }
+
+    /// A cloneable concurrent submission handle (starts the engine if it
+    /// is not serving yet). Clients submit from any thread while
+    /// supersteps are in flight.
+    pub fn client(&mut self) -> EngineClient {
+        self.start();
+        let s = self.serving.as_ref().expect("serving after start");
+        EngineClient {
+            tasks: Arc::clone(&self.tasks),
+            tx: s.tx.clone(),
+        }
+    }
+
+    /// Block until everything submitted so far has completed, then sync
+    /// outputs, report, and partitioning back into the engine. One run
+    /// window ([`crate::RunSummary`]) closes per drain. If concurrent
+    /// clients keep submitting, the drain waits for *them* too — it
+    /// returns at a moment the engine is fully idle. Starts the engine if
+    /// there are pre-start submissions waiting (a `submit` + `drain` pair
+    /// must never silently skip the query).
+    pub fn drain(&mut self) -> &EngineReport {
+        if self.serving.is_none() {
+            if self.pre_submitted.is_empty() {
+                return &self.report;
+            }
+            self.start();
+        }
+        let s = self.serving.as_ref().expect("serving ensured above");
+        let (ack_tx, ack_rx) = channel::<Snapshot>();
+        s.tx.send(CoordMsg::Drain { ack: ack_tx })
+            .expect("coordinator alive");
+        let snapshot = ack_rx.recv().expect("coordinator alive");
+        self.report.outcomes.extend(snapshot.new_outcomes);
+        self.report.activity.extend(snapshot.new_activity);
+        self.report.repartitions.extend(snapshot.new_repartitions);
+        self.report.runs.extend(snapshot.new_runs);
+        self.report.finished_at_secs = snapshot.finished_at_secs;
+        self.partitioning = snapshot.partitioning;
+        self.sync_outputs();
+        &self.report
+    }
+
+    /// Execute every pending query to completion; equivalent to
+    /// [`ThreadEngine::start`] followed by [`ThreadEngine::drain`]. The
+    /// engine keeps serving afterwards (subsequent submissions stream into
+    /// the same session); it stops at [`ThreadEngine::shutdown`] or drop.
+    pub fn run(&mut self) -> &EngineReport {
+        self.start();
+        self.drain()
+    }
+
+    /// Drain, then stop the coordinator and worker threads and take the
+    /// final report/partitioning/controller state back. The engine can be
+    /// started again afterwards. A client submission racing the stop is
+    /// still *executed* if the coordinator had already admitted it (its
+    /// outcome and output are in the final state); one still waiting in
+    /// the admission queue is discarded, like any submission after
+    /// shutdown.
+    pub fn shutdown(&mut self) -> &EngineReport {
+        if self.serving.is_none() {
+            return &self.report;
+        }
+        self.drain();
+        let s = self.serving.take().expect("serving checked above");
+        let _ = s.tx.send(CoordMsg::Shutdown);
+        let exit = s.handle.join().expect("coordinator thread panicked");
+        self.report = exit.report;
+        self.partitioning = exit.partitioning;
+        self.controller = Some(exit.controller);
+        // Any completions raced between the drain ack and the stop.
+        while let Ok(c) = s.done_rx.try_recv() {
+            self.store_output(c);
         }
         &self.report
     }
 
-    /// The output of a finished query, recovered through its typed handle.
+    fn sync_outputs(&mut self) {
+        let Some(s) = &self.serving else { return };
+        let mut received = Vec::new();
+        while let Ok(c) = s.done_rx.try_recv() {
+            received.push(c);
+        }
+        for c in received {
+            self.store_output(c);
+        }
+    }
+
+    fn store_output(&mut self, c: Completion) {
+        if self.outputs.len() <= c.q.index() {
+            self.outputs.resize_with(c.q.index() + 1, || None);
+        }
+        self.outputs[c.q.index()] = Some(c.output);
+    }
+
+    /// The output of a finished query, recovered through its typed handle
+    /// (visible after `run`/`drain`/`shutdown`).
     pub fn output<P: VertexProgram>(&self, handle: &QueryHandle<P>) -> Option<&P::Output> {
         self.output_as::<P>(handle.id())
     }
@@ -273,37 +636,83 @@ impl ThreadEngine {
     /// Take ownership of a finished query's output.
     pub fn take_output<P: VertexProgram>(&mut self, handle: &QueryHandle<P>) -> Option<P::Output> {
         let slot = self.outputs.get_mut(handle.id().index())?;
+        // Only take the envelope if it downcasts to the handle's type.
         slot.as_ref()?.downcast_ref::<P::Output>()?;
         slot.take()
             .and_then(|b| b.downcast::<P::Output>().ok())
             .map(|b| *b)
     }
 
-    /// The cumulative measurement report over every completed `run`.
+    /// The cumulative measurement report over the engine's lifetime, as of
+    /// the last sync point (`run`/`drain`/`shutdown`).
     pub fn report(&self) -> &EngineReport {
         &self.report
     }
 
-    /// The current vertex→worker assignment (mutated by repartitionings).
+    /// The vertex→worker assignment as of the last sync point (mutated by
+    /// repartitionings while serving).
     pub fn partitioning(&self) -> &Partitioning {
         &self.partitioning
     }
+}
 
-    fn drive(&mut self, queue: Vec<QueryId>, cmd_txs: &[Sender<Cmd>], resp_rx: Receiver<Resp>) {
-        // One monotonic time base across run() calls: this run's
-        // timestamps continue from the previous run's end, so the
+impl Drop for ThreadEngine {
+    /// Best-effort teardown *without* draining: already-admitted queries
+    /// finish their run (their results are simply discarded with the
+    /// engine), queued ones are dropped (use [`ThreadEngine::shutdown`]
+    /// for a clean stop that keeps the results).
+    fn drop(&mut self) {
+        if let Some(s) = self.serving.take() {
+            let _ = s.tx.send(CoordMsg::Shutdown);
+            let _ = s.handle.join();
+        }
+    }
+}
+
+/// The coordinator: owns the drive loop while the engine serves. All of
+/// the engine's measurement state lives here for the session and flows
+/// back through drain snapshots / the exit value.
+struct Coordinator {
+    graph: Arc<Graph>,
+    cfg: SystemConfig,
+    controller: Controller,
+    partitioning: Partitioning,
+    tasks: TaskRegistry,
+    report: EngineReport,
+}
+
+impl Coordinator {
+    /// The serving loop: runs until [`CoordMsg::Shutdown`], then stops the
+    /// workers and returns the final state.
+    fn serve(
+        mut self,
+        cmd_txs: Vec<Sender<Cmd>>,
+        msg_rx: Receiver<CoordMsg>,
+        worker_handles: Vec<thread::JoinHandle<()>>,
+        done_tx: Sender<Completion>,
+    ) -> CoordinatorExit {
+        // One monotonic time base across serve sessions: this session's
+        // timestamps continue from the previous report's end, so the
         // cumulative report's outcomes and `finished_at_secs` agree.
-        let base = self.report.finished_at_secs;
-        let started = Instant::now();
-        let now =
-            move |started: &Instant| SimTime::from_secs_f64(base + started.elapsed().as_secs_f64());
+        let clock = Clock {
+            base: self.report.finished_at_secs,
+            started: Instant::now(),
+        };
         let k = cmd_txs.len();
+        let tasks = Arc::clone(&self.tasks);
+        let mut cs = ClientState {
+            scheduler: Scheduler::new(self.cfg.admission.clone()),
+            drain_waiters: Vec::new(),
+            shutdown: false,
+        };
         let mut tracking: FxHashMap<QueryId, QueryTracking> = FxHashMap::default();
-        let mut finished = 0usize;
-        let total = queue.len();
-        let mut waiting: std::collections::VecDeque<QueryId> = queue.into();
         let max_parallel = self.cfg.max_parallel_queries.max(1);
         let mut in_flight = 0usize;
+        // The current run window opens where the previous one closed.
+        let mut run_started = clock.base;
+        // The engine holds an identical report prefix; drains ship only
+        // what was appended past these marks.
+        let mut synced = SyncMarks::of(&self.report);
 
         // Stop-the-world repartition state. `inflight_ops` counts Step and
         // Collect commands awaiting a response: zero while a barrier is
@@ -317,9 +726,11 @@ impl ThreadEngine {
         let mut parked: Vec<(QueryId, Vec<usize>)> = Vec::new();
         let mut inflight_ops = 0usize;
 
-        // Start a fresh trigger-evaluation window: used both when a
-        // checkpoint declines to repartition and when a barrier ends, so
-        // every windowed counter resets at exactly the same points.
+        // Start a fresh trigger-evaluation window: used when a checkpoint
+        // declines to repartition, when a barrier ends, and when the
+        // engine goes idle at a drain — every windowed counter resets at
+        // exactly the same points, and an idle gap can never leak stale
+        // skew into the next burst's trigger.
         macro_rules! reset_trigger_window {
             () => {{
                 supersteps_since = 0;
@@ -352,25 +763,32 @@ impl ThreadEngine {
             }};
         }
 
-        // Closed-loop seeding: start a query; returns false if it finished
-        // immediately (no initial messages).
+        // Closed-loop seeding: start a query popped from the admission
+        // queue; returns false if it finished immediately (no initial
+        // messages).
         macro_rules! start_query {
-            ($q:expr) => {{
-                let q: QueryId = $q;
-                let task = Arc::clone(&self.tasks[q.index()]);
+            ($entry:expr) => {{
+                let entry: crate::sched::QueueEntry = $entry;
+                let q = entry.q;
+                let task = Arc::clone(&self.tasks.read().expect("registry lock")[q.index()]);
                 let batches = {
                     // Route against the *current* assignment: earlier
-                    // repartitions of this run have already moved it on.
+                    // repartitions of this session have already moved on.
                     let route = |v: VertexId| self.partitioning.worker_of(v).index();
                     task.initial_batches(&self.graph, &route)
                 };
                 if batches.is_empty() {
                     // No initial messages: finalize over the empty state set.
-                    let at = now(&started);
-                    self.outputs[q.index()] = Some(task.finalize(&self.graph, Vec::new()));
+                    let at = clock.now();
+                    let _ = done_tx.send(Completion {
+                        q,
+                        output: task.finalize(&self.graph, Vec::new()),
+                    });
+                    self.report.finished_at_secs = at.as_secs_f64();
                     self.report.outcomes.push(QueryOutcome {
                         id: q,
                         program: task.program_name(),
+                        queued_at: entry.enqueued_at,
                         submitted_at: at,
                         completed_at: at,
                         iterations: 0,
@@ -379,7 +797,6 @@ impl ThreadEngine {
                         remote_messages: 0,
                         scope_size: 0,
                     });
-                    finished += 1;
                     false
                 } else {
                     let mut t = QueryTracking {
@@ -399,7 +816,8 @@ impl ThreadEngine {
                         window_local: 0,
                         vertex_updates: 0,
                         remote_messages: 0,
-                        started_at: now(&started),
+                        queued_at: entry.enqueued_at,
+                        started_at: clock.now(),
                     };
                     for (w, batch) in batches {
                         t.touched.insert(w);
@@ -421,23 +839,32 @@ impl ThreadEngine {
             }};
         }
 
-        while in_flight < max_parallel {
-            let Some(q) = waiting.pop_front() else { break };
-            if start_query!(q) {
-                in_flight += 1;
-            }
+        // Admit waiting queries into free closed-loop slots (held back
+        // while a repartition barrier is pending, and once a shutdown is
+        // requested — already-admitted queries finish, queued ones drop).
+        macro_rules! admit {
+            () => {{
+                while !repart_pending && !cs.shutdown && in_flight < max_parallel {
+                    let Some(entry) = cs.scheduler.pop() else {
+                        break;
+                    };
+                    if start_query!(entry) {
+                        in_flight += 1;
+                    }
+                }
+            }};
         }
 
-        // Event loop.
-        while finished < total {
+        // The serving loop.
+        loop {
             // Stop-the-world Q-cut phase: runs once the in-flight work has
             // drained (every tracked query is then parked or collected).
             if repart_pending && inflight_ops == 0 {
-                let entered_at = now(&started).as_secs_f64();
-                let outcome = self.qcut_barrier(&mut tracking, cmd_txs, &resp_rx);
+                let entered_at = clock.now().as_secs_f64();
+                let outcome = self.qcut_barrier(&mut tracking, &cmd_txs, &msg_rx, &mut cs, &clock);
                 let applied = outcome.is_some();
                 if let Some((ils, migration, locality_before, locality_after)) = outcome {
-                    let applied_at = now(&started).as_secs_f64();
+                    let applied_at = clock.now().as_secs_f64();
                     self.report.repartitions.push(RepartitionEvent {
                         triggered_at: repart_triggered_at,
                         applied_at,
@@ -452,12 +879,12 @@ impl ThreadEngine {
                     // The migration moved pending inboxes between workers:
                     // rebuild every parked query's involved set from the
                     // workers' post-migration pending reports.
-                    for tx in cmd_txs {
+                    for tx in &cmd_txs {
                         tx.send(Cmd::PendingReport).expect("worker alive");
                     }
                     let mut pending_on: FxHashMap<QueryId, Vec<usize>> = FxHashMap::default();
                     for _ in 0..k {
-                        match resp_rx.recv().expect("workers alive") {
+                        match recv_worker(&msg_rx, &mut cs, &tasks, clock.now()) {
                             Resp::Pending { worker, queries } => {
                                 for q in queries {
                                     pending_on.entry(q).or_default().push(worker);
@@ -496,16 +923,57 @@ impl ThreadEngine {
                 }
                 repart_pending = false;
                 reset_trigger_window!();
-                while in_flight < max_parallel {
-                    let Some(nq) = waiting.pop_front() else { break };
-                    if start_query!(nq) {
-                        in_flight += 1;
-                    }
-                }
+                admit!();
                 continue;
             }
 
-            let resp = resp_rx.recv().expect("workers alive while queries pending");
+            // Drain acks fire at full idle: nothing tracked, waiting,
+            // parked, or mid-barrier. Each ack closes one run window.
+            if !cs.drain_waiters.is_empty()
+                && tracking.is_empty()
+                && cs.scheduler.is_empty()
+                && parked.is_empty()
+                && !repart_pending
+                && inflight_ops == 0
+            {
+                let end = clock.now().as_secs_f64();
+                self.report.finished_at_secs = end;
+                self.report.close_run(run_started, end);
+                run_started = end;
+                reset_trigger_window!();
+                for ack in cs.drain_waiters.drain(..) {
+                    // Only the delta past the engine's synced prefix; a
+                    // second waiter in the same idle moment gets an empty
+                    // one (its engine-side state is already current).
+                    let _ = ack.send(Snapshot {
+                        new_outcomes: self.report.outcomes[synced.outcomes..].to_vec(),
+                        new_activity: self.report.activity[synced.activity..].to_vec(),
+                        new_repartitions: self.report.repartitions[synced.repartitions..].to_vec(),
+                        new_runs: self.report.runs[synced.runs..].to_vec(),
+                        finished_at_secs: self.report.finished_at_secs,
+                        partitioning: self.partitioning.clone(),
+                    });
+                    synced = SyncMarks::of(&self.report);
+                }
+            }
+
+            // Stop only once admitted work has finished: a submission the
+            // coordinator already started executing is never abandoned
+            // (its completion streams out and shutdown() collects it).
+            if cs.shutdown && tracking.is_empty() && parked.is_empty() && inflight_ops == 0 {
+                break;
+            }
+
+            let Ok(msg) = msg_rx.recv() else {
+                // Every sender (engine handle included) is gone.
+                break;
+            };
+            let Some(resp) = cs.absorb(msg, &tasks, clock.now()) else {
+                if !repart_pending {
+                    admit!();
+                }
+                continue;
+            };
             match resp {
                 Resp::StepDone {
                     q,
@@ -518,7 +986,7 @@ impl ThreadEngine {
                 } => {
                     inflight_ops -= 1;
                     self.report.activity.push(ActivitySample {
-                        t: now(&started).as_secs_f64(),
+                        t: clock.now().as_secs_f64(),
                         worker,
                         executed: executed as u64,
                     });
@@ -609,7 +1077,7 @@ impl ThreadEngine {
                                     active,
                                 ) {
                                     repart_pending = true;
-                                    repart_triggered_at = now(&started).as_secs_f64();
+                                    repart_triggered_at = clock.now().as_secs_f64();
                                 } else {
                                     reset_trigger_window!();
                                 }
@@ -624,7 +1092,7 @@ impl ThreadEngine {
                     t.collecting -= 1;
                     if t.collecting == 0 {
                         let t = tracking.remove(&q).expect("present");
-                        let at = now(&started);
+                        let at = clock.now();
                         let scope_size: u64 = t.locals.iter().map(|l| l.scope_size() as u64).sum();
                         if qcut_enabled {
                             // Retain the scope for the monitoring window
@@ -634,10 +1102,15 @@ impl ThreadEngine {
                             self.controller.record_finished_scope(q, scope, at);
                             self.controller.expire(at);
                         }
-                        self.outputs[q.index()] = Some(t.task.finalize(&self.graph, t.locals));
+                        let _ = done_tx.send(Completion {
+                            q,
+                            output: t.task.finalize(&self.graph, t.locals),
+                        });
+                        self.report.finished_at_secs = at.as_secs_f64();
                         self.report.outcomes.push(QueryOutcome {
                             id: q,
                             program: t.task.program_name(),
+                            queued_at: t.queued_at,
                             submitted_at: t.started_at,
                             completed_at: at,
                             iterations: t.iterations,
@@ -646,22 +1119,38 @@ impl ThreadEngine {
                             remote_messages: t.remote_messages,
                             scope_size,
                         });
-                        finished += 1;
                         in_flight -= 1;
                         // Closed loop: admit the next waiting query (held
                         // back while a repartition barrier is pending).
-                        while !repart_pending && in_flight < max_parallel {
-                            let Some(nq) = waiting.pop_front() else { break };
-                            if start_query!(nq) {
-                                in_flight += 1;
-                            }
-                        }
+                        admit!();
                     }
                 }
                 _ => unreachable!("barrier responses are consumed synchronously"),
             }
         }
-        self.report.finished_at_secs = base + started.elapsed().as_secs_f64();
+
+        // Teardown: stop the workers while the message channel is still
+        // open (a mid-step worker must be able to send its response), then
+        // close any trailing run window so every outcome has a home.
+        for tx in &cmd_txs {
+            let _ = tx.send(Cmd::Shutdown);
+        }
+        for h in worker_handles {
+            h.join().expect("worker thread panicked");
+        }
+        let runs_before = self.report.runs.len();
+        let end = clock.now().as_secs_f64();
+        // `close_run` no-ops when nothing happened past the last boundary
+        // (the normal case: shutdown() drained first).
+        self.report.close_run(run_started, end);
+        if self.report.runs.len() > runs_before {
+            self.report.finished_at_secs = end;
+        }
+        CoordinatorExit {
+            report: self.report,
+            partitioning: self.partitioning,
+            controller: self.controller,
+        }
     }
 
     /// The stop-the-world Q-cut phase body (workers quiescent): gather
@@ -674,10 +1163,17 @@ impl ThreadEngine {
         &mut self,
         tracking: &mut FxHashMap<QueryId, QueryTracking>,
         cmd_txs: &[Sender<Cmd>],
-        resp_rx: &Receiver<Resp>,
+        msg_rx: &Receiver<CoordMsg>,
+        cs: &mut ClientState,
+        clock: &Clock,
     ) -> Option<(IlsResult, Migration, f64, f64)> {
         let cfg = self.cfg.qcut.clone()?;
         let k = cmd_txs.len();
+        let tasks = Arc::clone(&self.tasks);
+        // Trigger evaluation only sees scopes within the monitoring
+        // window — a burst of short queries followed by quiet must not
+        // keep stale scopes feeding the ILS.
+        self.controller.expire(clock.now());
 
         // Aggregate per-scope statistics from the live query state.
         for tx in cmd_txs {
@@ -686,7 +1182,7 @@ impl ThreadEngine {
         let mut scope_map: FxHashMap<(QueryId, usize), Vec<VertexId>> = FxHashMap::default();
         let mut per_query: FxHashMap<QueryId, Vec<VertexId>> = FxHashMap::default();
         for _ in 0..k {
-            match resp_rx.recv().expect("workers alive") {
+            match recv_worker(msg_rx, cs, &tasks, clock.now()) {
                 Resp::Scopes { worker, scopes } => {
                     for (q, vs) in scopes {
                         if !tracking.contains_key(&q) {
@@ -749,7 +1245,7 @@ impl ThreadEngine {
                         .expect("worker alive");
                 }
                 for _ in 0..migration.moves.len() {
-                    let (token, data) = match resp_rx.recv().expect("workers alive") {
+                    let (token, data) = match recv_worker(msg_rx, cs, &tasks, clock.now()) {
                         Resp::Extracted { token, data } => (token, data),
                         _ => unreachable!("quiesced workers only answer the extract"),
                     };
@@ -782,24 +1278,28 @@ fn worker_loop(
     id: usize,
     graph: Arc<Graph>,
     mut partitioning: Arc<Partitioning>,
-    registry: Arc<Vec<Arc<dyn QueryTask>>>,
+    registry: TaskRegistry,
     rx: Receiver<Cmd>,
-    resp: Sender<Resp>,
+    resp: Sender<CoordMsg>,
 ) {
     let mut worker = Worker::new(id);
-    let task_of = |q: QueryId| -> Arc<dyn QueryTask> { Arc::clone(&registry[q.index()]) };
+    let task_of = |q: QueryId| -> Arc<dyn QueryTask> {
+        Arc::clone(&registry.read().expect("registry lock")[q.index()])
+    };
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Cmd::Deliver { q, batch } => {
-                worker.deliver(registry[q.index()].as_ref(), q, batch);
+                let task = task_of(q);
+                worker.deliver(task.as_ref(), q, batch);
             }
             Cmd::Step { q, prev_agg } => {
-                let task = registry[q.index()].as_ref();
+                let task = task_of(q);
                 worker.freeze(q);
                 let route = |v: VertexId| partitioning.worker_of(v).index();
-                let (stats, agg, remote) = worker.execute(q, task, &graph, &prev_agg, &route);
+                let (stats, agg, remote) =
+                    worker.execute(q, task.as_ref(), &graph, &prev_agg, &route);
                 let self_pending = worker.has_pending(q);
-                resp.send(Resp::StepDone {
+                resp.send(CoordMsg::Worker(Resp::StepDone {
                     q,
                     executed: stats.executed,
                     remote_sent: stats.remote_deliveries as u64,
@@ -807,13 +1307,13 @@ fn worker_loop(
                     remote,
                     self_pending,
                     worker: id,
-                })
-                .expect("controller alive");
+                }))
+                .expect("coordinator alive");
             }
             Cmd::Collect { q } => {
                 let local = worker.take_local(q);
-                resp.send(Resp::Collected { q, local })
-                    .expect("controller alive");
+                resp.send(CoordMsg::Worker(Resp::Collected { q, local }))
+                    .expect("coordinator alive");
             }
             Cmd::ScopeReport => {
                 let mut qs: Vec<QueryId> = worker.active_queries().collect();
@@ -826,14 +1326,14 @@ fn worker_loop(
                         (q, vs)
                     })
                     .collect();
-                resp.send(Resp::Scopes { worker: id, scopes })
-                    .expect("controller alive");
+                resp.send(CoordMsg::Worker(Resp::Scopes { worker: id, scopes }))
+                    .expect("coordinator alive");
             }
             Cmd::Extract { token, vertices } => {
                 let set: FxHashSet<VertexId> = vertices.into_iter().collect();
                 let data = worker.extract_vertices(&task_of, &set);
-                resp.send(Resp::Extracted { token, data })
-                    .expect("controller alive");
+                resp.send(CoordMsg::Worker(Resp::Extracted { token, data }))
+                    .expect("coordinator alive");
             }
             Cmd::Inject { data } => {
                 worker.inject_vertices(&task_of, data);
@@ -847,11 +1347,11 @@ fn worker_loop(
                     .filter(|&q| worker.has_pending(q))
                     .collect();
                 queries.sort_unstable();
-                resp.send(Resp::Pending {
+                resp.send(CoordMsg::Worker(Resp::Pending {
                     worker: id,
                     queries,
-                })
-                .expect("controller alive");
+                }))
+                .expect("coordinator alive");
             }
             Cmd::Shutdown => break,
         }
@@ -886,6 +1386,8 @@ mod tests {
         let o = &e.report().outcomes[0];
         assert_eq!(o.iterations, 12);
         assert_eq!(o.program, "reach");
+        assert!(o.queueing_delay_secs() >= 0.0);
+        assert!(o.time_in_system_secs() >= o.latency_secs());
     }
 
     #[test]
@@ -943,6 +1445,28 @@ mod tests {
         assert_eq!(e.output(&q1).unwrap().len(), 5);
         assert_eq!(e.output(&q2).unwrap().len(), 2);
         assert_eq!(e.report().outcomes.len(), 2);
+        // Each run closed its own window over the cumulative report.
+        assert_eq!(e.report().runs.len(), 2);
+        assert_eq!(e.report().run_outcomes(0).len(), 1);
+        assert_eq!(e.report().run_outcomes(1).len(), 1);
+    }
+
+    #[test]
+    fn drain_without_start_runs_pre_submitted_queries() {
+        let g = line(8);
+        let parts = RangePartitioner.partition(&g, 2);
+        let mut e = ThreadEngine::new(Arc::clone(&g), parts);
+        let q = e.submit(ReachProgram::new(VertexId(0)));
+        // drain() must honor its contract and execute the backlog, not
+        // return early because start() was never called.
+        e.drain();
+        assert_eq!(e.output(&q).unwrap().len(), 8);
+        assert_eq!(e.report().outcomes.len(), 1);
+        // ...but a never-started, never-submitted engine stays inert.
+        let parts = RangePartitioner.partition(&g, 2);
+        let mut idle = ThreadEngine::new(Arc::clone(&g), parts);
+        idle.drain();
+        assert!(idle.report().outcomes.is_empty());
     }
 
     #[test]
@@ -985,6 +1509,23 @@ mod tests {
     }
 
     #[test]
+    fn time_base_survives_shutdown_and_restart() {
+        let g = line(8);
+        let parts = RangePartitioner.partition(&g, 2);
+        let mut e = ThreadEngine::new(Arc::clone(&g), parts);
+        e.submit(ReachProgram::new(VertexId(0)));
+        e.run();
+        let first_end = e.report().finished_at_secs;
+        e.shutdown();
+        // A fresh serve session continues the report's time base.
+        e.submit(ReachProgram::new(VertexId(4)));
+        e.run();
+        let second = &e.report().outcomes[1];
+        assert!(second.submitted_at.as_secs_f64() >= first_end - 1e-9);
+        assert_eq!(e.report().outcomes.len(), 2);
+    }
+
+    #[test]
     fn single_worker_partition() {
         let g = line(8);
         let parts = RangePartitioner.partition(&g, 1);
@@ -1014,10 +1555,61 @@ mod tests {
         }
     }
 
-    /// An aggressive Q-cut cadence on an adversarial partition: two long
-    /// reach queries whose scopes interleave across both workers. The
-    /// stop-the-world phase must fire, gather each scope, and preserve the
-    /// answers.
+    /// The basic streaming contract: a second thread submits through a
+    /// cloned client while the engine is live; drain makes everything
+    /// visible.
+    #[test]
+    fn client_submits_from_second_thread() {
+        let g = line(32);
+        let parts = RangePartitioner.partition(&g, 2);
+        let mut e = ThreadEngine::new(Arc::clone(&g), parts);
+        let client = e.client();
+        let producer = thread::spawn(move || {
+            (0..8u32)
+                .map(|i| client.submit(ReachProgram::bounded(VertexId(i * 3), 4)))
+                .collect::<Vec<_>>()
+        });
+        let handles = producer.join().expect("producer");
+        e.drain();
+        for h in &handles {
+            assert!(e.output(h).is_some(), "streamed query finished");
+        }
+        assert_eq!(e.report().outcomes.len(), 8);
+        e.shutdown();
+        assert_eq!(e.report().outcomes.len(), 8);
+    }
+
+    /// Submissions racing the drive loop: the producer interleaves with
+    /// in-flight supersteps rather than landing in one pre-run batch.
+    #[test]
+    fn interleaved_stream_completes() {
+        let g = line(64);
+        let parts = RangePartitioner.partition(&g, 4);
+        let cfg = SystemConfig {
+            max_parallel_queries: 2,
+            ..Default::default()
+        };
+        let mut e = ThreadEngine::with_config(Arc::clone(&g), parts, cfg);
+        // Seed the engine so supersteps are in flight when the stream lands.
+        let seed = e.submit(ReachProgram::new(VertexId(0)));
+        let client = e.client();
+        let producer = thread::spawn(move || {
+            let mut hs = Vec::new();
+            for i in 0..6u32 {
+                hs.push(client.submit(ReachProgram::bounded(VertexId(i * 9), 5)));
+                thread::yield_now();
+            }
+            hs
+        });
+        let handles = producer.join().expect("producer");
+        e.drain();
+        assert_eq!(e.output(&seed).unwrap().len(), 64);
+        for h in &handles {
+            assert!(e.output(h).is_some());
+        }
+        assert_eq!(e.report().outcomes.len(), 7);
+    }
+
     #[test]
     fn qcut_barrier_repartitions_and_preserves_answers() {
         let g = line(64);

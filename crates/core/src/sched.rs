@@ -1,0 +1,286 @@
+//! The admission/scheduling policy layer for the serving loop.
+//!
+//! Both runtimes admit queries through the closed loop
+//! ([`SystemConfig::max_parallel_queries`](crate::SystemConfig)): at most
+//! that many queries execute concurrently and the next one starts when a
+//! slot frees up. Under an open-ended query *stream* (paper §3; Quegel's
+//! submit-at-any-time model) the order in which the backlog drains becomes
+//! a policy decision, so the waiting queue is a [`Scheduler`] configured
+//! with an [`AdmissionPolicy`]:
+//!
+//! * [`AdmissionPolicy::Fifo`] — arrival order (the paper's batches).
+//! * [`AdmissionPolicy::ProgramPriority`] — per-program-kind priorities; a
+//!   higher-priority program kind always pops before a lower one, FIFO
+//!   within a kind. Lets latency-sensitive traffic (e.g. POI lookups)
+//!   overtake analytical scans in a mixed stream.
+//! * [`AdmissionPolicy::Deadline`] — earliest deadline first, for queries
+//!   submitted with a deadline (no deadline sorts last); FIFO breaks ties.
+//!
+//! The policy only reorders *admission*; once running, queries share the
+//! engine under the same barrier/Q-cut machinery regardless of policy.
+//! Queueing delay (admission minus arrival) is surfaced per outcome in
+//! [`QueryOutcome::queueing_delay_secs`](crate::QueryOutcome::queueing_delay_secs)
+//! so the policies are measurable against each other.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use qgraph_sim::SimTime;
+
+use crate::QueryId;
+
+/// How the waiting backlog drains into the closed loop's free slots.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Strict arrival order.
+    #[default]
+    Fifo,
+    /// Per-program-kind priorities (`(program name, priority)`; higher
+    /// admits first; unlisted kinds default to 0; FIFO within a kind).
+    ProgramPriority(Vec<(String, i32)>),
+    /// Earliest absolute deadline first; queries without a deadline sort
+    /// after every deadlined one; FIFO breaks ties.
+    Deadline,
+}
+
+impl AdmissionPolicy {
+    /// Convenience constructor for [`AdmissionPolicy::ProgramPriority`].
+    pub fn priorities(pairs: &[(&str, i32)]) -> Self {
+        AdmissionPolicy::ProgramPriority(pairs.iter().map(|&(n, p)| (n.to_string(), p)).collect())
+    }
+
+    fn priority_of(&self, program: &str) -> i32 {
+        match self {
+            AdmissionPolicy::ProgramPriority(table) => table
+                .iter()
+                .find(|(n, _)| n == program)
+                .map(|&(_, p)| p)
+                .unwrap_or(0),
+            _ => 0,
+        }
+    }
+}
+
+/// Per-submission options: virtual arrival time (simulated engine only)
+/// and a deadline for [`AdmissionPolicy::Deadline`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Submission {
+    /// Virtual arrival time in seconds ([`SimEngine`](crate::SimEngine)
+    /// only): the query enters the waiting queue when the clock reaches
+    /// it, modelling open-loop streaming arrivals. `None` = now.
+    pub at_secs: Option<f64>,
+    /// Deadline in seconds *relative to arrival*; consulted by
+    /// [`AdmissionPolicy::Deadline`]. `None` = no deadline.
+    pub deadline_secs: Option<f64>,
+}
+
+impl Submission {
+    /// Arrive at virtual time `at_secs`.
+    pub fn at(at_secs: f64) -> Self {
+        Submission {
+            at_secs: Some(at_secs),
+            ..Default::default()
+        }
+    }
+
+    /// Arrive now with a deadline `deadline_secs` from arrival.
+    pub fn with_deadline(deadline_secs: f64) -> Self {
+        Submission {
+            deadline_secs: Some(deadline_secs),
+            ..Default::default()
+        }
+    }
+
+    /// Set the deadline on an existing submission.
+    pub fn deadline(mut self, deadline_secs: f64) -> Self {
+        self.deadline_secs = Some(deadline_secs);
+        self
+    }
+}
+
+/// One waiting query: everything the policy needs to order it.
+#[derive(Clone, Debug)]
+pub struct QueueEntry {
+    /// The query.
+    pub q: QueryId,
+    /// Its program-kind label (for [`AdmissionPolicy::ProgramPriority`]).
+    pub program: &'static str,
+    /// When it entered the engine (arrival; the queueing-delay baseline).
+    pub enqueued_at: SimTime,
+    /// Absolute deadline (arrival + relative deadline), if any.
+    pub deadline: Option<SimTime>,
+    /// Arrival sequence number — the FIFO tie-breaker.
+    seq: u64,
+}
+
+/// A heap node: the policy key is computed once at push (the policy is
+/// fixed for the scheduler's lifetime), and `entry.seq` breaks ties in
+/// arrival order, so ordering is total and deterministic.
+struct HeapItem {
+    key: u128,
+    entry: QueueEntry,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.entry.seq == other.entry.seq
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest (key, seq)
+        // pops first.
+        (other.key, other.entry.seq).cmp(&(self.key, self.entry.seq))
+    }
+}
+
+/// The policy-ordered waiting queue shared by both runtimes. Push and pop
+/// are `O(log n)`, so large admission backlogs (bursty open-loop streams
+/// queued behind `max_parallel_queries` slots) stay cheap on the
+/// coordinator thread.
+pub struct Scheduler {
+    policy: AdmissionPolicy,
+    heap: BinaryHeap<HeapItem>,
+    next_seq: u64,
+}
+
+impl Scheduler {
+    /// An empty queue draining under `policy`.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        Scheduler {
+            policy,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Enqueue a query.
+    pub fn push(
+        &mut self,
+        q: QueryId,
+        program: &'static str,
+        enqueued_at: SimTime,
+        deadline: Option<SimTime>,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = match &self.policy {
+            // FIFO: every key equal, seq alone decides.
+            AdmissionPolicy::Fifo => 0,
+            // Higher priority -> smaller key; the offset keeps the full
+            // i32 range non-negative.
+            AdmissionPolicy::ProgramPriority(_) => {
+                (i64::from(i32::MAX) - i64::from(self.policy.priority_of(program))) as u128
+            }
+            // Earlier deadline -> smaller key; "none" is the max sentinel.
+            AdmissionPolicy::Deadline => deadline.unwrap_or(SimTime::MAX).as_nanos() as u128,
+        };
+        self.heap.push(HeapItem {
+            key,
+            entry: QueueEntry {
+                q,
+                program,
+                enqueued_at,
+                deadline,
+                seq,
+            },
+        });
+    }
+
+    /// Pop the entry the policy admits next, if any. Deterministic: ties
+    /// always break by arrival order.
+    pub fn pop(&mut self) -> Option<QueueEntry> {
+        self.heap.pop().map(|i| i.entry)
+    }
+
+    /// Number of waiting queries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry_ids(s: &mut Scheduler) -> Vec<u32> {
+        std::iter::from_fn(|| s.pop().map(|e| e.q.0)).collect()
+    }
+
+    #[test]
+    fn fifo_pops_in_arrival_order() {
+        let mut s = Scheduler::new(AdmissionPolicy::Fifo);
+        for i in 0..4 {
+            s.push(QueryId(i), "sssp", SimTime::from_secs(i as u64), None);
+        }
+        assert_eq!(entry_ids(&mut s), vec![0, 1, 2, 3]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn program_priority_overtakes_fifo_within_kind() {
+        let mut s = Scheduler::new(AdmissionPolicy::priorities(&[("poi", 10), ("sssp", 1)]));
+        s.push(QueryId(0), "sssp", SimTime::ZERO, None);
+        s.push(QueryId(1), "bfs", SimTime::ZERO, None); // unlisted -> 0
+        s.push(QueryId(2), "poi", SimTime::ZERO, None);
+        s.push(QueryId(3), "poi", SimTime::ZERO, None);
+        s.push(QueryId(4), "sssp", SimTime::ZERO, None);
+        assert_eq!(entry_ids(&mut s), vec![2, 3, 0, 4, 1]);
+    }
+
+    #[test]
+    fn deadline_pops_earliest_first_and_undedlined_last() {
+        let mut s = Scheduler::new(AdmissionPolicy::Deadline);
+        s.push(QueryId(0), "a", SimTime::ZERO, Some(SimTime::from_secs(50)));
+        s.push(QueryId(1), "b", SimTime::ZERO, None);
+        s.push(QueryId(2), "c", SimTime::ZERO, Some(SimTime::from_secs(5)));
+        s.push(QueryId(3), "d", SimTime::ZERO, Some(SimTime::from_secs(5)));
+        assert_eq!(entry_ids(&mut s), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn negative_priorities_sort_below_unlisted() {
+        let mut s = Scheduler::new(AdmissionPolicy::priorities(&[("bg", -5), ("fg", 5)]));
+        s.push(QueryId(0), "bg", SimTime::ZERO, None);
+        s.push(QueryId(1), "other", SimTime::ZERO, None); // unlisted -> 0
+        s.push(QueryId(2), "fg", SimTime::ZERO, None);
+        assert_eq!(entry_ids(&mut s), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn entries_carry_enqueue_metadata() {
+        let mut s = Scheduler::new(AdmissionPolicy::Fifo);
+        s.push(
+            QueryId(7),
+            "poi",
+            SimTime::from_secs(3),
+            Some(SimTime::from_secs(9)),
+        );
+        let e = s.pop().unwrap();
+        assert_eq!(e.q, QueryId(7));
+        assert_eq!(e.program, "poi");
+        assert_eq!(e.enqueued_at, SimTime::from_secs(3));
+        assert_eq!(e.deadline, Some(SimTime::from_secs(9)));
+    }
+
+    #[test]
+    fn submission_builders() {
+        let s = Submission::at(4.0).deadline(2.0);
+        assert_eq!(s.at_secs, Some(4.0));
+        assert_eq!(s.deadline_secs, Some(2.0));
+        assert_eq!(Submission::with_deadline(1.0).at_secs, None);
+    }
+}

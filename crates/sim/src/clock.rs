@@ -14,6 +14,10 @@ impl SimTime {
     /// Time zero.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The largest representable instant — sorts after every real time
+    /// (the "no deadline" sentinel in deadline-ordered queues).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Construct from seconds (rounded to nanoseconds).
     pub fn from_secs_f64(s: f64) -> Self {
         debug_assert!(s >= 0.0 && s.is_finite(), "negative or non-finite time {s}");

@@ -13,11 +13,13 @@
 //! and the hotspot query workload generator (SSSP / POI query streams in
 //! batches, with the disturbance phase used in Figure 5).
 
+mod arrivals;
 mod queries;
 mod road;
 mod social;
 mod tags;
 
+pub use arrivals::{arrival_times, schedule_open_loop, ArrivalConfig, ArrivalPattern, TimedQuery};
 pub use queries::{QueryKind, QuerySpec, WorkloadConfig, WorkloadGenerator, WorkloadPhase};
 pub use road::{City, RoadNetwork, RoadNetworkConfig, RoadNetworkGenerator};
 pub use social::{generate_ba, generate_ws, BarabasiAlbertConfig, WattsStrogatzConfig};

@@ -181,6 +181,90 @@ fn thread_qcut_matches_references_and_repartitions() {
     );
 }
 
+/// Output-lifecycle conformance, simulated engine: `take_output` moves
+/// the result out exactly once; every later access through any path sees
+/// `None`; a second `take_output` is `None`, not a panic.
+#[test]
+fn sim_output_lifecycle_take_then_gone() {
+    let (graph, sources) = tagged_world();
+    let mut e = EngineBuilder::new(Arc::clone(&graph))
+        .workers(2)
+        .build_sim();
+    let q = e.submit(ReachProgram::new(sources[0]));
+    e.run();
+    assert!(e.output(&q).is_some(), "finished query has an output");
+    let owned = e.take_output(&q).expect("first take succeeds");
+    assert!(!owned.is_empty());
+    assert!(e.output(&q).is_none(), "output after take is None");
+    assert!(e.take_output(&q).is_none(), "second take is None");
+    assert!(
+        Engine::output_envelope(&e, q.id()).is_none(),
+        "erased access agrees"
+    );
+}
+
+/// Output-lifecycle conformance, thread runtime: identical pinned
+/// behavior to the simulated engine.
+#[test]
+fn thread_output_lifecycle_take_then_gone() {
+    let (graph, sources) = tagged_world();
+    let mut e = EngineBuilder::new(Arc::clone(&graph))
+        .workers(2)
+        .build_threaded();
+    let q = e.submit(ReachProgram::new(sources[0]));
+    e.run();
+    assert!(e.output(&q).is_some(), "finished query has an output");
+    let owned = e.take_output(&q).expect("first take succeeds");
+    assert!(!owned.is_empty());
+    assert!(e.output(&q).is_none(), "output after take is None");
+    assert!(e.take_output(&q).is_none(), "second take is None");
+    assert!(
+        Engine::output_envelope(&e, q.id()).is_none(),
+        "erased access agrees"
+    );
+}
+
+/// Dropping a `QueryHandle` before completion is harmless on both
+/// runtimes: handles are detached receipts, the query still runs to
+/// completion, its outcome is reported, and the output stays reachable by
+/// raw id through the typed lookup.
+#[test]
+fn dropped_handle_before_completion_is_harmless_on_both_runtimes() {
+    let (graph, sources) = tagged_world();
+
+    let mut sim = EngineBuilder::new(Arc::clone(&graph))
+        .workers(2)
+        .build_sim();
+    let kept = sim.submit(BfsProgram::new(sources[0], 2));
+    let dropped_id = {
+        let h = sim.submit(ReachProgram::new(sources[1]));
+        h.id()
+    }; // handle dropped here, query still queued
+    sim.run();
+    assert!(sim.output(&kept).is_some());
+    assert_eq!(sim.report().outcomes.len(), 2, "dropped handle still ran");
+    assert!(
+        sim.output_as::<ReachProgram>(dropped_id).is_some(),
+        "output reachable by raw id"
+    );
+
+    let mut thr = EngineBuilder::new(Arc::clone(&graph))
+        .workers(2)
+        .build_threaded();
+    let kept = thr.submit(BfsProgram::new(sources[0], 2));
+    let dropped_id = {
+        let h = thr.submit(ReachProgram::new(sources[1]));
+        h.id()
+    };
+    thr.run();
+    assert!(thr.output(&kept).is_some());
+    assert_eq!(thr.report().outcomes.len(), 2, "dropped handle still ran");
+    assert!(
+        thr.output_as::<ReachProgram>(dropped_id).is_some(),
+        "output reachable by raw id"
+    );
+}
+
 /// The acceptance comparison: the adaptive thread runtime on a repeating
 /// hotspot must end with locality no worse than the static-partition run
 /// of the same workload, and each migration must not lower the live
