@@ -40,6 +40,12 @@ impl VertexProgram for BfsProgram {
 
     fn aggregate_combine(&self, _a: &mut (), _b: &()) {}
 
+    /// Min-hop combiner: `compute` folds candidate depths with `min`.
+    fn combine(&self, acc: &mut u32, other: &u32) -> bool {
+        *acc = (*acc).min(*other);
+        true
+    }
+
     fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, u32)> {
         vec![(self.source, 0)]
     }

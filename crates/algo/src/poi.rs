@@ -54,6 +54,12 @@ impl VertexProgram for PoiProgram {
         true
     }
 
+    /// Min-distance combiner, same fold as [`PoiProgram::compute`].
+    fn combine(&self, acc: &mut f32, other: &f32) -> bool {
+        *acc = acc.min(*other);
+        true
+    }
+
     fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, f32)> {
         vec![(self.source, 0.0)]
     }

@@ -46,6 +46,12 @@ pub struct PprState {
 impl VertexProgram for PprProgram {
     type State = PprState;
     /// Residual mass transferred along an edge.
+    ///
+    /// PPR deliberately keeps the default *no-combiner*: its fold is a
+    /// floating-point sum, which is only approximately associative —
+    /// combining would regroup additions and break the bit-identical
+    /// combined-vs-uncombined equivalence the engines guarantee for
+    /// combiner-carrying programs.
     type Message = f32;
     type Aggregate = ();
     /// `(vertex, mass)` pairs with meaningful mass, sorted descending.

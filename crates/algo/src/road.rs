@@ -67,6 +67,15 @@ impl VertexProgram for RoadProgram {
         true
     }
 
+    /// Both wrapped programs are min-distance folds; dispatch so the
+    /// wrapped combiner stays authoritative.
+    fn combine(&self, acc: &mut f32, other: &f32) -> bool {
+        match self {
+            RoadProgram::Sssp(p) => p.combine(acc, other),
+            RoadProgram::Poi(p) => p.combine(acc, other),
+        }
+    }
+
     fn initial_messages(&self, graph: &Graph) -> Vec<(VertexId, f32)> {
         match self {
             RoadProgram::Sssp(p) => p.initial_messages(graph),

@@ -64,6 +64,14 @@ impl VertexProgram for SsspProgram {
         true // the pruning bound persists across supersteps
     }
 
+    /// Min-distance combiner: `compute` folds candidate distances with
+    /// `min`, so N relaxations addressed to one vertex collapse to the
+    /// best one (exact — `f32::min` is associative and commutative).
+    fn combine(&self, acc: &mut f32, other: &f32) -> bool {
+        *acc = acc.min(*other);
+        true
+    }
+
     fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, f32)> {
         vec![(self.source, 0.0)]
     }

@@ -33,6 +33,12 @@ impl VertexProgram for WccProgram {
 
     fn aggregate_combine(&self, _a: &mut (), _b: &()) {}
 
+    /// Min-label combiner (HashMin's fold).
+    fn combine(&self, acc: &mut u32, other: &u32) -> bool {
+        *acc = (*acc).min(*other);
+        true
+    }
+
     fn initial_messages(&self, graph: &Graph) -> Vec<(VertexId, u32)> {
         // Every vertex starts with its own id as its label.
         graph.vertices().map(|v| (v, v.0)).collect()

@@ -8,6 +8,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use qgraph_algo::SsspProgram;
 use qgraph_core::qcut::{cluster_queries, local_search, run_qcut, ScopeStats, Solution};
 use qgraph_core::{programs::ReachProgram, QcutConfig, QueryId, SimEngine, SystemConfig};
 use qgraph_graph::VertexId;
@@ -133,11 +134,66 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// The message-plane A/B: a burst of overlapping SSSP queries on a
+/// hash-partitioned road network (every superstep crosses boundaries, so
+/// inter-worker traffic dominates), with vertex-level combiners on vs
+/// off. The `bench-smoke` CI job runs the same comparison through
+/// `src/bin/msgplane_smoke.rs`, which also emits a JSON artifact.
+fn bench_message_plane(c: &mut Criterion) {
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig {
+        num_cities: 8,
+        vertices_per_city: 400,
+        seed: 11,
+        ..Default::default()
+    })
+    .generate();
+    let graph = Arc::new(net.graph);
+    let n = graph.num_vertices() as u32;
+    let queries: Vec<(VertexId, VertexId)> = (0..48u32)
+        .map(|i| (VertexId((i * 37) % n), VertexId((i * 61 + 13) % n)))
+        .collect();
+    let mut g = c.benchmark_group("message_plane");
+    g.sample_size(10);
+    for (id, combiners) in [
+        ("sssp_burst_combine_on", true),
+        ("sssp_burst_combine_off", false),
+    ] {
+        let graph = Arc::clone(&graph);
+        let queries = queries.clone();
+        g.bench_function(id, move |b| {
+            b.iter_batched(
+                || {
+                    let parts = HashPartitioner::default().partition(&graph, 8);
+                    SimEngine::new(
+                        Arc::clone(&graph),
+                        ClusterModel::scale_up(8),
+                        parts,
+                        SystemConfig {
+                            combiners,
+                            ..Default::default()
+                        },
+                    )
+                },
+                |mut e| {
+                    for &(s, t) in &queries {
+                        e.submit(SsspProgram::new(s, t));
+                    }
+                    e.run();
+                    e.report().total_remote_messages()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_partitioners,
     bench_qcut,
     bench_generation,
-    bench_engine
+    bench_engine,
+    bench_message_plane
 );
 criterion_main!(benches);

@@ -127,6 +127,20 @@ pub struct SystemConfig {
     pub stats_piggyback: bool,
     /// Modelled per-vertex state size for repartitioning transfer costs.
     pub state_bytes_per_vertex: u64,
+    /// Apply vertex-level message combiners
+    /// ([`crate::VertexProgram::combine`]) at both ends of the wire.
+    /// Combining is output-preserving by the combiner contract; disable
+    /// it only for A/B measurement (the equivalence property tests and
+    /// the message-plane microbench do).
+    pub combiners: bool,
+    /// Wire batch cap used for remote-batch *accounting*
+    /// ([`crate::QueryOutcome::remote_batches`]): the paper's 32-message
+    /// batches. The simulated engine prices transfers with its
+    /// `NetworkModel::batch_max_msgs` (same default) and asserts at
+    /// construction that the two caps agree, so reported batch counts
+    /// always match what the cost model charges (and what the thread
+    /// runtime reports for the same config).
+    pub batch_max_msgs: usize,
 }
 
 impl Default for SystemConfig {
@@ -138,6 +152,8 @@ impl Default for SystemConfig {
             admission: AdmissionPolicy::Fifo,
             stats_piggyback: true,
             state_bytes_per_vertex: 32,
+            combiners: true,
+            batch_max_msgs: 32,
         }
     }
 }
@@ -178,6 +194,8 @@ mod tests {
         assert_eq!(s.max_parallel_queries, 16);
         assert_eq!(s.barrier_mode, BarrierMode::Hybrid);
         assert!(s.qcut.is_none());
+        assert!(s.combiners, "combiners are on by default");
+        assert_eq!(s.batch_max_msgs, 32, "the paper's batch cap");
     }
 
     #[test]

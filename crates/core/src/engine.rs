@@ -96,6 +96,8 @@ struct QueryRun {
     local_iterations: u32,
     vertex_updates: u64,
     remote_messages: u64,
+    remote_messages_pre_combine: u64,
+    remote_batches: u64,
     // Per-superstep bookkeeping.
     remaining: usize,
     involved_cur: Vec<usize>,
@@ -178,6 +180,18 @@ impl SimEngine {
             "partitioning and cluster disagree on worker count"
         );
         let k = cluster.num_workers;
+        // Batch accounting (`remote_batches`) uses the config's cap, and
+        // pricing (`transfer_cost`) uses the network model's — they must
+        // agree, or the reported batch counts would diverge from what the
+        // cost model charges (and from the thread runtime's accounting).
+        assert_eq!(
+            cfg.batch_max_msgs, cluster.network.batch_max_msgs,
+            "SystemConfig::batch_max_msgs must match the cluster \
+             NetworkModel::batch_max_msgs"
+        );
+        let workers: Vec<Worker> = (0..k)
+            .map(|w| Worker::configured(w, cfg.combiners, cfg.batch_max_msgs))
+            .collect();
         // Activity sub-window: an eighth of the monitoring window μ.
         let activity_window_len = SimTime::from_secs_f64(
             cfg.qcut
@@ -192,7 +206,7 @@ impl SimEngine {
             scheduler: Scheduler::new(cfg.admission.clone()),
             cfg,
             partitioning,
-            workers: (0..k).map(Worker::new).collect(),
+            workers,
             sched: (0..k)
                 .map(|_| WorkerSched {
                     queue: VecDeque::new(),
@@ -283,6 +297,8 @@ impl SimEngine {
             local_iterations: 0,
             vertex_updates: 0,
             remote_messages: 0,
+            remote_messages_pre_combine: 0,
+            remote_batches: 0,
             remaining: 0,
             involved_cur: Vec::new(),
             compute_done_max: SimTime::ZERO,
@@ -411,7 +427,7 @@ impl SimEngine {
         let batches = {
             let partitioning = &self.partitioning;
             let route = |v: VertexId| partitioning.worker_of(v).index();
-            task.initial_batches(&self.graph, &route)
+            task.initial_batches(&self.graph, &route, self.cfg.combiners)
         };
         let involved: Vec<usize> = batches.iter().map(|(w, _)| *w).collect();
 
@@ -508,6 +524,8 @@ impl SimEngine {
         let run = &mut self.queries[q.index()];
         run.vertex_updates += stats.executed as u64;
         run.remote_messages += stats.remote_deliveries as u64;
+        run.remote_messages_pre_combine += stats.remote_pre_combine as u64;
+        run.remote_batches += stats.remote_batches as u64;
         run.compute_done_max = run.compute_done_max.max(sent_at);
         run.last_done_raw = run.last_done_raw.max(sent_at);
         run.msg_arrival_max = run.msg_arrival_max.max(msg_arrival_max);
@@ -673,12 +691,13 @@ impl SimEngine {
         self.in_flight -= 1;
 
         // Gather the locals the query touched, across workers; the scope
-        // is recorded for the controller before finalize consumes them.
+        // is streamed into one buffer (visitor, no per-worker allocation)
+        // for the controller before finalize consumes the locals.
         let mut locals = Vec::new();
         let mut scope: Vec<VertexId> = Vec::new();
         for w in self.workers.iter_mut() {
             if let Some(local) = w.take_local(q) {
-                scope.extend(local.scope_vertices());
+                local.for_each_scope_vertex(&mut |v| scope.push(v));
                 locals.push(local);
             }
         }
@@ -693,6 +712,8 @@ impl SimEngine {
             local_iterations: run.local_iterations,
             vertex_updates: run.vertex_updates,
             remote_messages: run.remote_messages,
+            remote_messages_pre_combine: run.remote_messages_pre_combine,
+            remote_batches: run.remote_batches,
             scope_size: scope.len() as u64,
         };
         self.outputs[q.index()] = Some(task.finalize(&self.graph, locals));
@@ -882,7 +903,7 @@ impl SimEngine {
                 let q = QueryId(i as u32);
                 let mut vs: Vec<VertexId> = Vec::new();
                 for w in &self.workers {
-                    vs.extend(w.scope_vertices(q));
+                    w.for_each_scope_vertex(q, &mut |v| vs.push(v));
                 }
                 live.push((q, vs));
             }
@@ -1083,6 +1104,18 @@ mod tests {
         e.run();
         assert_eq!(*e.output(&q).unwrap(), 4);
         assert_eq!(e.report().outcomes[0].iterations, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_max_msgs")]
+    fn mismatched_batch_caps_panic() {
+        let g = line_graph(4);
+        let parts = RangePartitioner.partition(&g, 2);
+        let cfg = SystemConfig {
+            batch_max_msgs: 8,
+            ..Default::default()
+        };
+        let _ = SimEngine::new(g, ClusterModel::scale_up(2), parts, cfg);
     }
 
     #[test]

@@ -53,6 +53,29 @@ pub trait VertexProgram: Send + Sync + 'static {
         false
     }
 
+    /// Combine `other` into `acc`, both addressed to the *same* vertex,
+    /// and return `true`; or return `false` (leaving `acc` untouched) to
+    /// keep the messages separate. The default declines: the program has
+    /// no combiner and every message is delivered individually.
+    ///
+    /// A combiner must satisfy
+    /// `compute(state, [a, b, rest…]) == compute(state, [combine(a,b), rest…])`
+    /// for every message pair — in practice the same commutative,
+    /// associative, *exactly representable* fold `compute` already applies
+    /// (min for SSSP/BFS distances, OR for reachability flags). Folds that
+    /// are only approximately associative (floating-point sums, e.g.
+    /// PPR's residual mass) should decline so results stay bit-identical
+    /// with combining on or off.
+    ///
+    /// The engines apply combiners at both ends of the wire: sender-side
+    /// when a superstep's remote messages are bucketed per destination
+    /// worker, and receiver-side when the pending inbox is coalesced at
+    /// the superstep freeze — N relaxations addressed to one vertex
+    /// collapse to 1 before they are priced, shipped, or applied.
+    fn combine(&self, _acc: &mut Self::Message, _other: &Self::Message) -> bool {
+        false
+    }
+
     /// Messages that seed the query (sent to the paper's `V_sub`); for SSSP
     /// this is a zero-distance message to the start vertex.
     fn initial_messages(&self, graph: &Graph) -> Vec<(VertexId, Self::Message)>;

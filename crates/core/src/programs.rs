@@ -56,6 +56,13 @@ impl VertexProgram for ReachProgram {
 
     fn aggregate_combine(&self, _a: &mut (), _b: &()) {}
 
+    /// Min-hop combiner: `compute` folds incoming hop depths with `min`,
+    /// so N flood messages to one vertex collapse to the smallest.
+    fn combine(&self, acc: &mut u32, other: &u32) -> bool {
+        *acc = (*acc).min(*other);
+        true
+    }
+
     fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, u32)> {
         vec![(self.source, 0)]
     }
@@ -194,6 +201,24 @@ mod tests {
         ]
         .into_iter();
         assert_eq!(p.finalize(&g, &mut it), vec![VertexId(0), VertexId(2)]);
+    }
+
+    #[test]
+    fn reach_combiner_keeps_min_hop_and_ping_declines() {
+        let p = ReachProgram::new(VertexId(0));
+        let mut acc = 5u32;
+        assert!(p.combine(&mut acc, &3));
+        assert!(p.combine(&mut acc, &7));
+        assert_eq!(acc, 3);
+        // Ping keeps the default no-combiner: its messages are control
+        // flow (round numbers), exercised individually by barrier tests.
+        let ping = PingProgram {
+            ring: vec![],
+            rounds: 0,
+        };
+        let mut m = 1u32;
+        assert!(!ping.combine(&mut m, &2));
+        assert_eq!(m, 1);
     }
 
     #[test]

@@ -114,8 +114,19 @@ pub struct QueryOutcome {
     pub local_iterations: u32,
     /// Total vertex-function executions.
     pub vertex_updates: u64,
-    /// Messages that crossed worker boundaries.
+    /// Messages that crossed worker boundaries, *after* sender-side
+    /// combining — what the wire carried and the cost models charged.
     pub remote_messages: u64,
+    /// Boundary-crossing messages as produced by the vertex functions,
+    /// *before* sender-side combining. `remote_messages ≤` this; the gap
+    /// is the traffic the program's combiner
+    /// ([`VertexProgram::combine`]) saved.
+    pub remote_messages_pre_combine: u64,
+    /// Wire batches the remote messages occupied under the paper's batch
+    /// cap (`SystemConfig::batch_max_msgs`, 32): `Σ ⌈msgs/cap⌉` per
+    /// (destination, superstep) send — the unit the network model's
+    /// per-batch overhead is charged in.
+    pub remote_batches: u64,
     /// Total vertices this query activated (its global scope |GS(q)|).
     pub scope_size: u64,
 }
@@ -148,6 +159,13 @@ impl QueryOutcome {
             self.local_iterations as f64 / self.iterations as f64
         }
     }
+
+    /// Remote messages the combiner eliminated before they reached the
+    /// wire.
+    pub fn messages_combined_away(&self) -> u64 {
+        self.remote_messages_pre_combine
+            .saturating_sub(self.remote_messages)
+    }
 }
 
 #[cfg(test)]
@@ -165,8 +183,17 @@ mod tests {
             local_iterations: local,
             vertex_updates: 10,
             remote_messages: 2,
+            remote_messages_pre_combine: 3,
+            remote_batches: 2,
             scope_size: 5,
         }
+    }
+
+    #[test]
+    fn combine_accounting_is_coherent() {
+        let o = outcome(4, 2);
+        assert_eq!(o.messages_combined_away(), 1);
+        assert!(o.remote_messages <= o.remote_messages_pre_combine);
     }
 
     #[test]

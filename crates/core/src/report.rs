@@ -205,9 +205,35 @@ impl EngineReport {
         s
     }
 
-    /// Total remote messages across all queries.
+    /// Total remote messages across all queries (post-combine: what the
+    /// wire carried).
     pub fn total_remote_messages(&self) -> u64 {
         self.outcomes.iter().map(|o| o.remote_messages).sum()
+    }
+
+    /// Total remote messages as produced, before sender-side combining.
+    pub fn total_remote_messages_pre_combine(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.remote_messages_pre_combine)
+            .sum()
+    }
+
+    /// Total wire batches across all queries (the paper's 32-message
+    /// batch granularity; per-batch protocol overhead is charged per one
+    /// of these).
+    pub fn total_remote_batches(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.remote_batches).sum()
+    }
+
+    /// Fraction of produced remote traffic the combiners eliminated
+    /// (`0.0` when nothing was combined — or nothing was sent).
+    pub fn combine_reduction(&self) -> f64 {
+        let pre = self.total_remote_messages_pre_combine();
+        if pre == 0 {
+            return 0.0;
+        }
+        1.0 - self.total_remote_messages() as f64 / pre as f64
     }
 
     /// Total vertices migrated across all repartitioning events.
@@ -236,6 +262,7 @@ impl EngineReport {
                     mean_locality: 0.0,
                     vertex_updates: 0,
                     remote_messages: 0,
+                    remote_messages_pre_combine: 0,
                 };
                 for o in outcomes {
                     s.queries += 1;
@@ -243,6 +270,7 @@ impl EngineReport {
                     s.mean_locality += o.locality();
                     s.vertex_updates += o.vertex_updates;
                     s.remote_messages += o.remote_messages;
+                    s.remote_messages_pre_combine += o.remote_messages_pre_combine;
                 }
                 s.mean_latency_secs /= s.queries as f64;
                 s.mean_locality /= s.queries as f64;
@@ -291,8 +319,10 @@ pub struct ProgramSummary {
     pub mean_locality: f64,
     /// Summed vertex-function executions.
     pub vertex_updates: u64,
-    /// Summed boundary-crossing messages.
+    /// Summed boundary-crossing messages (post-combine).
     pub remote_messages: u64,
+    /// Summed boundary-crossing messages before sender-side combining.
+    pub remote_messages_pre_combine: u64,
 }
 
 fn imbalance_of(loads: &[u64]) -> f64 {
@@ -322,6 +352,8 @@ mod tests {
             local_iterations: local,
             vertex_updates: 1,
             remote_messages: 3,
+            remote_messages_pre_combine: 5,
+            remote_batches: 2,
             scope_size: 1,
         }
     }
@@ -336,6 +368,9 @@ mod tests {
         assert_eq!(r.total_latency(), 6.0);
         assert_eq!(r.mean_locality(), 0.75);
         assert_eq!(r.total_remote_messages(), 6);
+        assert_eq!(r.total_remote_messages_pre_combine(), 10);
+        assert_eq!(r.total_remote_batches(), 4);
+        assert!((r.combine_reduction() - 0.4).abs() < 1e-12);
         assert_eq!(r.latency_series().len(), 2);
         assert_eq!(r.locality_series().len(), 2);
     }
@@ -374,6 +409,7 @@ mod tests {
         let r = EngineReport::default();
         assert!(r.mean_latency().is_nan());
         assert_eq!(r.total_latency(), 0.0);
+        assert_eq!(r.combine_reduction(), 0.0, "empty report combines nothing");
         assert!(r.imbalance_series(2, 1.0).is_empty());
         assert!(r.per_program().is_empty());
         assert_eq!(r.program_table().num_rows(), 0);

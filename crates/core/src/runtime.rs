@@ -135,7 +135,12 @@ enum Resp {
     StepDone {
         q: QueryId,
         executed: usize,
+        /// Remote messages actually shipped (post sender-side combining).
         remote_sent: u64,
+        /// Remote messages as produced, before combining.
+        remote_pre: u64,
+        /// Wire batches under the configured batch cap.
+        remote_batches: u64,
         agg: Envelope,
         remote: Vec<(usize, MessageBatch)>,
         self_pending: bool,
@@ -254,6 +259,8 @@ struct QueryTracking {
     window_local: u32,
     vertex_updates: u64,
     remote_messages: u64,
+    remote_messages_pre_combine: u64,
+    remote_batches: u64,
     /// Arrival time (entered the admission queue).
     queued_at: SimTime,
     /// Admission time (started executing).
@@ -485,6 +492,8 @@ impl ThreadEngine {
         let shared_parts = Arc::new(self.partitioning.clone());
         let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(k);
         let mut worker_handles = Vec::with_capacity(k);
+        let combiners = self.cfg.combiners;
+        let batch_max = self.cfg.batch_max_msgs;
         for w in 0..k {
             let (tx, rx) = channel::<Cmd>();
             cmd_txs.push(tx);
@@ -493,7 +502,16 @@ impl ThreadEngine {
             let registry = Arc::clone(&self.tasks);
             let resp = msg_tx.clone();
             worker_handles.push(thread::spawn(move || {
-                worker_loop(w, graph, partitioning, registry, rx, resp);
+                worker_loop(
+                    w,
+                    combiners,
+                    batch_max,
+                    graph,
+                    partitioning,
+                    registry,
+                    rx,
+                    resp,
+                );
             }));
         }
 
@@ -775,7 +793,7 @@ impl Coordinator {
                     // Route against the *current* assignment: earlier
                     // repartitions of this session have already moved on.
                     let route = |v: VertexId| self.partitioning.worker_of(v).index();
-                    task.initial_batches(&self.graph, &route)
+                    task.initial_batches(&self.graph, &route, self.cfg.combiners)
                 };
                 if batches.is_empty() {
                     // No initial messages: finalize over the empty state set.
@@ -795,6 +813,8 @@ impl Coordinator {
                         local_iterations: 0,
                         vertex_updates: 0,
                         remote_messages: 0,
+                        remote_messages_pre_combine: 0,
+                        remote_batches: 0,
                         scope_size: 0,
                     });
                     false
@@ -816,6 +836,8 @@ impl Coordinator {
                         window_local: 0,
                         vertex_updates: 0,
                         remote_messages: 0,
+                        remote_messages_pre_combine: 0,
+                        remote_batches: 0,
                         queued_at: entry.enqueued_at,
                         started_at: clock.now(),
                     };
@@ -979,6 +1001,8 @@ impl Coordinator {
                     q,
                     executed,
                     remote_sent,
+                    remote_pre,
+                    remote_batches,
                     agg,
                     remote,
                     self_pending,
@@ -995,6 +1019,8 @@ impl Coordinator {
                     t.outstanding -= 1;
                     t.vertex_updates += executed as u64;
                     t.remote_messages += remote_sent;
+                    t.remote_messages_pre_combine += remote_pre;
+                    t.remote_batches += remote_batches;
                     t.crossed |= remote_sent > 0;
                     t.task.aggregate_combine(&mut t.agg_acc, &agg);
                     if self_pending {
@@ -1096,9 +1122,12 @@ impl Coordinator {
                         let scope_size: u64 = t.locals.iter().map(|l| l.scope_size() as u64).sum();
                         if qcut_enabled {
                             // Retain the scope for the monitoring window
-                            // (only worth materializing when Q-cut runs).
-                            let scope: Vec<VertexId> =
-                                t.locals.iter().flat_map(|l| l.scope_vertices()).collect();
+                            // (only worth materializing when Q-cut runs);
+                            // streamed into one buffer via the visitor.
+                            let mut scope: Vec<VertexId> = Vec::new();
+                            for l in &t.locals {
+                                l.for_each_scope_vertex(&mut |v| scope.push(v));
+                            }
                             self.controller.record_finished_scope(q, scope, at);
                             self.controller.expire(at);
                         }
@@ -1117,6 +1146,8 @@ impl Coordinator {
                             local_iterations: t.local_iterations,
                             vertex_updates: t.vertex_updates,
                             remote_messages: t.remote_messages,
+                            remote_messages_pre_combine: t.remote_messages_pre_combine,
+                            remote_batches: t.remote_batches,
                             scope_size,
                         });
                         in_flight -= 1;
@@ -1274,15 +1305,18 @@ impl Coordinator {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     id: usize,
+    combiners: bool,
+    batch_max_msgs: usize,
     graph: Arc<Graph>,
     mut partitioning: Arc<Partitioning>,
     registry: TaskRegistry,
     rx: Receiver<Cmd>,
     resp: Sender<CoordMsg>,
 ) {
-    let mut worker = Worker::new(id);
+    let mut worker = Worker::configured(id, combiners, batch_max_msgs);
     let task_of = |q: QueryId| -> Arc<dyn QueryTask> {
         Arc::clone(&registry.read().expect("registry lock")[q.index()])
     };
@@ -1303,6 +1337,8 @@ fn worker_loop(
                     q,
                     executed: stats.executed,
                     remote_sent: stats.remote_deliveries as u64,
+                    remote_pre: stats.remote_pre_combine as u64,
+                    remote_batches: stats.remote_batches as u64,
                     agg,
                     remote,
                     self_pending,

@@ -29,23 +29,34 @@ use rustc_hash::{FxHashMap, FxHashSet};
 use qgraph_graph::{Graph, VertexId};
 
 use crate::program::VertexProgram;
-use crate::worker::{LocalState, QueryLocal, SuperstepStats};
+use crate::worker::{CombineScratch, LocalState, QueryLocal, SuperstepStats};
 
 /// A type-erased, sendable payload (messages, aggregate, states, output).
 pub type Envelope = Box<dyn Any + Send>;
 
 /// A batch of one query's messages addressed to one worker. The payload is
 /// a `Vec<(VertexId, P::Message)>` behind an [`Envelope`]; the message
-/// count is carried openly for the runtimes' cost models.
+/// counts are carried openly for the runtimes' cost models: `count` is
+/// what the batch actually holds (post sender-side combining — what the
+/// wire carries and the network model prices), `pre_combine` what the
+/// producing superstep addressed to this worker before the combiner ran.
 pub struct MessageBatch {
     count: usize,
+    pre_combine: usize,
     payload: Envelope,
 }
 
 impl MessageBatch {
-    /// Number of messages in the batch.
+    /// Number of messages in the batch (post-combine).
     pub fn len(&self) -> usize {
         self.count
+    }
+
+    /// Messages addressed to this batch's worker before sender-side
+    /// combining; `len() ≤ pre_combine()`, equal when the program has no
+    /// combiner (or combining is disabled).
+    pub fn pre_combine(&self) -> usize {
+        self.pre_combine
     }
 
     /// Is the batch empty?
@@ -61,8 +72,9 @@ pub trait QueryTask: Send + Sync {
     /// The program-kind label (see [`VertexProgram::name`]).
     fn program_name(&self) -> &'static str;
 
-    /// Fresh per-worker local state for this query.
-    fn new_local(&self) -> Box<dyn LocalState>;
+    /// Fresh per-worker local state for this query; `combiners` gates the
+    /// program's message combiner (see [`VertexProgram::combine`]).
+    fn new_local(&self, combiners: bool) -> Box<dyn LocalState>;
 
     /// The aggregator's identity element, enveloped.
     fn aggregate_identity(&self) -> Envelope;
@@ -80,11 +92,13 @@ pub trait QueryTask: Send + Sync {
     /// Should the query stop at this barrier?
     fn should_terminate(&self, aggregate: &Envelope) -> bool;
 
-    /// The seed messages, pre-bucketed by destination worker via `route`.
+    /// The seed messages, pre-bucketed by destination worker via `route`
+    /// and combined per destination vertex when `combiners` is set.
     fn initial_batches(
         &self,
         graph: &Graph,
         route: &dyn Fn(VertexId) -> usize,
+        combiners: bool,
     ) -> Vec<(usize, MessageBatch)>;
 
     /// Deliver a batch into `local`'s next-superstep inbox.
@@ -92,7 +106,8 @@ pub trait QueryTask: Send + Sync {
 
     /// Execute `local`'s frozen superstep; returns the step statistics,
     /// the superstep's aggregate contribution, and remote message batches
-    /// bucketed by destination worker.
+    /// bucketed by destination worker (combined sender-side through
+    /// `scratch` when the program carries a combiner).
     fn execute(
         &self,
         local: &mut dyn LocalState,
@@ -100,6 +115,7 @@ pub trait QueryTask: Send + Sync {
         prev_aggregate: &Envelope,
         home: usize,
         route: &dyn Fn(VertexId) -> usize,
+        scratch: &mut CombineScratch,
     ) -> (SuperstepStats, Envelope, Vec<(usize, MessageBatch)>);
 
     /// Extract this query's data for the given vertices out of `local`
@@ -150,16 +166,24 @@ impl<P: VertexProgram> TypedTask<P> {
             .expect("query task type mismatch: aggregate envelope is not this program's")
     }
 
-    fn wrap_batch(&self, msgs: Vec<(VertexId, P::Message)>) -> MessageBatch {
+    fn wrap_batch(&self, pre_combine: usize, msgs: Vec<(VertexId, P::Message)>) -> MessageBatch {
         MessageBatch {
             count: msgs.len(),
+            pre_combine,
             payload: Box::new(msgs),
         }
     }
 
+    /// Sort a bucket by destination vertex and collapse each vertex's run
+    /// through the program's combiner (sender-side combining).
+    fn combine_bucket(&self, msgs: &mut Vec<(VertexId, P::Message)>) {
+        crate::worker::combine_in_place(self.program.as_ref(), msgs);
+    }
+
     #[cfg(test)]
     pub(crate) fn batch_for_test(&self, msgs: Vec<(VertexId, P::Message)>) -> MessageBatch {
-        self.wrap_batch(msgs)
+        let pre = msgs.len();
+        self.wrap_batch(pre, msgs)
     }
 }
 
@@ -168,8 +192,8 @@ impl<P: VertexProgram> QueryTask for TypedTask<P> {
         self.program.name()
     }
 
-    fn new_local(&self) -> Box<dyn LocalState> {
-        Box::new(QueryLocal::<P>::default())
+    fn new_local(&self, combiners: bool) -> Box<dyn LocalState> {
+        Box::new(QueryLocal::<P>::new(Arc::clone(&self.program), combiners))
     }
 
     fn aggregate_identity(&self) -> Envelope {
@@ -200,6 +224,7 @@ impl<P: VertexProgram> QueryTask for TypedTask<P> {
         &self,
         graph: &Graph,
         route: &dyn Fn(VertexId) -> usize,
+        combiners: bool,
     ) -> Vec<(usize, MessageBatch)> {
         let mut by_worker: FxHashMap<usize, Vec<(VertexId, P::Message)>> = FxHashMap::default();
         for (v, m) in self.program.initial_messages(graph) {
@@ -207,7 +232,13 @@ impl<P: VertexProgram> QueryTask for TypedTask<P> {
         }
         let mut out: Vec<(usize, MessageBatch)> = by_worker
             .into_iter()
-            .map(|(w, msgs)| (w, self.wrap_batch(msgs)))
+            .map(|(w, mut msgs)| {
+                let pre = msgs.len();
+                if combiners {
+                    self.combine_bucket(&mut msgs);
+                }
+                (w, self.wrap_batch(pre, msgs))
+            })
             .collect();
         out.sort_unstable_by_key(|(w, _)| *w); // deterministic order
         out
@@ -225,14 +256,15 @@ impl<P: VertexProgram> QueryTask for TypedTask<P> {
         prev_aggregate: &Envelope,
         home: usize,
         route: &dyn Fn(VertexId) -> usize,
+        scratch: &mut CombineScratch,
     ) -> (SuperstepStats, Envelope, Vec<(usize, MessageBatch)>) {
         let prev = self.aggregate(prev_aggregate);
         let (stats, agg, remote) =
             self.local_mut(local)
-                .execute(graph, self.program.as_ref(), prev, home, route);
+                .execute(graph, self.program.as_ref(), prev, home, route, scratch);
         let remote = remote
             .into_iter()
-            .map(|(w, msgs)| (w, self.wrap_batch(msgs)))
+            .map(|(w, pre, msgs)| (w, self.wrap_batch(pre, msgs)))
             .collect();
         (stats, Box::new(agg), remote)
     }
@@ -283,10 +315,11 @@ mod tests {
         b.add_edge(0, 1, 1.0);
         let g = b.build();
         let task = TypedTask::new(ReachProgram::new(VertexId(2)));
-        let batches = task.initial_batches(&g, &|v| v.0 as usize % 2);
+        let batches = task.initial_batches(&g, &|v| v.0 as usize % 2, true);
         assert_eq!(batches.len(), 1);
         assert_eq!(batches[0].0, 0); // vertex 2 routes to worker 0
         assert_eq!(batches[0].1.len(), 1);
+        assert_eq!(batches[0].1.pre_combine(), 1);
     }
 
     #[test]
@@ -295,10 +328,18 @@ mod tests {
         let task = TypedTask::new(ReachProgram::new(VertexId(0)));
         // Two locals that each visited one vertex.
         let mk = |v: u32| -> Box<dyn LocalState> {
-            let mut local = QueryLocal::<ReachProgram>::default();
+            let program = Arc::new(ReachProgram::new(VertexId(0)));
+            let mut local = QueryLocal::<ReachProgram>::new(Arc::clone(&program), true);
             local.deliver(vec![(VertexId(v), 0u32)]);
             LocalState::freeze(&mut local);
-            local.execute(&g, &ReachProgram::new(VertexId(0)), &(), 0, &|_| 0);
+            local.execute(
+                &g,
+                program.as_ref(),
+                &(),
+                0,
+                &|_| 0,
+                &mut CombineScratch::default(),
+            );
             Box::new(local)
         };
         let out = task.finalize(&g, vec![mk(0), mk(3)]);

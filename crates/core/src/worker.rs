@@ -8,6 +8,23 @@
 //! per-query arrays would cost `O(|V| · |Q|)` memory while localized
 //! queries touch a tiny graph fraction.
 //!
+//! ## The message plane
+//!
+//! The pending inbox is a *flat append-only* `Vec<(VertexId, Message)>`:
+//! delivery is a bump-pointer push, with no per-vertex `HashMap` entry or
+//! per-message heap `Vec` growth on the hot path. The inbox is sorted and
+//! **coalesced exactly once**, at the superstep freeze, into a run-length
+//! layout (`cur` runs over a contiguous `cur_msgs` buffer) that `execute`
+//! walks in deterministic vertex order. Programs with a combiner
+//! ([`crate::VertexProgram::combine`]) collapse each vertex's run to a
+//! single message during that coalesce (receiver side) and again when a
+//! superstep's remote messages are bucketed per destination worker
+//! (sender side), so N relaxations addressed to one vertex cost 1 on the
+//! wire and 1 at apply time. [`SuperstepStats`] reports both the
+//! pre-combine and the post-combine remote counts so the runtimes can
+//! charge combined traffic while still accounting for what combining
+//! saved.
+//!
 //! Since the heterogeneous-query redesign the worker is **not generic**:
 //! each query's local state is held behind the object-safe [`LocalState`]
 //! facade, and every operation whose signature mentions program-specific
@@ -21,6 +38,8 @@
 //! resolves the current vertex→worker assignment.
 
 use std::any::Any;
+use std::ops::Range;
+use std::sync::Arc;
 
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -36,12 +55,25 @@ use crate::QueryId;
 pub struct SuperstepStats {
     /// Vertex functions executed.
     pub executed: usize,
-    /// Messages consumed.
+    /// Messages consumed (post-combine: what the compute cost model
+    /// charges per `message_apply`).
     pub messages_in: usize,
     /// Messages that stayed on this worker.
     pub local_deliveries: usize,
-    /// Messages destined for other workers.
+    /// Messages destined for other workers, *after* sender-side combining
+    /// — what actually crosses the wire and what the network cost model
+    /// prices.
     pub remote_deliveries: usize,
+    /// Messages destined for other workers as produced by `compute`,
+    /// *before* sender-side combining. `remote_deliveries ≤
+    /// remote_pre_combine`; the difference is the traffic the combiner
+    /// saved.
+    pub remote_pre_combine: usize,
+    /// Wire batches the remote messages occupy under the paper's batch
+    /// cap (32 messages per batch): `Σ_dest ⌈msgs_dest / cap⌉`. Matches
+    /// what the simulation's `NetworkModel::transfer_cost` prices, so
+    /// thread-runtime accounting and sim pricing agree.
+    pub remote_batches: usize,
     /// `|LS(q,w)|` after the step.
     pub local_scope: usize,
 }
@@ -55,10 +87,13 @@ pub trait LocalState: Any + Send {
     fn has_pending(&self) -> bool;
 
     /// `(active vertices, messages)` pending for the next superstep.
+    /// Counted pre-coalesce (the inbox is flat until the freeze), so the
+    /// message count is an upper bound on what the superstep will apply.
     fn pending_counts(&self) -> (usize, usize);
 
     /// Freeze the pending inbox as the current superstep's input; returns
-    /// `(active vertices, messages)` for the cost model.
+    /// `(active vertices, messages)` for the cost model (messages
+    /// post-combine — what will actually be applied).
     fn freeze(&mut self) -> (usize, usize);
 
     /// `(active vertices, messages)` of the already-frozen superstep input.
@@ -67,28 +102,105 @@ pub trait LocalState: Any + Send {
     /// `|LS(q,w)|`: vertices the query has activated on this worker.
     fn scope_size(&self) -> usize;
 
-    /// The live local scope vertex set.
-    fn scope_vertices(&self) -> Vec<VertexId>;
+    /// Visit every live local-scope vertex. The visitor replaces the old
+    /// `scope_vertices() -> Vec` accessor so barrier-phase stat gathering
+    /// can stream ids into a caller-owned buffer instead of allocating a
+    /// fresh `Vec` per (query, worker) pair.
+    fn for_each_scope_vertex(&self, f: &mut dyn FnMut(VertexId));
 }
 
 /// Per-query, per-worker execution state for one program type `P`.
 pub struct QueryLocal<P: VertexProgram> {
-    /// Frozen inbox of the running superstep, sorted by vertex id for
-    /// deterministic execution order.
-    cur: Vec<(VertexId, Vec<P::Message>)>,
-    /// Inbox accumulating messages for the next superstep.
-    next: FxHashMap<VertexId, Vec<P::Message>>,
+    /// Frozen superstep input: per-vertex runs (sorted by vertex id for
+    /// deterministic execution order) over the contiguous `cur_msgs`
+    /// buffer.
+    cur: Vec<(VertexId, Range<usize>)>,
+    /// The frozen messages, grouped per `cur` run.
+    cur_msgs: Vec<P::Message>,
+    /// Flat append-only inbox accumulating messages for the next
+    /// superstep; sorted + coalesced once at [`LocalState::freeze`].
+    next: Vec<(VertexId, P::Message)>,
     /// Query-specific vertex data `D_v` for activated vertices.
     state: FxHashMap<VertexId, P::State>,
+    /// The program, kept for the combiner at coalesce time.
+    program: Arc<P>,
+    /// Apply the program's combiner (engines disable this to verify
+    /// output equivalence).
+    combine: bool,
 }
 
-impl<P: VertexProgram> Default for QueryLocal<P> {
-    fn default() -> Self {
+/// Worker-owned sender-side combine index: an epoch-tagged
+/// direct-address array `vertex → slot in its destination bucket`.
+///
+/// One probe is a single indexed read (no hashing, no clearing — bumping
+/// the epoch invalidates every tag at once), so combining a remote
+/// message costs less than delivering it would have. Memory is `O(|V|)`
+/// *per worker* — the same order as the vertex→worker assignment the
+/// worker already routes against — and is shared by every query on the
+/// worker, preserving the sparse `O(scope)` per-query storage the
+/// multi-query model depends on. A destination vertex routes to exactly
+/// one worker, so the tag needs no worker component.
+#[derive(Default)]
+pub struct CombineScratch {
+    /// `(epoch, bucket slot)` per vertex id.
+    tags: Vec<(u64, u32)>,
+    /// Current superstep's epoch; tags from older epochs are stale.
+    epoch: u64,
+}
+
+impl CombineScratch {
+    /// Start a new superstep over a graph of `num_vertices`: grow the tag
+    /// array if needed and invalidate every previous tag.
+    #[inline]
+    pub fn begin(&mut self, num_vertices: usize) {
+        if self.tags.len() < num_vertices {
+            self.tags.resize(num_vertices, (0, 0));
+        }
+        self.epoch += 1;
+    }
+
+    /// The live slot for `v` in this epoch, if any.
+    #[inline]
+    fn slot(&self, v: VertexId) -> Option<usize> {
+        let (e, s) = self.tags[v.0 as usize];
+        (e == self.epoch).then_some(s as usize)
+    }
+
+    /// Record `v`'s (newest) bucket slot for this epoch.
+    #[inline]
+    fn set_slot(&mut self, v: VertexId, slot: usize) {
+        self.tags[v.0 as usize] = (self.epoch, slot as u32);
+    }
+}
+
+impl<P: VertexProgram> QueryLocal<P> {
+    /// Fresh empty state for `program`; `combine` gates the combiner.
+    pub(crate) fn new(program: Arc<P>, combine: bool) -> Self {
         QueryLocal {
             cur: Vec::new(),
-            next: FxHashMap::default(),
+            cur_msgs: Vec::new(),
+            next: Vec::new(),
             state: FxHashMap::default(),
+            program,
+            combine,
         }
+    }
+
+    /// Append one pending message, opportunistically combining into the
+    /// inbox tail when the previous delivery addressed the same vertex
+    /// (sender-side-combined batches arrive vertex-sorted, so intra-batch
+    /// duplicates are adjacent). Cross-batch duplicates coalesce at the
+    /// freeze.
+    #[inline]
+    fn push_pending(&mut self, to: VertexId, msg: P::Message) {
+        if self.combine {
+            if let Some((last_v, acc)) = self.next.last_mut() {
+                if *last_v == to && self.program.combine(acc, &msg) {
+                    return;
+                }
+            }
+        }
+        self.next.push((to, msg));
     }
 }
 
@@ -98,39 +210,70 @@ impl<P: VertexProgram> LocalState for QueryLocal<P> {
     }
 
     fn pending_counts(&self) -> (usize, usize) {
-        (self.next.len(), self.next.values().map(Vec::len).sum())
+        let distinct: FxHashSet<VertexId> = self.next.iter().map(|(v, _)| *v).collect();
+        (distinct.len(), self.next.len())
     }
 
     /// Called at *barrier release* (not task start): all involved workers
     /// freeze at the same instant, so messages produced by another
     /// worker's in-flight superstep can never leak into this one — the
     /// BSP isolation that makes iteration counts partition-independent.
+    ///
+    /// This is the single sort + coalesce of the inbox lifecycle: the
+    /// flat pending vec is stably sorted by vertex (preserving arrival
+    /// order within a vertex) and split into per-vertex runs; a combiner
+    /// collapses each run as it is built.
     fn freeze(&mut self) -> (usize, usize) {
         debug_assert!(self.cur.is_empty(), "freeze with unexecuted frozen inbox");
-        self.cur = self.next.drain().collect();
-        self.cur.sort_unstable_by_key(|(v, _)| *v);
-        let msgs = self.cur.iter().map(|(_, m)| m.len()).sum();
-        (self.cur.len(), msgs)
+        let mut buf = std::mem::take(&mut self.next);
+        buf.sort_by_key(|(v, _)| *v); // stable: arrival order within a vertex
+        self.cur_msgs.clear();
+        self.cur_msgs.reserve(buf.len());
+        for (v, m) in buf.drain(..) {
+            match self.cur.last_mut() {
+                Some((last_v, run)) if *last_v == v => {
+                    if self.combine {
+                        let acc = &mut self.cur_msgs[run.end - 1];
+                        if self.program.combine(acc, &m) {
+                            continue;
+                        }
+                    }
+                    self.cur_msgs.push(m);
+                    run.end += 1;
+                }
+                _ => {
+                    let start = self.cur_msgs.len();
+                    self.cur_msgs.push(m);
+                    self.cur.push((v, start..start + 1));
+                }
+            }
+        }
+        // Hand the drained (now empty) buffer back as the next inbox, so
+        // its capacity amortizes across the query's supersteps.
+        self.next = buf;
+        (self.cur.len(), self.cur_msgs.len())
     }
 
     fn frozen_counts(&self) -> (usize, usize) {
-        (self.cur.len(), self.cur.iter().map(|(_, m)| m.len()).sum())
+        (self.cur.len(), self.cur_msgs.len())
     }
 
     fn scope_size(&self) -> usize {
         self.state.len()
     }
 
-    fn scope_vertices(&self) -> Vec<VertexId> {
-        self.state.keys().copied().collect()
+    fn for_each_scope_vertex(&self, f: &mut dyn FnMut(VertexId)) {
+        for v in self.state.keys() {
+            f(*v);
+        }
     }
 }
 
 impl<P: VertexProgram> QueryLocal<P> {
-    /// Deliver messages into the next-superstep inbox.
+    /// Deliver messages into the next-superstep inbox (a flat append).
     pub(crate) fn deliver(&mut self, msgs: impl IntoIterator<Item = (VertexId, P::Message)>) {
         for (v, m) in msgs {
-            self.next.entry(v).or_default().push(m);
+            self.push_pending(v, m);
         }
     }
 
@@ -138,7 +281,9 @@ impl<P: VertexProgram> QueryLocal<P> {
     ///
     /// `route` resolves the *current* assignment; messages to `home` go
     /// straight into the next inbox, others are returned bucketed by
-    /// destination worker.
+    /// destination worker as `(worker, pre-combine count, messages)` —
+    /// each bucket vertex-sorted and combined when the program has a
+    /// combiner.
     #[allow(clippy::type_complexity)]
     pub(crate) fn execute(
         &mut self,
@@ -147,18 +292,21 @@ impl<P: VertexProgram> QueryLocal<P> {
         prev_aggregate: &P::Aggregate,
         home: usize,
         route: &dyn Fn(VertexId) -> usize,
+        scratch: &mut CombineScratch,
     ) -> (
         SuperstepStats,
         P::Aggregate,
-        Vec<(usize, Vec<(VertexId, P::Message)>)>,
+        Vec<(usize, usize, Vec<(VertexId, P::Message)>)>,
     ) {
         let mut stats = SuperstepStats::default();
         let mut aggregate = program.aggregate_identity();
         let mut outgoing: Vec<(VertexId, P::Message)> = Vec::new();
         let combine = |a: &mut P::Aggregate, b: &P::Aggregate| program.aggregate_combine(a, b);
 
-        let cur = std::mem::take(&mut self.cur);
-        for (v, msgs) in &cur {
+        let mut cur = std::mem::take(&mut self.cur);
+        let mut cur_msgs = std::mem::take(&mut self.cur_msgs);
+        for (v, run) in &cur {
+            let msgs = &cur_msgs[run.clone()];
             let state = self.state.entry(*v).or_insert_with(|| program.init_state());
             let mut ctx = Context {
                 outgoing: &mut outgoing,
@@ -170,22 +318,54 @@ impl<P: VertexProgram> QueryLocal<P> {
             stats.executed += 1;
             stats.messages_in += msgs.len();
         }
+        // Hand the frozen buffers back empty: their capacity amortizes
+        // across the query's supersteps instead of reallocating from zero
+        // at every freeze.
+        cur.clear();
+        cur_msgs.clear();
+        self.cur = cur;
+        self.cur_msgs = cur_msgs;
 
-        // Route produced messages.
-        let mut buckets: FxHashMap<usize, Vec<(VertexId, P::Message)>> = FxHashMap::default();
+        // Route produced messages, applying the combiner *sender-side* as
+        // the buckets are built: one direct-address scratch probe per
+        // remote message merges it into an earlier message to the same
+        // vertex — no hashing, no sort, nothing for the receiver to redo.
+        // Bucket counts track `(pre-combine, messages)` per worker.
+        let mut buckets: FxHashMap<usize, (usize, Vec<(VertexId, P::Message)>)> =
+            FxHashMap::default();
+        if self.combine {
+            scratch.begin(graph.num_vertices());
+        }
         for (to, msg) in outgoing {
             let w = route(to);
             if w == home {
-                self.next.entry(to).or_default().push(msg);
+                self.push_pending(to, msg);
                 stats.local_deliveries += 1;
-            } else {
-                buckets.entry(w).or_default().push((to, msg));
-                stats.remote_deliveries += 1;
+                continue;
             }
+            stats.remote_pre_combine += 1;
+            let (pre, bucket) = buckets.entry(w).or_default();
+            *pre += 1;
+            if self.combine {
+                if let Some(slot) = scratch.slot(to) {
+                    if program.combine(&mut bucket[slot].1, &msg) {
+                        continue;
+                    }
+                }
+                // First sighting — or a declined combine: later messages
+                // target the newest occurrence.
+                scratch.set_slot(to, bucket.len());
+            }
+            bucket.push((to, msg));
         }
         stats.local_scope = self.state.len();
-        let mut remote: Vec<_> = buckets.into_iter().collect();
-        remote.sort_unstable_by_key(|(w, _)| *w); // deterministic order
+
+        let mut remote: Vec<(usize, usize, Vec<(VertexId, P::Message)>)> = Vec::new();
+        for (w, (pre, msgs)) in buckets {
+            stats.remote_deliveries += msgs.len();
+            remote.push((w, pre, msgs));
+        }
+        remote.sort_unstable_by_key(|(w, _, _)| *w); // deterministic order
         (stats, aggregate, remote)
     }
 
@@ -199,19 +379,31 @@ impl<P: VertexProgram> QueryLocal<P> {
         vertices: &FxHashSet<VertexId>,
     ) -> Vec<(VertexId, Option<P::State>, Vec<P::Message>)> {
         debug_assert!(self.cur.is_empty(), "migration during a running superstep");
+        // Split the flat inbox: moved vertices' messages leave (grouped
+        // per vertex, arrival order preserved), the rest stays pending.
+        let mut moved_msgs: FxHashMap<VertexId, Vec<P::Message>> = FxHashMap::default();
+        let mut kept = Vec::with_capacity(self.next.len());
+        for (v, m) in std::mem::take(&mut self.next) {
+            if vertices.contains(&v) {
+                moved_msgs.entry(v).or_default().push(m);
+            } else {
+                kept.push((v, m));
+            }
+        }
+        self.next = kept;
         let touched: Vec<VertexId> = self
             .state
             .keys()
-            .chain(self.next.keys())
             .filter(|v| vertices.contains(v))
             .copied()
+            .chain(moved_msgs.keys().copied())
             .collect::<FxHashSet<_>>()
             .into_iter()
             .collect();
         let mut entries = Vec::new();
         for v in touched {
             let st = self.state.remove(&v);
-            let msgs = self.next.remove(&v).unwrap_or_default();
+            let msgs = moved_msgs.remove(&v).unwrap_or_default();
             entries.push((v, st, msgs));
         }
         entries.sort_unstable_by_key(|(v, _, _)| *v);
@@ -226,8 +418,8 @@ impl<P: VertexProgram> QueryLocal<P> {
             if let Some(st) = st {
                 self.state.insert(v, st);
             }
-            if !msgs.is_empty() {
-                self.next.entry(v).or_default().extend(msgs);
+            for m in msgs {
+                self.push_pending(v, m);
             }
         }
     }
@@ -239,6 +431,34 @@ impl<P: VertexProgram> QueryLocal<P> {
     }
 }
 
+/// Sort a message bucket by destination vertex and collapse each vertex's
+/// run through the program's combiner, in place (swap-compaction, no
+/// allocation beyond the sort's own scratch — and `sort_unstable` has
+/// none). Unstable sort is safe under the combiner contract: the
+/// within-vertex fold is order-insensitive, and unstable sort is still
+/// deterministic for a fixed input permutation.
+pub(crate) fn combine_in_place<P: VertexProgram>(
+    program: &P,
+    msgs: &mut Vec<(VertexId, P::Message)>,
+) {
+    if msgs.len() <= 1 {
+        return;
+    }
+    msgs.sort_unstable_by_key(|(v, _)| *v);
+    let mut w = 0usize; // last kept entry
+    for r in 1..msgs.len() {
+        let (kept, rest) = msgs.split_at_mut(r);
+        let (v, m) = &rest[0];
+        let (last_v, acc) = &mut kept[w];
+        if *last_v == *v && program.combine(acc, m) {
+            continue;
+        }
+        w += 1;
+        msgs.swap(w, r);
+    }
+    msgs.truncate(w + 1);
+}
+
 /// One worker: the container of all queries' local state on this
 /// partition. Queries of *different* program types coexist; each entry is
 /// a type-erased [`LocalState`] that the query's task downcasts.
@@ -246,19 +466,39 @@ pub struct Worker {
     /// This worker's id (index into the cluster).
     pub id: usize,
     queries: FxHashMap<QueryId, Box<dyn LocalState>>,
+    /// Combiners enabled for newly created query locals.
+    combiners: bool,
+    /// The wire batch cap used for [`SuperstepStats::remote_batches`]
+    /// accounting (the paper's 32-message batches).
+    batch_max_msgs: usize,
+    /// Shared sender-side combine index (see [`CombineScratch`]).
+    scratch: CombineScratch,
 }
 
 impl Worker {
-    /// An empty worker.
+    /// An empty worker with combiners on and the paper's 32-message batch
+    /// cap.
     pub fn new(id: usize) -> Self {
+        Self::configured(id, true, 32)
+    }
+
+    /// An empty worker with explicit combiner gating and batch cap (the
+    /// engines thread [`crate::SystemConfig`] through here).
+    pub fn configured(id: usize, combiners: bool, batch_max_msgs: usize) -> Self {
         Worker {
             id,
             queries: FxHashMap::default(),
+            combiners,
+            batch_max_msgs: batch_max_msgs.max(1),
+            scratch: CombineScratch::default(),
         }
     }
 
     fn local_or_new(&mut self, task: &dyn QueryTask, q: QueryId) -> &mut Box<dyn LocalState> {
-        self.queries.entry(q).or_insert_with(|| task.new_local())
+        let combiners = self.combiners;
+        self.queries
+            .entry(q)
+            .or_insert_with(|| task.new_local(combiners))
     }
 
     /// Deliver a message batch into query `q`'s next-superstep inbox.
@@ -288,7 +528,9 @@ impl Worker {
         self.queries.get(&q).map_or((0, 0), |l| l.frozen_counts())
     }
 
-    /// Execute the frozen superstep of query `q` under its `task`.
+    /// Execute the frozen superstep of query `q` under its `task`. The
+    /// returned stats carry both pre- and post-combine remote counts plus
+    /// the batch count under this worker's wire cap.
     pub fn execute(
         &mut self,
         q: QueryId,
@@ -298,8 +540,27 @@ impl Worker {
         route: &dyn Fn(VertexId) -> usize,
     ) -> (SuperstepStats, Envelope, Vec<(usize, MessageBatch)>) {
         let home = self.id;
-        let local = self.local_or_new(task, q);
-        task.execute(local.as_mut(), graph, prev_aggregate, home, route)
+        let batch_max = self.batch_max_msgs;
+        let combiners = self.combiners;
+        // Split borrows: the query map and the combine scratch are
+        // disjoint worker fields.
+        let local = self
+            .queries
+            .entry(q)
+            .or_insert_with(|| task.new_local(combiners));
+        let (mut stats, agg, remote) = task.execute(
+            local.as_mut(),
+            graph,
+            prev_aggregate,
+            home,
+            route,
+            &mut self.scratch,
+        );
+        stats.remote_batches = remote
+            .iter()
+            .map(|(_, b)| b.len().div_ceil(batch_max))
+            .sum();
+        (stats, agg, remote)
     }
 
     /// `|LS(q,w)|`: vertices query `q` has activated on this worker.
@@ -307,12 +568,20 @@ impl Worker {
         self.queries.get(&q).map_or(0, |l| l.scope_size())
     }
 
-    /// The live local scope vertex set of query `q`.
+    /// Visit query `q`'s live local-scope vertices without allocating.
+    pub fn for_each_scope_vertex(&self, q: QueryId, f: &mut dyn FnMut(VertexId)) {
+        if let Some(l) = self.queries.get(&q) {
+            l.for_each_scope_vertex(f);
+        }
+    }
+
+    /// The live local scope vertex set of query `q`, materialized.
+    /// Prefer [`Worker::for_each_scope_vertex`] where a caller-owned
+    /// buffer can absorb the ids.
     pub fn scope_vertices(&self, q: QueryId) -> Vec<VertexId> {
-        self.queries
-            .get(&q)
-            .map(|l| l.scope_vertices())
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        self.for_each_scope_vertex(q, &mut |v| out.push(v));
+        out
     }
 
     /// Queries with state on this worker.
@@ -399,6 +668,7 @@ mod tests {
         assert_eq!(stats.executed, 1);
         assert_eq!(stats.local_deliveries, 1); // 0 -> 1 stays local
         assert!(remote.is_empty());
+        assert_eq!(stats.remote_batches, 0);
         assert_eq!(w.scope_size(q), 1);
         assert!(w.has_pending(q)); // vertex 1 activated
     }
@@ -415,10 +685,67 @@ mod tests {
         let prev = task.aggregate_identity();
         let (stats, _, remote) = w.execute(q, &task, &g, &prev, &|v| usize::from(v != VertexId(0)));
         assert_eq!(stats.remote_deliveries, 1);
+        assert_eq!(stats.remote_pre_combine, 1);
+        assert_eq!(stats.remote_batches, 1);
         assert_eq!(remote.len(), 1);
         assert_eq!(remote[0].0, 1);
         assert_eq!(remote[0].1.len(), 1);
         assert!(!w.has_pending(q));
+    }
+
+    #[test]
+    fn freeze_coalesces_duplicate_deliveries_with_combiner() {
+        // Reach's combiner keeps the minimum hop: three messages to one
+        // vertex freeze into a single apply.
+        let task = reach_task();
+        let mut w = Worker::new(0);
+        let q = QueryId(0);
+        w.deliver(&task, q, batch(&task, vec![(VertexId(1), 3)]));
+        w.deliver(&task, q, batch(&task, vec![(VertexId(2), 5)]));
+        w.deliver(
+            &task,
+            q,
+            batch(&task, vec![(VertexId(1), 1), (VertexId(1), 2)]),
+        );
+        let (_, pending) = w.pending_counts(q);
+        let (active, msgs) = w.freeze(q);
+        assert_eq!(active, 2);
+        assert!(msgs <= pending, "coalesce never grows the inbox");
+        assert_eq!(msgs, 2, "per-vertex runs collapse to one message");
+    }
+
+    #[test]
+    fn combiner_disabled_keeps_every_message() {
+        let task = reach_task();
+        let mut w = Worker::configured(0, false, 32);
+        let q = QueryId(0);
+        w.deliver(
+            &task,
+            q,
+            batch(&task, vec![(VertexId(1), 3), (VertexId(1), 1)]),
+        );
+        let (active, msgs) = w.freeze(q);
+        assert_eq!((active, msgs), (1, 2));
+    }
+
+    #[test]
+    fn remote_batches_respect_the_wire_cap() {
+        // 5 distinct remote destinations with a cap of 2 → ⌈5/2⌉ batches.
+        let mut b = GraphBuilder::new(6);
+        for t in 1..6 {
+            b.add_edge(0, t, 1.0);
+        }
+        let g = b.build();
+        let task = reach_task();
+        let mut w = Worker::configured(0, true, 2);
+        let q = QueryId(0);
+        w.deliver(&task, q, batch(&task, vec![(VertexId(0), 0)]));
+        w.freeze(q);
+        let prev = task.aggregate_identity();
+        let (stats, _, remote) = w.execute(q, &task, &g, &prev, &|v| usize::from(v != VertexId(0)));
+        assert_eq!(stats.remote_deliveries, 5);
+        assert_eq!(stats.remote_batches, 3);
+        assert_eq!(remote.len(), 1);
     }
 
     #[test]
@@ -446,6 +773,27 @@ mod tests {
         assert_eq!(b.scope_size(q), 1);
         assert!(b.has_pending(q));
         assert_eq!(b.pending_counts(q), (1, 1));
+    }
+
+    #[test]
+    fn extract_leaves_unmoved_pending_messages() {
+        let task = reach_task();
+        let mut w = Worker::new(0);
+        let q = QueryId(0);
+        w.deliver(
+            &task,
+            q,
+            batch(&task, vec![(VertexId(1), 1), (VertexId(2), 2)]),
+        );
+        let moved: FxHashSet<VertexId> = [VertexId(1)].into_iter().collect();
+        let task_of = {
+            let task = std::sync::Arc::new(reach_task());
+            move |_q: QueryId| task.clone() as std::sync::Arc<dyn QueryTask>
+        };
+        let data = w.extract_vertices(&task_of, &moved);
+        assert_eq!(data.len(), 1);
+        assert!(w.has_pending(q), "vertex 2's message stays");
+        assert_eq!(w.pending_counts(q), (1, 1));
     }
 
     #[test]
@@ -494,6 +842,26 @@ mod tests {
     fn empty_freeze_is_harmless() {
         let mut w = Worker::new(0);
         assert_eq!(w.freeze(QueryId(0)), (0, 0));
+    }
+
+    #[test]
+    fn scope_visitor_matches_materialized_set() {
+        let g = line();
+        let task = reach_task();
+        let q = QueryId(0);
+        let mut w = Worker::new(0);
+        w.deliver(&task, q, batch(&task, vec![(VertexId(0), 0)]));
+        w.freeze(q);
+        let prev = task.aggregate_identity();
+        w.execute(q, &task, &g, &prev, &|_| 0);
+        let mut visited = Vec::new();
+        w.for_each_scope_vertex(q, &mut |v| visited.push(v));
+        visited.sort_unstable();
+        let mut materialized = w.scope_vertices(q);
+        materialized.sort_unstable();
+        assert_eq!(visited, materialized);
+        // Unknown query: visitor is a no-op.
+        w.for_each_scope_vertex(QueryId(9), &mut |_| panic!("no scope"));
     }
 
     #[test]

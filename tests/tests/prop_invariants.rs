@@ -3,12 +3,13 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use qgraph_algo::{dijkstra_to, SsspProgram};
+use qgraph_algo::{dijkstra_to, BfsProgram, PoiProgram, RoadProgram, SsspProgram, WccProgram};
+use qgraph_core::programs::ReachProgram;
 use qgraph_core::qcut::{
     cluster_queries, local_search, migrate, run_qcut, MovePlan, ScopeMove, ScopeStats, Solution,
 };
-use qgraph_core::{QcutConfig, QueryId, SimEngine, SystemConfig};
-use qgraph_graph::{GraphBuilder, VertexId};
+use qgraph_core::{QcutConfig, QueryId, SimEngine, SystemConfig, ThreadEngine};
+use qgraph_graph::{Graph, GraphBuilder, VertexId};
 use qgraph_partition::{HashPartitioner, Partitioner, Partitioning, WorkerId};
 use qgraph_sim::ClusterModel;
 use rand::rngs::SmallRng;
@@ -35,6 +36,67 @@ fn build(n: usize, extra: &[(u32, u32, f32)]) -> Arc<qgraph_graph::Graph> {
         }
     }
     Arc::new(b.build())
+}
+
+/// Like [`build`], with every third vertex POI-tagged (for `PoiProgram`).
+fn build_tagged(n: usize, extra: &[(u32, u32, f32)]) -> Arc<Graph> {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..(n as u32 - 1) {
+        b.add_undirected_edge(i, i + 1, 1.0 + (i % 5) as f32);
+    }
+    for &(s, t, w) in extra {
+        if s != t {
+            b.add_undirected_edge(s, t, w);
+        }
+    }
+    let mut g = b.build();
+    g.props_mut().tags = (0..n).map(|v| v % 3 == 0).collect();
+    Arc::new(g)
+}
+
+/// The mixed workload of the combiner-equivalence tests: every builtin
+/// combiner-carrying program submitted into one engine (the four
+/// acceptance programs plus the Road dispatch wrapper and whole-graph
+/// WCC).
+struct MixedHandles {
+    sssp: qgraph_core::QueryHandle<SsspProgram>,
+    bfs: qgraph_core::QueryHandle<BfsProgram>,
+    poi: qgraph_core::QueryHandle<PoiProgram>,
+    reach: qgraph_core::QueryHandle<ReachProgram>,
+    road: qgraph_core::QueryHandle<RoadProgram>,
+    wcc: qgraph_core::QueryHandle<WccProgram>,
+}
+
+fn submit_mixed<E: qgraph_core::Engine>(
+    e: &mut E,
+    n: usize,
+    s: u32,
+    t: u32,
+    depth: u32,
+) -> MixedHandles {
+    let s = VertexId(s % n as u32);
+    let t = VertexId(t % n as u32);
+    MixedHandles {
+        sssp: e.submit(SsspProgram::new(s, t)),
+        bfs: e.submit(BfsProgram::new(t, depth)),
+        poi: e.submit(PoiProgram::new(s)),
+        reach: e.submit(ReachProgram::bounded(t, depth + 2)),
+        road: e.submit(RoadProgram::sssp(t, s)),
+        wcc: e.submit(WccProgram),
+    }
+}
+
+/// Assert the two engines' outputs agree for every mixed-workload handle.
+macro_rules! assert_same_outputs {
+    ($a:expr, $b:expr, $h:expr) => {{
+        prop_assert_eq!($a.output(&$h.sssp), $b.output(&$h.sssp));
+        prop_assert_eq!($a.output(&$h.bfs), $b.output(&$h.bfs));
+        prop_assert_eq!($a.output(&$h.poi), $b.output(&$h.poi));
+        prop_assert_eq!($a.output(&$h.reach), $b.output(&$h.reach));
+        prop_assert_eq!($a.output(&$h.road), $b.output(&$h.road));
+        prop_assert_eq!($a.output(&$h.wcc), $b.output(&$h.wcc));
+        prop_assert!($a.output(&$h.sssp).is_some(), "queries must finish");
+    }};
 }
 
 proptest! {
@@ -237,5 +299,177 @@ proptest! {
                 other => prop_assert!(false, "{s:?}->{t:?}: {other:?}"),
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tentpole acceptance: a combined run and a combiner-disabled run of
+    /// the same mixed workload (SSSP, BFS, POI, Reach, Road, WCC) are
+    /// *identical* on the sim engine — same outputs, same completion
+    /// order, same per-query iteration/locality/scope structure — and the
+    /// combine accounting is coherent: `remote_messages ≤
+    /// remote_messages_pre_combine`, produced (pre-combine) traffic is
+    /// unchanged by combining, and the disabled run combines nothing.
+    #[test]
+    fn sim_combiner_equivalence(
+        (n, extra) in arb_graph(36),
+        k in 1usize..4,
+        s in 0u32..40,
+        t in 0u32..40,
+        depth in 0u32..5,
+    ) {
+        let g = build_tagged(n, &extra);
+        let mk = |combiners: bool| {
+            let parts = HashPartitioner::default().partition(&g, k);
+            SimEngine::new(
+                Arc::clone(&g),
+                ClusterModel::scale_up(k),
+                parts,
+                SystemConfig {
+                    combiners,
+                    // Sequential admission pins the completion order, so
+                    // the ordering comparison below is meaningful.
+                    max_parallel_queries: 1,
+                    ..Default::default()
+                },
+            )
+        };
+        let mut on = mk(true);
+        let mut off = mk(false);
+        let h = submit_mixed(&mut on, n, s, t, depth);
+        let h2 = submit_mixed(&mut off, n, s, t, depth);
+        prop_assert_eq!(h.sssp.id(), h2.sssp.id(), "same submission order → same ids");
+        on.run();
+        off.run();
+        assert_same_outputs!(on, off, h);
+
+        let ids_on: Vec<QueryId> = on.report().outcomes.iter().map(|o| o.id).collect();
+        let ids_off: Vec<QueryId> = off.report().outcomes.iter().map(|o| o.id).collect();
+        prop_assert_eq!(ids_on, ids_off, "combining must not reorder completions");
+        for (a, b) in on.report().outcomes.iter().zip(off.report().outcomes.iter()) {
+            // Combining must not change the superstep structure, the
+            // locality metric, or the touched scope.
+            prop_assert_eq!(a.iterations, b.iterations);
+            prop_assert_eq!(a.local_iterations, b.local_iterations);
+            prop_assert_eq!(a.locality(), b.locality());
+            prop_assert_eq!(a.scope_size, b.scope_size);
+            prop_assert_eq!(a.vertex_updates, b.vertex_updates);
+            // Accounting coherence.
+            prop_assert!(a.remote_messages <= a.remote_messages_pre_combine);
+            prop_assert_eq!(
+                a.remote_messages_pre_combine, b.remote_messages_pre_combine,
+                "produced traffic is a property of compute, not the combiner"
+            );
+            prop_assert_eq!(
+                b.remote_messages, b.remote_messages_pre_combine,
+                "combiner-disabled run combines nothing"
+            );
+            prop_assert!(a.remote_messages <= b.remote_messages);
+            prop_assert!(a.remote_batches <= a.remote_messages);
+            prop_assert_eq!(a.remote_batches > 0, a.remote_messages > 0);
+        }
+    }
+
+    /// Same equivalence under adaptive Q-cut forced at arbitrary points:
+    /// outputs agree between combined and uncombined runs (superstep
+    /// *timing* differs, so migrations land differently — only answers
+    /// and partition invariants are comparable), and the partition cover
+    /// survives in both.
+    #[test]
+    fn sim_combiner_equivalence_with_qcut(
+        (n, extra) in arb_graph(32),
+        seed in 0u64..20,
+        s in 0u32..40,
+        t in 0u32..40,
+    ) {
+        let g = build_tagged(n, &extra);
+        let mk = |combiners: bool| {
+            let parts = HashPartitioner::default().partition(&g, 3);
+            SimEngine::new(
+                Arc::clone(&g),
+                ClusterModel::scale_up(3),
+                parts,
+                SystemConfig {
+                    combiners,
+                    qcut: Some(QcutConfig {
+                        locality_threshold: 1.0,
+                        min_repartition_interval_secs: 0.0,
+                        ils_budget_secs: 1e-6,
+                        ils_max_rounds: 8,
+                        seed,
+                        ..QcutConfig::default()
+                    }),
+                    max_parallel_queries: 4,
+                    ..Default::default()
+                },
+            )
+        };
+        let mut on = mk(true);
+        let mut off = mk(false);
+        let h = submit_mixed(&mut on, n, s, t, 3);
+        let h_b = submit_mixed(&mut on, n, t, s.wrapping_add(7), 2);
+        submit_mixed(&mut off, n, s, t, 3);
+        submit_mixed(&mut off, n, t, s.wrapping_add(7), 2);
+        on.run();
+        off.run();
+        assert_same_outputs!(on, off, h);
+        assert_same_outputs!(on, off, h_b);
+        for e in [&on, &off] {
+            prop_assert_eq!(e.partitioning().num_vertices(), n);
+            prop_assert_eq!(e.partitioning().sizes().iter().sum::<usize>(), n);
+        }
+        for o in on.report().outcomes.iter() {
+            prop_assert!(o.remote_messages <= o.remote_messages_pre_combine);
+        }
+    }
+
+    /// The thread runtime agrees too: combined and combiner-disabled runs
+    /// of the mixed workload produce identical outputs with Q-cut off and
+    /// with the stop-the-world Q-cut loop forced on, and the combine
+    /// accounting stays coherent.
+    #[test]
+    fn thread_combiner_equivalence(
+        (n, extra) in arb_graph(28),
+        qcut in 0usize..2,
+        s in 0u32..40,
+        t in 0u32..40,
+        depth in 0u32..4,
+    ) {
+        let g = build_tagged(n, &extra);
+        let mk = |combiners: bool| {
+            let parts = HashPartitioner::default().partition(&g, 2);
+            ThreadEngine::with_config(
+                Arc::clone(&g),
+                parts,
+                SystemConfig {
+                    combiners,
+                    qcut: (qcut == 1).then(|| QcutConfig {
+                        qcut_interval: 3,
+                        locality_threshold: 1.0,
+                        min_repartition_interval_secs: 0.0,
+                        ils_budget_secs: 1e-6,
+                        ils_max_rounds: 8,
+                        ..QcutConfig::default()
+                    }),
+                    ..Default::default()
+                },
+            )
+        };
+        let mut on = mk(true);
+        let mut off = mk(false);
+        let h = submit_mixed(&mut on, n, s, t, depth);
+        submit_mixed(&mut off, n, s, t, depth);
+        on.run();
+        off.run();
+        assert_same_outputs!(on, off, h);
+        for (a, b) in on.report().outcomes.iter().zip(off.report().outcomes.iter()) {
+            prop_assert!(a.remote_messages <= a.remote_messages_pre_combine);
+            prop_assert_eq!(b.remote_messages, b.remote_messages_pre_combine);
+            prop_assert!(a.remote_batches <= a.remote_messages);
+        }
+        on.shutdown();
+        off.shutdown();
     }
 }
