@@ -2,7 +2,7 @@
 //! Application 2 (personal social circles).
 
 use qgraph_core::{Context, VertexProgram};
-use qgraph_graph::{Graph, VertexId};
+use qgraph_graph::{Topology, VertexId};
 
 /// Breadth-first search from `source`, stopping after `max_depth` hops.
 /// Output: every reached vertex with its hop distance.
@@ -46,13 +46,13 @@ impl VertexProgram for BfsProgram {
         true
     }
 
-    fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, u32)> {
+    fn initial_messages(&self, _graph: &Topology) -> Vec<(VertexId, u32)> {
         vec![(self.source, 0)]
     }
 
     fn compute(
         &self,
-        graph: &Graph,
+        graph: &Topology,
         vertex: VertexId,
         state: &mut u32,
         messages: &[u32],
@@ -72,7 +72,7 @@ impl VertexProgram for BfsProgram {
 
     fn finalize(
         &self,
-        _graph: &Graph,
+        _graph: &Topology,
         states: &mut dyn Iterator<Item = (VertexId, u32)>,
     ) -> Vec<(VertexId, u32)> {
         let mut out: Vec<(VertexId, u32)> = states.filter(|(_, d)| *d != u32::MAX).collect();
@@ -86,6 +86,7 @@ mod tests {
     use super::*;
     use crate::reference::k_hop;
     use qgraph_core::{SimEngine, SystemConfig};
+    use qgraph_graph::Graph;
     use qgraph_graph::GraphBuilder;
     use qgraph_partition::{HashPartitioner, Partitioner};
     use qgraph_sim::ClusterModel;

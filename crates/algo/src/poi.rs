@@ -2,7 +2,7 @@
 //! vertex — e.g. gas station — from a start vertex.
 
 use qgraph_core::{Context, VertexProgram};
-use qgraph_graph::{Graph, VertexId};
+use qgraph_graph::{Topology, VertexId};
 
 /// Expands travel-time distance from `source` until the nearest tagged
 /// vertex is provably found; the sticky aggregate carries the best tagged
@@ -60,13 +60,13 @@ impl VertexProgram for PoiProgram {
         true
     }
 
-    fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, f32)> {
+    fn initial_messages(&self, _graph: &Topology) -> Vec<(VertexId, f32)> {
         vec![(self.source, 0.0)]
     }
 
     fn compute(
         &self,
-        graph: &Graph,
+        graph: &Topology,
         vertex: VertexId,
         state: &mut f32,
         messages: &[f32],
@@ -96,7 +96,7 @@ impl VertexProgram for PoiProgram {
 
     fn finalize(
         &self,
-        graph: &Graph,
+        graph: &Topology,
         states: &mut dyn Iterator<Item = (VertexId, f32)>,
     ) -> Option<(VertexId, f32)> {
         states
@@ -109,6 +109,7 @@ impl VertexProgram for PoiProgram {
 mod tests {
     use super::*;
     use qgraph_core::{SimEngine, SystemConfig};
+    use qgraph_graph::Graph;
     use qgraph_graph::GraphBuilder;
     use qgraph_partition::{Partitioner, RangePartitioner};
     use qgraph_sim::ClusterModel;

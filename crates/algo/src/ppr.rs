@@ -9,7 +9,7 @@
 //! localized around the source, exactly like the paper's road queries.
 
 use qgraph_core::{Context, VertexProgram};
-use qgraph_graph::{Graph, VertexId};
+use qgraph_graph::{Topology, VertexId};
 
 /// Personalized PageRank from `source` with teleport `alpha` and push
 /// threshold `epsilon`.
@@ -43,16 +43,65 @@ pub struct PprState {
     pub r: f32,
 }
 
+/// A residual-mass transfer carried as a compensated partial sum
+/// (Neumaier's variant of Kahan summation): `sum` plus the accumulated
+/// low-order error `c`. Folding transfers through [`Residual::add`]
+/// loses far less precision than a plain `f32` running sum, which is
+/// what makes PPR's message *combiner* admissible: regrouping additions
+/// (combining is exactly that) perturbs the result by at most a few
+/// ulps instead of accumulating O(n) rounding drift — the
+/// tolerance-based equivalence property test pins the bound.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Residual {
+    sum: f32,
+    c: f32,
+}
+
+impl Residual {
+    /// A single transfer of `mass`.
+    pub fn new(mass: f32) -> Self {
+        Residual { sum: mass, c: 0.0 }
+    }
+
+    /// Compensated add (Neumaier): accumulate `x`, tracking the rounding
+    /// error of every addition in `c`.
+    #[inline]
+    pub fn add(&mut self, x: f32) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.c += (self.sum - t) + x;
+        } else {
+            self.c += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Fold another compensated sum in.
+    #[inline]
+    pub fn merge(&mut self, other: &Residual) {
+        self.add(other.sum);
+        self.add(other.c);
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn value(&self) -> f32 {
+        self.sum + self.c
+    }
+}
+
 impl VertexProgram for PprProgram {
     type State = PprState;
-    /// Residual mass transferred along an edge.
+    /// Residual mass transferred along an edge, as a compensated sum.
     ///
-    /// PPR deliberately keeps the default *no-combiner*: its fold is a
-    /// floating-point sum, which is only approximately associative —
-    /// combining would regroup additions and break the bit-identical
-    /// combined-vs-uncombined equivalence the engines guarantee for
-    /// combiner-carrying programs.
-    type Message = f32;
+    /// PPR's fold is a floating-point sum — only approximately
+    /// associative, so unlike the min/OR programs its combined and
+    /// uncombined runs are *tolerance*-equivalent rather than
+    /// bit-identical (see [`VertexProgram::combine`]'s contract notes).
+    /// Carrying Kahan/Neumaier compensation in the message keeps that
+    /// tolerance at a few ulps, which unlocks the combiner for this
+    /// sum-fold: N pushes addressed to one vertex cross the wire as one.
+    type Message = Residual;
     type Aggregate = ();
     /// `(vertex, mass)` pairs with meaningful mass, sorted descending.
     type Output = Vec<(VertexId, f32)>;
@@ -69,19 +118,34 @@ impl VertexProgram for PprProgram {
 
     fn aggregate_combine(&self, _a: &mut (), _b: &()) {}
 
-    fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, f32)> {
-        vec![(self.source, 1.0)]
+    /// Compensated-sum combiner: transfers to one vertex fold into a
+    /// single message. Approximately associative (see `Message` docs);
+    /// equivalence with combining disabled is tolerance-based.
+    fn combine(&self, acc: &mut Residual, other: &Residual) -> bool {
+        acc.merge(other);
+        true
+    }
+
+    fn initial_messages(&self, _graph: &Topology) -> Vec<(VertexId, Residual)> {
+        vec![(self.source, Residual::new(1.0))]
     }
 
     fn compute(
         &self,
-        graph: &Graph,
+        graph: &Topology,
         vertex: VertexId,
         state: &mut PprState,
-        messages: &[f32],
-        ctx: &mut Context<'_, f32, ()>,
+        messages: &[Residual],
+        ctx: &mut Context<'_, Residual, ()>,
     ) {
-        state.r += messages.iter().sum::<f32>();
+        // Fold incoming transfers with the same compensated accumulation
+        // the combiner uses, so combined and uncombined runs walk nearly
+        // identical arithmetic.
+        let mut acc = Residual::new(state.r);
+        for m in messages {
+            acc.merge(m);
+        }
+        state.r = acc.value();
         let degree = graph.degree(vertex);
         if degree == 0 {
             // Dangling vertex: keep everything.
@@ -95,7 +159,7 @@ impl VertexProgram for PprProgram {
             state.r = 0.0;
             let share = (1.0 - self.alpha) * r / degree as f32;
             for (t, _) in graph.neighbors(vertex) {
-                ctx.send(t, share);
+                ctx.send(t, Residual::new(share));
             }
         }
         // Below threshold: hold the residual; a later message may push it
@@ -104,7 +168,7 @@ impl VertexProgram for PprProgram {
 
     fn finalize(
         &self,
-        _graph: &Graph,
+        _graph: &Topology,
         states: &mut dyn Iterator<Item = (VertexId, PprState)>,
     ) -> Vec<(VertexId, f32)> {
         let mut out: Vec<(VertexId, f32)> = states
@@ -120,6 +184,7 @@ impl VertexProgram for PprProgram {
 mod tests {
     use super::*;
     use qgraph_core::{SimEngine, SystemConfig};
+    use qgraph_graph::Graph;
     use qgraph_graph::GraphBuilder;
     use qgraph_partition::{Partitioner, RangePartitioner};
     use qgraph_sim::ClusterModel;
@@ -167,6 +232,61 @@ mod tests {
             tight.len(),
             loose.len()
         );
+    }
+
+    #[test]
+    fn residual_compensation_beats_naive_summation() {
+        // Summing many tiny values into a large one: the compensated
+        // accumulator retains them, a plain f32 sum drops them all.
+        let mut acc = Residual::new(1.0);
+        let tiny = 1e-8f32;
+        for _ in 0..1000 {
+            acc.add(tiny);
+        }
+        let naive = (0..1000).fold(1.0f32, |s, _| s + tiny);
+        let exact = 1.0f64 + 1000.0 * 1e-8;
+        assert_eq!(naive, 1.0, "naive f32 summation loses every tiny term");
+        // The compensated total is exact up to the final f32 rounding of
+        // `sum + c` (one half-ulp of 1.00001, ~6e-8).
+        assert!((acc.value() as f64 - exact).abs() < 1e-7, "{}", acc.value());
+    }
+
+    #[test]
+    fn combined_and_uncombined_masses_agree_within_tolerance() {
+        // The tolerance-based equivalence the combiner contract requires
+        // for approximately-associative folds: same graph, combiners on
+        // vs off, per-vertex masses within a few ulps of each other.
+        let g = path(40);
+        let run = |combiners: bool| {
+            let parts = RangePartitioner.partition(&g, 2);
+            let cfg = SystemConfig {
+                combiners,
+                ..Default::default()
+            };
+            let mut e = SimEngine::new(Arc::clone(&g), ClusterModel::scale_up(2), parts, cfg);
+            let q = e.submit(PprProgram::new(VertexId(20), 0.15, 1e-5));
+            e.run();
+            e.take_output(&q).unwrap()
+        };
+        let on = run(true);
+        let off = run(false);
+        let masses = |out: &[(VertexId, f32)]| {
+            let mut m: Vec<(VertexId, f32)> = out.to_vec();
+            m.sort_by_key(|(v, _)| *v);
+            m
+        };
+        let (on, off) = (masses(&on), masses(&off));
+        assert_eq!(
+            on.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            off.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            "same vertex set"
+        );
+        for ((v, a), (_, b)) in on.iter().zip(&off) {
+            assert!(
+                (a - b).abs() <= 1e-5 * a.abs().max(*b).max(1e-3),
+                "{v}: {a} vs {b}"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! instance (mixed workloads, as a mapping service would serve them).
 
 use qgraph_core::{Context, VertexProgram};
-use qgraph_graph::{Graph, VertexId};
+use qgraph_graph::{Topology, VertexId};
 
 use crate::{PoiProgram, SsspProgram};
 
@@ -76,7 +76,7 @@ impl VertexProgram for RoadProgram {
         }
     }
 
-    fn initial_messages(&self, graph: &Graph) -> Vec<(VertexId, f32)> {
+    fn initial_messages(&self, graph: &Topology) -> Vec<(VertexId, f32)> {
         match self {
             RoadProgram::Sssp(p) => p.initial_messages(graph),
             RoadProgram::Poi(p) => p.initial_messages(graph),
@@ -85,7 +85,7 @@ impl VertexProgram for RoadProgram {
 
     fn compute(
         &self,
-        graph: &Graph,
+        graph: &Topology,
         vertex: VertexId,
         state: &mut f32,
         messages: &[f32],
@@ -99,7 +99,7 @@ impl VertexProgram for RoadProgram {
 
     fn finalize(
         &self,
-        graph: &Graph,
+        graph: &Topology,
         states: &mut dyn Iterator<Item = (VertexId, f32)>,
     ) -> RoadAnswer {
         match self {

@@ -1,7 +1,7 @@
 //! Targeted single-source shortest path (the paper's SSSP query).
 
 use qgraph_core::{Context, VertexProgram};
-use qgraph_graph::{Graph, VertexId};
+use qgraph_graph::{Topology, VertexId};
 
 /// Bellman-Ford-style vertex-centric SSSP from `source`, pruned toward
 /// `target` (paper §2: "the shortest path between the start vertex v0 and
@@ -72,13 +72,13 @@ impl VertexProgram for SsspProgram {
         true
     }
 
-    fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, f32)> {
+    fn initial_messages(&self, _graph: &Topology) -> Vec<(VertexId, f32)> {
         vec![(self.source, 0.0)]
     }
 
     fn compute(
         &self,
-        graph: &Graph,
+        graph: &Topology,
         vertex: VertexId,
         state: &mut f32,
         messages: &[f32],
@@ -109,7 +109,7 @@ impl VertexProgram for SsspProgram {
 
     fn finalize(
         &self,
-        _graph: &Graph,
+        _graph: &Topology,
         states: &mut dyn Iterator<Item = (VertexId, f32)>,
     ) -> Option<f32> {
         for (v, d) in states {
@@ -126,6 +126,7 @@ mod tests {
     use super::*;
     use crate::reference::dijkstra_to;
     use qgraph_core::{SimEngine, SystemConfig};
+    use qgraph_graph::Graph;
     use qgraph_graph::GraphBuilder;
     use qgraph_partition::{HashPartitioner, Partitioner};
     use qgraph_sim::ClusterModel;

@@ -5,7 +5,7 @@
 //! locality cannot be exploited, delimiting when Q-cut helps.
 
 use qgraph_core::{Context, VertexProgram};
-use qgraph_graph::{Graph, VertexId};
+use qgraph_graph::{Topology, VertexId};
 
 /// Classic HashMin connected components over the whole graph (edges are
 /// treated as given; run on symmetrized graphs for *weak* connectivity).
@@ -39,14 +39,14 @@ impl VertexProgram for WccProgram {
         true
     }
 
-    fn initial_messages(&self, graph: &Graph) -> Vec<(VertexId, u32)> {
+    fn initial_messages(&self, graph: &Topology) -> Vec<(VertexId, u32)> {
         // Every vertex starts with its own id as its label.
         graph.vertices().map(|v| (v, v.0)).collect()
     }
 
     fn compute(
         &self,
-        graph: &Graph,
+        graph: &Topology,
         vertex: VertexId,
         state: &mut u32,
         messages: &[u32],
@@ -61,7 +61,11 @@ impl VertexProgram for WccProgram {
         }
     }
 
-    fn finalize(&self, _graph: &Graph, states: &mut dyn Iterator<Item = (VertexId, u32)>) -> usize {
+    fn finalize(
+        &self,
+        _graph: &Topology,
+        states: &mut dyn Iterator<Item = (VertexId, u32)>,
+    ) -> usize {
         let mut labels: Vec<u32> = states.map(|(_, l)| l).collect();
         labels.sort_unstable();
         labels.dedup();
@@ -73,6 +77,7 @@ impl VertexProgram for WccProgram {
 mod tests {
     use super::*;
     use qgraph_core::{SimEngine, SystemConfig};
+    use qgraph_graph::Graph;
     use qgraph_graph::GraphBuilder;
     use qgraph_partition::{HashPartitioner, Partitioner};
     use qgraph_sim::ClusterModel;

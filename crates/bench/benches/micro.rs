@@ -188,12 +188,66 @@ fn bench_message_plane(c: &mut Criterion) {
     g.finish();
 }
 
+/// Mutation-plane primitives: overlay application, overlay-mode
+/// neighbor reads, and CSR compaction — the costs the sim's
+/// `mutation_apply_ns` / `compact_ns_per_edge` constants model.
+fn bench_mutation_plane(c: &mut Criterion) {
+    use qgraph_graph::Topology;
+    use qgraph_workload::{edge_churn, ChurnConfig};
+
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig {
+        num_cities: 4,
+        vertices_per_city: 800,
+        seed: 19,
+        ..Default::default()
+    })
+    .generate();
+    let graph = Arc::new(net.graph);
+    let stream = edge_churn(&graph, &ChurnConfig::uniform(16, 64, 1.0, 9));
+
+    let mut g = c.benchmark_group("mutation_plane");
+    g.sample_size(10);
+    let apply_graph = Arc::clone(&graph);
+    let apply_stream = stream.clone();
+    g.bench_function("apply_16x64_ops", move |b| {
+        b.iter_batched(
+            || Topology::new(Arc::clone(&apply_graph)),
+            |mut topo| {
+                for m in &apply_stream {
+                    topo.apply(&m.batch);
+                }
+                topo.num_edges()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut dirty = Topology::new(Arc::clone(&graph));
+    for m in &stream {
+        dirty.apply(&m.batch);
+    }
+    let read_topo = dirty.clone();
+    g.bench_function("overlay_neighbor_scan", move |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in read_topo.vertices() {
+                acc += read_topo.neighbors(v).count();
+            }
+            acc
+        })
+    });
+    g.bench_function("compact_rebuild", move |b| {
+        b.iter(|| dirty.compacted().num_edges())
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_partitioners,
     bench_qcut,
     bench_generation,
     bench_engine,
-    bench_message_plane
+    bench_message_plane,
+    bench_mutation_plane
 );
 criterion_main!(benches);

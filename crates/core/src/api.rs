@@ -223,6 +223,23 @@ impl EngineBuilder {
         self
     }
 
+    /// Bound the admission queue at `depth` waiting queries (shorthand
+    /// for [`SystemConfig::max_queued`]): submissions arriving beyond it
+    /// are rejected with a distinct [`crate::OutcomeStatus::Rejected`]
+    /// outcome — backpressure for overloaded serving engines.
+    pub fn max_queued(mut self, depth: usize) -> Self {
+        self.config.max_queued = Some(depth);
+        self
+    }
+
+    /// Mutation-plane compaction threshold (shorthand for
+    /// [`SystemConfig::compact_fraction`]): rebuild the CSR at a mutation
+    /// barrier once the overlay crosses this fraction of the base edges.
+    pub fn compact_fraction(mut self, fraction: f64) -> Self {
+        self.config.compact_fraction = fraction;
+        self
+    }
+
     /// Order-independent assembly: an explicit partitioning fixes the
     /// worker count, else an explicit `workers(k)`, else the cluster's,
     /// else 1. Conflicting explicit counts panic here with the

@@ -139,8 +139,21 @@ pub struct SystemConfig {
     /// `NetworkModel::batch_max_msgs` (same default) and asserts at
     /// construction that the two caps agree, so reported batch counts
     /// always match what the cost model charges (and what the thread
-    /// runtime reports for the same config).
+    /// runtime reports for the same config). The thread runtime also
+    /// *chunks* its `Deliver` payloads at this cap, so a burst to one
+    /// destination becomes several bounded envelopes rather than one
+    /// unbounded one.
     pub batch_max_msgs: usize,
+    /// Mutation-plane compaction threshold: at a mutation epoch barrier,
+    /// rebuild the CSR (see `qgraph_graph::Topology::compacted`) once the
+    /// overlay's op count reaches this fraction of the base edge count.
+    /// `f64::INFINITY` never compacts; `0.0` compacts at every epoch.
+    pub compact_fraction: f64,
+    /// Bounded admission queue (backpressure): a submission arriving while
+    /// this many queries are already waiting is *rejected* — it gets a
+    /// distinct [`crate::OutcomeStatus::Rejected`] outcome and its output
+    /// stays `None`. `None` = unbounded (the default).
+    pub max_queued: Option<usize>,
 }
 
 impl Default for SystemConfig {
@@ -154,6 +167,8 @@ impl Default for SystemConfig {
             state_bytes_per_vertex: 32,
             combiners: true,
             batch_max_msgs: 32,
+            compact_fraction: 0.25,
+            max_queued: None,
         }
     }
 }
@@ -196,6 +211,8 @@ mod tests {
         assert!(s.qcut.is_none());
         assert!(s.combiners, "combiners are on by default");
         assert_eq!(s.batch_max_msgs, 32, "the paper's batch cap");
+        assert_eq!(s.compact_fraction, 0.25);
+        assert!(s.max_queued.is_none(), "unbounded admission by default");
     }
 
     #[test]

@@ -4,10 +4,10 @@
 
 use std::collections::VecDeque;
 
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 
-use qgraph_graph::VertexId;
-use qgraph_partition::Partitioning;
+use qgraph_graph::{AppliedMutation, MutationBatch, Topology, VertexId};
+use qgraph_partition::{Partitioning, WorkerId};
 use qgraph_sim::SimTime;
 
 use crate::config::QcutConfig;
@@ -98,6 +98,21 @@ impl Controller {
     /// Number of retained finished scopes.
     pub fn retained(&self) -> usize {
         self.finished.len()
+    }
+
+    /// Mutation-plane staleness: drop every retained finished scope that
+    /// touches a mutated vertex. Their sizes and overlaps were measured
+    /// against the pre-mutation topology, so feeding them to the ILS
+    /// would optimize for adjacency that no longer exists; untouched
+    /// scopes stay (their statistics are still valid). Live queries are
+    /// unaffected — their scopes are re-gathered at every barrier.
+    pub fn invalidate_scopes(&mut self, mutated: &[VertexId]) {
+        if mutated.is_empty() || self.finished.is_empty() {
+            return;
+        }
+        let set: FxHashSet<VertexId> = mutated.iter().copied().collect();
+        self.finished
+            .retain(|r| !r.vertices.iter().any(|v| set.contains(v)));
     }
 
     /// Should a repartition be triggered now? (paper §3.4: mean query
@@ -263,10 +278,119 @@ impl Controller {
     }
 }
 
+/// What one stop-the-world barrier's mutation phase did — the sim prices
+/// `ops`/`compacted_edges`, and both engines patch the barrier duration
+/// onto `report.mutations[events_from..]` once the barrier end is known.
+pub(crate) struct MutationApply {
+    /// Total ops applied across the barrier's batches.
+    pub ops: usize,
+    /// Live edges rebuilt into a fresh CSR, when the compaction policy
+    /// fired.
+    pub compacted_edges: Option<usize>,
+    /// Index of the first `MutationEvent` this barrier appended.
+    pub events_from: usize,
+}
+
+/// The runtime-agnostic mutation-epoch body both engines run under their
+/// stop-the-world barriers: apply each due batch atomically (one graph
+/// epoch each, in order), extend the partitioning for created vertices,
+/// drop stale retained scopes, record `MutationEvent`s, and evaluate the
+/// compaction policy once at the end. The callers add what is theirs
+/// alone — the sim charges virtual cost from the returned totals, the
+/// thread runtime broadcasts the new `Arc<Topology>` to its workers.
+pub(crate) fn apply_mutation_epochs(
+    topology: &mut Topology,
+    partitioning: &mut Partitioning,
+    controller: &mut Controller,
+    report: &mut crate::report::EngineReport,
+    batches: &[MutationBatch],
+    compact_fraction: f64,
+    applied_at_secs: f64,
+) -> MutationApply {
+    let events_from = report.mutations.len();
+    let mut ops = 0usize;
+    for batch in batches {
+        let applied = topology.apply(batch);
+        place_new_vertices(partitioning, &applied);
+        // Retained finished scopes touching mutated vertices carry
+        // pre-mutation statistics: drop them before the next ILS.
+        controller.invalidate_scopes(&applied.touched);
+        ops += applied.ops;
+        report.mutations.push(crate::report::MutationEvent {
+            applied_at: applied_at_secs,
+            epoch: applied.epoch,
+            ops: applied.ops,
+            new_vertices: applied.new_vertices.len(),
+            compacted: false,
+            barrier_duration: 0.0, // patched once the barrier end is known
+        });
+    }
+    // Compaction policy: once per barrier, after every batch applied.
+    let mut compacted_edges = None;
+    if !batches.is_empty()
+        && !topology.is_compact()
+        && topology.overlay_fraction() >= compact_fraction
+    {
+        compacted_edges = Some(topology.num_edges());
+        *topology = topology.compacted();
+        if let Some(ev) = report.mutations.last_mut() {
+            ev.compacted = true;
+        }
+    }
+    MutationApply {
+        ops,
+        compacted_edges,
+        events_from,
+    }
+}
+
+/// Place the vertices a mutation batch created: each goes to the worker
+/// owning the plurality of its batch-adjacent neighbors (ties to the
+/// lower worker id), or to the smallest partition when the batch attached
+/// it to nothing already placed. A cheap locality heuristic — the next
+/// ILS pass refines the placement with real scope statistics.
+pub fn place_new_vertices(partitioning: &mut Partitioning, applied: &AppliedMutation) {
+    if applied.new_vertices.is_empty() {
+        return;
+    }
+    let mut sizes = partitioning.sizes();
+    for (v, neighbors) in &applied.new_vertex_neighbors {
+        debug_assert_eq!(
+            v.index(),
+            partitioning.num_vertices(),
+            "new vertices extend the assignment densely, in id order"
+        );
+        let mut votes = vec![0usize; partitioning.num_workers()];
+        let mut any = false;
+        for n in neighbors {
+            if n.index() < partitioning.num_vertices() {
+                votes[partitioning.worker_of(*n).index()] += 1;
+                any = true;
+            }
+        }
+        let w = if any {
+            votes
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, c)| (*c, std::cmp::Reverse(i)))
+                .map(|(i, _)| i)
+                .expect("at least one worker")
+        } else {
+            sizes
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, c)| (*c, i))
+                .map(|(i, _)| i)
+                .expect("at least one worker")
+        };
+        partitioning.push(WorkerId(w as u32));
+        sizes[w] += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qgraph_partition::WorkerId;
 
     fn ctl() -> Controller {
         Controller::new(Some(QcutConfig {
@@ -402,6 +526,43 @@ mod tests {
         ];
         let s = c.build_scope_stats(&live, &p);
         assert_eq!(s.queries, vec![QueryId(0), QueryId(1)]);
+    }
+
+    #[test]
+    fn mutation_invalidates_touching_scopes_only() {
+        let mut c = ctl();
+        c.record_finished_scope(QueryId(0), vec![VertexId(1), VertexId(2)], SimTime::ZERO);
+        c.record_finished_scope(QueryId(1), vec![VertexId(7)], SimTime::ZERO);
+        c.invalidate_scopes(&[VertexId(2), VertexId(9)]);
+        assert_eq!(c.retained(), 1, "only the touching scope is stale");
+        assert!(c.finished_scope(QueryId(0)).is_none());
+        assert!(c.finished_scope(QueryId(1)).is_some());
+        c.invalidate_scopes(&[]);
+        assert_eq!(c.retained(), 1, "empty footprint is a no-op");
+    }
+
+    #[test]
+    fn new_vertices_placed_with_batch_neighbors() {
+        use qgraph_graph::{MutationBatch, Topology};
+        // Worker 0 owns {0,1}, worker 1 owns {2,3}.
+        let mut p = part(vec![0, 0, 1, 1], 2);
+        let mut b = qgraph_graph::GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        let mut t = Topology::new(b.build());
+        let mut batch = MutationBatch::new();
+        // Vertex 4: two neighbors on worker 1 -> placed there. Vertex 5:
+        // no edges -> smallest partition.
+        batch
+            .add_vertex()
+            .add_edge(4, 2, 1.0)
+            .add_edge(3, 4, 1.0)
+            .add_edge(4, 0, 1.0)
+            .add_vertex();
+        let applied = t.apply(&batch);
+        place_new_vertices(&mut p, &applied);
+        assert_eq!(p.num_vertices(), 6);
+        assert_eq!(p.worker_of(VertexId(4)), WorkerId(1), "plurality wins");
+        assert_eq!(p.worker_of(VertexId(5)), WorkerId(0), "smallest partition");
     }
 
     #[test]

@@ -36,16 +36,16 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use qgraph_graph::{Graph, VertexId};
+use qgraph_graph::{Graph, MutationBatch, Topology, VertexId};
 use qgraph_partition::Partitioning;
 use qgraph_sim::{ClusterModel, EventQueue, SimTime};
 
 use crate::barrier::{self, BarrierInput};
 use crate::config::{BarrierMode, SystemConfig};
-use crate::controller::Controller;
+use crate::controller::{apply_mutation_epochs, Controller};
 use crate::program::VertexProgram;
 use crate::qcut::{migrate, run_qcut, IlsResult};
-use crate::query::{QueryHandle, QueryId, QueryOutcome};
+use crate::query::{OutcomeStatus, QueryHandle, QueryId, QueryOutcome};
 use crate::report::{ActivitySample, EngineReport, RepartitionEvent};
 use crate::sched::{Scheduler, Submission};
 use crate::task::{Envelope, QueryTask, TypedTask};
@@ -66,6 +66,9 @@ enum Event {
     BarrierRelease { q: QueryId },
     /// The virtual ILS budget elapsed; apply the pending plan.
     IlsReady,
+    /// A mutation batch's virtual application time was reached: stop the
+    /// world at the next quiescent point and open a new graph epoch.
+    MutationDue { m: usize },
     /// SharedGlobal mode: the cross-query round barrier released.
     RoundRelease,
     /// Workers are quiescent: migrate scope vertices (STOP barrier body).
@@ -92,6 +95,8 @@ struct QueryRun {
     deadline: Option<SimTime>,
     /// Admission: when a closed-loop slot freed and execution began.
     submitted_at: SimTime,
+    /// Graph epoch at admission (outcome attribution).
+    first_epoch: u64,
     iteration: u32,
     local_iterations: u32,
     vertex_updates: u64,
@@ -117,7 +122,7 @@ struct WorkerSched {
 
 /// The deterministic multi-query engine. See the module docs.
 pub struct SimEngine {
-    graph: Arc<Graph>,
+    topology: Topology,
     cluster: ClusterModel,
     cfg: SystemConfig,
     partitioning: Partitioning,
@@ -140,6 +145,14 @@ pub struct SimEngine {
     awaiting_quiesce: bool,
     deferred_releases: Vec<QueryId>,
     pending_plan: Option<(IlsResult, SimTime)>,
+    /// The ILS budget has elapsed: the pending plan may be applied at the
+    /// next barrier's migration phase.
+    plan_ready: bool,
+    /// Submitted mutation batches (taken when applied).
+    mutations: Vec<Option<MutationBatch>>,
+    /// Batches whose virtual application time has been reached, waiting
+    /// for the stop-the-world barrier to apply them.
+    due_mutations: Vec<usize>,
     controller: Controller,
     report: EngineReport,
     /// Per-worker vertex updates within the current activity sub-window
@@ -200,10 +213,10 @@ impl SimEngine {
                 .unwrap_or(f64::MAX / 1e10),
         );
         SimEngine {
-            graph,
+            topology: Topology::new(graph),
             cluster,
             controller: Controller::new(cfg.qcut.clone()),
-            scheduler: Scheduler::new(cfg.admission.clone()),
+            scheduler: Scheduler::bounded(cfg.admission.clone(), cfg.max_queued),
             cfg,
             partitioning,
             workers,
@@ -223,6 +236,9 @@ impl SimEngine {
             awaiting_quiesce: false,
             deferred_releases: Vec::new(),
             pending_plan: None,
+            plan_ready: false,
+            mutations: Vec::new(),
+            due_mutations: Vec::new(),
             report: EngineReport::default(),
             activity_window: vec![0; k],
             activity_window_start: SimTime::ZERO,
@@ -293,6 +309,7 @@ impl SimEngine {
             queued_at: arrival,
             deadline,
             submitted_at: SimTime::ZERO,
+            first_epoch: 0,
             iteration: 0,
             local_iterations: 0,
             vertex_updates: 0,
@@ -309,10 +326,31 @@ impl SimEngine {
         self.outputs.push(None);
         if submission.at_secs.is_some() && arrival > now {
             self.events.schedule(arrival, Event::Arrival { q: id });
-        } else {
-            self.scheduler.push(id, program, arrival, deadline);
+        } else if !self.scheduler.push(id, program, arrival, deadline) {
+            self.reject_query(arrival, id);
         }
         id
+    }
+
+    /// Schedule a [`MutationBatch`] to apply at virtual time `at_secs`
+    /// (clamped to now): when the clock reaches it, the engine stops the
+    /// world at the next quiescent point, applies the batch atomically,
+    /// and opens a new graph epoch — in-flight queries park at their
+    /// barriers and resume against the mutated topology, exactly like the
+    /// Q-cut stop-the-world phase. Batches due at the same barrier apply
+    /// in submission order.
+    pub fn mutate_at(&mut self, batch: MutationBatch, at_secs: f64) {
+        let at = SimTime::from_secs_f64(at_secs).max(self.events.now());
+        let m = self.mutations.len();
+        self.mutations.push(Some(batch));
+        self.events.schedule(at, Event::MutationDue { m });
+    }
+
+    /// Apply a [`MutationBatch`] at the next quiescent point (shorthand
+    /// for [`SimEngine::mutate_at`] with the current virtual time).
+    pub fn mutate(&mut self, batch: MutationBatch) {
+        let now = self.events.now().as_secs_f64();
+        self.mutate_at(batch, now);
     }
 
     /// Run until every submitted query (including future [`Event::Arrival`]
@@ -342,6 +380,7 @@ impl SimEngine {
                 Event::BarrierRelease { q } => self.on_barrier_release(now, q),
                 Event::RoundRelease => self.on_round_release(now),
                 Event::IlsReady => self.on_ils_ready(now),
+                Event::MutationDue { m } => self.on_mutation_due(m),
                 Event::GlobalBarrierApply => self.on_global_apply(now),
                 Event::GlobalBarrierEnd => self.on_global_end(now),
             }
@@ -397,6 +436,16 @@ impl SimEngine {
         self.events.now().as_secs_f64()
     }
 
+    /// The evolving graph view queries currently execute against.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The current graph epoch (mutation batches applied so far).
+    pub fn epoch(&self) -> u64 {
+        self.topology.epoch()
+    }
+
     // ------------------------------------------------------------------
     // Submission / dispatch
     // ------------------------------------------------------------------
@@ -406,9 +455,31 @@ impl SimEngine {
     /// resident one — `dispatch_pending` is gated on `paused`.
     fn on_arrival(&mut self, q: QueryId) {
         let run = &self.queries[q.index()];
-        self.scheduler
-            .push(q, run.task.program_name(), run.queued_at, run.deadline);
+        if !self
+            .scheduler
+            .push(q, run.task.program_name(), run.queued_at, run.deadline)
+        {
+            let at = run.queued_at;
+            self.reject_query(at, q);
+            return;
+        }
         self.dispatch_pending();
+    }
+
+    /// Bounded-queue backpressure: the waiting queue is full, so the
+    /// submission bounces with a distinct outcome instead of executing.
+    fn reject_query(&mut self, at: SimTime, q: QueryId) {
+        let epoch = self.topology.epoch();
+        let run = &mut self.queries[q.index()];
+        debug_assert_eq!(run.status, QueryStatus::Queued);
+        debug_assert_eq!(run.queued_at, at, "rejections happen at arrival");
+        run.status = QueryStatus::Finished;
+        self.report.outcomes.push(QueryOutcome::rejected(
+            q,
+            run.task.program_name(),
+            at,
+            epoch,
+        ));
     }
 
     fn dispatch_pending(&mut self) {
@@ -427,13 +498,14 @@ impl SimEngine {
         let batches = {
             let partitioning = &self.partitioning;
             let route = |v: VertexId| partitioning.worker_of(v).index();
-            task.initial_batches(&self.graph, &route, self.cfg.combiners)
+            task.initial_batches(&self.topology, &route, self.cfg.combiners)
         };
         let involved: Vec<usize> = batches.iter().map(|(w, _)| *w).collect();
 
         let run = &mut self.queries[q.index()];
         run.status = QueryStatus::Running;
         run.submitted_at = now;
+        run.first_epoch = self.topology.epoch();
         run.last_done_raw = now;
         self.in_flight += 1;
 
@@ -499,7 +571,7 @@ impl SimEngine {
         let partitioning = &self.partitioning;
         let route = |v: VertexId| partitioning.worker_of(v).index();
         let (stats, agg, remote) =
-            self.workers[w].execute(q, task.as_ref(), &self.graph, &run.agg_prev, &route);
+            self.workers[w].execute(q, task.as_ref(), &self.topology, &run.agg_prev, &route);
 
         self.report.activity.push(ActivitySample {
             t: now.as_secs_f64(),
@@ -705,6 +777,7 @@ impl SimEngine {
         let outcome = QueryOutcome {
             id: q,
             program: task.program_name(),
+            status: OutcomeStatus::Completed,
             queued_at: run.queued_at,
             submitted_at: run.submitted_at,
             completed_at: at,
@@ -715,8 +788,10 @@ impl SimEngine {
             remote_messages_pre_combine: run.remote_messages_pre_combine,
             remote_batches: run.remote_batches,
             scope_size: scope.len() as u64,
+            first_epoch: run.first_epoch,
+            last_epoch: self.topology.epoch(),
         };
-        self.outputs[q.index()] = Some(task.finalize(&self.graph, locals));
+        self.outputs[q.index()] = Some(task.finalize(&self.topology, locals));
         self.report.outcomes.push(outcome);
         self.controller.record_finished_scope(q, scope, at);
         self.controller.expire(at);
@@ -804,6 +879,12 @@ impl SimEngine {
             self.pending_plan = None;
             return;
         }
+        self.plan_ready = true;
+        if self.paused {
+            // A mutation barrier is already stopping the world; its apply
+            // phase (or the re-entry check at its end) consumes the plan.
+            return;
+        }
         // STOP barrier: halt new releases/dispatches, drain in-flight
         // supersteps, then migrate.
         self.paused = true;
@@ -811,76 +892,138 @@ impl SimEngine {
         self.maybe_quiesced(now);
     }
 
+    /// A mutation batch's virtual time arrived: join (or open) the
+    /// stop-the-world barrier. During an in-flight barrier the batch
+    /// simply queues — the apply phase drains every due batch at once.
+    fn on_mutation_due(&mut self, m: usize) {
+        self.due_mutations.push(m);
+        if !self.paused {
+            self.paused = true;
+            self.awaiting_quiesce = true;
+            self.maybe_quiesced(self.events.now());
+        }
+    }
+
+    /// The stop-the-world barrier body, entered once the workers drained:
+    /// apply every due mutation batch (each a new graph epoch), compact
+    /// the overlay if it crossed the configured fraction, then migrate
+    /// the repartition plan if its ILS budget has elapsed. One barrier
+    /// serves all three, so a mutation landing while a Q-cut phase is
+    /// pending costs no extra quiesce.
     fn on_global_apply(&mut self, now: SimTime) {
         debug_assert!(self.paused);
         debug_assert!(self.is_quiescent());
-        let (result, triggered_at) = self.pending_plan.take().expect("plan pending");
+        let mut barrier_cost = SimTime::ZERO;
 
-        // Resolve the plan against the quiesced workers: a live query's
-        // current local scope, or a finished query's retained scope (the
-        // resolver's ownership filter restricts it to the source worker).
-        let migration = {
-            let workers = &self.workers;
-            let queries = &self.queries;
-            let controller = &self.controller;
-            let mut scope_of = |q: QueryId, w: usize| -> Vec<VertexId> {
-                let live = queries
-                    .get(q.index())
-                    .is_some_and(|r| r.status == QueryStatus::Running);
-                if live {
-                    workers[w].scope_vertices(q)
-                } else {
-                    controller
-                        .finished_scope(q)
-                        .map(|vs| vs.to_vec())
-                        .unwrap_or_default()
-                }
-            };
-            migrate::resolve_plan(&result.plan, &self.partitioning, &mut scope_of)
-        };
-
-        // A plan can resolve to nothing by apply time (scopes finished and
-        // expired since the trigger): no event, matching the thread
-        // runtime's semantics that a RepartitionEvent means vertices moved.
-        if migration.is_empty() {
-            self.events
-                .schedule(now + self.max_control_cost(), Event::GlobalBarrierEnd);
-            return;
+        // Phase 1: mutation epochs, in submission order (the shared
+        // barrier body — see `controller::apply_mutation_epochs`).
+        let batches: Vec<MutationBatch> = std::mem::take(&mut self.due_mutations)
+            .into_iter()
+            .map(|m| self.mutations[m].take().expect("each batch applies once"))
+            .collect();
+        let apply = apply_mutation_epochs(
+            &mut self.topology,
+            &mut self.partitioning,
+            &mut self.controller,
+            &mut self.report,
+            &batches,
+            self.cfg.compact_fraction,
+            now.as_secs_f64(),
+        );
+        let mutation_events_from = apply.events_from;
+        barrier_cost += self.cluster.compute.mutation_cost(apply.ops);
+        if let Some(edges) = apply.compacted_edges {
+            barrier_cost += self.cluster.compute.compaction_cost(edges);
         }
 
-        let observed = self.controller.observed_scopes(&self.live_scopes());
-        let this = &mut *self;
-        let queries = &this.queries;
-        let workers = &mut this.workers;
-        let task_of = |q: QueryId| -> Arc<dyn QueryTask> { Arc::clone(&queries[q.index()].task) };
-        let (locality_before, locality_after) =
-            migrate::apply_measured(&migration, &mut this.partitioning, &observed, || {
-                migrate::apply_to_workers(&migration, workers, &task_of)
-            });
+        // Phase 2: the repartition plan, once its ILS budget elapsed.
+        let mut repartition: Option<(IlsResult, SimTime, usize, f64, f64)> = None;
+        if self.plan_ready {
+            self.plan_ready = false;
+            let (result, triggered_at) = self.pending_plan.take().expect("plan pending");
+            // Resolve the plan against the quiesced workers: a live
+            // query's current local scope, or a finished query's retained
+            // scope (the resolver's ownership filter restricts it to the
+            // source worker).
+            let migration = {
+                let workers = &self.workers;
+                let queries = &self.queries;
+                let controller = &self.controller;
+                let mut scope_of = |q: QueryId, w: usize| -> Vec<VertexId> {
+                    let live = queries
+                        .get(q.index())
+                        .is_some_and(|r| r.status == QueryStatus::Running);
+                    if live {
+                        workers[w].scope_vertices(q)
+                    } else {
+                        controller
+                            .finished_scope(q)
+                            .map(|vs| vs.to_vec())
+                            .unwrap_or_default()
+                    }
+                };
+                migrate::resolve_plan(&result.plan, &self.partitioning, &mut scope_of)
+            };
 
-        // The barrier lasts as long as the slowest pair's bulk transfer.
-        let duration = migration
-            .per_pair
-            .iter()
-            .map(|&(f, t, n)| {
-                self.cluster.network.bulk_move_cost(
-                    n,
-                    self.cfg.state_bytes_per_vertex,
-                    self.cluster.is_remote(f, t),
-                )
-            })
-            .max()
-            .unwrap_or(SimTime::ZERO);
-        let end = now + duration + self.max_control_cost();
-        self.report.repartitions.push(RepartitionEvent {
-            triggered_at: triggered_at.as_secs_f64(),
-            applied_at: now.as_secs_f64(),
-            barrier_duration: (end - now).as_secs_f64(),
-            moved_vertices: migration.moved_vertices,
-            locality_before,
-            locality_after,
-            ils: result,
-        });
+            // A plan can resolve to nothing by apply time (scopes finished
+            // and expired since the trigger): no event, matching the
+            // thread runtime's semantics that a RepartitionEvent means
+            // vertices moved.
+            if !migration.is_empty() {
+                let observed = self.controller.observed_scopes(&self.live_scopes());
+                let this = &mut *self;
+                let queries = &this.queries;
+                let workers = &mut this.workers;
+                let task_of =
+                    |q: QueryId| -> Arc<dyn QueryTask> { Arc::clone(&queries[q.index()].task) };
+                let (locality_before, locality_after) =
+                    migrate::apply_measured(&migration, &mut this.partitioning, &observed, || {
+                        migrate::apply_to_workers(&migration, workers, &task_of)
+                    });
+
+                // The migration lasts as long as the slowest pair's bulk
+                // transfer.
+                let duration = migration
+                    .per_pair
+                    .iter()
+                    .map(|&(f, t, n)| {
+                        self.cluster.network.bulk_move_cost(
+                            n,
+                            self.cfg.state_bytes_per_vertex,
+                            self.cluster.is_remote(f, t),
+                        )
+                    })
+                    .max()
+                    .unwrap_or(SimTime::ZERO);
+                barrier_cost += duration;
+                repartition = Some((
+                    result,
+                    triggered_at,
+                    migration.moved_vertices,
+                    locality_before,
+                    locality_after,
+                ));
+            }
+        }
+
+        let end = now + barrier_cost + self.max_control_cost();
+        let barrier_duration = (end - now).as_secs_f64();
+        for ev in &mut self.report.mutations[mutation_events_from..] {
+            ev.barrier_duration = barrier_duration;
+        }
+        if let Some((result, triggered_at, moved_vertices, locality_before, locality_after)) =
+            repartition
+        {
+            self.report.repartitions.push(RepartitionEvent {
+                triggered_at: triggered_at.as_secs_f64(),
+                applied_at: now.as_secs_f64(),
+                barrier_duration,
+                moved_vertices,
+                locality_before,
+                locality_after,
+                ils: result,
+            });
+        }
         self.events.schedule(end, Event::GlobalBarrierEnd);
     }
 
@@ -893,6 +1036,14 @@ impl SimEngine {
             self.on_barrier_release(now, q);
         }
         self.dispatch_pending();
+        // Work that became ready while the barrier was mid-flight (a
+        // mutation falling due between apply and end, or an ILS budget
+        // elapsing) re-enters the stop-the-world phase immediately.
+        if !self.due_mutations.is_empty() || self.plan_ready {
+            self.paused = true;
+            self.awaiting_quiesce = true;
+            self.maybe_quiesced(self.events.now());
+        }
     }
 
     /// The running queries' live scope vertex sets (union over workers).

@@ -72,7 +72,11 @@ pub use api::{Engine, EngineBuilder};
 pub use config::{BarrierMode, QcutConfig, SystemConfig};
 pub use engine::SimEngine;
 pub use program::{Context, VertexProgram};
-pub use query::{QueryHandle, QueryId, QueryOutcome};
-pub use report::{EngineReport, ProgramSummary, RunSummary};
+pub use query::{OutcomeStatus, QueryHandle, QueryId, QueryOutcome};
+pub use report::{EngineReport, MutationEvent, ProgramSummary, RunSummary};
 pub use runtime::{EngineClient, ThreadEngine};
 pub use sched::{AdmissionPolicy, Submission};
+
+// The mutation plane's graph-side vocabulary, re-exported so engine users
+// build batches without a separate qgraph-graph import.
+pub use qgraph_graph::{GraphMutation, MutationBatch, Topology};

@@ -7,7 +7,7 @@
 //! Pregel-style *aggregators*, which the paper's SSSP/POI queries need for
 //! bounded search (prune expansion beyond the best known answer).
 
-use qgraph_graph::{Graph, VertexId};
+use qgraph_graph::{Topology, VertexId};
 
 /// A vertex program: the `f` in the paper's query tuple `(f, V_sub)`.
 ///
@@ -62,10 +62,14 @@ pub trait VertexProgram: Send + Sync + 'static {
     /// `compute(state, [a, b, rest…]) == compute(state, [combine(a,b), rest…])`
     /// for every message pair — in practice the same commutative,
     /// associative, *exactly representable* fold `compute` already applies
-    /// (min for SSSP/BFS distances, OR for reachability flags). Folds that
-    /// are only approximately associative (floating-point sums, e.g.
-    /// PPR's residual mass) should decline so results stay bit-identical
-    /// with combining on or off.
+    /// (min for SSSP/BFS distances, OR for reachability flags). Exact
+    /// folds keep results bit-identical with combining on or off, which
+    /// is what the engine-wide equivalence property tests pin. A fold
+    /// that is only *approximately* associative (a floating-point sum)
+    /// may still opt in when it carries compensation in the message
+    /// (Kahan/Neumaier partial sums, see `qgraph_algo`'s PPR residuals)
+    /// and ships with a tolerance-based equivalence test instead of the
+    /// bit-identical one; otherwise it should decline.
     ///
     /// The engines apply combiners at both ends of the wire: sender-side
     /// when a superstep's remote messages are bucketed per destination
@@ -78,13 +82,13 @@ pub trait VertexProgram: Send + Sync + 'static {
 
     /// Messages that seed the query (sent to the paper's `V_sub`); for SSSP
     /// this is a zero-distance message to the start vertex.
-    fn initial_messages(&self, graph: &Graph) -> Vec<(VertexId, Self::Message)>;
+    fn initial_messages(&self, graph: &Topology) -> Vec<(VertexId, Self::Message)>;
 
     /// The vertex function: fold `messages` into `state` and send new
     /// messages via `ctx`. Runs once per active vertex per superstep.
     fn compute(
         &self,
-        graph: &Graph,
+        graph: &Topology,
         vertex: VertexId,
         state: &mut Self::State,
         messages: &[Self::Message],
@@ -100,7 +104,7 @@ pub trait VertexProgram: Send + Sync + 'static {
     /// Extract the query's answer from all states it touched.
     fn finalize(
         &self,
-        graph: &Graph,
+        graph: &Topology,
         states: &mut dyn Iterator<Item = (VertexId, Self::State)>,
     ) -> Self::Output;
 }

@@ -1,7 +1,7 @@
 //! Small built-in vertex programs used by tests, docs, and examples.
 //! The paper's evaluation programs (SSSP, POI, …) live in `qgraph-algo`.
 
-use qgraph_graph::{Graph, VertexId};
+use qgraph_graph::{Topology, VertexId};
 
 use crate::program::{Context, VertexProgram};
 
@@ -63,13 +63,13 @@ impl VertexProgram for ReachProgram {
         true
     }
 
-    fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, u32)> {
+    fn initial_messages(&self, _graph: &Topology) -> Vec<(VertexId, u32)> {
         vec![(self.source, 0)]
     }
 
     fn compute(
         &self,
-        graph: &Graph,
+        graph: &Topology,
         vertex: VertexId,
         state: &mut ReachState,
         messages: &[u32],
@@ -89,7 +89,7 @@ impl VertexProgram for ReachProgram {
 
     fn finalize(
         &self,
-        _graph: &Graph,
+        _graph: &Topology,
         states: &mut dyn Iterator<Item = (VertexId, ReachState)>,
     ) -> Vec<VertexId> {
         let mut out: Vec<VertexId> = states.filter(|(_, s)| s.visited).map(|(v, _)| v).collect();
@@ -129,13 +129,13 @@ impl VertexProgram for PingProgram {
 
     fn aggregate_combine(&self, _a: &mut (), _b: &()) {}
 
-    fn initial_messages(&self, _graph: &Graph) -> Vec<(VertexId, u32)> {
+    fn initial_messages(&self, _graph: &Topology) -> Vec<(VertexId, u32)> {
         self.ring.iter().map(|&v| (v, 0)).collect()
     }
 
     fn compute(
         &self,
-        _graph: &Graph,
+        _graph: &Topology,
         vertex: VertexId,
         state: &mut u32,
         messages: &[u32],
@@ -155,7 +155,11 @@ impl VertexProgram for PingProgram {
         }
     }
 
-    fn finalize(&self, _graph: &Graph, states: &mut dyn Iterator<Item = (VertexId, u32)>) -> u32 {
+    fn finalize(
+        &self,
+        _graph: &Topology,
+        states: &mut dyn Iterator<Item = (VertexId, u32)>,
+    ) -> u32 {
         states.map(|(_, s)| s).max().unwrap_or(0)
     }
 }
@@ -167,14 +171,14 @@ mod tests {
 
     #[test]
     fn reach_initial_messages_seed_source() {
-        let g = GraphBuilder::new(2).build();
+        let g = Topology::new(GraphBuilder::new(2).build());
         let p = ReachProgram::new(VertexId(1));
         assert_eq!(p.initial_messages(&g), vec![(VertexId(1), 0)]);
     }
 
     #[test]
     fn reach_finalize_sorts_visited() {
-        let g = GraphBuilder::new(3).build();
+        let g = Topology::new(GraphBuilder::new(3).build());
         let p = ReachProgram::new(VertexId(0));
         let mut it = vec![
             (
@@ -223,7 +227,7 @@ mod tests {
 
     #[test]
     fn ping_ring_round_limit() {
-        let g = GraphBuilder::new(4).build();
+        let g = Topology::new(GraphBuilder::new(4).build());
         let p = PingProgram {
             ring: vec![VertexId(0), VertexId(1)],
             rounds: 3,

@@ -306,7 +306,7 @@ mod tests {
         // duplicated, or left behind.
         let mut b = qgraph_graph::GraphBuilder::new(3);
         b.add_edge(0, 1, 1.0);
-        let g = b.build();
+        let g = qgraph_graph::Topology::new(b.build());
         let task: Arc<TypedTask<ReachProgram>> =
             Arc::new(TypedTask::new(ReachProgram::new(VertexId(0))));
         let q = QueryId(0);

@@ -84,6 +84,18 @@ impl<P: VertexProgram> PartialEq for QueryHandle<P> {
 
 impl<P: VertexProgram> Eq for QueryHandle<P> {}
 
+/// How a submission left the system.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OutcomeStatus {
+    /// Ran to completion; its output is available.
+    #[default]
+    Completed,
+    /// Rejected at admission by the bounded waiting queue
+    /// ([`crate::SystemConfig::max_queued`]); it never executed and its
+    /// output stays `None`.
+    Rejected,
+}
+
 /// Everything measured about one finished query.
 ///
 /// `latency` follows the paper's definition: the difference between the
@@ -93,6 +105,8 @@ impl<P: VertexProgram> Eq for QueryHandle<P> {}
 pub struct QueryOutcome {
     /// The query.
     pub id: QueryId,
+    /// Completed normally, or rejected at admission (backpressure).
+    pub status: OutcomeStatus,
     /// The program-kind label (see
     /// [`VertexProgram::name`]) — keeps
     /// mixed-workload reports legible per query type.
@@ -129,9 +143,50 @@ pub struct QueryOutcome {
     pub remote_batches: u64,
     /// Total vertices this query activated (its global scope |GS(q)|).
     pub scope_size: u64,
+    /// The graph epoch the query was admitted under (see the mutation
+    /// plane: each applied `MutationBatch` bumps the engine's epoch).
+    pub first_epoch: u64,
+    /// The graph epoch the query completed under. Equal to `first_epoch`
+    /// when no mutation barrier interleaved with the query's supersteps —
+    /// only then is the result attributable to a single graph version.
+    pub last_epoch: u64,
 }
 
 impl QueryOutcome {
+    /// The outcome of a submission the bounded admission queue bounced
+    /// at `at`: zero work, every lifecycle timestamp pinned to the
+    /// arrival instant, no output — the one shape both runtimes record
+    /// for backpressure rejections.
+    pub fn rejected(id: QueryId, program: &'static str, at: SimTime, epoch: u64) -> Self {
+        QueryOutcome {
+            id,
+            program,
+            status: OutcomeStatus::Rejected,
+            queued_at: at,
+            submitted_at: at,
+            completed_at: at,
+            iterations: 0,
+            local_iterations: 0,
+            vertex_updates: 0,
+            remote_messages: 0,
+            remote_messages_pre_combine: 0,
+            remote_batches: 0,
+            scope_size: 0,
+            first_epoch: epoch,
+            last_epoch: epoch,
+        }
+    }
+
+    /// Was the submission rejected by the bounded admission queue?
+    pub fn is_rejected(&self) -> bool {
+        self.status == OutcomeStatus::Rejected
+    }
+
+    /// Did the query observe exactly one graph version? (Trivially true
+    /// on a never-mutated engine.)
+    pub fn single_epoch(&self) -> bool {
+        self.first_epoch == self.last_epoch
+    }
     /// Query latency in virtual seconds (admission to completion).
     pub fn latency_secs(&self) -> f64 {
         (self.completed_at.saturating_sub(self.submitted_at)).as_secs_f64()
@@ -176,6 +231,7 @@ mod tests {
         QueryOutcome {
             id: QueryId(0),
             program: "test",
+            status: OutcomeStatus::Completed,
             queued_at: SimTime::ZERO,
             submitted_at: SimTime::from_secs(1),
             completed_at: SimTime::from_secs(3),
@@ -186,7 +242,20 @@ mod tests {
             remote_messages_pre_combine: 3,
             remote_batches: 2,
             scope_size: 5,
+            first_epoch: 0,
+            last_epoch: 0,
         }
+    }
+
+    #[test]
+    fn status_and_epoch_helpers() {
+        let mut o = outcome(1, 1);
+        assert!(!o.is_rejected());
+        assert!(o.single_epoch());
+        o.status = OutcomeStatus::Rejected;
+        o.last_epoch = 3;
+        assert!(o.is_rejected());
+        assert!(!o.single_epoch());
     }
 
     #[test]

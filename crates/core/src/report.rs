@@ -43,6 +43,25 @@ pub struct RepartitionEvent {
     pub ils: IlsResult,
 }
 
+/// One applied mutation epoch: a `MutationBatch` absorbed at a
+/// stop-the-world barrier (and possibly the compaction it tripped).
+#[derive(Clone, Copy, Debug)]
+pub struct MutationEvent {
+    /// When the batch applied (virtual seconds).
+    pub applied_at: f64,
+    /// The graph epoch after this batch.
+    pub epoch: u64,
+    /// Ops in the batch.
+    pub ops: usize,
+    /// Vertices the batch appended.
+    pub new_vertices: usize,
+    /// Did this barrier also compact the overlay into a fresh CSR?
+    pub compacted: bool,
+    /// Duration of the whole stop-the-world barrier the batch rode
+    /// (shared when several batches apply at one barrier).
+    pub barrier_duration: f64,
+}
+
 /// One run window: a `run()` call (or, on the serving loop, the interval
 /// between two drains). The engines' reports are *cumulative* across the
 /// engine's lifetime; run windows give every outcome and repartition a
@@ -80,6 +99,8 @@ pub struct EngineReport {
     pub activity: Vec<ActivitySample>,
     /// Adaptive repartitioning events.
     pub repartitions: Vec<RepartitionEvent>,
+    /// Applied mutation epochs (the evolving-graph plane).
+    pub mutations: Vec<MutationEvent>,
     /// Completed run windows, oldest first.
     pub runs: Vec<RunSummary>,
     /// Virtual time at which the last query finished.
@@ -87,31 +108,44 @@ pub struct EngineReport {
 }
 
 impl EngineReport {
-    /// Mean query latency (virtual seconds). NaN when no query finished.
-    pub fn mean_latency(&self) -> f64 {
-        qgraph_metrics::mean(self.outcomes.iter().map(|o| o.latency_secs()))
+    /// The outcomes that actually executed (admission rejections carry no
+    /// latency or locality signal, so every mean below skips them).
+    pub fn completed(&self) -> impl Iterator<Item = &QueryOutcome> {
+        self.outcomes.iter().filter(|o| !o.is_rejected())
     }
 
-    /// Summed latency over all queries (the paper's Figure 6a–6c metric).
+    /// Submissions the bounded admission queue rejected
+    /// ([`crate::SystemConfig::max_queued`]).
+    pub fn rejected_queries(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_rejected()).count()
+    }
+
+    /// Mean query latency (virtual seconds). NaN when no query finished.
+    pub fn mean_latency(&self) -> f64 {
+        qgraph_metrics::mean(self.completed().map(|o| o.latency_secs()))
+    }
+
+    /// Summed latency over all completed queries (the paper's Figure
+    /// 6a–6c metric).
     pub fn total_latency(&self) -> f64 {
-        self.outcomes.iter().map(|o| o.latency_secs()).sum()
+        self.completed().map(|o| o.latency_secs()).sum()
     }
 
     /// Mean per-query locality (the paper's Figure 6f metric).
     pub fn mean_locality(&self) -> f64 {
-        qgraph_metrics::mean(self.outcomes.iter().map(|o| o.locality()))
+        qgraph_metrics::mean(self.completed().map(|o| o.locality()))
     }
 
     /// Mean queueing delay (arrival to admission) — how long the admission
     /// policy kept queries waiting. NaN when no query finished.
     pub fn mean_queueing_delay(&self) -> f64 {
-        qgraph_metrics::mean(self.outcomes.iter().map(|o| o.queueing_delay_secs()))
+        qgraph_metrics::mean(self.completed().map(|o| o.queueing_delay_secs()))
     }
 
     /// Mean time in system (arrival to completion) — what a streaming
     /// client observes. NaN when no query finished.
     pub fn mean_time_in_system(&self) -> f64 {
-        qgraph_metrics::mean(self.outcomes.iter().map(|o| o.time_in_system_secs()))
+        qgraph_metrics::mean(self.completed().map(|o| o.time_in_system_secs()))
     }
 
     /// Close the current run window at `finished_at_secs`: every outcome
@@ -160,7 +194,7 @@ impl EngineReport {
     /// Latency samples over completion time.
     pub fn latency_series(&self) -> TimeSeries {
         let mut s = TimeSeries::new("latency");
-        for o in &self.outcomes {
+        for o in self.completed() {
             s.push(o.completed_at.as_secs_f64(), o.latency_secs());
         }
         s
@@ -169,7 +203,7 @@ impl EngineReport {
     /// Per-query locality over completion time.
     pub fn locality_series(&self) -> TimeSeries {
         let mut s = TimeSeries::new("locality");
-        for o in &self.outcomes {
+        for o in self.completed() {
             s.push(o.completed_at.as_secs_f64(), o.locality());
         }
         s
@@ -246,7 +280,7 @@ impl EngineReport {
     /// carries SSSP, POI, and reachability traffic at once.
     pub fn per_program(&self) -> Vec<ProgramSummary> {
         let mut order: Vec<&'static str> = Vec::new();
-        for o in &self.outcomes {
+        for o in self.completed() {
             if !order.contains(&o.program) {
                 order.push(o.program);
             }
@@ -254,7 +288,7 @@ impl EngineReport {
         order
             .into_iter()
             .map(|name| {
-                let outcomes = self.outcomes.iter().filter(|o| o.program == name);
+                let outcomes = self.completed().filter(|o| o.program == name);
                 let mut s = ProgramSummary {
                     program: name,
                     queries: 0,
@@ -345,6 +379,7 @@ mod tests {
         QueryOutcome {
             id: QueryId(0),
             program: "test",
+            status: crate::query::OutcomeStatus::Completed,
             queued_at: SimTime::from_secs(sub),
             submitted_at: SimTime::from_secs(sub),
             completed_at: SimTime::from_secs(done),
@@ -355,7 +390,24 @@ mod tests {
             remote_messages_pre_combine: 5,
             remote_batches: 2,
             scope_size: 1,
+            first_epoch: 0,
+            last_epoch: 0,
         }
+    }
+
+    #[test]
+    fn rejected_outcomes_do_not_skew_means() {
+        let mut rej = outcome(0, 0, 0, 0);
+        rej.status = crate::query::OutcomeStatus::Rejected;
+        let r = EngineReport {
+            outcomes: vec![outcome(0, 2, 1, 2), rej],
+            ..Default::default()
+        };
+        assert_eq!(r.rejected_queries(), 1);
+        assert_eq!(r.completed().count(), 1);
+        assert_eq!(r.mean_latency(), 2.0, "rejection carries no latency");
+        assert_eq!(r.latency_series().len(), 1);
+        assert_eq!(r.per_program().len(), 1);
     }
 
     #[test]

@@ -80,16 +80,16 @@ use std::time::Instant;
 
 use rustc_hash::{FxHashMap, FxHashSet};
 
-use qgraph_graph::{Graph, VertexId};
+use qgraph_graph::{Graph, MutationBatch as GraphMutationBatch, Topology, VertexId};
 use qgraph_partition::Partitioning;
 use qgraph_sim::SimTime;
 
 use crate::config::SystemConfig;
-use crate::controller::Controller;
+use crate::controller::{apply_mutation_epochs, Controller};
 use crate::program::VertexProgram;
 use crate::qcut::{migrate, run_qcut, IlsResult, Migration};
-use crate::query::{QueryHandle, QueryId, QueryOutcome};
-use crate::report::{ActivitySample, EngineReport, RepartitionEvent};
+use crate::query::{OutcomeStatus, QueryHandle, QueryId, QueryOutcome};
+use crate::report::{ActivitySample, EngineReport, MutationEvent, RepartitionEvent};
 use crate::sched::Scheduler;
 use crate::task::{Envelope, MessageBatch, QueryTask, TypedTask};
 use crate::worker::{LocalState, Worker};
@@ -126,6 +126,8 @@ enum Cmd {
     },
     /// Swap in the post-migration vertex→worker assignment.
     SetPartitioning(Arc<Partitioning>),
+    /// Swap in the post-mutation graph view (a new epoch).
+    SetTopology(Arc<Topology>),
     /// Report the queries with pending messages here (barrier resume).
     PendingReport,
     Shutdown,
@@ -177,6 +179,9 @@ enum CoordMsg {
         q: QueryId,
         deadline_secs: Option<f64>,
     },
+    /// A mutation batch to apply at the next stop-the-world barrier
+    /// (opening a new graph epoch).
+    Mutate(GraphMutationBatch),
     /// Reply on `ack` once the engine is idle (everything submitted so
     /// far has completed).
     Drain {
@@ -196,9 +201,11 @@ struct Snapshot {
     new_outcomes: Vec<QueryOutcome>,
     new_activity: Vec<ActivitySample>,
     new_repartitions: Vec<RepartitionEvent>,
+    new_mutations: Vec<MutationEvent>,
     new_runs: Vec<crate::report::RunSummary>,
     finished_at_secs: f64,
     partitioning: Partitioning,
+    topology: Topology,
 }
 
 /// How much of the coordinator's report the engine has already seen
@@ -208,6 +215,7 @@ struct SyncMarks {
     outcomes: usize,
     activity: usize,
     repartitions: usize,
+    mutations: usize,
     runs: usize,
 }
 
@@ -217,6 +225,7 @@ impl SyncMarks {
             outcomes: report.outcomes.len(),
             activity: report.activity.len(),
             repartitions: report.repartitions.len(),
+            mutations: report.mutations.len(),
             runs: report.runs.len(),
         }
     }
@@ -232,6 +241,7 @@ struct Completion {
 struct CoordinatorExit {
     report: EngineReport,
     partitioning: Partitioning,
+    topology: Topology,
     controller: Controller,
 }
 
@@ -265,6 +275,8 @@ struct QueryTracking {
     queued_at: SimTime,
     /// Admission time (started executing).
     started_at: SimTime,
+    /// Graph epoch at admission (outcome attribution).
+    first_epoch: u64,
 }
 
 /// The serving clock: wall time since `start`, offset by the report's
@@ -286,6 +298,11 @@ impl Clock {
 struct ClientState {
     scheduler: Scheduler,
     drain_waiters: Vec<Sender<Snapshot>>,
+    /// Mutation batches awaiting the next stop-the-world barrier.
+    mutations: Vec<GraphMutationBatch>,
+    /// Submissions the bounded queue bounced, awaiting their rejection
+    /// outcome (flushed into the report on the coordinator's next turn).
+    rejected: Vec<(QueryId, &'static str, SimTime)>,
     shutdown: bool,
 }
 
@@ -297,7 +314,13 @@ impl ClientState {
             CoordMsg::Submit { q, deadline_secs } => {
                 let program = tasks.read().expect("registry lock")[q.index()].program_name();
                 let deadline = deadline_secs.map(|d| now + SimTime::from_secs_f64(d));
-                self.scheduler.push(q, program, now, deadline);
+                if !self.scheduler.push(q, program, now, deadline) {
+                    self.rejected.push((q, program, now));
+                }
+                None
+            }
+            CoordMsg::Mutate(batch) => {
+                self.mutations.push(batch);
                 None
             }
             CoordMsg::Drain { ack } => {
@@ -363,6 +386,15 @@ impl EngineClient {
         let _ = self.tx.send(CoordMsg::Submit { q, deadline_secs });
         q
     }
+
+    /// Stream a mutation batch into the serving engine: it applies
+    /// atomically at the next stop-the-world barrier (in-flight queries
+    /// park at their superstep barriers first), opening a new graph
+    /// epoch. Batches from one client apply in submission order; like
+    /// submissions, a batch racing a shutdown may be dropped.
+    pub fn mutate(&self, batch: GraphMutationBatch) {
+        let _ = self.tx.send(CoordMsg::Mutate(batch));
+    }
 }
 
 /// Append `task` to the shared registry, allocating its [`QueryId`].
@@ -386,8 +418,18 @@ struct Serving {
 /// submit/run/output lifecycle as the simulated engine and the same
 /// adaptive Q-cut loop running as a stop-the-world phase (see the module
 /// docs for the streaming and barrier protocols).
+/// Submissions and mutations made before `start`, forwarded in order
+/// when serving begins.
+enum PreOp {
+    Submit(QueryId, Option<f64>),
+    Mutate(GraphMutationBatch),
+}
+
 pub struct ThreadEngine {
-    graph: Arc<Graph>,
+    /// The engine's copy of the evolving graph view, synced from the
+    /// coordinator at every drain (the coordinator holds the master while
+    /// serving; its epoch counts the mutation batches applied).
+    topology: Topology,
     /// The engine's copy of the vertex→worker assignment, synced from the
     /// coordinator at every drain (the coordinator holds the master while
     /// serving).
@@ -399,8 +441,9 @@ pub struct ThreadEngine {
     controller: Option<Controller>,
     tasks: TaskRegistry,
     outputs: Vec<Option<Envelope>>,
-    /// Submissions made before `start` (forwarded when serving begins).
-    pre_submitted: Vec<(QueryId, Option<f64>)>,
+    /// Submissions/mutations made before `start` (forwarded in order when
+    /// serving begins).
+    pre_ops: Vec<PreOp>,
     report: EngineReport,
     serving: Option<Serving>,
 }
@@ -424,15 +467,28 @@ impl ThreadEngine {
             "partitioning does not cover the graph"
         );
         ThreadEngine {
-            graph,
+            topology: Topology::new(graph),
             partitioning,
             controller: Some(Controller::new(cfg.qcut.clone())),
             cfg,
             tasks: Arc::new(RwLock::new(Vec::new())),
             outputs: Vec::new(),
-            pre_submitted: Vec::new(),
+            pre_ops: Vec::new(),
             report: EngineReport::default(),
             serving: None,
+        }
+    }
+
+    /// Apply a mutation batch: if the engine is serving it rides the next
+    /// stop-the-world barrier (a new graph epoch, exactly like
+    /// [`EngineClient::mutate`]); before `start` it queues and applies —
+    /// in order with pre-start submissions — when serving begins.
+    pub fn mutate(&mut self, batch: GraphMutationBatch) {
+        match &self.serving {
+            Some(s) => {
+                let _ = s.tx.send(CoordMsg::Mutate(batch));
+            }
+            None => self.pre_ops.push(PreOp::Mutate(batch)),
         }
     }
 
@@ -474,7 +530,7 @@ impl ThreadEngine {
             Some(s) => {
                 let _ = s.tx.send(CoordMsg::Submit { q, deadline_secs });
             }
-            None => self.pre_submitted.push((q, deadline_secs)),
+            None => self.pre_ops.push(PreOp::Submit(q, deadline_secs)),
         }
         q
     }
@@ -494,10 +550,11 @@ impl ThreadEngine {
         let mut worker_handles = Vec::with_capacity(k);
         let combiners = self.cfg.combiners;
         let batch_max = self.cfg.batch_max_msgs;
+        let shared_topology = Arc::new(self.topology.clone());
         for w in 0..k {
             let (tx, rx) = channel::<Cmd>();
             cmd_txs.push(tx);
-            let graph = Arc::clone(&self.graph);
+            let topology = Arc::clone(&shared_topology);
             let partitioning = Arc::clone(&shared_parts);
             let registry = Arc::clone(&self.tasks);
             let resp = msg_tx.clone();
@@ -506,7 +563,7 @@ impl ThreadEngine {
                     w,
                     combiners,
                     batch_max,
-                    graph,
+                    topology,
                     partitioning,
                     registry,
                     rx,
@@ -516,7 +573,7 @@ impl ThreadEngine {
         }
 
         let coordinator = Coordinator {
-            graph: Arc::clone(&self.graph),
+            topology: self.topology.clone(),
             cfg: self.cfg.clone(),
             controller: self
                 .controller
@@ -531,8 +588,11 @@ impl ThreadEngine {
         let handle =
             thread::spawn(move || coordinator.serve(cmd_txs, msg_rx, worker_handles, done_tx));
 
-        for (q, deadline_secs) in std::mem::take(&mut self.pre_submitted) {
-            let _ = msg_tx.send(CoordMsg::Submit { q, deadline_secs });
+        for op in std::mem::take(&mut self.pre_ops) {
+            let _ = msg_tx.send(match op {
+                PreOp::Submit(q, deadline_secs) => CoordMsg::Submit { q, deadline_secs },
+                PreOp::Mutate(batch) => CoordMsg::Mutate(batch),
+            });
         }
         self.serving = Some(Serving {
             tx: msg_tx,
@@ -562,7 +622,7 @@ impl ThreadEngine {
     /// must never silently skip the query).
     pub fn drain(&mut self) -> &EngineReport {
         if self.serving.is_none() {
-            if self.pre_submitted.is_empty() {
+            if self.pre_ops.is_empty() {
                 return &self.report;
             }
             self.start();
@@ -575,9 +635,11 @@ impl ThreadEngine {
         self.report.outcomes.extend(snapshot.new_outcomes);
         self.report.activity.extend(snapshot.new_activity);
         self.report.repartitions.extend(snapshot.new_repartitions);
+        self.report.mutations.extend(snapshot.new_mutations);
         self.report.runs.extend(snapshot.new_runs);
         self.report.finished_at_secs = snapshot.finished_at_secs;
         self.partitioning = snapshot.partitioning;
+        self.topology = snapshot.topology;
         self.sync_outputs();
         &self.report
     }
@@ -608,6 +670,7 @@ impl ThreadEngine {
         let exit = s.handle.join().expect("coordinator thread panicked");
         self.report = exit.report;
         self.partitioning = exit.partitioning;
+        self.topology = exit.topology;
         self.controller = Some(exit.controller);
         // Any completions raced between the drain ack and the stop.
         while let Ok(c) = s.done_rx.try_recv() {
@@ -672,6 +735,18 @@ impl ThreadEngine {
     pub fn partitioning(&self) -> &Partitioning {
         &self.partitioning
     }
+
+    /// The evolving graph view as of the last sync point
+    /// (`run`/`drain`/`shutdown`).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The graph epoch as of the last sync point (mutation batches
+    /// applied over the engine's lifetime).
+    pub fn epoch(&self) -> u64 {
+        self.topology.epoch()
+    }
 }
 
 impl Drop for ThreadEngine {
@@ -691,7 +766,7 @@ impl Drop for ThreadEngine {
 /// the engine's measurement state lives here for the session and flows
 /// back through drain snapshots / the exit value.
 struct Coordinator {
-    graph: Arc<Graph>,
+    topology: Topology,
     cfg: SystemConfig,
     controller: Controller,
     partitioning: Partitioning,
@@ -719,8 +794,10 @@ impl Coordinator {
         let k = cmd_txs.len();
         let tasks = Arc::clone(&self.tasks);
         let mut cs = ClientState {
-            scheduler: Scheduler::new(self.cfg.admission.clone()),
+            scheduler: Scheduler::bounded(self.cfg.admission.clone(), self.cfg.max_queued),
             drain_waiters: Vec::new(),
+            mutations: Vec::new(),
+            rejected: Vec::new(),
             shutdown: false,
         };
         let mut tracking: FxHashMap<QueryId, QueryTracking> = FxHashMap::default();
@@ -736,6 +813,7 @@ impl Coordinator {
         // Collect commands awaiting a response: zero while a barrier is
         // pending means the workers are quiescent.
         let qcut_enabled = self.cfg.qcut.is_some();
+        let batch_cap = self.cfg.batch_max_msgs.max(1);
         let qcut_interval = self.cfg.qcut.as_ref().map_or(0, |c| c.qcut_interval);
         let mut supersteps_since = 0usize;
         let mut worker_activity = vec![0usize; k];
@@ -790,22 +868,24 @@ impl Coordinator {
                 let q = entry.q;
                 let task = Arc::clone(&self.tasks.read().expect("registry lock")[q.index()]);
                 let batches = {
-                    // Route against the *current* assignment: earlier
-                    // repartitions of this session have already moved on.
+                    // Route against the *current* assignment and topology:
+                    // earlier repartitions and mutation epochs of this
+                    // session have already moved on.
                     let route = |v: VertexId| self.partitioning.worker_of(v).index();
-                    task.initial_batches(&self.graph, &route, self.cfg.combiners)
+                    task.initial_batches(&self.topology, &route, self.cfg.combiners)
                 };
                 if batches.is_empty() {
                     // No initial messages: finalize over the empty state set.
                     let at = clock.now();
                     let _ = done_tx.send(Completion {
                         q,
-                        output: task.finalize(&self.graph, Vec::new()),
+                        output: task.finalize(&self.topology, Vec::new()),
                     });
                     self.report.finished_at_secs = at.as_secs_f64();
                     self.report.outcomes.push(QueryOutcome {
                         id: q,
                         program: task.program_name(),
+                        status: OutcomeStatus::Completed,
                         queued_at: entry.enqueued_at,
                         submitted_at: at,
                         completed_at: at,
@@ -816,6 +896,8 @@ impl Coordinator {
                         remote_messages_pre_combine: 0,
                         remote_batches: 0,
                         scope_size: 0,
+                        first_epoch: self.topology.epoch(),
+                        last_epoch: self.topology.epoch(),
                     });
                     false
                 } else {
@@ -840,12 +922,18 @@ impl Coordinator {
                         remote_batches: 0,
                         queued_at: entry.enqueued_at,
                         started_at: clock.now(),
+                        first_epoch: self.topology.epoch(),
                     };
                     for (w, batch) in batches {
                         t.touched.insert(w);
-                        cmd_txs[w]
-                            .send(Cmd::Deliver { q, batch })
-                            .expect("worker alive");
+                        // Chunk at the wire cap: one bounded envelope per
+                        // `batch_max_msgs` messages (physical batching,
+                        // matching the accounting).
+                        for chunk in task.split_batch(batch, batch_cap) {
+                            cmd_txs[w]
+                                .send(Cmd::Deliver { q, batch: chunk })
+                                .expect("worker alive");
+                        }
                         cmd_txs[w]
                             .send(Cmd::Step {
                                 q,
@@ -866,7 +954,11 @@ impl Coordinator {
         // requested — already-admitted queries finish, queued ones drop).
         macro_rules! admit {
             () => {{
-                while !repart_pending && !cs.shutdown && in_flight < max_parallel {
+                while !repart_pending
+                    && cs.mutations.is_empty()
+                    && !cs.shutdown
+                    && in_flight < max_parallel
+                {
                     let Some(entry) = cs.scheduler.pop() else {
                         break;
                     };
@@ -879,11 +971,58 @@ impl Coordinator {
 
         // The serving loop.
         loop {
-            // Stop-the-world Q-cut phase: runs once the in-flight work has
-            // drained (every tracked query is then parked or collected).
-            if repart_pending && inflight_ops == 0 {
+            // Surface bounded-queue rejections as distinct outcomes (the
+            // submission never executed; its output stays `None`).
+            for (q, program, at) in cs.rejected.drain(..) {
+                self.report.outcomes.push(QueryOutcome::rejected(
+                    q,
+                    program,
+                    at,
+                    self.topology.epoch(),
+                ));
+            }
+
+            // Stop-the-world phase — mutation epochs and/or Q-cut — runs
+            // once the in-flight work has drained (every tracked query is
+            // then parked or collected). One barrier serves both: a
+            // mutation landing while a repartition is pending costs no
+            // extra quiesce.
+            if (repart_pending || !cs.mutations.is_empty()) && inflight_ops == 0 {
                 let entered_at = clock.now().as_secs_f64();
-                let outcome = self.qcut_barrier(&mut tracking, &cmd_txs, &msg_rx, &mut cs, &clock);
+
+                // Phase 1: mutation epochs, in arrival order (the shared
+                // barrier body — see `controller::apply_mutation_epochs`).
+                let batches = std::mem::take(&mut cs.mutations);
+                let apply = apply_mutation_epochs(
+                    &mut self.topology,
+                    &mut self.partitioning,
+                    &mut self.controller,
+                    &mut self.report,
+                    &batches,
+                    self.cfg.compact_fraction,
+                    clock.now().as_secs_f64(),
+                );
+                let mutation_events_from = apply.events_from;
+                if !batches.is_empty() {
+                    // Broadcast the new epoch (and the assignment grown by
+                    // new-vertex placement) before anything resumes: every
+                    // subsequent superstep executes and routes against it.
+                    let topo = Arc::new(self.topology.clone());
+                    let parts = Arc::new(self.partitioning.clone());
+                    for tx in &cmd_txs {
+                        tx.send(Cmd::SetTopology(Arc::clone(&topo)))
+                            .expect("worker alive");
+                        tx.send(Cmd::SetPartitioning(Arc::clone(&parts)))
+                            .expect("worker alive");
+                    }
+                }
+
+                // Phase 2: the Q-cut repartition, under the same barrier.
+                let outcome = if repart_pending {
+                    self.qcut_barrier(&mut tracking, &cmd_txs, &msg_rx, &mut cs, &clock)
+                } else {
+                    None
+                };
                 let applied = outcome.is_some();
                 if let Some((ils, migration, locality_before, locality_after)) = outcome {
                     let applied_at = clock.now().as_secs_f64();
@@ -896,6 +1035,10 @@ impl Coordinator {
                         locality_after,
                         ils,
                     });
+                }
+                let barrier_done = clock.now().as_secs_f64();
+                for ev in &mut self.report.mutations[mutation_events_from..] {
+                    ev.barrier_duration = barrier_done - entered_at;
                 }
                 if applied {
                     // The migration moved pending inboxes between workers:
@@ -956,6 +1099,7 @@ impl Coordinator {
                 && cs.scheduler.is_empty()
                 && parked.is_empty()
                 && !repart_pending
+                && cs.mutations.is_empty()
                 && inflight_ops == 0
             {
                 let end = clock.now().as_secs_f64();
@@ -971,9 +1115,11 @@ impl Coordinator {
                         new_outcomes: self.report.outcomes[synced.outcomes..].to_vec(),
                         new_activity: self.report.activity[synced.activity..].to_vec(),
                         new_repartitions: self.report.repartitions[synced.repartitions..].to_vec(),
+                        new_mutations: self.report.mutations[synced.mutations..].to_vec(),
                         new_runs: self.report.runs[synced.runs..].to_vec(),
                         finished_at_secs: self.report.finished_at_secs,
                         partitioning: self.partitioning.clone(),
+                        topology: self.topology.clone(),
                     });
                     synced = SyncMarks::of(&self.report);
                 }
@@ -982,7 +1128,12 @@ impl Coordinator {
             // Stop only once admitted work has finished: a submission the
             // coordinator already started executing is never abandoned
             // (its completion streams out and shutdown() collects it).
-            if cs.shutdown && tracking.is_empty() && parked.is_empty() && inflight_ops == 0 {
+            if cs.shutdown
+                && tracking.is_empty()
+                && parked.is_empty()
+                && cs.mutations.is_empty()
+                && inflight_ops == 0
+            {
                 break;
             }
 
@@ -1029,9 +1180,14 @@ impl Coordinator {
                     for (w2, batch) in remote {
                         t.next_involved.insert(w2);
                         t.touched.insert(w2);
-                        cmd_txs[w2]
-                            .send(Cmd::Deliver { q, batch })
-                            .expect("worker alive");
+                        // Chunk at the wire cap (`batch_max_msgs`): the
+                        // paper's 32-message batches as physical envelopes,
+                        // bounding per-envelope latency under bursts.
+                        for chunk in t.task.split_batch(batch, batch_cap) {
+                            cmd_txs[w2]
+                                .send(Cmd::Deliver { q, batch: chunk })
+                                .expect("worker alive");
+                        }
                     }
                     if t.outstanding == 0 {
                         t.iterations += 1;
@@ -1060,9 +1216,10 @@ impl Coordinator {
                                 cmd_txs[w].send(Cmd::Collect { q }).expect("worker alive");
                                 inflight_ops += 1;
                             }
-                        } else if repart_pending {
-                            // STOP: park at the barrier until the Q-cut
-                            // phase has run.
+                        } else if repart_pending || !cs.mutations.is_empty() {
+                            // STOP: park at the barrier until the
+                            // stop-the-world phase (Q-cut and/or mutation
+                            // epoch) has run.
                             parked.push((q, next));
                         } else {
                             dispatch_step!(q, t, next);
@@ -1133,12 +1290,13 @@ impl Coordinator {
                         }
                         let _ = done_tx.send(Completion {
                             q,
-                            output: t.task.finalize(&self.graph, t.locals),
+                            output: t.task.finalize(&self.topology, t.locals),
                         });
                         self.report.finished_at_secs = at.as_secs_f64();
                         self.report.outcomes.push(QueryOutcome {
                             id: q,
                             program: t.task.program_name(),
+                            status: OutcomeStatus::Completed,
                             queued_at: t.queued_at,
                             submitted_at: t.started_at,
                             completed_at: at,
@@ -1149,6 +1307,8 @@ impl Coordinator {
                             remote_messages_pre_combine: t.remote_messages_pre_combine,
                             remote_batches: t.remote_batches,
                             scope_size,
+                            first_epoch: t.first_epoch,
+                            last_epoch: self.topology.epoch(),
                         });
                         in_flight -= 1;
                         // Closed loop: admit the next waiting query (held
@@ -1180,6 +1340,7 @@ impl Coordinator {
         CoordinatorExit {
             report: self.report,
             partitioning: self.partitioning,
+            topology: self.topology,
             controller: self.controller,
         }
     }
@@ -1310,7 +1471,7 @@ fn worker_loop(
     id: usize,
     combiners: bool,
     batch_max_msgs: usize,
-    graph: Arc<Graph>,
+    mut topology: Arc<Topology>,
     mut partitioning: Arc<Partitioning>,
     registry: TaskRegistry,
     rx: Receiver<Cmd>,
@@ -1331,7 +1492,7 @@ fn worker_loop(
                 worker.freeze(q);
                 let route = |v: VertexId| partitioning.worker_of(v).index();
                 let (stats, agg, remote) =
-                    worker.execute(q, task.as_ref(), &graph, &prev_agg, &route);
+                    worker.execute(q, task.as_ref(), &topology, &prev_agg, &route);
                 let self_pending = worker.has_pending(q);
                 resp.send(CoordMsg::Worker(Resp::StepDone {
                     q,
@@ -1376,6 +1537,9 @@ fn worker_loop(
             }
             Cmd::SetPartitioning(p) => {
                 partitioning = p;
+            }
+            Cmd::SetTopology(t) => {
+                topology = t;
             }
             Cmd::PendingReport => {
                 let mut queries: Vec<QueryId> = worker

@@ -150,26 +150,44 @@ pub struct Scheduler {
     policy: AdmissionPolicy,
     heap: BinaryHeap<HeapItem>,
     next_seq: u64,
+    /// Bounded-queue admission rejection: pushes fail once this many
+    /// queries wait. `None` = unbounded.
+    capacity: Option<usize>,
 }
 
 impl Scheduler {
-    /// An empty queue draining under `policy`.
+    /// An empty unbounded queue draining under `policy`.
     pub fn new(policy: AdmissionPolicy) -> Self {
+        Self::bounded(policy, None)
+    }
+
+    /// An empty queue with an optional waiting-depth cap
+    /// ([`crate::SystemConfig::max_queued`]): when `capacity` is
+    /// `Some(n)`, a push arriving with `n` queries already waiting is
+    /// rejected (returns `false`) instead of enqueued — the engines
+    /// surface that as a [`crate::OutcomeStatus::Rejected`] outcome.
+    pub fn bounded(policy: AdmissionPolicy, capacity: Option<usize>) -> Self {
         Scheduler {
             policy,
             heap: BinaryHeap::new(),
             next_seq: 0,
+            capacity,
         }
     }
 
-    /// Enqueue a query.
+    /// Enqueue a query; `false` means the bounded queue was full and the
+    /// submission was rejected.
+    #[must_use = "a false push is a rejected submission the caller must surface"]
     pub fn push(
         &mut self,
         q: QueryId,
         program: &'static str,
         enqueued_at: SimTime,
         deadline: Option<SimTime>,
-    ) {
+    ) -> bool {
+        if self.capacity.is_some_and(|cap| self.heap.len() >= cap) {
+            return false;
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         let key = match &self.policy {
@@ -193,6 +211,7 @@ impl Scheduler {
                 seq,
             },
         });
+        true
     }
 
     /// Pop the entry the policy admits next, if any. Deterministic: ties
@@ -224,7 +243,7 @@ mod tests {
     fn fifo_pops_in_arrival_order() {
         let mut s = Scheduler::new(AdmissionPolicy::Fifo);
         for i in 0..4 {
-            s.push(QueryId(i), "sssp", SimTime::from_secs(i as u64), None);
+            assert!(s.push(QueryId(i), "sssp", SimTime::from_secs(i as u64), None));
         }
         assert_eq!(entry_ids(&mut s), vec![0, 1, 2, 3]);
         assert!(s.is_empty());
@@ -233,47 +252,58 @@ mod tests {
     #[test]
     fn program_priority_overtakes_fifo_within_kind() {
         let mut s = Scheduler::new(AdmissionPolicy::priorities(&[("poi", 10), ("sssp", 1)]));
-        s.push(QueryId(0), "sssp", SimTime::ZERO, None);
-        s.push(QueryId(1), "bfs", SimTime::ZERO, None); // unlisted -> 0
-        s.push(QueryId(2), "poi", SimTime::ZERO, None);
-        s.push(QueryId(3), "poi", SimTime::ZERO, None);
-        s.push(QueryId(4), "sssp", SimTime::ZERO, None);
+        assert!(s.push(QueryId(0), "sssp", SimTime::ZERO, None));
+        assert!(s.push(QueryId(1), "bfs", SimTime::ZERO, None)); // unlisted -> 0
+        assert!(s.push(QueryId(2), "poi", SimTime::ZERO, None));
+        assert!(s.push(QueryId(3), "poi", SimTime::ZERO, None));
+        assert!(s.push(QueryId(4), "sssp", SimTime::ZERO, None));
         assert_eq!(entry_ids(&mut s), vec![2, 3, 0, 4, 1]);
     }
 
     #[test]
     fn deadline_pops_earliest_first_and_undedlined_last() {
         let mut s = Scheduler::new(AdmissionPolicy::Deadline);
-        s.push(QueryId(0), "a", SimTime::ZERO, Some(SimTime::from_secs(50)));
-        s.push(QueryId(1), "b", SimTime::ZERO, None);
-        s.push(QueryId(2), "c", SimTime::ZERO, Some(SimTime::from_secs(5)));
-        s.push(QueryId(3), "d", SimTime::ZERO, Some(SimTime::from_secs(5)));
+        assert!(s.push(QueryId(0), "a", SimTime::ZERO, Some(SimTime::from_secs(50))));
+        assert!(s.push(QueryId(1), "b", SimTime::ZERO, None));
+        assert!(s.push(QueryId(2), "c", SimTime::ZERO, Some(SimTime::from_secs(5))));
+        assert!(s.push(QueryId(3), "d", SimTime::ZERO, Some(SimTime::from_secs(5))));
         assert_eq!(entry_ids(&mut s), vec![2, 3, 0, 1]);
     }
 
     #[test]
     fn negative_priorities_sort_below_unlisted() {
         let mut s = Scheduler::new(AdmissionPolicy::priorities(&[("bg", -5), ("fg", 5)]));
-        s.push(QueryId(0), "bg", SimTime::ZERO, None);
-        s.push(QueryId(1), "other", SimTime::ZERO, None); // unlisted -> 0
-        s.push(QueryId(2), "fg", SimTime::ZERO, None);
+        assert!(s.push(QueryId(0), "bg", SimTime::ZERO, None));
+        assert!(s.push(QueryId(1), "other", SimTime::ZERO, None)); // unlisted -> 0
+        assert!(s.push(QueryId(2), "fg", SimTime::ZERO, None));
         assert_eq!(entry_ids(&mut s), vec![2, 1, 0]);
     }
 
     #[test]
     fn entries_carry_enqueue_metadata() {
         let mut s = Scheduler::new(AdmissionPolicy::Fifo);
-        s.push(
+        assert!(s.push(
             QueryId(7),
             "poi",
             SimTime::from_secs(3),
             Some(SimTime::from_secs(9)),
-        );
+        ));
         let e = s.pop().unwrap();
         assert_eq!(e.q, QueryId(7));
         assert_eq!(e.program, "poi");
         assert_eq!(e.enqueued_at, SimTime::from_secs(3));
         assert_eq!(e.deadline, Some(SimTime::from_secs(9)));
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_full() {
+        let mut s = Scheduler::bounded(AdmissionPolicy::Fifo, Some(2));
+        assert!(s.push(QueryId(0), "a", SimTime::ZERO, None));
+        assert!(s.push(QueryId(1), "a", SimTime::ZERO, None));
+        assert!(!s.push(QueryId(2), "a", SimTime::ZERO, None), "full");
+        let _ = s.pop();
+        assert!(s.push(QueryId(3), "a", SimTime::ZERO, None), "slot freed");
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

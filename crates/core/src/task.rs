@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use rustc_hash::{FxHashMap, FxHashSet};
 
-use qgraph_graph::{Graph, VertexId};
+use qgraph_graph::{Topology, VertexId};
 
 use crate::program::VertexProgram;
 use crate::worker::{CombineScratch, LocalState, QueryLocal, SuperstepStats};
@@ -96,13 +96,22 @@ pub trait QueryTask: Send + Sync {
     /// and combined per destination vertex when `combiners` is set.
     fn initial_batches(
         &self,
-        graph: &Graph,
+        graph: &Topology,
         route: &dyn Fn(VertexId) -> usize,
         combiners: bool,
     ) -> Vec<(usize, MessageBatch)>;
 
     /// Deliver a batch into `local`'s next-superstep inbox.
     fn deliver(&self, local: &mut dyn LocalState, batch: MessageBatch);
+
+    /// Split `batch` into chunks of at most `max` messages, preserving
+    /// message order (the thread runtime ships each chunk as its own
+    /// `Deliver` envelope — the paper's wire batch cap applied
+    /// physically, not just in the accounting). The pre-combine count is
+    /// conserved: each chunk carries its own length and the first chunk
+    /// absorbs the combiner's savings, so summing `pre_combine()` over
+    /// the chunks equals the original batch's.
+    fn split_batch(&self, batch: MessageBatch, max: usize) -> Vec<MessageBatch>;
 
     /// Execute `local`'s frozen superstep; returns the step statistics,
     /// the superstep's aggregate contribution, and remote message batches
@@ -111,7 +120,7 @@ pub trait QueryTask: Send + Sync {
     fn execute(
         &self,
         local: &mut dyn LocalState,
-        graph: &Graph,
+        graph: &Topology,
         prev_aggregate: &Envelope,
         home: usize,
         route: &dyn Fn(VertexId) -> usize,
@@ -131,7 +140,7 @@ pub trait QueryTask: Send + Sync {
 
     /// Merge the locals collected from every worker and produce the
     /// query's output envelope (downcast by [`crate::QueryHandle`]).
-    fn finalize(&self, graph: &Graph, locals: Vec<Box<dyn LocalState>>) -> Envelope;
+    fn finalize(&self, graph: &Topology, locals: Vec<Box<dyn LocalState>>) -> Envelope;
 }
 
 /// The typed implementation of [`QueryTask`] for a program `P` — the
@@ -222,7 +231,7 @@ impl<P: VertexProgram> QueryTask for TypedTask<P> {
 
     fn initial_batches(
         &self,
-        graph: &Graph,
+        graph: &Topology,
         route: &dyn Fn(VertexId) -> usize,
         combiners: bool,
     ) -> Vec<(usize, MessageBatch)> {
@@ -249,10 +258,31 @@ impl<P: VertexProgram> QueryTask for TypedTask<P> {
         self.local_mut(local).deliver(msgs);
     }
 
+    fn split_batch(&self, batch: MessageBatch, max: usize) -> Vec<MessageBatch> {
+        let max = max.max(1);
+        if batch.len() <= max {
+            return vec![batch];
+        }
+        let pre_total = batch.pre_combine();
+        let msgs = self.messages(batch);
+        let combined_away = pre_total - msgs.len();
+        let mut out = Vec::with_capacity(msgs.len().div_ceil(max));
+        let mut iter = msgs.into_iter();
+        loop {
+            let chunk: Vec<(VertexId, P::Message)> = iter.by_ref().take(max).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            let pre = chunk.len() + if out.is_empty() { combined_away } else { 0 };
+            out.push(self.wrap_batch(pre, chunk));
+        }
+        out
+    }
+
     fn execute(
         &self,
         local: &mut dyn LocalState,
-        graph: &Graph,
+        graph: &Topology,
         prev_aggregate: &Envelope,
         home: usize,
         route: &dyn Fn(VertexId) -> usize,
@@ -289,7 +319,7 @@ impl<P: VertexProgram> QueryTask for TypedTask<P> {
         self.local_mut(local).inject(entries);
     }
 
-    fn finalize(&self, graph: &Graph, locals: Vec<Box<dyn LocalState>>) -> Envelope {
+    fn finalize(&self, graph: &Topology, locals: Vec<Box<dyn LocalState>>) -> Envelope {
         let mut states: FxHashMap<VertexId, P::State> = FxHashMap::default();
         for local in locals {
             let any: Box<dyn Any> = local;
@@ -313,7 +343,7 @@ mod tests {
     fn initial_batches_bucket_by_route() {
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 1, 1.0);
-        let g = b.build();
+        let g = Topology::new(b.build());
         let task = TypedTask::new(ReachProgram::new(VertexId(2)));
         let batches = task.initial_batches(&g, &|v| v.0 as usize % 2, true);
         assert_eq!(batches.len(), 1);
@@ -323,8 +353,32 @@ mod tests {
     }
 
     #[test]
+    fn split_batch_chunks_at_cap_and_conserves_counts() {
+        let task = TypedTask::new(ReachProgram::new(VertexId(0)));
+        let msgs: Vec<(VertexId, u32)> = (0..7u32).map(|v| (VertexId(v), v)).collect();
+        // Simulate a combiner that collapsed 3 messages: pre = 10.
+        let batch = task.wrap_batch(10, msgs);
+        let chunks = task.split_batch(batch, 3);
+        assert_eq!(chunks.len(), 3, "7 msgs at cap 3");
+        assert_eq!(
+            chunks.iter().map(MessageBatch::len).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
+        assert_eq!(
+            chunks.iter().map(MessageBatch::pre_combine).sum::<usize>(),
+            10,
+            "pre-combine conserved across chunks"
+        );
+        // A batch under the cap passes through untouched.
+        let small = task.wrap_batch(2, vec![(VertexId(0), 0), (VertexId(1), 1)]);
+        let passthrough = task.split_batch(small, 3);
+        assert_eq!(passthrough.len(), 1);
+        assert_eq!(passthrough[0].len(), 2);
+    }
+
+    #[test]
     fn finalize_merges_worker_locals() {
-        let g = GraphBuilder::new(4).build();
+        let g = Topology::new(GraphBuilder::new(4).build());
         let task = TypedTask::new(ReachProgram::new(VertexId(0)));
         // Two locals that each visited one vertex.
         let mk = |v: u32| -> Box<dyn LocalState> {
@@ -364,19 +418,19 @@ mod tests {
             fn aggregate_combine(&self, a: &mut u64, b: &u64) {
                 *a += *b;
             }
-            fn initial_messages(&self, _g: &Graph) -> Vec<(VertexId, u32)> {
+            fn initial_messages(&self, _g: &Topology) -> Vec<(VertexId, u32)> {
                 vec![]
             }
             fn compute(
                 &self,
-                _g: &Graph,
+                _g: &Topology,
                 _v: VertexId,
                 _s: &mut (),
                 _m: &[u32],
                 _c: &mut Context<'_, u32, u64>,
             ) {
             }
-            fn finalize(&self, _g: &Graph, _s: &mut dyn Iterator<Item = (VertexId, ())>) -> u64 {
+            fn finalize(&self, _g: &Topology, _s: &mut dyn Iterator<Item = (VertexId, ())>) -> u64 {
                 0
             }
         }

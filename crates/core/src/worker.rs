@@ -43,7 +43,7 @@ use std::sync::Arc;
 
 use rustc_hash::{FxHashMap, FxHashSet};
 
-use qgraph_graph::{Graph, VertexId};
+use qgraph_graph::{Topology, VertexId};
 
 use crate::program::{Context, VertexProgram};
 use crate::task::{Envelope, MessageBatch, QueryTask};
@@ -287,7 +287,7 @@ impl<P: VertexProgram> QueryLocal<P> {
     #[allow(clippy::type_complexity)]
     pub(crate) fn execute(
         &mut self,
-        graph: &Graph,
+        graph: &Topology,
         program: &P,
         prev_aggregate: &P::Aggregate,
         home: usize,
@@ -535,7 +535,7 @@ impl Worker {
         &mut self,
         q: QueryId,
         task: &dyn QueryTask,
-        graph: &Graph,
+        graph: &Topology,
         prev_aggregate: &Envelope,
         route: &dyn Fn(VertexId) -> usize,
     ) -> (SuperstepStats, Envelope, Vec<(usize, MessageBatch)>) {
@@ -635,12 +635,12 @@ mod tests {
     use crate::task::TypedTask;
     use qgraph_graph::GraphBuilder;
 
-    fn line() -> Graph {
+    fn line() -> Topology {
         let mut b = GraphBuilder::new(4);
         b.add_edge(0, 1, 1.0);
         b.add_edge(1, 2, 1.0);
         b.add_edge(2, 3, 1.0);
-        b.build()
+        Topology::new(b.build())
     }
 
     fn reach_task() -> TypedTask<ReachProgram> {
@@ -735,7 +735,7 @@ mod tests {
         for t in 1..6 {
             b.add_edge(0, t, 1.0);
         }
-        let g = b.build();
+        let g = Topology::new(b.build());
         let task = reach_task();
         let mut w = Worker::configured(0, true, 2);
         let q = QueryId(0);

@@ -10,20 +10,27 @@
 //! * Vertex ids are dense `u32` indices ([`VertexId`]); a road network of the
 //!   paper's largest scale (11.8 M vertices) fits comfortably.
 //! * Edge weights are `f32` travel times (length / speed limit in the paper).
-//! * The structure is immutable after [`GraphBuilder::build`]; queries only
-//!   ever read it, matching the paper's read-only analytics model where all
-//!   query-mutable state lives in query-specific vertex data.
+//! * The CSR itself is immutable after [`GraphBuilder::build`]; queries
+//!   only ever read it, and all query-mutable state lives in
+//!   query-specific vertex data. *Topology* changes (the evolving-graph
+//!   serving model) go through the [`Topology`] overlay: a [`GraphDelta`]
+//!   of edge/vertex inserts, removals, and weight updates over the frozen
+//!   base, compacted back into a fresh CSR when it grows too large.
 
 mod builder;
 mod csr;
 mod ids;
 mod io;
+mod mutation;
 mod props;
+mod topology;
 mod validate;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NeighborIter};
 pub use ids::{EdgeId, VertexId};
 pub use io::{read_edge_list, write_edge_list, GraphIoError};
+pub use mutation::{GraphMutation, MutationBatch};
 pub use props::{RegionId, VertexProps};
+pub use topology::{AppliedMutation, GraphDelta, TopoNeighbors, Topology};
 pub use validate::{validate, GraphInvariantError};

@@ -1,0 +1,162 @@
+//! Graph mutations: the unit of change of the evolving-graph plane.
+//!
+//! A [`MutationBatch`] is an ordered list of [`GraphMutation`] ops applied
+//! atomically at an engine epoch barrier (see `qgraph-core`'s mutation
+//! plane). Batches are plain data — generators build them against a known
+//! graph state, engines apply them through [`crate::Topology::apply`].
+
+/// One topology change. Ops within a batch apply strictly in order, so a
+/// later op may reference a vertex an earlier [`GraphMutation::AddVertex`]
+/// created (ids are assigned densely from the current vertex count, in op
+/// order).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphMutation {
+    /// Append one vertex; its id is the vertex count at the moment the op
+    /// applies. New vertices carry default properties (untagged, no
+    /// coordinates).
+    AddVertex,
+    /// Remove every edge incident to the vertex (in- and out-). The id
+    /// itself stays valid — dense ids are never reused — so the vertex
+    /// survives as an isolated node and may be reconnected later.
+    RemoveVertex(crate::VertexId),
+    /// Add a directed edge `from -> to` with weight `w`.
+    AddEdge {
+        /// Source vertex.
+        from: crate::VertexId,
+        /// Target vertex.
+        to: crate::VertexId,
+        /// Edge weight (travel time in the road workloads).
+        weight: f32,
+    },
+    /// Remove every live `from -> to` edge (parallel edges included).
+    /// Removing a non-existent edge is a no-op.
+    RemoveEdge {
+        /// Source vertex.
+        from: crate::VertexId,
+        /// Target vertex.
+        to: crate::VertexId,
+    },
+    /// Set the weight of every live `from -> to` edge. A no-op when the
+    /// edge does not exist.
+    SetWeight {
+        /// Source vertex.
+        from: crate::VertexId,
+        /// Target vertex.
+        to: crate::VertexId,
+        /// The new weight.
+        weight: f32,
+    },
+}
+
+/// An ordered group of mutations applied atomically at one epoch barrier:
+/// queries never observe a half-applied batch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MutationBatch {
+    ops: Vec<GraphMutation>,
+}
+
+impl MutationBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ops, in application order.
+    pub fn ops(&self) -> &[GraphMutation] {
+        &self.ops
+    }
+
+    /// Number of ops in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Append a raw op.
+    pub fn push(&mut self, op: GraphMutation) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Append one new vertex (see [`GraphMutation::AddVertex`] for id
+    /// assignment).
+    pub fn add_vertex(&mut self) -> &mut Self {
+        self.push(GraphMutation::AddVertex)
+    }
+
+    /// Disconnect `v` (see [`GraphMutation::RemoveVertex`]).
+    pub fn remove_vertex(&mut self, v: u32) -> &mut Self {
+        self.push(GraphMutation::RemoveVertex(crate::VertexId(v)))
+    }
+
+    /// Add a directed edge.
+    pub fn add_edge(&mut self, from: u32, to: u32, weight: f32) -> &mut Self {
+        self.push(GraphMutation::AddEdge {
+            from: crate::VertexId(from),
+            to: crate::VertexId(to),
+            weight,
+        })
+    }
+
+    /// Add both directions of a road segment.
+    pub fn add_undirected_edge(&mut self, a: u32, b: u32, weight: f32) -> &mut Self {
+        self.add_edge(a, b, weight).add_edge(b, a, weight)
+    }
+
+    /// Remove a directed edge.
+    pub fn remove_edge(&mut self, from: u32, to: u32) -> &mut Self {
+        self.push(GraphMutation::RemoveEdge {
+            from: crate::VertexId(from),
+            to: crate::VertexId(to),
+        })
+    }
+
+    /// Remove both directions of a road segment.
+    pub fn remove_undirected_edge(&mut self, a: u32, b: u32) -> &mut Self {
+        self.remove_edge(a, b).remove_edge(b, a)
+    }
+
+    /// Re-weight a directed edge.
+    pub fn set_weight(&mut self, from: u32, to: u32, weight: f32) -> &mut Self {
+        self.push(GraphMutation::SetWeight {
+            from: crate::VertexId(from),
+            to: crate::VertexId(to),
+            weight,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VertexId;
+
+    #[test]
+    fn builder_collects_ops_in_order() {
+        let mut b = MutationBatch::new();
+        b.add_vertex().add_edge(0, 1, 2.0).remove_edge(1, 0);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.ops()[0], GraphMutation::AddVertex);
+        assert_eq!(
+            b.ops()[2],
+            GraphMutation::RemoveEdge {
+                from: VertexId(1),
+                to: VertexId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn undirected_helpers_emit_both_directions() {
+        let mut b = MutationBatch::new();
+        b.add_undirected_edge(2, 3, 1.5);
+        b.remove_undirected_edge(2, 3);
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        assert!(MutationBatch::new().is_empty());
+    }
+}

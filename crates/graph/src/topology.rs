@@ -1,0 +1,628 @@
+//! The evolving-graph view: an immutable CSR base plus a mutation overlay.
+//!
+//! A [`Topology`] is what the engines' workers read adjacency through. It
+//! starts as a thin pass-through over an [`Arc<Graph>`] (the common case:
+//! no mutations, zero overhead beyond one enum discriminant per
+//! `neighbors` call) and accumulates a [`GraphDelta`] as
+//! [`MutationBatch`]es apply. Reads merge base and overlay on the fly:
+//! base edges are filtered against removals and tombstones and re-weighted
+//! through the update map, then the added edges follow. When the overlay
+//! grows past a configurable fraction of the base (engine policy, see
+//! `SystemConfig::compact_fraction` in `qgraph-core`),
+//! [`Topology::compacted`] rebuilds a fresh CSR with an empty overlay.
+//!
+//! Identity rules keep query state meaningful across mutations:
+//! * vertex ids are dense and never reused — [`GraphMutation::AddVertex`]
+//!   appends, [`GraphMutation::RemoveVertex`] only disconnects (the id
+//!   stays valid as an isolated vertex and may be reconnected later);
+//! * neighbor order is stable across compaction (base-filtered edges
+//!   first, then added edges, both in insertion order), so a query
+//!   replayed on the compacted CSR walks edges in the same order as on
+//!   the overlay — the mutation conformance tests pin this.
+
+use std::sync::Arc;
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::csr::NeighborIter;
+use crate::{Graph, GraphBuilder, GraphMutation, MutationBatch, VertexId, VertexProps};
+
+/// The mutation overlay over an immutable CSR base.
+#[derive(Clone, Debug, Default)]
+pub struct GraphDelta {
+    /// Out-edges added per source vertex, in insertion order.
+    added_out: FxHashMap<VertexId, Vec<(VertexId, f32)>>,
+    /// Removed base edge pairs: every base `from -> to` parallel edge is
+    /// dead once the pair is here.
+    removed_edges: FxHashSet<(VertexId, VertexId)>,
+    /// Weight updates of base edges (applies to every parallel edge).
+    reweighted: FxHashMap<(VertexId, VertexId), f32>,
+    /// Vertex tombstones: base edges from *or to* these vertices are dead.
+    /// Added edges are pruned eagerly at removal time instead, so a
+    /// tombstoned vertex can be reconnected by later `AddEdge` ops.
+    dropped: FxHashSet<VertexId>,
+    /// Vertices appended past the base id space.
+    extra_vertices: u32,
+    /// Total ops absorbed since the last compaction (the compaction
+    /// policy's size signal).
+    overlay_ops: usize,
+    /// Live in-degree per vertex, built lazily by the first
+    /// `RemoveVertex` (one O(V + E) scan) and maintained incrementally
+    /// afterwards, so disconnecting a vertex costs O(degree) instead of
+    /// a whole-graph in-edge scan per op. Dropped at compaction with the
+    /// rest of the overlay.
+    in_degrees: Option<Vec<u32>>,
+}
+
+impl GraphDelta {
+    fn is_empty(&self) -> bool {
+        self.overlay_ops == 0
+    }
+}
+
+/// What one [`Topology::apply`] call did — the engines use this to extend
+/// the partitioning (new-vertex placement), invalidate stale Q-cut scope
+/// statistics, and price the barrier.
+#[derive(Clone, Debug)]
+pub struct AppliedMutation {
+    /// The graph epoch after this batch (each applied batch bumps it).
+    pub epoch: u64,
+    /// Ops applied (no-ops included — they were still processed).
+    pub ops: usize,
+    /// Ids of vertices this batch created, in creation order.
+    pub new_vertices: Vec<VertexId>,
+    /// Every vertex incident to any op of the batch (sorted, deduplicated)
+    /// — the staleness footprint for scope statistics.
+    pub touched: Vec<VertexId>,
+    /// For each new vertex, the other endpoints of this batch's edges
+    /// incident to it — the input of the engines' placement heuristic.
+    pub new_vertex_neighbors: Vec<(VertexId, Vec<VertexId>)>,
+}
+
+/// An evolving graph: immutable CSR base + mutation overlay + epoch.
+///
+/// Cheap to clone (the base is shared behind an `Arc`; the overlay is
+/// bounded by the compaction policy), so the thread runtime broadcasts a
+/// fresh `Arc<Topology>` to every worker at each epoch barrier.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    base: Arc<Graph>,
+    delta: GraphDelta,
+    /// Live directed edge count (base minus removed plus added).
+    live_edges: usize,
+    epoch: u64,
+}
+
+impl Topology {
+    /// A pass-through view of `graph` at epoch 0.
+    pub fn new(graph: impl Into<Arc<Graph>>) -> Self {
+        let base = graph.into();
+        Topology {
+            live_edges: base.num_edges(),
+            base,
+            delta: GraphDelta::default(),
+            epoch: 0,
+        }
+    }
+
+    /// The immutable CSR base (excluding the overlay).
+    pub fn base(&self) -> &Arc<Graph> {
+        &self.base
+    }
+
+    /// The graph epoch: how many mutation batches have applied.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total vertices (base plus appended).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices() + self.delta.extra_vertices as usize
+    }
+
+    /// Live directed edges (base minus removed plus added).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Iterate over all vertex ids (tombstoned vertices included — they
+    /// are merely isolated).
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.num_vertices() as u32).map(VertexId)
+    }
+
+    /// Vertex properties of the *base*. Appended vertices answer the
+    /// accessors' defaults (untagged, no coordinates) until a compaction
+    /// extends the property vectors.
+    #[inline]
+    pub fn props(&self) -> &VertexProps {
+        self.base.props()
+    }
+
+    /// Out-degree of `v` under the overlay. `O(1)` on a compact topology,
+    /// `O(base degree)` otherwise.
+    pub fn degree(&self, v: VertexId) -> usize {
+        if self.delta.is_empty() {
+            self.base.degree(v)
+        } else {
+            self.neighbors(v).count()
+        }
+    }
+
+    /// Iterate over `(target, weight)` pairs of the live out-edges of `v`:
+    /// base edges (filtered + re-weighted) first, then added edges, both
+    /// in insertion order.
+    pub fn neighbors(&self, v: VertexId) -> TopoNeighbors<'_> {
+        if self.delta.is_empty() {
+            return TopoNeighbors {
+                inner: NeighborsInner::Fast(self.base.neighbors(v)),
+            };
+        }
+        let base = if v.index() < self.base.num_vertices() && !self.delta.dropped.contains(&v) {
+            self.base.neighbors(v)
+        } else {
+            NeighborIter::empty()
+        };
+        let added = self
+            .delta
+            .added_out
+            .get(&v)
+            .map(|e| e.as_slice())
+            .unwrap_or(&[])
+            .iter();
+        TopoNeighbors {
+            inner: NeighborsInner::Overlay {
+                src: v,
+                base,
+                added,
+                delta: &self.delta,
+            },
+        }
+    }
+
+    /// True if a live `v -> u` edge exists. `O(degree(v))`.
+    pub fn has_edge(&self, v: VertexId, u: VertexId) -> bool {
+        self.neighbors(v).any(|(t, _)| t == u)
+    }
+
+    /// Overlay size relative to the base edge count — the engines compare
+    /// this against their configured compaction threshold.
+    pub fn overlay_fraction(&self) -> f64 {
+        self.delta.overlay_ops as f64 / self.base.num_edges().max(1) as f64
+    }
+
+    /// True when no overlay is pending (reads go straight to the CSR).
+    pub fn is_compact(&self) -> bool {
+        self.delta.is_empty()
+    }
+
+    /// Apply one batch atomically, bumping the epoch. Ops apply in order;
+    /// a later op may reference a vertex an earlier `AddVertex` created.
+    ///
+    /// # Panics
+    /// Panics if an op references a vertex id that does not exist at the
+    /// point the op applies.
+    pub fn apply(&mut self, batch: &MutationBatch) -> AppliedMutation {
+        let mut new_vertices: Vec<VertexId> = Vec::new();
+        let mut touched: FxHashSet<VertexId> = FxHashSet::default();
+        let mut new_neighbors: FxHashMap<VertexId, Vec<VertexId>> = FxHashMap::default();
+        for op in batch.ops() {
+            self.delta.overlay_ops += 1;
+            match *op {
+                GraphMutation::AddVertex => {
+                    let id = VertexId(self.num_vertices() as u32);
+                    self.delta.extra_vertices += 1;
+                    if let Some(ind) = &mut self.delta.in_degrees {
+                        ind.push(0);
+                    }
+                    new_vertices.push(id);
+                    new_neighbors.insert(id, Vec::new());
+                    touched.insert(id);
+                }
+                GraphMutation::AddEdge { from, to, weight } => {
+                    self.check_vertex(from, "AddEdge.from");
+                    self.check_vertex(to, "AddEdge.to");
+                    self.delta
+                        .added_out
+                        .entry(from)
+                        .or_default()
+                        .push((to, weight));
+                    self.live_edges += 1;
+                    if let Some(ind) = &mut self.delta.in_degrees {
+                        ind[to.index()] += 1;
+                    }
+                    touched.insert(from);
+                    touched.insert(to);
+                    if let Some(ns) = new_neighbors.get_mut(&from) {
+                        ns.push(to);
+                    }
+                    if let Some(ns) = new_neighbors.get_mut(&to) {
+                        ns.push(from);
+                    }
+                }
+                GraphMutation::RemoveEdge { from, to } => {
+                    self.check_vertex(from, "RemoveEdge.from");
+                    self.check_vertex(to, "RemoveEdge.to");
+                    let dead = self.neighbors(from).filter(|&(t, _)| t == to).count();
+                    if dead > 0 {
+                        self.live_edges -= dead;
+                        if let Some(ind) = &mut self.delta.in_degrees {
+                            ind[to.index()] -= dead as u32;
+                        }
+                        self.delta.removed_edges.insert((from, to));
+                        self.delta.reweighted.remove(&(from, to));
+                        if let Some(es) = self.delta.added_out.get_mut(&from) {
+                            es.retain(|&(t, _)| t != to);
+                        }
+                    }
+                    touched.insert(from);
+                    touched.insert(to);
+                }
+                GraphMutation::SetWeight { from, to, weight } => {
+                    self.check_vertex(from, "SetWeight.from");
+                    self.check_vertex(to, "SetWeight.to");
+                    // Base parallel edges go through the update map; added
+                    // ones are rewritten in place. A no-op when no live
+                    // edge matches.
+                    let base_live = from.index() < self.base.num_vertices()
+                        && !self.delta.dropped.contains(&from)
+                        && !self.delta.dropped.contains(&to)
+                        && !self.delta.removed_edges.contains(&(from, to))
+                        && self.base.has_edge(from, to);
+                    if base_live {
+                        self.delta.reweighted.insert((from, to), weight);
+                    }
+                    if let Some(es) = self.delta.added_out.get_mut(&from) {
+                        for e in es.iter_mut().filter(|(t, _)| *t == to) {
+                            e.1 = weight;
+                        }
+                    }
+                    touched.insert(from);
+                    touched.insert(to);
+                }
+                GraphMutation::RemoveVertex(v) => {
+                    self.check_vertex(v, "RemoveVertex");
+                    touched.insert(v);
+                    // Count live incident edges before tombstoning: out
+                    // via the view (O(degree)), in via the lazily built
+                    // in-degree cache — no whole-graph scan per op. A
+                    // self-loop is one edge counted on both sides.
+                    self.ensure_in_degrees();
+                    let out_edges: Vec<VertexId> = self.neighbors(v).map(|(t, _)| t).collect();
+                    let self_loops = out_edges.iter().filter(|&&t| t == v).count();
+                    let ind = self.delta.in_degrees.as_mut().expect("ensured above");
+                    let in_dead = ind[v.index()] as usize;
+                    self.live_edges -= out_edges.len() + in_dead - self_loops;
+                    for t in &out_edges {
+                        if *t != v {
+                            ind[t.index()] -= 1;
+                        }
+                    }
+                    ind[v.index()] = 0;
+                    // Prune added edges eagerly so the tombstone only ever
+                    // filters *base* edges (reconnection stays possible).
+                    self.delta.added_out.remove(&v);
+                    for es in self.delta.added_out.values_mut() {
+                        es.retain(|&(t, _)| t != v);
+                    }
+                    if v.index() < self.base.num_vertices() {
+                        self.delta.dropped.insert(v);
+                    }
+                }
+            }
+        }
+        self.epoch += 1;
+        let mut touched: Vec<VertexId> = touched.into_iter().collect();
+        touched.sort_unstable();
+        let new_vertex_neighbors = new_vertices
+            .iter()
+            .map(|v| (*v, new_neighbors.remove(v).unwrap_or_default()))
+            .collect();
+        AppliedMutation {
+            epoch: self.epoch,
+            ops: batch.len(),
+            new_vertices,
+            touched,
+            new_vertex_neighbors,
+        }
+    }
+
+    /// Build the live in-degree cache if absent (one O(V + E) pass over
+    /// the current view; incremental maintenance keeps it exact after).
+    fn ensure_in_degrees(&mut self) {
+        if self.delta.in_degrees.is_some() {
+            return;
+        }
+        let mut ind = vec![0u32; self.num_vertices()];
+        for v in self.vertices() {
+            for (t, _) in self.neighbors(v) {
+                ind[t.index()] += 1;
+            }
+        }
+        self.delta.in_degrees = Some(ind);
+    }
+
+    fn check_vertex(&self, v: VertexId, what: &str) {
+        assert!(
+            v.index() < self.num_vertices(),
+            "{what}: vertex {v:?} out of range for {} vertices",
+            self.num_vertices()
+        );
+    }
+
+    /// Rebuild a standalone CSR equal to the current view. Vertex ids and
+    /// neighbor order are preserved; property vectors are extended with
+    /// defaults for appended vertices.
+    pub fn materialize(&self) -> Graph {
+        let n = self.num_vertices();
+        let mut b = GraphBuilder::new(n).with_edge_capacity(self.live_edges);
+        for v in self.vertices() {
+            for (t, w) in self.neighbors(v) {
+                b.add_edge(v.0, t.0, w);
+            }
+        }
+        let mut props = self.base.props().clone();
+        if self.delta.extra_vertices > 0 {
+            if !props.coords.is_empty() {
+                props.coords.resize(n, (0.0, 0.0));
+            }
+            if !props.tags.is_empty() {
+                props.tags.resize(n, false);
+            }
+            if !props.regions.is_empty() {
+                props.regions.resize(n, crate::RegionId(0));
+            }
+        }
+        b.set_props(props);
+        b.build()
+    }
+
+    /// The compacted equivalent: same adjacency and epoch, empty overlay.
+    pub fn compacted(&self) -> Topology {
+        Topology {
+            base: Arc::new(self.materialize()),
+            delta: GraphDelta::default(),
+            live_edges: self.live_edges,
+            epoch: self.epoch,
+        }
+    }
+}
+
+enum NeighborsInner<'a> {
+    Fast(NeighborIter<'a>),
+    Overlay {
+        src: VertexId,
+        base: NeighborIter<'a>,
+        added: std::slice::Iter<'a, (VertexId, f32)>,
+        delta: &'a GraphDelta,
+    },
+}
+
+/// Iterator over the live out-edges of one vertex under the overlay.
+pub struct TopoNeighbors<'a> {
+    inner: NeighborsInner<'a>,
+}
+
+impl Iterator for TopoNeighbors<'_> {
+    type Item = (VertexId, f32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.inner {
+            NeighborsInner::Fast(it) => it.next(),
+            NeighborsInner::Overlay {
+                src,
+                base,
+                added,
+                delta,
+            } => {
+                for (t, w) in base.by_ref() {
+                    if delta.removed_edges.contains(&(*src, t)) || delta.dropped.contains(&t) {
+                        continue;
+                    }
+                    let w = delta.reweighted.get(&(*src, t)).copied().unwrap_or(w);
+                    return Some((t, w));
+                }
+                added.next().copied()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 2.0);
+        b.add_edge(1, 3, 3.0);
+        b.add_edge(2, 3, 1.0);
+        b.build()
+    }
+
+    fn n(t: &Topology, v: u32) -> Vec<(u32, f32)> {
+        t.neighbors(VertexId(v)).map(|(t, w)| (t.0, w)).collect()
+    }
+
+    #[test]
+    fn passthrough_matches_base() {
+        let t = Topology::new(diamond());
+        assert!(t.is_compact());
+        assert_eq!(t.num_vertices(), 4);
+        assert_eq!(t.num_edges(), 4);
+        assert_eq!(n(&t, 0), vec![(1, 1.0), (2, 2.0)]);
+        assert_eq!(t.epoch(), 0);
+    }
+
+    #[test]
+    fn add_and_remove_edges_overlay() {
+        let mut t = Topology::new(diamond());
+        let mut b = MutationBatch::new();
+        b.add_edge(3, 0, 9.0).remove_edge(0, 2);
+        let applied = t.apply(&b);
+        assert_eq!(applied.epoch, 1);
+        assert_eq!(t.epoch(), 1);
+        assert_eq!(t.num_edges(), 4); // one added, one removed
+        assert_eq!(n(&t, 0), vec![(1, 1.0)]);
+        assert_eq!(n(&t, 3), vec![(0, 9.0)]);
+        assert!(t.has_edge(VertexId(3), VertexId(0)));
+        assert!(!t.has_edge(VertexId(0), VertexId(2)));
+        assert_eq!(applied.touched, vec![VertexId(0), VertexId(2), VertexId(3)]);
+    }
+
+    #[test]
+    fn reweight_applies_to_base_and_added() {
+        let mut t = Topology::new(diamond());
+        let mut b = MutationBatch::new();
+        b.add_edge(1, 2, 5.0)
+            .set_weight(1, 2, 7.0)
+            .set_weight(0, 1, 0.5);
+        t.apply(&b);
+        assert_eq!(n(&t, 1), vec![(3, 3.0), (2, 7.0)]);
+        assert_eq!(n(&t, 0), vec![(1, 0.5), (2, 2.0)]);
+        // Re-weighting a non-existent edge is a no-op.
+        let mut b2 = MutationBatch::new();
+        b2.set_weight(3, 1, 4.0);
+        t.apply(&b2);
+        assert_eq!(n(&t, 3), Vec::<(u32, f32)>::new());
+    }
+
+    #[test]
+    fn add_vertex_assigns_dense_ids_and_connects_in_batch() {
+        let mut t = Topology::new(diamond());
+        let mut b = MutationBatch::new();
+        b.add_vertex().add_edge(4, 0, 1.0).add_edge(3, 4, 2.0);
+        let applied = t.apply(&b);
+        assert_eq!(applied.new_vertices, vec![VertexId(4)]);
+        assert_eq!(t.num_vertices(), 5);
+        assert_eq!(n(&t, 4), vec![(0, 1.0)]);
+        assert_eq!(n(&t, 3), vec![(4, 2.0)]);
+        assert_eq!(
+            applied.new_vertex_neighbors,
+            vec![(VertexId(4), vec![VertexId(0), VertexId(3)])]
+        );
+    }
+
+    #[test]
+    fn remove_vertex_disconnects_both_directions() {
+        let mut t = Topology::new(diamond());
+        let mut b = MutationBatch::new();
+        b.remove_vertex(3);
+        t.apply(&b);
+        assert_eq!(t.num_edges(), 2, "1->3 and 2->3 die with the vertex");
+        assert_eq!(n(&t, 1), Vec::<(u32, f32)>::new());
+        assert_eq!(n(&t, 3), Vec::<(u32, f32)>::new());
+        assert_eq!(t.num_vertices(), 4, "the id stays valid");
+        // Reconnection works: removed means isolated, not gone.
+        let mut b2 = MutationBatch::new();
+        b2.add_edge(3, 0, 1.0);
+        t.apply(&b2);
+        assert_eq!(n(&t, 3), vec![(0, 1.0)]);
+        assert_eq!(t.num_edges(), 3);
+    }
+
+    #[test]
+    fn remove_edge_kills_parallel_edges() {
+        let mut g = GraphBuilder::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 2.0);
+        let mut t = Topology::new(g.build());
+        let mut b = MutationBatch::new();
+        b.remove_edge(0, 1);
+        t.apply(&b);
+        assert_eq!(t.num_edges(), 0);
+        // Removing again is a no-op.
+        let mut b2 = MutationBatch::new();
+        b2.remove_edge(0, 1);
+        t.apply(&b2);
+        assert_eq!(t.num_edges(), 0);
+    }
+
+    #[test]
+    fn remove_vertex_with_self_loop_counts_edges_once() {
+        let mut g = GraphBuilder::new(3);
+        g.add_edge(0, 0, 1.0); // self-loop
+        g.add_edge(1, 0, 1.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(1, 2, 1.0);
+        let mut t = Topology::new(g.build());
+        let mut b = MutationBatch::new();
+        b.remove_vertex(0);
+        t.apply(&b);
+        assert_eq!(t.num_edges(), 1, "only 1->2 survives");
+        assert_eq!(t.materialize().num_edges(), 1);
+        // Removing an already-isolated vertex is a no-op on the counts,
+        // and in-degree maintenance survives interleaved adds.
+        let mut b2 = MutationBatch::new();
+        b2.add_edge(2, 0, 1.0).remove_vertex(0).remove_vertex(2);
+        t.apply(&b2);
+        assert_eq!(t.num_edges(), 0);
+        assert_eq!(t.materialize().num_edges(), 0);
+    }
+
+    #[test]
+    fn materialize_equals_overlay_view() {
+        let mut t = Topology::new(diamond());
+        let mut b = MutationBatch::new();
+        b.add_vertex()
+            .add_edge(4, 1, 0.5)
+            .remove_edge(0, 1)
+            .set_weight(2, 3, 8.0)
+            .remove_vertex(1);
+        t.apply(&b);
+        let g = t.materialize();
+        assert_eq!(g.num_vertices(), t.num_vertices());
+        assert_eq!(g.num_edges(), t.num_edges());
+        for v in t.vertices() {
+            let via_overlay: Vec<_> = t.neighbors(v).collect();
+            let via_csr: Vec<_> = g.neighbors(v).collect();
+            assert_eq!(via_overlay, via_csr, "vertex {v}");
+        }
+        let c = t.compacted();
+        assert!(c.is_compact());
+        assert_eq!(c.epoch(), t.epoch());
+        assert_eq!(c.num_edges(), t.num_edges());
+    }
+
+    #[test]
+    fn compaction_extends_props_with_defaults() {
+        let mut g = diamond();
+        g.props_mut().tags = vec![true, false, false, true];
+        let mut t = Topology::new(g);
+        let mut b = MutationBatch::new();
+        b.add_vertex();
+        t.apply(&b);
+        assert!(t.props().is_tagged(VertexId(0)));
+        assert!(!t.props().is_tagged(VertexId(4)), "appended: default");
+        let c = t.compacted();
+        assert_eq!(c.props().tags.len(), 5);
+        assert!(c.props().is_tagged(VertexId(3)));
+        assert!(!c.props().is_tagged(VertexId(4)));
+    }
+
+    #[test]
+    fn overlay_fraction_tracks_ops() {
+        let mut t = Topology::new(diamond());
+        assert_eq!(t.overlay_fraction(), 0.0);
+        let mut b = MutationBatch::new();
+        b.add_edge(0, 3, 1.0).remove_edge(1, 3);
+        t.apply(&b);
+        assert!(
+            (t.overlay_fraction() - 0.5).abs() < 1e-12,
+            "2 ops / 4 edges"
+        );
+        assert!(t.compacted().overlay_fraction() == 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_mutation_panics() {
+        let mut t = Topology::new(diamond());
+        let mut b = MutationBatch::new();
+        b.add_edge(0, 9, 1.0);
+        t.apply(&b);
+    }
+}

@@ -81,6 +81,22 @@ impl Partitioning {
         self.assignment[v.index()] = w;
     }
 
+    /// Append one vertex assigned to `w` (the mutation plane's
+    /// `AddVertex`: ids are dense, so the new vertex is
+    /// `num_vertices() - 1` after the push).
+    ///
+    /// # Panics
+    /// Panics if `w` is out of range.
+    #[inline]
+    pub fn push(&mut self, w: WorkerId) {
+        assert!(
+            w.index() < self.num_workers,
+            "push assigns to worker {w} but there are only {} workers",
+            self.num_workers
+        );
+        self.assignment.push(w);
+    }
+
     /// Vertex count per worker.
     pub fn sizes(&self) -> Vec<usize> {
         let mut sizes = vec![0usize; self.num_workers];
@@ -134,6 +150,22 @@ mod tests {
         p.move_vertex(VertexId(1), WorkerId(1));
         assert_eq!(p.worker_of(VertexId(1)), WorkerId(1));
         assert_eq!(p.sizes(), vec![2, 1]);
+    }
+
+    #[test]
+    fn push_appends_assignment() {
+        let mut p = Partitioning::new(vec![WorkerId(0); 2], 2);
+        p.push(WorkerId(1));
+        assert_eq!(p.num_vertices(), 3);
+        assert_eq!(p.worker_of(VertexId(2)), WorkerId(1));
+        assert_eq!(p.sizes(), vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 2 workers")]
+    fn push_out_of_range_panics() {
+        let mut p = Partitioning::new(vec![WorkerId(0)], 2);
+        p.push(WorkerId(2));
     }
 
     #[test]

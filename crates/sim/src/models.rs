@@ -19,6 +19,13 @@ pub struct ComputeModel {
     pub message_apply_ns: u64,
     /// Fixed per-superstep scheduling overhead on a worker, in nanoseconds.
     pub superstep_overhead_ns: u64,
+    /// Cost of applying one graph-mutation op to the topology overlay, in
+    /// nanoseconds (hash-map insert + bookkeeping; charged inside the
+    /// mutation epoch barrier).
+    pub mutation_apply_ns: u64,
+    /// Per-edge cost of rebuilding the CSR when the overlay compacts, in
+    /// nanoseconds (a counting sort pass over the live edges).
+    pub compact_ns_per_edge: u64,
 }
 
 impl Default for ComputeModel {
@@ -27,6 +34,8 @@ impl Default for ComputeModel {
             vertex_update_ns: 1_500,
             message_apply_ns: 300,
             superstep_overhead_ns: 5_000,
+            mutation_apply_ns: 800,
+            compact_ns_per_edge: 40,
         }
     }
 }
@@ -40,6 +49,16 @@ impl ComputeModel {
                 + self.vertex_update_ns * vertices as u64
                 + self.message_apply_ns * messages as u64,
         )
+    }
+
+    /// Time to apply a mutation batch of `ops` ops at the epoch barrier.
+    pub fn mutation_cost(&self, ops: usize) -> SimTime {
+        SimTime(self.mutation_apply_ns * ops as u64)
+    }
+
+    /// Time to compact an overlay into a fresh CSR of `edges` live edges.
+    pub fn compaction_cost(&self, edges: usize) -> SimTime {
+        SimTime(self.compact_ns_per_edge * edges as u64)
     }
 }
 
@@ -281,8 +300,17 @@ mod tests {
             vertex_update_ns: 10,
             message_apply_ns: 2,
             superstep_overhead_ns: 100,
+            ..Default::default()
         };
         assert_eq!(m.superstep_cost(5, 7).as_nanos(), 100 + 50 + 14);
+    }
+
+    #[test]
+    fn mutation_and_compaction_costs_scale() {
+        let m = ComputeModel::default();
+        assert_eq!(m.mutation_cost(0), SimTime::ZERO);
+        assert!(m.mutation_cost(10) > m.mutation_cost(1));
+        assert!(m.compaction_cost(1000) > m.compaction_cost(10));
     }
 
     #[test]

@@ -14,12 +14,14 @@
 //! batches, with the disturbance phase used in Figure 5).
 
 mod arrivals;
+mod churn;
 mod queries;
 mod road;
 mod social;
 mod tags;
 
 pub use arrivals::{arrival_times, schedule_open_loop, ArrivalConfig, ArrivalPattern, TimedQuery};
+pub use churn::{edge_churn, road_closures, social_follows, ChurnConfig, TimedMutation};
 pub use queries::{QueryKind, QuerySpec, WorkloadConfig, WorkloadGenerator, WorkloadPhase};
 pub use road::{City, RoadNetwork, RoadNetworkConfig, RoadNetworkGenerator};
 pub use social::{generate_ba, generate_ws, BarabasiAlbertConfig, WattsStrogatzConfig};

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use qgraph_core::programs::ReachProgram;
 use qgraph_core::{Context, QcutConfig, SimEngine, SystemConfig, VertexProgram};
-use qgraph_graph::{Graph, VertexId};
+use qgraph_graph::{Topology, VertexId};
 use qgraph_integration_tests::{line_graph, small_road_world};
 use qgraph_partition::{HashPartitioner, Partitioner, RangePartitioner};
 use qgraph_sim::ClusterModel;
@@ -34,12 +34,12 @@ impl VertexProgram for CountdownProgram {
     fn aggregate_combine(&self, a: &mut u32, b: &u32) {
         *a = (*a).max(*b);
     }
-    fn initial_messages(&self, _g: &Graph) -> Vec<(VertexId, u32)> {
+    fn initial_messages(&self, _g: &Topology) -> Vec<(VertexId, u32)> {
         vec![(self.start, 1)]
     }
     fn compute(
         &self,
-        graph: &Graph,
+        graph: &Topology,
         v: VertexId,
         state: &mut u32,
         messages: &[u32],
@@ -55,7 +55,7 @@ impl VertexProgram for CountdownProgram {
     fn should_terminate(&self, agg: &u32) -> bool {
         *agg >= self.stop_after
     }
-    fn finalize(&self, _g: &Graph, states: &mut dyn Iterator<Item = (VertexId, u32)>) -> u32 {
+    fn finalize(&self, _g: &Topology, states: &mut dyn Iterator<Item = (VertexId, u32)>) -> u32 {
         states.map(|(_, s)| s).max().unwrap_or(0)
     }
 }

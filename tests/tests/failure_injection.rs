@@ -55,6 +55,7 @@ fn slow_compute_worker_only_slows_the_system() {
         vertex_update_ns: slow.compute.vertex_update_ns * 20,
         message_apply_ns: slow.compute.message_apply_ns * 20,
         superstep_overhead_ns: slow.compute.superstep_overhead_ns * 20,
+        ..slow.compute
     };
     let (got_s, want_s, total_s) = run_with_cluster(slow, 31);
     assert_answers(&got_s, &want_s);

@@ -3,7 +3,9 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use qgraph_algo::{dijkstra_to, BfsProgram, PoiProgram, RoadProgram, SsspProgram, WccProgram};
+use qgraph_algo::{
+    dijkstra_to, BfsProgram, PoiProgram, PprProgram, RoadProgram, SsspProgram, WccProgram,
+};
 use qgraph_core::programs::ReachProgram;
 use qgraph_core::qcut::{
     cluster_queries, local_search, migrate, run_qcut, MovePlan, ScopeMove, ScopeStats, Solution,
@@ -471,5 +473,68 @@ proptest! {
         }
         on.shutdown();
         off.shutdown();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// PPR's compensated-sum combiner is *tolerance*-equivalent: unlike
+    /// the exact min/OR folds, a floating-point sum regrouped by
+    /// combining may differ by rounding — the Kahan/Neumaier messages
+    /// bound that difference to ulps, which this property pins on random
+    /// graphs. (The push threshold makes mass a discontinuous function of
+    /// rounding, so the bound is on masses of the shared support and on
+    /// the mass of any vertex only one side reports.)
+    #[test]
+    fn ppr_combined_matches_uncombined_within_tolerance(
+        (n, extra) in arb_graph(30),
+        k in 1usize..4,
+        src in 0u32..30,
+    ) {
+        let g = build(n, &extra);
+        let src = VertexId(src % n as u32);
+        let run = |combiners: bool| {
+            let cfg = SystemConfig { combiners, ..Default::default() };
+            let parts = HashPartitioner::default().partition(&g, k);
+            let mut e = SimEngine::new(Arc::clone(&g), ClusterModel::scale_up(k), parts, cfg);
+            let q = e.submit(PprProgram::new(src, 0.15, 1e-3));
+            e.run();
+            let mut out = e.take_output(&q).unwrap();
+            out.sort_by_key(|(v, _)| *v);
+            out
+        };
+        let on = run(true);
+        let off = run(false);
+        let tol = 1e-3f32;
+        let mut i = 0usize;
+        let mut j = 0usize;
+        while i < on.len() || j < off.len() {
+            match (on.get(i), off.get(j)) {
+                (Some(&(va, a)), Some(&(vb, b))) if va == vb => {
+                    prop_assert!((a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-2),
+                        "vertex {}: {} vs {}", va, a, b);
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(va, a)), Some(&(vb, _))) if va < vb => {
+                    prop_assert!(a.abs() <= tol, "only combined reports {}: {}", va, a);
+                    i += 1;
+                }
+                (Some(_), Some(&(vb, b))) => {
+                    prop_assert!(b.abs() <= tol, "only uncombined reports {}: {}", vb, b);
+                    j += 1;
+                }
+                (Some(&(va, a)), None) => {
+                    prop_assert!(a.abs() <= tol, "only combined reports {}: {}", va, a);
+                    i += 1;
+                }
+                (None, Some(&(vb, b))) => {
+                    prop_assert!(b.abs() <= tol, "only uncombined reports {}: {}", vb, b);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
     }
 }

@@ -18,7 +18,8 @@ use qgraph_algo::{
 };
 use qgraph_core::programs::ReachProgram;
 use qgraph_core::{
-    AdmissionPolicy, Engine, EngineBuilder, QcutConfig, QueryHandle, Submission, SystemConfig,
+    AdmissionPolicy, Engine, EngineBuilder, OutcomeStatus, QcutConfig, QueryHandle, Submission,
+    SystemConfig,
 };
 use qgraph_graph::{Graph, VertexId};
 use qgraph_integration_tests::{line_graph, small_road_world};
@@ -463,4 +464,167 @@ fn thread_serve_loop_drains_in_windows() {
     assert_eq!(r.run_outcomes(0).len(), 1);
     assert_eq!(r.run_outcomes(1).len(), 2);
     assert_eq!(r.outcomes.len(), 3);
+}
+
+// ---------------------------------------------------------------------
+// Backpressure: the bounded admission queue rejects overload.
+// ---------------------------------------------------------------------
+
+/// Sim: with one closed-loop slot and a 2-deep waiting queue, a burst of
+/// 6 pre-run submissions queues 2 and rejects 4 (nothing is admitted
+/// until `run`, so the queue is the only buffer) — each rejection a
+/// distinct outcome with no output.
+#[test]
+fn sim_bounded_queue_rejects_overload() {
+    let cfg = SystemConfig {
+        max_parallel_queries: 1,
+        max_queued: Some(2),
+        ..Default::default()
+    };
+    let mut e = EngineBuilder::new(line_graph(24))
+        .workers(2)
+        .config(cfg)
+        .build_sim();
+    let handles: Vec<QueryHandle<ReachProgram>> = (0..6u32)
+        .map(|i| e.submit(ReachProgram::bounded(VertexId(i), 2)))
+        .collect();
+    e.run();
+    let report = e.report();
+    assert_eq!(report.outcomes.len(), 6, "every submission has an outcome");
+    assert_eq!(report.rejected_queries(), 4);
+    assert_eq!(report.completed().count(), 2);
+    let mut rejected_outputs = 0;
+    for h in &handles {
+        let o = report
+            .outcomes
+            .iter()
+            .find(|o| o.id == h.id())
+            .expect("outcome recorded");
+        if o.is_rejected() {
+            assert!(e.output(h).is_none(), "rejected queries have no output");
+            assert_eq!(o.iterations, 0);
+            assert_eq!(o.queued_at, o.completed_at, "bounced at arrival");
+            rejected_outputs += 1;
+        } else {
+            assert!(e.output(h).is_some());
+        }
+    }
+    assert_eq!(rejected_outputs, 4);
+    // Rejections carry no latency signal: the means cover completions.
+    assert!(report.mean_latency() > 0.0);
+}
+
+/// Sim: spaced open-loop arrivals under the same bound are all admitted —
+/// backpressure only bites when the queue is actually full.
+#[test]
+fn sim_bounded_queue_admits_spaced_arrivals() {
+    let mut e = EngineBuilder::new(line_graph(24))
+        .workers(2)
+        .max_queued(2)
+        .build_sim();
+    for i in 0..6u32 {
+        e.submit_at(ReachProgram::bounded(VertexId(i), 2), i as f64 * 10.0);
+    }
+    e.run();
+    assert_eq!(e.report().rejected_queries(), 0);
+    assert_eq!(e.report().outcomes.len(), 6);
+}
+
+/// Thread runtime: a same-thread burst against a 1-slot loop with a
+/// 1-deep queue serves some and rejects the rest; accepted answers still
+/// match the reference.
+#[test]
+fn thread_bounded_queue_rejects_overload() {
+    let graph = Arc::new(line_graph(40));
+    let cfg = SystemConfig {
+        max_parallel_queries: 1,
+        max_queued: Some(1),
+        ..Default::default()
+    };
+    let parts = HashPartitioner::default().partition(&graph, 2);
+    let mut engine = qgraph_core::ThreadEngine::with_config(Arc::clone(&graph), parts, cfg);
+    engine.start();
+    let client = engine.client();
+    let handles: Vec<QueryHandle<ReachProgram>> = (0..8u32)
+        .map(|i| client.submit(ReachProgram::new(VertexId(i))))
+        .collect();
+    engine.drain();
+    let report = engine.report();
+    assert_eq!(report.outcomes.len(), 8, "every submission has an outcome");
+    let rejected = report.rejected_queries();
+    assert!(rejected > 0, "the burst must overflow a 1-deep queue");
+    assert!(rejected < 8, "the first submission is always admitted");
+    for h in &handles {
+        let o = report
+            .outcomes
+            .iter()
+            .find(|o| o.id == h.id())
+            .expect("outcome recorded");
+        match o.status {
+            OutcomeStatus::Rejected => assert!(engine.output(h).is_none()),
+            OutcomeStatus::Completed => {
+                let got = engine.output(h).expect("completed output");
+                let mut want = connected_component_of(&graph, VertexId(o.id.0));
+                want.sort_unstable();
+                assert_eq!(got, &want);
+            }
+        }
+    }
+    engine.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Deliver chunking: physical wire batches at `batch_max_msgs`.
+// ---------------------------------------------------------------------
+
+/// The chunking pin: the thread runtime splits Deliver payloads at the
+/// wire cap, and a run chunked at cap 2 is output- and
+/// structure-identical to one with an effectively unbounded cap.
+#[test]
+fn thread_chunked_and_unchunked_runs_are_identical() {
+    let (graph, sources) = {
+        let world = small_road_world(77);
+        let n = world.graph.num_vertices() as u32;
+        let sources: Vec<VertexId> = (0..10u32).map(|i| VertexId((i * 31) % (n / 3))).collect();
+        (Arc::new(world.graph), sources)
+    };
+    let run = |batch_max_msgs: usize| {
+        let cfg = SystemConfig {
+            batch_max_msgs,
+            ..Default::default()
+        };
+        let parts = HashPartitioner::default().partition(&graph, 4);
+        let mut e = qgraph_core::ThreadEngine::with_config(Arc::clone(&graph), parts, cfg);
+        let handles: Vec<_> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let t = sources[(i + 3) % sources.len()];
+                e.submit(SsspProgram::new(s, t))
+            })
+            .collect();
+        e.run();
+        let outputs: Vec<Option<f32>> = handles
+            .iter()
+            .map(|h| e.output(h).copied().expect("finished"))
+            .collect();
+        let structure: Vec<(u32, u64, u64)> = {
+            let mut o: Vec<_> = e
+                .report()
+                .outcomes
+                .iter()
+                .map(|o| (o.iterations, o.vertex_updates, o.remote_messages))
+                .collect();
+            o.sort_unstable();
+            o
+        };
+        (outputs, structure)
+    };
+    let chunked = run(2);
+    let unchunked = run(1 << 20);
+    assert_eq!(chunked.0, unchunked.0, "outputs identical");
+    assert_eq!(
+        chunked.1, unchunked.1,
+        "iterations/updates/messages identical"
+    );
 }
