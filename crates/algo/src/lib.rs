@@ -20,6 +20,7 @@
 mod bfs;
 mod poi;
 mod ppr;
+mod reach;
 mod reference;
 mod road;
 mod sssp;
@@ -28,7 +29,8 @@ mod wcc;
 pub use bfs::BfsProgram;
 pub use poi::PoiProgram;
 pub use ppr::PprProgram;
+pub use reach::ReachPointProgram;
 pub use reference::{connected_component_of, dijkstra, dijkstra_to, k_hop, nearest_tagged};
-pub use road::RoadProgram;
+pub use road::{RoadAnswer, RoadProgram};
 pub use sssp::SsspProgram;
 pub use wcc::WccProgram;

@@ -1,0 +1,173 @@
+//! Point-to-point reachability: is `target` reachable from `source`?
+//!
+//! The traversal is a plain BFS wave from the source that stops the whole
+//! query (via a sticky boolean aggregate) the moment the target is
+//! touched. As a declared [`PointQuery::Reach`], an installed hub-label
+//! index answers it at admission without any traversal at all — this
+//! program is the `reach(u, v)` counterpart of [`SsspProgram`]'s
+//! `dist(u, v)`.
+//!
+//! [`SsspProgram`]: crate::SsspProgram
+
+use qgraph_core::{Context, PointAnswer, PointQuery, VertexProgram};
+use qgraph_graph::{Topology, VertexId};
+
+/// Can `target` be reached from `source` along directed edges?
+#[derive(Clone, Debug)]
+pub struct ReachPointProgram {
+    source: VertexId,
+    target: VertexId,
+}
+
+impl ReachPointProgram {
+    /// Reachability query `source → target`.
+    pub fn new(source: VertexId, target: VertexId) -> Self {
+        ReachPointProgram { source, target }
+    }
+
+    /// The start vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// The end vertex.
+    pub fn target(&self) -> VertexId {
+        self.target
+    }
+}
+
+impl VertexProgram for ReachPointProgram {
+    /// Has the wave visited this vertex?
+    type State = bool;
+    /// The wave front (content-free).
+    type Message = ();
+    /// Has the target been touched? Sticky, so the query stops early.
+    type Aggregate = bool;
+    type Output = bool;
+
+    fn name(&self) -> &'static str {
+        "reach2"
+    }
+
+    fn init_state(&self) -> bool {
+        false
+    }
+
+    fn aggregate_identity(&self) -> bool {
+        false
+    }
+
+    fn aggregate_combine(&self, a: &mut bool, b: &bool) {
+        *a |= *b;
+    }
+
+    fn aggregate_sticky(&self) -> bool {
+        true
+    }
+
+    /// Wave-front messages carry no payload: N arrivals collapse to one.
+    fn combine(&self, _acc: &mut (), _other: &()) -> bool {
+        true
+    }
+
+    fn initial_messages(&self, _graph: &Topology) -> Vec<(VertexId, ())> {
+        vec![(self.source, ())]
+    }
+
+    fn compute(
+        &self,
+        graph: &Topology,
+        vertex: VertexId,
+        state: &mut bool,
+        _messages: &[()],
+        ctx: &mut Context<'_, (), bool>,
+    ) {
+        if *state {
+            return; // already visited: the wave passed through before
+        }
+        *state = true;
+        if vertex == self.target {
+            ctx.aggregate(&true);
+            return;
+        }
+        for (t, _) in graph.neighbors(vertex) {
+            ctx.send(t, ());
+        }
+    }
+
+    fn should_terminate(&self, aggregate: &bool) -> bool {
+        *aggregate // target touched: no further expansion can change it
+    }
+
+    fn finalize(
+        &self,
+        _graph: &Topology,
+        states: &mut dyn Iterator<Item = (VertexId, bool)>,
+    ) -> bool {
+        for (v, visited) in states {
+            if v == self.target {
+                return visited;
+            }
+        }
+        false
+    }
+
+    fn point_query(&self) -> Option<PointQuery> {
+        Some(PointQuery::Reach {
+            source: self.source,
+            target: self.target,
+        })
+    }
+
+    fn output_from_answer(&self, answer: &PointAnswer) -> Option<bool> {
+        match *answer {
+            PointAnswer::Reach(r) => Some(r),
+            PointAnswer::Dist(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_core::EngineBuilder;
+    use qgraph_graph::{Graph, GraphBuilder};
+
+    fn forked() -> Graph {
+        // 0 -> 1 -> 2, and an isolated 3 -> 4 component.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(3, 4, 1.0);
+        b.build()
+    }
+
+    fn reach(s: u32, t: u32) -> bool {
+        let mut e = EngineBuilder::new(forked()).workers(2).build_sim();
+        let q = e.submit(ReachPointProgram::new(VertexId(s), VertexId(t)));
+        e.run();
+        *e.output(&q).unwrap()
+    }
+
+    #[test]
+    fn reachable_and_unreachable_pairs() {
+        assert!(reach(0, 2));
+        assert!(reach(0, 0));
+        assert!(!reach(2, 0), "edges are directed");
+        assert!(!reach(0, 4), "separate component");
+    }
+
+    #[test]
+    fn declares_a_reach_point_query() {
+        let p = ReachPointProgram::new(VertexId(1), VertexId(2));
+        assert_eq!(
+            p.point_query(),
+            Some(PointQuery::Reach {
+                source: VertexId(1),
+                target: VertexId(2),
+            })
+        );
+        assert_eq!(p.output_from_answer(&PointAnswer::Reach(true)), Some(true));
+        assert_eq!(p.output_from_answer(&PointAnswer::Dist(Some(1.0))), None);
+    }
+}

@@ -1,7 +1,7 @@
 //! A dispatch program so SSSP and POI queries can share one engine
 //! instance (mixed workloads, as a mapping service would serve them).
 
-use qgraph_core::{Context, VertexProgram};
+use qgraph_core::{Context, PointAnswer, PointQuery, VertexProgram};
 use qgraph_graph::{Topology, VertexId};
 
 use crate::{PoiProgram, SsspProgram};
@@ -105,6 +105,22 @@ impl VertexProgram for RoadProgram {
         match self {
             RoadProgram::Sssp(p) => RoadAnswer::Distance(p.finalize(graph, states)),
             RoadProgram::Poi(p) => RoadAnswer::Nearest(p.finalize(graph, states)),
+        }
+    }
+
+    /// The SSSP variant is index-eligible; POI needs tag inspection and
+    /// always traverses.
+    fn point_query(&self) -> Option<PointQuery> {
+        match self {
+            RoadProgram::Sssp(p) => p.point_query(),
+            RoadProgram::Poi(_) => None,
+        }
+    }
+
+    fn output_from_answer(&self, answer: &PointAnswer) -> Option<RoadAnswer> {
+        match self {
+            RoadProgram::Sssp(p) => p.output_from_answer(answer).map(RoadAnswer::Distance),
+            RoadProgram::Poi(_) => None,
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Targeted single-source shortest path (the paper's SSSP query).
 
-use qgraph_core::{Context, VertexProgram};
+use qgraph_core::{Context, PointAnswer, PointQuery, VertexProgram};
 use qgraph_graph::{Topology, VertexId};
 
 /// Bellman-Ford-style vertex-centric SSSP from `source`, pruned toward
@@ -118,6 +118,22 @@ impl VertexProgram for SsspProgram {
             }
         }
         None
+    }
+
+    /// SSSP is the canonical index-eligible point query: a hub-label
+    /// index can answer `dist(source, target)` at admission.
+    fn point_query(&self) -> Option<PointQuery> {
+        Some(PointQuery::Dist {
+            source: self.source,
+            target: self.target,
+        })
+    }
+
+    fn output_from_answer(&self, answer: &PointAnswer) -> Option<Option<f32>> {
+        match *answer {
+            PointAnswer::Dist(d) => Some(d),
+            PointAnswer::Reach(_) => None,
+        }
     }
 }
 

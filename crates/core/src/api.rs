@@ -38,6 +38,7 @@ use qgraph_sim::ClusterModel;
 
 use crate::config::{QcutConfig, SystemConfig};
 use crate::engine::SimEngine;
+use crate::index_plane::PointIndex;
 use crate::program::VertexProgram;
 use crate::query::{QueryHandle, QueryId, QueryOutcome};
 use crate::report::EngineReport;
@@ -62,6 +63,17 @@ pub trait Engine {
 
     /// Erased output access backing the typed lookups.
     fn output_envelope(&self, q: QueryId) -> Option<&(dyn Any + Send)>;
+
+    /// Install (or replace) a point-query label index
+    /// ([`crate::index_plane::PointIndex`]). Eligible point queries are
+    /// answered from it at admission; mutation barriers repair it before
+    /// the new epoch opens to queries.
+    fn install_index(&mut self, index: Box<dyn PointIndex>);
+
+    /// A coherent copy of the current graph view — the epoch an index
+    /// built now would be valid for. (The thread runtime syncs with its
+    /// coordinator first, so the snapshot is never stale.)
+    fn topology_snapshot(&mut self) -> qgraph_graph::Topology;
 
     /// Submit a query of any [`VertexProgram`] type; the returned handle
     /// recovers the typed output after [`Engine::run`].
@@ -112,6 +124,14 @@ impl Engine for SimEngine {
     fn output_envelope(&self, q: QueryId) -> Option<&(dyn Any + Send)> {
         SimEngine::output_envelope(self, q)
     }
+
+    fn install_index(&mut self, index: Box<dyn PointIndex>) {
+        SimEngine::install_index(self, index)
+    }
+
+    fn topology_snapshot(&mut self) -> qgraph_graph::Topology {
+        SimEngine::topology(self).clone()
+    }
 }
 
 impl Engine for ThreadEngine {
@@ -129,6 +149,17 @@ impl Engine for ThreadEngine {
 
     fn output_envelope(&self, q: QueryId) -> Option<&(dyn Any + Send)> {
         ThreadEngine::output_envelope(self, q)
+    }
+
+    fn install_index(&mut self, index: Box<dyn PointIndex>) {
+        ThreadEngine::install_index(self, index)
+    }
+
+    fn topology_snapshot(&mut self) -> qgraph_graph::Topology {
+        // Sync the engine's copy with the coordinator's master first —
+        // an index built from a stale view would disagree with serving.
+        ThreadEngine::drain(self);
+        ThreadEngine::topology(self).clone()
     }
 }
 

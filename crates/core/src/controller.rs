@@ -294,10 +294,13 @@ pub(crate) struct MutationApply {
 /// The runtime-agnostic mutation-epoch body both engines run under their
 /// stop-the-world barriers: apply each due batch atomically (one graph
 /// epoch each, in order), extend the partitioning for created vertices,
-/// drop stale retained scopes, record `MutationEvent`s, and evaluate the
-/// compaction policy once at the end. The callers add what is theirs
-/// alone — the sim charges virtual cost from the returned totals, the
-/// thread runtime broadcasts the new `Arc<Topology>` to its workers.
+/// drop stale retained scopes, repair the installed label index (when
+/// `index` is `Some` — see [`crate::index_plane::PointIndex::repair`]),
+/// record `MutationEvent`s, and evaluate the compaction policy once at
+/// the end. The callers add what is theirs alone — the sim charges
+/// virtual cost from the returned totals, the thread runtime broadcasts
+/// the new `Arc<Topology>` to its workers.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_mutation_epochs(
     topology: &mut Topology,
     partitioning: &mut Partitioning,
@@ -306,6 +309,7 @@ pub(crate) fn apply_mutation_epochs(
     batches: &[MutationBatch],
     compact_fraction: f64,
     applied_at_secs: f64,
+    mut index: Option<&mut (dyn crate::index_plane::PointIndex + 'static)>,
 ) -> MutationApply {
     let events_from = report.mutations.len();
     let mut ops = 0usize;
@@ -315,6 +319,19 @@ pub(crate) fn apply_mutation_epochs(
         // Retained finished scopes touching mutated vertices carry
         // pre-mutation statistics: drop them before the next ILS.
         controller.invalidate_scopes(&applied.touched);
+        // Per-batch index repair keeps `repaired_through` in lockstep
+        // with the epoch: a query admitted right after this barrier sees
+        // an index valid for the graph it will run against.
+        if let Some(ix) = index.as_mut() {
+            let summary = ix.repair(topology, &applied, applied.epoch);
+            report
+                .index_repairs
+                .push(crate::index_plane::IndexRepairEvent {
+                    applied_at: applied_at_secs,
+                    epoch: applied.epoch,
+                    summary,
+                });
+        }
         ops += applied.ops;
         report.mutations.push(crate::report::MutationEvent {
             applied_at: applied_at_secs,

@@ -43,9 +43,10 @@ use qgraph_sim::{ClusterModel, EventQueue, SimTime};
 use crate::barrier::{self, BarrierInput};
 use crate::config::{BarrierMode, SystemConfig};
 use crate::controller::{apply_mutation_epochs, Controller};
+use crate::index_plane::PointIndex;
 use crate::program::VertexProgram;
 use crate::qcut::{migrate, run_qcut, IlsResult};
-use crate::query::{OutcomeStatus, QueryHandle, QueryId, QueryOutcome};
+use crate::query::{OutcomeStatus, QueryHandle, QueryId, QueryOutcome, ServedBy};
 use crate::report::{ActivitySample, EngineReport, RepartitionEvent};
 use crate::sched::{Scheduler, Submission};
 use crate::task::{Envelope, QueryTask, TypedTask};
@@ -153,6 +154,10 @@ pub struct SimEngine {
     /// Batches whose virtual application time has been reached, waiting
     /// for the stop-the-world barrier to apply them.
     due_mutations: Vec<usize>,
+    /// The installed label index (the index plane): consulted at
+    /// admission for eligible point queries, repaired at every mutation
+    /// barrier.
+    index: Option<Box<dyn PointIndex>>,
     controller: Controller,
     report: EngineReport,
     /// Per-worker vertex updates within the current activity sub-window
@@ -239,6 +244,7 @@ impl SimEngine {
             plan_ready: false,
             mutations: Vec::new(),
             due_mutations: Vec::new(),
+            index: None,
             report: EngineReport::default(),
             activity_window: vec![0; k],
             activity_window_start: SimTime::ZERO,
@@ -446,6 +452,26 @@ impl SimEngine {
         self.topology.epoch()
     }
 
+    /// Install a label index (see [`crate::index_plane::PointIndex`]):
+    /// from now on, eligible point queries popping off the admission
+    /// queue are answered by label intersection instead of traversal —
+    /// provided the index stays repaired through the admission epoch.
+    /// Replaces any previously installed index.
+    pub fn install_index(&mut self, index: Box<dyn PointIndex>) {
+        self.index = Some(index);
+    }
+
+    /// Remove and return the installed label index, if any (queries fall
+    /// back to the traversal path afterwards).
+    pub fn take_index(&mut self) -> Option<Box<dyn PointIndex>> {
+        self.index.take()
+    }
+
+    /// The installed label index, if any.
+    pub fn index(&self) -> Option<&dyn PointIndex> {
+        self.index.as_deref()
+    }
+
     // ------------------------------------------------------------------
     // Submission / dispatch
     // ------------------------------------------------------------------
@@ -495,6 +521,44 @@ impl SimEngine {
     fn start_query(&mut self, q: QueryId) {
         let now = self.events.now();
         let task = Arc::clone(&self.queries[q.index()].task);
+
+        // Index fast path: an eligible point query admitted at epoch `e`
+        // is answered from the labels when the installed index is
+        // repaired through `e` — it completes at admission without
+        // occupying a closed-loop slot or touching a worker.
+        if let Some(output) = crate::sched::try_index_path(
+            task.as_ref(),
+            self.index.as_deref(),
+            self.topology.epoch(),
+        ) {
+            let epoch = self.topology.epoch();
+            let run = &mut self.queries[q.index()];
+            run.status = QueryStatus::Finished;
+            run.submitted_at = now;
+            run.first_epoch = epoch;
+            let outcome = QueryOutcome {
+                id: q,
+                program: task.program_name(),
+                status: OutcomeStatus::Completed,
+                served_by: ServedBy::Index,
+                queued_at: run.queued_at,
+                submitted_at: now,
+                completed_at: now,
+                iterations: 0,
+                local_iterations: 0,
+                vertex_updates: 0,
+                remote_messages: 0,
+                remote_messages_pre_combine: 0,
+                remote_batches: 0,
+                scope_size: 0,
+                first_epoch: epoch,
+                last_epoch: epoch,
+            };
+            self.outputs[q.index()] = Some(output);
+            self.report.outcomes.push(outcome);
+            return;
+        }
+
         let batches = {
             let partitioning = &self.partitioning;
             let route = |v: VertexId| partitioning.worker_of(v).index();
@@ -778,6 +842,7 @@ impl SimEngine {
             id: q,
             program: task.program_name(),
             status: OutcomeStatus::Completed,
+            served_by: ServedBy::Traversal,
             queued_at: run.queued_at,
             submitted_at: run.submitted_at,
             completed_at: at,
@@ -929,6 +994,7 @@ impl SimEngine {
             &batches,
             self.cfg.compact_fraction,
             now.as_secs_f64(),
+            self.index.as_deref_mut(),
         );
         let mutation_events_from = apply.events_from;
         barrier_cost += self.cluster.compute.mutation_cost(apply.ops);

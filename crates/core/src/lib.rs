@@ -58,6 +58,7 @@ pub mod barrier;
 pub mod config;
 pub mod controller;
 pub mod engine;
+pub mod index_plane;
 pub mod program;
 pub mod programs;
 pub mod qcut;
@@ -71,9 +72,10 @@ pub mod worker;
 pub use api::{Engine, EngineBuilder};
 pub use config::{BarrierMode, QcutConfig, SystemConfig};
 pub use engine::SimEngine;
+pub use index_plane::{IndexRepairEvent, PointAnswer, PointIndex, PointQuery, RepairSummary};
 pub use program::{Context, VertexProgram};
-pub use query::{OutcomeStatus, QueryHandle, QueryId, QueryOutcome};
-pub use report::{EngineReport, MutationEvent, ProgramSummary, RunSummary};
+pub use query::{OutcomeStatus, QueryHandle, QueryId, QueryOutcome, ServedBy};
+pub use report::{EngineReport, MutationEvent, Percentiles, ProgramSummary, RunSummary};
 pub use runtime::{EngineClient, ThreadEngine};
 pub use sched::{AdmissionPolicy, Submission};
 

@@ -9,6 +9,8 @@
 
 use qgraph_graph::{Topology, VertexId};
 
+use crate::index_plane::{PointAnswer, PointQuery};
+
 /// A vertex program: the `f` in the paper's query tuple `(f, V_sub)`.
 ///
 /// Implementations must be deterministic functions of their inputs — the
@@ -107,6 +109,24 @@ pub trait VertexProgram: Send + Sync + 'static {
         graph: &Topology,
         states: &mut dyn Iterator<Item = (VertexId, Self::State)>,
     ) -> Self::Output;
+
+    /// If this program is an index-eligible *point query* — a
+    /// fixed-source, fixed-target distance or reachability question — its
+    /// [`PointQuery`] form; `None` (the default) keeps the program on the
+    /// traversal path unconditionally. A program returning `Some` here
+    /// must also implement [`VertexProgram::output_from_answer`] so the
+    /// index's answer can be surfaced through the program's typed output.
+    fn point_query(&self) -> Option<PointQuery> {
+        None
+    }
+
+    /// Convert an index's [`PointAnswer`] into this program's
+    /// [`Output`](VertexProgram::Output). Returning `None` (the default)
+    /// declines the answer and the query runs as a traversal after all —
+    /// the safe fallback for mismatched answer shapes.
+    fn output_from_answer(&self, _answer: &PointAnswer) -> Option<Self::Output> {
+        None
+    }
 }
 
 /// Per-vertex execution context handed to [`VertexProgram::compute`].

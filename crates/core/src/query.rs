@@ -96,6 +96,18 @@ pub enum OutcomeStatus {
     Rejected,
 }
 
+/// Which serving path produced a completed query's output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServedBy {
+    /// The BSP vertex-program traversal — the default path.
+    #[default]
+    Traversal,
+    /// The installed label index answered at admission
+    /// (see [`crate::index_plane::PointIndex`]); the query never reached
+    /// a worker, so all its work counters are zero.
+    Index,
+}
+
 /// Everything measured about one finished query.
 ///
 /// `latency` follows the paper's definition: the difference between the
@@ -107,6 +119,9 @@ pub struct QueryOutcome {
     pub id: QueryId,
     /// Completed normally, or rejected at admission (backpressure).
     pub status: OutcomeStatus,
+    /// The path that served it (traversal vs. label index) — reports
+    /// separate index hits from traversal runs by this tag.
+    pub served_by: ServedBy,
     /// The program-kind label (see
     /// [`VertexProgram::name`]) — keeps
     /// mixed-workload reports legible per query type.
@@ -162,6 +177,7 @@ impl QueryOutcome {
             id,
             program,
             status: OutcomeStatus::Rejected,
+            served_by: ServedBy::Traversal,
             queued_at: at,
             submitted_at: at,
             completed_at: at,
@@ -180,6 +196,12 @@ impl QueryOutcome {
     /// Was the submission rejected by the bounded admission queue?
     pub fn is_rejected(&self) -> bool {
         self.status == OutcomeStatus::Rejected
+    }
+
+    /// Was this query answered by the label index at admission (see
+    /// [`crate::index_plane::PointIndex`])?
+    pub fn is_index_served(&self) -> bool {
+        self.served_by == ServedBy::Index
     }
 
     /// Did the query observe exactly one graph version? (Trivially true
@@ -232,6 +254,7 @@ mod tests {
             id: QueryId(0),
             program: "test",
             status: OutcomeStatus::Completed,
+            served_by: ServedBy::Traversal,
             queued_at: SimTime::ZERO,
             submitted_at: SimTime::from_secs(1),
             completed_at: SimTime::from_secs(3),

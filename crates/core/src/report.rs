@@ -3,6 +3,7 @@
 
 use qgraph_metrics::{Table, TimeSeries};
 
+use crate::index_plane::IndexRepairEvent;
 use crate::qcut::IlsResult;
 use crate::query::QueryOutcome;
 
@@ -101,6 +102,9 @@ pub struct EngineReport {
     pub repartitions: Vec<RepartitionEvent>,
     /// Applied mutation epochs (the evolving-graph plane).
     pub mutations: Vec<MutationEvent>,
+    /// Label-index repairs, one per mutation batch absorbed by an
+    /// installed index (the index plane; parallel to `mutations`).
+    pub index_repairs: Vec<IndexRepairEvent>,
     /// Completed run windows, oldest first.
     pub runs: Vec<RunSummary>,
     /// Virtual time at which the last query finished.
@@ -146,6 +150,31 @@ impl EngineReport {
     /// client observes. NaN when no query finished.
     pub fn mean_time_in_system(&self) -> f64 {
         qgraph_metrics::mean(self.completed().map(|o| o.time_in_system_secs()))
+    }
+
+    /// Queueing-delay percentiles (p50/p95/p99) over all completed
+    /// queries — the tail the admission policies trade against each
+    /// other. Zeros when no query finished.
+    pub fn queueing_delay_percentiles(&self) -> Percentiles {
+        Percentiles::of(self.completed().map(|o| o.queueing_delay_secs()).collect())
+    }
+
+    /// Time-in-system percentiles (p50/p95/p99) over all completed
+    /// queries — the end-to-end tail a streaming client observes. Zeros
+    /// when no query finished.
+    pub fn time_in_system_percentiles(&self) -> Percentiles {
+        Percentiles::of(self.completed().map(|o| o.time_in_system_secs()).collect())
+    }
+
+    /// Queries the installed label index answered at admission (see
+    /// [`crate::query::ServedBy`]).
+    pub fn index_served(&self) -> usize {
+        self.completed().filter(|o| o.is_index_served()).count()
+    }
+
+    /// Queries that ran the full BSP traversal path.
+    pub fn traversal_served(&self) -> usize {
+        self.completed().filter(|o| !o.is_index_served()).count()
     }
 
     /// Close the current run window at `finished_at_secs`: every outcome
@@ -292,22 +321,34 @@ impl EngineReport {
                 let mut s = ProgramSummary {
                     program: name,
                     queries: 0,
+                    index_served: 0,
                     mean_latency_secs: 0.0,
                     mean_locality: 0.0,
                     vertex_updates: 0,
                     remote_messages: 0,
                     remote_messages_pre_combine: 0,
+                    queueing_delay: Percentiles::default(),
+                    time_in_system: Percentiles::default(),
                 };
+                let mut queueing: Vec<f64> = Vec::new();
+                let mut in_system: Vec<f64> = Vec::new();
                 for o in outcomes {
                     s.queries += 1;
+                    if o.is_index_served() {
+                        s.index_served += 1;
+                    }
                     s.mean_latency_secs += o.latency_secs();
                     s.mean_locality += o.locality();
                     s.vertex_updates += o.vertex_updates;
                     s.remote_messages += o.remote_messages;
                     s.remote_messages_pre_combine += o.remote_messages_pre_combine;
+                    queueing.push(o.queueing_delay_secs());
+                    in_system.push(o.time_in_system_secs());
                 }
                 s.mean_latency_secs /= s.queries as f64;
                 s.mean_locality /= s.queries as f64;
+                s.queueing_delay = Percentiles::of(queueing);
+                s.time_in_system = Percentiles::of(in_system);
                 s
             })
             .collect()
@@ -320,7 +361,11 @@ impl EngineReport {
             &[
                 "program",
                 "queries",
+                "index_hits",
                 "mean_latency_s",
+                "tis_p50_s",
+                "tis_p95_s",
+                "tis_p99_s",
                 "locality",
                 "vertex_updates",
                 "remote_msgs",
@@ -330,13 +375,53 @@ impl EngineReport {
             table.row(&[
                 s.program.to_string(),
                 format!("{}", s.queries),
+                format!("{}", s.index_served),
                 format!("{:.6}", s.mean_latency_secs),
+                format!("{:.6}", s.time_in_system.p50),
+                format!("{:.6}", s.time_in_system.p95),
+                format!("{:.6}", s.time_in_system.p99),
                 format!("{:.3}", s.mean_locality),
                 format!("{}", s.vertex_updates),
                 format!("{}", s.remote_messages),
             ]);
         }
         table
+    }
+}
+
+/// The p50/p95/p99 of one latency-like distribution (seconds), computed
+/// by the *nearest-rank* method — every reported value is an actual
+/// sample, so tails are never smoothed away by interpolation. All zeros
+/// for an empty sample set.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Nearest-rank percentiles of `samples` (any order; consumed to
+    /// sort in place).
+    pub fn of(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Percentiles::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+        let rank = |p: f64| -> f64 {
+            let n = samples.len();
+            // Nearest rank: the ⌈p·n⌉-th smallest sample (1-based).
+            let i = ((p * n as f64).ceil() as usize).clamp(1, n);
+            samples[i - 1]
+        };
+        Percentiles {
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+        }
     }
 }
 
@@ -347,6 +432,8 @@ pub struct ProgramSummary {
     pub program: &'static str,
     /// Queries of this kind that finished.
     pub queries: usize,
+    /// Of those, how many the label index answered at admission.
+    pub index_served: usize,
     /// Mean latency (virtual seconds).
     pub mean_latency_secs: f64,
     /// Mean per-query locality.
@@ -357,6 +444,11 @@ pub struct ProgramSummary {
     pub remote_messages: u64,
     /// Summed boundary-crossing messages before sender-side combining.
     pub remote_messages_pre_combine: u64,
+    /// Queueing-delay percentiles (arrival → admission).
+    pub queueing_delay: Percentiles,
+    /// Time-in-system percentiles (arrival → completion) — the
+    /// end-to-end tail, where the index plane's win shows.
+    pub time_in_system: Percentiles,
 }
 
 fn imbalance_of(loads: &[u64]) -> f64 {
@@ -380,6 +472,7 @@ mod tests {
             id: QueryId(0),
             program: "test",
             status: crate::query::OutcomeStatus::Completed,
+            served_by: crate::query::ServedBy::Traversal,
             queued_at: SimTime::from_secs(sub),
             submitted_at: SimTime::from_secs(sub),
             completed_at: SimTime::from_secs(done),

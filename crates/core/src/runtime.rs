@@ -86,9 +86,10 @@ use qgraph_sim::SimTime;
 
 use crate::config::SystemConfig;
 use crate::controller::{apply_mutation_epochs, Controller};
+use crate::index_plane::{IndexRepairEvent, PointIndex};
 use crate::program::VertexProgram;
 use crate::qcut::{migrate, run_qcut, IlsResult, Migration};
-use crate::query::{OutcomeStatus, QueryHandle, QueryId, QueryOutcome};
+use crate::query::{OutcomeStatus, QueryHandle, QueryId, QueryOutcome, ServedBy};
 use crate::report::{ActivitySample, EngineReport, MutationEvent, RepartitionEvent};
 use crate::sched::Scheduler;
 use crate::task::{Envelope, MessageBatch, QueryTask, TypedTask};
@@ -182,6 +183,9 @@ enum CoordMsg {
     /// A mutation batch to apply at the next stop-the-world barrier
     /// (opening a new graph epoch).
     Mutate(GraphMutationBatch),
+    /// Install (or replace) the point-query label index on the serving
+    /// coordinator; picked up on its next turn through the loop.
+    InstallIndex(Box<dyn PointIndex>),
     /// Reply on `ack` once the engine is idle (everything submitted so
     /// far has completed).
     Drain {
@@ -202,6 +206,7 @@ struct Snapshot {
     new_activity: Vec<ActivitySample>,
     new_repartitions: Vec<RepartitionEvent>,
     new_mutations: Vec<MutationEvent>,
+    new_index_repairs: Vec<IndexRepairEvent>,
     new_runs: Vec<crate::report::RunSummary>,
     finished_at_secs: f64,
     partitioning: Partitioning,
@@ -216,6 +221,7 @@ struct SyncMarks {
     activity: usize,
     repartitions: usize,
     mutations: usize,
+    index_repairs: usize,
     runs: usize,
 }
 
@@ -226,6 +232,7 @@ impl SyncMarks {
             activity: report.activity.len(),
             repartitions: report.repartitions.len(),
             mutations: report.mutations.len(),
+            index_repairs: report.index_repairs.len(),
             runs: report.runs.len(),
         }
     }
@@ -243,6 +250,7 @@ struct CoordinatorExit {
     partitioning: Partitioning,
     topology: Topology,
     controller: Controller,
+    index: Option<Box<dyn PointIndex>>,
 }
 
 struct QueryTracking {
@@ -303,6 +311,9 @@ struct ClientState {
     /// Submissions the bounded queue bounced, awaiting their rejection
     /// outcome (flushed into the report on the coordinator's next turn).
     rejected: Vec<(QueryId, &'static str, SimTime)>,
+    /// A label index installed mid-serve, awaiting pickup on the
+    /// coordinator's next turn (last install wins).
+    pending_index: Option<Box<dyn PointIndex>>,
     shutdown: bool,
 }
 
@@ -321,6 +332,10 @@ impl ClientState {
             }
             CoordMsg::Mutate(batch) => {
                 self.mutations.push(batch);
+                None
+            }
+            CoordMsg::InstallIndex(index) => {
+                self.pending_index = Some(index);
                 None
             }
             CoordMsg::Drain { ack } => {
@@ -444,6 +459,11 @@ pub struct ThreadEngine {
     /// Submissions/mutations made before `start` (forwarded in order when
     /// serving begins).
     pre_ops: Vec<PreOp>,
+    /// The point-query label index, present while *not* serving; moved
+    /// into the coordinator for the session (which repairs it at mutation
+    /// barriers and serves eligible queries from it) and handed back at
+    /// shutdown.
+    index: Option<Box<dyn PointIndex>>,
     report: EngineReport,
     serving: Option<Serving>,
 }
@@ -474,9 +494,36 @@ impl ThreadEngine {
             tasks: Arc::new(RwLock::new(Vec::new())),
             outputs: Vec::new(),
             pre_ops: Vec::new(),
+            index: None,
             report: EngineReport::default(),
             serving: None,
         }
+    }
+
+    /// Install (or replace) a point-query label index. While serving it is
+    /// handed to the coordinator (picked up on its next turn); otherwise
+    /// it is held until the next [`ThreadEngine::start`]. Eligible point
+    /// queries are answered from the index at admission, and mutation
+    /// barriers repair it before opening the new epoch to queries.
+    pub fn install_index(&mut self, index: Box<dyn PointIndex>) {
+        match &self.serving {
+            Some(s) => {
+                let _ = s.tx.send(CoordMsg::InstallIndex(index));
+            }
+            None => self.index = Some(index),
+        }
+    }
+
+    /// Remove and return the installed index. Only meaningful while not
+    /// serving (the coordinator owns it during a session — call
+    /// [`ThreadEngine::shutdown`] first); returns `None` otherwise.
+    pub fn take_index(&mut self) -> Option<Box<dyn PointIndex>> {
+        self.index.take()
+    }
+
+    /// The installed index, if present and the engine is not serving.
+    pub fn index(&self) -> Option<&dyn PointIndex> {
+        self.index.as_deref()
     }
 
     /// Apply a mutation batch: if the engine is serving it rides the next
@@ -581,6 +628,7 @@ impl ThreadEngine {
                 .expect("controller present while not serving"),
             partitioning: self.partitioning.clone(),
             tasks: Arc::clone(&self.tasks),
+            index: self.index.take(),
             // The coordinator continues the cumulative report; the engine
             // keeps its identical copy and appends drain deltas to it.
             report: self.report.clone(),
@@ -636,6 +684,7 @@ impl ThreadEngine {
         self.report.activity.extend(snapshot.new_activity);
         self.report.repartitions.extend(snapshot.new_repartitions);
         self.report.mutations.extend(snapshot.new_mutations);
+        self.report.index_repairs.extend(snapshot.new_index_repairs);
         self.report.runs.extend(snapshot.new_runs);
         self.report.finished_at_secs = snapshot.finished_at_secs;
         self.partitioning = snapshot.partitioning;
@@ -672,6 +721,7 @@ impl ThreadEngine {
         self.partitioning = exit.partitioning;
         self.topology = exit.topology;
         self.controller = Some(exit.controller);
+        self.index = exit.index;
         // Any completions raced between the drain ack and the stop.
         while let Ok(c) = s.done_rx.try_recv() {
             self.store_output(c);
@@ -771,6 +821,7 @@ struct Coordinator {
     controller: Controller,
     partitioning: Partitioning,
     tasks: TaskRegistry,
+    index: Option<Box<dyn PointIndex>>,
     report: EngineReport,
 }
 
@@ -798,6 +849,7 @@ impl Coordinator {
             drain_waiters: Vec::new(),
             mutations: Vec::new(),
             rejected: Vec::new(),
+            pending_index: None,
             shutdown: false,
         };
         let mut tracking: FxHashMap<QueryId, QueryTracking> = FxHashMap::default();
@@ -867,25 +919,23 @@ impl Coordinator {
                 let entry: crate::sched::QueueEntry = $entry;
                 let q = entry.q;
                 let task = Arc::clone(&self.tasks.read().expect("registry lock")[q.index()]);
-                let batches = {
-                    // Route against the *current* assignment and topology:
-                    // earlier repartitions and mutation epochs of this
-                    // session have already moved on.
-                    let route = |v: VertexId| self.partitioning.worker_of(v).index();
-                    task.initial_batches(&self.topology, &route, self.cfg.combiners)
-                };
-                if batches.is_empty() {
-                    // No initial messages: finalize over the empty state set.
+                // Index fast path: an eligible point query with an index
+                // repaired through the current epoch never reaches a
+                // worker — it is answered at admission with zero work and
+                // occupies no closed-loop slot.
+                if let Some(output) = crate::sched::try_index_path(
+                    task.as_ref(),
+                    self.index.as_deref(),
+                    self.topology.epoch(),
+                ) {
                     let at = clock.now();
-                    let _ = done_tx.send(Completion {
-                        q,
-                        output: task.finalize(&self.topology, Vec::new()),
-                    });
+                    let _ = done_tx.send(Completion { q, output });
                     self.report.finished_at_secs = at.as_secs_f64();
                     self.report.outcomes.push(QueryOutcome {
                         id: q,
                         program: task.program_name(),
                         status: OutcomeStatus::Completed,
+                        served_by: ServedBy::Index,
                         queued_at: entry.enqueued_at,
                         submitted_at: at,
                         completed_at: at,
@@ -901,50 +951,87 @@ impl Coordinator {
                     });
                     false
                 } else {
-                    let mut t = QueryTracking {
-                        agg_acc: task.aggregate_identity(),
-                        agg_prev: task.aggregate_identity(),
-                        task: Arc::clone(&task),
-                        outstanding: 0,
-                        involved_cur: batches.len(),
-                        crossed: false,
-                        next_involved: FxHashSet::default(),
-                        touched: FxHashSet::default(),
-                        collecting: 0,
-                        locals: Vec::new(),
-                        iterations: 0,
-                        local_iterations: 0,
-                        window_iterations: 0,
-                        window_local: 0,
-                        vertex_updates: 0,
-                        remote_messages: 0,
-                        remote_messages_pre_combine: 0,
-                        remote_batches: 0,
-                        queued_at: entry.enqueued_at,
-                        started_at: clock.now(),
-                        first_epoch: self.topology.epoch(),
+                    let batches = {
+                        // Route against the *current* assignment and
+                        // topology: earlier repartitions and mutation
+                        // epochs of this session have already moved on.
+                        let route = |v: VertexId| self.partitioning.worker_of(v).index();
+                        task.initial_batches(&self.topology, &route, self.cfg.combiners)
                     };
-                    for (w, batch) in batches {
-                        t.touched.insert(w);
-                        // Chunk at the wire cap: one bounded envelope per
-                        // `batch_max_msgs` messages (physical batching,
-                        // matching the accounting).
-                        for chunk in task.split_batch(batch, batch_cap) {
+                    if batches.is_empty() {
+                        // No initial messages: finalize over the empty
+                        // state set.
+                        let at = clock.now();
+                        let _ = done_tx.send(Completion {
+                            q,
+                            output: task.finalize(&self.topology, Vec::new()),
+                        });
+                        self.report.finished_at_secs = at.as_secs_f64();
+                        self.report.outcomes.push(QueryOutcome {
+                            id: q,
+                            program: task.program_name(),
+                            status: OutcomeStatus::Completed,
+                            served_by: ServedBy::Traversal,
+                            queued_at: entry.enqueued_at,
+                            submitted_at: at,
+                            completed_at: at,
+                            iterations: 0,
+                            local_iterations: 0,
+                            vertex_updates: 0,
+                            remote_messages: 0,
+                            remote_messages_pre_combine: 0,
+                            remote_batches: 0,
+                            scope_size: 0,
+                            first_epoch: self.topology.epoch(),
+                            last_epoch: self.topology.epoch(),
+                        });
+                        false
+                    } else {
+                        let mut t = QueryTracking {
+                            agg_acc: task.aggregate_identity(),
+                            agg_prev: task.aggregate_identity(),
+                            task: Arc::clone(&task),
+                            outstanding: 0,
+                            involved_cur: batches.len(),
+                            crossed: false,
+                            next_involved: FxHashSet::default(),
+                            touched: FxHashSet::default(),
+                            collecting: 0,
+                            locals: Vec::new(),
+                            iterations: 0,
+                            local_iterations: 0,
+                            window_iterations: 0,
+                            window_local: 0,
+                            vertex_updates: 0,
+                            remote_messages: 0,
+                            remote_messages_pre_combine: 0,
+                            remote_batches: 0,
+                            queued_at: entry.enqueued_at,
+                            started_at: clock.now(),
+                            first_epoch: self.topology.epoch(),
+                        };
+                        for (w, batch) in batches {
+                            t.touched.insert(w);
+                            // Chunk at the wire cap: one bounded envelope
+                            // per `batch_max_msgs` messages (physical
+                            // batching, matching the accounting).
+                            for chunk in task.split_batch(batch, batch_cap) {
+                                cmd_txs[w]
+                                    .send(Cmd::Deliver { q, batch: chunk })
+                                    .expect("worker alive");
+                            }
                             cmd_txs[w]
-                                .send(Cmd::Deliver { q, batch: chunk })
+                                .send(Cmd::Step {
+                                    q,
+                                    prev_agg: task.clone_aggregate(&t.agg_prev),
+                                })
                                 .expect("worker alive");
+                            t.outstanding += 1;
+                            inflight_ops += 1;
                         }
-                        cmd_txs[w]
-                            .send(Cmd::Step {
-                                q,
-                                prev_agg: task.clone_aggregate(&t.agg_prev),
-                            })
-                            .expect("worker alive");
-                        t.outstanding += 1;
-                        inflight_ops += 1;
+                        tracking.insert(q, t);
+                        true
                     }
-                    tracking.insert(q, t);
-                    true
                 }
             }};
         }
@@ -971,6 +1058,12 @@ impl Coordinator {
 
         // The serving loop.
         loop {
+            // Pick up a mid-serve index install (last one wins) before any
+            // admission decision of this turn.
+            if let Some(ix) = cs.pending_index.take() {
+                self.index = Some(ix);
+            }
+
             // Surface bounded-queue rejections as distinct outcomes (the
             // submission never executed; its output stays `None`).
             for (q, program, at) in cs.rejected.drain(..) {
@@ -1001,6 +1094,7 @@ impl Coordinator {
                     &batches,
                     self.cfg.compact_fraction,
                     clock.now().as_secs_f64(),
+                    self.index.as_deref_mut(),
                 );
                 let mutation_events_from = apply.events_from;
                 if !batches.is_empty() {
@@ -1116,6 +1210,8 @@ impl Coordinator {
                         new_activity: self.report.activity[synced.activity..].to_vec(),
                         new_repartitions: self.report.repartitions[synced.repartitions..].to_vec(),
                         new_mutations: self.report.mutations[synced.mutations..].to_vec(),
+                        new_index_repairs: self.report.index_repairs[synced.index_repairs..]
+                            .to_vec(),
                         new_runs: self.report.runs[synced.runs..].to_vec(),
                         finished_at_secs: self.report.finished_at_secs,
                         partitioning: self.partitioning.clone(),
@@ -1297,6 +1393,7 @@ impl Coordinator {
                             id: q,
                             program: t.task.program_name(),
                             status: OutcomeStatus::Completed,
+                            served_by: ServedBy::Traversal,
                             queued_at: t.queued_at,
                             submitted_at: t.started_at,
                             completed_at: at,
@@ -1342,6 +1439,7 @@ impl Coordinator {
             partitioning: self.partitioning,
             topology: self.topology,
             controller: self.controller,
+            index: self.index,
         }
     }
 

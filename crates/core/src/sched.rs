@@ -29,7 +29,41 @@ use serde::{Deserialize, Serialize};
 
 use qgraph_sim::SimTime;
 
+use crate::index_plane::PointIndex;
+use crate::task::{Envelope, QueryTask};
 use crate::QueryId;
+
+/// The admission-time index fast path — the routing half of the index
+/// plane, shared by both runtimes. When a query pops off the
+/// [`Scheduler`] the engine calls this before dispatching any superstep;
+/// a `Some` return is the query's finished output envelope and the query
+/// completes *at admission*, tagged
+/// [`ServedBy::Index`](crate::query::ServedBy::Index).
+///
+/// The query takes the index path only when every link of the chain
+/// holds — otherwise it silently falls back to the traversal path:
+/// 1. an index is installed,
+/// 2. the program declares itself an eligible point query
+///    ([`QueryTask::point_query`]),
+/// 3. the index is repaired through the admission epoch (`epoch`) — the
+///    index plane's validity rule: labels may never answer for a graph
+///    version they have not absorbed,
+/// 4. the index can answer ([`PointIndex::serve`]), and
+/// 5. the program accepts the answer shape
+///    ([`QueryTask::envelope_from_answer`]).
+pub(crate) fn try_index_path(
+    task: &dyn QueryTask,
+    index: Option<&dyn PointIndex>,
+    epoch: u64,
+) -> Option<Envelope> {
+    let ix = index?;
+    let pq = task.point_query()?;
+    if ix.repaired_through() < epoch {
+        return None;
+    }
+    let answer = ix.serve(&pq)?;
+    task.envelope_from_answer(&answer)
+}
 
 /// How the waiting backlog drains into the closed loop's free slots.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]

@@ -72,6 +72,16 @@ pub trait QueryTask: Send + Sync {
     /// The program-kind label (see [`VertexProgram::name`]).
     fn program_name(&self) -> &'static str;
 
+    /// The program's index-eligible point-query form, if any (see
+    /// [`VertexProgram::point_query`]).
+    fn point_query(&self) -> Option<crate::index_plane::PointQuery>;
+
+    /// Wrap an index answer as this task's typed output envelope, or
+    /// `None` when the program declines it (see
+    /// [`VertexProgram::output_from_answer`]) — the query then runs as a
+    /// traversal.
+    fn envelope_from_answer(&self, answer: &crate::index_plane::PointAnswer) -> Option<Envelope>;
+
     /// Fresh per-worker local state for this query; `combiners` gates the
     /// program's message combiner (see [`VertexProgram::combine`]).
     fn new_local(&self, combiners: bool) -> Box<dyn LocalState>;
@@ -199,6 +209,16 @@ impl<P: VertexProgram> TypedTask<P> {
 impl<P: VertexProgram> QueryTask for TypedTask<P> {
     fn program_name(&self) -> &'static str {
         self.program.name()
+    }
+
+    fn point_query(&self) -> Option<crate::index_plane::PointQuery> {
+        self.program.point_query()
+    }
+
+    fn envelope_from_answer(&self, answer: &crate::index_plane::PointAnswer) -> Option<Envelope> {
+        self.program
+            .output_from_answer(answer)
+            .map(|out| Box::new(out) as Envelope)
     }
 
     fn new_local(&self, combiners: bool) -> Box<dyn LocalState> {

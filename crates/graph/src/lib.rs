@@ -32,5 +32,5 @@ pub use ids::{EdgeId, VertexId};
 pub use io::{read_edge_list, write_edge_list, GraphIoError};
 pub use mutation::{GraphMutation, MutationBatch};
 pub use props::{RegionId, VertexProps};
-pub use topology::{AppliedMutation, GraphDelta, TopoNeighbors, Topology};
+pub use topology::{AppliedMutation, EdgeChange, GraphDelta, TopoNeighbors, Topology};
 pub use validate::{validate, GraphInvariantError};

@@ -60,9 +60,52 @@ impl GraphDelta {
     }
 }
 
+/// One live-edge-level effect of an applied mutation op — the index
+/// plane's repair input. Where the vertex-level `touched` set answers
+/// *"whose statistics are stale?"*, the edge changes answer *"which
+/// shortest paths may have changed, and in which direction?"*: inserts
+/// (and weight decreases) can only shorten distances, removals (and
+/// weight increases) can only lengthen them, and repair strategies differ
+/// accordingly. Old weights are captured at apply time because the
+/// overlay forgets them immediately after.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EdgeChange {
+    /// A live `from -> to` edge appeared with this weight.
+    Inserted {
+        /// Source vertex.
+        from: VertexId,
+        /// Target vertex.
+        to: VertexId,
+        /// The new edge's weight.
+        weight: f32,
+    },
+    /// A live `from -> to` edge with this weight died (one entry per
+    /// parallel edge; `RemoveVertex` reports every incident edge).
+    Removed {
+        /// Source vertex.
+        from: VertexId,
+        /// Target vertex.
+        to: VertexId,
+        /// The weight the edge had when it was removed.
+        weight: f32,
+    },
+    /// A live `from -> to` edge changed weight (one entry per parallel
+    /// edge; no entry when the new weight equals the old).
+    Reweighted {
+        /// Source vertex.
+        from: VertexId,
+        /// Target vertex.
+        to: VertexId,
+        /// The weight before the op.
+        old: f32,
+        /// The weight after the op.
+        new: f32,
+    },
+}
+
 /// What one [`Topology::apply`] call did — the engines use this to extend
 /// the partitioning (new-vertex placement), invalidate stale Q-cut scope
-/// statistics, and price the barrier.
+/// statistics, repair label indexes, and price the barrier.
 #[derive(Clone, Debug)]
 pub struct AppliedMutation {
     /// The graph epoch after this batch (each applied batch bumps it).
@@ -77,6 +120,10 @@ pub struct AppliedMutation {
     /// For each new vertex, the other endpoints of this batch's edges
     /// incident to it — the input of the engines' placement heuristic.
     pub new_vertex_neighbors: Vec<(VertexId, Vec<VertexId>)>,
+    /// Live-edge effects of the batch, in op order — what the index
+    /// plane's incremental repair consumes. No-op mutations (removing a
+    /// dead edge, reweighting to the same value) contribute nothing.
+    pub edge_changes: Vec<EdgeChange>,
 }
 
 /// An evolving graph: immutable CSR base + mutation overlay + epoch.
@@ -208,6 +255,7 @@ impl Topology {
         let mut new_vertices: Vec<VertexId> = Vec::new();
         let mut touched: FxHashSet<VertexId> = FxHashSet::default();
         let mut new_neighbors: FxHashMap<VertexId, Vec<VertexId>> = FxHashMap::default();
+        let mut edge_changes: Vec<EdgeChange> = Vec::new();
         for op in batch.ops() {
             self.delta.overlay_ops += 1;
             match *op {
@@ -229,6 +277,7 @@ impl Topology {
                         .entry(from)
                         .or_default()
                         .push((to, weight));
+                    edge_changes.push(EdgeChange::Inserted { from, to, weight });
                     self.live_edges += 1;
                     if let Some(ind) = &mut self.delta.in_degrees {
                         ind[to.index()] += 1;
@@ -245,7 +294,15 @@ impl Topology {
                 GraphMutation::RemoveEdge { from, to } => {
                     self.check_vertex(from, "RemoveEdge.from");
                     self.check_vertex(to, "RemoveEdge.to");
-                    let dead = self.neighbors(from).filter(|&(t, _)| t == to).count();
+                    let dead_weights: Vec<f32> = self
+                        .neighbors(from)
+                        .filter(|&(t, _)| t == to)
+                        .map(|(_, w)| w)
+                        .collect();
+                    let dead = dead_weights.len();
+                    for weight in dead_weights {
+                        edge_changes.push(EdgeChange::Removed { from, to, weight });
+                    }
                     if dead > 0 {
                         self.live_edges -= dead;
                         if let Some(ind) = &mut self.delta.in_degrees {
@@ -263,6 +320,16 @@ impl Topology {
                 GraphMutation::SetWeight { from, to, weight } => {
                     self.check_vertex(from, "SetWeight.from");
                     self.check_vertex(to, "SetWeight.to");
+                    for (_, old) in self.neighbors(from).filter(|&(t, _)| t == to) {
+                        if old != weight {
+                            edge_changes.push(EdgeChange::Reweighted {
+                                from,
+                                to,
+                                old,
+                                new: weight,
+                            });
+                        }
+                    }
                     // Base parallel edges go through the update map; added
                     // ones are rewritten in place. A no-op when no live
                     // edge matches.
@@ -285,6 +352,32 @@ impl Topology {
                 GraphMutation::RemoveVertex(v) => {
                     self.check_vertex(v, "RemoveVertex");
                     touched.insert(v);
+                    // Record every incident live edge for the repair
+                    // surface before anything is tombstoned. The in-edge
+                    // weights need one O(V + E) scan — same order as the
+                    // in-degree cache build below, and `RemoveVertex` is
+                    // the rare churn op (closures/follows are edge ops).
+                    for (t, w) in self.neighbors(v) {
+                        edge_changes.push(EdgeChange::Removed {
+                            from: v,
+                            to: t,
+                            weight: w,
+                        });
+                    }
+                    for u in self.vertices() {
+                        if u == v {
+                            continue; // self-loops already recorded above
+                        }
+                        for (t, w) in self.neighbors(u) {
+                            if t == v {
+                                edge_changes.push(EdgeChange::Removed {
+                                    from: u,
+                                    to: v,
+                                    weight: w,
+                                });
+                            }
+                        }
+                    }
                     // Count live incident edges before tombstoning: out
                     // via the view (O(degree)), in via the lazily built
                     // in-degree cache — no whole-graph scan per op. A
@@ -326,6 +419,7 @@ impl Topology {
             new_vertices,
             touched,
             new_vertex_neighbors,
+            edge_changes,
         }
     }
 
@@ -615,6 +709,76 @@ mod tests {
             "2 ops / 4 edges"
         );
         assert!(t.compacted().overlay_fraction() == 0.0);
+    }
+
+    #[test]
+    fn edge_changes_capture_old_weights() {
+        let mut t = Topology::new(diamond());
+        let mut b = MutationBatch::new();
+        b.add_edge(3, 0, 9.0)
+            .remove_edge(0, 2)
+            .set_weight(1, 3, 4.5)
+            .set_weight(2, 3, 1.0) // same weight: no change recorded
+            .remove_edge(3, 1); // dead edge: no change recorded
+        let applied = t.apply(&b);
+        assert_eq!(
+            applied.edge_changes,
+            vec![
+                EdgeChange::Inserted {
+                    from: VertexId(3),
+                    to: VertexId(0),
+                    weight: 9.0
+                },
+                EdgeChange::Removed {
+                    from: VertexId(0),
+                    to: VertexId(2),
+                    weight: 2.0
+                },
+                EdgeChange::Reweighted {
+                    from: VertexId(1),
+                    to: VertexId(3),
+                    old: 3.0,
+                    new: 4.5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn remove_vertex_reports_every_incident_edge() {
+        let mut t = Topology::new(diamond());
+        let mut b = MutationBatch::new();
+        b.remove_vertex(3);
+        let applied = t.apply(&b);
+        // 3 has no out-edges; in-edges 1->3 (3.0) and 2->3 (1.0) die.
+        let mut changes = applied.edge_changes.clone();
+        changes.sort_by_key(|c| match *c {
+            EdgeChange::Removed { from, .. } => from.0,
+            _ => u32::MAX,
+        });
+        assert_eq!(
+            changes,
+            vec![
+                EdgeChange::Removed {
+                    from: VertexId(1),
+                    to: VertexId(3),
+                    weight: 3.0
+                },
+                EdgeChange::Removed {
+                    from: VertexId(2),
+                    to: VertexId(3),
+                    weight: 1.0
+                },
+            ]
+        );
+        // Parallel edges each report their own removal.
+        let mut g = GraphBuilder::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 2.0);
+        let mut t = Topology::new(g.build());
+        let mut b = MutationBatch::new();
+        b.remove_edge(0, 1);
+        assert_eq!(t.apply(&b).edge_changes.len(), 2);
     }
 
     #[test]

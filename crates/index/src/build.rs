@@ -1,0 +1,175 @@
+//! Index construction as engine work: landmark passes submitted in waves.
+//!
+//! Every vertex is a root. Ranks are processed in waves of
+//! [`IndexConfig::wave`] roots; each wave submits one forward and one
+//! backward [`PllPassProgram`] per root, all pruned against a *snapshot*
+//! of the labels committed by earlier waves, then runs them as ordinary
+//! engine queries (so construction exercises the same scheduling,
+//! message, and barrier machinery as any other workload — and both
+//! runtimes build identical labels, because each pass's result is
+//! schedule-independent and the wave structure is deterministic).
+//!
+//! After a wave completes, its outputs are committed in rank order with
+//! the *same* snapshot filter the passes pruned against. Filtering
+//! against the snapshot (never the live labels) keeps the committed set
+//! equal to each pass's propagating set, which is what gives committed
+//! entries the closure property (witness paths traverse only committed
+//! entries) that incremental repair's tightness test needs. Roots within
+//! one wave don't prune against each other, so a wider wave trades label
+//! redundancy for fewer engine round-trips; the labels stay exact either
+//! way.
+
+use std::sync::Arc;
+
+use qgraph_core::Engine;
+
+use crate::labels::{Direction, HubLabels};
+use crate::program::{reverse_adjacency, PllPassProgram};
+use crate::{IndexConfig, LabelIndex};
+
+/// Build a [`LabelIndex`] by running the landmark passes on `engine`.
+///
+/// The labels cover the engine's topology at call time (the thread
+/// runtime syncs with its coordinator first); the returned index is
+/// valid through that epoch. Install it with
+/// [`Engine::install_index`] to start serving point queries.
+pub fn build_on_engine<E: Engine>(engine: &mut E, cfg: IndexConfig) -> LabelIndex {
+    let topology = engine.topology_snapshot();
+    let mut labels = HubLabels::empty(&topology);
+    let rev = Arc::new(reverse_adjacency(&topology));
+    let n = labels.order.len();
+    let wave = cfg.wave.max(1);
+
+    let mut rank = 0u32;
+    while (rank as usize) < n {
+        let end = (rank as usize + wave).min(n) as u32;
+        let snapshot = Arc::new(labels.clone());
+        let mut passes = Vec::with_capacity(2 * (end - rank) as usize);
+        for r in rank..end {
+            let root = snapshot.order[r as usize];
+            for dir in [Direction::Forward, Direction::Backward] {
+                let handle = engine.submit(PllPassProgram::new(
+                    root,
+                    r,
+                    dir,
+                    Arc::clone(&snapshot),
+                    Arc::clone(&rev),
+                ));
+                passes.push((r, root, dir, handle));
+            }
+        }
+        engine.run();
+        for (r, root, dir, handle) in passes {
+            let settled = engine
+                .output(&handle)
+                .expect("pll pass must complete")
+                .clone();
+            for (v, d) in settled {
+                // The same predicate the pass propagated under, against
+                // the same snapshot: committed set == propagating set.
+                let threshold = match dir {
+                    Direction::Forward => snapshot.query_below(root, v, r),
+                    Direction::Backward => snapshot.query_below(v, root, r),
+                };
+                if threshold > d {
+                    labels.commit(v, r, d, dir);
+                }
+            }
+        }
+        rank = end;
+    }
+
+    LabelIndex::from_labels(labels, topology.epoch(), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_core::{EngineBuilder, PointAnswer, PointIndex, PointQuery};
+    use qgraph_graph::{Graph, GraphBuilder, Topology, VertexId};
+
+    fn gadget() -> Graph {
+        // Two overlapping diamonds plus a dead-end and an unreachable tail.
+        let mut b = GraphBuilder::new(8);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 4.0);
+        b.add_edge(1, 3, 1.0);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(3, 4, 2.0);
+        b.add_edge(1, 4, 5.0);
+        b.add_edge(4, 5, 1.0);
+        b.add_edge(6, 0, 1.0);
+        b.add_edge(7, 6, 3.0);
+        b.build()
+    }
+
+    #[test]
+    fn engine_build_matches_sequential_build_answers() {
+        let graph = gadget();
+        let seq = LabelIndex::build(&Topology::new(graph.clone()), IndexConfig::default());
+        for wave in [1usize, 3, 64] {
+            let mut sim = EngineBuilder::new(graph.clone()).workers(3).build_sim();
+            let built = build_on_engine(
+                &mut sim,
+                IndexConfig {
+                    wave,
+                    ..IndexConfig::default()
+                },
+            );
+            for u in 0..8u32 {
+                for v in 0..8u32 {
+                    let q = PointQuery::Dist {
+                        source: VertexId(u),
+                        target: VertexId(v),
+                    };
+                    assert_eq!(built.serve(&q), seq.serve(&q), "wave={wave} {u}->{v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_runtimes_build_identical_labels() {
+        let graph = gadget();
+        let cfg = IndexConfig {
+            wave: 3,
+            ..IndexConfig::default()
+        };
+        let mut sim = EngineBuilder::new(graph.clone()).workers(2).build_sim();
+        let mut threaded = EngineBuilder::new(graph).workers(2).build_threaded();
+        let a = build_on_engine(&mut sim, cfg);
+        let b = build_on_engine(&mut threaded, cfg);
+        assert_eq!(a.labels().order, b.labels().order);
+        assert_eq!(a.labels().out_labels, b.labels().out_labels);
+        assert_eq!(a.labels().in_labels, b.labels().in_labels);
+    }
+
+    #[test]
+    fn serve_answers_reachability_and_bounds_checks() {
+        let graph = gadget();
+        let mut sim = EngineBuilder::new(graph).workers(2).build_sim();
+        let index = build_on_engine(&mut sim, IndexConfig::default());
+        assert_eq!(
+            index.serve(&PointQuery::Reach {
+                source: VertexId(7),
+                target: VertexId(5),
+            }),
+            Some(PointAnswer::Reach(true))
+        );
+        assert_eq!(
+            index.serve(&PointQuery::Reach {
+                source: VertexId(5),
+                target: VertexId(7),
+            }),
+            Some(PointAnswer::Reach(false))
+        );
+        // Out-of-range vertices decline rather than answer.
+        assert_eq!(
+            index.serve(&PointQuery::Dist {
+                source: VertexId(0),
+                target: VertexId(99),
+            }),
+            None
+        );
+    }
+}

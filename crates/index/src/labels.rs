@@ -1,0 +1,335 @@
+//! The 2-hop hub label store and its flat, read-only serving form.
+//!
+//! Every vertex is a landmark *root*, ranked by degree (descending,
+//! vertex id breaking ties) — rank 0 is the highest-priority root. A
+//! directed graph needs two label families:
+//!
+//! * `in_labels[v]`  — entries `(rank(r), dist(r → v))`, committed by
+//!   *forward* passes from each root `r`;
+//! * `out_labels[v]` — entries `(rank(r), dist(v → r))`, committed by
+//!   *backward* passes.
+//!
+//! `dist(u, v) = min over common hubs h of out[u][h] + in[v][h]`; with a
+//! full pruned-landmark labeling the minimum is the exact shortest-path
+//! distance (the highest-ranked vertex on a shortest `u → v` path is in
+//! both label sets — the canonical 2-hop cover invariant that
+//! rank-restricted pruning preserves).
+
+use qgraph_graph::{Topology, VertexId};
+use rustc_hash::FxHashSet;
+
+/// One label entry: `(hub rank, distance)`. Lists are sorted by rank.
+pub type LabelEntry = (u32, f32);
+
+/// Find the entry for `rank` in a rank-sorted list.
+pub(crate) fn entry(list: &[LabelEntry], rank: u32) -> Option<f32> {
+    list.binary_search_by_key(&rank, |e| e.0)
+        .ok()
+        .map(|i| list[i].1)
+}
+
+/// Insert or overwrite the entry for `rank`, keeping the list sorted.
+pub(crate) fn upsert(list: &mut Vec<LabelEntry>, rank: u32, d: f32) -> bool {
+    match list.binary_search_by_key(&rank, |e| e.0) {
+        Ok(i) => {
+            list[i].1 = d;
+            false
+        }
+        Err(i) => {
+            list.insert(i, (rank, d));
+            true
+        }
+    }
+}
+
+/// Minimum `out + in` over common hubs of two rank-sorted lists,
+/// restricted to hubs with rank strictly below `rank_limit`.
+fn intersect_below(out: &[LabelEntry], inl: &[LabelEntry], rank_limit: u32) -> f32 {
+    let mut best = f32::INFINITY;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < out.len() && j < inl.len() {
+        let (ro, d_out) = out[i];
+        let (ri, d_in) = inl[j];
+        if ro >= rank_limit || ri >= rank_limit {
+            break; // sorted by rank: nothing below the limit remains
+        }
+        match ro.cmp(&ri) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let d = d_out + d_in;
+                if d < best {
+                    best = d;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+/// The mutable hub label store: per-vertex rank-sorted label lists plus
+/// the rank order itself.
+#[derive(Clone, Debug, Default)]
+pub struct HubLabels {
+    /// rank → vertex (degree-descending, id ascending on ties; vertices
+    /// created by later mutation epochs are appended at the end, i.e.
+    /// lowest priority).
+    pub order: Vec<VertexId>,
+    /// vertex index → rank (inverse of `order`).
+    pub rank_of: Vec<u32>,
+    /// `out_labels[v]`: `(rank(r), dist(v → r))`, sorted by rank.
+    pub out_labels: Vec<Vec<LabelEntry>>,
+    /// `in_labels[v]`: `(rank(r), dist(r → v))`, sorted by rank.
+    pub in_labels: Vec<Vec<LabelEntry>>,
+}
+
+impl HubLabels {
+    /// An empty store over `topology`'s vertices with the degree rank
+    /// order (descending degree, ascending id on ties — the stable
+    /// tie-break that keeps construction deterministic across engines).
+    pub fn empty(topology: &Topology) -> Self {
+        let n = topology.num_vertices();
+        let mut order: Vec<VertexId> = (0..n as u32).map(VertexId).collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(topology.degree(v)), v.0));
+        let mut rank_of = vec![0u32; n];
+        for (rank, &v) in order.iter().enumerate() {
+            rank_of[v.index()] = rank as u32;
+        }
+        HubLabels {
+            order,
+            rank_of,
+            out_labels: vec![Vec::new(); n],
+            in_labels: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of covered vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.rank_of.len()
+    }
+
+    /// Total committed entries across both families.
+    pub fn total_entries(&self) -> usize {
+        self.out_labels.iter().map(Vec::len).sum::<usize>()
+            + self.in_labels.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Append vertices created by a mutation epoch at the *end* of the
+    /// rank order (lowest priority) — existing labels stay valid and the
+    /// newcomers' own passes run last.
+    pub fn append_vertices(&mut self, new: &[VertexId]) {
+        for &v in new {
+            debug_assert_eq!(v.index(), self.rank_of.len(), "dense id append");
+            self.rank_of.push(self.order.len() as u32);
+            self.order.push(v);
+            self.out_labels.push(Vec::new());
+            self.in_labels.push(Vec::new());
+        }
+    }
+
+    /// Exact distance `u → v` over the full label intersection;
+    /// `None` when unreachable.
+    pub fn query_dist(&self, u: VertexId, v: VertexId) -> Option<f32> {
+        let d = intersect_below(
+            &self.out_labels[u.index()],
+            &self.in_labels[v.index()],
+            u32::MAX,
+        );
+        d.is_finite().then_some(d)
+    }
+
+    /// Distance `u → v` witnessed only by hubs ranked strictly above
+    /// (numerically below) `rank_limit` — the rank-restricted query that
+    /// makes pruning sound by induction on rank. `INFINITY` if no such
+    /// witness exists.
+    pub fn query_below(&self, u: VertexId, v: VertexId, rank_limit: u32) -> f32 {
+        intersect_below(
+            &self.out_labels[u.index()],
+            &self.in_labels[v.index()],
+            rank_limit,
+        )
+    }
+
+    /// The committed entry of hub `rank` at `v` in the given direction.
+    pub fn hub_entry(&self, v: VertexId, rank: u32, dir: Direction) -> Option<f32> {
+        match dir {
+            Direction::Forward => entry(&self.in_labels[v.index()], rank),
+            Direction::Backward => entry(&self.out_labels[v.index()], rank),
+        }
+    }
+
+    /// Commit (insert or tighten) hub `rank`'s entry at `v`; returns
+    /// `true` if a new entry was inserted.
+    pub fn commit(&mut self, v: VertexId, rank: u32, d: f32, dir: Direction) -> bool {
+        let list = match dir {
+            Direction::Forward => &mut self.in_labels[v.index()],
+            Direction::Backward => &mut self.out_labels[v.index()],
+        };
+        upsert(list, rank, d)
+    }
+
+    /// Strip one hub's entries from one label family, returning the
+    /// removed `(vertex, distance)` pairs — repair compares them against
+    /// the re-run's fresh entries to decide whether the hub *changed*
+    /// (shrank or grew anywhere), which is what cascades invalidation to
+    /// lower-ranked hubs whose pruning certificates consulted it.
+    pub fn remove_hub(&mut self, rank: u32, dir: Direction) -> Vec<(VertexId, f32)> {
+        let lists = match dir {
+            Direction::Forward => &mut self.in_labels,
+            Direction::Backward => &mut self.out_labels,
+        };
+        let mut removed = Vec::new();
+        for (v, list) in lists.iter_mut().enumerate() {
+            if let Ok(i) = list.binary_search_by_key(&rank, |e| e.0) {
+                removed.push((VertexId(v as u32), list.remove(i).1));
+            }
+        }
+        removed
+    }
+
+    /// Strip every entry of the given hubs from one label family;
+    /// returns the number removed. One sweep over all vertices — callers
+    /// batch all affected hubs of a repair into a single pass.
+    pub fn remove_hubs(&mut self, hubs: &FxHashSet<u32>, dir: Direction) -> usize {
+        if hubs.is_empty() {
+            return 0;
+        }
+        let lists = match dir {
+            Direction::Forward => &mut self.in_labels,
+            Direction::Backward => &mut self.out_labels,
+        };
+        let mut removed = 0usize;
+        for list in lists.iter_mut() {
+            let before = list.len();
+            list.retain(|e| !hubs.contains(&e.0));
+            removed += before - list.len();
+        }
+        removed
+    }
+}
+
+/// Which label family a pass feeds: a forward pass from root `r` settles
+/// `dist(r → v)` into `in_labels`; a backward pass settles
+/// `dist(v → r)` into `out_labels`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    Forward,
+    Backward,
+}
+
+/// The frozen, flat serving form: both label families packed into single
+/// contiguous arrays with per-vertex offsets, rebuilt from [`HubLabels`]
+/// after construction and after every repair. Point queries touch only
+/// these four arrays — two offset lookups and one merge-intersection.
+#[derive(Clone, Debug, Default)]
+pub struct FlatLabels {
+    out_offsets: Vec<u32>,
+    out_entries: Vec<LabelEntry>,
+    in_offsets: Vec<u32>,
+    in_entries: Vec<LabelEntry>,
+}
+
+impl FlatLabels {
+    /// Pack `labels` into the flat form.
+    pub fn freeze(labels: &HubLabels) -> Self {
+        fn pack(lists: &[Vec<LabelEntry>]) -> (Vec<u32>, Vec<LabelEntry>) {
+            let total: usize = lists.iter().map(Vec::len).sum();
+            let mut offsets = Vec::with_capacity(lists.len() + 1);
+            let mut entries = Vec::with_capacity(total);
+            offsets.push(0u32);
+            for list in lists {
+                entries.extend_from_slice(list);
+                offsets.push(entries.len() as u32);
+            }
+            (offsets, entries)
+        }
+        let (out_offsets, out_entries) = pack(&labels.out_labels);
+        let (in_offsets, in_entries) = pack(&labels.in_labels);
+        FlatLabels {
+            out_offsets,
+            out_entries,
+            in_offsets,
+            in_entries,
+        }
+    }
+
+    /// Number of covered vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.out_offsets.len().saturating_sub(1)
+    }
+
+    /// Exact distance `u → v`; `None` when unreachable. Callers must
+    /// bounds-check `u`/`v` against [`FlatLabels::num_vertices`].
+    pub fn dist(&self, u: VertexId, v: VertexId) -> Option<f32> {
+        let out = &self.out_entries
+            [self.out_offsets[u.index()] as usize..self.out_offsets[u.index() + 1] as usize];
+        let inl = &self.in_entries
+            [self.in_offsets[v.index()] as usize..self.in_offsets[v.index() + 1] as usize];
+        let d = intersect_below(out, inl, u32::MAX);
+        d.is_finite().then_some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_graph::GraphBuilder;
+    use std::sync::Arc;
+
+    fn topo() -> Topology {
+        // 0 -> 1 -> 2, 0 -> 2; degrees: 0:2, 1:1, 2:0.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(0, 2, 5.0);
+        Topology::new(Arc::new(b.build()))
+    }
+
+    #[test]
+    fn rank_order_is_degree_desc_id_asc() {
+        let labels = HubLabels::empty(&topo());
+        assert_eq!(labels.order, vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(labels.rank_of, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn manual_labels_answer_queries() {
+        let mut labels = HubLabels::empty(&topo());
+        // Hub 0 (rank 0) covers everything.
+        labels.commit(VertexId(0), 0, 0.0, Direction::Forward);
+        labels.commit(VertexId(1), 0, 1.0, Direction::Forward);
+        labels.commit(VertexId(2), 0, 2.0, Direction::Forward);
+        labels.commit(VertexId(0), 0, 0.0, Direction::Backward);
+        assert_eq!(labels.query_dist(VertexId(0), VertexId(2)), Some(2.0));
+        assert_eq!(labels.query_dist(VertexId(2), VertexId(0)), None);
+        // Rank restriction: no hub below rank 0 exists.
+        assert!(labels
+            .query_below(VertexId(0), VertexId(2), 0)
+            .is_infinite());
+        let flat = FlatLabels::freeze(&labels);
+        assert_eq!(flat.dist(VertexId(0), VertexId(2)), Some(2.0));
+        assert_eq!(flat.dist(VertexId(2), VertexId(0)), None);
+    }
+
+    #[test]
+    fn remove_hubs_strips_only_the_named_ranks() {
+        let mut labels = HubLabels::empty(&topo());
+        labels.commit(VertexId(1), 0, 1.0, Direction::Forward);
+        labels.commit(VertexId(1), 1, 0.0, Direction::Forward);
+        let mut hubs = FxHashSet::default();
+        hubs.insert(0u32);
+        assert_eq!(labels.remove_hubs(&hubs, Direction::Forward), 1);
+        assert_eq!(labels.in_labels[1], vec![(1, 0.0)]);
+    }
+
+    #[test]
+    fn append_vertices_extends_at_lowest_priority() {
+        let mut labels = HubLabels::empty(&topo());
+        labels.append_vertices(&[VertexId(3)]);
+        assert_eq!(labels.order.last(), Some(&VertexId(3)));
+        assert_eq!(labels.rank_of[3], 3);
+        assert_eq!(labels.num_vertices(), 4);
+    }
+}

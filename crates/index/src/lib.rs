@@ -1,0 +1,412 @@
+//! # qgraph-index — the hub-label index plane
+//!
+//! Microsecond point queries (`dist(u,v)` / `reach(u,v)`) over the
+//! evolving graph, by pruned landmark labeling (2-hop hub labels):
+//! every vertex is a landmark root ranked by degree; each root runs a
+//! rank-restricted pruned pass in both directions; a query intersects
+//! the source's out-labels with the target's in-labels. The minimum
+//! over common hubs is the exact shortest-path distance — Quegel's Hub2
+//! serving mode, grown into a full plane of this engine:
+//!
+//! * **Construction** ([`build_on_engine`]) runs the landmark passes as
+//!   ordinary vertex-program queries on either runtime, in waves — the
+//!   index is built *by* the engine it will serve.
+//! * **Serving** ([`LabelIndex`] implementing
+//!   [`PointIndex`](qgraph_core::PointIndex)) answers from frozen flat
+//!   label arrays; the engines consult it at admission, tag outcomes
+//!   `ServedBy::Index`, and fall back to traversal whenever the index
+//!   declines.
+//! * **Repair** ([`PointIndex::repair`](qgraph_core::PointIndex::repair))
+//!   absorbs each applied mutation batch at the barrier: insertions
+//!   resume passes from the new edge (Akiba-style), deletions invalidate
+//!   exactly the roots whose witness paths used a removed edge and
+//!   re-run them, and damage beyond [`IndexConfig::damage_threshold`]
+//!   falls back to a full rebuild. Epoch validity is tracked so a query
+//!   admitted at epoch *e* is never served by an index repaired only
+//!   through *e − 1*.
+
+pub mod labels;
+pub mod program;
+
+mod build;
+mod repair;
+
+pub use build::build_on_engine;
+pub use labels::{Direction, FlatLabels, HubLabels, LabelEntry};
+pub use program::{reverse_adjacency, PllPassProgram, RevAdj};
+
+use qgraph_core::{PointAnswer, PointIndex, PointQuery, RepairSummary};
+use qgraph_graph::{AppliedMutation, Topology};
+
+/// Index-plane tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexConfig {
+    /// Repair incrementally at mutation barriers. When `false` the index
+    /// never advances its valid epoch past construction, so queries on
+    /// mutated graphs silently fall back to traversal.
+    pub repair: bool,
+    /// Fraction of roots whose invalidation trips a full rebuild instead
+    /// of piecemeal re-runs (a rebuild also re-ranks by the new degree
+    /// distribution).
+    pub damage_threshold: f64,
+    /// Landmark roots per construction wave (each submits two passes).
+    /// Wider waves cost fewer engine round-trips but prune less within
+    /// the wave, storing somewhat more label entries.
+    pub wave: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            repair: true,
+            damage_threshold: 0.25,
+            wave: 8,
+        }
+    }
+}
+
+/// The servable hub-label index: mutable labels for repair, frozen flat
+/// labels for answering, and the graph epoch the labels are valid
+/// through.
+#[derive(Clone, Debug)]
+pub struct LabelIndex {
+    labels: HubLabels,
+    flat: FlatLabels,
+    repaired_through: u64,
+    cfg: IndexConfig,
+}
+
+impl LabelIndex {
+    /// Build sequentially over `topology` (no engine involved): every
+    /// root in rank order, forward and backward pruned passes. Produces
+    /// a minimal labeling — the reference the engine-built waves are
+    /// checked against.
+    pub fn build(topology: &Topology, cfg: IndexConfig) -> Self {
+        let mut labels = HubLabels::empty(topology);
+        repair::build_all_passes(&mut labels, topology);
+        Self::from_labels(labels, topology.epoch(), cfg)
+    }
+
+    /// Wrap already-constructed labels valid through `epoch`.
+    pub(crate) fn from_labels(labels: HubLabels, epoch: u64, cfg: IndexConfig) -> Self {
+        let flat = FlatLabels::freeze(&labels);
+        LabelIndex {
+            labels,
+            flat,
+            repaired_through: epoch,
+            cfg,
+        }
+    }
+
+    /// The mutable label store (rank order + per-vertex entries).
+    pub fn labels(&self) -> &HubLabels {
+        &self.labels
+    }
+
+    /// Total committed label entries across both families — the index's
+    /// memory footprint in entries.
+    pub fn total_entries(&self) -> usize {
+        self.labels.total_entries()
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &IndexConfig {
+        &self.cfg
+    }
+}
+
+impl PointIndex for LabelIndex {
+    fn serve(&self, q: &PointQuery) -> Option<PointAnswer> {
+        let n = self.flat.num_vertices();
+        let (u, v) = (q.source(), q.target());
+        if u.index() >= n || v.index() >= n {
+            return None; // unknown vertex: let the traversal path decide
+        }
+        match q {
+            PointQuery::Dist { .. } => Some(PointAnswer::Dist(self.flat.dist(u, v))),
+            PointQuery::Reach { .. } => Some(PointAnswer::Reach(self.flat.dist(u, v).is_some())),
+        }
+    }
+
+    fn repaired_through(&self) -> u64 {
+        self.repaired_through
+    }
+
+    fn repair(
+        &mut self,
+        topology: &Topology,
+        applied: &AppliedMutation,
+        epoch: u64,
+    ) -> RepairSummary {
+        if !self.cfg.repair {
+            // Deliberately stale: repaired_through stays behind the graph
+            // epoch and the engines route everything to traversal.
+            return RepairSummary::default();
+        }
+        let summary = repair::repair(&mut self.labels, topology, applied, &self.cfg);
+        self.flat = FlatLabels::freeze(&self.labels);
+        self.repaired_through = epoch;
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph_graph::{GraphBuilder, MutationBatch, VertexId};
+
+    fn topo() -> Topology {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(0, 2, 5.0);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(3, 4, 1.0);
+        b.add_edge(4, 0, 1.0);
+        b.add_edge(5, 3, 2.0);
+        Topology::new(std::sync::Arc::new(b.build()))
+    }
+
+    /// Every pair's answer must equal a fresh build's answer on the
+    /// current topology — the repair-correctness oracle.
+    fn assert_matches_rebuild(index: &LabelIndex, topology: &Topology) {
+        let fresh = LabelIndex::build(topology, *index.config());
+        let n = topology.num_vertices() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                let q = PointQuery::Dist {
+                    source: VertexId(u),
+                    target: VertexId(v),
+                };
+                assert_eq!(index.serve(&q), fresh.serve(&q), "{u}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_build_answers_exact_distances() {
+        let topo = topo();
+        let index = LabelIndex::build(&topo, IndexConfig::default());
+        let d = |u: u32, v: u32| match index
+            .serve(&PointQuery::Dist {
+                source: VertexId(u),
+                target: VertexId(v),
+            })
+            .unwrap()
+        {
+            PointAnswer::Dist(d) => d,
+            PointAnswer::Reach(_) => unreachable!(),
+        };
+        assert_eq!(d(0, 2), Some(2.0)); // 0->1->2 beats the 5.0 edge
+        assert_eq!(d(5, 0), Some(4.0)); // 5->3->4->0
+        assert_eq!(d(0, 5), None); // 5 has no in-edges
+        assert_eq!(d(3, 3), Some(0.0));
+    }
+
+    #[test]
+    fn repair_absorbs_insertions() {
+        let mut topo = topo();
+        let mut index = LabelIndex::build(&topo, IndexConfig::default());
+        let mut batch = MutationBatch::new();
+        batch.add_edge(2, 5, 1.0).add_edge(1, 4, 1.0);
+        let applied = topo.apply(&batch);
+        index.repair(&topo, &applied, applied.epoch);
+        assert_eq!(index.repaired_through(), applied.epoch);
+        assert_matches_rebuild(&index, &topo);
+    }
+
+    #[test]
+    fn repair_absorbs_removals_and_reweights() {
+        let mut topo = topo();
+        let mut index = LabelIndex::build(
+            &topo,
+            IndexConfig {
+                damage_threshold: 1.0, // force the incremental path
+                ..IndexConfig::default()
+            },
+        );
+        let mut batch = MutationBatch::new();
+        batch.remove_edge(0, 1).set_weight(0, 2, 1.0);
+        let applied = topo.apply(&batch);
+        let summary = index.repair(&topo, &applied, applied.epoch);
+        assert!(!summary.rebuilt);
+        assert_matches_rebuild(&index, &topo);
+    }
+
+    #[test]
+    fn repair_handles_new_vertices() {
+        let mut topo = topo();
+        let mut index = LabelIndex::build(&topo, IndexConfig::default());
+        let mut batch = MutationBatch::new();
+        batch.add_vertex(); // vertex 6
+        batch.add_edge(6, 0, 1.0).add_edge(2, 6, 2.0);
+        let applied = topo.apply(&batch);
+        assert_eq!(applied.new_vertices, vec![VertexId(6)]);
+        index.repair(&topo, &applied, applied.epoch);
+        assert_matches_rebuild(&index, &topo);
+    }
+
+    #[test]
+    fn heavy_damage_trips_rebuild() {
+        let mut topo = topo();
+        let mut index = LabelIndex::build(
+            &topo,
+            IndexConfig {
+                damage_threshold: 0.0,
+                ..IndexConfig::default()
+            },
+        );
+        let mut batch = MutationBatch::new();
+        batch.remove_edge(0, 1);
+        let applied = topo.apply(&batch);
+        let summary = index.repair(&topo, &applied, applied.epoch);
+        assert!(summary.rebuilt);
+        assert_matches_rebuild(&index, &topo);
+    }
+
+    #[test]
+    fn disabled_repair_keeps_the_index_stale() {
+        let mut topo = topo();
+        let mut index = LabelIndex::build(
+            &topo,
+            IndexConfig {
+                repair: false,
+                ..IndexConfig::default()
+            },
+        );
+        let mut batch = MutationBatch::new();
+        batch.add_edge(2, 5, 1.0);
+        let applied = topo.apply(&batch);
+        let summary = index.repair(&topo, &applied, applied.epoch);
+        assert_eq!(summary, RepairSummary::default());
+        assert_eq!(index.repaired_through(), 0, "valid epoch must not advance");
+    }
+
+    #[test]
+    fn sequence_of_mixed_batches_stays_exact() {
+        let mut topo = topo();
+        let mut index = LabelIndex::build(
+            &topo,
+            IndexConfig {
+                damage_threshold: 1.0,
+                ..IndexConfig::default()
+            },
+        );
+        let batches: Vec<MutationBatch> = {
+            let mut v = Vec::new();
+            let mut b = MutationBatch::new();
+            b.add_edge(4, 2, 1.0).remove_edge(2, 3);
+            v.push(b);
+            let mut b = MutationBatch::new();
+            b.add_vertex();
+            b.add_edge(6, 5, 1.0)
+                .add_edge(1, 6, 1.0)
+                .set_weight(0, 1, 3.0);
+            v.push(b);
+            let mut b = MutationBatch::new();
+            b.remove_edge(4, 0)
+                .set_weight(0, 2, 0.5)
+                .add_edge(3, 0, 4.0);
+            v.push(b);
+            v
+        };
+        for batch in &batches {
+            let applied = topo.apply(batch);
+            index.repair(&topo, &applied, applied.epoch);
+            assert_matches_rebuild(&index, &topo);
+        }
+    }
+}
+
+/// Regression: a mutation program (originally found by the integration
+/// property test) that stacks *parallel* edges, inserts-then-removes an
+/// edge inside one batch, and mixes reweights with new vertices. Repair
+/// must classify per-edge *minimum* weights, not per-event weights.
+#[cfg(test)]
+mod multigraph_repair_regression {
+    use super::*;
+    use qgraph_graph::{GraphBuilder, MutationBatch, VertexId};
+
+    fn ring_world(n: u32) -> Topology {
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 0..n {
+            b.add_undirected_edge(i, (i + 1) % n, 1.0 + (i % 7) as f32);
+        }
+        for i in (0..n).step_by(9) {
+            b.add_undirected_edge(i, (i + n / 3) % n, 2.0);
+        }
+        Topology::new(std::sync::Arc::new(b.build()))
+    }
+
+    #[test]
+    fn parallel_edge_batches_repair_exactly() {
+        let n = 16u32;
+        let batches: Vec<Vec<(u32, u32, u32, u32)>> = vec![
+            vec![(1, 29, 10, 9), (1, 7, 29, 9), (2, 41, 52, 7)],
+            vec![(0, 1, 4, 2), (2, 35, 2, 1), (1, 37, 1, 7), (1, 27, 11, 4)],
+            vec![(3, 29, 61, 9)],
+            vec![
+                (0, 41, 53, 2),
+                (0, 58, 36, 6),
+                (1, 61, 50, 9),
+                (0, 60, 32, 7),
+                (1, 58, 27, 2),
+            ],
+            vec![
+                (3, 24, 32, 7),
+                (1, 25, 41, 3),
+                (1, 48, 37, 1),
+                (0, 18, 5, 6),
+                (3, 52, 24, 2),
+                (0, 29, 28, 7),
+                (3, 39, 36, 5),
+            ],
+        ];
+        let mut topo = ring_world(n);
+        let mut index = LabelIndex::build(
+            &topo,
+            IndexConfig {
+                damage_threshold: 0.3,
+                ..IndexConfig::default()
+            },
+        );
+        let mut vcount = n;
+        for (e, ops) in batches.iter().enumerate() {
+            let mut batch = MutationBatch::new();
+            for &(kind, a, b, w) in ops {
+                let (a, b) = (a % vcount, b % vcount);
+                match kind {
+                    0 => {
+                        if a != b {
+                            batch.add_edge(a, b, w as f32);
+                        }
+                    }
+                    1 => {
+                        batch.remove_edge(a, b);
+                    }
+                    2 => {
+                        batch.set_weight(a, b, w as f32);
+                    }
+                    _ => {
+                        batch.add_vertex();
+                        batch.add_edge(a, vcount, w as f32);
+                        batch.add_edge(vcount, b, (w / 2 + 1) as f32);
+                        vcount += 1;
+                    }
+                }
+            }
+            let applied = topo.apply(&batch);
+            index.repair(&topo, &applied, applied.epoch);
+            let fresh = LabelIndex::build(&topo, *index.config());
+            for u in 0..vcount {
+                for v in 0..vcount {
+                    let q = PointQuery::Dist {
+                        source: VertexId(u),
+                        target: VertexId(v),
+                    };
+                    assert_eq!(index.serve(&q), fresh.serve(&q), "batch {} {u}->{v}", e + 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Incremental label repair under graph mutation.
+//!
+//! Consumes one [`AppliedMutation`]'s `edge_changes` and restores the
+//! 2-hop cover on the post-batch topology:
+//!
+//! * **Deletions / reweight-up** can break witness paths. A root is
+//!   *affected* when the mutated edge was at least as good as its stored
+//!   head entry (`d(r,a) + w_old <= d(r,b)` forward, mirrored backward) —
+//!   the closure property of committed labels (witness paths traverse
+//!   only committed vertices) anchors this endpoint test, and `<=` rather
+//!   than `==` keeps it sound after earlier insert-resumes improved an
+//!   upstream entry without re-tightening the chains below it. Affected
+//!   roots drop their labels and fully re-run their pruned pass on the
+//!   new topology, in rank order so the rank-restricted pruning each
+//!   pass uses is already repaired. Re-runs *cascade*: when a re-run
+//!   shrinks or grows a hub's entries anywhere, every lower-ranked root
+//!   that held that hub in its own labels re-runs too, because its
+//!   original pass may have pruned against a certificate through the
+//!   changed hub that no longer holds.
+//! * **Insertions / reweight-down** only create shorter paths. Each root
+//!   with a committed entry at the new edge's tail resumes its pass from
+//!   the head (Akiba-style): seeds `d(r,a) + w` at `b`, then a pruned
+//!   Dijkstra over the new topology commits every improvement.
+//! * **New vertices** are appended at the tail of the rank order and run
+//!   their own passes last.
+//!
+//! Past a damage threshold (affected roots as a fraction of all roots)
+//! repair falls back to a full sequential rebuild, which also re-ranks
+//! by the new degree distribution.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use qgraph_core::RepairSummary;
+use qgraph_graph::{AppliedMutation, EdgeChange, Topology, VertexId};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::labels::{entry, Direction, HubLabels};
+use crate::program::{reverse_adjacency, RevAdj};
+use crate::IndexConfig;
+
+/// Total order on finite f32 distances for the Dijkstra heap.
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF32(f32);
+
+impl Eq for OrdF32 {}
+
+impl PartialOrd for OrdF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF32 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite distances")
+    }
+}
+
+/// One sequential pruned pass for hub `rank`, seeded at `seeds`.
+///
+/// `resume` gates commits on improving the hub's *existing* entries —
+/// the incremental-insertion mode; a full (re)run passes `false` after
+/// stripping the hub's entries. Returns the number of label entries
+/// inserted. The prune/commit predicate matches the engine pass exactly
+/// (rank-restricted query against the live labels), so sequential and
+/// engine-built labels obey the same closure property.
+pub(crate) fn pruned_pass(
+    labels: &mut HubLabels,
+    topology: &Topology,
+    rev: &RevAdj,
+    rank: u32,
+    dir: Direction,
+    seeds: &[(VertexId, f32)],
+    resume: bool,
+) -> usize {
+    let root = labels.order[rank as usize];
+    let mut dist: FxHashMap<u32, f32> = FxHashMap::default();
+    let mut heap: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
+    for &(v, d) in seeds {
+        let slot = dist.entry(v.0).or_insert(f32::INFINITY);
+        if d < *slot {
+            *slot = d;
+            heap.push(Reverse((OrdF32(d), v.0)));
+        }
+    }
+    let mut added = 0usize;
+    while let Some(Reverse((OrdF32(d), v))) = heap.pop() {
+        if dist.get(&v).copied().unwrap_or(f32::INFINITY) < d {
+            continue; // stale heap entry
+        }
+        let vertex = VertexId(v);
+        if resume {
+            // Only improvements over the committed entry propagate; the
+            // existing entry's consequences are already in the labels.
+            if let Some(old) = labels.hub_entry(vertex, rank, dir) {
+                if old <= d {
+                    continue;
+                }
+            }
+        }
+        let threshold = match dir {
+            Direction::Forward => labels.query_below(root, vertex, rank),
+            Direction::Backward => labels.query_below(vertex, root, rank),
+        };
+        if threshold <= d {
+            continue; // pruned: a higher-ranked hub covers it
+        }
+        if labels.commit(vertex, rank, d, dir) {
+            added += 1;
+        }
+        match dir {
+            Direction::Forward => {
+                for (t, w) in topology.neighbors(vertex) {
+                    let nd = d + w;
+                    let slot = dist.entry(t.0).or_insert(f32::INFINITY);
+                    if nd < *slot {
+                        *slot = nd;
+                        heap.push(Reverse((OrdF32(nd), t.0)));
+                    }
+                }
+            }
+            Direction::Backward => {
+                for &(t, w) in &rev[vertex.index()] {
+                    let nd = d + w;
+                    let slot = dist.entry(t.0).or_insert(f32::INFINITY);
+                    if nd < *slot {
+                        *slot = nd;
+                        heap.push(Reverse((OrdF32(nd), t.0)));
+                    }
+                }
+            }
+        }
+    }
+    added
+}
+
+/// Build the complete labeling sequentially: every root in rank order,
+/// forward then backward pass. Same labels on every call site (full
+/// rebuilds, the non-engine construction path, and test references).
+pub(crate) fn build_all_passes(labels: &mut HubLabels, topology: &Topology) -> usize {
+    let rev = reverse_adjacency(topology);
+    let mut added = 0usize;
+    for rank in 0..labels.order.len() as u32 {
+        let root = labels.order[rank as usize];
+        let seed = [(root, 0.0f32)];
+        added += pruned_pass(
+            labels,
+            topology,
+            &rev,
+            rank,
+            Direction::Forward,
+            &seed,
+            false,
+        );
+        added += pruned_pass(
+            labels,
+            topology,
+            &rev,
+            rank,
+            Direction::Backward,
+            &seed,
+            false,
+        );
+    }
+    added
+}
+
+/// Hub ranks held by each vertex in one label family — the pre-repair
+/// snapshot the invalidation cascade tests against (a root's original
+/// pruning certificates can only involve hubs it held *then*; its live
+/// labels may already have lost them mid-repair).
+fn snapshot_hub_sets(lists: &[Vec<(u32, f32)>]) -> Vec<Vec<u32>> {
+    lists
+        .iter()
+        .map(|list| list.iter().map(|e| e.0).collect())
+        .collect()
+}
+
+/// Full from-scratch rebuild on the current topology, also re-ranking by
+/// the new degree distribution. Safe to call mid-repair: it discards the
+/// label state wholesale.
+fn rebuild(labels: &mut HubLabels, topology: &Topology) -> RepairSummary {
+    let mut summary = RepairSummary {
+        labels_removed: labels.total_entries(),
+        rebuilt: true,
+        ..RepairSummary::default()
+    };
+    *labels = HubLabels::empty(topology);
+    summary.labels_added = build_all_passes(labels, topology);
+    summary.roots_rerun = 2 * labels.order.len();
+    summary
+}
+
+/// Repair `labels` to cover `topology` (the post-batch graph) after
+/// `applied`. See the module docs for the algorithm.
+pub(crate) fn repair(
+    labels: &mut HubLabels,
+    topology: &Topology,
+    applied: &AppliedMutation,
+    cfg: &IndexConfig,
+) -> RepairSummary {
+    let mut summary = RepairSummary::default();
+
+    // Net the batch's edge changes per (from, to) — a batch can insert an
+    // edge and remove it again, reweight repeatedly, or stack *parallel*
+    // edges (the topology is a multigraph), and repairing against the
+    // intermediate states would label paths the final topology does not
+    // have. Shortest paths only see the cheapest parallel, so classify
+    // on the pre-batch vs post-batch minimum weight: a net decrease is
+    // an insertion, a net increase a deletion of the old minimum (the
+    // re-run pass sees the real new topology either way). The pre-batch
+    // parallel multiset is recovered by undoing this batch's events, in
+    // reverse, against the post-batch adjacency.
+    // Per-edge event list: (weight before, weight after) per event.
+    type EdgeEvents = Vec<(Option<f32>, Option<f32>)>;
+    let mut touched_edges: Vec<(u32, u32)> = Vec::new();
+    let mut by_edge: FxHashMap<(u32, u32), EdgeEvents> = FxHashMap::default();
+    for change in &applied.edge_changes {
+        let (from, to, before, after) = match *change {
+            EdgeChange::Inserted { from, to, weight } => (from, to, None, Some(weight)),
+            EdgeChange::Removed { from, to, weight } => (from, to, Some(weight), None),
+            EdgeChange::Reweighted { from, to, old, new } => (from, to, Some(old), Some(new)),
+        };
+        by_edge
+            .entry((from.0, to.0))
+            .or_insert_with(|| {
+                touched_edges.push((from.0, to.0));
+                Vec::new()
+            })
+            .push((before, after));
+    }
+    let mut removals: Vec<(VertexId, VertexId, f32)> = Vec::new();
+    let mut inserts: Vec<(VertexId, VertexId, f32)> = Vec::new();
+    for &(af, bf) in &touched_edges {
+        let (a, b) = (VertexId(af), VertexId(bf));
+        let mut multiset: Vec<f32> = topology
+            .neighbors(a)
+            .filter(|&(t, _)| t == b)
+            .map(|(_, w)| w)
+            .collect();
+        let after_min = multiset.iter().copied().reduce(f32::min);
+        for &(before, after) in by_edge[&(af, bf)].iter().rev() {
+            if let Some(w) = after {
+                if let Some(i) = multiset.iter().position(|&x| x == w) {
+                    multiset.swap_remove(i);
+                }
+            }
+            if let Some(w) = before {
+                multiset.push(w);
+            }
+        }
+        let before_min = multiset.iter().copied().reduce(f32::min);
+        match (before_min, after_min) {
+            (None, Some(w)) => inserts.push((a, b, w)),
+            (Some(w), None) => removals.push((a, b, w)),
+            (Some(wi), Some(wf)) if wf < wi => inserts.push((a, b, wf)),
+            (Some(wi), Some(wf)) if wf > wi => removals.push((a, b, wi)),
+            _ => {} // minimum unchanged (or ephemeral within the batch)
+        }
+    }
+    removals.sort_unstable_by_key(|&(a, b, _)| (a.0, b.0));
+    inserts.sort_unstable_by_key(|&(a, b, _)| (a.0, b.0));
+
+    // Affected roots of the removals, via the endpoint test on the *old*
+    // labels. `<=` (not exact tightness) is deliberate: insert-resumes
+    // can improve an upstream entry without re-tightening chains below
+    // it, so a removed witness edge may present as `d(r,a) + w < d(r,b)`.
+    let mut fwd_affected: FxHashSet<u32> = FxHashSet::default();
+    let mut bwd_affected: FxHashSet<u32> = FxHashSet::default();
+    let old_n = labels.in_labels.len();
+    for &(a, b, w) in &removals {
+        if a.index() >= old_n || b.index() >= old_n {
+            // Endpoint created by this very batch: it has no labels yet,
+            // so no stored witness chain can pass through it.
+            continue;
+        }
+        for &(rank, da) in &labels.in_labels[a.index()] {
+            if fwd_affected.contains(&rank) {
+                continue;
+            }
+            if let Some(db) = entry(&labels.in_labels[b.index()], rank) {
+                if da + w <= db {
+                    fwd_affected.insert(rank);
+                }
+            }
+        }
+        for &(rank, db) in &labels.out_labels[b.index()] {
+            if bwd_affected.contains(&rank) {
+                continue;
+            }
+            if let Some(da) = entry(&labels.out_labels[a.index()], rank) {
+                if db + w <= da {
+                    bwd_affected.insert(rank);
+                }
+            }
+        }
+    }
+
+    // Damage threshold: when invalidation would touch a large fraction
+    // of the roots, a rebuild is cheaper than piecemeal re-runs — and it
+    // also re-ranks by the new degree distribution.
+    let n_before = labels.order.len().max(1);
+    let damage_cap = cfg.damage_threshold * n_before as f64;
+    let damaged: FxHashSet<u32> = fwd_affected.union(&bwd_affected).copied().collect();
+    if damaged.len() as f64 > damage_cap {
+        return rebuild(labels, topology);
+    }
+
+    // Vertices created by this batch join at the lowest ranks; their
+    // passes run last, and insert-resumes reach *through* them because
+    // the resumed Dijkstra runs on the new topology.
+    labels.append_vertices(&applied.new_vertices);
+
+    let rev = reverse_adjacency(topology);
+
+    // 1. Removal invalidation, in rank order (each pass prunes only
+    //    against higher ranks, already repaired by induction). A re-run
+    //    that shrinks or grows its hub's entries anywhere voids the
+    //    pruning certificates of every lower-ranked root that held that
+    //    hub in its own (pre-repair) labels, so those roots re-run too —
+    //    the cascade bails to a full rebuild if it blows the damage cap.
+    let pre_out: Vec<Vec<u32>> = snapshot_hub_sets(&labels.out_labels);
+    let pre_in: Vec<Vec<u32>> = snapshot_hub_sets(&labels.in_labels);
+    let mut changed: FxHashSet<u32> = FxHashSet::default();
+    let mut flagged_roots = 0usize;
+    for rank in 0..n_before as u32 {
+        let root = labels.order[rank as usize];
+        let run_fwd = fwd_affected.contains(&rank)
+            || pre_out[root.index()].iter().any(|h| changed.contains(h));
+        let run_bwd = bwd_affected.contains(&rank)
+            || pre_in[root.index()].iter().any(|h| changed.contains(h));
+        if !run_fwd && !run_bwd {
+            continue;
+        }
+        flagged_roots += 1;
+        if flagged_roots as f64 > damage_cap {
+            return rebuild(labels, topology);
+        }
+        let seed = [(root, 0.0f32)];
+        for (go, dir) in [
+            (run_fwd, Direction::Forward),
+            (run_bwd, Direction::Backward),
+        ] {
+            if !go {
+                continue;
+            }
+            let old = labels.remove_hub(rank, dir);
+            summary.labels_removed += old.len();
+            summary.labels_added += pruned_pass(labels, topology, &rev, rank, dir, &seed, false);
+            summary.roots_rerun += 1;
+            let grew = old
+                .iter()
+                .any(|&(v, d)| labels.hub_entry(v, rank, dir).is_none_or(|nd| nd > d));
+            if grew {
+                changed.insert(rank);
+            }
+        }
+    }
+
+    // 2. Insertion resumes, in rank order. A root's seed distances are
+    //    read from its own entries at each new edge's tail — exact for
+    //    their hub by rank induction — and the resumed pass commits
+    //    every improvement on the new topology.
+    if !inserts.is_empty() {
+        let mut hubs: FxHashSet<u32> = FxHashSet::default();
+        for &(a, b, _) in &inserts {
+            for &(rank, _) in &labels.in_labels[a.index()] {
+                hubs.insert(rank);
+            }
+            for &(rank, _) in &labels.out_labels[b.index()] {
+                hubs.insert(rank);
+            }
+        }
+        let mut hubs: Vec<u32> = hubs.into_iter().collect();
+        hubs.sort_unstable();
+        for &rank in &hubs {
+            let mut fwd_seeds: Vec<(VertexId, f32)> = Vec::new();
+            let mut bwd_seeds: Vec<(VertexId, f32)> = Vec::new();
+            for &(a, b, w) in &inserts {
+                if let Some(da) = entry(&labels.in_labels[a.index()], rank) {
+                    let cand = da + w;
+                    if entry(&labels.in_labels[b.index()], rank).is_none_or(|db| cand < db) {
+                        fwd_seeds.push((b, cand));
+                    }
+                }
+                if let Some(db) = entry(&labels.out_labels[b.index()], rank) {
+                    let cand = db + w;
+                    if entry(&labels.out_labels[a.index()], rank).is_none_or(|da| cand < da) {
+                        bwd_seeds.push((a, cand));
+                    }
+                }
+            }
+            if !fwd_seeds.is_empty() {
+                summary.labels_added += pruned_pass(
+                    labels,
+                    topology,
+                    &rev,
+                    rank,
+                    Direction::Forward,
+                    &fwd_seeds,
+                    true,
+                );
+                summary.roots_rerun += 1;
+            }
+            if !bwd_seeds.is_empty() {
+                summary.labels_added += pruned_pass(
+                    labels,
+                    topology,
+                    &rev,
+                    rank,
+                    Direction::Backward,
+                    &bwd_seeds,
+                    true,
+                );
+                summary.roots_rerun += 1;
+            }
+        }
+    }
+
+    // 3. The new vertices' own passes, in their (appended) rank order.
+    for &v in &applied.new_vertices {
+        let rank = labels.rank_of[v.index()];
+        let seed = [(v, 0.0f32)];
+        summary.labels_added += pruned_pass(
+            labels,
+            topology,
+            &rev,
+            rank,
+            Direction::Forward,
+            &seed,
+            false,
+        );
+        summary.labels_added += pruned_pass(
+            labels,
+            topology,
+            &rev,
+            rank,
+            Direction::Backward,
+            &seed,
+            false,
+        );
+        summary.roots_rerun += 2;
+    }
+
+    summary
+}

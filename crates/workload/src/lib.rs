@@ -15,6 +15,7 @@
 
 mod arrivals;
 mod churn;
+mod points;
 mod queries;
 mod road;
 mod social;
@@ -22,6 +23,10 @@ mod tags;
 
 pub use arrivals::{arrival_times, schedule_open_loop, ArrivalConfig, ArrivalPattern, TimedQuery};
 pub use churn::{edge_churn, road_closures, social_follows, ChurnConfig, TimedMutation};
+pub use points::{
+    generate_point_queries, schedule_point_queries, PairSkew, PointQuerySpec, PointWorkloadConfig,
+    TimedPointQuery,
+};
 pub use queries::{QueryKind, QuerySpec, WorkloadConfig, WorkloadGenerator, WorkloadPhase};
 pub use road::{City, RoadNetwork, RoadNetworkConfig, RoadNetworkGenerator};
 pub use social::{generate_ba, generate_ws, BarabasiAlbertConfig, WattsStrogatzConfig};

@@ -1,0 +1,402 @@
+//! Index-plane conformance: hub-label serving must be indistinguishable
+//! from traversal, on both runtimes, across mutation epochs.
+//!
+//! Three layers:
+//! * **static conformance** — an index built *on* each engine answers
+//!   every dist/reach pair exactly as `qgraph_algo::reference` does, and
+//!   the outcomes are tagged `ServedBy::Index` with zero traversal work;
+//! * **repair conformance** — after each of a stream of mutation batches
+//!   (applied through the engine, repairing the installed index at the
+//!   barrier), index-served answers still match the reference graph of
+//!   that epoch;
+//! * **a property test** — random mutation programs (≥3 batches,
+//!   integer weights so f32 arithmetic is exact) on both runtimes: every
+//!   index answer equals the reference, every eligible query is actually
+//!   index-served.
+//!
+//! Plus the validity rule: with repair disabled the index goes stale at
+//! the first mutation and every query silently falls back to traversal —
+//! still correct, just not index-served.
+
+use proptest::prelude::*;
+use qgraph_algo::{connected_component_of, dijkstra_to, ReachPointProgram, SsspProgram};
+use qgraph_core::{
+    Engine, EngineBuilder, MutationBatch, OutcomeStatus, PointIndex, QueryOutcome, ServedBy,
+    Topology,
+};
+use qgraph_graph::{Graph, GraphBuilder, VertexId};
+use qgraph_index::{build_on_engine, IndexConfig};
+use qgraph_partition::HashPartitioner;
+use qgraph_workload::{generate_point_queries, PointWorkloadConfig};
+
+/// A connected ring + chords world with integer weights (exact in f32).
+fn ring_world(n: u32) -> Graph {
+    let mut b = GraphBuilder::new(n as usize);
+    for i in 0..n {
+        b.add_undirected_edge(i, (i + 1) % n, 1.0 + (i % 7) as f32);
+    }
+    for i in (0..n).step_by(9) {
+        b.add_undirected_edge(i, (i + n / 3) % n, 2.0);
+    }
+    b.build()
+}
+
+fn outcome_of(engine: &impl Engine, id: qgraph_core::QueryId) -> &QueryOutcome {
+    engine
+        .report()
+        .outcomes
+        .iter()
+        .find(|o| o.id == id)
+        .expect("every submission has an outcome")
+}
+
+/// Submit the pair stream as real queries and check answers + tags
+/// against `reference` (the materialized graph of the current epoch).
+fn serve_and_check<E: Engine>(
+    engine: &mut E,
+    reference: &Graph,
+    pairs: &[(u32, u32)],
+    expect: ServedBy,
+    ctx: &str,
+) {
+    let mut handles = Vec::new();
+    for &(s, t) in pairs {
+        let dist = engine.submit(SsspProgram::new(VertexId(s), VertexId(t)));
+        let reach = engine.submit(ReachPointProgram::new(VertexId(s), VertexId(t)));
+        handles.push((s, t, dist, reach));
+    }
+    engine.run();
+    for (s, t, dist, reach) in handles {
+        let want = dijkstra_to(reference, VertexId(s), VertexId(t));
+        let got = *engine.output(&dist).expect("sssp finished");
+        assert_eq!(got, want, "{ctx}: dist {s}->{t}");
+        let want_reach = connected_component_of(reference, VertexId(s)).contains(&VertexId(t));
+        let got_reach = *engine.output(&reach).expect("reach finished");
+        assert_eq!(got_reach, want_reach, "{ctx}: reach {s}->{t}");
+        for id in [dist.id(), reach.id()] {
+            let o = outcome_of(engine, id);
+            assert_eq!(o.status, OutcomeStatus::Completed, "{ctx}: {s}->{t}");
+            assert_eq!(o.served_by, expect, "{ctx}: {s}->{t} serving path");
+            if expect == ServedBy::Index {
+                assert_eq!(o.iterations, 0, "{ctx}: index hits run no supersteps");
+                assert_eq!(o.vertex_updates, 0, "{ctx}: index hits touch no vertices");
+            }
+        }
+    }
+}
+
+fn pair_stream(n: u32, count: usize, seed: u64) -> Vec<(u32, u32)> {
+    let live: Vec<VertexId> = (0..n).map(VertexId).collect();
+    generate_point_queries(&live, &PointWorkloadConfig::uniform(count, seed))
+        .into_iter()
+        .map(|s| (s.source.0, s.target.0))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Static conformance, both runtimes.
+// ---------------------------------------------------------------------
+
+fn static_conformance<E: Engine>(mut engine: E, label: &str) {
+    let reference = engine.topology_snapshot().materialize();
+    let index = build_on_engine(&mut engine, IndexConfig::default());
+    assert_eq!(index.repaired_through(), 0);
+    engine.install_index(Box::new(index));
+    serve_and_check(
+        &mut engine,
+        &reference,
+        &pair_stream(48, 24, 7),
+        ServedBy::Index,
+        label,
+    );
+    let report = engine.report();
+    assert_eq!(report.index_served(), 48, "{label}: all 48 queries indexed");
+    // The only traversals on record are the construction passes
+    // themselves (48 roots x 2 directions).
+    assert_eq!(report.traversal_served(), 96, "{label}");
+}
+
+#[test]
+fn sim_index_serves_point_queries_exactly() {
+    static_conformance(
+        EngineBuilder::new(ring_world(48))
+            .workers(3)
+            .partitioner(HashPartitioner::default())
+            .build_sim(),
+        "sim/static",
+    );
+}
+
+#[test]
+fn thread_index_serves_point_queries_exactly() {
+    static_conformance(
+        EngineBuilder::new(ring_world(48))
+            .workers(3)
+            .partitioner(HashPartitioner::default())
+            .build_threaded(),
+        "thread/static",
+    );
+}
+
+// ---------------------------------------------------------------------
+// Repair conformance across a mutation stream, both runtimes.
+// ---------------------------------------------------------------------
+
+/// The settle step differs per runtime (see tests/tests/mutation.rs).
+trait MutableEngine: Engine {
+    fn apply_and_settle(&mut self, batch: MutationBatch);
+}
+
+impl MutableEngine for qgraph_core::SimEngine {
+    fn apply_and_settle(&mut self, batch: MutationBatch) {
+        self.mutate(batch);
+        qgraph_core::SimEngine::run(self);
+    }
+}
+
+impl MutableEngine for qgraph_core::ThreadEngine {
+    fn apply_and_settle(&mut self, batch: MutationBatch) {
+        self.mutate(batch);
+        self.drain();
+    }
+}
+
+/// A deterministic mixed mutation stream: removals, inserts, reweights,
+/// and one new vertex, all integer-weighted.
+fn mixed_batches(n: u32) -> Vec<MutationBatch> {
+    let mut batches = Vec::new();
+    let mut b = MutationBatch::new();
+    b.remove_undirected_edge(0, 1).add_edge(2, 17, 1.0);
+    batches.push(b);
+    let mut b = MutationBatch::new();
+    b.set_weight(3, 4, 9.0).set_weight(4, 3, 1.0);
+    b.add_undirected_edge(5, n - 2, 2.0);
+    batches.push(b);
+    let mut b = MutationBatch::new();
+    b.add_vertex();
+    b.add_edge(n, 0, 1.0).add_edge(7, n, 3.0);
+    batches.push(b);
+    let mut b = MutationBatch::new();
+    b.remove_edge(2, 17).remove_undirected_edge(9, 10);
+    b.add_undirected_edge(11, 30, 4.0);
+    batches.push(b);
+    batches
+}
+
+fn repair_conformance<E: MutableEngine>(mut engine: E, label: &str) {
+    let n = 36u32;
+    let index = build_on_engine(&mut engine, IndexConfig::default());
+    engine.install_index(Box::new(index));
+    let mut replay = Topology::new(ring_world(n));
+    for (e, batch) in mixed_batches(n).into_iter().enumerate() {
+        replay.apply(&batch);
+        engine.apply_and_settle(batch);
+        let reference = replay.materialize();
+        let live = reference.num_vertices() as u32;
+        let pairs: Vec<(u32, u32)> = pair_stream(live, 12, 100 + e as u64);
+        serve_and_check(
+            &mut engine,
+            &reference,
+            &pairs,
+            ServedBy::Index,
+            &format!("{label} epoch {}", e + 1),
+        );
+    }
+    // Each batch produced one repair event at its barrier.
+    let repairs = &engine.report().index_repairs;
+    assert_eq!(repairs.len(), 4, "{label}: one repair per batch");
+    for (i, r) in repairs.iter().enumerate() {
+        assert_eq!(r.epoch, i as u64 + 1, "{label}: repair epochs in order");
+    }
+}
+
+#[test]
+fn sim_index_repairs_across_mutation_epochs() {
+    repair_conformance(
+        EngineBuilder::new(ring_world(36))
+            .workers(3)
+            .partitioner(HashPartitioner::default())
+            .build_sim(),
+        "sim/repair",
+    );
+}
+
+#[test]
+fn thread_index_repairs_across_mutation_epochs() {
+    repair_conformance(
+        EngineBuilder::new(ring_world(36))
+            .workers(3)
+            .partitioner(HashPartitioner::default())
+            .build_threaded(),
+        "thread/repair",
+    );
+}
+
+// ---------------------------------------------------------------------
+// Validity rule: a stale index must not serve.
+// ---------------------------------------------------------------------
+
+#[test]
+fn stale_index_falls_back_to_traversal() {
+    let n = 30u32;
+    let mut engine = EngineBuilder::new(ring_world(n)).workers(2).build_sim();
+    let index = build_on_engine(
+        &mut engine,
+        IndexConfig {
+            repair: false,
+            ..IndexConfig::default()
+        },
+    );
+    engine.install_index(Box::new(index));
+
+    // Valid at epoch 0: served by the index.
+    let reference = Topology::new(ring_world(n)).materialize();
+    serve_and_check(
+        &mut engine,
+        &reference,
+        &[(0, 15), (7, 3)],
+        ServedBy::Index,
+        "epoch 0",
+    );
+
+    // One mutation; repair is disabled, so the index is now permanently
+    // behind — every answer must come from a traversal, and still be
+    // correct for the *new* graph.
+    let mut replay = Topology::new(ring_world(n));
+    let mut batch = MutationBatch::new();
+    batch
+        .remove_undirected_edge(0, 1)
+        .add_undirected_edge(2, 20, 1.0);
+    replay.apply(&batch);
+    engine.mutate(batch);
+    qgraph_core::SimEngine::run(&mut engine);
+    serve_and_check(
+        &mut engine,
+        &replay.materialize(),
+        &[(0, 15), (7, 3), (1, 0)],
+        ServedBy::Traversal,
+        "stale epoch 1",
+    );
+    assert_eq!(engine.report().index_served(), 4);
+    // 60 construction passes (30 roots x 2 directions) + 6 fallbacks.
+    assert_eq!(engine.report().traversal_served(), 66);
+}
+
+// ---------------------------------------------------------------------
+// Ineligible programs never take the index path.
+// ---------------------------------------------------------------------
+
+#[test]
+fn floods_stay_on_the_traversal_path() {
+    let mut engine = EngineBuilder::new(ring_world(24)).workers(2).build_sim();
+    let index = build_on_engine(&mut engine, IndexConfig::default());
+    engine.install_index(Box::new(index));
+    let q = engine.submit(qgraph_core::programs::ReachProgram::new(VertexId(0)));
+    engine.run();
+    assert_eq!(engine.output(&q).expect("finished").len(), 24);
+    let o = outcome_of(&engine, q.id());
+    assert_eq!(o.served_by, ServedBy::Traversal);
+    assert!(o.iterations > 0, "a flood really traversed");
+}
+
+// ---------------------------------------------------------------------
+// Property: random mutation programs, both runtimes, repair enabled.
+// ---------------------------------------------------------------------
+
+/// ≥3 batches of random integer-weighted ops over a random base size.
+#[allow(clippy::type_complexity)]
+fn arb_mutation_program() -> impl Strategy<Value = (u32, Vec<Vec<(u32, u32, u32, u32)>>)> {
+    (
+        10u32..24,
+        prop::collection::vec(
+            prop::collection::vec((0u32..4, 0u32..64, 0u32..64, 1u32..10), 1..8),
+            3..6,
+        ),
+    )
+}
+
+fn apply_program<E: MutableEngine>(
+    mut engine: E,
+    n: u32,
+    batches: &[Vec<(u32, u32, u32, u32)>],
+    label: &str,
+) {
+    let index = build_on_engine(
+        &mut engine,
+        IndexConfig {
+            // Mid-range threshold so some cases repair incrementally and
+            // some rebuild — both paths must stay exact.
+            damage_threshold: 0.3,
+            ..IndexConfig::default()
+        },
+    );
+    engine.install_index(Box::new(index));
+    let mut replay = Topology::new(ring_world(n));
+    let mut vcount = n;
+    for (e, ops) in batches.iter().enumerate() {
+        let mut batch = MutationBatch::new();
+        for &(kind, a, b, w) in ops {
+            let (a, b) = (a % vcount, b % vcount);
+            match kind {
+                0 => {
+                    if a != b {
+                        batch.add_edge(a, b, w as f32);
+                    }
+                }
+                1 => {
+                    batch.remove_edge(a, b);
+                }
+                2 => {
+                    batch.set_weight(a, b, w as f32);
+                }
+                _ => {
+                    batch.add_vertex();
+                    batch.add_edge(a, vcount, w as f32);
+                    batch.add_edge(vcount, b, (w / 2 + 1) as f32);
+                    vcount += 1;
+                }
+            }
+        }
+        replay.apply(&batch);
+        engine.apply_and_settle(batch);
+        let reference = replay.materialize();
+        let pairs = pair_stream(vcount, 6, 31 * (e as u64 + 1));
+        serve_and_check(
+            &mut engine,
+            &reference,
+            &pairs,
+            ServedBy::Index,
+            &format!("{label} batch {}", e + 1),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sim_random_mutations_keep_index_exact((n, batches) in arb_mutation_program()) {
+        apply_program(
+            EngineBuilder::new(ring_world(n))
+                .workers(3)
+                .partitioner(HashPartitioner::default())
+                .build_sim(),
+            n,
+            &batches,
+            "sim/prop",
+        );
+    }
+
+    #[test]
+    fn thread_random_mutations_keep_index_exact((n, batches) in arb_mutation_program()) {
+        apply_program(
+            EngineBuilder::new(ring_world(n))
+                .workers(2)
+                .partitioner(HashPartitioner::default())
+                .build_threaded(),
+            n,
+            &batches,
+            "thread/prop",
+        );
+    }
+}
