@@ -154,6 +154,12 @@ pub struct SystemConfig {
     /// distinct [`crate::OutcomeStatus::Rejected`] outcome and its output
     /// stays `None`. `None` = unbounded (the default).
     pub max_queued: Option<usize>,
+    /// Worker threads for point-index (hub-label) construction and full
+    /// rebuilds, forwarded to [`crate::PointIndex::set_parallelism`] when
+    /// an index is installed. `0` (the default) lets the index pick:
+    /// available parallelism capped at 8, and sequential for small
+    /// graphs. The built labels are identical for any thread count.
+    pub index_build_threads: usize,
 }
 
 impl Default for SystemConfig {
@@ -169,6 +175,7 @@ impl Default for SystemConfig {
             batch_max_msgs: 32,
             compact_fraction: 0.25,
             max_queued: None,
+            index_build_threads: 0,
         }
     }
 }
@@ -213,6 +220,7 @@ mod tests {
         assert_eq!(s.batch_max_msgs, 32, "the paper's batch cap");
         assert_eq!(s.compact_fraction, 0.25);
         assert!(s.max_queued.is_none(), "unbounded admission by default");
+        assert_eq!(s.index_build_threads, 0, "index picks its own width");
     }
 
     #[test]

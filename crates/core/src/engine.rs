@@ -345,7 +345,16 @@ impl SimEngine {
     /// barriers and resume against the mutated topology, exactly like the
     /// Q-cut stop-the-world phase. Batches due at the same barrier apply
     /// in submission order.
+    ///
+    /// # Panics
+    /// Rejects the batch at submission (see [`MutationBatch::validate`])
+    /// if any op carries a NaN, negative, or infinite weight — failing
+    /// here, rather than at the barrier, keeps the error on the caller's
+    /// stack.
     pub fn mutate_at(&mut self, batch: MutationBatch, at_secs: f64) {
+        if let Err(e) = batch.validate() {
+            panic!("rejected mutation batch: {e}");
+        }
         let at = SimTime::from_secs_f64(at_secs).max(self.events.now());
         let m = self.mutations.len();
         self.mutations.push(Some(batch));
@@ -456,8 +465,11 @@ impl SimEngine {
     /// from now on, eligible point queries popping off the admission
     /// queue are answered by label intersection instead of traversal —
     /// provided the index stays repaired through the admission epoch.
-    /// Replaces any previously installed index.
-    pub fn install_index(&mut self, index: Box<dyn PointIndex>) {
+    /// Replaces any previously installed index. The index receives
+    /// [`SystemConfig::index_build_threads`](crate::SystemConfig) as its
+    /// parallelism hint for rebuild work.
+    pub fn install_index(&mut self, mut index: Box<dyn PointIndex>) {
+        index.set_parallelism(self.cfg.index_build_threads);
         self.index = Some(index);
     }
 

@@ -72,8 +72,15 @@ pub enum PointAnswer {
 /// recorded as an [`IndexRepairEvent`].
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RepairSummary {
-    /// Landmark roots whose passes were re-run (or resumed).
+    /// Landmark roots whose passes were re-run (or resumed) in full.
     pub roots_rerun: usize,
+    /// Root passes repaired by a seeded partial resume over the
+    /// witness-invalidated region only (the cheap deletion path).
+    pub partial_roots: usize,
+    /// Witness-count decrements applied (direct hits plus cascade).
+    pub witness_decrements: usize,
+    /// Label entries invalidated because their witness count hit zero.
+    pub entries_invalidated: usize,
     /// Label entries invalidated by the batch.
     pub labels_removed: usize,
     /// Label entries (re)committed by the repair.
@@ -105,6 +112,14 @@ pub trait PointIndex: Send {
         applied: &AppliedMutation,
         epoch: u64,
     ) -> RepairSummary;
+
+    /// Hint how many worker threads the index may use for its own
+    /// offline work (full rebuilds at mutation barriers, witness
+    /// recounts). `0` = pick automatically. The engines forward
+    /// [`SystemConfig::index_build_threads`](crate::SystemConfig) here
+    /// at [`install_index`](crate::Engine::install_index) time; indexes
+    /// without internal parallelism ignore it.
+    fn set_parallelism(&mut self, _threads: usize) {}
 }
 
 /// One index-repair record: a mutation batch absorbed by the installed

@@ -407,7 +407,16 @@ impl EngineClient {
     /// park at their superstep barriers first), opening a new graph
     /// epoch. Batches from one client apply in submission order; like
     /// submissions, a batch racing a shutdown may be dropped.
+    ///
+    /// # Panics
+    /// Rejects the batch at submission (see
+    /// [`GraphMutationBatch::validate`]) if any op carries a NaN,
+    /// negative, or infinite weight — failing on the caller's stack
+    /// instead of poisoning the coordinator at the barrier.
     pub fn mutate(&self, batch: GraphMutationBatch) {
+        if let Err(e) = batch.validate() {
+            panic!("rejected mutation batch: {e}");
+        }
         let _ = self.tx.send(CoordMsg::Mutate(batch));
     }
 }
@@ -504,8 +513,12 @@ impl ThreadEngine {
     /// handed to the coordinator (picked up on its next turn); otherwise
     /// it is held until the next [`ThreadEngine::start`]. Eligible point
     /// queries are answered from the index at admission, and mutation
-    /// barriers repair it before opening the new epoch to queries.
-    pub fn install_index(&mut self, index: Box<dyn PointIndex>) {
+    /// barriers repair it before opening the new epoch to queries. The
+    /// index receives
+    /// [`SystemConfig::index_build_threads`](crate::SystemConfig) as its
+    /// parallelism hint for rebuild work.
+    pub fn install_index(&mut self, mut index: Box<dyn PointIndex>) {
+        index.set_parallelism(self.cfg.index_build_threads);
         match &self.serving {
             Some(s) => {
                 let _ = s.tx.send(CoordMsg::InstallIndex(index));
@@ -530,7 +543,15 @@ impl ThreadEngine {
     /// stop-the-world barrier (a new graph epoch, exactly like
     /// [`EngineClient::mutate`]); before `start` it queues and applies —
     /// in order with pre-start submissions — when serving begins.
+    ///
+    /// # Panics
+    /// Rejects the batch at submission (see
+    /// [`GraphMutationBatch::validate`]) if any op carries a NaN,
+    /// negative, or infinite weight.
     pub fn mutate(&mut self, batch: GraphMutationBatch) {
+        if let Err(e) = batch.validate() {
+            panic!("rejected mutation batch: {e}");
+        }
         match &self.serving {
             Some(s) => {
                 let _ = s.tx.send(CoordMsg::Mutate(batch));

@@ -30,7 +30,7 @@ pub use builder::GraphBuilder;
 pub use csr::{Graph, NeighborIter};
 pub use ids::{EdgeId, VertexId};
 pub use io::{read_edge_list, write_edge_list, GraphIoError};
-pub use mutation::{GraphMutation, MutationBatch};
+pub use mutation::{valid_weight, GraphMutation, MutationBatch, MutationError};
 pub use props::{RegionId, VertexProps};
 pub use topology::{AppliedMutation, EdgeChange, GraphDelta, TopoNeighbors, Topology};
 pub use validate::{validate, GraphInvariantError};

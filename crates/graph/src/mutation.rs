@@ -4,6 +4,65 @@
 //! atomically at an engine epoch barrier (see `qgraph-core`'s mutation
 //! plane). Batches are plain data — generators build them against a known
 //! graph state, engines apply them through [`crate::Topology::apply`].
+//!
+//! Edge weights are **validated**: NaN, negative, and infinite weights
+//! would silently poison every shortest-path heap and hub label
+//! downstream, so the builder methods reject them at construction (panic,
+//! or a [`MutationError`] from the `try_` variants) and
+//! [`crate::Topology::apply`] re-checks the whole batch up front —
+//! *before* any op applies, preserving batch atomicity — to catch ops
+//! assembled via [`MutationBatch::push`].
+
+use std::fmt;
+
+/// A rejected mutation: the batch (and the barrier it was bound for)
+/// never applies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MutationError {
+    /// An [`GraphMutation::AddEdge`] or [`GraphMutation::SetWeight`]
+    /// carries a weight outside `[0, ∞)` (NaN, negative, or infinite).
+    InvalidWeight {
+        /// Source vertex of the offending op.
+        from: crate::VertexId,
+        /// Target vertex of the offending op.
+        to: crate::VertexId,
+        /// The rejected weight.
+        weight: f32,
+    },
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MutationError::InvalidWeight { from, to, weight } => write!(
+                f,
+                "invalid edge weight {weight} on {from:?} -> {to:?}: \
+                 weights must be finite and non-negative"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// Is `w` usable as an edge weight? Shortest-path machinery assumes
+/// finite, non-negative weights (zero is permitted: the index treats
+/// zero-weight ties conservatively).
+pub fn valid_weight(w: f32) -> bool {
+    w.is_finite() && w >= 0.0
+}
+
+fn check_weight(from: u32, to: u32, weight: f32) -> Result<(), MutationError> {
+    if valid_weight(weight) {
+        Ok(())
+    } else {
+        Err(MutationError::InvalidWeight {
+            from: crate::VertexId(from),
+            to: crate::VertexId(to),
+            weight,
+        })
+    }
+}
 
 /// One topology change. Ops within a batch apply strictly in order, so a
 /// later op may reference a vertex an earlier [`GraphMutation::AddVertex`]
@@ -94,12 +153,28 @@ impl MutationBatch {
     }
 
     /// Add a directed edge.
+    ///
+    /// # Panics
+    /// On a NaN, negative, or infinite weight — use
+    /// [`MutationBatch::try_add_edge`] to handle untrusted input.
     pub fn add_edge(&mut self, from: u32, to: u32, weight: f32) -> &mut Self {
-        self.push(GraphMutation::AddEdge {
+        self.try_add_edge(from, to, weight)
+            .unwrap_or_else(|e| panic!("rejected mutation: {e}"))
+    }
+
+    /// Add a directed edge, rejecting NaN/negative/infinite weights.
+    pub fn try_add_edge(
+        &mut self,
+        from: u32,
+        to: u32,
+        weight: f32,
+    ) -> Result<&mut Self, MutationError> {
+        check_weight(from, to, weight)?;
+        Ok(self.push(GraphMutation::AddEdge {
             from: crate::VertexId(from),
             to: crate::VertexId(to),
             weight,
-        })
+        }))
     }
 
     /// Add both directions of a road segment.
@@ -121,12 +196,47 @@ impl MutationBatch {
     }
 
     /// Re-weight a directed edge.
+    ///
+    /// # Panics
+    /// On a NaN, negative, or infinite weight — use
+    /// [`MutationBatch::try_set_weight`] to handle untrusted input.
     pub fn set_weight(&mut self, from: u32, to: u32, weight: f32) -> &mut Self {
-        self.push(GraphMutation::SetWeight {
+        self.try_set_weight(from, to, weight)
+            .unwrap_or_else(|e| panic!("rejected mutation: {e}"))
+    }
+
+    /// Re-weight a directed edge, rejecting NaN/negative/infinite
+    /// weights.
+    pub fn try_set_weight(
+        &mut self,
+        from: u32,
+        to: u32,
+        weight: f32,
+    ) -> Result<&mut Self, MutationError> {
+        check_weight(from, to, weight)?;
+        Ok(self.push(GraphMutation::SetWeight {
             from: crate::VertexId(from),
             to: crate::VertexId(to),
             weight,
-        })
+        }))
+    }
+
+    /// Check every op's weight. [`crate::Topology::apply`] calls this up
+    /// front — before any op applies — so a batch assembled through
+    /// [`MutationBatch::push`] (bypassing the builder checks) still
+    /// cannot poison the graph, and a rejected batch leaves the topology
+    /// untouched.
+    pub fn validate(&self) -> Result<(), MutationError> {
+        for op in &self.ops {
+            match *op {
+                GraphMutation::AddEdge { from, to, weight }
+                | GraphMutation::SetWeight { from, to, weight } => {
+                    check_weight(from.0, to.0, weight)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
     }
 }
 
@@ -148,6 +258,49 @@ mod tests {
                 to: VertexId(0)
             }
         );
+    }
+
+    #[test]
+    fn try_builders_reject_unusable_weights() {
+        let mut b = MutationBatch::new();
+        for bad in [f32::NAN, -1.0, f32::INFINITY, f32::NEG_INFINITY] {
+            assert!(matches!(
+                b.try_add_edge(0, 1, bad),
+                Err(MutationError::InvalidWeight { .. })
+            ));
+            assert!(b.try_set_weight(0, 1, bad).is_err());
+        }
+        assert!(b.is_empty(), "rejected ops must not be recorded");
+        // Zero and ordinary finite weights pass.
+        b.try_add_edge(0, 1, 0.0).unwrap();
+        b.try_set_weight(0, 1, 3.5).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected mutation")]
+    fn add_edge_panics_on_nan() {
+        MutationBatch::new().add_edge(0, 1, f32::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected mutation")]
+    fn set_weight_panics_on_negative() {
+        MutationBatch::new().set_weight(0, 1, -2.0);
+    }
+
+    #[test]
+    fn validate_catches_raw_pushes() {
+        let mut b = MutationBatch::new();
+        b.push(GraphMutation::AddEdge {
+            from: VertexId(0),
+            to: VertexId(1),
+            weight: f32::NAN,
+        });
+        assert!(b.validate().is_err());
+        let err = b.validate().unwrap_err();
+        assert!(err.to_string().contains("invalid edge weight"));
     }
 
     #[test]

@@ -250,8 +250,13 @@ impl Topology {
     ///
     /// # Panics
     /// Panics if an op references a vertex id that does not exist at the
-    /// point the op applies.
+    /// point the op applies, or if any op carries a NaN, negative, or
+    /// infinite edge weight ([`MutationBatch::validate`] — checked up
+    /// front, so a rejected batch leaves the topology untouched).
     pub fn apply(&mut self, batch: &MutationBatch) -> AppliedMutation {
+        if let Err(e) = batch.validate() {
+            panic!("rejected mutation batch: {e}");
+        }
         let mut new_vertices: Vec<VertexId> = Vec::new();
         let mut touched: FxHashSet<VertexId> = FxHashSet::default();
         let mut new_neighbors: FxHashMap<VertexId, Vec<VertexId>> = FxHashMap::default();
@@ -539,6 +544,38 @@ mod tests {
 
     fn n(t: &Topology, v: u32) -> Vec<(u32, f32)> {
         t.neighbors(VertexId(v)).map(|(t, w)| (t.0, w)).collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected mutation")]
+    fn apply_rejects_raw_pushed_invalid_weight() {
+        let mut t = Topology::new(diamond());
+        let mut batch = MutationBatch::new();
+        // Bypass the builder checks; `apply` must still catch it.
+        batch.push(crate::GraphMutation::AddEdge {
+            from: VertexId(0),
+            to: VertexId(3),
+            weight: f32::NAN,
+        });
+        t.apply(&batch);
+    }
+
+    #[test]
+    fn rejected_batch_leaves_topology_untouched() {
+        let mut t = Topology::new(diamond());
+        let before = n(&t, 0);
+        let epoch = t.epoch();
+        let mut batch = MutationBatch::new();
+        batch.remove_edge(0, 1); // valid op first: atomicity means it must NOT apply
+        batch.push(crate::GraphMutation::SetWeight {
+            from: VertexId(0),
+            to: VertexId(2),
+            weight: -1.0,
+        });
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.apply(&batch)));
+        assert!(r.is_err());
+        assert_eq!(n(&t, 0), before);
+        assert_eq!(t.epoch(), epoch);
     }
 
     #[test]

@@ -9,15 +9,19 @@
 //! runtimes build identical labels, because each pass's result is
 //! schedule-independent and the wave structure is deterministic).
 //!
-//! After a wave completes, its outputs are committed in rank order with
-//! the *same* snapshot filter the passes pruned against. Filtering
-//! against the snapshot (never the live labels) keeps the committed set
-//! equal to each pass's propagating set, which is what gives committed
-//! entries the closure property (witness paths traverse only committed
-//! entries) that incremental repair's tightness test needs. Roots within
-//! one wave don't prune against each other, so a wider wave trades label
-//! redundancy for fewer engine round-trips; the labels stay exact either
-//! way.
+//! After a wave completes, its outputs are committed in rank order,
+//! re-filtered against the *live* labels — everything committed by
+//! earlier waves and by earlier roots of this wave. The wave passes
+//! prune only against the pre-wave snapshot, so their propagating sets
+//! are supersets; the live filter cuts them back to exactly the
+//! sequential minimal labeling, for any wave width, engine, or thread
+//! count. Minimal labels keep the closure property the witness-repair
+//! tightness test needs (every tight strict parent of a committed entry
+//! is itself committed — a broken cover at the parent would cover the
+//! child too), and minimality is what keeps repair local: the repair
+//! plane treats a dropped entry as a weakened pruning certificate, so
+//! redundant entries would amplify the first full re-run into a
+//! cascade.
 
 use std::sync::Arc;
 
@@ -65,11 +69,13 @@ pub fn build_on_engine<E: Engine>(engine: &mut E, cfg: IndexConfig) -> LabelInde
                 .expect("pll pass must complete")
                 .clone();
             for (v, d) in settled {
-                // The same predicate the pass propagated under, against
-                // the same snapshot: committed set == propagating set.
+                // Re-test against the live labels (earlier waves plus
+                // earlier roots of this wave): the pass propagated under
+                // the weaker snapshot filter, so this prunes its result
+                // down to the sequential minimal labeling.
                 let threshold = match dir {
-                    Direction::Forward => snapshot.query_below(root, v, r),
-                    Direction::Backward => snapshot.query_below(v, root, r),
+                    Direction::Forward => labels.query_below(root, v, r),
+                    Direction::Backward => labels.query_below(v, root, r),
                 };
                 if threshold > d {
                     labels.commit(v, r, d, dir);
@@ -78,6 +84,11 @@ pub fn build_on_engine<E: Engine>(engine: &mut E, cfg: IndexConfig) -> LabelInde
         }
         rank = end;
     }
+
+    // Engine-built labels need witness counts too: repair's deletion
+    // path reads them no matter which driver constructed the index.
+    let threads = crate::repair::resolve_threads(cfg.build_threads, n);
+    crate::repair::recount_all(&mut labels, &topology, &rev, threads);
 
     LabelIndex::from_labels(labels, topology.epoch(), cfg)
 }

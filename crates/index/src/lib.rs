@@ -45,14 +45,22 @@ pub struct IndexConfig {
     /// never advances its valid epoch past construction, so queries on
     /// mutated graphs silently fall back to traversal.
     pub repair: bool,
-    /// Fraction of roots whose invalidation trips a full rebuild instead
-    /// of piecemeal re-runs (a rebuild also re-ranks by the new degree
-    /// distribution).
+    /// Fraction of a rebuild's `2n` root passes that repair may re-run
+    /// in full before bailing to the rebuild instead (which also
+    /// re-ranks by the new degree distribution). Counted per *pass*,
+    /// not per root: most weakened roots re-run a single direction.
     pub damage_threshold: f64,
     /// Landmark roots per construction wave (each submits two passes).
-    /// Wider waves cost fewer engine round-trips but prune less within
-    /// the wave, storing somewhat more label entries.
+    /// Wider waves cost fewer engine round-trips; the committed labels
+    /// are identical for every width, because wave outputs are
+    /// re-filtered against the live labels in rank order.
     pub wave: usize,
+    /// Worker threads for offline index work — the sequential build,
+    /// barrier-time full rebuilds, and witness recount sweeps. `0` picks
+    /// the machine's parallelism (capped at 8). The committed labels are
+    /// identical for every thread count: waves prune against a shared
+    /// snapshot and commit in rank order regardless of who ran the pass.
+    pub build_threads: usize,
 }
 
 impl Default for IndexConfig {
@@ -61,6 +69,7 @@ impl Default for IndexConfig {
             repair: true,
             damage_threshold: 0.25,
             wave: 8,
+            build_threads: 0,
         }
     }
 }
@@ -77,13 +86,15 @@ pub struct LabelIndex {
 }
 
 impl LabelIndex {
-    /// Build sequentially over `topology` (no engine involved): every
-    /// root in rank order, forward and backward pruned passes. Produces
-    /// a minimal labeling — the reference the engine-built waves are
-    /// checked against.
+    /// Build over `topology` without an engine: pruned root passes in
+    /// waves of [`IndexConfig::wave`], fanned across
+    /// [`IndexConfig::build_threads`] scoped workers. The committed
+    /// labels equal the engine-built labels for the same wave width
+    /// (`wave: 1` gives the fully sequential minimal labeling) and are
+    /// independent of the thread count.
     pub fn build(topology: &Topology, cfg: IndexConfig) -> Self {
         let mut labels = HubLabels::empty(topology);
-        repair::build_all_passes(&mut labels, topology);
+        repair::build_waves(&mut labels, topology, &cfg);
         Self::from_labels(labels, topology.epoch(), cfg)
     }
 
@@ -147,6 +158,10 @@ impl PointIndex for LabelIndex {
         self.flat = FlatLabels::freeze(&self.labels);
         self.repaired_through = epoch;
         summary
+    }
+
+    fn set_parallelism(&mut self, threads: usize) {
+        self.cfg.build_threads = threads;
     }
 }
 
@@ -230,6 +245,55 @@ mod tests {
         let applied = topo.apply(&batch);
         let summary = index.repair(&topo, &applied, applied.epoch);
         assert!(!summary.rebuilt);
+        assert_matches_rebuild(&index, &topo);
+    }
+
+    #[test]
+    fn tight_removal_takes_the_witness_path() {
+        let mut topo = topo();
+        let mut index = LabelIndex::build(
+            &topo,
+            IndexConfig {
+                damage_threshold: 1.0,
+                ..IndexConfig::default()
+            },
+        );
+        // 1→2 is the unique tight witness for d(0,2)=2 (the 0→2 edge
+        // weighs 5): counts hit zero and invalidate downstream, but the
+        // repair stays a seeded partial resume — no rebuild.
+        let mut batch = MutationBatch::new();
+        batch.remove_edge(1, 2);
+        let applied = topo.apply(&batch);
+        let summary = index.repair(&topo, &applied, applied.epoch);
+        assert!(!summary.rebuilt);
+        assert!(summary.witness_decrements > 0, "{summary:?}");
+        assert!(summary.entries_invalidated > 0, "{summary:?}");
+        assert!(summary.partial_roots > 0, "{summary:?}");
+        assert_matches_rebuild(&index, &topo);
+    }
+
+    /// PR 7 satellite: `damage_threshold * n` rounds to 0 on a tiny
+    /// index, so before the clamp *any* removal tripped a full rebuild.
+    /// A diamond has two tight parents into the sink, so the witness
+    /// count absorbs one removal within the clamped one-root cap.
+    #[test]
+    fn small_index_removals_repair_incrementally() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(1, 3, 1.0);
+        b.add_edge(2, 3, 1.0);
+        let mut topo = Topology::new(std::sync::Arc::new(b.build()));
+        // Default threshold: 0.25 * 4 = 1.0 — zero before the clamp
+        // would already have been hit by the pre-PR 7 `<=` endpoint
+        // test flagging three roots here.
+        let mut index = LabelIndex::build(&topo, IndexConfig::default());
+        let mut batch = MutationBatch::new();
+        batch.remove_edge(1, 3);
+        let applied = topo.apply(&batch);
+        let summary = index.repair(&topo, &applied, applied.epoch);
+        assert!(!summary.rebuilt, "{summary:?}");
+        assert!(summary.witness_decrements > 0, "{summary:?}");
         assert_matches_rebuild(&index, &topo);
     }
 

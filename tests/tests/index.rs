@@ -21,8 +21,8 @@
 use proptest::prelude::*;
 use qgraph_algo::{connected_component_of, dijkstra_to, ReachPointProgram, SsspProgram};
 use qgraph_core::{
-    Engine, EngineBuilder, MutationBatch, OutcomeStatus, PointIndex, QueryOutcome, ServedBy,
-    Topology,
+    Engine, EngineBuilder, MutationBatch, OutcomeStatus, PointIndex, QueryHandle, QueryOutcome,
+    ServedBy, Topology,
 };
 use qgraph_graph::{Graph, GraphBuilder, VertexId};
 use qgraph_index::{build_on_engine, IndexConfig};
@@ -145,6 +145,14 @@ fn thread_index_serves_point_queries_exactly() {
 /// The settle step differs per runtime (see tests/tests/mutation.rs).
 trait MutableEngine: Engine {
     fn apply_and_settle(&mut self, batch: MutationBatch);
+    /// Stream the batch in *without* settling, so subsequent submissions
+    /// race its barrier. `step` spaces the barriers out in virtual time
+    /// on the sim engine (interleaved submissions at one instant would
+    /// all be admitted before the first quiescent point); the thread
+    /// engine races for real and ignores it.
+    fn enqueue_mutation(&mut self, batch: MutationBatch, step: u64);
+    /// Submit a probe racing the `step`-th barrier.
+    fn submit_racing(&mut self, program: SsspProgram, step: u64) -> QueryHandle<SsspProgram>;
 }
 
 impl MutableEngine for qgraph_core::SimEngine {
@@ -152,12 +160,28 @@ impl MutableEngine for qgraph_core::SimEngine {
         self.mutate(batch);
         qgraph_core::SimEngine::run(self);
     }
+
+    fn enqueue_mutation(&mut self, batch: MutationBatch, step: u64) {
+        self.mutate_at(batch, step as f64);
+    }
+
+    fn submit_racing(&mut self, program: SsspProgram, step: u64) -> QueryHandle<SsspProgram> {
+        self.submit_at(program, step as f64 + 0.5)
+    }
 }
 
 impl MutableEngine for qgraph_core::ThreadEngine {
     fn apply_and_settle(&mut self, batch: MutationBatch) {
         self.mutate(batch);
         self.drain();
+    }
+
+    fn enqueue_mutation(&mut self, batch: MutationBatch, _step: u64) {
+        self.mutate(batch);
+    }
+
+    fn submit_racing(&mut self, program: SsspProgram, _step: u64) -> QueryHandle<SsspProgram> {
+        self.submit(program)
     }
 }
 
@@ -229,6 +253,104 @@ fn thread_index_repairs_across_mutation_epochs() {
             .partitioner(HashPartitioner::default())
             .build_threaded(),
         "thread/repair",
+    );
+}
+
+// ---------------------------------------------------------------------
+// Regression: admission racing a mutation barrier. A query admitted at
+// epoch e must answer for epoch e's graph — never from an index only
+// repaired through e-1. Each probe pair's distance *changes* at its
+// batch, so serving from the stale labels would be caught.
+// ---------------------------------------------------------------------
+
+fn admission_races_barrier<E: MutableEngine>(mut engine: E, label: &str) {
+    let n = 36u32;
+    let probes: Vec<(u32, u32)> = (0..4).map(|k| (9 * k, 9 * k + 1)).collect();
+
+    // Per-epoch references: epoch k+1 removes the ring edge under probe k.
+    let mut replay = Topology::new(ring_world(n));
+    let mut refs = vec![replay.materialize()];
+    let mut batches = Vec::new();
+    for &(a, b) in &probes {
+        let mut batch = MutationBatch::new();
+        batch.remove_undirected_edge(a, b);
+        replay.apply(&batch);
+        refs.push(replay.materialize());
+        batches.push(batch);
+    }
+    // Sensitivity: every probe's distance really changes at its batch, so
+    // an answer from the previous epoch's labels cannot pass as correct.
+    for (k, &(a, b)) in probes.iter().enumerate() {
+        let before = dijkstra_to(&refs[k], VertexId(a), VertexId(b));
+        let after = dijkstra_to(&refs[k + 1], VertexId(a), VertexId(b));
+        assert_ne!(before, after, "probe {k} must be epoch-sensitive");
+    }
+
+    let index = build_on_engine(&mut engine, IndexConfig::default());
+    engine.install_index(Box::new(index));
+
+    // Interleave barriers and submissions with no settling in between:
+    // each burst races the batch just streamed in.
+    let mut handles = Vec::new();
+    for (k, batch) in batches.into_iter().enumerate() {
+        engine.enqueue_mutation(batch, k as u64);
+        for &(a, b) in &probes {
+            handles.push((
+                a,
+                b,
+                engine.submit_racing(SsspProgram::new(VertexId(a), VertexId(b)), k as u64),
+            ));
+        }
+    }
+    engine.run();
+
+    let mut indexed = 0usize;
+    let mut post_barrier = 0usize;
+    for (a, b, h) in handles {
+        let got = *engine.output(&h).expect("sssp finished");
+        let o = outcome_of(&engine, h.id());
+        assert_eq!(o.status, OutcomeStatus::Completed, "{label}: {a}->{b}");
+        let e = o.first_epoch as usize;
+        assert!(e < refs.len(), "{label}: epoch {e} in range");
+        let want = dijkstra_to(&refs[e], VertexId(a), VertexId(b));
+        assert_eq!(got, want, "{label}: {a}->{b} admitted at epoch {e}");
+        if o.served_by == ServedBy::Index {
+            indexed += 1;
+            assert_eq!(
+                o.first_epoch, o.last_epoch,
+                "{label}: an index hit answers for exactly one epoch"
+            );
+        }
+        if e > 0 {
+            post_barrier += 1;
+        }
+    }
+    assert!(indexed > 0, "{label}: the index served some racing queries");
+    assert!(
+        post_barrier > 0,
+        "{label}: some queries were admitted past a barrier"
+    );
+}
+
+#[test]
+fn sim_admission_racing_barrier_answers_for_its_epoch() {
+    admission_races_barrier(
+        EngineBuilder::new(ring_world(36))
+            .workers(3)
+            .partitioner(HashPartitioner::default())
+            .build_sim(),
+        "sim/race",
+    );
+}
+
+#[test]
+fn thread_admission_racing_barrier_answers_for_its_epoch() {
+    admission_races_barrier(
+        EngineBuilder::new(ring_world(36))
+            .workers(3)
+            .partitioner(HashPartitioner::default())
+            .build_threaded(),
+        "thread/race",
     );
 }
 
@@ -367,6 +489,250 @@ fn apply_program<E: MutableEngine>(
             &pairs,
             ServedBy::Index,
             &format!("{label} batch {}", e + 1),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Removal-biased churn: deletions dominate, the witness path must absorb
+// them incrementally, and the repaired index must answer exactly like a
+// fresh build every epoch.
+// ---------------------------------------------------------------------
+
+/// A w×h road-like grid with tie-breaking integer weights: removing one
+/// segment reroutes locally (Manhattan alternatives), unlike the ring
+/// where a cut reroutes half the world — the shape deletion repair is
+/// built for. The weight band (4..9) is deliberately narrow: a wide
+/// spread turns the cheapest edges into global highways that carry the
+/// shortest paths of a large fraction of all pairs, and removing one is
+/// legitimate rebuild-scale damage rather than the local dent this test
+/// exercises.
+fn grid_world(w: u32, h: u32) -> Graph {
+    let mut b = GraphBuilder::new((w * h) as usize);
+    let id = |x: u32, y: u32| y * w + x;
+    for y in 0..h {
+        for x in 0..w {
+            let wt = |a: u32, b: u32| (4 + (a * 7 + b * 13) % 5) as f32;
+            if x + 1 < w {
+                b.add_undirected_edge(id(x, y), id(x + 1, y), wt(x, y));
+            }
+            if y + 1 < h {
+                b.add_undirected_edge(id(x, y), id(x, y + 1), wt(y, x + 3));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Every live directed edge of the current topology, in vertex order.
+fn live_edges(t: &Topology) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    for v in 0..t.num_vertices() as u32 {
+        for (to, _) in t.neighbors(VertexId(v)) {
+            edges.push((v, to.0));
+        }
+    }
+    edges
+}
+
+/// One churn batch: `ops` picks are (selector, a, b); selectors < 7 (70%)
+/// remove the selector-th live directed edge, the rest insert.
+fn churn_batch(replay: &Topology, n: u32, ops: &[(u32, u32, u32)]) -> MutationBatch {
+    let edges = live_edges(replay);
+    let mut batch = MutationBatch::new();
+    for &(sel, a, b) in ops {
+        if sel % 10 < 7 && !edges.is_empty() {
+            let (f, t) = edges[(a as usize * 31 + b as usize) % edges.len()];
+            batch.remove_edge(f, t);
+        } else {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                batch.add_edge(a, b, ((a + b) % 9 + 1) as f32);
+            }
+        }
+    }
+    batch
+}
+
+/// Check the engine-served answers AND a fresh `LabelIndex` built from
+/// scratch on the same topology against the traversal reference — the
+/// repaired labels must be answer-equivalent to a fresh build.
+fn check_epoch_against_fresh_build<E: MutableEngine>(
+    engine: &mut E,
+    replay: &Topology,
+    pairs: &[(u32, u32)],
+    ctx: &str,
+) {
+    let reference = replay.materialize();
+    let fresh = qgraph_index::LabelIndex::build(replay, IndexConfig::default());
+    for &(s, t) in pairs {
+        let want = dijkstra_to(&reference, VertexId(s), VertexId(t));
+        let fresh_ans = fresh.serve(&qgraph_core::PointQuery::Dist {
+            source: VertexId(s),
+            target: VertexId(t),
+        });
+        assert_eq!(
+            fresh_ans,
+            Some(qgraph_core::PointAnswer::Dist(want)),
+            "{ctx}: fresh build {s}->{t}"
+        );
+    }
+    serve_and_check(engine, &reference, pairs, ServedBy::Index, ctx);
+}
+
+fn removal_heavy_churn<E: MutableEngine>(mut engine: E, label: &str) {
+    // Large enough that a single cut damages a small *fraction* of the
+    // roots: the damage cap compares absolute re-runs against
+    // `damage_threshold * n`, so on toy graphs every removal looks
+    // catastrophic and the witness path never gets exercised.
+    let n = 432u32;
+    let index = build_on_engine(&mut engine, IndexConfig::default());
+    engine.install_index(Box::new(index));
+    let mut replay = Topology::new(grid_world(24, 18));
+
+    // Deterministic LCG-driven plan: 10 batches of two ops, ~70%
+    // removals. Small batches keep each epoch's damage in the regime the
+    // witness path is built for; stacking several cheap central cuts in
+    // one batch legitimately trips the rebuild bail-out instead.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ label.len() as u64;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    for e in 0..10 {
+        let ops: Vec<(u32, u32, u32)> = (0..2).map(|_| (rng(), rng(), rng())).collect();
+        let batch = churn_batch(&replay, n, &ops);
+        replay.apply(&batch);
+        engine.apply_and_settle(batch);
+        let pairs = pair_stream(n, 8, 1000 + e as u64);
+        check_epoch_against_fresh_build(
+            &mut engine,
+            &replay,
+            &pairs,
+            &format!("{label} epoch {}", e + 1),
+        );
+    }
+
+    // Sub-threshold deletion batches must ride the witness path, not the
+    // rebuild bail-out.
+    let repairs = &engine.report().index_repairs;
+    assert_eq!(repairs.len(), 10, "{label}: one repair per batch");
+    let incremental = repairs.iter().filter(|r| !r.summary.rebuilt).count();
+    assert!(
+        incremental >= 8,
+        "{label}: removal churn must repair incrementally ({incremental}/10)"
+    );
+    let decrements: usize = repairs.iter().map(|r| r.summary.witness_decrements).sum();
+    let partial: usize = repairs.iter().map(|r| r.summary.partial_roots).sum();
+    assert!(decrements > 0, "{label}: witness counting engaged");
+    assert!(
+        partial > 0,
+        "{label}: some roots repaired by partial resume"
+    );
+}
+
+#[test]
+fn sim_removal_heavy_churn_stays_incremental_and_exact() {
+    removal_heavy_churn(
+        EngineBuilder::new(grid_world(24, 18))
+            .workers(3)
+            .partitioner(HashPartitioner::default())
+            .build_sim(),
+        "sim/churn",
+    );
+}
+
+#[test]
+fn thread_removal_heavy_churn_stays_incremental_and_exact() {
+    removal_heavy_churn(
+        EngineBuilder::new(grid_world(24, 18))
+            .workers(2)
+            .partitioner(HashPartitioner::default())
+            .build_threaded(),
+        "thread/churn",
+    );
+}
+
+/// One churn batch: (selector, a, b) picks, resolved against the live
+/// edge set at apply time.
+type ChurnPlanBatch = Vec<(u32, u32, u32)>;
+
+/// Randomized removal-biased churn plans: a vertex count plus batches.
+fn arb_removal_churn() -> impl Strategy<Value = (u32, Vec<ChurnPlanBatch>)> {
+    (
+        24u32..40,
+        prop::collection::vec(
+            prop::collection::vec((0u32..10, 0u32..4096, 0u32..4096), 1..5),
+            3..7,
+        ),
+    )
+}
+
+fn apply_removal_churn<E: MutableEngine>(
+    mut engine: E,
+    n: u32,
+    plan: &[Vec<(u32, u32, u32)>],
+    label: &str,
+) {
+    let index = build_on_engine(&mut engine, IndexConfig::default());
+    engine.install_index(Box::new(index));
+    let mut replay = Topology::new(ring_world(n));
+    for (e, ops) in plan.iter().enumerate() {
+        let batch = churn_batch(&replay, n, ops);
+        replay.apply(&batch);
+        engine.apply_and_settle(batch);
+        let pairs = pair_stream(n, 5, 73 * (e as u64 + 1));
+        check_epoch_against_fresh_build(
+            &mut engine,
+            &replay,
+            &pairs,
+            &format!("{label} epoch {}", e + 1),
+        );
+    }
+    // Any sub-threshold repair that shed labels must show witness-path
+    // activity: entries leave either through the decrement cascade or a
+    // counted full root re-run — never silently.
+    for r in &engine.report().index_repairs {
+        let s = r.summary;
+        if !s.rebuilt && s.labels_removed > 0 {
+            assert!(
+                s.witness_decrements > 0 || s.roots_rerun > 0,
+                "{label}: epoch {} removed {} labels with no witness activity",
+                r.epoch,
+                s.labels_removed
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sim_removal_churn_keeps_index_exact((n, plan) in arb_removal_churn()) {
+        apply_removal_churn(
+            EngineBuilder::new(ring_world(n))
+                .workers(3)
+                .partitioner(HashPartitioner::default())
+                .build_sim(),
+            n,
+            &plan,
+            "sim/rmchurn",
+        );
+    }
+
+    #[test]
+    fn thread_removal_churn_keeps_index_exact((n, plan) in arb_removal_churn()) {
+        apply_removal_churn(
+            EngineBuilder::new(ring_world(n))
+                .workers(2)
+                .partitioner(HashPartitioner::default())
+                .build_threaded(),
+            n,
+            &plan,
+            "thread/rmchurn",
         );
     }
 }
