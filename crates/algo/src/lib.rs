@@ -17,6 +17,8 @@
 //! circles), [`PprProgram`] (localized PageRank, future work (i)), and
 //! [`WccProgram`] (a deliberately *global* query for contrast).
 
+#![forbid(unsafe_code)]
+
 mod bfs;
 mod poi;
 mod ppr;

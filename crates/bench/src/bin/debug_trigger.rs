@@ -1,6 +1,8 @@
 //! Scratch diagnostics for the Q-cut dynamics (not part of the experiment
 //! suite). `S=<scale> N=<queries> STRAT=<hash|domain|hash_qcut|domain_qcut>`.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use qgraph_algo::RoadProgram;

@@ -26,6 +26,8 @@
 //! `QGRAPH_BATCHES` (churn batches per churn phase, default 8),
 //! `QGRAPH_BENCH_JSON` (output path, default `BENCH_index.json`).
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -13,6 +13,8 @@
 //! `QGRAPH_QUERIES` (default 96), `QGRAPH_WORKERS` (default 4),
 //! `QGRAPH_BENCH_JSON` (output path, default `BENCH_msgplane.json`).
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -3,6 +3,8 @@
 //! The full per-figure harness lives in `benches/experiments.rs`
 //! (`cargo bench -p qgraph-bench --bench experiments -- <figure>`).
 
+#![forbid(unsafe_code)]
+
 use qgraph_bench::{run_mixed_road_experiment, run_road_experiment, ExperimentSpec, Strategy};
 use qgraph_metrics::Table;
 

@@ -2,6 +2,8 @@
 //! combinations and runs them on the deterministic engine. Every figure
 //! binary (`benches/experiments.rs` targets) composes these pieces.
 
+#![forbid(unsafe_code)]
+
 pub mod setup;
 
 pub use setup::{

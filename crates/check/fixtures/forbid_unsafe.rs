@@ -1,0 +1,7 @@
+//! Seeded violation for the `forbid-unsafe` rule: a crate root with no
+//! `#![forbid(unsafe_code)]` floor. (The rule is inverted — the
+//! finding is the *absence* of the attribute.)
+
+pub fn innocuous() -> u32 {
+    42
+}

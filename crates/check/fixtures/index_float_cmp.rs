@@ -1,0 +1,9 @@
+//! Seeded violation for the `index-float-cmp` rule: a naked `<` on
+//! hub-label distances. Accumulated f32 sums associate differently
+//! across insert/remove repairs, so raw comparison flaps near ties —
+//! the dist helpers (`improves`, `covers`, `within_slack`) are the
+//! only sanctioned comparison surface.
+
+fn keeps_entry(d: f32, best: f32) -> bool {
+    d < best
+}

@@ -1,0 +1,11 @@
+//! Seeded violation for the `no-unwrap-hot-loop` rule: an `unwrap()`
+//! in a serve-loop body turns a disconnected channel (a worker that
+//! panicked and dropped its sender) into a cascade panic on the
+//! coordinator instead of a reported engine fault.
+
+fn drain(rx: &Receiver<Msg>) {
+    loop {
+        let msg = rx.recv().unwrap();
+        handle(msg);
+    }
+}

@@ -1,0 +1,11 @@
+//! Seeded violation for the `raw-adjacency` rule: reaches past
+//! `Topology` into the base CSR snapshot, so overlay edges from
+//! pending mutation batches are invisible to the traversal.
+
+fn stale_degree(topo: &Topology, v: VertexId) -> usize {
+    topo.base().neighbors(v).count()
+}
+
+fn raw_graph_param(g: &Graph) -> usize {
+    g.num_vertices()
+}

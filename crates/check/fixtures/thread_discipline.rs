@@ -1,0 +1,8 @@
+//! Seeded violation for the `thread-discipline` rule: spawns a rogue
+//! OS thread outside the coordinator/worker runtime and the index
+//! morsel scopes, invisible to the shutdown protocol.
+
+fn rogue_background_work(input: Vec<u64>) {
+    let handle = std::thread::spawn(move || input.iter().sum::<u64>());
+    let _ = handle.join();
+}

@@ -1,0 +1,8 @@
+//! Seeded violation for the `time-epoch-arith` rule: raw epoch
+//! arithmetic outside the attribution helpers. Epochs are identities
+//! published by `Topology`, not counters — `epoch + 1` silently
+//! assumes batches never coalesce.
+
+fn next_epoch_guess(epoch: u64) -> u64 {
+    epoch + 1
+}

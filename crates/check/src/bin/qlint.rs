@@ -1,0 +1,55 @@
+//! qlint: the workspace static lint pass.
+//!
+//! Usage: `cargo run -p qgraph-check --bin qlint [-- --json] [root]`
+//!
+//! Walks `crates/*/src` under the workspace root (auto-detected from
+//! the current directory unless given), applies the project rules, and
+//! prints findings — human-readable by default, one JSON object per
+//! line with `--json`. Exit status 1 iff any finding.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: qlint [--json] [workspace-root]");
+                return ExitCode::SUCCESS;
+            }
+            other => root_arg = Some(PathBuf::from(other)),
+        }
+    }
+    let start = root_arg
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+    let Some(root) = qgraph_check::find_workspace_root(&start) else {
+        eprintln!("qlint: no workspace root found above {}", start.display());
+        return ExitCode::FAILURE;
+    };
+
+    let findings = qgraph_check::lint_workspace(&root);
+    for f in &findings {
+        if json {
+            println!("{}", f.to_json());
+        } else {
+            println!("{f}");
+        }
+    }
+    if findings.is_empty() {
+        if !json {
+            let nrules = qgraph_check::rules::RULES.len();
+            let nfiles = qgraph_check::workspace_sources(&root).len();
+            eprintln!("qlint: clean — {nrules} rules over {nfiles} files");
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("qlint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

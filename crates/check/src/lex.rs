@@ -1,0 +1,432 @@
+//! A lightweight hand-rolled Rust tokenizer.
+//!
+//! The build environment has no registry access, so `syn` is out of
+//! reach; qlint only needs a token stream faithful enough to match
+//! short patterns against, which a few hundred lines deliver:
+//!
+//! - identifiers (keywords included — rules match them by name),
+//! - punctuation, with the two-character operators that matter for
+//!   rule patterns merged (`::`, `==`, `<=`, `+=`, …) and the
+//!   ambiguous ones (`>>`, `<<`) deliberately left split so generic
+//!   argument lists don't glue into shift operators,
+//! - literals (numbers, strings incl. raw/byte forms, chars) reduced
+//!   to an opaque `Lit` token,
+//! - lifetimes reduced to an opaque `Life` token,
+//! - comments skipped, except that `qlint: allow(rule-name)` comment
+//!   directives are collected per line so findings can be waived with
+//!   an in-source justification.
+//!
+//! Every token carries its 1-based source line for reporting.
+
+/// What a token is, as far as rule matching cares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `Graph`, `unwrap`, …).
+    Ident(String),
+    /// A punctuation run, pre-merged for the operators rules match on.
+    Punct(&'static str),
+    /// Any literal: number, string, raw string, byte string, char.
+    Lit,
+    /// A lifetime (`'a`).
+    Life,
+}
+
+/// One lexed token with its source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+/// Tokenizer output: the token stream plus the per-line allow
+/// directives harvested from comments.
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    /// `(line, rule-name)` pairs from `qlint: allow(...)` comments.
+    pub allows: Vec<(u32, String)>,
+}
+
+const PUNCTS2: &[&str] = &[
+    "::", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "->", "=>", "&&", "||", "..",
+];
+
+fn punct2(a: char, b: char) -> Option<&'static str> {
+    let pair = [a, b];
+    PUNCTS2
+        .iter()
+        .copied()
+        .find(|p| p.chars().eq(pair.iter().copied()))
+}
+
+fn punct1(c: char) -> &'static str {
+    match c {
+        '(' => "(",
+        ')' => ")",
+        '[' => "[",
+        ']' => "]",
+        '{' => "{",
+        '}' => "}",
+        '<' => "<",
+        '>' => ">",
+        '=' => "=",
+        '+' => "+",
+        '-' => "-",
+        '*' => "*",
+        '/' => "/",
+        '%' => "%",
+        '!' => "!",
+        '&' => "&",
+        '|' => "|",
+        '^' => "^",
+        '~' => "~",
+        '.' => ".",
+        ',' => ",",
+        ';' => ";",
+        ':' => ":",
+        '#' => "#",
+        '?' => "?",
+        '@' => "@",
+        '$' => "$",
+        _ => "?",
+    }
+}
+
+/// Scan a comment body for `qlint: allow(a, b)` directives.
+fn harvest_allows(body: &str, line: u32, out: &mut Vec<(u32, String)>) {
+    let mut rest = body;
+    while let Some(at) = rest.find("qlint: allow(") {
+        let after = &rest[at + "qlint: allow(".len()..];
+        let Some(close) = after.find(')') else { break };
+        for name in after[..close].split(',') {
+            let name = name.trim();
+            if !name.is_empty() {
+                out.push((line, name.to_string()));
+            }
+        }
+        rest = &after[close..];
+    }
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes lex as punctuation,
+/// which simply won't match any rule pattern.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut allows = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            for &c in &b[$range] {
+                if c == '\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            let body: String = b[start..i].iter().collect();
+            harvest_allows(&body, line, &mut allows);
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let body: String = b[start..i.min(n)].iter().collect();
+            harvest_allows(&body, start_line, &mut allows);
+            bump_lines!(start..i.min(n));
+            continue;
+        }
+        // Raw / byte string prefixes: r"", r#""#, b"", br#""#.
+        if (c == 'r' || c == 'b') && raw_or_byte_string(&b, i).is_some() {
+            let end = raw_or_byte_string(&b, i).unwrap();
+            toks.push(Tok {
+                line,
+                kind: TokKind::Lit,
+            });
+            bump_lines!(i..end);
+            i = end;
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                line,
+                kind: TokKind::Ident(b[start..i].iter().collect()),
+            });
+            continue;
+        }
+        // Number literal.
+        if c.is_ascii_digit() {
+            i += 1;
+            while i < n {
+                let d = b[i];
+                if d.is_alphanumeric() || d == '_' {
+                    i += 1;
+                } else if d == '.' {
+                    // `0..n` is a range, not a float.
+                    if i + 1 < n && b[i + 1] == '.' {
+                        break;
+                    }
+                    i += 1;
+                } else if (d == '+' || d == '-') && matches!(b[i - 1], 'e' | 'E') {
+                    i += 1; // exponent sign: 1.0e-4
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                line,
+                kind: TokKind::Lit,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let start = i;
+            i += 1;
+            while i < n && b[i] != '"' {
+                if b[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(n);
+            toks.push(Tok {
+                line,
+                kind: TokKind::Lit,
+            });
+            bump_lines!(start..i);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // `'x'` / `'\n'` are chars; `'a` (no closing quote) is a
+            // lifetime.
+            let is_char = if i + 1 < n && b[i + 1] == '\\' {
+                true
+            } else if i + 2 < n {
+                b[i + 2] == '\'' && b[i + 1] != '\''
+            } else {
+                false
+            };
+            if is_char {
+                i += 2; // opening quote + first payload char
+                while i < n && b[i] != '\'' {
+                    if b[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Lit,
+                });
+            } else {
+                i += 1;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Life,
+                });
+            }
+            continue;
+        }
+        // Punctuation, two-char first.
+        if i + 1 < n {
+            if let Some(p) = punct2(c, b[i + 1]) {
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(p),
+                });
+                i += 2;
+                continue;
+            }
+        }
+        toks.push(Tok {
+            line,
+            kind: TokKind::Punct(punct1(c)),
+        });
+        i += 1;
+    }
+
+    Lexed { toks, allows }
+}
+
+/// If `b[i]` starts a raw/byte string (`r"`, `r#"`, `b"`, `br#"`, `b'`),
+/// return the index one past its end.
+fn raw_or_byte_string(b: &[char], i: usize) -> Option<usize> {
+    let n = b.len();
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == 'b' {
+        j += 1;
+        if j < n && b[j] == 'r' {
+            raw = true;
+            j += 1;
+        }
+    } else if b[j] == 'r' {
+        raw = true;
+        j += 1;
+    } else {
+        return None;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while j < n && b[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= n || b[j] != '"' {
+            return None;
+        }
+        j += 1;
+        // Scan for `"` followed by `hashes` hashes.
+        loop {
+            if j >= n {
+                return Some(n);
+            }
+            if b[j] == '"'
+                && b[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == '#')
+                    .count()
+                    == hashes
+            {
+                return Some(j + 1 + hashes);
+            }
+            j += 1;
+        }
+    }
+    // Non-raw byte string `b"…"` or byte char `b'…'`.
+    if j < n && (b[j] == '"' || b[j] == '\'') {
+        let quote = b[j];
+        j += 1;
+        while j < n && b[j] != quote {
+            if b[j] == '\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        return Some((j + 1).min(n));
+    }
+    None
+}
+
+/// Token index ranges covered by `#[cfg(test)]`-gated items. Test-only
+/// code is exempt from every rule: assertions and fixtures unwrap and
+/// poke internals by design.
+pub fn test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let n = toks.len();
+    let mut i = 0usize;
+    while i < n {
+        if is_cfg_test_attr(toks, i) {
+            // Skip past this and any further attributes, then swallow
+            // the gated item: up to its matching `}` (or `;` for
+            // brace-less items).
+            let start = i;
+            let mut j = i;
+            while j < n && toks[j].kind == TokKind::Punct("#") {
+                // Skip the `#[ … ]` group.
+                j += 1; // '#'
+                if j < n && toks[j].kind == TokKind::Punct("!") {
+                    j += 1;
+                }
+                if j < n && toks[j].kind == TokKind::Punct("[") {
+                    let mut depth = 1usize;
+                    j += 1;
+                    while j < n && depth > 0 {
+                        match &toks[j].kind {
+                            TokKind::Punct("[") => depth += 1,
+                            TokKind::Punct("]") => depth -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            // Find the item body.
+            while j < n {
+                match &toks[j].kind {
+                    TokKind::Punct("{") => {
+                        let mut depth = 1usize;
+                        j += 1;
+                        while j < n && depth > 0 {
+                            match &toks[j].kind {
+                                TokKind::Punct("{") => depth += 1,
+                                TokKind::Punct("}") => depth -= 1,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        break;
+                    }
+                    TokKind::Punct(";") => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            spans.push((start, j));
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
+    let want: &[TokKind] = &[
+        TokKind::Punct("#"),
+        TokKind::Punct("["),
+        TokKind::Ident("cfg".into()),
+        TokKind::Punct("("),
+        TokKind::Ident("test".into()),
+        TokKind::Punct(")"),
+        TokKind::Punct("]"),
+    ];
+    toks.len() >= i + want.len() && want.iter().enumerate().all(|(k, w)| &toks[i + k].kind == w)
+}

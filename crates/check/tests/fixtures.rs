@@ -1,0 +1,148 @@
+//! The two promises the lint pass makes, as tests:
+//!
+//! * **sensitivity** — every rule in [`qgraph_check::rules::RULES`]
+//!   fires on its seeded fixture under `fixtures/` when linted at an
+//!   in-scope virtual path;
+//! * **specificity** — the real workspace lints clean. This is the
+//!   tier-1 zero-findings gate: a change that trips a rule fails here,
+//!   in `cargo test`, not just in the standalone `qlint` binary.
+
+use qgraph_check::{find_workspace_root, lint_source, lint_workspace, rules};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Lint `fixture_name` as if it lived at `virtual_path` and assert the
+/// named rule (and only deliberate rules) fires.
+fn assert_fires(rule: &str, virtual_path: &str, fixture_name: &str) {
+    let findings = lint_source(virtual_path, &fixture(fixture_name));
+    assert!(
+        findings.iter().any(|f| f.rule == rule),
+        "expected `{rule}` to fire on fixtures/{fixture_name} at {virtual_path}; got {findings:?}"
+    );
+}
+
+#[test]
+fn raw_adjacency_fires_on_fixture() {
+    // Both shapes: a `.base().neighbors(..)` escape and an `&Graph`
+    // parameter smuggled into engine code.
+    let findings = lint_source("crates/core/src/fixture.rs", &fixture("raw_adjacency.rs"));
+    let hits = findings
+        .iter()
+        .filter(|f| f.rule == "raw-adjacency")
+        .count();
+    assert!(
+        hits >= 2,
+        "expected both seeded leaks to fire; got {findings:?}"
+    );
+}
+
+#[test]
+fn raw_adjacency_is_scoped() {
+    // The same source outside the traversal crates is none of the
+    // rule's business.
+    let findings = lint_source("crates/sim/src/fixture.rs", &fixture("raw_adjacency.rs"));
+    assert!(
+        !findings.iter().any(|f| f.rule == "raw-adjacency"),
+        "raw-adjacency fired out of scope: {findings:?}"
+    );
+}
+
+#[test]
+fn thread_discipline_fires_on_fixture() {
+    assert_fires(
+        "thread-discipline",
+        "crates/workload/src/fixture.rs",
+        "thread_discipline.rs",
+    );
+}
+
+#[test]
+fn thread_discipline_exempts_the_runtime() {
+    let findings = lint_source(
+        "crates/core/src/runtime.rs",
+        &fixture("thread_discipline.rs"),
+    );
+    assert!(
+        !findings.iter().any(|f| f.rule == "thread-discipline"),
+        "the coordinator runtime owns thread::spawn: {findings:?}"
+    );
+}
+
+#[test]
+fn index_float_cmp_fires_on_fixture() {
+    assert_fires(
+        "index-float-cmp",
+        "crates/index/src/fixture.rs",
+        "index_float_cmp.rs",
+    );
+}
+
+#[test]
+fn no_unwrap_hot_loop_fires_on_fixture() {
+    assert_fires(
+        "no-unwrap-hot-loop",
+        "crates/core/src/runtime.rs",
+        "no_unwrap_hot_loop.rs",
+    );
+}
+
+#[test]
+fn time_epoch_arith_fires_on_fixture() {
+    assert_fires(
+        "time-epoch-arith",
+        "crates/index/src/fixture.rs",
+        "time_epoch_arith.rs",
+    );
+}
+
+#[test]
+fn forbid_unsafe_fires_on_fixture() {
+    assert_fires(
+        "forbid-unsafe",
+        "crates/demo/src/lib.rs",
+        "forbid_unsafe.rs",
+    );
+}
+
+#[test]
+fn an_allow_comment_waives_a_finding() {
+    let src = "fn f(d: f32, best: f32) -> bool {\n    \
+               // qlint: allow(index-float-cmp) — fixture: exact tie intended\n    \
+               d < best\n}\n";
+    let findings = lint_source("crates/index/src/fixture.rs", src);
+    assert!(findings.is_empty(), "waiver ignored: {findings:?}");
+}
+
+#[test]
+fn every_rule_has_a_fixture_test() {
+    // Adding a rule without wiring a fixture is the failure mode this
+    // guards: the count here must move in lockstep with RULES.
+    assert_eq!(
+        rules::RULES.len(),
+        6,
+        "rule added or removed — update the fixture suite to match"
+    );
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("crates/check lives inside the workspace");
+    let findings = lint_workspace(&root);
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean; qlint found:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

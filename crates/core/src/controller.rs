@@ -72,6 +72,9 @@ impl Controller {
             return;
         };
         self.expire(now);
+        // Scope-retention expiry is plain scheduling math on the
+        // controller's own monitoring window, not latency attribution.
+        // qlint: allow(time-epoch-arith)
         let expires = now + SimTime::from_secs_f64(window_secs);
         self.finished.push_back(RetainedScope {
             query,

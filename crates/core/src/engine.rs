@@ -43,6 +43,7 @@ use qgraph_sim::{ClusterModel, EventQueue, SimTime};
 use crate::barrier::{self, BarrierInput};
 use crate::config::{BarrierMode, SystemConfig};
 use crate::controller::{apply_mutation_epochs, Controller};
+use crate::hb::{kind, Hb};
 use crate::index_plane::PointIndex;
 use crate::program::VertexProgram;
 use crate::qcut::{migrate, run_qcut, IlsResult};
@@ -173,6 +174,14 @@ pub struct SimEngine {
     round_outstanding: usize,
     /// SharedGlobal mode: release time of the round (max over queries).
     round_release: SimTime,
+    /// Happens-before auditor (no-op unless the `check-hb` feature is
+    /// on): stamps dispatches, quiesce windows, and epoch publications.
+    hb: Hb,
+    /// Test hook: make [`SimEngine::is_quiescent`] ignore in-flight
+    /// `TaskReady` dispatches, reintroducing the pre-fix quiesce race
+    /// so the auditor's detection of it stays regression-tested.
+    #[cfg(feature = "check-hb")]
+    hb_ignore_inflight_ready: bool,
 }
 
 impl SimEngine {
@@ -217,7 +226,15 @@ impl SimEngine {
                 .map(|q| q.monitoring_window_secs / 8.0)
                 .unwrap_or(f64::MAX / 1e10),
         );
+        // Stamp the initial topology (epoch 0) and partitioning as
+        // published by the controller before anything can read them.
+        let hb = Hb::new(k);
+        hb.publish_topology(0, 0);
+        hb.publish_partitioning(0);
         SimEngine {
+            hb,
+            #[cfg(feature = "check-hb")]
+            hb_ignore_inflight_ready: false,
             topology: Topology::new(graph),
             cluster,
             controller: Controller::new(cfg.qcut.clone()),
@@ -388,6 +405,7 @@ impl SimEngine {
                 Event::Arrival { q } => self.on_arrival(q),
                 Event::TaskReady { q, w } => {
                     self.inflight_ready -= 1;
+                    self.hb.token_close(q.0, kind::READY);
                     self.on_task_ready(q, w);
                 }
                 Event::TaskDone { q, w } => self.on_task_done(now, q, w),
@@ -521,11 +539,10 @@ impl SimEngine {
     }
 
     fn dispatch_pending(&mut self) {
-        while !self.paused
-            && self.in_flight < self.cfg.max_parallel_queries
-            && !self.scheduler.is_empty()
-        {
-            let entry = self.scheduler.pop().expect("non-empty");
+        while !self.paused && self.in_flight < self.cfg.max_parallel_queries {
+            let Some(entry) = self.scheduler.pop() else {
+                break;
+            };
             self.start_query(entry.q);
         }
     }
@@ -544,6 +561,7 @@ impl SimEngine {
             self.topology.epoch(),
         ) {
             let epoch = self.topology.epoch();
+            self.hb.outcome_epoch(0, epoch);
             let run = &mut self.queries[q.index()];
             run.status = QueryStatus::Finished;
             run.submitted_at = now;
@@ -607,6 +625,7 @@ impl SimEngine {
             // executeQuery(q): controller → worker dispatch.
             let at = now + self.cluster.control_cost_to_controller(w);
             self.inflight_ready += 1;
+            self.hb.token_open(q.0, kind::READY);
             self.events.schedule(at, Event::TaskReady { q, w });
         }
     }
@@ -618,6 +637,7 @@ impl SimEngine {
     fn on_task_ready(&mut self, q: QueryId, w: usize) {
         // Pre-frozen supersteps always run — during a STOP barrier they
         // are exactly the in-flight work the barrier drains.
+        self.hb.token_open(q.0, kind::TASK);
         self.sched[w].queue.push_back(q);
         self.try_start(w);
     }
@@ -689,6 +709,7 @@ impl SimEngine {
             self.sched[w].busy_until = sent_at;
             self.events.schedule(sent_at, Event::SendDone { w });
         } else {
+            self.hb.token_close(q.0, kind::TASK);
             self.sched[w].running = None;
             self.try_start(w);
             self.maybe_quiesced(now);
@@ -697,6 +718,9 @@ impl SimEngine {
 
     fn on_send_done(&mut self, now: SimTime, w: usize) {
         debug_assert!(self.sched[w].running.is_some());
+        if let Some(q) = self.sched[w].running {
+            self.hb.token_close(q.0, kind::TASK);
+        }
         self.sched[w].running = None;
         self.try_start(w);
         self.maybe_quiesced(now);
@@ -715,11 +739,27 @@ impl SimEngine {
     }
 
     fn is_quiescent(&self) -> bool {
-        self.inflight_ready == 0
+        #[cfg(feature = "check-hb")]
+        let ready_drained = self.inflight_ready == 0 || self.hb_ignore_inflight_ready;
+        #[cfg(not(feature = "check-hb"))]
+        let ready_drained = self.inflight_ready == 0;
+        ready_drained
             && self
                 .sched
                 .iter()
                 .all(|s| s.running.is_none() && s.queue.is_empty())
+    }
+
+    /// Test hook (`check-hb` only): reintroduce the quiesce race the
+    /// `inflight_ready` count fixed — [`SimEngine::is_quiescent`] stops
+    /// counting scheduled-but-undelivered `TaskReady` dispatches, so a
+    /// stop-the-world barrier can fire with control messages in flight.
+    /// Exists solely so the regression suite can assert the
+    /// happens-before auditor catches that race; never enable otherwise.
+    #[cfg(feature = "check-hb")]
+    #[doc(hidden)]
+    pub fn hb_test_reintroduce_quiesce_race(&mut self) {
+        self.hb_ignore_inflight_ready = true;
     }
 
     fn max_control_cost(&self) -> SimTime {
@@ -850,6 +890,9 @@ impl SimEngine {
             }
         }
         let run = &self.queries[q.index()];
+        // The outcome is stamped with the current epoch: that epoch's
+        // publication must be ordered before this point.
+        self.hb.outcome_epoch(0, self.topology.epoch());
         let outcome = QueryOutcome {
             id: q,
             program: task.program_name(),
@@ -938,7 +981,11 @@ impl SimEngine {
         if stats.queries.len() < 2 {
             return;
         }
-        let cfg = self.controller.qcut_config().expect("qcut enabled").clone();
+        let Some(cfg) = self.controller.qcut_config().cloned() else {
+            // should_trigger() only fires with Q-cut configured; without a
+            // config there is nothing to plan.
+            return;
+        };
         let result = run_qcut(&stats, &cfg);
         self.controller.ils_inflight = true;
         self.pending_plan = Some((result, now));
@@ -988,6 +1035,10 @@ impl SimEngine {
     /// serves all three, so a mutation landing while a Q-cut phase is
     /// pending costs no extra quiesce.
     fn on_global_apply(&mut self, now: SimTime) {
+        // Open the auditor's quiesce window *before* the quiescence
+        // asserts: if a dispatch is still in flight, the auditor's
+        // violation report (with both stacks) beats a bare assert.
+        self.hb.quiesce_begin();
         debug_assert!(self.paused);
         debug_assert!(self.is_quiescent());
         let mut barrier_cost = SimTime::ZERO;
@@ -996,8 +1047,15 @@ impl SimEngine {
         // barrier body — see `controller::apply_mutation_epochs`).
         let batches: Vec<MutationBatch> = std::mem::take(&mut self.due_mutations)
             .into_iter()
-            .map(|m| self.mutations[m].take().expect("each batch applies once"))
+            .filter_map(|m| {
+                let batch = self.mutations[m].take();
+                // Each due index is pushed exactly once (on MutationDue),
+                // so its slot is still full here.
+                debug_assert!(batch.is_some(), "mutation batch {m} applied twice");
+                batch
+            })
             .collect();
+        let epoch_before = self.topology.epoch();
         let apply = apply_mutation_epochs(
             &mut self.topology,
             &mut self.partitioning,
@@ -1009,6 +1067,11 @@ impl SimEngine {
             self.index.as_deref_mut(),
         );
         let mutation_events_from = apply.events_from;
+        // Every epoch the batches opened is published inside the window,
+        // before anything resumes and can stamp an outcome with it.
+        for e in epoch_before + 1..=self.topology.epoch() {
+            self.hb.publish_topology(0, e);
+        }
         barrier_cost += self.cluster.compute.mutation_cost(apply.ops);
         if let Some(edges) = apply.compacted_edges {
             barrier_cost += self.cluster.compute.compaction_cost(edges);
@@ -1016,9 +1079,14 @@ impl SimEngine {
 
         // Phase 2: the repartition plan, once its ILS budget elapsed.
         let mut repartition: Option<(IlsResult, SimTime, usize, f64, f64)> = None;
-        if self.plan_ready {
+        // `plan_ready` is only set while `pending_plan` is populated
+        // (on_ils_ready clears both together), hence the paired pattern.
+        if let Some((result, triggered_at)) = if self.plan_ready {
             self.plan_ready = false;
-            let (result, triggered_at) = self.pending_plan.take().expect("plan pending");
+            self.pending_plan.take()
+        } else {
+            None
+        } {
             // Resolve the plan against the quiesced workers: a live
             // query's current local scope, or a finished query's retained
             // scope (the resolver's ownership filter restricts it to the
@@ -1058,6 +1126,7 @@ impl SimEngine {
                     migrate::apply_measured(&migration, &mut this.partitioning, &observed, || {
                         migrate::apply_to_workers(&migration, workers, &task_of)
                     });
+                self.hb.publish_partitioning(0);
 
                 // The migration lasts as long as the slowest pair's bulk
                 // transfer.
@@ -1106,6 +1175,8 @@ impl SimEngine {
     }
 
     fn on_global_end(&mut self, _now: SimTime) {
+        // Close the window before any deferred release re-opens dispatch.
+        self.hb.quiesce_end();
         self.paused = false;
         // START barrier: resume deferred releases against the new layout.
         let releases = std::mem::take(&mut self.deferred_releases);

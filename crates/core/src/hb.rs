@@ -1,0 +1,564 @@
+//! Happens-before auditing for the barrier protocol (`check-hb`).
+//!
+//! Both engines coordinate through the same stop-the-world discipline:
+//! query supersteps drain to quiescence, the coordinator applies
+//! mutation epochs and/or a migration inside the quiesce window,
+//! publishes the new `Arc<Topology>` / `Partitioning`, and only then
+//! resumes dispatch. The [`Hb`] facade stamps every edge of that
+//! protocol — channel sends/receives, barrier park/quiesce/resume,
+//! object publication — into per-actor **vector clocks** and verifies
+//! three invariants as the run unfolds:
+//!
+//! 1. every read of a published `Topology`/`Partitioning` is ordered
+//!    *after* its publication (and, at a worker superstep, the held
+//!    version is the latest published one — the barrier broadcasts
+//!    before resuming, so a stale version at execution is a lost edge);
+//! 2. no query-task dispatch is concurrent with a quiesce window (the
+//!    PR-2 class of bug: a `TaskReady` in flight while the barrier
+//!    believed the world stopped);
+//! 3. a mutation epoch's publication happens-before any query outcome
+//!    stamped with that epoch.
+//!
+//! A violation panics with **both** stacks: the one captured when the
+//! earlier side (publication, dispatch, window) was stamped, and the
+//! current one.
+//!
+//! With the `check-hb` feature off (the default) every method is an
+//! inline empty body on a zero-sized type, so call sites need no
+//! `cfg` and release builds carry no cost.
+//!
+//! Actor model: actor `0` is the coordinator (thread runtime) or the
+//! controller (sim); actors `1..=k` are the workers. The simulated
+//! engine is single-threaded, so its clock edges are trivially
+//! ordered — there the value of the auditor is the token/window logic
+//! (invariant 2) and the publication ledger (invariants 1 and 3). The
+//! thread runtime exercises the clocks for real: the per-worker
+//! command channels are FIFO queues of clock snapshots (exact), the
+//! many-producer response channel is a conservative sync-object join.
+
+/// Dispatch-token kinds (what kind of in-flight work a token stands
+/// for). `READY` is a scheduled-but-undelivered sim dispatch
+/// (`Event::TaskReady`); `TASK` a superstep occupying a sim worker;
+/// `STEP`/`COLLECT` the thread runtime's in-flight worker commands.
+pub(crate) mod kind {
+    pub const READY: u8 = 0;
+    pub const TASK: u8 = 1;
+    pub const STEP: u8 = 2;
+    pub const COLLECT: u8 = 3;
+
+    #[cfg_attr(not(feature = "check-hb"), allow(dead_code))]
+    pub fn name(k: u8) -> &'static str {
+        match k {
+            READY => "TaskReady dispatch",
+            TASK => "superstep task",
+            STEP => "worker Step command",
+            COLLECT => "worker Collect command",
+            _ => "work",
+        }
+    }
+}
+
+#[cfg(feature = "check-hb")]
+mod imp {
+    use super::kind;
+    use rustc_hash::FxHashMap;
+    use std::backtrace::Backtrace;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, MutexGuard};
+
+    #[derive(Clone, Debug, Default)]
+    struct VClock(Vec<u64>);
+
+    impl VClock {
+        fn new(n: usize) -> Self {
+            VClock(vec![0; n])
+        }
+        fn tick(&mut self, actor: usize) {
+            self.0[actor] += 1;
+        }
+        fn join(&mut self, other: &VClock) {
+            for (a, b) in self.0.iter_mut().zip(&other.0) {
+                *a = (*a).max(*b);
+            }
+        }
+        /// `other ≤ self` component-wise: everything `other` had seen
+        /// when snapshotted happens-before `self`'s present.
+        fn dominates(&self, other: &VClock) -> bool {
+            self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+        }
+    }
+
+    /// A clock snapshot traveling down a FIFO command channel,
+    /// optionally tagged with the object version it installs.
+    struct Entry {
+        clock: VClock,
+        tag: Option<Tag>,
+    }
+
+    enum Tag {
+        Topology(u64),
+        Partitioning(u64),
+    }
+
+    struct Publication {
+        clock: VClock,
+        stack: Backtrace,
+    }
+
+    struct Token {
+        q: u32,
+        kind: u8,
+        stack: Backtrace,
+    }
+
+    struct Window {
+        stack: Backtrace,
+    }
+
+    struct State {
+        clocks: Vec<VClock>,
+        /// FIFO clock queue per coordinator→worker command channel.
+        cmd_chans: Vec<VecDeque<Entry>>,
+        /// Conservative sync-object clock for the many-producer
+        /// worker→coordinator response channel.
+        msg_chan: VClock,
+        topo_pubs: FxHashMap<u64, Publication>,
+        part_pubs: FxHashMap<u64, Publication>,
+        latest_epoch: u64,
+        latest_part: u64,
+        /// Versions each worker actor currently holds (index = worker).
+        held_epoch: Vec<u64>,
+        held_part: Vec<u64>,
+        tokens: Vec<Token>,
+        window: Option<Window>,
+    }
+
+    impl State {
+        fn publish(&mut self, actor: usize) -> (VClock, Backtrace) {
+            self.clocks[actor].tick(actor);
+            (self.clocks[actor].clone(), Backtrace::force_capture())
+        }
+
+        fn check_pub(
+            pubs: &FxHashMap<u64, Publication>,
+            what: &str,
+            version: u64,
+            reader: &VClock,
+            ctx: &str,
+        ) {
+            let Some(p) = pubs.get(&version) else {
+                panic!(
+                    "hb violation: {ctx} uses {what} version {version}, \
+                     which was never published\n--- current stack ---\n{}",
+                    Backtrace::force_capture()
+                );
+            };
+            if !reader.dominates(&p.clock) {
+                panic!(
+                    "hb violation: {ctx} reads {what} version {version} \
+                     without being ordered after its publication\n\
+                     --- publication stack ---\n{}\n--- reading stack ---\n{}",
+                    p.stack,
+                    Backtrace::force_capture()
+                );
+            }
+        }
+    }
+
+    /// The happens-before auditor (real implementation). One instance
+    /// per engine; cloning shares the state.
+    #[derive(Clone)]
+    pub struct Hb {
+        inner: Arc<Mutex<State>>,
+    }
+
+    impl Hb {
+        /// An auditor over `k` workers (actors `1..=k`; actor 0 is the
+        /// coordinator/controller).
+        pub fn new(k: usize) -> Self {
+            let n = k + 1;
+            Hb {
+                inner: Arc::new(Mutex::new(State {
+                    clocks: (0..n).map(|_| VClock::new(n)).collect(),
+                    cmd_chans: (0..k).map(|_| VecDeque::new()).collect(),
+                    msg_chan: VClock::new(n),
+                    topo_pubs: FxHashMap::default(),
+                    part_pubs: FxHashMap::default(),
+                    latest_epoch: 0,
+                    latest_part: 0,
+                    held_epoch: vec![0; k],
+                    held_part: vec![0; k],
+                    tokens: Vec::new(),
+                    window: None,
+                })),
+            }
+        }
+
+        fn lock(&self) -> MutexGuard<'_, State> {
+            // A poisoned auditor only happens while a violation panic is
+            // already unwinding; the state is still sound to read.
+            self.inner.lock().unwrap_or_else(|p| p.into_inner())
+        }
+
+        // -- publications -------------------------------------------------
+
+        /// Stamp the publication of graph epoch `epoch` by `actor`.
+        pub fn publish_topology(&self, actor: usize, epoch: u64) {
+            let mut s = self.lock();
+            let (clock, stack) = s.publish(actor);
+            s.latest_epoch = s.latest_epoch.max(epoch);
+            s.topo_pubs.insert(epoch, Publication { clock, stack });
+        }
+
+        /// Stamp a new partitioning publication by `actor`; returns the
+        /// fresh version number (`0` is the initial assignment).
+        pub fn publish_partitioning(&self, actor: usize) -> u64 {
+            let mut s = self.lock();
+            let (clock, stack) = s.publish(actor);
+            let v = if s.part_pubs.is_empty() {
+                0
+            } else {
+                s.latest_part + 1
+            };
+            s.latest_part = v;
+            s.part_pubs.insert(v, Publication { clock, stack });
+            v
+        }
+
+        /// Invariant 3: an outcome stamped with `epoch` must be ordered
+        /// after that epoch's publication.
+        pub fn outcome_epoch(&self, actor: usize, epoch: u64) {
+            let s = self.lock();
+            State::check_pub(
+                &s.topo_pubs,
+                "Topology epoch",
+                epoch,
+                &s.clocks[actor],
+                "a query outcome stamp",
+            );
+        }
+
+        // -- dispatch tokens & quiesce windows ----------------------------
+
+        /// Open an in-flight-work token for query `q` (invariant 2: no
+        /// dispatch while a quiesce window is open).
+        pub fn token_open(&self, q: u32, kind: u8) {
+            let mut s = self.lock();
+            if let Some(w) = &s.window {
+                panic!(
+                    "hb violation: {} for query {q} dispatched inside a \
+                     quiesce window (stop-the-world barrier in progress)\n\
+                     --- window-open stack ---\n{}\n--- dispatch stack ---\n{}",
+                    kind::name(kind),
+                    w.stack,
+                    Backtrace::force_capture()
+                );
+            }
+            s.tokens.push(Token {
+                q,
+                kind,
+                stack: Backtrace::force_capture(),
+            });
+        }
+
+        /// Close the most recent matching token.
+        pub fn token_close(&self, q: u32, kind: u8) {
+            let mut s = self.lock();
+            let Some(i) = s.tokens.iter().rposition(|t| t.q == q && t.kind == kind) else {
+                panic!(
+                    "hb violation: {} for query {q} completed without a \
+                     matching dispatch\n--- current stack ---\n{}",
+                    kind::name(kind),
+                    Backtrace::force_capture()
+                );
+            };
+            s.tokens.swap_remove(i);
+        }
+
+        /// The stop-the-world barrier believes the engine is quiescent.
+        /// Invariant 2, other direction: every dispatch token must have
+        /// closed by now.
+        pub fn quiesce_begin(&self) {
+            let mut s = self.lock();
+            if let Some(t) = s.tokens.first() {
+                panic!(
+                    "hb violation: quiesce window opened while a {} for \
+                     query {} is still in flight\n--- dispatch stack ---\n{}\n\
+                     --- window-open stack ---\n{}",
+                    kind::name(t.kind),
+                    t.q,
+                    t.stack,
+                    Backtrace::force_capture()
+                );
+            }
+            if s.window.is_some() {
+                panic!(
+                    "hb violation: nested quiesce windows\n--- stack ---\n{}",
+                    Backtrace::force_capture()
+                );
+            }
+            s.window = Some(Window {
+                stack: Backtrace::force_capture(),
+            });
+        }
+
+        /// The barrier resumes the world.
+        pub fn quiesce_end(&self) {
+            let mut s = self.lock();
+            if s.window.take().is_none() {
+                panic!(
+                    "hb violation: quiesce window closed twice\n--- stack ---\n{}",
+                    Backtrace::force_capture()
+                );
+            }
+        }
+
+        // -- thread-runtime channel edges ---------------------------------
+
+        /// Coordinator spawns worker `w`, handing it the current
+        /// topology/partitioning Arcs: join edge plus initial versions.
+        pub fn spawn_worker(&self, w: usize) {
+            let mut s = self.lock();
+            s.clocks[0].tick(0);
+            let snap = s.clocks[0].clone();
+            s.clocks[1 + w].join(&snap);
+            s.held_epoch[w] = s.latest_epoch;
+            s.held_part[w] = s.latest_part;
+        }
+
+        /// An untagged coordinator→worker command send.
+        pub fn send_cmd(&self, w: usize) {
+            self.send_entry(w, None);
+        }
+
+        /// Coordinator broadcasts a new topology to worker `w`.
+        pub fn send_topology(&self, w: usize, epoch: u64) {
+            self.send_entry(w, Some(Tag::Topology(epoch)));
+        }
+
+        /// Coordinator broadcasts a new partitioning to worker `w`.
+        pub fn send_partitioning(&self, w: usize, version: u64) {
+            self.send_entry(w, Some(Tag::Partitioning(version)));
+        }
+
+        /// A `Step` dispatch to worker `w`: channel edge + work token.
+        pub fn send_step(&self, q: u32, w: usize) {
+            self.token_open(q, kind::STEP);
+            self.send_entry(w, None);
+        }
+
+        /// A `Collect` dispatch to worker `w`: channel edge + work token.
+        pub fn send_collect(&self, q: u32, w: usize) {
+            self.token_open(q, kind::COLLECT);
+            self.send_entry(w, None);
+        }
+
+        fn send_entry(&self, w: usize, tag: Option<Tag>) {
+            let mut s = self.lock();
+            s.clocks[0].tick(0);
+            let clock = s.clocks[0].clone();
+            s.cmd_chans[w].push_back(Entry { clock, tag });
+        }
+
+        /// Worker `w` received its next command: pop the FIFO snapshot,
+        /// join it, and install any version tag it carries.
+        pub fn worker_recv(&self, w: usize) {
+            let mut s = self.lock();
+            let Some(entry) = s.cmd_chans[w].pop_front() else {
+                panic!(
+                    "hb violation: worker {w} received a command with no \
+                     stamped send (an uninstrumented channel?)\n\
+                     --- current stack ---\n{}",
+                    Backtrace::force_capture()
+                );
+            };
+            s.clocks[1 + w].join(&entry.clock);
+            match entry.tag {
+                Some(Tag::Topology(e)) => s.held_epoch[w] = e,
+                Some(Tag::Partitioning(v)) => s.held_part[w] = v,
+                None => {}
+            }
+        }
+
+        /// Worker `w` executes a superstep: invariant 1. Its held
+        /// topology/partitioning must be the latest published versions
+        /// (the barrier broadcasts before resuming), and both
+        /// publications must be ordered before this read.
+        pub fn worker_step(&self, w: usize) {
+            let s = self.lock();
+            let reader = &s.clocks[1 + w];
+            if s.held_epoch[w] != s.latest_epoch {
+                let p = s.topo_pubs.get(&s.latest_epoch);
+                panic!(
+                    "hb violation: worker {w} executes a superstep against \
+                     Topology epoch {} while epoch {} is published (a resume \
+                     outran the barrier broadcast)\n--- publication stack ---\n{}\n\
+                     --- superstep stack ---\n{}",
+                    s.held_epoch[w],
+                    s.latest_epoch,
+                    p.map(|p| p.stack.to_string()).unwrap_or_default(),
+                    Backtrace::force_capture()
+                );
+            }
+            if s.held_part[w] != s.latest_part {
+                let p = s.part_pubs.get(&s.latest_part);
+                panic!(
+                    "hb violation: worker {w} executes a superstep against \
+                     Partitioning version {} while version {} is published\n\
+                     --- publication stack ---\n{}\n--- superstep stack ---\n{}",
+                    s.held_part[w],
+                    s.latest_part,
+                    p.map(|p| p.stack.to_string()).unwrap_or_default(),
+                    Backtrace::force_capture()
+                );
+            }
+            State::check_pub(
+                &s.topo_pubs,
+                "Topology epoch",
+                s.held_epoch[w],
+                reader,
+                &format!("worker {w} superstep"),
+            );
+            State::check_pub(
+                &s.part_pubs,
+                "Partitioning",
+                s.held_part[w],
+                reader,
+                &format!("worker {w} superstep"),
+            );
+        }
+
+        /// Worker `w` sends a response up the shared channel.
+        pub fn worker_send(&self, w: usize) {
+            let mut s = self.lock();
+            s.clocks[1 + w].tick(1 + w);
+            let snap = s.clocks[1 + w].clone();
+            s.msg_chan.join(&snap);
+        }
+
+        /// Coordinator received something from the shared channel
+        /// (conservative: joins every sender seen so far).
+        pub fn coord_recv(&self) {
+            let mut s = self.lock();
+            let chan = s.msg_chan.clone();
+            s.clocks[0].join(&chan);
+        }
+    }
+}
+
+#[cfg(not(feature = "check-hb"))]
+mod imp {
+    /// The happens-before auditor, compiled out (`check-hb` off):
+    /// zero-sized, every method an inline empty body.
+    #[derive(Clone)]
+    pub struct Hb;
+
+    #[allow(clippy::unused_self)]
+    impl Hb {
+        #[inline(always)]
+        pub fn new(_k: usize) -> Self {
+            Hb
+        }
+        #[inline(always)]
+        pub fn publish_topology(&self, _actor: usize, _epoch: u64) {}
+        #[inline(always)]
+        pub fn publish_partitioning(&self, _actor: usize) -> u64 {
+            0
+        }
+        #[inline(always)]
+        pub fn outcome_epoch(&self, _actor: usize, _epoch: u64) {}
+        #[inline(always)]
+        pub fn token_open(&self, _q: u32, _kind: u8) {}
+        #[inline(always)]
+        pub fn token_close(&self, _q: u32, _kind: u8) {}
+        #[inline(always)]
+        pub fn quiesce_begin(&self) {}
+        #[inline(always)]
+        pub fn quiesce_end(&self) {}
+        #[inline(always)]
+        pub fn spawn_worker(&self, _w: usize) {}
+        #[inline(always)]
+        pub fn send_cmd(&self, _w: usize) {}
+        #[inline(always)]
+        pub fn send_topology(&self, _w: usize, _epoch: u64) {}
+        #[inline(always)]
+        pub fn send_partitioning(&self, _w: usize, _version: u64) {}
+        #[inline(always)]
+        pub fn send_step(&self, _q: u32, _w: usize) {}
+        #[inline(always)]
+        pub fn send_collect(&self, _q: u32, _w: usize) {}
+        #[inline(always)]
+        pub fn worker_recv(&self, _w: usize) {}
+        #[inline(always)]
+        pub fn worker_step(&self, _w: usize) {}
+        #[inline(always)]
+        pub fn worker_send(&self, _w: usize) {}
+        #[inline(always)]
+        pub fn coord_recv(&self) {}
+    }
+}
+
+pub use imp::Hb;
+
+#[cfg(all(test, feature = "check-hb"))]
+mod tests {
+    use super::{kind, Hb};
+
+    #[test]
+    fn clean_protocol_round_trip() {
+        let hb = Hb::new(2);
+        hb.publish_topology(0, 0);
+        hb.publish_partitioning(0);
+        hb.spawn_worker(0);
+        hb.spawn_worker(1);
+        hb.send_step(7, 0);
+        hb.worker_recv(0);
+        hb.worker_step(0);
+        hb.worker_send(0);
+        hb.coord_recv();
+        hb.token_close(7, kind::STEP);
+        hb.quiesce_begin();
+        hb.publish_topology(0, 1);
+        hb.send_topology(0, 1);
+        hb.send_topology(1, 1);
+        hb.quiesce_end();
+        hb.outcome_epoch(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "quiesce window")]
+    fn dispatch_inside_window_is_flagged() {
+        let hb = Hb::new(1);
+        hb.quiesce_begin();
+        hb.token_open(3, kind::READY);
+    }
+
+    #[test]
+    #[should_panic(expected = "still in flight")]
+    fn window_over_open_dispatch_is_flagged() {
+        let hb = Hb::new(1);
+        hb.token_open(3, kind::TASK);
+        hb.quiesce_begin();
+    }
+
+    #[test]
+    #[should_panic(expected = "never published")]
+    fn unpublished_epoch_stamp_is_flagged() {
+        let hb = Hb::new(1);
+        hb.outcome_epoch(0, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "resume outran the barrier broadcast")]
+    fn stale_topology_at_superstep_is_flagged() {
+        let hb = Hb::new(1);
+        hb.publish_topology(0, 0);
+        hb.publish_partitioning(0);
+        hb.spawn_worker(0);
+        // Epoch 1 is published but never broadcast to the worker.
+        hb.publish_topology(0, 1);
+        hb.send_cmd(0);
+        hb.worker_recv(0);
+        hb.worker_step(0);
+    }
+}

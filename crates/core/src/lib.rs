@@ -53,11 +53,14 @@
 //! assert!(reached.contains(&VertexId(2)));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod barrier;
 pub mod config;
 pub mod controller;
 pub mod engine;
+pub mod hb;
 pub mod index_plane;
 pub mod program;
 pub mod programs;

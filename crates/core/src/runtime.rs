@@ -86,6 +86,7 @@ use qgraph_sim::SimTime;
 
 use crate::config::SystemConfig;
 use crate::controller::{apply_mutation_epochs, Controller};
+use crate::hb::{kind, Hb};
 use crate::index_plane::{IndexRepairEvent, PointIndex};
 use crate::program::VertexProgram;
 use crate::qcut::{migrate, run_qcut, IlsResult, Migration};
@@ -99,6 +100,29 @@ use crate::worker::{LocalState, Worker};
 /// append under the lock, which also allocates the dense [`QueryId`];
 /// worker threads resolve ids through it.
 type TaskRegistry = Arc<RwLock<Vec<Arc<dyn QueryTask>>>>;
+
+/// Read the registry, recovering from poisoning. The registry is
+/// append-only (a writer can never leave it torn), so a client thread
+/// that panicked mid-`submit` must not wedge the coordinator or the
+/// workers behind a poisoned lock.
+fn reg_read(tasks: &TaskRegistry) -> std::sync::RwLockReadGuard<'_, Vec<Arc<dyn QueryTask>>> {
+    tasks.read().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Write counterpart of [`reg_read`]; same append-only reasoning.
+fn reg_write(tasks: &TaskRegistry) -> std::sync::RwLockWriteGuard<'_, Vec<Arc<dyn QueryTask>>> {
+    tasks.write().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Send a command to worker `w`. Workers never exit before
+/// `Cmd::Shutdown`, so a dead receiver means the worker thread
+/// panicked: tear the session down loudly, with worker attribution,
+/// rather than dropping a protocol step and deadlocking the barrier.
+fn send_cmd(cmd_txs: &[Sender<Cmd>], w: usize, cmd: Cmd) {
+    if cmd_txs[w].send(cmd).is_err() {
+        panic!("worker {w} hung up mid-serve (worker thread panicked)");
+    }
+}
 
 enum Cmd {
     Deliver {
@@ -323,7 +347,7 @@ impl ClientState {
         match msg {
             CoordMsg::Worker(r) => Some(r),
             CoordMsg::Submit { q, deadline_secs } => {
-                let program = tasks.read().expect("registry lock")[q.index()].program_name();
+                let program = reg_read(tasks)[q.index()].program_name();
                 let deadline = deadline_secs.map(|d| now + SimTime::from_secs_f64(d));
                 if !self.scheduler.push(q, program, now, deadline) {
                     self.rejected.push((q, program, now));
@@ -357,9 +381,18 @@ fn recv_worker(
     cs: &mut ClientState,
     tasks: &TaskRegistry,
     now: SimTime,
+    hb: &Hb,
 ) -> Resp {
     loop {
-        let msg = rx.recv().expect("engine handle and workers alive");
+        // Mid-barrier the workers must still hold their Sender clones
+        // (they only drop on worker exit), so a closed channel here
+        // means every worker died: tear down rather than resume from a
+        // half-applied barrier.
+        let msg = rx
+            .recv()
+            // qlint: allow(no-unwrap-hot-loop) — see above; recovery is impossible
+            .expect("workers alive while a barrier is in flight");
+        hb.coord_recv();
         if let Some(r) = cs.absorb(msg, tasks, now) {
             return r;
         }
@@ -423,7 +456,7 @@ impl EngineClient {
 
 /// Append `task` to the shared registry, allocating its [`QueryId`].
 fn register_task(tasks: &TaskRegistry, task: Arc<dyn QueryTask>) -> QueryId {
-    let mut reg = tasks.write().expect("registry lock");
+    let mut reg = reg_write(tasks);
     let q = QueryId(reg.len() as u32);
     reg.push(task);
     q
@@ -619,6 +652,11 @@ impl ThreadEngine {
         let combiners = self.cfg.combiners;
         let batch_max = self.cfg.batch_max_msgs;
         let shared_topology = Arc::new(self.topology.clone());
+        // The initial topology and assignment are published before any
+        // worker can read them; each spawn hands the worker both Arcs.
+        let hb = Hb::new(k);
+        hb.publish_topology(0, self.topology.epoch());
+        hb.publish_partitioning(0);
         for w in 0..k {
             let (tx, rx) = channel::<Cmd>();
             cmd_txs.push(tx);
@@ -626,6 +664,8 @@ impl ThreadEngine {
             let partitioning = Arc::clone(&shared_parts);
             let registry = Arc::clone(&self.tasks);
             let resp = msg_tx.clone();
+            hb.spawn_worker(w);
+            let worker_hb = hb.clone();
             worker_handles.push(thread::spawn(move || {
                 worker_loop(
                     w,
@@ -636,23 +676,25 @@ impl ThreadEngine {
                     registry,
                     rx,
                     resp,
+                    worker_hb,
                 );
             }));
         }
 
+        let Some(controller) = self.controller.take() else {
+            unreachable!("controller is present whenever the engine is not serving");
+        };
         let coordinator = Coordinator {
             topology: self.topology.clone(),
             cfg: self.cfg.clone(),
-            controller: self
-                .controller
-                .take()
-                .expect("controller present while not serving"),
+            controller,
             partitioning: self.partitioning.clone(),
             tasks: Arc::clone(&self.tasks),
             index: self.index.take(),
             // The coordinator continues the cumulative report; the engine
             // keeps its identical copy and appends drain deltas to it.
             report: self.report.clone(),
+            hb,
         };
         let handle =
             thread::spawn(move || coordinator.serve(cmd_txs, msg_rx, worker_handles, done_tx));
@@ -675,7 +717,9 @@ impl ThreadEngine {
     /// supersteps are in flight.
     pub fn client(&mut self) -> EngineClient {
         self.start();
-        let s = self.serving.as_ref().expect("serving after start");
+        let Some(s) = self.serving.as_ref() else {
+            unreachable!("start() always installs the serving session");
+        };
         EngineClient {
             tasks: Arc::clone(&self.tasks),
             tx: s.tx.clone(),
@@ -696,11 +740,22 @@ impl ThreadEngine {
             }
             self.start();
         }
-        let s = self.serving.as_ref().expect("serving ensured above");
         let (ack_tx, ack_rx) = channel::<Snapshot>();
-        s.tx.send(CoordMsg::Drain { ack: ack_tx })
-            .expect("coordinator alive");
-        let snapshot = ack_rx.recv().expect("coordinator alive");
+        let sent = match self.serving.as_ref() {
+            Some(s) => s.tx.send(CoordMsg::Drain { ack: ack_tx }).is_ok(),
+            None => unreachable!("start() always installs the serving session"),
+        };
+        let Some(snapshot) = sent.then(|| ack_rx.recv().ok()).flatten() else {
+            // The coordinator hung up mid-serve; it only exits early by
+            // panicking. Join its thread to surface the *original* panic
+            // (payload intact) instead of a secondary channel error here.
+            if let Some(s) = self.serving.take() {
+                if let Err(payload) = s.handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+            unreachable!("coordinator exited without acking the drain");
+        };
         self.report.outcomes.extend(snapshot.new_outcomes);
         self.report.activity.extend(snapshot.new_activity);
         self.report.repartitions.extend(snapshot.new_repartitions);
@@ -735,9 +790,18 @@ impl ThreadEngine {
             return &self.report;
         }
         self.drain();
-        let s = self.serving.take().expect("serving checked above");
+        let Some(s) = self.serving.take() else {
+            // drain() tears the session down itself only by propagating a
+            // coordinator panic, so reaching here without one is a bug —
+            // but returning the synced report beats panicking over it.
+            return &self.report;
+        };
         let _ = s.tx.send(CoordMsg::Shutdown);
-        let exit = s.handle.join().expect("coordinator thread panicked");
+        let exit = match s.handle.join() {
+            Ok(exit) => exit,
+            // Propagate the coordinator's own panic payload.
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
         self.report = exit.report;
         self.partitioning = exit.partitioning;
         self.topology = exit.topology;
@@ -844,6 +908,10 @@ struct Coordinator {
     tasks: TaskRegistry,
     index: Option<Box<dyn PointIndex>>,
     report: EngineReport,
+    /// Happens-before auditor (no-op unless `check-hb`): stamps the
+    /// command/response channel edges, quiesce windows, and
+    /// topology/partitioning publications of the serve protocol.
+    hb: Hb,
 }
 
 impl Coordinator {
@@ -920,12 +988,15 @@ impl Coordinator {
                 let next: Vec<usize> = $next;
                 $t.involved_cur = next.len();
                 for w in next {
-                    cmd_txs[w]
-                        .send(Cmd::Step {
+                    self.hb.send_step($q.0, w);
+                    send_cmd(
+                        &cmd_txs,
+                        w,
+                        Cmd::Step {
                             q: $q,
                             prev_agg: $t.task.clone_aggregate(&$t.agg_prev),
-                        })
-                        .expect("worker alive");
+                        },
+                    );
                     $t.outstanding += 1;
                     inflight_ops += 1;
                 }
@@ -939,7 +1010,7 @@ impl Coordinator {
             ($entry:expr) => {{
                 let entry: crate::sched::QueueEntry = $entry;
                 let q = entry.q;
-                let task = Arc::clone(&self.tasks.read().expect("registry lock")[q.index()]);
+                let task = Arc::clone(&reg_read(&self.tasks)[q.index()]);
                 // Index fast path: an eligible point query with an index
                 // repaired through the current epoch never reaches a
                 // worker — it is answered at admission with zero work and
@@ -950,6 +1021,7 @@ impl Coordinator {
                     self.topology.epoch(),
                 ) {
                     let at = clock.now();
+                    self.hb.outcome_epoch(0, self.topology.epoch());
                     let _ = done_tx.send(Completion { q, output });
                     self.report.finished_at_secs = at.as_secs_f64();
                     self.report.outcomes.push(QueryOutcome {
@@ -983,6 +1055,7 @@ impl Coordinator {
                         // No initial messages: finalize over the empty
                         // state set.
                         let at = clock.now();
+                        self.hb.outcome_epoch(0, self.topology.epoch());
                         let _ = done_tx.send(Completion {
                             q,
                             output: task.finalize(&self.topology, Vec::new()),
@@ -1037,16 +1110,18 @@ impl Coordinator {
                             // per `batch_max_msgs` messages (physical
                             // batching, matching the accounting).
                             for chunk in task.split_batch(batch, batch_cap) {
-                                cmd_txs[w]
-                                    .send(Cmd::Deliver { q, batch: chunk })
-                                    .expect("worker alive");
+                                self.hb.send_cmd(w);
+                                send_cmd(&cmd_txs, w, Cmd::Deliver { q, batch: chunk });
                             }
-                            cmd_txs[w]
-                                .send(Cmd::Step {
+                            self.hb.send_step(q.0, w);
+                            send_cmd(
+                                &cmd_txs,
+                                w,
+                                Cmd::Step {
                                     q,
                                     prev_agg: task.clone_aggregate(&t.agg_prev),
-                                })
-                                .expect("worker alive");
+                                },
+                            );
                             t.outstanding += 1;
                             inflight_ops += 1;
                         }
@@ -1103,10 +1178,14 @@ impl Coordinator {
             // extra quiesce.
             if (repart_pending || !cs.mutations.is_empty()) && inflight_ops == 0 {
                 let entered_at = clock.now().as_secs_f64();
+                // The quiesce window opens only once every Step/Collect
+                // token is closed — the auditor holds us to exactly that.
+                self.hb.quiesce_begin();
 
                 // Phase 1: mutation epochs, in arrival order (the shared
                 // barrier body — see `controller::apply_mutation_epochs`).
                 let batches = std::mem::take(&mut cs.mutations);
+                let epoch_before = self.topology.epoch();
                 let apply = apply_mutation_epochs(
                     &mut self.topology,
                     &mut self.partitioning,
@@ -1119,16 +1198,20 @@ impl Coordinator {
                 );
                 let mutation_events_from = apply.events_from;
                 if !batches.is_empty() {
+                    for e in epoch_before + 1..=self.topology.epoch() {
+                        self.hb.publish_topology(0, e);
+                    }
+                    let pv = self.hb.publish_partitioning(0);
                     // Broadcast the new epoch (and the assignment grown by
                     // new-vertex placement) before anything resumes: every
                     // subsequent superstep executes and routes against it.
                     let topo = Arc::new(self.topology.clone());
                     let parts = Arc::new(self.partitioning.clone());
-                    for tx in &cmd_txs {
-                        tx.send(Cmd::SetTopology(Arc::clone(&topo)))
-                            .expect("worker alive");
-                        tx.send(Cmd::SetPartitioning(Arc::clone(&parts)))
-                            .expect("worker alive");
+                    for w in 0..k {
+                        self.hb.send_topology(w, self.topology.epoch());
+                        send_cmd(&cmd_txs, w, Cmd::SetTopology(Arc::clone(&topo)));
+                        self.hb.send_partitioning(w, pv);
+                        send_cmd(&cmd_txs, w, Cmd::SetPartitioning(Arc::clone(&parts)));
                     }
                 }
 
@@ -1159,12 +1242,13 @@ impl Coordinator {
                     // The migration moved pending inboxes between workers:
                     // rebuild every parked query's involved set from the
                     // workers' post-migration pending reports.
-                    for tx in &cmd_txs {
-                        tx.send(Cmd::PendingReport).expect("worker alive");
+                    for w in 0..k {
+                        self.hb.send_cmd(w);
+                        send_cmd(&cmd_txs, w, Cmd::PendingReport);
                     }
                     let mut pending_on: FxHashMap<QueryId, Vec<usize>> = FxHashMap::default();
                     for _ in 0..k {
-                        match recv_worker(&msg_rx, &mut cs, &tasks, clock.now()) {
+                        match recv_worker(&msg_rx, &mut cs, &tasks, clock.now(), &self.hb) {
                             Resp::Pending { worker, queries } => {
                                 for q in queries {
                                     pending_on.entry(q).or_default().push(worker);
@@ -1180,9 +1264,19 @@ impl Coordinator {
                     }
                 }
                 // START: release the parked queries against the (possibly
-                // new) layout, then re-open admissions.
+                // new) layout, then re-open admissions. The quiesce window
+                // closes first — releases are dispatches, and a dispatch
+                // inside the window is exactly the PR-2 race.
+                self.hb.quiesce_end();
                 for (q, next) in std::mem::take(&mut parked) {
-                    let t = tracking.get_mut(&q).expect("parked queries stay tracked");
+                    let Some(t) = tracking.get_mut(&q) else {
+                        // Defensive: a parked query is by construction
+                        // still tracked (removal happens only after its
+                        // final Collect). Skip rather than corrupt the
+                        // release bookkeeping; surface loudly in debug.
+                        debug_assert!(false, "parked query {q:?} is no longer tracked");
+                        continue;
+                    };
                     if next.is_empty() {
                         // Defensive: migration preserves pending messages,
                         // so a parked query cannot lose them — surface the
@@ -1194,7 +1288,8 @@ impl Coordinator {
                         );
                         t.collecting = t.touched.len();
                         for &w in &t.touched {
-                            cmd_txs[w].send(Cmd::Collect { q }).expect("worker alive");
+                            self.hb.send_collect(q.0, w);
+                            send_cmd(&cmd_txs, w, Cmd::Collect { q });
                             inflight_ops += 1;
                         }
                         continue;
@@ -1258,6 +1353,7 @@ impl Coordinator {
                 // Every sender (engine handle included) is gone.
                 break;
             };
+            self.hb.coord_recv();
             let Some(resp) = cs.absorb(msg, &tasks, clock.now()) else {
                 if !repart_pending {
                     admit!();
@@ -1277,12 +1373,16 @@ impl Coordinator {
                     worker,
                 } => {
                     inflight_ops -= 1;
+                    self.hb.token_close(q.0, kind::STEP);
                     self.report.activity.push(ActivitySample {
                         t: clock.now().as_secs_f64(),
                         worker,
                         executed: executed as u64,
                     });
                     worker_activity[worker] += executed;
+                    // A StepDone can only answer a Step this loop issued,
+                    // and tracking entries outlive their outstanding steps.
+                    // qlint: allow(no-unwrap-hot-loop) — protocol invariant, see above
                     let t = tracking.get_mut(&q).expect("tracked query");
                     t.outstanding -= 1;
                     t.vertex_updates += executed as u64;
@@ -1301,9 +1401,8 @@ impl Coordinator {
                         // paper's 32-message batches as physical envelopes,
                         // bounding per-envelope latency under bursts.
                         for chunk in t.task.split_batch(batch, batch_cap) {
-                            cmd_txs[w2]
-                                .send(Cmd::Deliver { q, batch: chunk })
-                                .expect("worker alive");
+                            self.hb.send_cmd(w2);
+                            send_cmd(&cmd_txs, w2, Cmd::Deliver { q, batch: chunk });
                         }
                     }
                     if t.outstanding == 0 {
@@ -1330,7 +1429,8 @@ impl Coordinator {
                             // Collect states from every touched worker.
                             t.collecting = t.touched.len();
                             for &w in &t.touched {
-                                cmd_txs[w].send(Cmd::Collect { q }).expect("worker alive");
+                                self.hb.send_collect(q.0, w);
+                                send_cmd(&cmd_txs, w, Cmd::Collect { q });
                                 inflight_ops += 1;
                             }
                         } else if repart_pending || !cs.mutations.is_empty() {
@@ -1387,10 +1487,15 @@ impl Coordinator {
                 }
                 Resp::Collected { q, local } => {
                     inflight_ops -= 1;
+                    self.hb.token_close(q.0, kind::COLLECT);
+                    // Collects are only issued for tracked queries and the
+                    // entry stays until the last one (counted) returns.
+                    // qlint: allow(no-unwrap-hot-loop) — protocol invariant, see above
                     let t = tracking.get_mut(&q).expect("tracked query");
                     t.locals.extend(local);
                     t.collecting -= 1;
                     if t.collecting == 0 {
+                        // qlint: allow(no-unwrap-hot-loop) — entry just mutated above
                         let t = tracking.remove(&q).expect("present");
                         let at = clock.now();
                         let scope_size: u64 = t.locals.iter().map(|l| l.scope_size() as u64).sum();
@@ -1405,6 +1510,7 @@ impl Coordinator {
                             self.controller.record_finished_scope(q, scope, at);
                             self.controller.expire(at);
                         }
+                        self.hb.outcome_epoch(0, self.topology.epoch());
                         let _ = done_tx.send(Completion {
                             q,
                             output: t.task.finalize(&self.topology, t.locals),
@@ -1441,11 +1547,15 @@ impl Coordinator {
         // Teardown: stop the workers while the message channel is still
         // open (a mid-step worker must be able to send its response), then
         // close any trailing run window so every outcome has a home.
-        for tx in &cmd_txs {
+        for (w, tx) in cmd_txs.iter().enumerate() {
+            self.hb.send_cmd(w);
             let _ = tx.send(Cmd::Shutdown);
         }
         for h in worker_handles {
-            h.join().expect("worker thread panicked");
+            if let Err(payload) = h.join() {
+                // Propagate the worker's own panic payload.
+                std::panic::resume_unwind(payload);
+            }
         }
         let runs_before = self.report.runs.len();
         let end = clock.now().as_secs_f64();
@@ -1487,13 +1597,14 @@ impl Coordinator {
         self.controller.expire(clock.now());
 
         // Aggregate per-scope statistics from the live query state.
-        for tx in cmd_txs {
-            tx.send(Cmd::ScopeReport).expect("worker alive");
+        for w in 0..k {
+            self.hb.send_cmd(w);
+            send_cmd(cmd_txs, w, Cmd::ScopeReport);
         }
         let mut scope_map: FxHashMap<(QueryId, usize), Vec<VertexId>> = FxHashMap::default();
         let mut per_query: FxHashMap<QueryId, Vec<VertexId>> = FxHashMap::default();
         for _ in 0..k {
-            match recv_worker(msg_rx, cs, &tasks, clock.now()) {
+            match recv_worker(msg_rx, cs, &tasks, clock.now(), &self.hb) {
                 Resp::Scopes { worker, scopes } => {
                     for (q, vs) in scopes {
                         if !tracking.contains_key(&q) {
@@ -1538,6 +1649,9 @@ impl Coordinator {
             return None;
         }
         let observed = self.controller.observed_scopes(&live);
+        // Cloned out so the closure does not re-borrow `self` while
+        // `self.partitioning` is mutably held by `apply_measured`.
+        let hb = self.hb.clone();
         let (locality_before, locality_after) =
             migrate::apply_measured(&migration, &mut self.partitioning, &observed, || {
                 // Migrate vertex ownership and in-flight program state
@@ -1548,15 +1662,18 @@ impl Coordinator {
                 // vertex sets are pairwise disjoint — an inject can never
                 // overlap a still-queued extract on the same worker.
                 for (token, mv) in migration.moves.iter().enumerate() {
-                    cmd_txs[mv.from]
-                        .send(Cmd::Extract {
+                    hb.send_cmd(mv.from);
+                    send_cmd(
+                        cmd_txs,
+                        mv.from,
+                        Cmd::Extract {
                             token,
                             vertices: mv.vertices.clone(),
-                        })
-                        .expect("worker alive");
+                        },
+                    );
                 }
                 for _ in 0..migration.moves.len() {
-                    let (token, data) = match recv_worker(msg_rx, cs, &tasks, clock.now()) {
+                    let (token, data) = match recv_worker(msg_rx, cs, &tasks, clock.now(), &hb) {
                         Resp::Extracted { token, data } => (token, data),
                         _ => unreachable!("quiesced workers only answer the extract"),
                     };
@@ -1567,19 +1684,19 @@ impl Coordinator {
                         }
                     }
                     if !data.is_empty() {
-                        cmd_txs[mv.to]
-                            .send(Cmd::Inject { data })
-                            .expect("worker alive");
+                        hb.send_cmd(mv.to);
+                        send_cmd(cmd_txs, mv.to, Cmd::Inject { data });
                     }
                 }
             });
 
         // Broadcast the new assignment before anything resumes: every
         // subsequent superstep routes against the new owners.
+        let pv = self.hb.publish_partitioning(0);
         let shared = Arc::new(self.partitioning.clone());
-        for tx in cmd_txs {
-            tx.send(Cmd::SetPartitioning(Arc::clone(&shared)))
-                .expect("worker alive");
+        for w in 0..k {
+            self.hb.send_partitioning(w, pv);
+            send_cmd(cmd_txs, w, Cmd::SetPartitioning(Arc::clone(&shared)));
         }
         Some((result, migration, locality_before, locality_after))
     }
@@ -1595,25 +1712,36 @@ fn worker_loop(
     registry: TaskRegistry,
     rx: Receiver<Cmd>,
     resp: Sender<CoordMsg>,
+    hb: Hb,
 ) {
     let mut worker = Worker::configured(id, combiners, batch_max_msgs);
-    let task_of = |q: QueryId| -> Arc<dyn QueryTask> {
-        Arc::clone(&registry.read().expect("registry lock")[q.index()])
-    };
+    let task_of =
+        |q: QueryId| -> Arc<dyn QueryTask> { Arc::clone(&reg_read(&registry)[q.index()]) };
     while let Ok(cmd) = rx.recv() {
-        match cmd {
+        // Every received command joins the clock snapshot the coordinator
+        // queued at the matching send — the channel edge of the HB graph.
+        hb.worker_recv(id);
+        // Every command produces at most one response; funneling them
+        // through a single send gives one clean-shutdown path instead of
+        // a panic per protocol arm.
+        let reply: Option<Resp> = match cmd {
             Cmd::Deliver { q, batch } => {
                 let task = task_of(q);
                 worker.deliver(task.as_ref(), q, batch);
+                None
             }
             Cmd::Step { q, prev_agg } => {
+                // The superstep reads the published topology/assignment:
+                // the auditor checks this worker's clock is ordered after
+                // the latest publication before any vertex executes.
+                hb.worker_step(id);
                 let task = task_of(q);
                 worker.freeze(q);
                 let route = |v: VertexId| partitioning.worker_of(v).index();
                 let (stats, agg, remote) =
                     worker.execute(q, task.as_ref(), &topology, &prev_agg, &route);
                 let self_pending = worker.has_pending(q);
-                resp.send(CoordMsg::Worker(Resp::StepDone {
+                Some(Resp::StepDone {
                     q,
                     executed: stats.executed,
                     remote_sent: stats.remote_deliveries as u64,
@@ -1623,13 +1751,11 @@ fn worker_loop(
                     remote,
                     self_pending,
                     worker: id,
-                }))
-                .expect("coordinator alive");
+                })
             }
             Cmd::Collect { q } => {
                 let local = worker.take_local(q);
-                resp.send(CoordMsg::Worker(Resp::Collected { q, local }))
-                    .expect("coordinator alive");
+                Some(Resp::Collected { q, local })
             }
             Cmd::ScopeReport => {
                 let mut qs: Vec<QueryId> = worker.active_queries().collect();
@@ -1642,23 +1768,24 @@ fn worker_loop(
                         (q, vs)
                     })
                     .collect();
-                resp.send(CoordMsg::Worker(Resp::Scopes { worker: id, scopes }))
-                    .expect("coordinator alive");
+                Some(Resp::Scopes { worker: id, scopes })
             }
             Cmd::Extract { token, vertices } => {
                 let set: FxHashSet<VertexId> = vertices.into_iter().collect();
                 let data = worker.extract_vertices(&task_of, &set);
-                resp.send(CoordMsg::Worker(Resp::Extracted { token, data }))
-                    .expect("coordinator alive");
+                Some(Resp::Extracted { token, data })
             }
             Cmd::Inject { data } => {
                 worker.inject_vertices(&task_of, data);
+                None
             }
             Cmd::SetPartitioning(p) => {
                 partitioning = p;
+                None
             }
             Cmd::SetTopology(t) => {
                 topology = t;
+                None
             }
             Cmd::PendingReport => {
                 let mut queries: Vec<QueryId> = worker
@@ -1666,13 +1793,22 @@ fn worker_loop(
                     .filter(|&q| worker.has_pending(q))
                     .collect();
                 queries.sort_unstable();
-                resp.send(CoordMsg::Worker(Resp::Pending {
+                Some(Resp::Pending {
                     worker: id,
                     queries,
-                }))
-                .expect("coordinator alive");
+                })
             }
             Cmd::Shutdown => break,
+        };
+        if let Some(r) = reply {
+            hb.worker_send(id);
+            // The coordinator hanging up (its thread panicked or exited
+            // early) ends this worker too: nobody is left to consume
+            // responses, and exiting cleanly lets the session tear down
+            // without a panic cascade obscuring the root cause.
+            if resp.send(CoordMsg::Worker(r)).is_err() {
+                break;
+            }
         }
     }
 }

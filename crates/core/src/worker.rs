@@ -129,11 +129,11 @@ pub struct QueryLocal<P: VertexProgram> {
     combine: bool,
 }
 
-/// Worker-owned sender-side combine index: an epoch-tagged
+/// Worker-owned sender-side combine index: a stamp-tagged
 /// direct-address array `vertex → slot in its destination bucket`.
 ///
 /// One probe is a single indexed read (no hashing, no clearing — bumping
-/// the epoch invalidates every tag at once), so combining a remote
+/// the stamp invalidates every tag at once), so combining a remote
 /// message costs less than delivering it would have. Memory is `O(|V|)`
 /// *per worker* — the same order as the vertex→worker assignment the
 /// worker already routes against — and is shared by every query on the
@@ -142,10 +142,10 @@ pub struct QueryLocal<P: VertexProgram> {
 /// one worker, so the tag needs no worker component.
 #[derive(Default)]
 pub struct CombineScratch {
-    /// `(epoch, bucket slot)` per vertex id.
+    /// `(stamp, bucket slot)` per vertex id.
     tags: Vec<(u64, u32)>,
-    /// Current superstep's epoch; tags from older epochs are stale.
-    epoch: u64,
+    /// Current superstep's stamp; tags from older stamps are stale.
+    stamp: u64,
 }
 
 impl CombineScratch {
@@ -156,20 +156,20 @@ impl CombineScratch {
         if self.tags.len() < num_vertices {
             self.tags.resize(num_vertices, (0, 0));
         }
-        self.epoch += 1;
+        self.stamp += 1;
     }
 
-    /// The live slot for `v` in this epoch, if any.
+    /// The live slot for `v` in this stamp generation, if any.
     #[inline]
     fn slot(&self, v: VertexId) -> Option<usize> {
         let (e, s) = self.tags[v.0 as usize];
-        (e == self.epoch).then_some(s as usize)
+        (e == self.stamp).then_some(s as usize)
     }
 
-    /// Record `v`'s (newest) bucket slot for this epoch.
+    /// Record `v`'s (newest) bucket slot for this stamp generation.
     #[inline]
     fn set_slot(&mut self, v: VertexId, slot: usize) {
-        self.tags[v.0 as usize] = (self.epoch, slot as u32);
+        self.tags[v.0 as usize] = (self.stamp, slot as u32);
     }
 }
 

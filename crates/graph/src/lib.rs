@@ -17,6 +17,8 @@
 //!   of edge/vertex inserts, removals, and weight updates over the frozen
 //!   base, compacted back into a fresh CSR when it grows too large.
 
+#![forbid(unsafe_code)]
+
 mod builder;
 mod csr;
 mod ids;

@@ -77,7 +77,7 @@ pub fn build_on_engine<E: Engine>(engine: &mut E, cfg: IndexConfig) -> LabelInde
                     Direction::Forward => labels.query_below(root, v, r),
                     Direction::Backward => labels.query_below(v, root, r),
                 };
-                if threshold > d {
+                if crate::dist::looser(threshold, d) {
                     labels.commit(v, r, d, dir);
                 }
             }

@@ -119,7 +119,7 @@ fn intersect_below<A: RankDist, B: RankDist>(out: &[A], inl: &[B], rank_limit: u
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
                 let d = d_out + d_in;
-                if d < best {
+                if crate::dist::improves(d, best) {
                     best = d;
                 }
                 i += 1;

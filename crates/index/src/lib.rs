@@ -25,10 +25,13 @@
 //!   admitted at epoch *e* is never served by an index repaired only
 //!   through *e − 1*.
 
+#![forbid(unsafe_code)]
+
 pub mod labels;
 pub mod program;
 
 mod build;
+mod dist;
 mod repair;
 
 pub use build::build_on_engine;
@@ -61,6 +64,13 @@ pub struct IndexConfig {
     /// identical for every thread count: waves prune against a shared
     /// snapshot and commit in rank order regardless of who ran the pass.
     pub build_threads: usize,
+    /// Paranoid audit mode (debug builds only): after construction and
+    /// after every repair, recount every witness from scratch and
+    /// re-verify each entry's tightness and the pruned labeling's cover
+    /// invariant over every live edge. O(n·entries + m·entries) per
+    /// barrier — a test harness for the incremental repair machinery,
+    /// never a serving configuration. No-op in release builds.
+    pub paranoid: bool,
 }
 
 impl Default for IndexConfig {
@@ -70,6 +80,7 @@ impl Default for IndexConfig {
             damage_threshold: 0.25,
             wave: 8,
             build_threads: 0,
+            paranoid: false,
         }
     }
 }
@@ -95,6 +106,9 @@ impl LabelIndex {
     pub fn build(topology: &Topology, cfg: IndexConfig) -> Self {
         let mut labels = HubLabels::empty(topology);
         repair::build_waves(&mut labels, topology, &cfg);
+        if cfg.paranoid && cfg!(debug_assertions) {
+            repair::audit(&labels, topology);
+        }
         Self::from_labels(labels, topology.epoch(), cfg)
     }
 
@@ -155,6 +169,11 @@ impl PointIndex for LabelIndex {
             return RepairSummary::default();
         }
         let summary = repair::repair(&mut self.labels, topology, applied, &self.cfg);
+        if self.cfg.paranoid && cfg!(debug_assertions) {
+            // Covers both outcomes — incremental repair and a damage-cap
+            // bailout to rebuild — since either commits into `labels`.
+            repair::audit(&self.labels, topology);
+        }
         self.flat = FlatLabels::freeze(&self.labels);
         self.repaired_through = epoch;
         summary

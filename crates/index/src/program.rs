@@ -127,7 +127,7 @@ impl VertexProgram for PllPassProgram {
         ctx: &mut Context<'_, f32, ()>,
     ) {
         let best = messages.iter().copied().fold(f32::INFINITY, f32::min);
-        if best >= *state {
+        if !crate::dist::improves(best, *state) {
             return; // no improvement: stay silent
         }
         *state = best;
@@ -135,7 +135,7 @@ impl VertexProgram for PllPassProgram {
         // this vertex at least as tightly — the wave stops. (The prune
         // predicate is monotone in the distance, so a swallowed later
         // candidate could never have propagated either.)
-        if self.prune_threshold(vertex) <= best {
+        if crate::dist::covers(self.prune_threshold(vertex), best) {
             return;
         }
         match self.dir {

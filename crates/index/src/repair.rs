@@ -61,6 +61,7 @@ use qgraph_core::RepairSummary;
 use qgraph_graph::{AppliedMutation, EdgeChange, Topology, VertexId};
 use rustc_hash::{FxHashMap, FxHashSet};
 
+use crate::dist::{covers, improves, looser, same, tight_via, within_slack};
 use crate::labels::{entry, Direction, HubLabels};
 use crate::program::{reverse_adjacency, RevAdj};
 use crate::IndexConfig;
@@ -109,14 +110,14 @@ pub(crate) fn pruned_pass(
     let mut heap: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
     for &(v, d) in seeds {
         let slot = dist.entry(v.0).or_insert(f32::INFINITY);
-        if d < *slot {
+        if improves(d, *slot) {
             *slot = d;
             heap.push(Reverse((OrdF32(d), v.0)));
         }
     }
     let mut added = 0usize;
     while let Some(Reverse((OrdF32(d), v))) = heap.pop() {
-        if dist.get(&v).copied().unwrap_or(f32::INFINITY) < d {
+        if improves(dist.get(&v).copied().unwrap_or(f32::INFINITY), d) {
             continue; // stale heap entry
         }
         let vertex = VertexId(v);
@@ -124,7 +125,7 @@ pub(crate) fn pruned_pass(
             // Only improvements over the committed entry propagate; the
             // existing entry's consequences are already in the labels.
             if let Some(old) = labels.hub_entry(vertex, rank, dir) {
-                if old <= d {
+                if covers(old, d) {
                     continue;
                 }
             }
@@ -133,7 +134,7 @@ pub(crate) fn pruned_pass(
             Direction::Forward => labels.query_below(root, vertex, rank),
             Direction::Backward => labels.query_below(vertex, root, rank),
         };
-        if threshold <= d {
+        if covers(threshold, d) {
             continue; // pruned: a higher-ranked hub covers it
         }
         if labels.commit(vertex, rank, d, dir) {
@@ -145,7 +146,7 @@ pub(crate) fn pruned_pass(
                 for (t, w) in topology.neighbors(vertex) {
                     let nd = d + w;
                     let slot = dist.entry(t.0).or_insert(f32::INFINITY);
-                    if nd < *slot {
+                    if improves(nd, *slot) {
                         *slot = nd;
                         heap.push(Reverse((OrdF32(nd), t.0)));
                     }
@@ -155,7 +156,7 @@ pub(crate) fn pruned_pass(
                 for &(t, w) in &rev[vertex.index()] {
                     let nd = d + w;
                     let slot = dist.entry(t.0).or_insert(f32::INFINITY);
-                    if nd < *slot {
+                    if improves(nd, *slot) {
                         *slot = nd;
                         heap.push(Reverse((OrdF32(nd), t.0)));
                     }
@@ -186,7 +187,7 @@ pub(crate) fn snapshot_pass(
     heap.push(Reverse((OrdF32(0.0), root.0)));
     let mut settled: Vec<(VertexId, f32)> = Vec::new();
     while let Some(Reverse((OrdF32(d), v))) = heap.pop() {
-        if dist.get(&v).copied().unwrap_or(f32::INFINITY) < d {
+        if improves(dist.get(&v).copied().unwrap_or(f32::INFINITY), d) {
             continue;
         }
         let vertex = VertexId(v);
@@ -194,7 +195,7 @@ pub(crate) fn snapshot_pass(
             Direction::Forward => snapshot.query_below(root, vertex, rank),
             Direction::Backward => snapshot.query_below(vertex, root, rank),
         };
-        if threshold <= d {
+        if covers(threshold, d) {
             continue;
         }
         settled.push((vertex, d));
@@ -203,7 +204,7 @@ pub(crate) fn snapshot_pass(
                 for (t, w) in topology.neighbors(vertex) {
                     let nd = d + w;
                     let slot = dist.entry(t.0).or_insert(f32::INFINITY);
-                    if nd < *slot {
+                    if improves(nd, *slot) {
                         *slot = nd;
                         heap.push(Reverse((OrdF32(nd), t.0)));
                     }
@@ -213,7 +214,7 @@ pub(crate) fn snapshot_pass(
                 for &(t, w) in &rev[vertex.index()] {
                     let nd = d + w;
                     let slot = dist.entry(t.0).or_insert(f32::INFINITY);
-                    if nd < *slot {
+                    if improves(nd, *slot) {
                         *slot = nd;
                         heap.push(Reverse((OrdF32(nd), t.0)));
                     }
@@ -315,8 +316,8 @@ pub(crate) fn build_waves(labels: &mut HubLabels, topology: &Topology, cfg: &Ind
             let root = labels.order[r as usize];
             for (v, d) in settled {
                 let covered = match dir {
-                    Direction::Forward => labels.query_below(root, v, r) <= d,
-                    Direction::Backward => labels.query_below(v, root, r) <= d,
+                    Direction::Forward => covers(labels.query_below(root, v, r), d),
+                    Direction::Backward => covers(labels.query_below(v, root, r), d),
                 };
                 if covered {
                     continue;
@@ -350,9 +351,8 @@ fn count_witnesses(
         return 1;
     }
     let lists = labels.family(dir);
-    let tight = |u: VertexId, w: f32| {
-        entry(&lists[u.index()], rank).is_some_and(|du| du < dv && du + w == dv)
-    };
+    let tight =
+        |u: VertexId, w: f32| entry(&lists[u.index()], rank).is_some_and(|du| tight_via(du, w, dv));
     let n = match dir {
         Direction::Forward => rev[v.index()].iter().filter(|&&(u, w)| tight(u, w)).count(),
         Direction::Backward => topology.neighbors(v).filter(|&(u, w)| tight(u, w)).count(),
@@ -555,10 +555,10 @@ fn classify_removals(
                 continue;
             };
             let sum = e.dist + w;
-            if sum == dh && e.dist < dh {
+            if same(sum, dh) && improves(e.dist, dh) {
                 // A strict tight parent died: one witness fewer.
                 plan.direct.entry(e.rank).or_default().push(head);
-            } else if sum <= dh {
+            } else if covers(sum, dh) {
                 // Loose (stale upstream improvement) or a zero-weight
                 // tie: witness counts never certified this chain, so the
                 // root re-runs in full — PR 6's conservative path.
@@ -584,7 +584,7 @@ fn classify_removals(
                     labels.query_below(v, a, u32::MAX) + w + labels.query_below(b, hub, u32::MAX)
                 }
             };
-            if sum.is_finite() && sum <= dv * (1.0 + 1e-4) {
+            if within_slack(sum, dv) {
                 plan.full.insert(rank);
             }
         }
@@ -660,7 +660,7 @@ fn decrement_and_cascade(
             let Some(dx) = labels.hub_entry(x, rank, dir) else {
                 continue;
             };
-            if !(dv < dx && dv + w == dx) {
+            if !tight_via(dv, w, dx) {
                 continue;
             }
             let Some(pre) = labels.decrement_witness(x, rank, dir) else {
@@ -700,8 +700,8 @@ fn cover_held(
     d: f32,
 ) -> bool {
     match dir {
-        Direction::Forward => labels.query_below(root, v, rank) <= d,
-        Direction::Backward => labels.query_below(v, root, rank) <= d,
+        Direction::Forward => covers(labels.query_below(root, v, rank), d),
+        Direction::Backward => covers(labels.query_below(v, root, rank), d),
     }
 }
 
@@ -941,7 +941,9 @@ pub(crate) fn repair(
                 let set: FxHashSet<u32> = committed.iter().map(|v| v.0).collect();
                 recount_at(labels, topology, &rev, rank, dir, &set);
                 for &(v, d) in &old {
-                    if labels.hub_entry(v, rank, dir).is_none_or(|nd| nd > d)
+                    if labels
+                        .hub_entry(v, rank, dir)
+                        .is_none_or(|nd| looser(nd, d))
                         && !cover_held(labels, root, rank, dir, v, d)
                     {
                         weakened[fam(dir)].insert(v.0);
@@ -994,7 +996,7 @@ pub(crate) fn repair(
             for (&v, &d) in &o.region {
                 if labels
                     .hub_entry(VertexId(v), rank, dir)
-                    .is_none_or(|nd| nd > d)
+                    .is_none_or(|nd| looser(nd, d))
                     && !cover_held(labels, root, rank, dir, VertexId(v), d)
                 {
                     weakened[fam(dir)].insert(v);
@@ -1034,8 +1036,8 @@ pub(crate) fn repair(
                     if let Some(dt) = entry(&lists[tail.index()], rank) {
                         let cand = dt + w;
                         match entry(&lists[head.index()], rank) {
-                            Some(dh) if cand > dh => {}
-                            Some(dh) if cand == dh => {
+                            Some(dh) if looser(cand, dh) => {}
+                            Some(dh) if same(cand, dh) => {
                                 recount.insert(head.0); // new tight parent
                             }
                             _ => seeds.push((head, cand)),
@@ -1088,4 +1090,89 @@ pub(crate) fn repair(
     }
 
     summary
+}
+
+/// Paranoid audit (see [`IndexConfig::paranoid`]): re-derive from
+/// scratch everything the incremental machinery maintains and panic on
+/// the first inconsistency. Two sweeps:
+///
+/// 1. **Witness recount** — every entry's stored count must not exceed
+///    an exact recount: an overcount is the one unsound direction (it
+///    could keep a dead entry alive through a future removal cascade).
+///    Equality is deliberately not required — decrement-only repairs
+///    leave counts as exact-lower-bound undercounts, and an inserted
+///    equal-cost path adds a tight parent without a recount. Zero is
+///    legal too: a chain head's support can run entirely through
+///    label-free covered vertices (see the module docs).
+/// 2. **Tightness / cover** — one relaxation sweep over every live
+///    edge. An edge that reaches the head *tighter* than its held
+///    entry (or reaches a head holding no entry at all) is only legal
+///    if the pruned labeling's cover invariant explains it: some
+///    higher-ranked hub already bounds the candidate distance, so the
+///    pass pruned there and the held entry is covered-redundant
+///    (entries legitimately drift loose under insert resumes and drop
+///    on the next re-run). No cover means a wrong distance — the
+///    served minimum could be beaten by a real path. [`within_slack`]
+///    backstops the exact cover test because the 2-hop probe is a
+///    differently associated sum.
+pub(crate) fn audit(labels: &HubLabels, topology: &Topology) {
+    let rev = reverse_adjacency(topology);
+    let n = labels.num_vertices();
+    for vi in 0..n {
+        let v = VertexId(vi as u32);
+        for (dir, list) in [
+            (Direction::Forward, &labels.in_labels[vi]),
+            (Direction::Backward, &labels.out_labels[vi]),
+        ] {
+            for e in list {
+                let exact = count_witnesses(labels, topology, &rev, e.rank, dir, v, e.dist);
+                assert!(
+                    e.wit <= exact,
+                    "paranoid audit: {dir:?} entry (hub rank {}, vertex {vi}, dist {}) \
+                     stores witness count {} but an exact recount gives only {exact}",
+                    e.rank,
+                    e.dist,
+                    e.wit,
+                );
+            }
+        }
+    }
+    let check = |dir: Direction, parent: VertexId, child: VertexId, w: f32| {
+        let lists = labels.family(dir);
+        for e in &lists[parent.index()] {
+            let cand = e.dist + w;
+            let root = labels.order[e.rank as usize];
+            let held = entry(&lists[child.index()], e.rank);
+            let improvable = match held {
+                Some(dc) => improves(cand, dc) && !within_slack(dc, cand),
+                None => true,
+            };
+            if !improvable {
+                continue;
+            }
+            let probe = match dir {
+                Direction::Forward => labels.query_below(root, child, e.rank),
+                Direction::Backward => labels.query_below(child, root, e.rank),
+            };
+            assert!(
+                covers(probe, cand) || within_slack(probe, cand),
+                "paranoid audit: vertex {} holds {held:?} for {dir:?} hub rank {} but \
+                 the edge {}->{} (w {w}) reaches it at {cand}, and no higher-ranked \
+                 hub covers that distance (best 2-hop probe: {probe})",
+                child.0,
+                e.rank,
+                parent.0,
+                child.0,
+            );
+        }
+    };
+    for ui in 0..topology.num_vertices() {
+        let u = VertexId(ui as u32);
+        for (t, w) in topology.neighbors(u) {
+            // Forward entries relax along the edge; backward entries
+            // against it (the head is the parent of the tail).
+            check(Direction::Forward, u, t, w);
+            check(Direction::Backward, t, u, w);
+        }
+    }
 }

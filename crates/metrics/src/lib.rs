@@ -3,6 +3,8 @@
 //! monitoring and sliding windows for plots), summary statistics, and the
 //! table/CSV emitters the experiment binaries print paper-style rows with.
 
+#![forbid(unsafe_code)]
+
 mod series;
 mod stats;
 mod table;

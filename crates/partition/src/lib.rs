@@ -17,6 +17,8 @@
 //! Q-cut itself lives in `qgraph-core` because it operates on query scopes,
 //! not the raw graph.
 
+#![forbid(unsafe_code)]
+
 mod domain;
 mod hash;
 mod ldg;

@@ -17,6 +17,8 @@
 //! Everything is deterministic: the same seed and configuration produce an
 //! identical event trace, which the integration tests assert.
 
+#![forbid(unsafe_code)]
+
 mod clock;
 mod event;
 mod models;

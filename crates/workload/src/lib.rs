@@ -13,6 +13,8 @@
 //! and the hotspot query workload generator (SSSP / POI query streams in
 //! batches, with the disturbance phase used in Figure 5).
 
+#![forbid(unsafe_code)]
+
 mod arrivals;
 mod churn;
 mod points;

@@ -7,6 +7,8 @@
 //! cargo run -p qgraph-examples --bin edge_cut_vs_query_cut
 //! ```
 
+#![forbid(unsafe_code)]
+
 use qgraph_graph::{GraphBuilder, VertexId};
 use qgraph_metrics::Table;
 use qgraph_partition::{edge_cut, locality_fraction, query_cut, Partitioning, WorkerId};

@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release --bin evolving`
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;

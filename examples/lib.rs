@@ -1,3 +1,5 @@
 //! Runnable examples for the Q-Graph workspace; see the `[[bin]]` targets
 //! (`quickstart`, `route_planning`, `social_circles`, `poi_search`,
 //! `edge_cut_vs_query_cut`, `thread_qcut`).
+
+#![forbid(unsafe_code)]

@@ -7,6 +7,8 @@
 //! cargo run --release -p qgraph-examples --bin poi_search
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use qgraph_algo::{nearest_tagged, PoiProgram};

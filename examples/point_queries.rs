@@ -11,6 +11,8 @@
 //!
 //! Run with: `cargo run --release --bin point_queries`
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -6,6 +6,8 @@
 //! cargo run -p qgraph-examples --bin quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use qgraph_algo::SsspProgram;
 use qgraph_core::EngineBuilder;
 use qgraph_graph::{GraphBuilder, VertexId};

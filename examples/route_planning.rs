@@ -8,6 +8,8 @@
 //! cargo run --release -p qgraph-examples --bin route_planning
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use qgraph_algo::RoadProgram;

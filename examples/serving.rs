@@ -9,6 +9,8 @@
 //! cargo run -p qgraph-examples --bin serving
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;

@@ -8,6 +8,8 @@
 //! cargo run --release -p qgraph-examples --bin social_circles
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use qgraph_algo::{BfsProgram, PprProgram};

@@ -8,6 +8,8 @@
 //! cargo run -p qgraph-examples --bin thread_qcut
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use qgraph_algo::{dijkstra_to, SsspProgram};

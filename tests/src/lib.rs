@@ -4,6 +4,8 @@
 //! fixtures that several of them reuse (small deterministic worlds: a graph,
 //! a partitioning, and a query workload).
 
+#![forbid(unsafe_code)]
+
 use qgraph_graph::Graph;
 use qgraph_workload::{RoadNetworkConfig, RoadNetworkGenerator};
 

@@ -1,0 +1,121 @@
+//! Regression suite for the vector-clock happens-before auditor
+//! (`qgraph_core::hb`, behind the `check-hb` feature).
+//!
+//! Two directions of assurance:
+//! * **sensitivity** — reintroducing the PR-2 quiesce race through the
+//!   engine's test hook must trip the auditor (a barrier firing while a
+//!   dispatch is still in flight is exactly the bug the `inflight_ready`
+//!   count fixed);
+//! * **specificity** — ordinary serving, mutation, and repartition
+//!   schedules on both runtimes run to completion with the auditor live,
+//!   i.e. the instrumentation itself raises no false alarms.
+
+#![cfg(feature = "check-hb")]
+
+use qgraph_core::programs::ReachProgram;
+use qgraph_core::{EngineBuilder, MutationBatch, QcutConfig, SystemConfig};
+use qgraph_graph::VertexId;
+use qgraph_integration_tests::line_graph;
+use qgraph_partition::HashPartitioner;
+
+use qgraph_algo::SsspProgram;
+
+fn base_cfg() -> SystemConfig {
+    SystemConfig {
+        qcut: Some(QcutConfig::time_scaled(2000.0)),
+        max_parallel_queries: 4,
+        ..Default::default()
+    }
+}
+
+/// Reintroduce the quiesce race the `inflight_ready` count fixed: with
+/// the hook on, `is_quiescent` ignores scheduled-but-undelivered
+/// dispatches, so the stop-the-world mutation barrier opens its window
+/// while control messages are still in flight. The auditor must catch
+/// it (any `hb violation` panic counts — which token is caught mid-air
+/// depends on the control/compute cost ratio).
+#[test]
+#[should_panic(expected = "hb violation")]
+fn reintroduced_quiesce_race_is_caught() {
+    let g = line_graph(64);
+    let mut e = EngineBuilder::new(g)
+        .workers(3)
+        .partitioner(HashPartitioner::default())
+        .config(base_cfg())
+        .build_sim();
+    e.hb_test_reintroduce_quiesce_race();
+    // Long chain queries keep barrier-release dispatches (the ~25µs
+    // control-latency windows where a TaskReady is in flight but every
+    // worker looks idle) open for much of the run; mutations arriving
+    // every 23µs sweep across those windows until one barrier fires
+    // mid-dispatch.
+    for i in 0..4u32 {
+        e.submit_at(SsspProgram::new(VertexId(0), VertexId(63)), 2e-6 * i as f64);
+    }
+    for i in 0..60 {
+        let mut m = MutationBatch::new();
+        m.add_edge(0, 63, 9.0 + i as f32);
+        e.mutate_at(m, 20e-6 + 23e-6 * i as f64);
+    }
+    e.run();
+}
+
+/// The same schedule without the hook is a legal execution: the fixed
+/// barrier protocol produces a complete happens-before order and the
+/// auditor stays silent through mutations and repartitions.
+#[test]
+fn clean_sim_schedule_passes_the_auditor() {
+    let g = line_graph(64);
+    let mut e = EngineBuilder::new(g)
+        .workers(3)
+        .partitioner(HashPartitioner::default())
+        .config(base_cfg())
+        .build_sim();
+    for i in 0..4u32 {
+        e.submit_at(SsspProgram::new(VertexId(0), VertexId(63)), 2e-6 * i as f64);
+    }
+    for i in 0..60 {
+        let mut m = MutationBatch::new();
+        m.add_edge(0, 63, 9.0 + i as f32);
+        e.mutate_at(m, 20e-6 + 23e-6 * i as f64);
+    }
+    e.run();
+    let done = e
+        .report()
+        .outcomes
+        .iter()
+        .filter(|o| o.status == qgraph_core::OutcomeStatus::Completed)
+        .count();
+    assert_eq!(done, 4);
+    assert_eq!(e.report().mutations.len(), 60);
+}
+
+/// The thread runtime under the auditor: real channels, real threads,
+/// queries racing mutation barriers. Every channel edge is stamped, so
+/// an unexpected ordering would panic inside `run`.
+#[test]
+fn clean_thread_schedule_passes_the_auditor() {
+    let g = line_graph(64);
+    let mut e = EngineBuilder::new(g)
+        .workers(3)
+        .partitioner(HashPartitioner::default())
+        .config(base_cfg())
+        .build_threaded();
+    let mut sssp = Vec::new();
+    let mut reach = Vec::new();
+    for _ in 0..3 {
+        sssp.push(e.submit(SsspProgram::new(VertexId(0), VertexId(63))));
+        reach.push(e.submit(ReachProgram::new(VertexId(0))));
+    }
+    let mut m = MutationBatch::new();
+    m.add_edge(0, 63, 9.0);
+    e.mutate(m);
+    e.run();
+    for h in &sssp {
+        assert!(e.output(h).is_some(), "sssp finished under the auditor");
+    }
+    for h in &reach {
+        assert!(e.output(h).is_some(), "reach finished under the auditor");
+    }
+    assert_eq!(e.report().mutations.len(), 1);
+}

@@ -735,6 +735,29 @@ proptest! {
             "thread/rmchurn",
         );
     }
+
+    /// The paranoid audit mode rides the same removal-biased churn: after
+    /// the build and after every repair, the index recounts every witness
+    /// and re-verifies each entry's tightness and the labeling's cover
+    /// invariant from scratch (`IndexConfig::paranoid`). A drifting
+    /// witness count or a stale entry fails here even when the served
+    /// answers still happen to match.
+    #[test]
+    fn paranoid_audit_survives_removal_churn((n, plan) in arb_removal_churn()) {
+        let mut replay = Topology::new(ring_world(n));
+        let mut index = qgraph_index::LabelIndex::build(
+            &replay,
+            IndexConfig {
+                paranoid: true,
+                ..IndexConfig::default()
+            },
+        );
+        for ops in &plan {
+            let batch = churn_batch(&replay, n, ops);
+            let applied = replay.apply(&batch);
+            index.repair(&replay, &applied, applied.epoch);
+        }
+    }
 }
 
 proptest! {
