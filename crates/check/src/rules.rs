@@ -97,11 +97,17 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "thread-discipline",
-        summary: "std::thread outside the engine runtime / index morsel scopes",
+        summary: "std::thread outside the engine runtime / pool / index morsel scopes",
         scope: &[],
-        // runtime.rs owns the coordinator/worker threads; repair.rs
-        // owns the scoped morsel pools for index build/recount work.
-        exempt: &["crates/core/src/runtime.rs", "crates/index/src/repair.rs"],
+        // pool.rs owns the elastic compute-thread pool (the only place
+        // worker compute threads are born); runtime.rs owns the single
+        // coordinator thread; repair.rs owns the scoped morsel pools
+        // for index build/recount work.
+        exempt: &[
+            "crates/core/src/pool.rs",
+            "crates/core/src/runtime.rs",
+            "crates/index/src/repair.rs",
+        ],
         check: Check::ForbidSeqs(&[
             &[Pat::Id("thread"), Pat::P("::"), Pat::Id("spawn")],
             &[Pat::Id("thread"), Pat::P("::"), Pat::Id("scope")],

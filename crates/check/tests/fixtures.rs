@@ -76,6 +76,26 @@ fn thread_discipline_exempts_the_runtime() {
 }
 
 #[test]
+fn thread_discipline_exempts_the_pool() {
+    let findings = lint_source("crates/core/src/pool.rs", &fixture("thread_discipline.rs"));
+    assert!(
+        !findings.iter().any(|f| f.rule == "thread-discipline"),
+        "the elastic pool owns compute-thread spawning: {findings:?}"
+    );
+}
+
+#[test]
+fn thread_discipline_pool_exemption_is_file_precise() {
+    // The sanction covers pool.rs, not the rest of the core crate: a
+    // spawn smuggled into a sibling module must still be a finding.
+    assert_fires(
+        "thread-discipline",
+        "crates/core/src/sched.rs",
+        "thread_discipline.rs",
+    );
+}
+
+#[test]
 fn index_float_cmp_fires_on_fixture() {
     assert_fires(
         "index-float-cmp",
@@ -128,6 +148,17 @@ fn every_rule_has_a_fixture_test() {
         rules::RULES.len(),
         6,
         "rule added or removed — update the fixture suite to match"
+    );
+    // The thread-discipline sanction list is deliberate and small; a
+    // new exemption needs a fixture test like the pool's above.
+    let td = rules::RULES
+        .iter()
+        .find(|r| r.name == "thread-discipline")
+        .expect("thread-discipline rule present");
+    assert_eq!(
+        td.exempt.len(),
+        3,
+        "thread-discipline exemption added — wire a fixture test"
     );
 }
 

@@ -43,7 +43,7 @@ use crate::program::VertexProgram;
 use crate::query::{QueryHandle, QueryId, QueryOutcome};
 use crate::report::EngineReport;
 use crate::runtime::ThreadEngine;
-use crate::sched::AdmissionPolicy;
+use crate::sched::{AdmissionPolicy, DopPolicy};
 use crate::task::{QueryTask, TypedTask};
 
 /// The shared multi-query engine lifecycle: submit heterogeneous queries,
@@ -254,6 +254,26 @@ impl EngineBuilder {
         self
     }
 
+    /// Elastic pool width (shorthand for [`SystemConfig::pool_threads`]):
+    /// the number of compute threads drawing per-(query, partition)
+    /// tasks from the shared morsel pool. `0` (the default) matches the
+    /// partition count — the fixed-partition baseline's thread budget.
+    /// The simulated engine prices the same width as its cap on
+    /// concurrently executing tasks.
+    pub fn pool_threads(mut self, threads: usize) -> Self {
+        self.config.pool_threads = threads;
+        self
+    }
+
+    /// Per-query degree-of-parallelism policy (shorthand for
+    /// [`SystemConfig::dop`]): how many of a superstep's per-partition
+    /// tasks the coordinator dispatches concurrently per query. See
+    /// [`DopPolicy`].
+    pub fn dop(mut self, policy: DopPolicy) -> Self {
+        self.config.dop = policy;
+        self
+    }
+
     /// Bound the admission queue at `depth` waiting queries (shorthand
     /// for [`SystemConfig::max_queued`]): submissions arriving beyond it
     /// are rejected with a distinct [`crate::OutcomeStatus::Rejected`]
@@ -452,6 +472,30 @@ mod tests {
             b.config.admission,
             AdmissionPolicy::ProgramPriority(_)
         ));
+    }
+
+    #[test]
+    fn builder_threads_elastic_knobs_into_config() {
+        let b = EngineBuilder::new(line(8))
+            .workers(2)
+            .pool_threads(3)
+            .dop(DopPolicy::Fixed(2));
+        assert_eq!(b.config.pool_threads, 3);
+        assert_eq!(b.config.dop, DopPolicy::Fixed(2));
+        // Elastic knobs are structure-preserving: a narrow pool still
+        // computes identical outputs on both runtimes.
+        let mut sim = EngineBuilder::new(line(8))
+            .workers(4)
+            .pool_threads(1)
+            .dop(DopPolicy::Fixed(1))
+            .build_sim();
+        let mut threaded = EngineBuilder::new(line(8))
+            .workers(4)
+            .pool_threads(1)
+            .dop(DopPolicy::Fixed(1))
+            .build_threaded();
+        assert_eq!(mixed_drive(&mut sim), (5, 2));
+        assert_eq!(mixed_drive(&mut threaded), (5, 2));
     }
 
     #[test]

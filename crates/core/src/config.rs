@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::sched::AdmissionPolicy;
+use crate::sched::{AdmissionPolicy, DopPolicy};
 
 /// How query iterations are synchronized (paper §3.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -160,6 +160,19 @@ pub struct SystemConfig {
     /// available parallelism capped at 8, and sequential for small
     /// graphs. The built labels are identical for any thread count.
     pub index_build_threads: usize,
+    /// Compute threads in the elastic morsel pool (see [`crate::pool`]):
+    /// partitions keep state ownership while this many threads draw
+    /// per-(query, partition) tasks from the shared pool. `0` (the
+    /// default) matches the partition count — the fixed-partition
+    /// baseline's thread budget. Outputs and iteration counts are
+    /// identical for every width; only wall-clock scheduling changes.
+    /// The simulated engine prices the same width as a cap on
+    /// concurrently executing tasks.
+    pub pool_threads: usize,
+    /// Per-query degree-of-parallelism budgets chosen at admission (see
+    /// [`DopPolicy`]): how many of a superstep's per-partition tasks may
+    /// run concurrently. Structure-preserving for every budget.
+    pub dop: DopPolicy,
 }
 
 impl Default for SystemConfig {
@@ -176,6 +189,8 @@ impl Default for SystemConfig {
             compact_fraction: 0.25,
             max_queued: None,
             index_build_threads: 0,
+            pool_threads: 0,
+            dop: DopPolicy::Adaptive,
         }
     }
 }
@@ -221,6 +236,8 @@ mod tests {
         assert_eq!(s.compact_fraction, 0.25);
         assert!(s.max_queued.is_none(), "unbounded admission by default");
         assert_eq!(s.index_build_threads, 0, "index picks its own width");
+        assert_eq!(s.pool_threads, 0, "pool width follows partition count");
+        assert_eq!(s.dop, DopPolicy::Adaptive, "points narrow, analytics wide");
     }
 
     #[test]

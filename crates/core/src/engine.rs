@@ -105,6 +105,17 @@ struct QueryRun {
     remote_messages: u64,
     remote_messages_pre_combine: u64,
     remote_batches: u64,
+    /// Degree-of-parallelism budget ([`crate::DopPolicy::budget`], fixed
+    /// at admission): at most this many of a superstep's per-partition
+    /// tasks run concurrently.
+    dop: usize,
+    /// Involved workers of the current superstep whose dispatch is held
+    /// back by the DoP budget; released one per completing task.
+    deferred: VecDeque<usize>,
+    /// Per-(query, partition) compute tasks dispatched so far.
+    tasks: u64,
+    /// Max over supersteps of `min(dop, involved)`.
+    effective_dop: u32,
     // Per-superstep bookkeeping.
     remaining: usize,
     involved_cur: Vec<usize>,
@@ -130,6 +141,18 @@ pub struct SimEngine {
     partitioning: Partitioning,
     workers: Vec<Worker>,
     sched: Vec<WorkerSched>,
+    /// The simulated elastic pool's thread count
+    /// ([`SystemConfig::pool_threads`]; 0 = one per partition): a global
+    /// concurrency cap over the per-worker FIFO queues. With fewer
+    /// threads than partitions, a freed thread picks up *any* queued
+    /// partition — the work-conserving behavior the real pool exhibits.
+    pool_width: usize,
+    /// Worker tasks (compute or send) currently occupying pool threads.
+    pool_busy: usize,
+    /// Compute tasks completed (the sim's [`crate::PoolCounters::tasks`];
+    /// steals and idle waits are physical-pool phenomena and stay 0
+    /// here).
+    pool_tasks: u64,
     events: EventQueue<Event>,
     queries: Vec<QueryRun>,
     outputs: Vec<Option<Envelope>>,
@@ -231,6 +254,10 @@ impl SimEngine {
         let hb = Hb::new(k);
         hb.publish_topology(0, 0);
         hb.publish_partitioning(0);
+        let pool_width = match cfg.pool_threads {
+            0 => k,
+            n => n,
+        };
         SimEngine {
             hb,
             #[cfg(feature = "check-hb")]
@@ -249,6 +276,9 @@ impl SimEngine {
                     busy_until: SimTime::ZERO,
                 })
                 .collect(),
+            pool_width,
+            pool_busy: 0,
+            pool_tasks: 0,
             events: EventQueue::new(),
             queries: Vec::new(),
             outputs: Vec::new(),
@@ -339,6 +369,10 @@ impl SimEngine {
             remote_messages: 0,
             remote_messages_pre_combine: 0,
             remote_batches: 0,
+            dop: 1,
+            deferred: VecDeque::new(),
+            tasks: 0,
+            effective_dop: 0,
             remaining: 0,
             involved_cur: Vec::new(),
             compute_done_max: SimTime::ZERO,
@@ -422,6 +456,12 @@ impl SimEngine {
             }
         }
         self.report.finished_at_secs = self.events.now().as_secs_f64();
+        // Pool accounting for the sim: steals and idle-waits are physical
+        // phenomena of the real pool and stay 0 here; `tasks` counts the
+        // same per-(query, partition) units the thread runtime counts.
+        self.report.admission_policy = self.cfg.admission.label().to_string();
+        self.report.pool.threads = self.pool_width;
+        self.report.pool.tasks = self.pool_tasks;
         self.report
             .close_run(run_started.as_secs_f64(), self.report.finished_at_secs);
         &self.report
@@ -581,6 +621,8 @@ impl SimEngine {
                 remote_messages_pre_combine: 0,
                 remote_batches: 0,
                 scope_size: 0,
+                tasks: 0,
+                effective_dop: 0,
                 first_epoch: epoch,
                 last_epoch: epoch,
             };
@@ -596,11 +638,14 @@ impl SimEngine {
         };
         let involved: Vec<usize> = batches.iter().map(|(w, _)| *w).collect();
 
+        // Admission fixes the query's DoP budget for its whole lifetime.
+        let dop = self.cfg.dop.budget(task.as_ref(), self.pool_width).max(1);
         let run = &mut self.queries[q.index()];
         run.status = QueryStatus::Running;
         run.submitted_at = now;
         run.first_epoch = self.topology.epoch();
         run.last_done_raw = now;
+        run.dop = dop;
         self.in_flight += 1;
 
         if involved.is_empty() {
@@ -613,20 +658,27 @@ impl SimEngine {
         self.queries[q.index()].compute_done_max = SimTime::ZERO;
         self.queries[q.index()].msg_arrival_max = SimTime::ZERO;
         self.queries[q.index()].crossed = false;
+        self.queries[q.index()].tasks = involved.len() as u64;
+        self.queries[q.index()].effective_dop = involved.len().min(dop) as u32;
         if self.cfg.barrier_mode == BarrierMode::SharedGlobal {
             self.round_outstanding += 1;
         }
 
-        for (w, batch) in batches {
+        for (i, (w, batch)) in batches.into_iter().enumerate() {
             self.workers[w].deliver(task.as_ref(), q, batch);
             // Freeze at submission: superstep 0's input is exactly the
-            // initial message set.
+            // initial message set (deferred partitions included — BSP
+            // isolation is what makes budgeted execution output-identical).
             self.workers[w].freeze(q);
-            // executeQuery(q): controller → worker dispatch.
-            let at = now + self.cluster.control_cost_to_controller(w);
-            self.inflight_ready += 1;
-            self.hb.token_open(q.0, kind::READY);
-            self.events.schedule(at, Event::TaskReady { q, w });
+            if i < dop {
+                // executeQuery(q): controller → worker dispatch.
+                let at = now + self.cluster.control_cost_to_controller(w);
+                self.inflight_ready += 1;
+                self.hb.token_open(q.0, kind::READY);
+                self.events.schedule(at, Event::TaskReady { q, w });
+            } else {
+                self.queries[q.index()].deferred.push_back(w);
+            }
         }
     }
 
@@ -643,7 +695,9 @@ impl SimEngine {
     }
 
     fn try_start(&mut self, w: usize) {
-        if self.sched[w].running.is_some() {
+        // A partition runs at most one task at a time (actor model), and
+        // the elastic pool caps how many partitions compute at once.
+        if self.sched[w].running.is_some() || self.pool_busy >= self.pool_width {
             return;
         }
         let Some(q) = self.sched[w].queue.pop_front() else {
@@ -654,7 +708,21 @@ impl SimEngine {
         let cost = self.cluster.compute.superstep_cost(active, msgs);
         self.sched[w].running = Some(q);
         self.sched[w].busy_until = now + cost;
+        self.pool_busy += 1;
         self.events.schedule(now + cost, Event::TaskDone { q, w });
+    }
+
+    /// A pool thread freed up. The thread is not bound to the partition
+    /// it just ran, so scan every worker queue (index order — the sim's
+    /// deterministic stand-in for the physical pool's affinity-then-steal
+    /// scan) for the next startable task.
+    fn sweep_ready(&mut self) {
+        for w in 0..self.sched.len() {
+            if self.pool_busy >= self.pool_width {
+                return;
+            }
+            self.try_start(w);
+        }
     }
 
     fn on_task_done(&mut self, now: SimTime, q: QueryId, w: usize) {
@@ -700,18 +768,33 @@ impl SimEngine {
         run.crossed |= crossed;
         task.aggregate_combine(&mut run.agg_acc, &agg);
         run.remaining -= 1;
+        self.pool_tasks += 1;
+
+        // Elastic DoP: a finished task frees one unit of this query's
+        // budget — release the next deferred partition, priced as a fresh
+        // controller→worker dispatch. This runs even mid STOP-barrier
+        // drain: the superstep must complete before the engine can
+        // quiesce, exactly like the pre-frozen tasks already queued.
+        if let Some(w_next) = self.queries[q.index()].deferred.pop_front() {
+            let at = now + self.cluster.control_cost_to_controller(w_next);
+            self.inflight_ready += 1;
+            self.hb.token_open(q.0, kind::READY);
+            self.events.schedule(at, Event::TaskReady { q, w: w_next });
+        }
 
         if self.queries[q.index()].remaining == 0 {
             self.on_superstep_complete(now, q);
         }
         if crossed {
-            // Worker stays busy until the socket push completes.
+            // Worker stays busy until the socket push completes — the
+            // pool thread serializes, so it stays occupied too.
             self.sched[w].busy_until = sent_at;
             self.events.schedule(sent_at, Event::SendDone { w });
         } else {
             self.hb.token_close(q.0, kind::TASK);
             self.sched[w].running = None;
-            self.try_start(w);
+            self.pool_busy -= 1;
+            self.sweep_ready();
             self.maybe_quiesced(now);
         }
     }
@@ -722,7 +805,8 @@ impl SimEngine {
             self.hb.token_close(q.0, kind::TASK);
         }
         self.sched[w].running = None;
-        self.try_start(w);
+        self.pool_busy -= 1;
+        self.sweep_ready();
         self.maybe_quiesced(now);
     }
 
@@ -774,6 +858,10 @@ impl SimEngine {
     // ------------------------------------------------------------------
 
     fn on_superstep_complete(&mut self, now: SimTime, q: QueryId) {
+        debug_assert!(
+            self.queries[q.index()].deferred.is_empty(),
+            "superstep barrier with deferred tasks unreleased"
+        );
         let involved_next: Vec<usize> = (0..self.workers.len())
             .filter(|&w| self.workers[w].has_pending(q))
             .collect();
@@ -852,22 +940,31 @@ impl SimEngine {
             self.complete_query(now, q);
             return;
         }
-        {
+        let dop = {
             let run = &mut self.queries[q.index()];
             run.involved_cur = involved.clone();
             run.remaining = involved.len();
             run.compute_done_max = SimTime::ZERO;
             run.msg_arrival_max = SimTime::ZERO;
             run.crossed = false;
-        }
+            run.tasks += involved.len() as u64;
+            run.effective_dop = run.effective_dop.max(involved.len().min(run.dop) as u32);
+            run.dop
+        };
         if self.cfg.barrier_mode == BarrierMode::SharedGlobal {
             self.round_outstanding += 1;
         }
-        for w in involved {
+        for (i, w) in involved.into_iter().enumerate() {
             // All involved workers freeze at the same release instant: the
-            // superstep's input is sealed before any of them computes.
+            // superstep's input is sealed before any of them computes —
+            // including the partitions the DoP budget holds back, which is
+            // why deferred execution stays output-identical.
             self.workers[w].freeze(q);
-            self.on_task_ready(q, w);
+            if i < dop {
+                self.on_task_ready(q, w);
+            } else {
+                self.queries[q.index()].deferred.push_back(w);
+            }
         }
     }
 
@@ -908,6 +1005,8 @@ impl SimEngine {
             remote_messages_pre_combine: run.remote_messages_pre_combine,
             remote_batches: run.remote_batches,
             scope_size: scope.len() as u64,
+            tasks: run.tasks,
+            effective_dop: run.effective_dop,
             first_epoch: run.first_epoch,
             last_epoch: self.topology.epoch(),
         };

@@ -131,6 +131,12 @@ mod imp {
         held_part: Vec<u64>,
         tokens: Vec<Token>,
         window: Option<Window>,
+        /// Elastic-pool mutual exclusion: the acquire stack of the pool
+        /// thread currently executing each partition's command, `None`
+        /// when the partition is idle. Two concurrent acquires of one
+        /// partition are a lost hand-off edge — the actor model's
+        /// serialization guarantee would be broken.
+        pool_held: Vec<Option<Backtrace>>,
     }
 
     impl State {
@@ -190,6 +196,7 @@ mod imp {
                     held_part: vec![0; k],
                     tokens: Vec::new(),
                     window: None,
+                    pool_held: (0..k).map(|_| None).collect(),
                 })),
             }
         }
@@ -428,6 +435,39 @@ mod imp {
             );
         }
 
+        /// A pool thread takes partition `w`'s next command — the
+        /// elastic pool's task hand-off edge. The partitions stay
+        /// logical actors: their clocks are sound only if at most one
+        /// OS thread drives a partition at a time, so a second acquire
+        /// while one is held is flagged with both stacks.
+        pub fn pool_acquire(&self, w: usize) {
+            let mut s = self.lock();
+            if let Some(held) = &s.pool_held[w] {
+                panic!(
+                    "hb violation: partition {w} acquired by two pool \
+                     threads at once (the elastic pool lost its \
+                     mutual-exclusion hand-off edge)\n\
+                     --- first acquire stack ---\n{held}\n\
+                     --- second acquire stack ---\n{}",
+                    Backtrace::force_capture()
+                );
+            }
+            s.pool_held[w] = Some(Backtrace::force_capture());
+        }
+
+        /// The pool thread finished partition `w`'s command — the task
+        /// completion edge closing [`Hb::pool_acquire`].
+        pub fn pool_release(&self, w: usize) {
+            let mut s = self.lock();
+            if s.pool_held[w].take().is_none() {
+                panic!(
+                    "hb violation: partition {w} released without a \
+                     matching pool acquire\n--- current stack ---\n{}",
+                    Backtrace::force_capture()
+                );
+            }
+        }
+
         /// Worker `w` sends a response up the shared channel.
         pub fn worker_send(&self, w: usize) {
             let mut s = self.lock();
@@ -488,6 +528,10 @@ mod imp {
         #[inline(always)]
         pub fn send_collect(&self, _q: u32, _w: usize) {}
         #[inline(always)]
+        pub fn pool_acquire(&self, _w: usize) {}
+        #[inline(always)]
+        pub fn pool_release(&self, _w: usize) {}
+        #[inline(always)]
         pub fn worker_recv(&self, _w: usize) {}
         #[inline(always)]
         pub fn worker_step(&self, _w: usize) {}
@@ -512,9 +556,11 @@ mod tests {
         hb.spawn_worker(0);
         hb.spawn_worker(1);
         hb.send_step(7, 0);
+        hb.pool_acquire(0);
         hb.worker_recv(0);
         hb.worker_step(0);
         hb.worker_send(0);
+        hb.pool_release(0);
         hb.coord_recv();
         hb.token_close(7, kind::STEP);
         hb.quiesce_begin();
@@ -539,6 +585,30 @@ mod tests {
         let hb = Hb::new(1);
         hb.token_open(3, kind::TASK);
         hb.quiesce_begin();
+    }
+
+    #[test]
+    #[should_panic(expected = "acquired by two pool threads")]
+    fn concurrent_partition_acquire_is_flagged() {
+        let hb = Hb::new(2);
+        hb.pool_acquire(1);
+        hb.pool_acquire(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching pool acquire")]
+    fn unmatched_pool_release_is_flagged() {
+        let hb = Hb::new(1);
+        hb.pool_release(0);
+    }
+
+    #[test]
+    fn sequential_partition_reuse_is_clean() {
+        let hb = Hb::new(2);
+        hb.pool_acquire(0);
+        hb.pool_release(0);
+        hb.pool_acquire(0);
+        hb.pool_release(0);
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod controller;
 pub mod engine;
 pub mod hb;
 pub mod index_plane;
+pub mod pool;
 pub mod program;
 pub mod programs;
 pub mod qcut;
@@ -76,11 +77,14 @@ pub use api::{Engine, EngineBuilder};
 pub use config::{BarrierMode, QcutConfig, SystemConfig};
 pub use engine::SimEngine;
 pub use index_plane::{IndexRepairEvent, PointAnswer, PointIndex, PointQuery, RepairSummary};
+pub use pool::PoolStats;
 pub use program::{Context, VertexProgram};
 pub use query::{OutcomeStatus, QueryHandle, QueryId, QueryOutcome, ServedBy};
-pub use report::{EngineReport, MutationEvent, Percentiles, ProgramSummary, RunSummary};
+pub use report::{
+    EngineReport, MutationEvent, Percentiles, PoolCounters, ProgramSummary, RunSummary, SloReport,
+};
 pub use runtime::{EngineClient, ThreadEngine};
-pub use sched::{AdmissionPolicy, Submission};
+pub use sched::{AdmissionPolicy, DopPolicy, Submission};
 
 // The mutation plane's graph-side vocabulary, re-exported so engine users
 // build batches without a separate qgraph-graph import.

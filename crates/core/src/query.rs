@@ -158,6 +158,15 @@ pub struct QueryOutcome {
     pub remote_batches: u64,
     /// Total vertices this query activated (its global scope |GS(q)|).
     pub scope_size: u64,
+    /// Per-(query, partition) compute tasks the elastic pool executed
+    /// for this query: `Σ` over supersteps of the involved-partition
+    /// count. Zero for index-served and rejected submissions.
+    pub tasks: u64,
+    /// The query's *effective* degree of parallelism: the max over its
+    /// supersteps of `min(DoP budget, involved partitions)` — what the
+    /// admission policy's budget actually bought it. Zero when no
+    /// superstep ran (index-served, rejected).
+    pub effective_dop: u32,
     /// The graph epoch the query was admitted under (see the mutation
     /// plane: each applied `MutationBatch` bumps the engine's epoch).
     pub first_epoch: u64,
@@ -188,6 +197,8 @@ impl QueryOutcome {
             remote_messages_pre_combine: 0,
             remote_batches: 0,
             scope_size: 0,
+            tasks: 0,
+            effective_dop: 0,
             first_epoch: epoch,
             last_epoch: epoch,
         }
@@ -265,6 +276,8 @@ mod tests {
             remote_messages_pre_combine: 3,
             remote_batches: 2,
             scope_size: 5,
+            tasks: 6,
+            effective_dop: 2,
             first_epoch: 0,
             last_epoch: 0,
         }

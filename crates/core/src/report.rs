@@ -89,6 +89,27 @@ pub struct RunSummary {
     pub repartitions_end: usize,
 }
 
+/// Elastic-pool execution counters over the engine's lifetime (see
+/// [`crate::pool`]): how many per-(query, partition) compute tasks ran,
+/// how elastically, and how starved the pool was. The thread runtime
+/// reports measured values; the simulated engine reports the same task
+/// decomposition it priced (steals and idle waits stay zero there — the
+/// virtual clock has no thread affinity to violate).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Pool threads serving the partitions (the effective width:
+    /// `SystemConfig::pool_threads`, or the partition count when 0).
+    pub threads: usize,
+    /// Commands the pool executed (Deliver/Freeze/Step/Collect/...). The
+    /// sim counts the compute tasks it priced.
+    pub tasks: u64,
+    /// Tasks a thread executed off its affine partition (thread runtime
+    /// only).
+    pub steals: u64,
+    /// Fruitless scans that parked a pool thread (thread runtime only).
+    pub idle_waits: u64,
+}
+
 /// Everything measured over an engine's lifetime (cumulative across
 /// `run()` calls / serving drains; see [`EngineReport::runs`] for the
 /// per-run boundaries).
@@ -109,6 +130,12 @@ pub struct EngineReport {
     pub runs: Vec<RunSummary>,
     /// Virtual time at which the last query finished.
     pub finished_at_secs: f64,
+    /// Elastic-pool execution counters (cumulative).
+    pub pool: PoolCounters,
+    /// The admission policy the engine served under (see
+    /// [`crate::sched::AdmissionPolicy::label`]) — the grouping key of
+    /// [`EngineReport::slo`]. Empty on a hand-built report.
+    pub admission_policy: String,
 }
 
 impl EngineReport {
@@ -354,6 +381,22 @@ impl EngineReport {
             .collect()
     }
 
+    /// The serving-quality (SLO) view of this report: p50/p95/p99
+    /// time-in-system and queueing delay under the engine's admission
+    /// policy, overall and broken out per program kind. This is the
+    /// per-policy latency percentile reporting the serving loop promises:
+    /// run one engine per candidate policy over the same arrival stream
+    /// and compare their `slo()` tails directly.
+    pub fn slo(&self) -> SloReport {
+        SloReport {
+            policy: self.admission_policy.clone(),
+            completed: self.completed().count(),
+            time_in_system: self.time_in_system_percentiles(),
+            queueing_delay: self.queueing_delay_percentiles(),
+            per_program: self.per_program(),
+        }
+    }
+
     /// Render [`EngineReport::per_program`] as a result table.
     pub fn program_table(&self) -> Table {
         let mut table = Table::new(
@@ -425,6 +468,26 @@ impl Percentiles {
     }
 }
 
+/// One engine run's serving-quality summary: latency-tail percentiles
+/// keyed by the admission policy that produced them, with the
+/// per-program-kind breakdown riding along (each
+/// [`ProgramSummary`] carries its own queueing/time-in-system
+/// percentiles). Produced by [`EngineReport::slo`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloReport {
+    /// The admission policy label
+    /// ([`crate::sched::AdmissionPolicy::label`]).
+    pub policy: String,
+    /// Completed (non-rejected) queries backing the percentiles.
+    pub completed: usize,
+    /// p50/p95/p99 of arrival→completion over every completed query.
+    pub time_in_system: Percentiles,
+    /// p50/p95/p99 of arrival→admission over every completed query.
+    pub queueing_delay: Percentiles,
+    /// The same tails per program kind.
+    pub per_program: Vec<ProgramSummary>,
+}
+
 /// Aggregated outcomes of all queries sharing one program kind.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ProgramSummary {
@@ -483,6 +546,8 @@ mod tests {
             remote_messages_pre_combine: 5,
             remote_batches: 2,
             scope_size: 1,
+            tasks: 2,
+            effective_dop: 1,
             first_epoch: 0,
             last_epoch: 0,
         }
@@ -590,6 +655,39 @@ mod tests {
         };
         assert_eq!(r.mean_queueing_delay(), 0.5);
         assert_eq!(r.mean_time_in_system(), 2.5);
+    }
+
+    #[test]
+    fn slo_report_groups_tails_by_policy_and_program() {
+        let mut a = outcome(0, 2, 1, 2); // 2 s in system
+        a.program = "sssp";
+        let mut b = outcome(1, 5, 4, 4); // 4 s in system
+        b.program = "poi";
+        let r = EngineReport {
+            outcomes: vec![a, b],
+            admission_policy: "fifo".to_string(),
+            ..Default::default()
+        };
+        let slo = r.slo();
+        assert_eq!(slo.policy, "fifo");
+        assert_eq!(slo.completed, 2);
+        assert_eq!(slo.time_in_system.p50, 2.0);
+        assert_eq!(slo.time_in_system.p99, 4.0);
+        assert!(slo.time_in_system.p50 <= slo.time_in_system.p95);
+        assert!(slo.time_in_system.p95 <= slo.time_in_system.p99);
+        assert_eq!(slo.per_program.len(), 2);
+        assert_eq!(slo.per_program[0].program, "sssp");
+        assert_eq!(slo.per_program[0].time_in_system.p99, 2.0);
+        assert_eq!(slo.per_program[1].time_in_system.p99, 4.0);
+    }
+
+    #[test]
+    fn pool_counters_default_to_zero() {
+        let r = EngineReport::default();
+        assert_eq!(r.pool, PoolCounters::default());
+        assert_eq!(r.pool.tasks, 0);
+        assert!(r.admission_policy.is_empty());
+        assert_eq!(r.slo().completed, 0);
     }
 
     #[test]

@@ -7,6 +7,28 @@
 //! integration tests use it to cross-validate the simulator: both runtimes
 //! must produce identical query outputs.
 //!
+//! ## Morsel-style elastic execution
+//!
+//! Partitions are *logical actors*, not threads. Each partition's state —
+//! vertex values, inboxes, Q-cut scope — lives in a [`WorkerCtx`], and
+//! every protocol command for a partition becomes one task in a shared
+//! [`TaskPool`] drawn by [`SystemConfig::pool_threads`] OS threads
+//! (default: one per partition, the fixed-partition baseline). The pool
+//! serializes tasks per partition, so partition ownership still governs
+//! *state placement* exactly as before, while *compute* is elastic: one
+//! thread can drain many partitions, and many threads can race through
+//! one query's superstep.
+//!
+//! Per-query parallelism is budgeted at admission: [`crate::DopPolicy`]
+//! (configured via [`crate::EngineBuilder::dop`]) assigns each query a
+//! degree-of-parallelism budget, and the coordinator releases at most
+//! that many of a superstep's per-partition tasks concurrently, deferring
+//! the rest until earlier tasks of the *same* superstep complete. Because
+//! involved inboxes freeze at barrier release (`Cmd::Freeze`, broadcast
+//! before any `Cmd::Step` of the superstep is dispatched), deferral never
+//! changes what a task reads — outputs and iteration counts are identical
+//! across every pool width and budget.
+//!
 //! ## Streaming submission and the serving loop
 //!
 //! The engine is *long-lived*: [`ThreadEngine::start`] spawns the worker
@@ -73,8 +95,9 @@
 //! into the admission queue / waiter list without disturbing the barrier
 //! protocol.
 
+use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
 use std::time::Instant;
 
@@ -88,10 +111,11 @@ use crate::config::SystemConfig;
 use crate::controller::{apply_mutation_epochs, Controller};
 use crate::hb::{kind, Hb};
 use crate::index_plane::{IndexRepairEvent, PointIndex};
+use crate::pool::TaskPool;
 use crate::program::VertexProgram;
 use crate::qcut::{migrate, run_qcut, IlsResult, Migration};
 use crate::query::{OutcomeStatus, QueryHandle, QueryId, QueryOutcome, ServedBy};
-use crate::report::{ActivitySample, EngineReport, MutationEvent, RepartitionEvent};
+use crate::report::{ActivitySample, EngineReport, MutationEvent, PoolCounters, RepartitionEvent};
 use crate::sched::Scheduler;
 use crate::task::{Envelope, MessageBatch, QueryTask, TypedTask};
 use crate::worker::{LocalState, Worker};
@@ -114,20 +138,18 @@ fn reg_write(tasks: &TaskRegistry) -> std::sync::RwLockWriteGuard<'_, Vec<Arc<dy
     tasks.write().unwrap_or_else(|p| p.into_inner())
 }
 
-/// Send a command to worker `w`. Workers never exit before
-/// `Cmd::Shutdown`, so a dead receiver means the worker thread
-/// panicked: tear the session down loudly, with worker attribution,
-/// rather than dropping a protocol step and deadlocking the barrier.
-fn send_cmd(cmd_txs: &[Sender<Cmd>], w: usize, cmd: Cmd) {
-    if cmd_txs[w].send(cmd).is_err() {
-        panic!("worker {w} hung up mid-serve (worker thread panicked)");
-    }
-}
-
 enum Cmd {
     Deliver {
         q: QueryId,
         batch: MessageBatch,
+    },
+    /// Seal query `q`'s inbox on this worker: the pending messages become
+    /// the next superstep's input. Broadcast to *every* involved worker at
+    /// barrier release, before any of the superstep's `Step` tasks run —
+    /// the BSP isolation edge that makes DoP-deferred execution
+    /// output-identical to the all-at-once baseline.
+    Freeze {
+        q: QueryId,
     },
     Step {
         q: QueryId,
@@ -155,7 +177,6 @@ enum Cmd {
     SetTopology(Arc<Topology>),
     /// Report the queries with pending messages here (barrier resume).
     PendingReport,
-    Shutdown,
 }
 
 enum Resp {
@@ -235,6 +256,10 @@ struct Snapshot {
     finished_at_secs: f64,
     partitioning: Partitioning,
     topology: Topology,
+    /// Cumulative pool counters (overwritten, not appended — the
+    /// coordinator folds the previous sessions' totals in).
+    pool: PoolCounters,
+    admission_policy: String,
 }
 
 /// How much of the coordinator's report the engine has already seen
@@ -280,6 +305,18 @@ struct CoordinatorExit {
 struct QueryTracking {
     task: Arc<dyn QueryTask>,
     outstanding: usize,
+    /// The query's degree-of-parallelism budget
+    /// ([`crate::DopPolicy::budget`], fixed at admission): at most this
+    /// many of a superstep's per-partition tasks run concurrently.
+    dop: usize,
+    /// Involved workers of the current superstep whose `Step` is held
+    /// back by the DoP budget; released one per completing task.
+    deferred: VecDeque<usize>,
+    /// Per-(query, partition) compute tasks released so far.
+    tasks: u64,
+    /// Max over supersteps of `min(dop, involved)` — the parallelism the
+    /// budget actually bought.
+    effective_dop: u32,
     /// Workers computing the current superstep (for the locality metric).
     involved_cur: usize,
     /// Any message of the current superstep crossed a worker boundary
@@ -508,6 +545,9 @@ pub struct ThreadEngine {
     index: Option<Box<dyn PointIndex>>,
     report: EngineReport,
     serving: Option<Serving>,
+    /// Test hook: see [`ThreadEngine::hb_test_reintroduce_quiesce_race`].
+    #[cfg(feature = "check-hb")]
+    hb_test_early_quiesce: bool,
 }
 
 impl ThreadEngine {
@@ -539,7 +579,25 @@ impl ThreadEngine {
             index: None,
             report: EngineReport::default(),
             serving: None,
+            #[cfg(feature = "check-hb")]
+            hb_test_early_quiesce: false,
         }
+    }
+
+    /// Test-only hook: re-introduce the historical bug where the
+    /// stop-the-world barrier opened its quiesce window while one
+    /// Step/Collect was still outstanding (the coordinator treats a
+    /// single in-flight op as "quiescent"). The `check-hb` auditor must
+    /// flag that dispatch-inside-quiesce race deterministically; the
+    /// regression test in `tests/` keeps it that way.
+    #[cfg(feature = "check-hb")]
+    #[doc(hidden)]
+    pub fn hb_test_reintroduce_quiesce_race(&mut self) {
+        assert!(
+            self.serving.is_none(),
+            "set the quiesce-race hook before the engine starts serving"
+        );
+        self.hb_test_early_quiesce = true;
     }
 
     /// Install (or replace) a point-query label index. While serving it is
@@ -636,9 +694,9 @@ impl ThreadEngine {
         q
     }
 
-    /// Start serving: spawn the worker threads and the coordinator thread
-    /// owning the drive loop. Idempotent. Queries submitted before this
-    /// call are forwarded in submission order.
+    /// Start serving: spawn the elastic pool threads and the coordinator
+    /// thread owning the drive loop. Idempotent. Queries submitted before
+    /// this call are forwarded in submission order.
     pub fn start(&mut self) {
         if self.serving.is_some() {
             return;
@@ -647,39 +705,41 @@ impl ThreadEngine {
         let (msg_tx, msg_rx) = channel::<CoordMsg>();
         let (done_tx, done_rx) = channel::<Completion>();
         let shared_parts = Arc::new(self.partitioning.clone());
-        let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(k);
-        let mut worker_handles = Vec::with_capacity(k);
         let combiners = self.cfg.combiners;
         let batch_max = self.cfg.batch_max_msgs;
         let shared_topology = Arc::new(self.topology.clone());
         // The initial topology and assignment are published before any
-        // worker can read them; each spawn hands the worker both Arcs.
+        // worker can read them; each context starts from both Arcs.
         let hb = Hb::new(k);
         hb.publish_topology(0, self.topology.epoch());
         hb.publish_partitioning(0);
-        for w in 0..k {
-            let (tx, rx) = channel::<Cmd>();
-            cmd_txs.push(tx);
-            let topology = Arc::clone(&shared_topology);
-            let partitioning = Arc::clone(&shared_parts);
-            let registry = Arc::clone(&self.tasks);
-            let resp = msg_tx.clone();
-            hb.spawn_worker(w);
-            let worker_hb = hb.clone();
-            worker_handles.push(thread::spawn(move || {
-                worker_loop(
-                    w,
-                    combiners,
-                    batch_max,
-                    topology,
-                    partitioning,
-                    registry,
-                    rx,
-                    resp,
-                    worker_hb,
-                );
-            }));
-        }
+        // Partition state stays partition-owned: one context per logical
+        // worker, taken by whichever pool thread draws that partition's
+        // next command. The pool serializes per partition, so the lock is
+        // never contended — it only moves the state between pool threads.
+        let ctxs: Arc<Vec<Mutex<WorkerCtx>>> = Arc::new(
+            (0..k)
+                .map(|w| {
+                    hb.spawn_worker(w);
+                    Mutex::new(WorkerCtx {
+                        worker: Worker::configured(w, combiners, batch_max),
+                        topology: Arc::clone(&shared_topology),
+                        partitioning: Arc::clone(&shared_parts),
+                    })
+                })
+                .collect(),
+        );
+        let registry = Arc::clone(&self.tasks);
+        let resp = msg_tx.clone();
+        let worker_hb = hb.clone();
+        // 0 = the fixed-partition baseline: one thread per partition.
+        let pool_threads = match self.cfg.pool_threads {
+            0 => k,
+            n => n,
+        };
+        let pool = TaskPool::new(k, pool_threads, move |w, cmd| {
+            handle_cmd(w, cmd, &ctxs, &registry, &resp, &worker_hb);
+        });
 
         let Some(controller) = self.controller.take() else {
             unreachable!("controller is present whenever the engine is not serving");
@@ -695,9 +755,10 @@ impl ThreadEngine {
             // keeps its identical copy and appends drain deltas to it.
             report: self.report.clone(),
             hb,
+            #[cfg(feature = "check-hb")]
+            hb_test_early_quiesce: self.hb_test_early_quiesce,
         };
-        let handle =
-            thread::spawn(move || coordinator.serve(cmd_txs, msg_rx, worker_handles, done_tx));
+        let handle = thread::spawn(move || coordinator.serve(pool, msg_rx, done_tx));
 
         for op in std::mem::take(&mut self.pre_ops) {
             let _ = msg_tx.send(match op {
@@ -763,6 +824,8 @@ impl ThreadEngine {
         self.report.index_repairs.extend(snapshot.new_index_repairs);
         self.report.runs.extend(snapshot.new_runs);
         self.report.finished_at_secs = snapshot.finished_at_secs;
+        self.report.pool = snapshot.pool;
+        self.report.admission_policy = snapshot.admission_policy;
         self.partitioning = snapshot.partitioning;
         self.topology = snapshot.topology;
         self.sync_outputs();
@@ -912,16 +975,18 @@ struct Coordinator {
     /// command/response channel edges, quiesce windows, and
     /// topology/partitioning publications of the serve protocol.
     hb: Hb,
+    /// Test hook: see [`ThreadEngine::hb_test_reintroduce_quiesce_race`].
+    #[cfg(feature = "check-hb")]
+    hb_test_early_quiesce: bool,
 }
 
 impl Coordinator {
     /// The serving loop: runs until [`CoordMsg::Shutdown`], then stops the
-    /// workers and returns the final state.
+    /// pool and returns the final state.
     fn serve(
         mut self,
-        cmd_txs: Vec<Sender<Cmd>>,
+        pool: TaskPool<Cmd>,
         msg_rx: Receiver<CoordMsg>,
-        worker_handles: Vec<thread::JoinHandle<()>>,
         done_tx: Sender<Completion>,
     ) -> CoordinatorExit {
         // One monotonic time base across serve sessions: this session's
@@ -931,7 +996,19 @@ impl Coordinator {
             base: self.report.finished_at_secs,
             started: Instant::now(),
         };
-        let k = cmd_txs.len();
+        let k = self.partitioning.num_workers();
+        self.report.admission_policy = self.cfg.admission.label().to_string();
+        // Pool counters accumulate across serve sessions: this session's
+        // `TaskPool` starts its own stats at zero, so fold in the totals
+        // the report carried into the session.
+        let pool_base = self.report.pool;
+        let mut pool_tasks: u64 = pool_base.tasks;
+        // The hook widens "quiescent" to one still-open op — exactly the
+        // race the hb auditor exists to catch (see the regression test).
+        #[cfg(feature = "check-hb")]
+        let quiesce_at: usize = usize::from(self.hb_test_early_quiesce);
+        #[cfg(not(feature = "check-hb"))]
+        let quiesce_at: usize = 0;
         let tasks = Arc::clone(&self.tasks);
         let mut cs = ClientState {
             scheduler: Scheduler::bounded(self.cfg.admission.clone(), self.cfg.max_queued),
@@ -979,26 +1056,53 @@ impl Coordinator {
             }};
         }
 
+        // Refresh the report's cumulative pool counters from the live
+        // pool (called at every drain ack and at teardown, so snapshots
+        // and the exit value always carry current totals).
+        macro_rules! sync_pool_counters {
+            () => {{
+                let ps = pool.stats();
+                self.report.pool = PoolCounters {
+                    threads: pool.width(),
+                    tasks: pool_tasks,
+                    steals: pool_base.steals + ps.steals,
+                    idle_waits: pool_base.idle_waits + ps.idle_waits,
+                };
+            }};
+        }
+
         // Release query `$t`'s next superstep to the given involved
         // workers — one dispatch path shared by the normal barrier release
         // and the post-repartition resume, so their bookkeeping cannot
-        // diverge.
+        // diverge. Freezes *every* involved inbox first, then dispatches
+        // up to the query's DoP budget of Steps, deferring the rest: a
+        // deferred partition's input is already sealed, so nothing an
+        // earlier task of this superstep produces can leak into it.
         macro_rules! dispatch_step {
             ($q:expr, $t:expr, $next:expr) => {{
                 let next: Vec<usize> = $next;
                 $t.involved_cur = next.len();
-                for w in next {
-                    self.hb.send_step($q.0, w);
-                    send_cmd(
-                        &cmd_txs,
-                        w,
-                        Cmd::Step {
-                            q: $q,
-                            prev_agg: $t.task.clone_aggregate(&$t.agg_prev),
-                        },
-                    );
-                    $t.outstanding += 1;
-                    inflight_ops += 1;
+                $t.tasks += next.len() as u64;
+                $t.effective_dop = $t.effective_dop.max(next.len().min($t.dop) as u32);
+                for &w in &next {
+                    self.hb.send_cmd(w);
+                    pool.push(w, Cmd::Freeze { q: $q });
+                }
+                for (i, w) in next.into_iter().enumerate() {
+                    if i < $t.dop {
+                        self.hb.send_step($q.0, w);
+                        pool.push(
+                            w,
+                            Cmd::Step {
+                                q: $q,
+                                prev_agg: $t.task.clone_aggregate(&$t.agg_prev),
+                            },
+                        );
+                        $t.outstanding += 1;
+                        inflight_ops += 1;
+                    } else {
+                        $t.deferred.push_back(w);
+                    }
                 }
             }};
         }
@@ -1039,6 +1143,8 @@ impl Coordinator {
                         remote_messages_pre_combine: 0,
                         remote_batches: 0,
                         scope_size: 0,
+                        tasks: 0,
+                        effective_dop: 0,
                         first_epoch: self.topology.epoch(),
                         last_epoch: self.topology.epoch(),
                     });
@@ -1076,17 +1182,28 @@ impl Coordinator {
                             remote_messages_pre_combine: 0,
                             remote_batches: 0,
                             scope_size: 0,
+                            tasks: 0,
+                            effective_dop: 0,
                             first_epoch: self.topology.epoch(),
                             last_epoch: self.topology.epoch(),
                         });
                         false
                     } else {
+                        // The DoP budget is fixed at admission: point-
+                        // shaped programs stay serial, analytics fan out
+                        // to the policy's width (see `DopPolicy`).
+                        let dop = self.cfg.dop.budget(task.as_ref(), pool.width()).max(1);
+                        let involved = batches.len();
                         let mut t = QueryTracking {
                             agg_acc: task.aggregate_identity(),
                             agg_prev: task.aggregate_identity(),
                             task: Arc::clone(&task),
                             outstanding: 0,
-                            involved_cur: batches.len(),
+                            dop,
+                            deferred: VecDeque::new(),
+                            tasks: involved as u64,
+                            effective_dop: involved.min(dop) as u32,
+                            involved_cur: involved,
                             crossed: false,
                             next_involved: FxHashSet::default(),
                             touched: FxHashSet::default(),
@@ -1104,6 +1221,7 @@ impl Coordinator {
                             started_at: clock.now(),
                             first_epoch: self.topology.epoch(),
                         };
+                        let mut ws: Vec<usize> = Vec::with_capacity(involved);
                         for (w, batch) in batches {
                             t.touched.insert(w);
                             // Chunk at the wire cap: one bounded envelope
@@ -1111,11 +1229,18 @@ impl Coordinator {
                             // batching, matching the accounting).
                             for chunk in task.split_batch(batch, batch_cap) {
                                 self.hb.send_cmd(w);
-                                send_cmd(&cmd_txs, w, Cmd::Deliver { q, batch: chunk });
+                                pool.push(w, Cmd::Deliver { q, batch: chunk });
                             }
+                            // Seal the first superstep's input on every
+                            // involved worker before any Step runs (the
+                            // same release-time freeze as dispatch_step!).
+                            self.hb.send_cmd(w);
+                            pool.push(w, Cmd::Freeze { q });
+                            ws.push(w);
+                        }
+                        for &w in ws.iter().take(dop) {
                             self.hb.send_step(q.0, w);
-                            send_cmd(
-                                &cmd_txs,
+                            pool.push(
                                 w,
                                 Cmd::Step {
                                     q,
@@ -1125,6 +1250,7 @@ impl Coordinator {
                             t.outstanding += 1;
                             inflight_ops += 1;
                         }
+                        t.deferred.extend(ws.iter().skip(dop).copied());
                         tracking.insert(q, t);
                         true
                     }
@@ -1176,7 +1302,7 @@ impl Coordinator {
             // then parked or collected). One barrier serves both: a
             // mutation landing while a repartition is pending costs no
             // extra quiesce.
-            if (repart_pending || !cs.mutations.is_empty()) && inflight_ops == 0 {
+            if (repart_pending || !cs.mutations.is_empty()) && inflight_ops <= quiesce_at {
                 let entered_at = clock.now().as_secs_f64();
                 // The quiesce window opens only once every Step/Collect
                 // token is closed — the auditor holds us to exactly that.
@@ -1209,15 +1335,15 @@ impl Coordinator {
                     let parts = Arc::new(self.partitioning.clone());
                     for w in 0..k {
                         self.hb.send_topology(w, self.topology.epoch());
-                        send_cmd(&cmd_txs, w, Cmd::SetTopology(Arc::clone(&topo)));
+                        pool.push(w, Cmd::SetTopology(Arc::clone(&topo)));
                         self.hb.send_partitioning(w, pv);
-                        send_cmd(&cmd_txs, w, Cmd::SetPartitioning(Arc::clone(&parts)));
+                        pool.push(w, Cmd::SetPartitioning(Arc::clone(&parts)));
                     }
                 }
 
                 // Phase 2: the Q-cut repartition, under the same barrier.
                 let outcome = if repart_pending {
-                    self.qcut_barrier(&mut tracking, &cmd_txs, &msg_rx, &mut cs, &clock)
+                    self.qcut_barrier(&mut tracking, &pool, &msg_rx, &mut cs, &clock)
                 } else {
                     None
                 };
@@ -1244,7 +1370,7 @@ impl Coordinator {
                     // workers' post-migration pending reports.
                     for w in 0..k {
                         self.hb.send_cmd(w);
-                        send_cmd(&cmd_txs, w, Cmd::PendingReport);
+                        pool.push(w, Cmd::PendingReport);
                     }
                     let mut pending_on: FxHashMap<QueryId, Vec<usize>> = FxHashMap::default();
                     for _ in 0..k {
@@ -1289,7 +1415,7 @@ impl Coordinator {
                         t.collecting = t.touched.len();
                         for &w in &t.touched {
                             self.hb.send_collect(q.0, w);
-                            send_cmd(&cmd_txs, w, Cmd::Collect { q });
+                            pool.push(w, Cmd::Collect { q });
                             inflight_ops += 1;
                         }
                         continue;
@@ -1317,6 +1443,7 @@ impl Coordinator {
                 self.report.close_run(run_started, end);
                 run_started = end;
                 reset_trigger_window!();
+                sync_pool_counters!();
                 for ack in cs.drain_waiters.drain(..) {
                     // Only the delta past the engine's synced prefix; a
                     // second waiter in the same idle moment gets an empty
@@ -1332,6 +1459,8 @@ impl Coordinator {
                         finished_at_secs: self.report.finished_at_secs,
                         partitioning: self.partitioning.clone(),
                         topology: self.topology.clone(),
+                        pool: self.report.pool,
+                        admission_policy: self.report.admission_policy.clone(),
                     });
                     synced = SyncMarks::of(&self.report);
                 }
@@ -1373,6 +1502,7 @@ impl Coordinator {
                     worker,
                 } => {
                     inflight_ops -= 1;
+                    pool_tasks += 1;
                     self.hb.token_close(q.0, kind::STEP);
                     self.report.activity.push(ActivitySample {
                         t: clock.now().as_secs_f64(),
@@ -1385,6 +1515,23 @@ impl Coordinator {
                     // qlint: allow(no-unwrap-hot-loop) — protocol invariant, see above
                     let t = tracking.get_mut(&q).expect("tracked query");
                     t.outstanding -= 1;
+                    // Elastic DoP: a freed budget slot immediately
+                    // releases the next deferred task of the *same*
+                    // superstep — even mid stop-the-world drain, because
+                    // the superstep must complete before the query can
+                    // park at its barrier.
+                    if let Some(w_next) = t.deferred.pop_front() {
+                        self.hb.send_step(q.0, w_next);
+                        pool.push(
+                            w_next,
+                            Cmd::Step {
+                                q,
+                                prev_agg: t.task.clone_aggregate(&t.agg_prev),
+                            },
+                        );
+                        t.outstanding += 1;
+                        inflight_ops += 1;
+                    }
                     t.vertex_updates += executed as u64;
                     t.remote_messages += remote_sent;
                     t.remote_messages_pre_combine += remote_pre;
@@ -1402,10 +1549,14 @@ impl Coordinator {
                         // bounding per-envelope latency under bursts.
                         for chunk in t.task.split_batch(batch, batch_cap) {
                             self.hb.send_cmd(w2);
-                            send_cmd(&cmd_txs, w2, Cmd::Deliver { q, batch: chunk });
+                            pool.push(w2, Cmd::Deliver { q, batch: chunk });
                         }
                     }
                     if t.outstanding == 0 {
+                        debug_assert!(
+                            t.deferred.is_empty(),
+                            "superstep barrier with deferred tasks unreleased"
+                        );
                         t.iterations += 1;
                         t.window_iterations += 1;
                         supersteps_since += 1;
@@ -1430,7 +1581,7 @@ impl Coordinator {
                             t.collecting = t.touched.len();
                             for &w in &t.touched {
                                 self.hb.send_collect(q.0, w);
-                                send_cmd(&cmd_txs, w, Cmd::Collect { q });
+                                pool.push(w, Cmd::Collect { q });
                                 inflight_ops += 1;
                             }
                         } else if repart_pending || !cs.mutations.is_empty() {
@@ -1531,6 +1682,8 @@ impl Coordinator {
                             remote_messages_pre_combine: t.remote_messages_pre_combine,
                             remote_batches: t.remote_batches,
                             scope_size,
+                            tasks: t.tasks,
+                            effective_dop: t.effective_dop,
                             first_epoch: t.first_epoch,
                             last_epoch: self.topology.epoch(),
                         });
@@ -1544,19 +1697,11 @@ impl Coordinator {
             }
         }
 
-        // Teardown: stop the workers while the message channel is still
-        // open (a mid-step worker must be able to send its response), then
-        // close any trailing run window so every outcome has a home.
-        for (w, tx) in cmd_txs.iter().enumerate() {
-            self.hb.send_cmd(w);
-            let _ = tx.send(Cmd::Shutdown);
-        }
-        for h in worker_handles {
-            if let Err(payload) = h.join() {
-                // Propagate the worker's own panic payload.
-                std::panic::resume_unwind(payload);
-            }
-        }
+        // Teardown: drain and join the pool threads (propagating any pool
+        // thread's own panic payload), then close any trailing run window
+        // so every outcome has a home.
+        sync_pool_counters!();
+        pool.shutdown();
         let runs_before = self.report.runs.len();
         let end = clock.now().as_secs_f64();
         // `close_run` no-ops when nothing happened past the last boundary
@@ -1583,13 +1728,13 @@ impl Coordinator {
     fn qcut_barrier(
         &mut self,
         tracking: &mut FxHashMap<QueryId, QueryTracking>,
-        cmd_txs: &[Sender<Cmd>],
+        pool: &TaskPool<Cmd>,
         msg_rx: &Receiver<CoordMsg>,
         cs: &mut ClientState,
         clock: &Clock,
     ) -> Option<(IlsResult, Migration, f64, f64)> {
         let cfg = self.cfg.qcut.clone()?;
-        let k = cmd_txs.len();
+        let k = self.partitioning.num_workers();
         let tasks = Arc::clone(&self.tasks);
         // Trigger evaluation only sees scopes within the monitoring
         // window — a burst of short queries followed by quiet must not
@@ -1599,7 +1744,7 @@ impl Coordinator {
         // Aggregate per-scope statistics from the live query state.
         for w in 0..k {
             self.hb.send_cmd(w);
-            send_cmd(cmd_txs, w, Cmd::ScopeReport);
+            pool.push(w, Cmd::ScopeReport);
         }
         let mut scope_map: FxHashMap<(QueryId, usize), Vec<VertexId>> = FxHashMap::default();
         let mut per_query: FxHashMap<QueryId, Vec<VertexId>> = FxHashMap::default();
@@ -1663,8 +1808,7 @@ impl Coordinator {
                 // overlap a still-queued extract on the same worker.
                 for (token, mv) in migration.moves.iter().enumerate() {
                     hb.send_cmd(mv.from);
-                    send_cmd(
-                        cmd_txs,
+                    pool.push(
                         mv.from,
                         Cmd::Extract {
                             token,
@@ -1685,7 +1829,7 @@ impl Coordinator {
                     }
                     if !data.is_empty() {
                         hb.send_cmd(mv.to);
-                        send_cmd(cmd_txs, mv.to, Cmd::Inject { data });
+                        pool.push(mv.to, Cmd::Inject { data });
                     }
                 }
             });
@@ -1696,121 +1840,140 @@ impl Coordinator {
         let shared = Arc::new(self.partitioning.clone());
         for w in 0..k {
             self.hb.send_partitioning(w, pv);
-            send_cmd(cmd_txs, w, Cmd::SetPartitioning(Arc::clone(&shared)));
+            pool.push(w, Cmd::SetPartitioning(Arc::clone(&shared)));
         }
         Some((result, migration, locality_before, locality_after))
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
-    id: usize,
-    combiners: bool,
-    batch_max_msgs: usize,
-    mut topology: Arc<Topology>,
-    mut partitioning: Arc<Partitioning>,
-    registry: TaskRegistry,
-    rx: Receiver<Cmd>,
-    resp: Sender<CoordMsg>,
-    hb: Hb,
+/// The partition-owned state a pool task operates on: the logical
+/// actor's [`Worker`] (vertex values, inboxes, Q-cut scope) plus its view
+/// of the published topology and assignment. Placement stays fixed to the
+/// partition — only *compute* is elastic — so everything that used to be
+/// a dedicated worker thread's locals lives here, and whichever pool
+/// thread draws the partition's next command locks it. The pool
+/// serializes commands per partition, so the lock is never contended; it
+/// exists to move the state between pool threads.
+struct WorkerCtx {
+    worker: Worker,
+    topology: Arc<Topology>,
+    partitioning: Arc<Partitioning>,
+}
+
+/// One pool task: execute a single protocol command against partition
+/// `w`'s state — the body of the old per-partition thread loop. The hb
+/// auditor brackets it with the pool hand-off edges
+/// ([`Hb::pool_acquire`]/[`Hb::pool_release`]) that now carry the
+/// actor-serialization guarantee the dedicated threads used to give for
+/// free.
+fn handle_cmd(
+    w: usize,
+    cmd: Cmd,
+    ctxs: &[Mutex<WorkerCtx>],
+    registry: &TaskRegistry,
+    resp: &Sender<CoordMsg>,
+    hb: &Hb,
 ) {
-    let mut worker = Worker::configured(id, combiners, batch_max_msgs);
-    let task_of =
-        |q: QueryId| -> Arc<dyn QueryTask> { Arc::clone(&reg_read(&registry)[q.index()]) };
-    while let Ok(cmd) = rx.recv() {
-        // Every received command joins the clock snapshot the coordinator
-        // queued at the matching send — the channel edge of the HB graph.
-        hb.worker_recv(id);
-        // Every command produces at most one response; funneling them
-        // through a single send gives one clean-shutdown path instead of
-        // a panic per protocol arm.
-        let reply: Option<Resp> = match cmd {
-            Cmd::Deliver { q, batch } => {
-                let task = task_of(q);
-                worker.deliver(task.as_ref(), q, batch);
-                None
-            }
-            Cmd::Step { q, prev_agg } => {
-                // The superstep reads the published topology/assignment:
-                // the auditor checks this worker's clock is ordered after
-                // the latest publication before any vertex executes.
-                hb.worker_step(id);
-                let task = task_of(q);
-                worker.freeze(q);
-                let route = |v: VertexId| partitioning.worker_of(v).index();
-                let (stats, agg, remote) =
-                    worker.execute(q, task.as_ref(), &topology, &prev_agg, &route);
-                let self_pending = worker.has_pending(q);
-                Some(Resp::StepDone {
-                    q,
-                    executed: stats.executed,
-                    remote_sent: stats.remote_deliveries as u64,
-                    remote_pre: stats.remote_pre_combine as u64,
-                    remote_batches: stats.remote_batches as u64,
-                    agg,
-                    remote,
-                    self_pending,
-                    worker: id,
-                })
-            }
-            Cmd::Collect { q } => {
-                let local = worker.take_local(q);
-                Some(Resp::Collected { q, local })
-            }
-            Cmd::ScopeReport => {
-                let mut qs: Vec<QueryId> = worker.active_queries().collect();
-                qs.sort_unstable();
-                let scopes: Vec<(QueryId, Vec<VertexId>)> = qs
-                    .into_iter()
-                    .map(|q| {
-                        let mut vs = worker.scope_vertices(q);
-                        vs.sort_unstable();
-                        (q, vs)
-                    })
-                    .collect();
-                Some(Resp::Scopes { worker: id, scopes })
-            }
-            Cmd::Extract { token, vertices } => {
-                let set: FxHashSet<VertexId> = vertices.into_iter().collect();
-                let data = worker.extract_vertices(&task_of, &set);
-                Some(Resp::Extracted { token, data })
-            }
-            Cmd::Inject { data } => {
-                worker.inject_vertices(&task_of, data);
-                None
-            }
-            Cmd::SetPartitioning(p) => {
-                partitioning = p;
-                None
-            }
-            Cmd::SetTopology(t) => {
-                topology = t;
-                None
-            }
-            Cmd::PendingReport => {
-                let mut queries: Vec<QueryId> = worker
-                    .active_queries()
-                    .filter(|&q| worker.has_pending(q))
-                    .collect();
-                queries.sort_unstable();
-                Some(Resp::Pending {
-                    worker: id,
-                    queries,
-                })
-            }
-            Cmd::Shutdown => break,
-        };
-        if let Some(r) = reply {
-            hb.worker_send(id);
-            // The coordinator hanging up (its thread panicked or exited
-            // early) ends this worker too: nobody is left to consume
-            // responses, and exiting cleanly lets the session tear down
-            // without a panic cascade obscuring the root cause.
-            if resp.send(CoordMsg::Worker(r)).is_err() {
-                break;
-            }
+    hb.pool_acquire(w);
+    // Every executed command joins the clock snapshot the coordinator
+    // queued at the matching send — the channel edge of the HB graph.
+    hb.worker_recv(w);
+    let mut guard = ctxs[w]
+        .lock()
+        // qlint: allow(no-unwrap-hot-loop) — poisoned ⇒ a sibling pool thread already panicked; propagate
+        .expect("worker state poisoned by an earlier panic");
+    let ctx = &mut *guard;
+    let task_of = |q: QueryId| -> Arc<dyn QueryTask> { Arc::clone(&reg_read(registry)[q.index()]) };
+    // Every command produces at most one response; funneling them through
+    // a single send gives one clean-shutdown path instead of a panic per
+    // protocol arm.
+    let reply: Option<Resp> = match cmd {
+        Cmd::Deliver { q, batch } => {
+            let task = task_of(q);
+            ctx.worker.deliver(task.as_ref(), q, batch);
+            None
         }
+        Cmd::Freeze { q } => {
+            // Barrier release sealed this superstep's input; anything
+            // delivered from here on belongs to the next superstep.
+            ctx.worker.freeze(q);
+            None
+        }
+        Cmd::Step { q, prev_agg } => {
+            // The superstep reads the published topology/assignment: the
+            // auditor checks this worker's clock is ordered after the
+            // latest publication before any vertex executes.
+            hb.worker_step(w);
+            let task = task_of(q);
+            let route = |v: VertexId| ctx.partitioning.worker_of(v).index();
+            let (stats, agg, remote) =
+                ctx.worker
+                    .execute(q, task.as_ref(), &ctx.topology, &prev_agg, &route);
+            let self_pending = ctx.worker.has_pending(q);
+            Some(Resp::StepDone {
+                q,
+                executed: stats.executed,
+                remote_sent: stats.remote_deliveries as u64,
+                remote_pre: stats.remote_pre_combine as u64,
+                remote_batches: stats.remote_batches as u64,
+                agg,
+                remote,
+                self_pending,
+                worker: w,
+            })
+        }
+        Cmd::Collect { q } => {
+            let local = ctx.worker.take_local(q);
+            Some(Resp::Collected { q, local })
+        }
+        Cmd::ScopeReport => {
+            let mut qs: Vec<QueryId> = ctx.worker.active_queries().collect();
+            qs.sort_unstable();
+            let scopes: Vec<(QueryId, Vec<VertexId>)> = qs
+                .into_iter()
+                .map(|q| {
+                    let mut vs = ctx.worker.scope_vertices(q);
+                    vs.sort_unstable();
+                    (q, vs)
+                })
+                .collect();
+            Some(Resp::Scopes { worker: w, scopes })
+        }
+        Cmd::Extract { token, vertices } => {
+            let set: FxHashSet<VertexId> = vertices.into_iter().collect();
+            let data = ctx.worker.extract_vertices(&task_of, &set);
+            Some(Resp::Extracted { token, data })
+        }
+        Cmd::Inject { data } => {
+            ctx.worker.inject_vertices(&task_of, data);
+            None
+        }
+        Cmd::SetPartitioning(p) => {
+            ctx.partitioning = p;
+            None
+        }
+        Cmd::SetTopology(t) => {
+            ctx.topology = t;
+            None
+        }
+        Cmd::PendingReport => {
+            let mut queries: Vec<QueryId> = ctx
+                .worker
+                .active_queries()
+                .filter(|&q| ctx.worker.has_pending(q))
+                .collect();
+            queries.sort_unstable();
+            Some(Resp::Pending { worker: w, queries })
+        }
+    };
+    if let Some(r) = reply {
+        hb.worker_send(w);
+        // The coordinator hanging up (its thread panicked or exited
+        // early) is tolerable: nobody is left to consume responses, and
+        // the pool is torn down right behind it.
+        let _ = resp.send(CoordMsg::Worker(r));
     }
+    hb.pool_release(w);
 }
 
 #[cfg(test)]

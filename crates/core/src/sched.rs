@@ -85,6 +85,16 @@ impl AdmissionPolicy {
         AdmissionPolicy::ProgramPriority(pairs.iter().map(|&(n, p)| (n.to_string(), p)).collect())
     }
 
+    /// A stable human-readable label for reports
+    /// ([`crate::EngineReport::slo`] groups percentiles under it).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Fifo => "fifo",
+            AdmissionPolicy::ProgramPriority(_) => "program-priority",
+            AdmissionPolicy::Deadline => "deadline",
+        }
+    }
+
     fn priority_of(&self, program: &str) -> i32 {
         match self {
             AdmissionPolicy::ProgramPriority(table) => table
@@ -93,6 +103,50 @@ impl AdmissionPolicy {
                 .map(|&(_, p)| p)
                 .unwrap_or(0),
             _ => 0,
+        }
+    }
+}
+
+/// How much intra-query parallelism the admission layer budgets each
+/// query under the elastic pool (see [`crate::pool`]): the *degree of
+/// parallelism* (DoP) is the number of a superstep's per-partition
+/// compute tasks the coordinator dispatches concurrently. State
+/// placement is untouched — a budget below the involved-partition count
+/// only *sequences* the superstep's tasks, so outputs, iteration counts,
+/// and locality are identical for every budget.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum DopPolicy {
+    /// Point/index-shaped queries ([`QueryTask::point_query`]) are pinned
+    /// to DoP 1 — they stay out of the pool's way — while analytics fan
+    /// up to the pool width.
+    #[default]
+    Adaptive,
+    /// Every query gets this budget, clamped to `[1, pool width]`.
+    Fixed(usize),
+    /// Per-program-kind budgets (`(program name, budget)`); unlisted
+    /// kinds fall back to [`DopPolicy::Adaptive`]'s rule.
+    PerProgram(Vec<(String, usize)>),
+}
+
+impl DopPolicy {
+    /// Convenience constructor for [`DopPolicy::PerProgram`].
+    pub fn per_program(pairs: &[(&str, usize)]) -> Self {
+        DopPolicy::PerProgram(pairs.iter().map(|&(n, d)| (n.to_string(), d)).collect())
+    }
+
+    /// The DoP budget for `task` under a pool of `pool_width` threads.
+    /// Always in `[1, max(pool_width, 1)]`.
+    pub fn budget(&self, task: &dyn QueryTask, pool_width: usize) -> usize {
+        let width = pool_width.max(1);
+        let adaptive = |t: &dyn QueryTask| if t.point_query().is_some() { 1 } else { width };
+        match self {
+            DopPolicy::Adaptive => adaptive(task),
+            DopPolicy::Fixed(n) => (*n).clamp(1, width),
+            DopPolicy::PerProgram(table) => table
+                .iter()
+                .find(|(n, _)| n == task.program_name())
+                .map(|&(_, d)| d.clamp(1, width))
+                .unwrap_or_else(|| adaptive(task)),
         }
     }
 }
@@ -338,6 +392,90 @@ mod tests {
         let _ = s.pop();
         assert!(s.push(QueryId(3), "a", SimTime::ZERO, None), "slot freed");
         assert_eq!(s.len(), 2);
+    }
+
+    /// A do-nothing program that declares itself index-eligible — the
+    /// smallest point-shaped fixture (the real ones live in `qgraph-algo`,
+    /// which this crate cannot depend on).
+    struct PointProbe;
+
+    impl crate::VertexProgram for PointProbe {
+        type State = ();
+        type Message = u32;
+        type Aggregate = ();
+        type Output = ();
+
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn init_state(&self) -> Self::State {}
+        fn aggregate_identity(&self) -> Self::Aggregate {}
+        fn aggregate_combine(&self, _a: &mut Self::Aggregate, _b: &Self::Aggregate) {}
+        fn initial_messages(
+            &self,
+            _graph: &qgraph_graph::Topology,
+        ) -> Vec<(qgraph_graph::VertexId, Self::Message)> {
+            Vec::new()
+        }
+        fn compute(
+            &self,
+            _graph: &qgraph_graph::Topology,
+            _vertex: qgraph_graph::VertexId,
+            _state: &mut Self::State,
+            _messages: &[Self::Message],
+            _ctx: &mut crate::Context<'_, Self::Message, Self::Aggregate>,
+        ) {
+        }
+        fn finalize(
+            &self,
+            _graph: &qgraph_graph::Topology,
+            _states: &mut dyn Iterator<Item = (qgraph_graph::VertexId, Self::State)>,
+        ) -> Self::Output {
+        }
+        fn point_query(&self) -> Option<crate::index_plane::PointQuery> {
+            Some(crate::index_plane::PointQuery::Reach {
+                source: qgraph_graph::VertexId(0),
+                target: qgraph_graph::VertexId(1),
+            })
+        }
+    }
+
+    #[test]
+    fn dop_budgets_follow_policy_and_clamp_to_width() {
+        use crate::programs::ReachProgram;
+        use crate::task::TypedTask;
+        use qgraph_graph::VertexId;
+
+        // An analytic full-reach task vs. an index-shaped point query.
+        let analytic = TypedTask::new(ReachProgram::new(VertexId(0)));
+        let point = TypedTask::new(PointProbe);
+        assert!(
+            point.point_query().is_some(),
+            "fixture must be point-shaped"
+        );
+
+        let adaptive = DopPolicy::Adaptive;
+        assert_eq!(adaptive.budget(&analytic, 8), 8, "analytics fan to width");
+        assert_eq!(adaptive.budget(&point, 8), 1, "points stay narrow");
+        assert_eq!(adaptive.budget(&analytic, 0), 1, "width floor is 1");
+
+        assert_eq!(DopPolicy::Fixed(3).budget(&analytic, 8), 3);
+        assert_eq!(DopPolicy::Fixed(99).budget(&analytic, 8), 8, "clamped");
+        assert_eq!(DopPolicy::Fixed(0).budget(&analytic, 8), 1, "floored");
+
+        let per = DopPolicy::per_program(&[("reach", 2)]);
+        assert_eq!(per.budget(&analytic, 8), 2);
+        assert_eq!(per.budget(&point, 8), 1, "unlisted falls back to adaptive");
+    }
+
+    #[test]
+    fn admission_policy_labels_are_stable() {
+        assert_eq!(AdmissionPolicy::Fifo.label(), "fifo");
+        assert_eq!(
+            AdmissionPolicy::priorities(&[("poi", 1)]).label(),
+            "program-priority"
+        );
+        assert_eq!(AdmissionPolicy::Deadline.label(), "deadline");
     }
 
     #[test]

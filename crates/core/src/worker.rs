@@ -76,6 +76,11 @@ pub struct SuperstepStats {
     pub remote_batches: usize,
     /// `|LS(q,w)|` after the step.
     pub local_scope: usize,
+    /// Elastic-pool compute tasks this report covers — one
+    /// per-(query, partition) superstep execution is one task, so a
+    /// single report carries `1` and aggregation across the involved
+    /// partitions yields the superstep's task count.
+    pub tasks: usize,
 }
 
 /// The object-safe facade over one query's per-worker state: everything a
@@ -298,7 +303,10 @@ impl<P: VertexProgram> QueryLocal<P> {
         P::Aggregate,
         Vec<(usize, usize, Vec<(VertexId, P::Message)>)>,
     ) {
-        let mut stats = SuperstepStats::default();
+        let mut stats = SuperstepStats {
+            tasks: 1,
+            ..SuperstepStats::default()
+        };
         let mut aggregate = program.aggregate_identity();
         let mut outgoing: Vec<(VertexId, P::Message)> = Vec::new();
         let combine = |a: &mut P::Aggregate, b: &P::Aggregate| program.aggregate_combine(a, b);

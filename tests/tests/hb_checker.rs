@@ -60,6 +60,31 @@ fn reintroduced_quiesce_race_is_caught() {
     e.run();
 }
 
+/// The thread runtime's flavor of the same bug, via its own hook: the
+/// coordinator treats a single in-flight Step/Collect as "quiescent"
+/// and opens the stop-the-world window anyway. A query submitted before
+/// a mutation leaves exactly one Step outstanding when the mutation is
+/// processed (both are replayed in order ahead of any worker response),
+/// so the auditor's open-token check at `quiesce_begin` must fire. The
+/// coordinator's panic payload is resumed on the caller, so the message
+/// survives the thread hop.
+#[test]
+#[should_panic(expected = "still in flight")]
+fn reintroduced_thread_quiesce_race_is_caught() {
+    let g = line_graph(64);
+    let mut e = EngineBuilder::new(g)
+        .workers(3)
+        .partitioner(HashPartitioner::default())
+        .config(base_cfg())
+        .build_threaded();
+    e.hb_test_reintroduce_quiesce_race();
+    e.submit(SsspProgram::new(VertexId(0), VertexId(63)));
+    let mut m = MutationBatch::new();
+    m.add_edge(0, 63, 9.0);
+    e.mutate(m);
+    e.run();
+}
+
 /// The same schedule without the hook is a legal execution: the fixed
 /// barrier protocol produces a complete happens-before order and the
 /// auditor stays silent through mutations and repartitions.

@@ -103,8 +103,10 @@ fn mixed_stream_from_second_thread_matches_references_under_all_policies() {
         AdmissionPolicy::priorities(&[("poi", 10), ("bfs", 5), ("sssp", 1)]),
         AdmissionPolicy::Deadline,
     ];
+    let mut slo_policies = Vec::new();
     for policy in policies {
         let label = format!("{policy:?}");
+        let policy_label = policy.label();
         let (graph, sources) = tagged_world();
         let mut engine = EngineBuilder::new(Arc::clone(&graph))
             .workers(4)
@@ -169,8 +171,63 @@ fn mixed_stream_from_second_thread_matches_references_under_all_policies() {
                 "[{label}] lifecycle timestamps out of order"
             );
         }
+
+        // The serving-quality view: latency tails keyed by the policy
+        // that produced them, overall and per program kind.
+        let slo = report.slo();
+        assert_eq!(slo.policy, policy_label, "[{label}] SLO keyed by policy");
+        assert_eq!(slo.completed, report.completed().count(), "[{label}]");
+        assert_eq!(slo.completed, 12 + 4 + 2, "[{label}] nothing rejected here");
+        for (name, pct) in [
+            ("time-in-system", &slo.time_in_system),
+            ("queueing-delay", &slo.queueing_delay),
+        ] {
+            assert!(
+                pct.p50 <= pct.p95 && pct.p95 <= pct.p99,
+                "[{label}] {name} percentiles must be monotone: {pct:?}"
+            );
+        }
+        assert!(
+            slo.time_in_system.p50 > 0.0,
+            "[{label}] completions take wall time"
+        );
+        let mut kinds: Vec<&str> = slo.per_program.iter().map(|p| p.program).collect();
+        kinds.sort_unstable();
+        assert_eq!(
+            kinds,
+            vec!["bfs", "poi", "reach", "sssp"],
+            "[{label}] every program kind gets its own tail breakdown"
+        );
+        for p in &slo.per_program {
+            let expected = match p.program {
+                "sssp" => 12,
+                "poi" => 4,
+                _ => 1,
+            };
+            assert_eq!(p.queries, expected, "[{label}] {} count", p.program);
+            assert!(
+                p.time_in_system.p50 <= p.time_in_system.p95
+                    && p.time_in_system.p95 <= p.time_in_system.p99,
+                "[{label}] {} tails must be monotone",
+                p.program
+            );
+            // Queueing delay is a prefix of time in system per query, and
+            // nearest-rank percentiles preserve pointwise domination.
+            assert!(
+                p.queueing_delay.p99 <= p.time_in_system.p99 + 1e-9,
+                "[{label}] {}: queueing is part of time in system",
+                p.program
+            );
+        }
+        slo_policies.push(slo.policy);
         engine.shutdown();
     }
+    slo_policies.sort_unstable();
+    assert_eq!(
+        slo_policies,
+        vec!["deadline", "fifo", "program-priority"],
+        "each engine's SLO view names the policy it ran under"
+    );
 }
 
 /// FIFO vs priority on a constructed backlog (simulated engine, fully
