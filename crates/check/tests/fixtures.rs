@@ -96,6 +96,28 @@ fn thread_discipline_pool_exemption_is_file_precise() {
 }
 
 #[test]
+fn thread_discipline_exempts_the_trace_crate() {
+    // The recorder's tests spawn threads to exercise cross-thread
+    // recording; the crate is sanctioned.
+    let findings = lint_source("crates/trace/src/lib.rs", &fixture("thread_discipline.rs"));
+    assert!(
+        !findings.iter().any(|f| f.rule == "thread-discipline"),
+        "the trace crate owns its recorder-thread tests: {findings:?}"
+    );
+}
+
+#[test]
+fn thread_discipline_trace_exemption_is_dir_precise() {
+    // The sanction covers crates/trace/src, not trace-adjacent code
+    // elsewhere (a bench binary must not inherit it).
+    assert_fires(
+        "thread-discipline",
+        "crates/bench/src/bin/trace_smoke.rs",
+        "thread_discipline.rs",
+    );
+}
+
+#[test]
 fn index_float_cmp_fires_on_fixture() {
     assert_fires(
         "index-float-cmp",
@@ -118,6 +140,31 @@ fn time_epoch_arith_fires_on_fixture() {
     assert_fires(
         "time-epoch-arith",
         "crates/index/src/fixture.rs",
+        "time_epoch_arith.rs",
+    );
+}
+
+#[test]
+fn time_epoch_arith_exempts_the_trace_crate() {
+    // Phase folding *is* stamp subtraction; the trace crate owns that
+    // arithmetic the same way the sim crate owns virtual-time math.
+    let findings = lint_source(
+        "crates/trace/src/summary.rs",
+        &fixture("time_epoch_arith.rs"),
+    );
+    assert!(
+        !findings.iter().any(|f| f.rule == "time-epoch-arith"),
+        "the trace crate owns stamp arithmetic: {findings:?}"
+    );
+}
+
+#[test]
+fn time_epoch_arith_trace_exemption_is_dir_precise() {
+    // Outside crates/trace/src the rule still polices stamp math —
+    // consumers must go through the attribution helpers.
+    assert_fires(
+        "time-epoch-arith",
+        "crates/bench/src/bin/trace_smoke.rs",
         "time_epoch_arith.rs",
     );
 }
@@ -157,7 +204,7 @@ fn every_rule_has_a_fixture_test() {
         .expect("thread-discipline rule present");
     assert_eq!(
         td.exempt.len(),
-        3,
+        4,
         "thread-discipline exemption added — wire a fixture test"
     );
 }

@@ -291,6 +291,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Record structured trace events (shorthand for
+    /// [`SystemConfig::trace`]): per-query timelines via
+    /// `EngineReport::trace()` and Chrome-trace export. Only effective
+    /// when the crate is compiled with the `trace` feature; the knob is
+    /// a no-op otherwise (see [`crate::trace`]).
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.config.trace = enabled;
+        self
+    }
+
     /// Order-independent assembly: an explicit partitioning fixes the
     /// worker count, else an explicit `workers(k)`, else the cluster's,
     /// else 1. Conflicting explicit counts panic here with the

@@ -173,6 +173,16 @@ pub struct SystemConfig {
     /// [`DopPolicy`]): how many of a superstep's per-partition tasks may
     /// run concurrently. Structure-preserving for every budget.
     pub dop: DopPolicy,
+    /// Record structured trace events (see [`crate::trace`]). Only
+    /// meaningful when the crate is compiled with the `trace` feature;
+    /// without it the recorder is a zero-sized no-op regardless of this
+    /// knob. Off by default: tracing is opt-in per engine.
+    pub trace: bool,
+    /// Per-actor trace ring capacity (events buffered between barrier
+    /// drains). A full ring drops further events and counts them in
+    /// `EngineReport::trace().dropped_events` — it never blocks or
+    /// grows.
+    pub trace_ring_capacity: usize,
 }
 
 impl Default for SystemConfig {
@@ -191,6 +201,8 @@ impl Default for SystemConfig {
             index_build_threads: 0,
             pool_threads: 0,
             dop: DopPolicy::Adaptive,
+            trace: false,
+            trace_ring_capacity: 65_536,
         }
     }
 }
@@ -238,6 +250,8 @@ mod tests {
         assert_eq!(s.index_build_threads, 0, "index picks its own width");
         assert_eq!(s.pool_threads, 0, "pool width follows partition count");
         assert_eq!(s.dop, DopPolicy::Adaptive, "points narrow, analytics wide");
+        assert!(!s.trace, "tracing is opt-in");
+        assert_eq!(s.trace_ring_capacity, 65_536);
     }
 
     #[test]

@@ -51,6 +51,7 @@ use crate::query::{OutcomeStatus, QueryHandle, QueryId, QueryOutcome, ServedBy};
 use crate::report::{ActivitySample, EngineReport, RepartitionEvent};
 use crate::sched::{Scheduler, Submission};
 use crate::task::{Envelope, QueryTask, TypedTask};
+use crate::trace::{cmd, outcome_code, Tracer};
 use crate::worker::Worker;
 
 #[derive(Clone, Debug)]
@@ -200,6 +201,11 @@ pub struct SimEngine {
     /// Happens-before auditor (no-op unless the `check-hb` feature is
     /// on): stamps dispatches, quiesce windows, and epoch publications.
     hb: Hb,
+    /// Structured event recorder (no-op unless the `trace` feature *and*
+    /// [`SystemConfig::trace`] are on): stamps the same vocabulary the
+    /// thread runtime stamps, on the virtual clock. Lanes are partition
+    /// indices — the sim's analogue of pool-thread identity.
+    tracer: Tracer,
     /// Test hook: make [`SimEngine::is_quiescent`] ignore in-flight
     /// `TaskReady` dispatches, reintroducing the pre-fix quiesce race
     /// so the auditor's detection of it stays regression-tested.
@@ -258,8 +264,10 @@ impl SimEngine {
             0 => k,
             n => n,
         };
+        let tracer = Tracer::new(k, cfg.trace_ring_capacity, cfg.trace);
         SimEngine {
             hb,
+            tracer,
             #[cfg(feature = "check-hb")]
             hb_ignore_inflight_ready: false,
             topology: Topology::new(graph),
@@ -383,8 +391,11 @@ impl SimEngine {
         self.outputs.push(None);
         if submission.at_secs.is_some() && arrival > now {
             self.events.schedule(arrival, Event::Arrival { q: id });
-        } else if !self.scheduler.push(id, program, arrival, deadline) {
-            self.reject_query(arrival, id);
+        } else {
+            self.tracer.admitted(arrival.as_secs_f64(), u64::from(id.0));
+            if !self.scheduler.push(id, program, arrival, deadline) {
+                self.reject_query(arrival, id);
+            }
         }
         id
     }
@@ -460,10 +471,19 @@ impl SimEngine {
         // phenomena of the real pool and stay 0 here; `tasks` counts the
         // same per-(query, partition) units the thread runtime counts.
         self.report.admission_policy = self.cfg.admission.label().to_string();
-        self.report.pool.threads = self.pool_width;
-        self.report.pool.tasks = self.pool_tasks;
-        self.report
-            .close_run(run_started.as_secs_f64(), self.report.finished_at_secs);
+        self.tracer.drain();
+        self.report.trace.absorb(&self.tracer);
+        let pool_at_close = crate::report::PoolCounters {
+            threads: self.pool_width,
+            tasks: self.pool_tasks,
+            steals: 0,
+            idle_waits: 0,
+        };
+        self.report.close_run(
+            run_started.as_secs_f64(),
+            self.report.finished_at_secs,
+            pool_at_close,
+        );
         &self.report
     }
 
@@ -551,6 +571,8 @@ impl SimEngine {
     /// resident one — `dispatch_pending` is gated on `paused`.
     fn on_arrival(&mut self, q: QueryId) {
         let run = &self.queries[q.index()];
+        self.tracer
+            .admitted(run.queued_at.as_secs_f64(), u64::from(q.0));
         if !self
             .scheduler
             .push(q, run.task.program_name(), run.queued_at, run.deadline)
@@ -576,6 +598,8 @@ impl SimEngine {
             at,
             epoch,
         ));
+        self.tracer
+            .outcome(at.as_secs_f64(), u64::from(q.0), outcome_code::REJECTED);
     }
 
     fn dispatch_pending(&mut self) {
@@ -628,6 +652,11 @@ impl SimEngine {
             };
             self.outputs[q.index()] = Some(output);
             self.report.outcomes.push(outcome);
+            self.tracer.outcome(
+                now.as_secs_f64(),
+                u64::from(q.0),
+                outcome_code::INDEX_SERVED,
+            );
             return;
         }
 
@@ -677,6 +706,8 @@ impl SimEngine {
                 self.hb.token_open(q.0, kind::READY);
                 self.events.schedule(at, Event::TaskReady { q, w });
             } else {
+                self.tracer
+                    .defer(now.as_secs_f64(), u64::from(q.0), w as u32);
                 self.queries[q.index()].deferred.push_back(w);
             }
         }
@@ -709,6 +740,14 @@ impl SimEngine {
         self.sched[w].running = Some(q);
         self.sched[w].busy_until = now + cost;
         self.pool_busy += 1;
+        self.tracer.task_begin(
+            now.as_secs_f64(),
+            w as u32,
+            u64::from(q.0),
+            w as u32,
+            cmd::STEP,
+            false,
+        );
         self.events.schedule(now + cost, Event::TaskDone { q, w });
     }
 
@@ -769,6 +808,14 @@ impl SimEngine {
         task.aggregate_combine(&mut run.agg_acc, &agg);
         run.remaining -= 1;
         self.pool_tasks += 1;
+        self.tracer.task_end(
+            now.as_secs_f64(),
+            w as u32,
+            u64::from(q.0),
+            w as u32,
+            cmd::STEP,
+            stats.executed as u64,
+        );
 
         // Elastic DoP: a finished task frees one unit of this query's
         // budget — release the next deferred partition, priced as a fresh
@@ -776,6 +823,8 @@ impl SimEngine {
         // drain: the superstep must complete before the engine can
         // quiesce, exactly like the pre-frozen tasks already queued.
         if let Some(w_next) = self.queries[q.index()].deferred.pop_front() {
+            self.tracer
+                .defer_release(now.as_secs_f64(), u64::from(q.0), w_next as u32);
             let at = now + self.cluster.control_cost_to_controller(w_next);
             self.inflight_ready += 1;
             self.hb.token_open(q.0, kind::READY);
@@ -862,6 +911,8 @@ impl SimEngine {
             self.queries[q.index()].deferred.is_empty(),
             "superstep barrier with deferred tasks unreleased"
         );
+        self.tracer
+            .superstep_done(now.as_secs_f64(), u64::from(q.0));
         let involved_next: Vec<usize> = (0..self.workers.len())
             .filter(|&w| self.workers[w].has_pending(q))
             .collect();
@@ -928,6 +979,7 @@ impl SimEngine {
 
     fn on_barrier_release(&mut self, now: SimTime, q: QueryId) {
         if self.paused {
+            self.tracer.park(now.as_secs_f64(), u64::from(q.0));
             self.deferred_releases.push(q);
             return;
         }
@@ -963,6 +1015,8 @@ impl SimEngine {
             if i < dop {
                 self.on_task_ready(q, w);
             } else {
+                self.tracer
+                    .defer(now.as_secs_f64(), u64::from(q.0), w as u32);
                 self.queries[q.index()].deferred.push_back(w);
             }
         }
@@ -1012,6 +1066,8 @@ impl SimEngine {
         };
         self.outputs[q.index()] = Some(task.finalize(&self.topology, locals));
         self.report.outcomes.push(outcome);
+        self.tracer
+            .outcome(at.as_secs_f64(), u64::from(q.0), outcome_code::COMPLETED);
         self.controller.record_finished_scope(q, scope, at);
         self.controller.expire(at);
         self.dispatch_pending();
@@ -1138,6 +1194,7 @@ impl SimEngine {
         // asserts: if a dispatch is still in flight, the auditor's
         // violation report (with both stacks) beats a bare assert.
         self.hb.quiesce_begin();
+        self.tracer.quiesce_begin(now.as_secs_f64());
         debug_assert!(self.paused);
         debug_assert!(self.is_quiescent());
         let mut barrier_cost = SimTime::ZERO;
@@ -1155,6 +1212,11 @@ impl SimEngine {
             })
             .collect();
         let epoch_before = self.topology.epoch();
+        if !batches.is_empty() {
+            self.tracer
+                .mutation_begin(now.as_secs_f64(), batches.len() as u64);
+        }
+        let repairs_before = self.report.index_repairs.len();
         let apply = apply_mutation_epochs(
             &mut self.topology,
             &mut self.partitioning,
@@ -1174,7 +1236,31 @@ impl SimEngine {
         barrier_cost += self.cluster.compute.mutation_cost(apply.ops);
         if let Some(edges) = apply.compacted_edges {
             barrier_cost += self.cluster.compute.compaction_cost(edges);
+            self.tracer.compaction((now + barrier_cost).as_secs_f64());
         }
+        // The repair stages ran inside `apply_mutation_epochs`; the span
+        // covers the mutation-phase virtual cost, its stage instants carry
+        // the summed repair counters of this barrier's batches.
+        if self.report.index_repairs.len() > repairs_before {
+            let (mut invalidated, mut reruns, mut resumes) = (0u64, 0u64, 0u64);
+            for ev in &self.report.index_repairs[repairs_before..] {
+                invalidated += ev.summary.entries_invalidated as u64;
+                reruns += ev.summary.roots_rerun as u64;
+                resumes += ev.summary.partial_roots as u64;
+            }
+            self.tracer.repair_begin(now.as_secs_f64());
+            self.tracer.repair_end(
+                (now + barrier_cost).as_secs_f64(),
+                invalidated,
+                reruns,
+                resumes,
+            );
+        }
+        if !batches.is_empty() {
+            self.tracer
+                .mutation_end((now + barrier_cost).as_secs_f64(), batches.len() as u64);
+        }
+        let qcut_from = now + barrier_cost;
 
         // Phase 2: the repartition plan, once its ILS budget elapsed.
         let mut repartition: Option<(IlsResult, SimTime, usize, f64, f64)> = None;
@@ -1260,6 +1346,8 @@ impl SimEngine {
         if let Some((result, triggered_at, moved_vertices, locality_before, locality_after)) =
             repartition
         {
+            self.tracer.qcut_begin(qcut_from.as_secs_f64());
+            self.tracer.qcut_end((now + barrier_cost).as_secs_f64());
             self.report.repartitions.push(RepartitionEvent {
                 triggered_at: triggered_at.as_secs_f64(),
                 applied_at: now.as_secs_f64(),
@@ -1276,11 +1364,16 @@ impl SimEngine {
     fn on_global_end(&mut self, _now: SimTime) {
         // Close the window before any deferred release re-opens dispatch.
         self.hb.quiesce_end();
+        let now = self.events.now();
+        self.tracer.quiesce_end(now.as_secs_f64());
+        // The lanes are provably idle inside the barrier: the cheapest
+        // possible point to move their rings into the central buffer.
+        self.tracer.drain();
         self.paused = false;
         // START barrier: resume deferred releases against the new layout.
         let releases = std::mem::take(&mut self.deferred_releases);
-        let now = self.events.now();
         for q in releases {
+            self.tracer.unpark(now.as_secs_f64(), u64::from(q.0));
             self.on_barrier_release(now, q);
         }
         self.dispatch_pending();

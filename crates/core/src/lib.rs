@@ -71,6 +71,7 @@ pub mod report;
 pub mod runtime;
 pub mod sched;
 pub mod task;
+pub mod trace;
 pub mod worker;
 
 pub use api::{Engine, EngineBuilder};
@@ -85,6 +86,7 @@ pub use report::{
 };
 pub use runtime::{EngineClient, ThreadEngine};
 pub use sched::{AdmissionPolicy, DopPolicy, Submission};
+pub use trace::TraceData;
 
 // The mutation plane's graph-side vocabulary, re-exported so engine users
 // build batches without a separate qgraph-graph import.

@@ -107,7 +107,7 @@ fn pick<T>(st: &PoolState<T>, tid: usize, threads: usize) -> Option<(usize, bool
 
 fn pool_thread<T, F>(tid: usize, threads: usize, shared: &Shared<T>, handler: F)
 where
-    F: Fn(usize, T),
+    F: Fn(usize, usize, T),
 {
     loop {
         let (p, item) = {
@@ -133,7 +133,7 @@ where
             shared,
             armed: true,
         };
-        handler(p, item);
+        handler(tid, p, item);
         guard.armed = false;
         drop(guard);
         shared.state.lock().expect("pool state poisoned").running[p] = false;
@@ -146,12 +146,14 @@ where
 impl<T: Send + 'static> TaskPool<T> {
     /// Spawn `threads` pool threads (at least one) over `partitions`
     /// command queues. Each thread runs its own clone of `handler`;
-    /// `handler(p, item)` is invoked with the partition's `running` flag
-    /// held, so for a fixed `p` calls never overlap and follow push
-    /// order.
+    /// `handler(tid, p, item)` is invoked with the partition's `running`
+    /// flag held, so for a fixed `p` calls never overlap and follow push
+    /// order. `tid` is the executing pool thread — comparing it against
+    /// the partition's affine thread (`p % width`) tells a steal from an
+    /// affine run, which is how the tracing plane labels its tracks.
     pub fn new<F>(partitions: usize, threads: usize, handler: F) -> Self
     where
-        F: Fn(usize, T) + Send + Clone + 'static,
+        F: Fn(usize, usize, T) + Send + Clone + 'static,
     {
         let width = threads.max(1);
         let shared = Arc::new(Shared {
@@ -261,7 +263,7 @@ mod tests {
         let done = Arc::new(AtomicUsize::new(0));
         let pool = {
             let done = Arc::clone(&done);
-            TaskPool::new(4, 2, move |_p, _item: usize| {
+            TaskPool::new(4, 2, move |_tid, _p, _item: usize| {
                 done.fetch_add(1, Ordering::SeqCst);
             })
         };
@@ -283,7 +285,7 @@ mod tests {
         let pool = {
             let seen = Arc::clone(&seen);
             let in_flight = Arc::clone(&in_flight);
-            TaskPool::new(3, 4, move |p, seq: usize| {
+            TaskPool::new(3, 4, move |_tid, p, seq: usize| {
                 assert_eq!(
                     in_flight[p].fetch_add(1, Ordering::SeqCst),
                     0,
@@ -318,7 +320,7 @@ mod tests {
         let done = Arc::new(AtomicUsize::new(0));
         let pool = {
             let done = Arc::clone(&done);
-            TaskPool::new(8, 1, move |_p, _item: ()| {
+            TaskPool::new(8, 1, move |_tid, _p, _item: ()| {
                 done.fetch_add(1, Ordering::SeqCst);
             })
         };
@@ -331,7 +333,7 @@ mod tests {
 
     #[test]
     fn counters_cover_all_executed_work() {
-        let pool = TaskPool::new(4, 2, |_p, _item: ()| {});
+        let pool = TaskPool::new(4, 2, |_tid, _p, _item: ()| {});
         for p in 0..4 {
             for _ in 0..5 {
                 pool.push(p, ());
@@ -350,7 +352,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "hung up mid-serve")]
     fn push_after_handler_panic_fails_fast() {
-        let pool = TaskPool::new(2, 1, |_p, item: u32| {
+        let pool = TaskPool::new(2, 1, |_tid, _p, item: u32| {
             assert!(item != 7, "poison item");
         });
         pool.push(0, 7);

@@ -6,6 +6,7 @@ use qgraph_metrics::{Table, TimeSeries};
 use crate::index_plane::IndexRepairEvent;
 use crate::qcut::IlsResult;
 use crate::query::QueryOutcome;
+use crate::trace::TraceData;
 
 /// One worker-activity observation: a superstep's vertex-function count,
 /// attributed to its completion time. Figure 6e derives workload-imbalance
@@ -87,6 +88,12 @@ pub struct RunSummary {
     pub repartitions_start: usize,
     /// End of this window's repartition range (exclusive).
     pub repartitions_end: usize,
+    /// Pool work attributable to this window: the *delta* of the
+    /// cumulative [`EngineReport::pool`] counters since the previous
+    /// closed window (skipped empty windows fold into the next closed
+    /// one), so multi-run traces can attribute tasks and steals to a
+    /// run. `threads` carries the width at close, not a delta.
+    pub pool: PoolCounters,
 }
 
 /// Elastic-pool execution counters over the engine's lifetime (see
@@ -136,6 +143,10 @@ pub struct EngineReport {
     /// [`crate::sched::AdmissionPolicy::label`]) — the grouping key of
     /// [`EngineReport::slo`]. Empty on a hand-built report.
     pub admission_policy: String,
+    /// Accumulated structured trace events (see [`crate::trace`]);
+    /// zero-sized unless the crate is built with the `trace` feature
+    /// and empty unless [`crate::SystemConfig::trace`] was on.
+    pub trace: TraceData,
 }
 
 impl EngineReport {
@@ -207,8 +218,16 @@ impl EngineReport {
     /// Close the current run window at `finished_at_secs`: every outcome
     /// and repartition recorded since the previous window becomes this
     /// run's. Called by the engines at the end of `run()` / at each
-    /// serving drain.
-    pub(crate) fn close_run(&mut self, started_at_secs: f64, finished_at_secs: f64) {
+    /// serving drain with the pool counters *as of the close* — the
+    /// window keeps the delta since the previous closed window, so
+    /// summing `runs[..].pool` reproduces the cumulative counters.
+    pub(crate) fn close_run(
+        &mut self,
+        started_at_secs: f64,
+        finished_at_secs: f64,
+        pool_at_close: PoolCounters,
+    ) {
+        self.pool = pool_at_close;
         let (o0, r0) = self
             .runs
             .last()
@@ -217,8 +236,16 @@ impl EngineReport {
         if self.outcomes.len() == o0 && self.repartitions.len() == r0 {
             // Nothing happened since the last boundary (an idle drain, an
             // empty run): recording an empty window would only add noise.
+            // Its pool delta (if any) folds into the next closed window.
             return;
         }
+        let prior = self.runs.iter().fold((0u64, 0u64, 0u64), |acc, r| {
+            (
+                acc.0 + r.pool.tasks,
+                acc.1 + r.pool.steals,
+                acc.2 + r.pool.idle_waits,
+            )
+        });
         self.runs.push(RunSummary {
             index: self.runs.len(),
             started_at_secs,
@@ -227,7 +254,25 @@ impl EngineReport {
             outcomes_end: self.outcomes.len(),
             repartitions_start: r0,
             repartitions_end: self.repartitions.len(),
+            pool: PoolCounters {
+                threads: pool_at_close.threads,
+                tasks: pool_at_close.tasks.saturating_sub(prior.0),
+                steals: pool_at_close.steals.saturating_sub(prior.1),
+                idle_waits: pool_at_close.idle_waits.saturating_sub(prior.2),
+            },
         });
+    }
+
+    /// Per-query timeline summaries from the tracing plane: one
+    /// [`qgraph_trace::QueryTimeline`] per traced query with the
+    /// five-phase time-in-system breakdown (queued / executing /
+    /// frozen-waiting / deferred-by-dop / parked-at-barrier), plus the
+    /// recorder's `dropped_events` health counter. Only available when
+    /// the crate is built with the `trace` feature; empty unless
+    /// [`crate::SystemConfig::trace`] was on.
+    #[cfg(feature = "trace")]
+    pub fn trace(&self) -> qgraph_trace::TraceSummary {
+        self.trace.summary()
     }
 
     /// The outcomes completed within run window `index` (empty for an
@@ -631,9 +676,9 @@ mod tests {
             outcomes: vec![outcome(0, 2, 1, 2), outcome(1, 5, 4, 4)],
             ..Default::default()
         };
-        r.close_run(0.0, 5.0);
+        r.close_run(0.0, 5.0, PoolCounters::default());
         r.outcomes.push(outcome(6, 8, 1, 1));
-        r.close_run(5.0, 8.0);
+        r.close_run(5.0, 8.0, PoolCounters::default());
         assert_eq!(r.runs.len(), 2);
         assert_eq!(r.run_outcomes(0).len(), 2);
         assert_eq!(r.run_outcomes(1).len(), 1);
@@ -642,6 +687,32 @@ mod tests {
         assert!(r.run_repartitions(0).is_empty());
         assert_eq!(r.runs[1].index, 1);
         assert!(r.runs[0].finished_at_secs <= r.runs[1].started_at_secs);
+    }
+
+    #[test]
+    fn run_windows_attribute_pool_deltas() {
+        let counters = |tasks, steals, idle_waits| PoolCounters {
+            threads: 4,
+            tasks,
+            steals,
+            idle_waits,
+        };
+        let mut r = EngineReport {
+            outcomes: vec![outcome(0, 2, 1, 2)],
+            ..Default::default()
+        };
+        r.close_run(0.0, 5.0, counters(10, 2, 1));
+        // Idle drain: pool kept spinning but nothing completed — the
+        // skipped window's delta folds into the next closed one.
+        r.close_run(5.0, 6.0, counters(12, 2, 3));
+        r.outcomes.push(outcome(6, 8, 1, 1));
+        r.close_run(6.0, 8.0, counters(25, 6, 4));
+        assert_eq!(r.runs.len(), 2);
+        assert_eq!(r.runs[0].pool, counters(10, 2, 1));
+        assert_eq!(r.runs[1].pool, counters(15, 4, 3));
+        assert_eq!(r.pool, counters(25, 6, 4), "cumulative follows the close");
+        let summed: u64 = r.runs.iter().map(|w| w.pool.tasks).sum();
+        assert_eq!(summed, r.pool.tasks, "window deltas partition the total");
     }
 
     #[test]

@@ -118,6 +118,7 @@ use crate::query::{OutcomeStatus, QueryHandle, QueryId, QueryOutcome, ServedBy};
 use crate::report::{ActivitySample, EngineReport, MutationEvent, PoolCounters, RepartitionEvent};
 use crate::sched::Scheduler;
 use crate::task::{Envelope, MessageBatch, QueryTask, TypedTask};
+use crate::trace::{cmd, outcome_code, TraceData, Tracer};
 use crate::worker::{LocalState, Worker};
 
 /// The shared, growable task registry: submissions (engine or any client)
@@ -259,6 +260,9 @@ struct Snapshot {
     /// Cumulative pool counters (overwritten, not appended — the
     /// coordinator folds the previous sessions' totals in).
     pool: PoolCounters,
+    /// Trace events appended since the previous drain (zero-sized
+    /// without the `trace` feature; see [`crate::trace::TraceData`]).
+    new_trace: TraceData,
     admission_policy: String,
 }
 
@@ -272,6 +276,7 @@ struct SyncMarks {
     mutations: usize,
     index_repairs: usize,
     runs: usize,
+    trace: usize,
 }
 
 impl SyncMarks {
@@ -283,6 +288,7 @@ impl SyncMarks {
             mutations: report.mutations.len(),
             index_repairs: report.index_repairs.len(),
             runs: report.runs.len(),
+            trace: report.trace.len(),
         }
     }
 }
@@ -350,6 +356,9 @@ struct QueryTracking {
 
 /// The serving clock: wall time since `start`, offset by the report's
 /// previous end so timestamps stay monotonic across serve sessions.
+/// `Copy` so the coordinator and every pool thread can stamp trace
+/// events off the *same* time base — one origin per serve session.
+#[derive(Clone, Copy)]
 struct Clock {
     base: f64,
     started: Instant,
@@ -376,6 +385,9 @@ struct ClientState {
     /// coordinator's next turn (last install wins).
     pending_index: Option<Box<dyn PointIndex>>,
     shutdown: bool,
+    /// Stamps the admission instant of every submission (a clone of the
+    /// coordinator's tracer; no-op when tracing is off).
+    tracer: Tracer,
 }
 
 impl ClientState {
@@ -386,6 +398,7 @@ impl ClientState {
             CoordMsg::Submit { q, deadline_secs } => {
                 let program = reg_read(tasks)[q.index()].program_name();
                 let deadline = deadline_secs.map(|d| now + SimTime::from_secs_f64(d));
+                self.tracer.admitted(now.as_secs_f64(), u64::from(q.0));
                 if !self.scheduler.push(q, program, now, deadline) {
                     self.rejected.push((q, program, now));
                 }
@@ -737,8 +750,29 @@ impl ThreadEngine {
             0 => k,
             n => n,
         };
-        let pool = TaskPool::new(k, pool_threads, move |w, cmd| {
-            handle_cmd(w, cmd, &ctxs, &registry, &resp, &worker_hb);
+        // One time base for the whole session: the coordinator and every
+        // pool thread stamp trace events (and the coordinator its report
+        // entries) off this same clock, so lane spans and query envelopes
+        // line up without cross-clock skew.
+        let clock = Clock {
+            base: self.report.finished_at_secs,
+            started: Instant::now(),
+        };
+        let tracer = Tracer::new(pool_threads, self.cfg.trace_ring_capacity, self.cfg.trace);
+        let worker_tracer = tracer.clone();
+        let pool = TaskPool::new(k, pool_threads, move |tid, w, cmd| {
+            handle_cmd(
+                tid,
+                pool_threads,
+                w,
+                cmd,
+                &ctxs,
+                &registry,
+                &resp,
+                &worker_hb,
+                &worker_tracer,
+                &clock,
+            );
         });
 
         let Some(controller) = self.controller.take() else {
@@ -755,6 +789,8 @@ impl ThreadEngine {
             // keeps its identical copy and appends drain deltas to it.
             report: self.report.clone(),
             hb,
+            tracer,
+            clock,
             #[cfg(feature = "check-hb")]
             hb_test_early_quiesce: self.hb_test_early_quiesce,
         };
@@ -823,6 +859,7 @@ impl ThreadEngine {
         self.report.mutations.extend(snapshot.new_mutations);
         self.report.index_repairs.extend(snapshot.new_index_repairs);
         self.report.runs.extend(snapshot.new_runs);
+        self.report.trace.merge(snapshot.new_trace);
         self.report.finished_at_secs = snapshot.finished_at_secs;
         self.report.pool = snapshot.pool;
         self.report.admission_policy = snapshot.admission_policy;
@@ -975,6 +1012,11 @@ struct Coordinator {
     /// command/response channel edges, quiesce windows, and
     /// topology/partitioning publications of the serve protocol.
     hb: Hb,
+    /// Structured event recorder (no-op unless `trace`); the pool threads
+    /// hold clones of the same recorder and stamp off the same clock.
+    tracer: Tracer,
+    /// The session time base shared with every pool thread.
+    clock: Clock,
     /// Test hook: see [`ThreadEngine::hb_test_reintroduce_quiesce_race`].
     #[cfg(feature = "check-hb")]
     hb_test_early_quiesce: bool,
@@ -991,11 +1033,10 @@ impl Coordinator {
     ) -> CoordinatorExit {
         // One monotonic time base across serve sessions: this session's
         // timestamps continue from the previous report's end, so the
-        // cumulative report's outcomes and `finished_at_secs` agree.
-        let clock = Clock {
-            base: self.report.finished_at_secs,
-            started: Instant::now(),
-        };
+        // cumulative report's outcomes and `finished_at_secs` agree. The
+        // base was fixed in `start()` and is shared (by copy) with every
+        // pool thread, so coordinator and lane trace stamps agree too.
+        let clock = self.clock;
         let k = self.partitioning.num_workers();
         self.report.admission_policy = self.cfg.admission.label().to_string();
         // Pool counters accumulate across serve sessions: this session's
@@ -1017,6 +1058,7 @@ impl Coordinator {
             rejected: Vec::new(),
             pending_index: None,
             shutdown: false,
+            tracer: self.tracer.clone(),
         };
         let mut tracking: FxHashMap<QueryId, QueryTracking> = FxHashMap::default();
         let max_parallel = self.cfg.max_parallel_queries.max(1);
@@ -1101,6 +1143,8 @@ impl Coordinator {
                         $t.outstanding += 1;
                         inflight_ops += 1;
                     } else {
+                        self.tracer
+                            .defer(clock.now().as_secs_f64(), u64::from($q.0), w as u32);
                         $t.deferred.push_back(w);
                     }
                 }
@@ -1148,6 +1192,11 @@ impl Coordinator {
                         first_epoch: self.topology.epoch(),
                         last_epoch: self.topology.epoch(),
                     });
+                    self.tracer.outcome(
+                        at.as_secs_f64(),
+                        u64::from(q.0),
+                        outcome_code::INDEX_SERVED,
+                    );
                     false
                 } else {
                     let batches = {
@@ -1187,6 +1236,11 @@ impl Coordinator {
                             first_epoch: self.topology.epoch(),
                             last_epoch: self.topology.epoch(),
                         });
+                        self.tracer.outcome(
+                            at.as_secs_f64(),
+                            u64::from(q.0),
+                            outcome_code::COMPLETED,
+                        );
                         false
                     } else {
                         // The DoP budget is fixed at admission: point-
@@ -1250,6 +1304,12 @@ impl Coordinator {
                             t.outstanding += 1;
                             inflight_ops += 1;
                         }
+                        if self.tracer.enabled() {
+                            let at = clock.now().as_secs_f64();
+                            for &w in ws.iter().skip(dop) {
+                                self.tracer.defer(at, u64::from(q.0), w as u32);
+                            }
+                        }
                         t.deferred.extend(ws.iter().skip(dop).copied());
                         tracking.insert(q, t);
                         true
@@ -1289,6 +1349,8 @@ impl Coordinator {
             // Surface bounded-queue rejections as distinct outcomes (the
             // submission never executed; its output stays `None`).
             for (q, program, at) in cs.rejected.drain(..) {
+                self.tracer
+                    .outcome(at.as_secs_f64(), u64::from(q.0), outcome_code::REJECTED);
                 self.report.outcomes.push(QueryOutcome::rejected(
                     q,
                     program,
@@ -1307,11 +1369,18 @@ impl Coordinator {
                 // The quiesce window opens only once every Step/Collect
                 // token is closed — the auditor holds us to exactly that.
                 self.hb.quiesce_begin();
+                self.tracer.quiesce_begin(entered_at);
 
                 // Phase 1: mutation epochs, in arrival order (the shared
                 // barrier body — see `controller::apply_mutation_epochs`).
                 let batches = std::mem::take(&mut cs.mutations);
                 let epoch_before = self.topology.epoch();
+                let mutation_from = clock.now().as_secs_f64();
+                if !batches.is_empty() {
+                    self.tracer
+                        .mutation_begin(mutation_from, batches.len() as u64);
+                }
+                let repairs_before = self.report.index_repairs.len();
                 let apply = apply_mutation_epochs(
                     &mut self.topology,
                     &mut self.partitioning,
@@ -1323,6 +1392,27 @@ impl Coordinator {
                     self.index.as_deref_mut(),
                 );
                 let mutation_events_from = apply.events_from;
+                if apply.compacted_edges.is_some() {
+                    self.tracer.compaction(clock.now().as_secs_f64());
+                }
+                // The repair stages ran inside `apply_mutation_epochs`:
+                // the span covers the apply call's tail, its stage
+                // instants carry the summed counters of this barrier.
+                if self.report.index_repairs.len() > repairs_before {
+                    let (mut invalidated, mut reruns, mut resumes) = (0u64, 0u64, 0u64);
+                    for ev in &self.report.index_repairs[repairs_before..] {
+                        invalidated += ev.summary.entries_invalidated as u64;
+                        reruns += ev.summary.roots_rerun as u64;
+                        resumes += ev.summary.partial_roots as u64;
+                    }
+                    self.tracer.repair_begin(mutation_from);
+                    self.tracer
+                        .repair_end(clock.now().as_secs_f64(), invalidated, reruns, resumes);
+                }
+                if !batches.is_empty() {
+                    self.tracer
+                        .mutation_end(clock.now().as_secs_f64(), batches.len() as u64);
+                }
                 if !batches.is_empty() {
                     for e in epoch_before + 1..=self.topology.epoch() {
                         self.hb.publish_topology(0, e);
@@ -1343,7 +1433,10 @@ impl Coordinator {
 
                 // Phase 2: the Q-cut repartition, under the same barrier.
                 let outcome = if repart_pending {
-                    self.qcut_barrier(&mut tracking, &pool, &msg_rx, &mut cs, &clock)
+                    self.tracer.qcut_begin(clock.now().as_secs_f64());
+                    let o = self.qcut_barrier(&mut tracking, &pool, &msg_rx, &mut cs, &clock);
+                    self.tracer.qcut_end(clock.now().as_secs_f64());
+                    o
                 } else {
                     None
                 };
@@ -1394,6 +1487,12 @@ impl Coordinator {
                 // closes first — releases are dispatches, and a dispatch
                 // inside the window is exactly the PR-2 race.
                 self.hb.quiesce_end();
+                let released_at = clock.now().as_secs_f64();
+                self.tracer.quiesce_end(released_at);
+                // The pool is provably idle inside the barrier: the
+                // cheapest possible point to move lane rings into the
+                // central buffer.
+                self.tracer.drain();
                 for (q, next) in std::mem::take(&mut parked) {
                     let Some(t) = tracking.get_mut(&q) else {
                         // Defensive: a parked query is by construction
@@ -1403,6 +1502,7 @@ impl Coordinator {
                         debug_assert!(false, "parked query {q:?} is no longer tracked");
                         continue;
                     };
+                    self.tracer.unpark(released_at, u64::from(q.0));
                     if next.is_empty() {
                         // Defensive: migration preserves pending messages,
                         // so a parked query cannot lose them — surface the
@@ -1440,10 +1540,15 @@ impl Coordinator {
             {
                 let end = clock.now().as_secs_f64();
                 self.report.finished_at_secs = end;
-                self.report.close_run(run_started, end);
+                // Counters first: the closing window's per-window pool
+                // delta is computed against the *current* totals. The
+                // lanes are idle at a drain, so their rings drain fully.
+                sync_pool_counters!();
+                self.tracer.drain();
+                self.report.trace.absorb(&self.tracer);
+                self.report.close_run(run_started, end, self.report.pool);
                 run_started = end;
                 reset_trigger_window!();
-                sync_pool_counters!();
                 for ack in cs.drain_waiters.drain(..) {
                     // Only the delta past the engine's synced prefix; a
                     // second waiter in the same idle moment gets an empty
@@ -1456,6 +1561,7 @@ impl Coordinator {
                         new_index_repairs: self.report.index_repairs[synced.index_repairs..]
                             .to_vec(),
                         new_runs: self.report.runs[synced.runs..].to_vec(),
+                        new_trace: self.report.trace.delta_since(synced.trace),
                         finished_at_secs: self.report.finished_at_secs,
                         partitioning: self.partitioning.clone(),
                         topology: self.topology.clone(),
@@ -1483,7 +1589,12 @@ impl Coordinator {
                 break;
             };
             self.hb.coord_recv();
-            let Some(resp) = cs.absorb(msg, &tasks, clock.now()) else {
+            // One clock read per message turn, shared by the absorb
+            // stamp, activity samples, and every tracer event this turn
+            // emits — repeated reads are measurable on chained
+            // single-partition supersteps.
+            let now = clock.now();
+            let Some(resp) = cs.absorb(msg, &tasks, now) else {
                 if !repart_pending {
                     admit!();
                 }
@@ -1505,7 +1616,7 @@ impl Coordinator {
                     pool_tasks += 1;
                     self.hb.token_close(q.0, kind::STEP);
                     self.report.activity.push(ActivitySample {
-                        t: clock.now().as_secs_f64(),
+                        t: now.as_secs_f64(),
                         worker,
                         executed: executed as u64,
                     });
@@ -1521,6 +1632,8 @@ impl Coordinator {
                     // the superstep must complete before the query can
                     // park at its barrier.
                     if let Some(w_next) = t.deferred.pop_front() {
+                        self.tracer
+                            .defer_release(now.as_secs_f64(), u64::from(q.0), w_next as u32);
                         self.hb.send_step(q.0, w_next);
                         pool.push(
                             w_next,
@@ -1557,6 +1670,8 @@ impl Coordinator {
                             t.deferred.is_empty(),
                             "superstep barrier with deferred tasks unreleased"
                         );
+                        self.tracer
+                            .superstep_done(now.as_secs_f64(), u64::from(q.0));
                         t.iterations += 1;
                         t.window_iterations += 1;
                         supersteps_since += 1;
@@ -1588,6 +1703,7 @@ impl Coordinator {
                             // STOP: park at the barrier until the
                             // stop-the-world phase (Q-cut and/or mutation
                             // epoch) has run.
+                            self.tracer.park(now.as_secs_f64(), u64::from(q.0));
                             parked.push((q, next));
                         } else {
                             dispatch_step!(q, t, next);
@@ -1628,7 +1744,7 @@ impl Coordinator {
                                     active,
                                 ) {
                                     repart_pending = true;
-                                    repart_triggered_at = clock.now().as_secs_f64();
+                                    repart_triggered_at = now.as_secs_f64();
                                 } else {
                                     reset_trigger_window!();
                                 }
@@ -1648,7 +1764,7 @@ impl Coordinator {
                     if t.collecting == 0 {
                         // qlint: allow(no-unwrap-hot-loop) — entry just mutated above
                         let t = tracking.remove(&q).expect("present");
-                        let at = clock.now();
+                        let at = now;
                         let scope_size: u64 = t.locals.iter().map(|l| l.scope_size() as u64).sum();
                         if qcut_enabled {
                             // Retain the scope for the monitoring window
@@ -1687,6 +1803,11 @@ impl Coordinator {
                             first_epoch: t.first_epoch,
                             last_epoch: self.topology.epoch(),
                         });
+                        self.tracer.outcome(
+                            at.as_secs_f64(),
+                            u64::from(q.0),
+                            outcome_code::COMPLETED,
+                        );
                         in_flight -= 1;
                         // Closed loop: admit the next waiting query (held
                         // back while a repartition barrier is pending).
@@ -1702,11 +1823,13 @@ impl Coordinator {
         // so every outcome has a home.
         sync_pool_counters!();
         pool.shutdown();
+        self.tracer.drain();
+        self.report.trace.absorb(&self.tracer);
         let runs_before = self.report.runs.len();
         let end = clock.now().as_secs_f64();
         // `close_run` no-ops when nothing happened past the last boundary
         // (the normal case: shutdown() drained first).
-        self.report.close_run(run_started, end);
+        self.report.close_run(run_started, end, self.report.pool);
         if self.report.runs.len() > runs_before {
             self.report.finished_at_secs = end;
         }
@@ -1866,24 +1989,48 @@ struct WorkerCtx {
 /// ([`Hb::pool_acquire`]/[`Hb::pool_release`]) that now carry the
 /// actor-serialization guarantee the dedicated threads used to give for
 /// free.
+#[allow(clippy::too_many_arguments)]
 fn handle_cmd(
+    tid: usize,
+    width: usize,
     w: usize,
     cmd: Cmd,
     ctxs: &[Mutex<WorkerCtx>],
     registry: &TaskRegistry,
     resp: &Sender<CoordMsg>,
     hb: &Hb,
+    tracer: &Tracer,
+    clock: &Clock,
 ) {
     hb.pool_acquire(w);
     // Every executed command joins the clock snapshot the coordinator
     // queued at the matching send — the channel edge of the HB graph.
     hb.worker_recv(w);
+    // The lane span opens before the state lock: lock wait is part of
+    // the task's runtime as the pool experiences it. Steals are labelled
+    // the same way `pick()` counts them — off the affine thread.
+    let traced: Option<(QueryId, u8, f64)> = if tracer.enabled() {
+        let code = match &cmd {
+            Cmd::Deliver { q, .. } => Some((*q, cmd::DELIVER)),
+            Cmd::Freeze { q } => Some((*q, cmd::FREEZE)),
+            Cmd::Step { q, .. } => Some((*q, cmd::STEP)),
+            Cmd::Collect { q } => Some((*q, cmd::COLLECT)),
+            _ => None,
+        };
+        // The begin stamp is read here but recorded with the end stamp
+        // below: one ring lock per task instead of two keeps the span's
+        // serial cost on chained point queries in check.
+        code.map(|(q, c)| (q, c, clock.now().as_secs_f64()))
+    } else {
+        None
+    };
     let mut guard = ctxs[w]
         .lock()
         // qlint: allow(no-unwrap-hot-loop) — poisoned ⇒ a sibling pool thread already panicked; propagate
         .expect("worker state poisoned by an earlier panic");
     let ctx = &mut *guard;
     let task_of = |q: QueryId| -> Arc<dyn QueryTask> { Arc::clone(&reg_read(registry)[q.index()]) };
+    let mut executed_n: u64 = 0;
     // Every command produces at most one response; funneling them through
     // a single send gives one clean-shutdown path instead of a panic per
     // protocol arm.
@@ -1909,6 +2056,7 @@ fn handle_cmd(
             let (stats, agg, remote) =
                 ctx.worker
                     .execute(q, task.as_ref(), &ctx.topology, &prev_agg, &route);
+            executed_n = stats.executed as u64;
             let self_pending = ctx.worker.has_pending(q);
             Some(Resp::StepDone {
                 q,
@@ -1966,6 +2114,18 @@ fn handle_cmd(
             Some(Resp::Pending { worker: w, queries })
         }
     };
+    if let Some((q, code, begin_at)) = traced {
+        tracer.task_span(
+            begin_at,
+            clock.now().as_secs_f64(),
+            tid as u32,
+            u64::from(q.0),
+            w as u32,
+            code,
+            w % width != tid,
+            executed_n,
+        );
+    }
     if let Some(r) = reply {
         hb.worker_send(w);
         // The coordinator hanging up (its thread panicked or exited
